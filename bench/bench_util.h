@@ -1,0 +1,33 @@
+// Shared plumbing for the figure-reproduction benches: every binary
+// prints a caption, the figure's data as an aligned table, and (with
+// --csv <path>) saves the same data for replotting.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "btmf/util/cli.h"
+#include "btmf/util/stopwatch.h"
+#include "btmf/util/table.h"
+
+namespace btmf::bench {
+
+inline void emit(const util::Table& table, const std::string& caption,
+                 const std::string& csv_path) {
+  std::cout << "\n== " << caption << " ==\n\n";
+  table.write_pretty(std::cout);
+  if (!csv_path.empty()) {
+    table.save_csv(csv_path);
+    std::cout << "\n(csv saved to " << csv_path << ")\n";
+  }
+}
+
+/// Standard option set shared by all table benches.
+inline util::ArgParser make_parser(const std::string& name,
+                                   const std::string& summary) {
+  util::ArgParser parser(name, summary);
+  parser.add_option("csv", "", "also save the table as CSV to this path");
+  return parser;
+}
+
+}  // namespace btmf::bench

@@ -1,0 +1,78 @@
+// Emergent sharing efficiency from the chunk-level protocol (extension).
+//
+// The paper sets eta = 0.5, reading the Izal et al. measurement ("seeds
+// contributed twice the downloader traffic") as downloader inefficiency;
+// Qiu–Srikant prove eta ~ 1 when files have many chunks. The chunk-level
+// simulator arbitrates:
+//
+// Table 1 — eta_hat vs chunk count: rarest-first + tit-for-tat drive the
+// realised downloader efficiency from ~0.8 (tiny files) toward 1 (many
+// chunks), and plugging eta_hat back into T = (gamma-mu)/(gamma mu eta)
+// predicts the measured download time — Qiu–Srikant are right about the
+// *mechanism*.
+//
+// Table 2 — upload shares vs seed patience (1/gamma): the seed/downloader
+// traffic ratio is governed by how long seeds linger, NOT by eta. Patient
+// seeds reproduce Izal's 2:1 ratio with eta still ~1 — the paper's
+// inference conflates seed abundance with downloader inefficiency. Its
+// eta = 0.5 remains a defensible *empirical calibration* (Sec. 4's
+// conclusions survive any eta < 1, see eta_gamma_ablation), but the
+// chunk-level mechanism does not produce it.
+#include "bench_util.h"
+#include "btmf/sim/chunk_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace btmf;
+  util::ArgParser parser = bench::make_parser(
+      "emergent_eta", "chunk-level swarm: measured eta and upload shares");
+  parser.add_option("lambda", "1.0", "peer arrival rate");
+  parser.add_option("horizon", "3000", "simulated time per point");
+  parser.add_option("seed", "11", "RNG seed");
+  if (!parser.parse(argc, argv)) return 0;
+
+  sim::ChunkSimConfig base;
+  base.entry_rate = parser.get_double("lambda");
+  base.horizon = parser.get_double("horizon");
+  base.warmup = base.horizon * 0.25;
+  base.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  util::Table chunk_table({"chunks", "eta_hat", "measured T",
+                           "fluid T(eta_hat)", "T at paper eta=0.5",
+                           "downloader share"});
+  chunk_table.set_precision(4);
+  for (const unsigned chunks : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    sim::ChunkSimConfig config = base;
+    config.num_chunks = chunks;
+    const sim::ChunkSimResult r = sim::run_chunk_sim(config);
+    chunk_table.add_row({static_cast<double>(chunks), r.emergent_eta,
+                         r.mean_download_time, r.fluid_prediction, 60.0,
+                         r.downloader_upload_share});
+  }
+  bench::emit(chunk_table, "Emergent eta vs chunk count (gamma = 0.05)",
+              parser.get("csv").empty() ? ""
+                                        : parser.get("csv") + ".chunks.csv");
+
+  util::Table share_table({"1/gamma (seed residence)", "seed share",
+                           "downloader share", "seed/downloader ratio",
+                           "eta_hat"});
+  share_table.set_precision(4);
+  for (const double residence : {10.0, 20.0, 40.0, 80.0}) {
+    sim::ChunkSimConfig config = base;
+    config.num_chunks = 32;
+    config.fluid.gamma = 1.0 / residence;
+    const sim::ChunkSimResult r = sim::run_chunk_sim(config);
+    share_table.add_row({residence, r.seed_upload_share,
+                         r.downloader_upload_share,
+                         r.downloader_upload_share > 0.0
+                             ? r.seed_upload_share /
+                                   r.downloader_upload_share
+                             : 0.0,
+                         r.emergent_eta});
+  }
+  bench::emit(share_table,
+              "Upload shares vs seed patience (C = 32): the Izal 2:1 "
+              "ratio is a gamma story, not an eta story",
+              parser.get("csv").empty() ? ""
+                                        : parser.get("csv") + ".gamma.csv");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Flash-crowd transient experiment (extension — the paper's evaluation is
+// steady-state only, but its fluid models are dynamic and the flash crowd
+// is the classic transient question for BitTorrent fluid models).
+//
+// A crowd of N users interested in the whole K-file catalogue lands on an
+// empty system at t = 0 with only a trickle of background arrivals. We
+// track the total downloader population under MFCD and under CMFSD at
+// several rho, and report the crowd drain metrics: the peak population,
+// the time until 95% of the crowd mass is gone, and the time to settle at
+// the long-run steady state.
+#include <cmath>
+
+#include "bench_util.h"
+#include "btmf/core/evaluate.h"
+#include "btmf/fluid/cmfsd.h"
+#include "btmf/fluid/correlation.h"
+#include "btmf/fluid/transient.h"
+#include "btmf/util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace btmf;
+  util::ArgParser parser = bench::make_parser(
+      "flash_crowd", "crowd-drain transients under MFCD-like and CMFSD");
+  parser.add_option("k", "10", "number of files K");
+  parser.add_option("p", "0.9", "file correlation of background arrivals");
+  parser.add_option("crowd", "2000", "crowd size at t = 0 (class-K users)");
+  parser.add_option("lambda0", "0.25", "background visit rate");
+  parser.add_option("t-end", "4000", "trajectory horizon");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const unsigned k = static_cast<unsigned>(parser.get_int("k"));
+  const double crowd = parser.get_double("crowd");
+  const fluid::CorrelationModel corr(k, parser.get_double("p"),
+                                     parser.get_double("lambda0"));
+
+  util::Table table({"scheme", "peak downloaders",
+                     "95% crowd drained at t", "settled at t",
+                     "steady downloaders"});
+  table.set_precision(5);
+
+  fluid::TransientOptions options;
+  options.t_end = parser.get_double("t-end");
+  options.samples = 400;
+
+  for (const double rho : {0.0, 0.5, 1.0}) {
+    const fluid::CmfsdModel model(fluid::kPaperParams,
+                                  corr.system_entry_rates(), rho);
+    // The crowd: `crowd` class-K users, all starting their first file.
+    std::vector<double> y0(model.state_size(), 0.0);
+    y0[model.x_index(k, 1)] = crowd;
+
+    const fluid::TransientSeries series =
+        fluid::sample_trajectory(model.rhs(), y0, options);
+    const auto total_downloaders = [&](std::span<const double> state) {
+      double total = 0.0;
+      for (unsigned i = 1; i <= k; ++i)
+        for (unsigned j = 1; j <= i; ++j)
+          total += state[model.x_index(i, j)];
+      return total;
+    };
+
+    const fluid::CmfsdEquilibrium eq = model.solve();
+    const double steady = [&] {
+      double total = 0.0;
+      for (unsigned i = 1; i <= k; ++i)
+        for (unsigned j = 1; j <= i; ++j)
+          total += eq.state[model.x_index(i, j)];
+      return total;
+    }();
+
+    // 95% of the crowd mass above steady state has drained.
+    const double threshold = steady + 0.05 * crowd;
+    double drained_at = std::numeric_limits<double>::infinity();
+    const std::vector<double> totals = series.map(total_downloaders);
+    for (std::size_t s = 0; s < totals.size(); ++s) {
+      if (totals[s] <= threshold) {
+        drained_at = series.times[s];
+        break;
+      }
+    }
+    const double settle = fluid::settling_time(series, eq.state, 0.02);
+
+    const std::string label =
+        rho == 1.0 ? "CMFSD rho=1 (= MFCD behaviour)"
+                   : "CMFSD rho=" + util::format_double(rho, 3);
+    table.add_row({label, fluid::peak_value(series, total_downloaders),
+                   drained_at, settle, steady});
+  }
+
+  bench::emit(table,
+              "Flash crowd of " + util::format_double(crowd, 6) +
+                  " class-K users — drain and settling metrics",
+              parser.get("csv"));
+  std::cout << "\nReading: collaborative re-seeding (small rho) drains the "
+               "crowd far faster because the\ncrowd itself becomes the "
+               "seed capacity as soon as the first files complete.\n";
+  return 0;
+}

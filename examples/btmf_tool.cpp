@@ -1,0 +1,238 @@
+// btmf_tool — command-line front end for the whole library.
+//
+//   btmf_tool evaluate --scheme cmfsd --p 0.9 --rho 0.1   fluid steady state
+//   btmf_tool simulate --scheme mtsd --p 0.5              agent-level swarm
+//   btmf_tool sweep --scheme cmfsd --rho 0.0              online time vs p
+//   btmf_tool adapt --cheaters 0.5                        Adapt fixed point
+//
+// Every subcommand accepts --help.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "btmf/core/evaluate.h"
+#include "btmf/fluid/adapt_fluid.h"
+#include "btmf/sim/simulator.h"
+#include "btmf/util/cli.h"
+#include "btmf/util/error.h"
+#include "btmf/util/strings.h"
+#include "btmf/util/table.h"
+
+namespace {
+
+using namespace btmf;
+
+fluid::SchemeKind parse_scheme(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "mtcd") return fluid::SchemeKind::kMtcd;
+  if (lower == "mtsd") return fluid::SchemeKind::kMtsd;
+  if (lower == "mfcd") return fluid::SchemeKind::kMfcd;
+  if (lower == "cmfsd") return fluid::SchemeKind::kCmfsd;
+  throw ConfigError("unknown scheme '" + name +
+                    "' (expected mtcd|mtsd|mfcd|cmfsd)");
+}
+
+void add_scenario_options(util::ArgParser& parser) {
+  parser.add_option("k", "10", "number of files K");
+  parser.add_option("p", "0.9", "file correlation in [0, 1]");
+  parser.add_option("lambda0", "1.0", "indexing-server visit rate");
+  parser.add_option("mu", "0.02", "peer upload bandwidth");
+  parser.add_option("eta", "0.5", "downloader sharing efficiency");
+  parser.add_option("gamma", "0.05", "seed departure rate");
+}
+
+core::ScenarioConfig scenario_from(const util::ArgParser& parser) {
+  core::ScenarioConfig scenario;
+  scenario.num_files = static_cast<unsigned>(parser.get_int("k"));
+  scenario.correlation = parser.get_double("p");
+  scenario.visit_rate = parser.get_double("lambda0");
+  scenario.fluid.mu = parser.get_double("mu");
+  scenario.fluid.eta = parser.get_double("eta");
+  scenario.fluid.gamma = parser.get_double("gamma");
+  return scenario;
+}
+
+int cmd_evaluate(int argc, const char* const* argv) {
+  util::ArgParser parser("btmf_tool evaluate",
+                         "fluid steady state of one scheme");
+  add_scenario_options(parser);
+  parser.add_option("scheme", "cmfsd", "mtcd|mtsd|mfcd|cmfsd");
+  parser.add_option("rho", "0.0", "CMFSD bandwidth split");
+  if (!parser.parse(argc, argv)) return 0;
+
+  core::EvaluateOptions options;
+  options.rho = parser.get_double("rho");
+  const core::SchemeReport report = core::evaluate_scheme(
+      scenario_from(parser), parse_scheme(parser.get("scheme")), options);
+
+  std::cout << "scheme " << fluid::to_string(report.scheme)
+            << "  p = " << report.correlation << '\n'
+            << "avg online time per file:   " << report.avg_online_per_file
+            << '\n'
+            << "avg download time per file: "
+            << report.avg_download_per_file << "\n\n";
+  util::Table table({"class", "online time", "download time",
+                     "online/file", "dl/file"});
+  table.set_precision(5);
+  for (std::size_t i = 0; i < report.per_class.num_classes(); ++i) {
+    table.add_row({static_cast<double>(i + 1),
+                   report.per_class.online_time[i],
+                   report.per_class.download_time[i],
+                   report.per_class.online_per_file[i],
+                   report.per_class.download_per_file[i]});
+  }
+  table.write_pretty(std::cout);
+  return 0;
+}
+
+int cmd_simulate(int argc, const char* const* argv) {
+  util::ArgParser parser("btmf_tool simulate",
+                         "agent-level swarm simulation of one scheme");
+  add_scenario_options(parser);
+  parser.add_option("scheme", "cmfsd", "mtcd|mtsd|mfcd|cmfsd");
+  parser.add_option("rho", "0.0", "CMFSD bandwidth split");
+  parser.add_option("cheaters", "0.0", "fraction of multi-file cheaters");
+  parser.add_option("theta", "0.0", "downloader abort rate");
+  parser.add_option("horizon", "5000", "simulated time");
+  parser.add_option("seed", "42", "RNG seed");
+  parser.add_flag("adapt", "enable the Adapt rho controller");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const core::ScenarioConfig scenario = scenario_from(parser);
+  sim::SimConfig config;
+  config.scheme = parse_scheme(parser.get("scheme"));
+  config.num_files = scenario.num_files;
+  config.correlation = scenario.correlation;
+  config.visit_rate = scenario.visit_rate;
+  config.fluid = scenario.fluid;
+  config.rho = parser.get_double("rho");
+  config.cheater_fraction = parser.get_double("cheaters");
+  config.abort_rate = parser.get_double("theta");
+  config.adapt.enabled = parser.get_flag("adapt");
+  config.horizon = parser.get_double("horizon");
+  config.warmup = config.horizon * 0.25;
+  config.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  const sim::SimResult r = sim::run_simulation(config);
+  std::cout << "avg online time per file:   " << r.avg_online_per_file
+            << "\navg download time per file: " << r.avg_download_per_file
+            << "\nusers sampled / censored / aborted: " << r.total_users
+            << " / " << r.censored_users << " / " << r.aborted_users
+            << "\nevents processed: " << r.events_processed << "\n\n";
+  util::Table table({"class", "users", "online/file", "+-95%",
+                     "little online/file", "avg downloaders"});
+  table.set_precision(5);
+  for (std::size_t i = 0; i < r.classes.size(); ++i) {
+    const sim::PerClassResult& c = r.classes[i];
+    table.add_row({static_cast<double>(i + 1),
+                   static_cast<double>(c.completed_users),
+                   c.mean_online_per_file, c.ci_online_per_file,
+                   c.little_online_time, c.avg_downloaders});
+  }
+  table.write_pretty(std::cout);
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  util::ArgParser parser("btmf_tool sweep",
+                         "avg online time per file vs correlation p");
+  add_scenario_options(parser);
+  parser.add_option("scheme", "cmfsd", "mtcd|mtsd|mfcd|cmfsd");
+  parser.add_option("rho", "0.0", "CMFSD bandwidth split");
+  parser.add_option("steps", "10", "p samples in (0, 1]");
+  parser.add_option("csv", "", "save CSV here");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const fluid::SchemeKind scheme = parse_scheme(parser.get("scheme"));
+  core::EvaluateOptions options;
+  options.rho = parser.get_double("rho");
+  const auto steps = static_cast<std::size_t>(parser.get_int("steps"));
+
+  util::Table table({"p", "avg online/file", "avg dl/file"});
+  table.set_precision(6);
+  for (std::size_t s = 1; s <= steps; ++s) {
+    core::ScenarioConfig scenario = scenario_from(parser);
+    scenario.correlation = static_cast<double>(s) / static_cast<double>(steps);
+    const core::SchemeReport report =
+        core::evaluate_scheme(scenario, scheme, options);
+    table.add_row({scenario.correlation, report.avg_online_per_file,
+                   report.avg_download_per_file});
+  }
+  table.write_pretty(std::cout);
+  if (!parser.get("csv").empty()) table.save_csv(parser.get("csv"));
+  return 0;
+}
+
+int cmd_adapt(int argc, const char* const* argv) {
+  util::ArgParser parser("btmf_tool adapt",
+                         "fluid fixed point of the Adapt mechanism");
+  add_scenario_options(parser);
+  parser.add_option("cheaters", "0.5", "fraction of multi-file cheaters");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const core::ScenarioConfig scenario = scenario_from(parser);
+  const fluid::AdaptFluidModel model(
+      scenario.fluid, scenario.correlation_model().system_entry_rates(),
+      parser.get_double("cheaters"));
+  const fluid::AdaptFluidEquilibrium eq = model.solve();
+
+  std::cout << "avg online time per file (everyone): "
+            << eq.avg_online_per_file
+            << "\navg online time per file (obedient): "
+            << eq.obedient_avg_online_per_file << "\n\n";
+  util::Table table({"class", "equilibrium rho", "obedient online/file",
+                     "cheater online/file"});
+  table.set_precision(5);
+  for (std::size_t i = 0; i < eq.rho.size(); ++i) {
+    table.add_row({static_cast<double>(i + 1), eq.rho[i],
+                   eq.obedient.online_per_file[i],
+                   eq.cheater.online_per_file[i]});
+  }
+  table.write_pretty(std::cout);
+  return 0;
+}
+
+void print_usage() {
+  std::cout << "btmf_tool — multiple-file BitTorrent downloading analysis\n"
+               "usage: btmf_tool <evaluate|simulate|sweep|adapt> [options]\n"
+               "       btmf_tool <subcommand> --help for details\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string subcommand = argv[1];
+  // Shift argv so each subcommand parser sees its own options.
+  std::vector<const char*> args;
+  args.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) args.push_back(argv[i]);
+
+  try {
+    if (subcommand == "evaluate") {
+      return cmd_evaluate(static_cast<int>(args.size()), args.data());
+    }
+    if (subcommand == "simulate") {
+      return cmd_simulate(static_cast<int>(args.size()), args.data());
+    }
+    if (subcommand == "sweep") {
+      return cmd_sweep(static_cast<int>(args.size()), args.data());
+    }
+    if (subcommand == "adapt") {
+      return cmd_adapt(static_cast<int>(args.size()), args.data());
+    }
+    if (subcommand == "--help" || subcommand == "-h") {
+      print_usage();
+      return 0;
+    }
+    std::cerr << "unknown subcommand '" << subcommand << "'\n";
+    print_usage();
+    return 1;
+  } catch (const btmf::Error& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

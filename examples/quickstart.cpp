@@ -1,0 +1,60 @@
+// Quickstart: the one-call public API.
+//
+// Evaluates all four multiple-file downloading schemes at the paper's
+// evaluation constants (K = 10 files, mu = 0.02, eta = 0.5, gamma = 0.05)
+// for a chosen file correlation p, and prints the comparison the paper's
+// Section 4 draws: sequential beats concurrent, and collaborative
+// sequential (CMFSD, rho = 0) beats everything when files are correlated.
+//
+//   ./quickstart            # p = 0.9
+//   ./quickstart --p 0.3    # any correlation in (0, 1]
+#include <iostream>
+
+#include "btmf/core/evaluate.h"
+#include "btmf/util/cli.h"
+#include "btmf/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace btmf;
+  util::ArgParser parser("quickstart",
+                         "compare all four downloading schemes at the "
+                         "paper's constants");
+  parser.add_option("p", "0.9", "file correlation in (0, 1]");
+  parser.add_option("k", "10", "number of files K");
+  if (!parser.parse(argc, argv)) return 0;
+
+  core::ScenarioConfig scenario;  // paper defaults: mu/eta/gamma
+  scenario.num_files = static_cast<unsigned>(parser.get_int("k"));
+  scenario.correlation = parser.get_double("p");
+
+  util::Table table({"scheme", "avg online time/file", "avg download/file",
+                     "vs MTSD"});
+  table.set_precision(4);
+
+  core::EvaluateOptions generous;
+  generous.rho = 0.0;  // the paper's recommended CMFSD setting
+  const double mtsd_baseline =
+      core::evaluate_scheme(scenario, fluid::SchemeKind::kMtsd)
+          .avg_online_per_file;
+
+  for (const fluid::SchemeKind scheme :
+       {fluid::SchemeKind::kMtcd, fluid::SchemeKind::kMtsd,
+        fluid::SchemeKind::kMfcd, fluid::SchemeKind::kCmfsd}) {
+    const core::SchemeReport report =
+        core::evaluate_scheme(scenario, scheme, generous);
+    table.add_row({std::string(fluid::to_string(scheme)),
+                   report.avg_online_per_file, report.avg_download_per_file,
+                   report.avg_online_per_file / mtsd_baseline});
+  }
+
+  std::cout << "Scenario: K = " << scenario.num_files
+            << " interest-correlated files, correlation p = "
+            << scenario.correlation << "\n(CMFSD uses rho = 0, the paper's "
+            << "recommended collaborative setting)\n\n";
+  table.write_pretty(std::cout);
+  std::cout << "\nReading: under MTCD/MFCD a class-i user splits bandwidth "
+               "i ways, so correlated demand\ninflates everyone's time; "
+               "CMFSD turns finished downloaders into partial seeds and "
+               "wins\nby a wide margin when p is high.\n";
+  return 0;
+}

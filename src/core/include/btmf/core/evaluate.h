@@ -1,0 +1,55 @@
+// One-call fluid evaluation of any downloading scheme on a scenario.
+//
+// This is the primary public API: pick a scenario (K, p, lambda0, fluid
+// parameters), pick a scheme, get back per-class and system-average
+// online/download times at the fluid steady state.
+#pragma once
+
+#include <vector>
+
+#include "btmf/core/scenario.h"
+#include "btmf/fluid/cmfsd.h"
+#include "btmf/fluid/metrics.h"
+#include "btmf/fluid/schemes.h"
+#include "btmf/math/equilibrium.h"
+
+namespace btmf::core {
+
+struct EvaluateOptions {
+  /// CMFSD bandwidth-allocation ratio (ignored by the other schemes).
+  double rho = 0.0;
+  /// Optional per-class rho for CMFSD (overrides `rho` when non-empty);
+  /// used for Adapt / cheater analyses.
+  std::vector<double> rho_per_class;
+  /// Steady-state solver settings for models without a closed form.
+  math::EquilibriumOptions solver =
+      fluid::CmfsdModel::default_solve_options();
+};
+
+struct SchemeReport {
+  fluid::SchemeKind scheme{};
+  double correlation = 0.0;
+  double rho = 0.0;  ///< NaN for schemes without a rho knob
+
+  double avg_online_per_file = 0.0;    ///< the paper's headline metric
+  double avg_download_per_file = 0.0;
+  double avg_online_per_user = 0.0;
+
+  fluid::PerClassMetrics per_class;
+  std::vector<double> class_entry_rates;  ///< system rates L_i used as weights
+};
+
+/// Evaluates `scheme` on `scenario` at the fluid steady state.
+///
+/// p = 0 edge cases: MTSD is rate-independent and MTCD/MFCD converge to
+/// the single-torrent limit (per-file factor A -> T), which is returned
+/// analytically; CMFSD has no peers at p = 0 and throws btmf::ConfigError.
+SchemeReport evaluate_scheme(const ScenarioConfig& scenario,
+                             fluid::SchemeKind scheme,
+                             const EvaluateOptions& options = {});
+
+/// Convenience: evaluate all four schemes (CMFSD at options.rho).
+std::vector<SchemeReport> evaluate_all_schemes(
+    const ScenarioConfig& scenario, const EvaluateOptions& options = {});
+
+}  // namespace btmf::core

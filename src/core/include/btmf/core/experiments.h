@@ -1,0 +1,48 @@
+// Generators for the paper's evaluation figures (Sec. 4.2).
+//
+// Each function returns the figure's data as a util::Table whose rows and
+// columns mirror the series the paper plots, so the benches can print a
+// directly comparable table and save CSV for replotting. Tests assert on
+// the same tables.
+#pragma once
+
+#include <span>
+
+#include "btmf/core/scenario.h"
+#include "btmf/util/table.h"
+
+namespace btmf::core {
+
+/// Fig. 2 — average online time per file vs file correlation p under MTCD
+/// and MTSD. Columns: p, MTCD, MTSD, MTCD/MTSD ratio.
+util::Table fig2_table(const ScenarioConfig& base,
+                       std::span<const double> p_values);
+
+/// Fig. 3 — online and download time per file for every class under MTCD
+/// and MTSD at the given correlations (the paper uses p = 0.1 and 1.0).
+/// Columns: p, class, MTCD online/file, MTSD online/file, MTCD dl/file,
+/// MTSD dl/file.
+util::Table fig3_table(const ScenarioConfig& base,
+                       std::span<const double> p_values);
+
+/// Fig. 4(a) — average online time per file under CMFSD over the
+/// (p, rho) grid. One row per p; one column per rho. Cells are computed
+/// in parallel on the global thread pool.
+util::Table fig4a_table(const ScenarioConfig& base,
+                        std::span<const double> p_values,
+                        std::span<const double> rho_values);
+
+/// Fig. 4(b)/(c) — per-class online and download time per file under
+/// CMFSD at each rho in `rho_values` plus MFCD, at correlation p.
+/// Columns: class, then online/file and dl/file per scheme variant.
+util::Table fig4bc_table(const ScenarioConfig& base, double p,
+                         std::span<const double> rho_values);
+
+/// Model validation table: (a) the K = 1 degenerate case of MTCD/MTSD
+/// reduces to the Qiu–Srikant single-torrent result (Sec. 3.3's
+/// correctness argument); (b) CMFSD(rho = 1) reproduces the MFCD per-file
+/// download time at every p (the identity proved in cmfsd.h).
+util::Table validation_table(const ScenarioConfig& base,
+                             std::span<const double> p_values);
+
+}  // namespace btmf::core

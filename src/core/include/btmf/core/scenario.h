@@ -1,0 +1,28 @@
+// Scenario description shared by the fluid evaluators, the simulator
+// drivers, the benches and the examples.
+#pragma once
+
+#include "btmf/fluid/correlation.h"
+#include "btmf/fluid/params.h"
+
+namespace btmf::core {
+
+/// A server-torrent system: K interest-correlated files, binomial request
+/// model with correlation p and indexing-server visit rate lambda0, and
+/// the fluid parameters (mu, eta, gamma). Defaults are the paper's
+/// Section 4 evaluation constants.
+struct ScenarioConfig {
+  unsigned num_files = fluid::kPaperNumFiles;  ///< K
+  double correlation = 0.5;                    ///< p
+  double visit_rate = 1.0;                     ///< lambda0
+  fluid::FluidParams fluid = fluid::kPaperParams;
+
+  /// Throws btmf::ConfigError on out-of-range values.
+  void validate() const;
+
+  [[nodiscard]] fluid::CorrelationModel correlation_model() const {
+    return fluid::CorrelationModel(num_files, correlation, visit_rate);
+  }
+};
+
+}  // namespace btmf::core

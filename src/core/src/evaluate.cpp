@@ -1,0 +1,131 @@
+#include "btmf/core/evaluate.h"
+
+#include <cmath>
+#include <limits>
+
+#include "btmf/fluid/mfcd.h"
+#include "btmf/fluid/mtcd.h"
+#include "btmf/fluid/mtsd.h"
+#include "btmf/fluid/single_torrent.h"
+#include "btmf/util/check.h"
+
+namespace btmf::core {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// MTCD/MFCD per-class metrics with a given per-file factor A.
+fluid::PerClassMetrics concurrent_metrics(double per_file_factor,
+                                          double gamma, unsigned num_classes,
+                                          std::span<const double> rates) {
+  std::vector<double> online(num_classes), download(num_classes);
+  for (unsigned i = 1; i <= num_classes; ++i) {
+    if (rates.empty() || rates[i - 1] > 0.0) {
+      download[i - 1] = static_cast<double>(i) * per_file_factor;
+      online[i - 1] = download[i - 1] + 1.0 / gamma;
+    } else {
+      download[i - 1] = kNaN;
+      online[i - 1] = kNaN;
+    }
+  }
+  return fluid::make_per_class_metrics(std::move(online),
+                                       std::move(download));
+}
+
+}  // namespace
+
+void ScenarioConfig::validate() const {
+  BTMF_CHECK_MSG(num_files >= 1, "num_files must be >= 1");
+  BTMF_CHECK_MSG(correlation >= 0.0 && correlation <= 1.0,
+                 "correlation p must lie in [0, 1]");
+  BTMF_CHECK_MSG(visit_rate > 0.0, "visit_rate lambda0 must be positive");
+  fluid.validate();
+}
+
+SchemeReport evaluate_scheme(const ScenarioConfig& scenario,
+                             fluid::SchemeKind scheme,
+                             const EvaluateOptions& options) {
+  scenario.validate();
+  const unsigned k = scenario.num_files;
+
+  SchemeReport report;
+  report.scheme = scheme;
+  report.correlation = scenario.correlation;
+  report.rho = scheme == fluid::SchemeKind::kCmfsd ? options.rho : kNaN;
+
+  const fluid::CorrelationModel corr = scenario.correlation_model();
+  report.class_entry_rates = corr.system_entry_rates();
+
+  switch (scheme) {
+    case fluid::SchemeKind::kMtcd:
+    case fluid::SchemeKind::kMfcd: {
+      if (scenario.correlation == 0.0) {
+        // p -> 0 limit: (1 - (1-p)^K)/(K p) -> 1, so A -> T. All classes
+        // are limits of conditional metrics, so fill every class.
+        const double t_single =
+            fluid::single_torrent_download_time(scenario.fluid);
+        report.per_class = concurrent_metrics(t_single, scenario.fluid.gamma,
+                                              k, std::span<const double>{});
+      } else {
+        const double per_file_factor =
+            fluid::mfcd_download_time_per_file(scenario.fluid, corr);
+        report.per_class =
+            concurrent_metrics(per_file_factor, scenario.fluid.gamma, k,
+                               report.class_entry_rates);
+      }
+      break;
+    }
+    case fluid::SchemeKind::kMtsd: {
+      report.per_class = fluid::mtsd_metrics(scenario.fluid, k).metrics;
+      break;
+    }
+    case fluid::SchemeKind::kCmfsd: {
+      BTMF_CHECK_MSG(scenario.correlation > 0.0,
+                     "CMFSD needs p > 0 (no peer requests any file at p=0)");
+      const fluid::CmfsdModel model =
+          options.rho_per_class.empty()
+              ? fluid::CmfsdModel(scenario.fluid, report.class_entry_rates,
+                                  options.rho)
+              : fluid::CmfsdModel(scenario.fluid, report.class_entry_rates,
+                                  options.rho_per_class);
+      report.per_class = model.solve(options.solver).metrics;
+      break;
+    }
+  }
+
+  if (scenario.correlation == 0.0) {
+    // No peer requests anything; the averages are the class-1 limits.
+    report.avg_online_per_file = report.per_class.online_per_file.empty()
+                                     ? kNaN
+                                     : report.per_class.online_per_file[0];
+    report.avg_download_per_file =
+        report.per_class.download_per_file.empty()
+            ? kNaN
+            : report.per_class.download_per_file[0];
+    report.avg_online_per_user = report.avg_online_per_file;
+    return report;
+  }
+
+  report.avg_online_per_file = fluid::average_online_time_per_file(
+      report.per_class, report.class_entry_rates);
+  report.avg_download_per_file = fluid::average_download_time_per_file(
+      report.per_class, report.class_entry_rates);
+  report.avg_online_per_user = fluid::average_online_time_per_user(
+      report.per_class, report.class_entry_rates);
+  return report;
+}
+
+std::vector<SchemeReport> evaluate_all_schemes(
+    const ScenarioConfig& scenario, const EvaluateOptions& options) {
+  std::vector<SchemeReport> reports;
+  reports.reserve(4);
+  for (const fluid::SchemeKind scheme :
+       {fluid::SchemeKind::kMtcd, fluid::SchemeKind::kMtsd,
+        fluid::SchemeKind::kMfcd, fluid::SchemeKind::kCmfsd}) {
+    reports.push_back(evaluate_scheme(scenario, scheme, options));
+  }
+  return reports;
+}
+
+}  // namespace btmf::core

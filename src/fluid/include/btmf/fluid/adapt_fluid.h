@@ -1,0 +1,104 @@
+// Deterministic (fluid) model of the Adapt mechanism — the paper proposes
+// Adapt in Sec. 4.3 and leaves its evaluation to future work; here the
+// per-peer rule is lifted to a class-level ODE coupled to the CMFSD fluid
+// model, giving the mechanism's fixed points analytically.
+//
+// Population: each class i splits into an *obedient* cohort (arrival rate
+// (1 - f) lambda_i) whose bandwidth ratio rho_i(t) adapts, and a *cheater*
+// cohort (rate f lambda_i) pinned at rho = 1 (never virtual-seeds) — the
+// paper's selfish peer that "quits and rejoins with a new ID".
+//
+// Per-peer imbalance of an obedient class-i partial seed:
+//     Delta_i = (1 - rho_i) mu  -  mu (D + Y) / X
+// (uploaded through its virtual seed minus its share of the virtual-seed
+// pool; D = donated mass, Y = seeds, X = downloaders — the same pool the
+// CMFSD S^{i,j} term shares out; the received term uses the
+// virtual-seed fraction of the pool only).
+//
+// The discrete rule "rho += v1 after Delta > phi_hi for n periods" becomes
+// a rate: with T the Adapt period,
+//     d rho_i/dt = (v1 / (n T)) s((Delta_i - phi_hi)/w) (1 - rho_i)
+//                - (v2 / (n T)) s((phi_lo - Delta_i)/w) rho_i
+// where s is a piecewise-linear unit step smoothed over width w and the
+// (1 - rho_i) / rho_i factors implement the [0, 1] clamp smoothly.
+//
+// Fixed points: either Delta_i inside the dead band [phi_lo, phi_hi]
+// (interior equilibrium) or rho_i stuck at a boundary. The bench
+// `adapt_fixed_point` compares rho*(f) against the agent-level simulator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "btmf/fluid/metrics.h"
+#include "btmf/fluid/params.h"
+#include "btmf/math/equilibrium.h"
+#include "btmf/math/ode.h"
+
+namespace btmf::fluid {
+
+struct AdaptFluidParams {
+  double phi_lo = -0.005;   ///< donate more below this imbalance
+  double phi_hi = 0.005;    ///< self-protect above this imbalance
+  double rate_up = 0.005;   ///< v1 / (n T): rho units per time
+  double rate_down = 0.005; ///< v2 / (n T)
+  double smoothing = 1e-3;  ///< switch width w (imbalance units)
+  /// Newly arriving obedient peers start at this rho (the paper
+  /// recommends 0). Because rho_i is the class's *population average*,
+  /// peer turnover continuously pulls it back toward this value at rate
+  /// lambda_i / X_i — without the term the dead band would freeze rho
+  /// wherever the initial filling transient left it, which an agent-level
+  /// population does not do (departing peers take their adapted rho away).
+  double initial_rho = 0.0;
+
+  void validate() const;
+};
+
+struct AdaptFluidEquilibrium {
+  std::vector<double> state;        ///< packed model state
+  std::vector<double> rho;          ///< equilibrium rho_i (index 0 = class 1)
+  PerClassMetrics obedient;         ///< obedient-cohort per-class metrics
+  PerClassMetrics cheater;          ///< cheater-cohort per-class metrics
+  double avg_online_per_file = 0.0; ///< across both cohorts
+  double obedient_avg_online_per_file = 0.0;
+  double residual_inf = 0.0;
+};
+
+class AdaptFluidModel {
+ public:
+  /// `class_entry_rates` are the total (obedient + cheater) system rates
+  /// L_i; `cheater_fraction` in [0, 1) is applied to classes >= 2
+  /// (single-file users have nothing to cheat with).
+  AdaptFluidModel(const FluidParams& params,
+                  std::vector<double> class_entry_rates,
+                  double cheater_fraction,
+                  const AdaptFluidParams& adapt = {});
+
+  [[nodiscard]] unsigned num_classes() const { return num_classes_; }
+  [[nodiscard]] std::size_t state_size() const;
+
+  // Packed layout: obedient x^{i,j}, cheater x^{i,j}, obedient y^i,
+  // cheater y^i, rho_i.
+  [[nodiscard]] std::size_t x_index(bool cheater, unsigned i,
+                                    unsigned j) const;
+  [[nodiscard]] std::size_t y_index(bool cheater, unsigned i) const;
+  [[nodiscard]] std::size_t rho_index(unsigned i) const;
+
+  [[nodiscard]] math::OdeRhs rhs() const;
+
+  /// Integrates to the coupled (populations, rho) equilibrium starting
+  /// from an empty torrent with rho_i = adapt.initial_rho.
+  [[nodiscard]] AdaptFluidEquilibrium solve() const;
+
+ private:
+  FluidParams params_;
+  std::vector<double> rates_;
+  double cheater_fraction_;
+  AdaptFluidParams adapt_;
+  unsigned num_classes_ = 0;
+
+  [[nodiscard]] double obedient_rate(unsigned i) const;
+  [[nodiscard]] double cheater_rate(unsigned i) const;
+};
+
+}  // namespace btmf::fluid

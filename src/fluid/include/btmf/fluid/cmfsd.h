@@ -1,0 +1,116 @@
+// Collaborative Multi-File torrent Sequential Downloading — the paper's
+// proposed scheme (Sec. 3.5, fluid model (5)).
+//
+// K interest-correlated files live in one torrent with K subtorrents. A
+// class-i peer downloads its i files *sequentially* (full download
+// bandwidth in the current subtorrent). Once it has finished at least one
+// file it becomes a *partial seed*: a fraction (1 - P(i,j)) of its upload
+// bandwidth serves a completed file as a "virtual seed", while the
+// remaining P(i,j) mu plays tit-for-tat in the subtorrent it is currently
+// downloading from, with
+//     P(i,j) = 1    if i == 1 or j == 1 (nothing finished yet)
+//     P(i,j) = rho  otherwise, rho in [0, 1].
+//
+// State: x^{i,j} = class-i peers downloading their j-th file (j <= i),
+// y^i = class-i (real) seeds. With
+//     S^{i,j} = mu x^{i,j} (sum_{l,m} (1 - P(l,m)) x^{l,m} + sum_l y^l)
+//               / sum_{l,m} x^{l,m}
+// (the virtual-seed + real-seed service pool shared in proportion to
+// download capability, all downloaders having full bandwidth here), the
+// fluid model is
+//     dx^{i,1}/dt = lambda_i            - out(i,1)
+//     dx^{i,j}/dt = out(i,j-1)          - out(i,j)         (1 < j <= i)
+//     dy^{i}/dt   = out(i,i)            - gamma y^i
+// where out(i,j) = mu eta P(i,j) x^{i,j} + S^{i,j}.
+//
+// There is no closed form; the steady state is found numerically
+// (transient RK45 integration + Newton polish). Two analytic anchors are
+// still available and used as test oracles:
+//  * y^i = lambda_i / gamma and per-stage throughput = lambda_i at any
+//    steady state (flow conservation);
+//  * at rho = 1 the steady state download time per file equals the MFCD
+//    factor A exactly: with Lambda_tot = sum_i i lambda_i and
+//    Lambda_1 = sum_i lambda_i, every stage population is
+//    x* = lambda_i / (mu eta + mu Y / X), giving
+//    d = (gamma Lambda_tot - mu Lambda_1) / (gamma mu eta Lambda_tot),
+//    which under the binomial rates reduces to the same expression as
+//    mfcd_download_time_per_file (Lambda_tot = lambda0 K p,
+//    Lambda_1 = lambda0 (1 - (1-p)^K)).
+//
+// The per-class-rho constructor generalises P(i,j) = rho_i, which is what
+// the Adapt analysis (Sec. 4.3) needs: obedient classes run their own rho
+// while cheater classes pin rho = 1.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "btmf/fluid/metrics.h"
+#include "btmf/fluid/params.h"
+#include "btmf/math/equilibrium.h"
+#include "btmf/math/ode.h"
+
+namespace btmf::fluid {
+
+struct CmfsdEquilibrium {
+  std::vector<double> state;        ///< packed {x^{i,j}}, then {y^i}
+  PerClassMetrics metrics;          ///< per-class T_i, D_i
+  double residual_inf = 0.0;        ///< steady-state residual achieved
+  double total_downloaders = 0.0;   ///< sum x^{i,j}
+  double total_seeds = 0.0;         ///< sum y^i
+  double virtual_seed_bandwidth = 0.0;  ///< sum (1-P) mu x^{i,j}
+};
+
+class CmfsdModel {
+ public:
+  /// Uniform bandwidth-allocation ratio rho for every class.
+  CmfsdModel(const FluidParams& params,
+             std::vector<double> class_entry_rates, double rho);
+
+  /// Per-class rho (rho_per_class[k] applies to class k+1). Class-1 peers
+  /// never have a finished file, so their entry is ignored by P(1, j).
+  CmfsdModel(const FluidParams& params,
+             std::vector<double> class_entry_rates,
+             std::vector<double> rho_per_class);
+
+  [[nodiscard]] unsigned num_classes() const { return num_classes_; }
+  [[nodiscard]] std::size_t state_size() const;
+
+  /// Index of x^{i,j} in the packed state (1-based i in [1,K], j in [1,i]).
+  [[nodiscard]] std::size_t x_index(unsigned i, unsigned j) const;
+  /// Index of y^i in the packed state.
+  [[nodiscard]] std::size_t y_index(unsigned i) const;
+
+  /// P(i,j): the TFT share of upload bandwidth for an (i,j) downloader.
+  [[nodiscard]] double bandwidth_split(unsigned i, unsigned j) const;
+
+  /// The autonomous ODE right-hand side over the packed state.
+  [[nodiscard]] math::OdeRhs rhs() const;
+
+  /// Solves for the steady state from an empty torrent. Throws
+  /// btmf::SolverError if no equilibrium is reached (infeasible rates).
+  [[nodiscard]] CmfsdEquilibrium solve(
+      const math::EquilibriumOptions& options = default_solve_options())
+      const;
+
+  /// Per-class metrics evaluated at an arbitrary state (used both by
+  /// solve() and by tests that integrate the transient by hand).
+  [[nodiscard]] PerClassMetrics metrics_from_state(
+      std::span<const double> state) const;
+
+  [[nodiscard]] const std::vector<double>& class_entry_rates() const {
+    return rates_;
+  }
+
+  [[nodiscard]] const FluidParams& params() const { return params_; }
+
+  [[nodiscard]] static math::EquilibriumOptions default_solve_options();
+
+ private:
+  FluidParams params_;
+  std::vector<double> rates_;   ///< lambda_i, index 0 = class 1
+  std::vector<double> rho_;     ///< per-class rho, index 0 = class 1
+  unsigned num_classes_ = 0;
+};
+
+}  // namespace btmf::fluid

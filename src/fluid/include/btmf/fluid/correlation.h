@@ -1,0 +1,62 @@
+// The paper's binomial file-correlation model (Sec. 4.1).
+//
+// A visitor to the indexing web server (rate lambda0) requests each of the
+// K published files independently with probability p. Users requesting
+// exactly i files therefore enter the *system* at rate
+//     L_i = lambda0 * C(K, i) * p^i * (1-p)^(K-i),
+// and, by symmetry, class-i peers enter a *particular* torrent j at rate
+//     lambda_j^i = lambda0 * C(K-1, i-1) * p^i * (1-p)^(K-i)
+// (each class-i user joins torrent j with probability i/K, and
+// C(K,i) * i / K = C(K-1, i-1)).
+//
+// Two closed-form identities drive the MTCD/MFCD formulas and are verified
+// by tests:
+//     sum_l lambda_j^l        = lambda0 * p
+//     sum_l lambda_j^l / l    = (lambda0 / K) * (1 - (1-p)^K)
+#pragma once
+
+#include <vector>
+
+namespace btmf::fluid {
+
+class CorrelationModel {
+ public:
+  /// K >= 1 files, correlation p in [0, 1], server visit rate lambda0 > 0.
+  CorrelationModel(unsigned num_files, double correlation, double visit_rate);
+
+  [[nodiscard]] unsigned num_files() const { return num_files_; }
+  [[nodiscard]] double correlation() const { return p_; }
+  [[nodiscard]] double visit_rate() const { return lambda0_; }
+
+  /// L_i — system-wide entry rate of users requesting exactly i files
+  /// (i in [1, K]; i = 0 visitors never enter any torrent).
+  [[nodiscard]] double system_entry_rate(unsigned i) const;
+
+  /// lambda_j^i — entry rate of class-i peers into one given torrent.
+  [[nodiscard]] double per_torrent_entry_rate(unsigned i) const;
+
+  /// {L_1, ..., L_K} as a vector (index 0 holds class 1).
+  [[nodiscard]] std::vector<double> system_entry_rates() const;
+
+  /// {lambda_j^1, ..., lambda_j^K} as a vector (index 0 holds class 1).
+  [[nodiscard]] std::vector<double> per_torrent_entry_rates() const;
+
+  /// sum_l lambda_j^l = lambda0 * p (total peer arrival rate per torrent).
+  [[nodiscard]] double per_torrent_total_rate() const;
+
+  /// sum_l lambda_j^l / l = (lambda0/K) (1 - (1-p)^K).
+  [[nodiscard]] double per_torrent_weighted_rate() const;
+
+  /// sum_i L_i = lambda0 (1 - (1-p)^K) — rate of users entering anything.
+  [[nodiscard]] double system_user_rate() const;
+
+  /// sum_i i L_i = lambda0 * K * p — total file-request rate.
+  [[nodiscard]] double system_file_request_rate() const;
+
+ private:
+  unsigned num_files_;
+  double p_;
+  double lambda0_;
+};
+
+}  // namespace btmf::fluid

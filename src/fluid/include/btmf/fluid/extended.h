@@ -1,0 +1,81 @@
+// The general Qiu–Srikant single-torrent model, with the two features the
+// paper's Sec. 2 simplifies away: a finite download bandwidth c and a
+// downloader abort rate theta.
+//
+//     dx/dt = lambda - theta x - min{ c x, mu (eta x + y) }
+//     dy/dt =                    min{ c x, mu (eta x + y) } - gamma y
+//
+// Steady state has two regimes:
+//  * upload-constrained (the paper's case): per-peer completion rate
+//    mu (eta x + y)/x = gamma mu eta/(gamma - mu), so T = (gamma - mu)/
+//    (gamma mu eta); holds when gamma > mu and c >= c* where
+//        c* = gamma mu eta / (gamma - mu)
+//    (with the paper's constants c* ~ 0.0167 = 0.83 mu — the "download
+//    bandwidth much larger than upload" assumption is in fact mild);
+//  * download-constrained (c < c*, or gamma <= mu where seeds pile up):
+//    every peer downloads at c, so T = 1/c, x = lambda/(theta + c),
+//    y = c x / gamma.
+//
+// The abort rate theta drains downloaders without producing seeds; it
+// never changes T (rates are per peer) but reduces the completing
+// fraction to  completion_throughput / lambda.
+#pragma once
+
+#include <limits>
+
+#include "btmf/fluid/params.h"
+#include "btmf/math/ode.h"
+
+namespace btmf::fluid {
+
+struct ExtendedParams {
+  FluidParams base{};
+  /// Per-peer download bandwidth c; infinity = the paper's assumption.
+  double download_bw = std::numeric_limits<double>::infinity();
+  /// Abort rate theta >= 0: downloaders leaving before completion.
+  double abort_rate = 0.0;
+
+  void validate() const;
+};
+
+struct ExtendedEquilibrium {
+  double downloaders = 0.0;       ///< x*
+  double seeds = 0.0;             ///< y*
+  double download_time = 0.0;     ///< per completing peer
+  double online_time = 0.0;       ///< download + 1/gamma
+  bool download_constrained = false;
+  /// Fraction of arrivals that finish (the rest abort): 1 - theta x / l.
+  double completion_fraction = 1.0;
+};
+
+/// The bandwidth c* below which the swarm is download-constrained
+/// (gamma mu eta / (gamma - mu)); throws btmf::ConfigError if gamma <= mu
+/// (then every finite c is download-constrained and no threshold exists).
+double critical_download_bandwidth(const FluidParams& params);
+
+/// Closed-form steady state of the extended model.
+ExtendedEquilibrium extended_single_torrent_equilibrium(
+    const ExtendedParams& params, double entry_rate);
+
+/// The 2-state ODE, state = {x, y}; used to cross-check the closed form.
+math::OdeRhs extended_single_torrent_rhs(const ExtendedParams& params,
+                                         double entry_rate);
+
+/// The *abort-aware* steady state (not in the paper or in Qiu–Srikant).
+///
+/// The theta-extension above inherits the fluid idealisation that all
+/// delivered service becomes completions — the partial progress of peers
+/// who later abort is silently transferred to others. An agent-level
+/// swarm wastes that work, and settles at a different fixed point: with
+/// every downloader receiving the same rate r, a download is a race
+/// between the deterministic service time 1/r and an Exp(theta) abort
+/// clock, so the completing fraction is q = exp(-theta / r) and
+///     r = mu eta + (mu theta / gamma) q / (1 - q)      (upload regime)
+/// (for theta -> 0 this recovers r = gamma mu eta/(gamma - mu)). The
+/// discrete-event simulator matches THIS equilibrium to three digits and
+/// sits strictly below the transferable-progress one — see
+/// tests/sim/abort_bandwidth_test.cpp and bench/constrained_ablation.
+ExtendedEquilibrium abort_aware_single_torrent_equilibrium(
+    const ExtendedParams& params, double entry_rate);
+
+}  // namespace btmf::fluid

@@ -1,0 +1,71 @@
+// Heterogeneous file popularity (extension).
+//
+// The paper's correlation model gives every file the same request
+// probability p; real catalogues are skewed (a pilot episode is hotter
+// than a finale, one movie in a franchise dominates). The paper lists
+// "measure in what scale the files are correlated" as future work; this
+// module supplies the analysis side: each file f has its own request
+// probability p_f, a visitor requests file f independently with p_f, and
+// the class populations follow the Poisson-binomial law.
+//
+// Rates:
+//   L_i        = lambda0 * PB(p_1..p_K)[i]                 (system class i)
+//   lambda_j^i = lambda0 * p_j * PB(p without j)[i-1]      (torrent j)
+//
+// Under MTCD/MFCD the per-torrent factor A_j of eq. (2) now differs per
+// torrent; the system download time per file is the popularity-weighted
+// mean of A_j, and the average online time per file keeps the paper's
+// structure D + (1/gamma) * (sum L_i / sum i L_i). Under CMFSD (global
+// pool) only the class rates matter, so CmfsdModel works unchanged with
+// the Poisson-binomial rates.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "btmf/fluid/params.h"
+
+namespace btmf::fluid {
+
+class HeterogeneousCatalog {
+ public:
+  /// `request_probs[f]` is file f's request probability; visit_rate is
+  /// the indexing-server arrival rate lambda0.
+  HeterogeneousCatalog(std::vector<double> request_probs, double visit_rate);
+
+  [[nodiscard]] unsigned num_files() const {
+    return static_cast<unsigned>(probs_.size());
+  }
+  [[nodiscard]] const std::vector<double>& request_probs() const {
+    return probs_;
+  }
+  [[nodiscard]] double visit_rate() const { return lambda0_; }
+
+  /// {L_1, ..., L_K} (index 0 = class 1).
+  [[nodiscard]] std::vector<double> system_class_rates() const;
+
+  /// {lambda_j^1, ..., lambda_j^K} for torrent j (0-based file index).
+  [[nodiscard]] std::vector<double> torrent_class_rates(unsigned file) const;
+
+  /// A Zipf(s) popularity profile scaled to the given mean request
+  /// probability (so different skews carry the same total demand
+  /// lambda0 * K * mean_p); probabilities are clamped to <= 1.
+  static std::vector<double> zipf_profile(unsigned num_files, double skew,
+                                          double mean_p);
+
+ private:
+  std::vector<double> probs_;
+  double lambda0_;
+};
+
+/// Per-torrent MTCD/MFCD equilibrium factors under a skewed catalogue.
+struct HeteroMtcdReport {
+  std::vector<double> per_torrent_factor;  ///< A_j for each torrent
+  double avg_download_per_file = 0.0;  ///< popularity-weighted mean A_j
+  double avg_online_per_file = 0.0;    ///< + (1/gamma) sum L_i / sum i L_i
+};
+
+HeteroMtcdReport hetero_mtcd_report(const FluidParams& params,
+                                    const HeterogeneousCatalog& catalog);
+
+}  // namespace btmf::fluid

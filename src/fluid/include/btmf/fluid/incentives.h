@@ -1,0 +1,56 @@
+// Incentive analysis of CMFSD (extension).
+//
+// Sec. 4.3 of the paper observes that a peer can gain by pretending to be
+// a single-file peer (equivalently pinning rho = 1) and that this
+// "recursively aggravates" once others notice. This module makes the
+// incentive quantitative with a tagged-peer (measure-zero deviator)
+// calculation:
+//
+// Fix the population at a common bandwidth ratio rho_bar and solve the
+// CMFSD steady state, which determines the pool rate
+//     PR = mu (D + Y) / X
+// every downloader receives. A single deviating class-i peer with its
+// own ratio rho_d does not perturb the pool, so its expected download
+// time is the sum of its stage times:
+//     D_dev(i; rho_d) = 1/(eta mu + PR) + (i - 1)/(eta mu rho_d + PR)
+// (stage 1 always plays full TFT; later stages trade TFT for donation).
+// dD_dev/d rho_d < 0, so rho_d = 1 is a *dominant strategy* — CMFSD is a
+// social dilemma: the social optimum rho_bar = 0 maximises everyone's
+// welfare, but each peer privately gains by defecting. The functions
+// below expose the temptation (obedient vs defector download time), the
+// social cost of universal defection, and the per-class gap table the
+// incentive bench prints; the Adapt mechanism is the paper's proposed
+// mitigation, evaluated in adapt_ablation / adapt_fixed_point.
+#pragma once
+
+#include <vector>
+
+#include "btmf/fluid/cmfsd.h"
+#include "btmf/fluid/params.h"
+
+namespace btmf::fluid {
+
+struct IncentiveReport {
+  double population_rho = 0.0;   ///< rho_bar everyone else plays
+  double pool_rate = 0.0;        ///< PR at the population equilibrium
+
+  /// Download time of a class-(index+1) peer that *conforms* (rho_bar).
+  std::vector<double> conforming_download;
+  /// Download time of a class-(index+1) deviator playing rho_d = 1.
+  std::vector<double> defecting_download;
+  /// Relative gain from defection, (conforming - defecting)/conforming.
+  std::vector<double> temptation;
+};
+
+/// Tagged-peer download time for an arbitrary own rho against a
+/// population equilibrium `eq` of `model`. `peer_class` is 1-based.
+double tagged_peer_download_time(const CmfsdModel& model,
+                                 const CmfsdEquilibrium& eq,
+                                 unsigned peer_class, double own_rho);
+
+/// Full conform-vs-defect table at population ratio rho_bar.
+IncentiveReport cmfsd_incentives(const FluidParams& params,
+                                 const std::vector<double>& class_rates,
+                                 double population_rho);
+
+}  // namespace btmf::fluid

@@ -1,0 +1,43 @@
+// Per-class performance metrics shared by all scheme models.
+//
+// The paper's headline metric is the *average online time per file*
+// (Sec. 4.2.1): total online time accumulated by all peers per unit time,
+// divided by the total number of files requested per unit time. With
+// class-i users arriving at rate L_i and spending T_i online, that is
+//     sum_i L_i T_i / sum_i i L_i.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace btmf::fluid {
+
+/// Index convention: element k describes class k+1 (users requesting k+1
+/// files). A class with zero entry rate carries quiet-NaN metrics and is
+/// excluded from the weighted averages.
+struct PerClassMetrics {
+  std::vector<double> online_time;        ///< T_i
+  std::vector<double> download_time;      ///< D_i = T_i - seeding time
+  std::vector<double> online_per_file;    ///< T_i / i
+  std::vector<double> download_per_file;  ///< D_i / i
+
+  [[nodiscard]] std::size_t num_classes() const { return online_time.size(); }
+};
+
+/// Builds the per-file columns from T_i and D_i.
+PerClassMetrics make_per_class_metrics(std::vector<double> online_time,
+                                       std::vector<double> download_time);
+
+/// sum_i L_i T_i / sum_i i L_i; NaN entries (zero-rate classes) skipped.
+double average_online_time_per_file(const PerClassMetrics& metrics,
+                                    std::span<const double> class_rates);
+
+/// sum_i L_i D_i / sum_i i L_i.
+double average_download_time_per_file(const PerClassMetrics& metrics,
+                                      std::span<const double> class_rates);
+
+/// sum_i L_i T_i / sum_i L_i — mean online time per *user*.
+double average_online_time_per_user(const PerClassMetrics& metrics,
+                                    std::span<const double> class_rates);
+
+}  // namespace btmf::fluid

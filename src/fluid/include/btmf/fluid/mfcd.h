@@ -1,0 +1,26 @@
+// Multi-File torrent Concurrent Downloading — paper Sec. 3.4.
+//
+// A peer that selected i of the K files inside one torrent behaves as i
+// virtual peers, each with bandwidth mu/i, one per subtorrent. The paper
+// shows this is equivalent to MTCD in the fluid model (the only behavioural
+// difference — virtual peers departing together — does not change the mean
+// seed residence 1/gamma), so MFCD reuses the MTCD closed form with the
+// per-subtorrent entry rates of the correlation model.
+#pragma once
+
+#include "btmf/fluid/correlation.h"
+#include "btmf/fluid/mtcd.h"
+
+namespace btmf::fluid {
+
+/// Steady state of one subtorrent under MFCD; metrics are per class.
+MtcdEquilibrium mfcd_equilibrium(const FluidParams& params,
+                                 const CorrelationModel& correlation);
+
+/// The MFCD download time per file (the factor A of eq. (2) with
+/// binomial per-subtorrent rates), in closed form:
+///   A = (gamma - (mu / (K p)) (1 - (1-p)^K)) / (gamma mu eta).
+double mfcd_download_time_per_file(const FluidParams& params,
+                                   const CorrelationModel& correlation);
+
+}  // namespace btmf::fluid

@@ -1,0 +1,29 @@
+// Multi-Torrent Sequential Downloading — paper Sec. 3.3, eqs. (3)/(4).
+//
+// A user requesting i files enters one torrent at a time with its full
+// bandwidth, so every torrent behaves as an independent Qiu–Srikant system
+// and the per-torrent download time T = (gamma - mu)/(gamma mu eta) does
+// not depend on the arrival rate at all. A class-i user pays i complete
+// download-and-seed cycles:  T_i = i (T + 1/gamma).
+//
+// (The paper has each sequential download followed by a seeding residence
+// of mean 1/gamma before the next file starts — eq. (4) multiplies the
+// whole cycle by i.)
+#pragma once
+
+#include "btmf/fluid/metrics.h"
+#include "btmf/fluid/params.h"
+
+namespace btmf::fluid {
+
+struct MtsdResult {
+  double download_time_per_file = 0.0;  ///< T, identical for every class
+  double online_time_per_file = 0.0;    ///< T + 1/gamma, identical too
+  PerClassMetrics metrics;              ///< T_i = i (T + 1/gamma)
+};
+
+/// Closed-form MTSD metrics for classes 1..K. Throws btmf::ConfigError
+/// when gamma <= mu (no stable upload-constrained equilibrium).
+MtsdResult mtsd_metrics(const FluidParams& params, unsigned num_classes);
+
+}  // namespace btmf::fluid

@@ -1,0 +1,29 @@
+// Taxonomy of the paper's four downloading schemes.
+#pragma once
+
+#include <string_view>
+
+namespace btmf::fluid {
+
+enum class SchemeKind {
+  kMtcd,   ///< multi-torrent concurrent downloading (Sec. 3.2)
+  kMtsd,   ///< multi-torrent sequential downloading (Sec. 3.3)
+  kMfcd,   ///< multi-file torrent concurrent downloading (Sec. 3.4)
+  kCmfsd,  ///< collaborative multi-file torrent sequential dl. (Sec. 3.5)
+};
+
+constexpr std::string_view to_string(SchemeKind scheme) {
+  switch (scheme) {
+    case SchemeKind::kMtcd:
+      return "MTCD";
+    case SchemeKind::kMtsd:
+      return "MTSD";
+    case SchemeKind::kMfcd:
+      return "MFCD";
+    case SchemeKind::kCmfsd:
+      return "CMFSD";
+  }
+  return "?";
+}
+
+}  // namespace btmf::fluid

@@ -1,0 +1,179 @@
+#include "btmf/fluid/cmfsd.h"
+
+#include <cmath>
+#include <limits>
+
+#include "btmf/util/check.h"
+
+namespace btmf::fluid {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+void validate_rho(double rho) {
+  BTMF_CHECK_MSG(rho >= 0.0 && rho <= 1.0,
+                 "bandwidth allocation ratio rho must lie in [0, 1]");
+}
+
+}  // namespace
+
+CmfsdModel::CmfsdModel(const FluidParams& params,
+                       std::vector<double> class_entry_rates, double rho)
+    : CmfsdModel(params, std::move(class_entry_rates),
+                 std::vector<double>{}) {
+  validate_rho(rho);
+  rho_.assign(num_classes_, rho);
+}
+
+CmfsdModel::CmfsdModel(const FluidParams& params,
+                       std::vector<double> class_entry_rates,
+                       std::vector<double> rho_per_class)
+    : params_(params), rates_(std::move(class_entry_rates)),
+      rho_(std::move(rho_per_class)) {
+  params_.validate();
+  BTMF_CHECK_MSG(!rates_.empty(), "need at least one peer class");
+  num_classes_ = static_cast<unsigned>(rates_.size());
+  double total = 0.0;
+  for (const double r : rates_) {
+    BTMF_CHECK_MSG(r >= 0.0, "class entry rates must be non-negative");
+    total += r;
+  }
+  BTMF_CHECK_MSG(total > 0.0, "at least one class entry rate must be positive");
+  if (rho_.empty()) {
+    // An empty vector means "no virtual seeding anywhere" (rho = 1), the
+    // MFCD-like default; the uniform-rho constructor overwrites this.
+    rho_.assign(rates_.size(), 1.0);
+  } else {
+    BTMF_CHECK_MSG(rho_.size() == rates_.size(),
+                   "per-class rho size must match the number of classes");
+    for (const double r : rho_) validate_rho(r);
+  }
+}
+
+std::size_t CmfsdModel::state_size() const {
+  const std::size_t k = num_classes_;
+  return k * (k + 1) / 2 + k;
+}
+
+std::size_t CmfsdModel::x_index(unsigned i, unsigned j) const {
+  BTMF_ASSERT(i >= 1 && i <= num_classes_);
+  BTMF_ASSERT(j >= 1 && j <= i);
+  // Stages of class i start after the 1 + 2 + ... + (i-1) stages of the
+  // lower classes.
+  return static_cast<std::size_t>(i - 1) * i / 2 + (j - 1);
+}
+
+std::size_t CmfsdModel::y_index(unsigned i) const {
+  BTMF_ASSERT(i >= 1 && i <= num_classes_);
+  const std::size_t k = num_classes_;
+  return k * (k + 1) / 2 + (i - 1);
+}
+
+double CmfsdModel::bandwidth_split(unsigned i, unsigned j) const {
+  BTMF_CHECK_MSG(i >= 1 && i <= num_classes_ && j >= 1 && j <= i,
+                 "bandwidth_split: class/stage out of range");
+  if (i == 1 || j == 1) return 1.0;  // nothing finished yet
+  return rho_[i - 1];
+}
+
+math::OdeRhs CmfsdModel::rhs() const {
+  // Copy model data into the closure so it is self-contained.
+  return [model = *this](double /*t*/, std::span<const double> state,
+                         std::span<double> dstate) {
+    const unsigned k = model.num_classes_;
+    BTMF_ASSERT(state.size() == model.state_size());
+    BTMF_ASSERT(dstate.size() == model.state_size());
+    const double mu = model.params_.mu;
+    const double eta = model.params_.eta;
+    const double gamma = model.params_.gamma;
+
+    // Pool totals: all downloaders, virtual-seed bandwidth donors, seeds.
+    double x_total = 0.0;
+    double donated = 0.0;  // sum (1 - P(l,m)) x^{l,m}
+    for (unsigned i = 1; i <= k; ++i) {
+      for (unsigned j = 1; j <= i; ++j) {
+        const double x = state[model.x_index(i, j)];
+        x_total += x;
+        donated += (1.0 - model.bandwidth_split(i, j)) * x;
+      }
+    }
+    double y_total = 0.0;
+    for (unsigned i = 1; i <= k; ++i) y_total += state[model.y_index(i)];
+
+    // Seed-pool service rate per unit of downloader mass:
+    // S^{i,j} = x^{i,j} * mu (donated + y_total) / x_total, defined as 0
+    // in the empty-torrent limit.
+    const double pool_rate =
+        x_total > 0.0 ? mu * (donated + y_total) / x_total : 0.0;
+
+    for (unsigned i = 1; i <= k; ++i) {
+      double inflow = model.rates_[i - 1];
+      for (unsigned j = 1; j <= i; ++j) {
+        const std::size_t idx = model.x_index(i, j);
+        const double x = state[idx];
+        const double outflow =
+            mu * eta * model.bandwidth_split(i, j) * x + pool_rate * x;
+        dstate[idx] = inflow - outflow;
+        inflow = outflow;  // completion of file j feeds stage j + 1
+      }
+      const std::size_t yi = model.y_index(i);
+      dstate[yi] = inflow - gamma * state[yi];
+    }
+  };
+}
+
+math::EquilibriumOptions CmfsdModel::default_solve_options() {
+  math::EquilibriumOptions options;
+  options.residual_tol = 1e-9;
+  options.chunk_time = 2000.0;  // several seeding residences (1/gamma = 20)
+  options.chunk_growth = 1.5;
+  options.max_chunks = 40;
+  options.ode.rtol = 1e-9;
+  options.ode.atol = 1e-12;
+  return options;
+}
+
+CmfsdEquilibrium CmfsdModel::solve(
+    const math::EquilibriumOptions& options) const {
+  const math::EquilibriumResult eq = math::find_equilibrium(
+      rhs(), std::vector<double>(state_size(), 0.0), options);
+
+  CmfsdEquilibrium result;
+  result.state = eq.y;
+  result.residual_inf = eq.residual_inf;
+  result.metrics = metrics_from_state(result.state);
+  for (unsigned i = 1; i <= num_classes_; ++i) {
+    for (unsigned j = 1; j <= i; ++j) {
+      const double x = result.state[x_index(i, j)];
+      result.total_downloaders += x;
+      result.virtual_seed_bandwidth +=
+          (1.0 - bandwidth_split(i, j)) * params_.mu * x;
+    }
+    result.total_seeds += result.state[y_index(i)];
+  }
+  return result;
+}
+
+PerClassMetrics CmfsdModel::metrics_from_state(
+    std::span<const double> state) const {
+  BTMF_CHECK_MSG(state.size() == state_size(),
+                 "metrics_from_state: state size mismatch");
+  std::vector<double> online(num_classes_), download(num_classes_);
+  for (unsigned i = 1; i <= num_classes_; ++i) {
+    const double rate = rates_[i - 1];
+    if (rate <= 0.0) {
+      online[i - 1] = kNaN;
+      download[i - 1] = kNaN;
+      continue;
+    }
+    double downloaders = 0.0;
+    for (unsigned j = 1; j <= i; ++j) downloaders += state[x_index(i, j)];
+    // Little's law through the download stages, then one seeding residence.
+    download[i - 1] = downloaders / rate;
+    online[i - 1] = download[i - 1] + 1.0 / params_.gamma;
+  }
+  return make_per_class_metrics(std::move(online), std::move(download));
+}
+
+}  // namespace btmf::fluid

@@ -1,0 +1,66 @@
+#include "btmf/fluid/correlation.h"
+
+#include <cmath>
+
+#include "btmf/math/special.h"
+#include "btmf/util/check.h"
+
+namespace btmf::fluid {
+
+CorrelationModel::CorrelationModel(unsigned num_files, double correlation,
+                                   double visit_rate)
+    : num_files_(num_files), p_(correlation), lambda0_(visit_rate) {
+  BTMF_CHECK_MSG(num_files >= 1, "correlation model needs at least one file");
+  BTMF_CHECK_MSG(correlation >= 0.0 && correlation <= 1.0,
+                 "file correlation p must lie in [0, 1]");
+  BTMF_CHECK_MSG(visit_rate > 0.0, "visit rate lambda0 must be positive");
+}
+
+double CorrelationModel::system_entry_rate(unsigned i) const {
+  BTMF_CHECK_MSG(i >= 1 && i <= num_files_,
+                 "class index must lie in [1, K]");
+  return lambda0_ * math::binomial_pmf(num_files_, i, p_);
+}
+
+double CorrelationModel::per_torrent_entry_rate(unsigned i) const {
+  BTMF_CHECK_MSG(i >= 1 && i <= num_files_,
+                 "class index must lie in [1, K]");
+  // lambda_j^i = L_i * i / K; computed through the Bin(K-1) pmf for
+  // numerical robustness at extreme p.
+  if (p_ == 0.0) return 0.0;
+  return lambda0_ * p_ * math::binomial_pmf(num_files_ - 1, i - 1, p_);
+}
+
+std::vector<double> CorrelationModel::system_entry_rates() const {
+  std::vector<double> rates(num_files_);
+  for (unsigned i = 1; i <= num_files_; ++i)
+    rates[i - 1] = system_entry_rate(i);
+  return rates;
+}
+
+std::vector<double> CorrelationModel::per_torrent_entry_rates() const {
+  std::vector<double> rates(num_files_);
+  for (unsigned i = 1; i <= num_files_; ++i)
+    rates[i - 1] = per_torrent_entry_rate(i);
+  return rates;
+}
+
+double CorrelationModel::per_torrent_total_rate() const {
+  return lambda0_ * p_;
+}
+
+double CorrelationModel::per_torrent_weighted_rate() const {
+  const double miss_all = std::pow(1.0 - p_, static_cast<double>(num_files_));
+  return lambda0_ / static_cast<double>(num_files_) * (1.0 - miss_all);
+}
+
+double CorrelationModel::system_user_rate() const {
+  const double miss_all = std::pow(1.0 - p_, static_cast<double>(num_files_));
+  return lambda0_ * (1.0 - miss_all);
+}
+
+double CorrelationModel::system_file_request_rate() const {
+  return lambda0_ * static_cast<double>(num_files_) * p_;
+}
+
+}  // namespace btmf::fluid

@@ -1,0 +1,136 @@
+#include "btmf/fluid/extended.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "btmf/math/roots.h"
+#include "btmf/util/check.h"
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+
+void ExtendedParams::validate() const {
+  base.validate();
+  BTMF_CHECK_MSG(download_bw > 0.0, "download bandwidth must be positive");
+  BTMF_CHECK_MSG(abort_rate >= 0.0, "abort rate must be non-negative");
+}
+
+double critical_download_bandwidth(const FluidParams& params) {
+  params.validate();
+  BTMF_CHECK_MSG(params.single_torrent_stable(),
+                 "c* exists only for gamma > mu; for gamma <= mu the swarm "
+                 "is download-constrained at every finite c");
+  return params.gamma * params.mu * params.eta / (params.gamma - params.mu);
+}
+
+ExtendedEquilibrium extended_single_torrent_equilibrium(
+    const ExtendedParams& params, double entry_rate) {
+  params.validate();
+  BTMF_CHECK_MSG(entry_rate > 0.0, "entry rate must be positive");
+  const FluidParams& fp = params.base;
+  const double theta = params.abort_rate;
+  const double c = params.download_bw;
+
+  const bool gamma_stable = fp.single_torrent_stable();
+  const bool upload_constrained =
+      gamma_stable && (std::isinf(c) || c >= critical_download_bandwidth(fp));
+
+  ExtendedEquilibrium eq;
+  if (upload_constrained) {
+    // Per-peer completion rate r = gamma mu eta / (gamma - mu).
+    const double r = fp.gamma * fp.mu * fp.eta / (fp.gamma - fp.mu);
+    eq.download_time = 1.0 / r;
+    // Balance: lambda = theta x + r x  (completion throughput r x), and
+    // y = (mu eta / (gamma - mu)) x.
+    eq.downloaders = entry_rate / (theta + r);
+    eq.seeds = fp.mu * fp.eta / (fp.gamma - fp.mu) * eq.downloaders;
+    eq.download_constrained = false;
+  } else {
+    BTMF_CHECK_MSG(std::isfinite(c),
+                   "gamma <= mu with unbounded download bandwidth has no "
+                   "meaningful upload-constrained equilibrium");
+    eq.download_time = 1.0 / c;
+    eq.downloaders = entry_rate / (theta + c);
+    eq.seeds = c * eq.downloaders / fp.gamma;
+    eq.download_constrained = true;
+  }
+  eq.online_time = eq.download_time + 1.0 / fp.gamma;
+  eq.completion_fraction =
+      1.0 - theta * eq.downloaders / entry_rate;
+  return eq;
+}
+
+ExtendedEquilibrium abort_aware_single_torrent_equilibrium(
+    const ExtendedParams& params, double entry_rate) {
+  params.validate();
+  BTMF_CHECK_MSG(entry_rate > 0.0, "entry rate must be positive");
+  const FluidParams& fp = params.base;
+  const double theta = params.abort_rate;
+  if (theta == 0.0) {
+    // No wasted work without aborts; the regimes coincide.
+    return extended_single_torrent_equilibrium(params, entry_rate);
+  }
+
+  // Self-consistent per-peer rate in the upload-constrained regime:
+  //   r = mu eta + (mu theta / gamma) q / (1 - q),  q = exp(-theta / r).
+  const auto residual = [&](double r) {
+    const double q = std::exp(-theta / r);
+    return fp.mu * fp.eta + fp.mu * theta / fp.gamma * q / (1.0 - q) - r;
+  };
+
+  double r = 0.0;
+  bool download_constrained = false;
+  if (!fp.single_torrent_stable()) {
+    // gamma <= mu: seeds pile up and only a finite download bandwidth
+    // pins the rate.
+    BTMF_CHECK_MSG(std::isfinite(params.download_bw),
+                   "gamma <= mu with unbounded download bandwidth has no "
+                   "meaningful abort-aware equilibrium");
+    r = params.download_bw;
+    download_constrained = true;
+  } else {
+    // r is at least the pure-TFT rate and at most the
+    // transferable-progress rate (wasted work can only slow things down).
+    const double r_lo = fp.mu * fp.eta * (1.0 + 1e-12);
+    double r_hi = fp.gamma * fp.mu * fp.eta / (fp.gamma - fp.mu);
+    while (residual(r_hi) > 0.0) r_hi *= 2.0;  // safety margin
+    r = math::brent_root(residual, r_lo, r_hi);
+    if (std::isfinite(params.download_bw) && params.download_bw < r) {
+      r = params.download_bw;
+      download_constrained = true;
+    }
+  }
+
+  const double q = std::exp(-theta / r);
+  ExtendedEquilibrium eq;
+  eq.download_time = 1.0 / r;
+  eq.completion_fraction = q;
+  eq.downloaders = entry_rate * (1.0 - q) / theta;
+  eq.seeds = entry_rate * q / fp.gamma;
+  eq.online_time = eq.download_time + 1.0 / fp.gamma;
+  eq.download_constrained = download_constrained;
+  return eq;
+}
+
+math::OdeRhs extended_single_torrent_rhs(const ExtendedParams& params,
+                                         double entry_rate) {
+  params.validate();
+  BTMF_CHECK_MSG(entry_rate >= 0.0, "entry rate must be non-negative");
+  return [params, entry_rate](double /*t*/, std::span<const double> y,
+                              std::span<double> dydt) {
+    BTMF_ASSERT(y.size() == 2 && dydt.size() == 2);
+    const FluidParams& fp = params.base;
+    const double x = y[0];
+    const double s = y[1];
+    const double upload_capacity = fp.mu * (fp.eta * x + s);
+    const double download_capacity =
+        std::isinf(params.download_bw)
+            ? upload_capacity
+            : params.download_bw * x;
+    const double service = std::min(download_capacity, upload_capacity);
+    dydt[0] = entry_rate - params.abort_rate * x - service;
+    dydt[1] = service - fp.gamma * s;
+  };
+}
+
+}  // namespace btmf::fluid

@@ -1,0 +1,109 @@
+#include "btmf/fluid/hetero.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "btmf/fluid/mtcd.h"
+#include "btmf/math/special.h"
+#include "btmf/util/check.h"
+
+namespace btmf::fluid {
+
+HeterogeneousCatalog::HeterogeneousCatalog(std::vector<double> request_probs,
+                                           double visit_rate)
+    : probs_(std::move(request_probs)), lambda0_(visit_rate) {
+  BTMF_CHECK_MSG(!probs_.empty(), "catalogue needs at least one file");
+  BTMF_CHECK_MSG(visit_rate > 0.0, "visit rate lambda0 must be positive");
+  double total = 0.0;
+  for (const double p : probs_) {
+    BTMF_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                   "request probabilities must lie in [0, 1]");
+    total += p;
+  }
+  BTMF_CHECK_MSG(total > 0.0, "at least one file must be requestable");
+}
+
+std::vector<double> HeterogeneousCatalog::system_class_rates() const {
+  const std::vector<double> pmf = math::poisson_binomial_pmf_vector(probs_);
+  std::vector<double> rates(probs_.size());
+  for (std::size_t i = 1; i <= probs_.size(); ++i) {
+    rates[i - 1] = lambda0_ * pmf[i];
+  }
+  return rates;
+}
+
+std::vector<double> HeterogeneousCatalog::torrent_class_rates(
+    unsigned file) const {
+  BTMF_CHECK_MSG(file < probs_.size(), "file index out of range");
+  // Class of a peer in torrent j = 1 + (requests among the other files).
+  std::vector<double> others;
+  others.reserve(probs_.size() - 1);
+  for (std::size_t f = 0; f < probs_.size(); ++f) {
+    if (f != file) others.push_back(probs_[f]);
+  }
+  const std::vector<double> pmf =
+      math::poisson_binomial_pmf_vector(others);
+  std::vector<double> rates(probs_.size(), 0.0);
+  for (std::size_t i = 1; i <= probs_.size(); ++i) {
+    rates[i - 1] = lambda0_ * probs_[file] * pmf[i - 1];
+  }
+  return rates;
+}
+
+std::vector<double> HeterogeneousCatalog::zipf_profile(unsigned num_files,
+                                                       double skew,
+                                                       double mean_p) {
+  BTMF_CHECK_MSG(num_files >= 1, "need at least one file");
+  BTMF_CHECK_MSG(skew >= 0.0, "Zipf skew must be non-negative");
+  BTMF_CHECK_MSG(mean_p > 0.0 && mean_p <= 1.0,
+                 "mean request probability must lie in (0, 1]");
+  std::vector<double> weights(num_files);
+  double weight_sum = 0.0;
+  for (unsigned f = 0; f < num_files; ++f) {
+    weights[f] = 1.0 / std::pow(static_cast<double>(f + 1), skew);
+    weight_sum += weights[f];
+  }
+  // Scale so the mean is mean_p, then clamp to [0, 1]. Clamping loses a
+  // little demand at extreme skews; that is the physically meaningful
+  // behaviour (a probability cannot exceed 1).
+  const double scale =
+      mean_p * static_cast<double>(num_files) / weight_sum;
+  for (double& w : weights) w = std::min(1.0, w * scale);
+  return weights;
+}
+
+HeteroMtcdReport hetero_mtcd_report(const FluidParams& params,
+                                    const HeterogeneousCatalog& catalog) {
+  params.validate();
+  HeteroMtcdReport report;
+  const unsigned k = catalog.num_files();
+  report.per_torrent_factor.resize(k, 0.0);
+
+  double weighted_factor = 0.0;
+  double prob_sum = 0.0;
+  for (unsigned j = 0; j < k; ++j) {
+    const double pj = catalog.request_probs()[j];
+    if (pj <= 0.0) continue;  // empty torrent: no factor
+    report.per_torrent_factor[j] =
+        mtcd_per_file_factor(params, catalog.torrent_class_rates(j));
+    weighted_factor += pj * report.per_torrent_factor[j];
+    prob_sum += pj;
+  }
+  BTMF_CHECK_MSG(prob_sum > 0.0, "catalogue has no requestable file");
+  report.avg_download_per_file = weighted_factor / prob_sum;
+
+  // Seeding residence amortised over a user's files, as in the uniform
+  // model: avg online/file = D + (1/gamma) sum_i L_i / sum_i i L_i.
+  const std::vector<double> class_rates = catalog.system_class_rates();
+  double users = 0.0;
+  double files = 0.0;
+  for (std::size_t i = 1; i <= class_rates.size(); ++i) {
+    users += class_rates[i - 1];
+    files += static_cast<double>(i) * class_rates[i - 1];
+  }
+  report.avg_online_per_file =
+      report.avg_download_per_file + users / files / params.gamma;
+  return report;
+}
+
+}  // namespace btmf::fluid

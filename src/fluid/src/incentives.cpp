@@ -1,0 +1,80 @@
+#include "btmf/fluid/incentives.h"
+
+#include <cmath>
+#include <limits>
+
+#include "btmf/util/check.h"
+
+namespace btmf::fluid {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// The pool rate PR = mu (D + Y) / X at an equilibrium state.
+double pool_rate_at(const CmfsdModel& model, const CmfsdEquilibrium& eq,
+                    const FluidParams& params) {
+  double x_total = 0.0;
+  double donated = 0.0;
+  for (unsigned i = 1; i <= model.num_classes(); ++i) {
+    for (unsigned j = 1; j <= i; ++j) {
+      const double x = eq.state[model.x_index(i, j)];
+      x_total += x;
+      donated += (1.0 - model.bandwidth_split(i, j)) * x;
+    }
+  }
+  double y_total = 0.0;
+  for (unsigned i = 1; i <= model.num_classes(); ++i) {
+    y_total += eq.state[model.y_index(i)];
+  }
+  BTMF_CHECK_MSG(x_total > 0.0,
+                 "incentive analysis needs a populated equilibrium");
+  return params.mu * (donated + y_total) / x_total;
+}
+
+}  // namespace
+
+double tagged_peer_download_time(const CmfsdModel& model,
+                                 const CmfsdEquilibrium& eq,
+                                 unsigned peer_class, double own_rho) {
+  BTMF_CHECK_MSG(peer_class >= 1 && peer_class <= model.num_classes(),
+                 "peer class out of range");
+  BTMF_CHECK_MSG(own_rho >= 0.0 && own_rho <= 1.0,
+                 "own rho must lie in [0, 1]");
+  const FluidParams& params = model.params();
+  const double pr = pool_rate_at(model, eq, params);
+  const double first = 1.0 / (params.eta * params.mu + pr);
+  if (peer_class == 1) return first;
+  const double later_rate = params.eta * params.mu * own_rho + pr;
+  BTMF_CHECK_MSG(later_rate > 0.0,
+                 "tagged peer would never finish (no TFT, empty pool)");
+  return first + static_cast<double>(peer_class - 1) / later_rate;
+}
+
+IncentiveReport cmfsd_incentives(const FluidParams& params,
+                                 const std::vector<double>& class_rates,
+                                 double population_rho) {
+  params.validate();
+  BTMF_CHECK_MSG(population_rho >= 0.0 && population_rho <= 1.0,
+                 "population rho must lie in [0, 1]");
+  const CmfsdModel model(params, class_rates, population_rho);
+  const CmfsdEquilibrium eq = model.solve();
+  IncentiveReport report;
+  report.population_rho = population_rho;
+  report.pool_rate = pool_rate_at(model, eq, params);
+  const unsigned k = model.num_classes();
+  report.conforming_download.resize(k, kNaN);
+  report.defecting_download.resize(k, kNaN);
+  report.temptation.resize(k, kNaN);
+  for (unsigned i = 1; i <= k; ++i) {
+    const double conform =
+        tagged_peer_download_time(model, eq, i, population_rho);
+    const double defect = tagged_peer_download_time(model, eq, i, 1.0);
+    report.conforming_download[i - 1] = conform;
+    report.defecting_download[i - 1] = defect;
+    report.temptation[i - 1] = (conform - defect) / conform;
+  }
+  return report;
+}
+
+}  // namespace btmf::fluid

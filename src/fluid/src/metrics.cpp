@@ -1,0 +1,68 @@
+#include "btmf/fluid/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "btmf/util/check.h"
+
+namespace btmf::fluid {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+double weighted_ratio(const std::vector<double>& values,
+                      std::span<const double> class_rates,
+                      bool per_file_denominator) {
+  BTMF_CHECK_MSG(values.size() == class_rates.size(),
+                 "metrics/class-rate size mismatch");
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    const double rate = class_rates[k];
+    if (rate <= 0.0 || std::isnan(values[k])) continue;
+    const double files = static_cast<double>(k + 1);
+    numerator += rate * values[k];
+    denominator += per_file_denominator ? rate * files : rate;
+  }
+  return denominator > 0.0 ? numerator / denominator : kNaN;
+}
+
+}  // namespace
+
+PerClassMetrics make_per_class_metrics(std::vector<double> online_time,
+                                       std::vector<double> download_time) {
+  BTMF_CHECK_MSG(online_time.size() == download_time.size(),
+                 "online/download metric size mismatch");
+  PerClassMetrics m;
+  m.online_time = std::move(online_time);
+  m.download_time = std::move(download_time);
+  m.online_per_file.resize(m.online_time.size());
+  m.download_per_file.resize(m.online_time.size());
+  for (std::size_t k = 0; k < m.online_time.size(); ++k) {
+    const double files = static_cast<double>(k + 1);
+    m.online_per_file[k] = m.online_time[k] / files;
+    m.download_per_file[k] = m.download_time[k] / files;
+  }
+  return m;
+}
+
+double average_online_time_per_file(const PerClassMetrics& metrics,
+                                    std::span<const double> class_rates) {
+  return weighted_ratio(metrics.online_time, class_rates,
+                        /*per_file_denominator=*/true);
+}
+
+double average_download_time_per_file(const PerClassMetrics& metrics,
+                                      std::span<const double> class_rates) {
+  return weighted_ratio(metrics.download_time, class_rates,
+                        /*per_file_denominator=*/true);
+}
+
+double average_online_time_per_user(const PerClassMetrics& metrics,
+                                    std::span<const double> class_rates) {
+  return weighted_ratio(metrics.online_time, class_rates,
+                        /*per_file_denominator=*/false);
+}
+
+}  // namespace btmf::fluid

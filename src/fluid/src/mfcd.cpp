@@ -1,0 +1,29 @@
+#include "btmf/fluid/mfcd.h"
+
+#include "btmf/util/check.h"
+
+namespace btmf::fluid {
+
+MtcdEquilibrium mfcd_equilibrium(const FluidParams& params,
+                                 const CorrelationModel& correlation) {
+  BTMF_CHECK_MSG(correlation.correlation() > 0.0,
+                 "MFCD needs p > 0 (no peer requests any file at p = 0)");
+  const std::vector<double> rates = correlation.per_torrent_entry_rates();
+  return mtcd_equilibrium(params, rates);
+}
+
+double mfcd_download_time_per_file(const FluidParams& params,
+                                   const CorrelationModel& correlation) {
+  BTMF_CHECK_MSG(correlation.correlation() > 0.0,
+                 "MFCD needs p > 0 (no peer requests any file at p = 0)");
+  // A = (gamma L - mu W) / (gamma mu eta L) with L = lambda0 p and
+  // W = (lambda0/K)(1 - (1-p)^K); the lambda0 factors cancel.
+  const double total = correlation.per_torrent_total_rate();
+  const double weighted = correlation.per_torrent_weighted_rate();
+  const double a = (params.gamma * total - params.mu * weighted) /
+                   (params.gamma * params.mu * params.eta * total);
+  BTMF_CHECK_MSG(a > 0.0, "MFCD equilibrium infeasible for these parameters");
+  return a;
+}
+
+}  // namespace btmf::fluid

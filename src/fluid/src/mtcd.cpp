@@ -1,0 +1,108 @@
+#include "btmf/fluid/mtcd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "btmf/util/check.h"
+
+namespace btmf::fluid {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+void validate_rates(std::span<const double> rates) {
+  BTMF_CHECK_MSG(!rates.empty(), "need at least one peer class");
+  double total = 0.0;
+  for (const double r : rates) {
+    BTMF_CHECK_MSG(r >= 0.0, "class entry rates must be non-negative");
+    total += r;
+  }
+  BTMF_CHECK_MSG(total > 0.0, "at least one class entry rate must be positive");
+}
+
+}  // namespace
+
+double mtcd_per_file_factor(const FluidParams& params,
+                            std::span<const double> class_entry_rates) {
+  params.validate();
+  validate_rates(class_entry_rates);
+  double sum = 0.0;
+  double weighted_sum = 0.0;
+  for (std::size_t k = 0; k < class_entry_rates.size(); ++k) {
+    sum += class_entry_rates[k];
+    weighted_sum += class_entry_rates[k] / static_cast<double>(k + 1);
+  }
+  const double a = (params.gamma * sum - params.mu * weighted_sum) /
+                   (params.gamma * params.mu * params.eta * sum);
+  BTMF_CHECK_MSG(a > 0.0,
+                 "MTCD equilibrium infeasible: seed capacity alone exceeds "
+                 "demand (gamma * sum lambda <= mu * sum lambda/l)");
+  return a;
+}
+
+MtcdEquilibrium mtcd_equilibrium(const FluidParams& params,
+                                 std::span<const double> class_entry_rates) {
+  const double a = mtcd_per_file_factor(params, class_entry_rates);
+  const std::size_t num_classes = class_entry_rates.size();
+
+  MtcdEquilibrium eq;
+  eq.per_file_factor = a;
+  eq.downloaders.resize(num_classes);
+  eq.seeds.resize(num_classes);
+  std::vector<double> online(num_classes), download(num_classes);
+  for (std::size_t k = 0; k < num_classes; ++k) {
+    const double files = static_cast<double>(k + 1);
+    const double rate = class_entry_rates[k];
+    eq.downloaders[k] = files * rate * a;
+    eq.seeds[k] = rate / params.gamma;
+    if (rate > 0.0) {
+      download[k] = files * a;
+      online[k] = files * a + 1.0 / params.gamma;
+    } else {
+      download[k] = kNaN;
+      online[k] = kNaN;
+    }
+  }
+  eq.metrics = make_per_class_metrics(std::move(online), std::move(download));
+  return eq;
+}
+
+math::OdeRhs mtcd_rhs(const FluidParams& params,
+                      std::vector<double> class_entry_rates) {
+  params.validate();
+  validate_rates(class_entry_rates);
+  const std::size_t num_classes = class_entry_rates.size();
+  return [params, rates = std::move(class_entry_rates), num_classes](
+             double /*t*/, std::span<const double> state,
+             std::span<double> dstate) {
+    BTMF_ASSERT(state.size() == 2 * num_classes);
+    BTMF_ASSERT(dstate.size() == 2 * num_classes);
+    const auto x = state.first(num_classes);
+    const auto y = state.subspan(num_classes);
+
+    // Total seed service sum_l (mu/l) y_l and the share denominator
+    // sum_l x_l / l.
+    double seed_service = 0.0;
+    double share_denominator = 0.0;
+    for (std::size_t k = 0; k < num_classes; ++k) {
+      const double files = static_cast<double>(k + 1);
+      seed_service += params.mu / files * y[k];
+      share_denominator += x[k] / files;
+    }
+
+    for (std::size_t k = 0; k < num_classes; ++k) {
+      const double files = static_cast<double>(k + 1);
+      const double tft_service = params.eta * params.mu / files * x[k];
+      const double share =
+          share_denominator > 0.0 ? (x[k] / files) / share_denominator : 0.0;
+      const double from_seeds = share * seed_service;
+      const double completion = tft_service + from_seeds;
+      dstate[k] = rates[k] - completion;
+      dstate[num_classes + k] = completion - params.gamma * y[k];
+    }
+  };
+}
+
+}  // namespace btmf::fluid

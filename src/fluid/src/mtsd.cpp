@@ -1,0 +1,26 @@
+#include "btmf/fluid/mtsd.h"
+
+#include "btmf/fluid/single_torrent.h"
+#include "btmf/util/check.h"
+
+namespace btmf::fluid {
+
+MtsdResult mtsd_metrics(const FluidParams& params, unsigned num_classes) {
+  BTMF_CHECK_MSG(num_classes >= 1, "need at least one peer class");
+  const double t_download = single_torrent_download_time(params);
+  const double cycle = t_download + 1.0 / params.gamma;
+
+  MtsdResult result;
+  result.download_time_per_file = t_download;
+  result.online_time_per_file = cycle;
+  std::vector<double> online(num_classes), download(num_classes);
+  for (unsigned i = 1; i <= num_classes; ++i) {
+    online[i - 1] = static_cast<double>(i) * cycle;
+    download[i - 1] = static_cast<double>(i) * t_download;
+  }
+  result.metrics =
+      make_per_class_metrics(std::move(online), std::move(download));
+  return result;
+}
+
+}  // namespace btmf::fluid

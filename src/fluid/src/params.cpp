@@ -1,0 +1,14 @@
+#include "btmf/fluid/params.h"
+
+#include "btmf/util/check.h"
+
+namespace btmf::fluid {
+
+void FluidParams::validate() const {
+  BTMF_CHECK_MSG(mu > 0.0, "upload bandwidth mu must be positive");
+  BTMF_CHECK_MSG(eta > 0.0 && eta <= 1.0,
+                 "sharing efficiency eta must lie in (0, 1]");
+  BTMF_CHECK_MSG(gamma > 0.0, "seed departure rate gamma must be positive");
+}
+
+}  // namespace btmf::fluid

@@ -1,0 +1,42 @@
+#include "btmf/fluid/single_torrent.h"
+
+#include "btmf/util/check.h"
+
+namespace btmf::fluid {
+
+double single_torrent_download_time(const FluidParams& params) {
+  params.validate();
+  BTMF_CHECK_MSG(params.single_torrent_stable(),
+                 "single-torrent model requires gamma > mu (otherwise the "
+                 "seeds alone satisfy all demand and the upload-constrained "
+                 "closed form does not apply)");
+  return (params.gamma - params.mu) / (params.gamma * params.mu * params.eta);
+}
+
+SingleTorrentEquilibrium single_torrent_equilibrium(const FluidParams& params,
+                                                    double entry_rate) {
+  BTMF_CHECK_MSG(entry_rate > 0.0, "entry rate must be positive");
+  const double t_download = single_torrent_download_time(params);
+  SingleTorrentEquilibrium eq;
+  eq.seeds = entry_rate / params.gamma;
+  eq.downloaders = entry_rate * t_download;
+  eq.download_time = t_download;
+  eq.online_time = t_download + 1.0 / params.gamma;
+  return eq;
+}
+
+math::OdeRhs single_torrent_rhs(const FluidParams& params, double entry_rate) {
+  params.validate();
+  BTMF_CHECK_MSG(entry_rate >= 0.0, "entry rate must be non-negative");
+  return [params, entry_rate](double /*t*/, std::span<const double> y,
+                              std::span<double> dydt) {
+    BTMF_ASSERT(y.size() == 2 && dydt.size() == 2);
+    const double x = y[0];
+    const double s = y[1];
+    const double service = params.mu * (params.eta * x + s);
+    dydt[0] = entry_rate - service;
+    dydt[1] = service - params.gamma * s;
+  };
+}
+
+}  // namespace btmf::fluid

@@ -1,0 +1,81 @@
+#include "btmf/fluid/transient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "btmf/math/vec.h"
+#include "btmf/util/check.h"
+
+namespace btmf::fluid {
+
+std::vector<double> TransientSeries::map(
+    const std::function<double(std::span<const double>)>& reduce) const {
+  std::vector<double> out;
+  out.reserve(states.size());
+  for (const std::vector<double>& state : states) {
+    out.push_back(reduce(state));
+  }
+  return out;
+}
+
+TransientSeries sample_trajectory(const math::OdeRhs& rhs,
+                                  std::vector<double> y0,
+                                  const TransientOptions& options) {
+  BTMF_CHECK_MSG(options.t_end > 0.0, "t_end must be positive");
+  BTMF_CHECK_MSG(options.samples >= 2, "need at least two samples");
+  BTMF_CHECK_MSG(!y0.empty(), "empty initial state");
+
+  TransientSeries series;
+  series.times.reserve(options.samples);
+  series.states.reserve(options.samples);
+  series.times.push_back(0.0);
+  series.states.push_back(y0);
+
+  math::AdaptiveOptions ode = options.ode;
+  ode.clamp_nonnegative = true;
+
+  const double dt =
+      options.t_end / static_cast<double>(options.samples - 1);
+  std::vector<double> y = std::move(y0);
+  for (std::size_t s = 1; s < options.samples; ++s) {
+    const double t0 = dt * static_cast<double>(s - 1);
+    const double t1 = dt * static_cast<double>(s);
+    math::AdaptiveResult step =
+        math::integrate_dopri5(rhs, std::move(y), t0, t1, ode);
+    y = std::move(step.y);
+    series.times.push_back(t1);
+    series.states.push_back(y);
+  }
+  return series;
+}
+
+double settling_time(const TransientSeries& series,
+                     std::span<const double> target, double tol) {
+  BTMF_CHECK_MSG(!series.states.empty(), "empty trajectory");
+  BTMF_CHECK_MSG(series.states.front().size() == target.size(),
+                 "target size mismatch");
+  const double scale = 1.0 + math::norm_inf(target);
+  for (std::size_t s = 0; s < series.states.size(); ++s) {
+    double deviation = 0.0;
+    for (std::size_t i = 0; i < target.size(); ++i) {
+      deviation =
+          std::max(deviation, std::abs(series.states[s][i] - target[i]));
+    }
+    if (deviation <= tol * scale) return series.times[s];
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double peak_value(const TransientSeries& series,
+                  const std::function<double(std::span<const double>)>&
+                      reduce) {
+  BTMF_CHECK_MSG(!series.states.empty(), "empty trajectory");
+  double peak = -std::numeric_limits<double>::infinity();
+  for (const std::vector<double>& state : series.states) {
+    peak = std::max(peak, reduce(state));
+  }
+  return peak;
+}
+
+}  // namespace btmf::fluid

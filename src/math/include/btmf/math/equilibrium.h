@@ -1,0 +1,44 @@
+// Steady-state finder for autonomous ODE systems y' = f(y).
+//
+// Strategy: integrate the transient with the adaptive RK45 in growing time
+// chunks until ||f(y)||, scaled by the state magnitude, falls below a
+// plateau tolerance — then polish the point with damped Newton. Transient
+// integration is globally convergent for the (stable) fluid-model
+// equilibria; Newton tightens the residual to near machine precision and
+// its success certifies the point really is a fixed point.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "btmf/math/newton.h"
+#include "btmf/math/ode.h"
+
+namespace btmf::math {
+
+struct EquilibriumOptions {
+  double residual_tol = 1e-9;   ///< target ||f(y)||_inf / (1 + ||y||_inf)
+  double chunk_time = 500.0;    ///< first integration chunk length
+  double chunk_growth = 1.5;    ///< geometric growth of chunk length
+  std::size_t max_chunks = 40;
+  AdaptiveOptions ode;          ///< tolerances for the transient solver
+  bool polish_with_newton = true;
+  bool clamp_nonnegative = true;  ///< populations cannot go negative
+};
+
+struct EquilibriumResult {
+  std::vector<double> y;        ///< the steady state
+  double residual_inf = 0.0;    ///< ||f(y)||_inf at the returned point
+  double integrated_time = 0.0; ///< total transient time simulated
+  std::size_t chunks = 0;
+  bool newton_converged = false;
+};
+
+/// Finds y* with f(y*) ~ 0 starting from y0. Throws btmf::SolverError if
+/// the scaled residual never reaches `residual_tol` within the chunk
+/// budget (which for these models indicates an infeasible parameter set,
+/// e.g. arrival rate exceeding service capacity).
+EquilibriumResult find_equilibrium(const OdeRhs& rhs, std::vector<double> y0,
+                                   const EquilibriumOptions& options = {});
+
+}  // namespace btmf::math

@@ -1,0 +1,77 @@
+// Dense row-major matrix with LU decomposition (partial pivoting).
+//
+// Sized for the fluid-model Jacobians: K(K+1)/2 + K unknowns, i.e. 65 for
+// the paper's K = 10 and a few hundred for the largest ablations — well
+// within dense-LU territory.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace btmf::math {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// y = A x
+  [[nodiscard]] std::vector<double> multiply(
+      std::span<const double> x) const;
+
+  /// C = A B
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Max absolute entry — cheap conditioning diagnostic.
+  [[nodiscard]] double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU decomposition with partial pivoting; throws btmf::SolverError if the
+/// matrix is numerically singular.
+class LuDecomposition {
+ public:
+  explicit LuDecomposition(Matrix a);
+
+  /// Solves A x = b.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// Determinant of A (sign from the permutation parity).
+  [[nodiscard]] double determinant() const;
+
+  [[nodiscard]] std::size_t order() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> pivots_;
+  int permutation_sign_ = 1;
+};
+
+}  // namespace btmf::math

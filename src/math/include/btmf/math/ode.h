@@ -1,0 +1,73 @@
+// Explicit ODE integrators: fixed-step Euler / Heun / RK4 and the adaptive
+// Dormand–Prince 5(4) pair with PI-free standard step control.
+//
+// The BitTorrent fluid models are non-stiff (relaxation rates ~ mu, gamma,
+// both << 1 per time unit), so explicit methods with error control are the
+// right tool; the adaptive integrator is what the equilibrium finder and
+// all transient plots use, and the fixed-step methods exist mainly as
+// cross-checks and for the order-of-accuracy tests.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace btmf::math {
+
+/// Right-hand side f(t, y) -> dy/dt, written into `dydt` (same length as y).
+using OdeRhs =
+    std::function<void(double t, std::span<const double> y,
+                       std::span<double> dydt)>;
+
+/// Observer invoked after each accepted step with (t, y); may be empty.
+using OdeObserver =
+    std::function<void(double t, std::span<const double> y)>;
+
+/// One explicit Euler step (order 1).
+void euler_step(const OdeRhs& rhs, double t, double dt,
+                std::span<const double> y, std::span<double> y_out);
+
+/// One Heun (explicit trapezoid) step (order 2).
+void heun_step(const OdeRhs& rhs, double t, double dt,
+               std::span<const double> y, std::span<double> y_out);
+
+/// One classical Runge–Kutta step (order 4).
+void rk4_step(const OdeRhs& rhs, double t, double dt,
+              std::span<const double> y, std::span<double> y_out);
+
+enum class FixedStepMethod { kEuler, kHeun, kRk4 };
+
+/// Integrates y' = f from t0 to t1 with constant step dt (the final step is
+/// shortened to land exactly on t1). Returns y(t1).
+std::vector<double> integrate_fixed(const OdeRhs& rhs,
+                                    std::vector<double> y0, double t0,
+                                    double t1, double dt,
+                                    FixedStepMethod method,
+                                    const OdeObserver& observer = {});
+
+struct AdaptiveOptions {
+  double rtol = 1e-8;          ///< relative tolerance
+  double atol = 1e-10;         ///< absolute tolerance
+  double initial_dt = 0.0;     ///< 0 = choose automatically
+  double max_dt = 0.0;         ///< 0 = no cap
+  std::size_t max_steps = 1'000'000;
+  bool clamp_nonnegative = false;  ///< clip tiny negative populations
+};
+
+struct AdaptiveResult {
+  std::vector<double> y;       ///< state at the final time
+  double t = 0.0;              ///< final time reached (== t1 on success)
+  std::size_t accepted_steps = 0;
+  std::size_t rejected_steps = 0;
+};
+
+/// Dormand–Prince RK5(4) with embedded error estimate and standard
+/// step-size control. Throws btmf::SolverError if the step size underflows
+/// or the step budget is exhausted.
+AdaptiveResult integrate_dopri5(const OdeRhs& rhs, std::vector<double> y0,
+                                double t0, double t1,
+                                const AdaptiveOptions& options = {},
+                                const OdeObserver& observer = {});
+
+}  // namespace btmf::math

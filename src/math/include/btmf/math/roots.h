@@ -1,0 +1,31 @@
+// Scalar root finding: bisection and Brent's method.
+//
+// Used by the analysis helpers (e.g. solving for the correlation p at
+// which MTCD's average online time crosses a given threshold) and by the
+// Adapt fixed-point characterisation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace btmf::math {
+
+using ScalarFn = std::function<double(double)>;
+
+struct RootOptions {
+  double x_tol = 1e-12;
+  double f_tol = 1e-12;
+  std::size_t max_iterations = 200;
+};
+
+/// Finds a root of f in [a, b]; f(a) and f(b) must have opposite signs
+/// (throws btmf::SolverError otherwise). Brent's method: inverse quadratic
+/// interpolation with bisection fallback.
+double brent_root(const ScalarFn& f, double a, double b,
+                  const RootOptions& options = {});
+
+/// Plain bisection, as a reference implementation for testing Brent.
+double bisect_root(const ScalarFn& f, double a, double b,
+                   const RootOptions& options = {});
+
+}  // namespace btmf::math

@@ -1,0 +1,29 @@
+// Combinatorial special functions for the binomial file-correlation model.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace btmf::math {
+
+/// ln C(n, k); exact for the small n used here, stable via lgamma.
+double log_binomial_coefficient(unsigned n, unsigned k);
+
+/// C(n, k) as a double (exact for n <= 60 or so).
+double binomial_coefficient(unsigned n, unsigned k);
+
+/// Binomial pmf P[X = k], X ~ Bin(n, p). Handles p = 0 and p = 1 exactly.
+double binomial_pmf(unsigned n, unsigned k, double p);
+
+/// The whole pmf vector {P[X=0], ..., P[X=n]} — sums to 1 by construction.
+std::vector<double> binomial_pmf_vector(unsigned n, double p);
+
+/// Poisson-binomial pmf: X = sum of independent Bernoulli(probs[f]).
+/// Returns {P[X=0], ..., P[X=n]} via the O(n^2) convolution DP; exact and
+/// stable for the catalogue sizes used here. Equals the binomial pmf when
+/// all probabilities coincide.
+std::vector<double> poisson_binomial_pmf_vector(
+    std::span<const double> probs);
+
+}  // namespace btmf::math

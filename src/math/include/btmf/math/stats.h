@@ -1,0 +1,49 @@
+// Streaming sample statistics (Welford) with normal-approximation
+// confidence intervals, used by the discrete-event simulator's collectors.
+#pragma once
+
+#include <cstddef>
+
+namespace btmf::math {
+
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  /// Half-width of the normal-approximation CI at z (1.96 -> 95%).
+  [[nodiscard]] double ci_halfwidth(double z = 1.96) const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Pools another accumulator into this one (Chan et al. merge).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal, for Little's-law
+/// population averages: feed (value, duration) segments.
+class TimeAverage {
+ public:
+  void add(double value, double duration) noexcept;
+  [[nodiscard]] double average() const noexcept;
+  [[nodiscard]] double total_time() const noexcept { return total_time_; }
+
+ private:
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+}  // namespace btmf::math

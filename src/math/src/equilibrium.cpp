@@ -1,0 +1,82 @@
+#include "btmf/math/equilibrium.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "btmf/math/vec.h"
+#include "btmf/util/check.h"
+#include "btmf/util/error.h"
+
+namespace btmf::math {
+
+namespace {
+
+double scaled_residual(const OdeRhs& rhs, const std::vector<double>& y) {
+  std::vector<double> f(y.size());
+  rhs(0.0, y, f);
+  return norm_inf(f) / (1.0 + norm_inf(y));
+}
+
+}  // namespace
+
+EquilibriumResult find_equilibrium(const OdeRhs& rhs, std::vector<double> y0,
+                                   const EquilibriumOptions& options) {
+  BTMF_CHECK_MSG(!y0.empty(), "find_equilibrium: empty state");
+  BTMF_CHECK_MSG(options.residual_tol > 0.0,
+                 "find_equilibrium: residual_tol must be positive");
+
+  EquilibriumResult result;
+  result.y = std::move(y0);
+
+  AdaptiveOptions ode = options.ode;
+  ode.clamp_nonnegative = options.clamp_nonnegative;
+
+  double chunk = options.chunk_time;
+  double t = 0.0;
+  for (std::size_t c = 0; c < options.max_chunks; ++c) {
+    result.residual_inf = scaled_residual(rhs, result.y);
+    if (result.residual_inf <= options.residual_tol) break;
+    AdaptiveResult step =
+        integrate_dopri5(rhs, std::move(result.y), t, t + chunk, ode);
+    result.y = std::move(step.y);
+    t += chunk;
+    chunk *= options.chunk_growth;
+    result.chunks = c + 1;
+  }
+  result.integrated_time = t;
+  result.residual_inf = scaled_residual(rhs, result.y);
+
+  if (options.polish_with_newton) {
+    // The autonomous field as a VectorField for Newton.
+    const VectorField field = [&rhs](std::span<const double> x,
+                                     std::span<double> out) {
+      rhs(0.0, x, out);
+    };
+    NewtonOptions newton;
+    newton.tol = options.residual_tol * 1e-3;
+    if (options.clamp_nonnegative) {
+      newton.project = [](std::span<double> x) { clamp_nonnegative(x); };
+    }
+    NewtonResult polished = newton_solve(field, result.y, newton);
+    // Accept the polish only if it genuinely improved the residual.
+    const double polished_scaled =
+        polished.residual_inf / (1.0 + norm_inf(polished.x));
+    if (polished_scaled < result.residual_inf) {
+      result.y = std::move(polished.x);
+      result.residual_inf = polished_scaled;
+      result.newton_converged = polished.converged;
+    }
+  }
+
+  if (result.residual_inf > options.residual_tol) {
+    throw SolverError(
+        "find_equilibrium: residual " + std::to_string(result.residual_inf) +
+        " did not reach tolerance " + std::to_string(options.residual_tol) +
+        " after t = " + std::to_string(result.integrated_time) +
+        " — the parameter set is likely outside the model's stability "
+        "region (arrival rate exceeding service capacity)");
+  }
+  return result;
+}
+
+}  // namespace btmf::math

@@ -1,0 +1,130 @@
+#include "btmf/math/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "btmf/util/check.h"
+#include "btmf/util/error.h"
+
+namespace btmf::math {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  BTMF_CHECK_MSG(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+  BTMF_CHECK_MSG(x.size() == cols_, "matrix-vector size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) s += row_ptr[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  BTMF_CHECK_MSG(cols_ == other.rows_, "matrix-matrix size mismatch");
+  Matrix out(rows_, other.cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (const double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  BTMF_CHECK_MSG(lu_.rows() == lu_.cols(), "LU needs a square matrix");
+  const std::size_t n = lu_.rows();
+  pivots_.resize(n);
+
+  // Crout-style in-place LU with partial pivoting (Golub & Van Loan 3.4).
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag == 0.0 || !std::isfinite(pivot_mag)) {
+      throw SolverError("LU: matrix is singular at column " +
+                        std::to_string(k));
+    }
+    pivots_[k] = pivot_row;
+    if (pivot_row != k) {
+      permutation_sign_ = -permutation_sign_;
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot_row, c));
+      }
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) * inv_pivot;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+std::vector<double> LuDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = lu_.rows();
+  BTMF_CHECK_MSG(b.size() == n, "LU solve: rhs size mismatch");
+  std::vector<double> x(b.begin(), b.end());
+
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivots_[k] != k) std::swap(x[k], x[pivots_[k]]);
+  }
+  // Forward substitution (L has unit diagonal).
+  for (std::size_t r = 1; r < n; ++r) {
+    double s = x[r];
+    for (std::size_t c = 0; c < r; ++c) s -= lu_(r, c) * x[c];
+    x[r] = s;
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= lu_(ri, c) * x[c];
+    x[ri] = s / lu_(ri, ri);
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  double det = static_cast<double>(permutation_sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+}  // namespace btmf::math

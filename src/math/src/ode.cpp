@@ -1,0 +1,191 @@
+#include "btmf/math/ode.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "btmf/math/vec.h"
+#include "btmf/util/check.h"
+#include "btmf/util/error.h"
+
+namespace btmf::math {
+
+namespace {
+
+// Dormand–Prince 5(4) Butcher tableau (Dormand & Prince, 1980).
+constexpr double kC[7] = {0.0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1.0, 1.0};
+constexpr double kA[7][6] = {
+    {},
+    {1.0 / 5},
+    {3.0 / 40, 9.0 / 40},
+    {44.0 / 45, -56.0 / 15, 32.0 / 9},
+    {19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+    {9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+    {35.0 / 384, 0.0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+};
+// 5th-order solution weights (same as the 7th stage row: FSAL property).
+constexpr double kB5[7] = {35.0 / 384,      0.0,         500.0 / 1113,
+                           125.0 / 192,     -2187.0 / 6784, 11.0 / 84,
+                           0.0};
+// Embedded 4th-order weights.
+constexpr double kB4[7] = {5179.0 / 57600,  0.0,          7571.0 / 16695,
+                           393.0 / 640,     -92097.0 / 339200,
+                           187.0 / 2100,    1.0 / 40};
+
+}  // namespace
+
+void euler_step(const OdeRhs& rhs, double t, double dt,
+                std::span<const double> y, std::span<double> y_out) {
+  const std::size_t n = y.size();
+  std::vector<double> k(n);
+  rhs(t, y, k);
+  for (std::size_t i = 0; i < n; ++i) y_out[i] = y[i] + dt * k[i];
+}
+
+void heun_step(const OdeRhs& rhs, double t, double dt,
+               std::span<const double> y, std::span<double> y_out) {
+  const std::size_t n = y.size();
+  std::vector<double> k1(n), k2(n), mid(n);
+  rhs(t, y, k1);
+  for (std::size_t i = 0; i < n; ++i) mid[i] = y[i] + dt * k1[i];
+  rhs(t + dt, mid, k2);
+  for (std::size_t i = 0; i < n; ++i)
+    y_out[i] = y[i] + 0.5 * dt * (k1[i] + k2[i]);
+}
+
+void rk4_step(const OdeRhs& rhs, double t, double dt,
+              std::span<const double> y, std::span<double> y_out) {
+  const std::size_t n = y.size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  rhs(t, y, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k1[i];
+  rhs(t + 0.5 * dt, tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k2[i];
+  rhs(t + 0.5 * dt, tmp, k3);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + dt * k3[i];
+  rhs(t + dt, tmp, k4);
+  for (std::size_t i = 0; i < n; ++i) {
+    y_out[i] = y[i] + (dt / 6.0) * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+}
+
+std::vector<double> integrate_fixed(const OdeRhs& rhs, std::vector<double> y0,
+                                    double t0, double t1, double dt,
+                                    FixedStepMethod method,
+                                    const OdeObserver& observer) {
+  BTMF_CHECK_MSG(dt > 0.0, "integrate_fixed: dt must be positive");
+  BTMF_CHECK_MSG(t1 >= t0, "integrate_fixed: t1 must be >= t0");
+  std::vector<double> y = std::move(y0);
+  std::vector<double> next(y.size());
+  double t = t0;
+  while (t < t1) {
+    const double step = std::min(dt, t1 - t);
+    switch (method) {
+      case FixedStepMethod::kEuler:
+        euler_step(rhs, t, step, y, next);
+        break;
+      case FixedStepMethod::kHeun:
+        heun_step(rhs, t, step, y, next);
+        break;
+      case FixedStepMethod::kRk4:
+        rk4_step(rhs, t, step, y, next);
+        break;
+    }
+    y.swap(next);
+    t += step;
+    if (observer) observer(t, y);
+  }
+  return y;
+}
+
+AdaptiveResult integrate_dopri5(const OdeRhs& rhs, std::vector<double> y0,
+                                double t0, double t1,
+                                const AdaptiveOptions& options,
+                                const OdeObserver& observer) {
+  BTMF_CHECK_MSG(t1 >= t0, "integrate_dopri5: t1 must be >= t0");
+  BTMF_CHECK_MSG(options.rtol > 0.0 && options.atol > 0.0,
+                 "integrate_dopri5: tolerances must be positive");
+
+  const std::size_t n = y0.size();
+  AdaptiveResult result;
+  result.y = std::move(y0);
+  result.t = t0;
+  if (t1 == t0 || n == 0) return result;
+
+  const double span_t = t1 - t0;
+  double dt = options.initial_dt > 0.0 ? options.initial_dt : span_t / 100.0;
+  const double max_dt = options.max_dt > 0.0 ? options.max_dt : span_t;
+  dt = std::min(dt, max_dt);
+  const double min_dt = span_t * 1e-14;
+
+  std::vector<std::vector<double>> k(7, std::vector<double>(n));
+  std::vector<double> y_stage(n), y5(n), err(n);
+
+  // FSAL: stage 0 of the next step reuses stage 6 of the accepted step.
+  rhs(result.t, result.y, k[0]);
+
+  while (result.t < t1) {
+    dt = std::min(dt, t1 - result.t);
+    if (dt < min_dt) {
+      throw SolverError("dopri5: step size underflow at t = " +
+                        std::to_string(result.t));
+    }
+
+    for (std::size_t s = 1; s < 7; ++s) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = result.y[i];
+        for (std::size_t j = 0; j < s; ++j) acc += dt * kA[s][j] * k[j][i];
+        y_stage[i] = acc;
+      }
+      rhs(result.t + kC[s] * dt, y_stage, k[s]);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc5 = 0.0;
+      double acc4 = 0.0;
+      for (std::size_t s = 0; s < 7; ++s) {
+        acc5 += kB5[s] * k[s][i];
+        acc4 += kB4[s] * k[s][i];
+      }
+      y5[i] = result.y[i] + dt * acc5;
+      err[i] = dt * (acc5 - acc4);
+    }
+
+    const double err_norm =
+        all_finite(y5) ? wrms_norm(err, result.y, options.atol, options.rtol)
+                       : std::numeric_limits<double>::infinity();
+
+    if (err_norm <= 1.0) {
+      result.t += dt;
+      result.y = y5;
+      if (options.clamp_nonnegative) clamp_nonnegative(result.y);
+      ++result.accepted_steps;
+      if (observer) observer(result.t, result.y);
+      // FSAL: k7 (== k[6]) evaluated at (t+dt, y5) is the next step's k1.
+      // Clamping invalidates it, so re-evaluate in that case.
+      if (options.clamp_nonnegative) {
+        rhs(result.t, result.y, k[0]);
+      } else {
+        k[0].swap(k[6]);
+      }
+    } else {
+      ++result.rejected_steps;
+    }
+
+    if (result.accepted_steps + result.rejected_steps > options.max_steps) {
+      throw SolverError("dopri5: exceeded max_steps = " +
+                        std::to_string(options.max_steps));
+    }
+
+    // Standard controller: dt *= 0.9 * err^(-1/5), limited to [0.2, 5] x.
+    double factor = 5.0;
+    if (err_norm > 0.0) {
+      factor = 0.9 * std::pow(err_norm, -0.2);
+      factor = std::clamp(factor, 0.2, 5.0);
+    }
+    dt = std::min(dt * factor, max_dt);
+  }
+  return result;
+}
+
+}  // namespace btmf::math

@@ -1,0 +1,115 @@
+#include "btmf/math/roots.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "btmf/util/check.h"
+#include "btmf/util/error.h"
+
+namespace btmf::math {
+
+namespace {
+
+void require_bracket(double fa, double fb) {
+  if (std::isnan(fa) || std::isnan(fb)) {
+    throw SolverError("root finding: f evaluated to NaN at a bracket end");
+  }
+  if (fa * fb > 0.0) {
+    throw SolverError("root finding: [a, b] does not bracket a root");
+  }
+}
+
+}  // namespace
+
+double bisect_root(const ScalarFn& f, double a, double b,
+                   const RootOptions& options) {
+  BTMF_CHECK_MSG(a < b, "bisect_root: need a < b");
+  double fa = f(a);
+  double fb = f(b);
+  require_bracket(fa, fb);
+  if (std::abs(fa) <= options.f_tol) return a;
+  if (std::abs(fb) <= options.f_tol) return b;
+
+  for (std::size_t i = 0; i < options.max_iterations; ++i) {
+    const double mid = 0.5 * (a + b);
+    const double fm = f(mid);
+    if (std::abs(fm) <= options.f_tol || (b - a) * 0.5 <= options.x_tol) {
+      return mid;
+    }
+    if (fa * fm < 0.0) {
+      b = mid;
+      fb = fm;
+    } else {
+      a = mid;
+      fa = fm;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double brent_root(const ScalarFn& f, double a, double b,
+                  const RootOptions& options) {
+  BTMF_CHECK_MSG(a < b, "brent_root: need a < b");
+  double fa = f(a);
+  double fb = f(b);
+  require_bracket(fa, fb);
+  if (std::abs(fa) <= options.f_tol) return a;
+  if (std::abs(fb) <= options.f_tol) return b;
+
+  // Brent (1973), following the classic zeroin structure.
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a;
+  double fc = fa;
+  bool used_bisection = true;
+  double d = 0.0;  // step before last
+
+  for (std::size_t i = 0; i < options.max_iterations; ++i) {
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+
+    const double lo = (3.0 * a + b) / 4.0;
+    const bool out_of_range = (s < std::min(lo, b) || s > std::max(lo, b));
+    const bool slow_progress =
+        (used_bisection && std::abs(s - b) >= std::abs(b - c) / 2.0) ||
+        (!used_bisection && std::abs(s - b) >= std::abs(c - d) / 2.0);
+    if (out_of_range || slow_progress) {
+      s = 0.5 * (a + b);
+      used_bisection = true;
+    } else {
+      used_bisection = false;
+    }
+
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (fa * fs < 0.0) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+    if (std::abs(fb) <= options.f_tol || std::abs(b - a) <= options.x_tol) {
+      return b;
+    }
+  }
+  return b;
+}
+
+}  // namespace btmf::math

@@ -1,0 +1,68 @@
+// Blocked parallel-for built on ThreadPool.
+//
+// The body receives the element index, so results are written to
+// pre-allocated slots and the output is bitwise identical regardless of
+// thread count — a requirement for reproducible experiment tables.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "btmf/parallel/thread_pool.h"
+
+namespace btmf::parallel {
+
+/// Runs body(i) for i in [begin, end) across `pool`, in blocks of
+/// roughly equal size. Rethrows the first exception any body raised.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const Body& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t num_blocks =
+      std::min(n, std::max<std::size_t>(1, pool.num_threads() * 4));
+  const std::size_t block = (n + num_blocks - 1) / num_blocks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_blocks);
+  for (std::size_t b = begin; b < end; b += block) {
+    const std::size_t lo = b;
+    const std::size_t hi = std::min(end, b + block);
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Convenience overload using the process-global pool.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body) {
+  parallel_for(global_pool(), begin, end, body);
+}
+
+/// Maps fn over [0, n) into a vector, in parallel, preserving order.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, const Fn& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  std::vector<decltype(fn(std::size_t{0}))> out(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+template <typename Fn>
+auto parallel_map(std::size_t n, const Fn& fn) {
+  return parallel_map(global_pool(), n, fn);
+}
+
+}  // namespace btmf::parallel

@@ -1,0 +1,27 @@
+// Deterministic RNG stream splitting.
+//
+// Monte-Carlo replications run concurrently; each replication derives its
+// seed from (master_seed, replication_index) via SplitMix64 so results do
+// not depend on scheduling order or thread count.
+#pragma once
+
+#include <cstdint>
+
+namespace btmf::parallel {
+
+/// One SplitMix64 step — a strong 64-bit mix (Steele et al., 2014).
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives an independent stream seed for `stream_index` from `master`.
+constexpr std::uint64_t derive_seed(std::uint64_t master,
+                                    std::uint64_t stream_index) noexcept {
+  // Two rounds keep adjacent stream indices statistically unrelated.
+  return splitmix64(splitmix64(master) ^ splitmix64(stream_index * 2 + 1));
+}
+
+}  // namespace btmf::parallel

@@ -1,0 +1,36 @@
+// Flow-level discrete-event engine for CMFSD (Sec. 3.5) including the
+// Adapt mechanism (Sec. 4.3) and cheating peers.
+//
+// One multi-file torrent with K subtorrents. Users arrive Poisson(lambda0),
+// draw a file set from the binomial correlation model, shuffle it and
+// download sequentially at full download bandwidth. While downloading file
+// j >= 2 a peer is a *partial seed*: it plays tit-for-tat with rho x mu in
+// its current subtorrent and donates (1 - rho) x mu through a virtual seed
+// serving one of its completed files. After the last file it becomes a
+// real seed for an Exp(gamma) residence.
+//
+// Service rates mirror the fluid model (5): each downloader receives
+// eta x (its own TFT allocation) from peer exchange plus a share of the
+// pooled virtual-seed + real-seed bandwidth. Under SeedPoolMode::kGlobal
+// the pool is shared equally by all downloaders of the torrent (exactly
+// the S^{i,j} term); under kSubtorrentLocal each virtual seed feeds only
+// the one subtorrent it serves and real seeds split bandwidth across
+// their files — a stricter reading of the protocol used to probe the
+// fluid assumption.
+//
+// Per-peer rho: cheaters pin rho = 1 forever; obedient peers either use
+// the fixed config.rho or run Adapt (start at rho = 0, every `period`
+// compare virtual-seed upload vs. virtual-seed download and nudge rho by
+// step_up / step_down when the imbalance Delta leaves the
+// [phi_lo, phi_hi] dead band for `consecutive` periods).
+#pragma once
+
+#include "btmf/sim/config.h"
+#include "btmf/sim/stats.h"
+
+namespace btmf::sim {
+
+/// Runs one replication; `config.scheme` must be kCmfsd.
+SimResult run_cmfsd_sim(const SimConfig& config);
+
+}  // namespace btmf::sim

@@ -1,0 +1,48 @@
+// Random stream for the discrete-event simulator.
+//
+// One stream per replication, seeded via btmf::parallel::derive_seed so
+// concurrent replications are independent and results never depend on
+// thread scheduling.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace btmf::sim {
+
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed) : engine_(seed) {}
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniform integer in [0, n).
+  std::size_t index(std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace btmf::sim

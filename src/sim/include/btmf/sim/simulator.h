@@ -1,0 +1,39 @@
+// Public entry points of the discrete-event simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "btmf/sim/config.h"
+#include "btmf/sim/stats.h"
+
+namespace btmf::sim {
+
+/// Runs one replication of `config`, dispatching to the multi-torrent or
+/// CMFSD engine by `config.scheme`.
+SimResult run_simulation(const SimConfig& config);
+
+/// Aggregate over independent replications (seeds derived from
+/// config.seed via SplitMix64 stream splitting; runs execute on the
+/// global thread pool).
+struct ReplicationSummary {
+  std::vector<SimResult> runs;
+
+  double mean_online_per_file = 0.0;     ///< across-run mean
+  double stderr_online_per_file = 0.0;   ///< across-run standard error
+  double mean_download_per_file = 0.0;
+  double stderr_download_per_file = 0.0;
+
+  /// Across-run means of the per-class sample metrics (index 0 = class 1;
+  /// classes that completed no users in a run are skipped for that run).
+  std::vector<double> class_online_per_file;
+  std::vector<double> class_download_per_file;
+  std::vector<double> class_little_online;
+  std::vector<double> class_little_download;
+  std::vector<double> class_mean_final_rho;
+};
+
+ReplicationSummary run_replications(const SimConfig& config,
+                                    std::size_t num_replications);
+
+}  // namespace btmf::sim

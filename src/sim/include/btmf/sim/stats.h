@@ -1,0 +1,103 @@
+// Statistics collected by the simulator.
+//
+// Two independent views of the same run:
+//  * sample statistics over users/peers that completed after warm-up
+//    (online time, download time, per file);
+//  * time-averaged populations per class, turned into sojourn times via
+//    Little's law — the quantity the fluid ODEs actually predict.
+// Agreement between the two is itself a consistency check (tests assert
+// it), and each is compared against the fluid equilibrium in the
+// sim-vs-fluid bench.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "btmf/math/stats.h"
+
+namespace btmf::sim {
+
+/// Per-class results (index 0 = class 1 = users who requested one file).
+struct PerClassResult {
+  std::size_t completed_users = 0;   ///< users whose whole visit was sampled
+  double arrival_rate = 0.0;         ///< measured post-warm-up arrival rate
+
+  double mean_online_per_file = 0.0;     ///< sample mean of T_user / i
+  double ci_online_per_file = 0.0;       ///< 95% CI half-width
+  double mean_download_per_file = 0.0;   ///< sample mean of D_user / i
+  double ci_download_per_file = 0.0;
+
+  double avg_downloaders = 0.0;      ///< time-averaged population
+  double avg_seeds = 0.0;
+  double little_download_time = 0.0; ///< avg_downloaders / arrival_rate
+  double little_online_time = 0.0;   ///< (downloaders+seeds)/arrival_rate
+
+  double mean_final_rho = 0.0;       ///< Adapt: mean rho at departure
+};
+
+struct SimResult {
+  std::vector<PerClassResult> classes;
+
+  double avg_online_per_file = 0.0;    ///< paper's headline metric
+  double avg_download_per_file = 0.0;
+  double avg_online_per_user = 0.0;
+
+  double measured_time = 0.0;        ///< horizon - warmup
+  std::size_t total_users = 0;       ///< users sampled (all classes)
+  std::size_t total_arrivals = 0;    ///< incl. warm-up and censored users
+  std::size_t censored_users = 0;    ///< still active at the horizon
+  std::size_t aborted_users = 0;     ///< left before completing (theta > 0)
+  std::size_t events_processed = 0;
+
+  /// Mean rho across obedient adaptive peers, sampled at Adapt ticks
+  /// (time series; empty unless Adapt is enabled).
+  std::vector<double> rho_trajectory_time;
+  std::vector<double> rho_trajectory_mean;
+};
+
+/// Accumulators the engines feed during a run; finalise() builds SimResult.
+class StatsCollector {
+ public:
+  explicit StatsCollector(unsigned num_classes);
+
+  /// Piecewise-constant population integration over [t, t+dt).
+  void observe_populations(const std::vector<double>& downloaders_per_class,
+                           const std::vector<double>& seeds_per_class,
+                           double dt);
+
+  void record_arrival(unsigned user_class);
+
+  /// A user (or virtual peer set) completed its whole visit: `online` is
+  /// depart - arrival, `download` the summed per-file download durations.
+  void record_user(unsigned user_class, unsigned files_requested,
+                   double online, double download, double final_rho,
+                   bool adaptive);
+
+  void record_censored() { ++censored_; }
+  void record_aborted() { ++aborted_; }
+  void record_event() { ++events_; }
+  void record_rho_sample(double t, double mean_rho);
+
+  [[nodiscard]] SimResult finalize(double measured_time,
+                                   std::size_t total_arrivals) const;
+
+ private:
+  unsigned num_classes_;
+  std::vector<math::TimeAverage> downloaders_;
+  std::vector<math::TimeAverage> seeds_;
+  std::vector<math::RunningStats> online_per_file_;
+  std::vector<math::RunningStats> download_per_file_;
+  std::vector<math::RunningStats> final_rho_;
+  std::vector<std::size_t> arrivals_;
+  double online_sum_ = 0.0;
+  double download_sum_ = 0.0;
+  double files_sum_ = 0.0;
+  std::size_t users_ = 0;
+  std::size_t censored_ = 0;
+  std::size_t aborted_ = 0;
+  std::size_t events_ = 0;
+  std::vector<double> rho_times_;
+  std::vector<double> rho_means_;
+};
+
+}  // namespace btmf::sim

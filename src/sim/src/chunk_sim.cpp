@@ -1,0 +1,283 @@
+#include "btmf/sim/chunk_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "btmf/math/stats.h"
+#include "btmf/sim/rng.h"
+#include "btmf/util/check.h"
+#include "btmf/util/error.h"
+
+namespace btmf::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Chunk bitfield over up to a few hundred chunks, in 64-bit words.
+class Bitfield {
+ public:
+  explicit Bitfield(unsigned bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  void set(unsigned bit) {
+    words_[bit / 64] |= std::uint64_t{1} << (bit % 64);
+    ++count_;
+  }
+  void set_all() {
+    for (unsigned b = 0; b < bits_; ++b) {
+      words_[b / 64] |= std::uint64_t{1} << (b % 64);
+    }
+    count_ = bits_;
+  }
+  [[nodiscard]] bool test(unsigned bit) const {
+    return (words_[bit / 64] >> (bit % 64)) & 1;
+  }
+  [[nodiscard]] unsigned count() const { return count_; }
+  [[nodiscard]] bool full() const { return count_ == bits_; }
+
+  /// True if `this` holds any chunk `other` lacks.
+  [[nodiscard]] bool has_something_for(const Bitfield& other) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] & ~other.words_[w]) return true;
+    }
+    return false;
+  }
+
+  /// Chunks in `this` and not in `other`, as indices.
+  void missing_from(const Bitfield& other, std::vector<unsigned>& out) const {
+    out.clear();
+    for (unsigned b = 0; b < bits_; ++b) {
+      if (test(b) && !other.test(b)) out.push_back(b);
+    }
+  }
+
+ private:
+  unsigned bits_;
+  unsigned count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct Peer {
+  explicit Peer(unsigned chunks) : have(chunks) {}
+  Bitfield have;
+  bool is_seed = false;
+  bool permanent = false;  ///< publisher seed, never departs
+  double arrival = 0.0;
+  double seed_depart = kInf;
+  bool sampled = false;
+  /// Decayed TFT credit: chunks recently received, by sender id.
+  std::unordered_map<std::size_t, double> credit;
+};
+
+}  // namespace
+
+void ChunkSimConfig::validate() const {
+  BTMF_CHECK_MSG(num_chunks >= 1 && num_chunks <= 4096,
+                 "num_chunks must lie in [1, 4096]");
+  BTMF_CHECK_MSG(entry_rate > 0.0, "entry_rate must be positive");
+  fluid.validate();
+  BTMF_CHECK_MSG(optimistic_prob >= 0.0 && optimistic_prob <= 1.0,
+                 "optimistic_prob must lie in [0, 1]");
+  BTMF_CHECK_MSG(credit_decay >= 0.0 && credit_decay < 1.0,
+                 "credit_decay must lie in [0, 1)");
+  BTMF_CHECK_MSG(initial_seeds >= 1,
+                 "need at least one publisher seed to bootstrap");
+  BTMF_CHECK_MSG(horizon > 0.0 && warmup >= 0.0 && warmup < horizon,
+                 "need 0 <= warmup < horizon");
+}
+
+ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
+  config.validate();
+  const unsigned chunks = config.num_chunks;
+  // One chunk per peer per slot: slot length so that a full file takes
+  // 1/mu time units of dedicated upload.
+  const double slot_dt = 1.0 / (config.fluid.mu * chunks);
+
+  RandomStream rng(config.seed);
+  std::vector<Peer> peers;
+  std::vector<std::size_t> live;
+  std::vector<unsigned> avail(chunks, 0);  // live copies per chunk
+
+  const auto add_live = [&](std::size_t id) { live.push_back(id); };
+
+  // Publisher seeds.
+  for (unsigned s = 0; s < config.initial_seeds; ++s) {
+    peers.emplace_back(chunks);
+    peers.back().have.set_all();
+    peers.back().is_seed = true;
+    peers.back().permanent = true;
+    add_live(peers.size() - 1);
+    for (unsigned c = 0; c < chunks; ++c) ++avail[c];
+  }
+
+  math::RunningStats download_time;
+  math::TimeAverage downloaders_avg, seeds_avg;
+  double downloader_uploads = 0.0;
+  double seed_uploads = 0.0;
+  double idle_uploader_slots = 0.0;
+  double uploader_slots = 0.0;
+
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> interested;
+  std::vector<unsigned> candidates;
+
+  double t = 0.0;
+  while (t < config.horizon) {
+    const bool measured = t >= config.warmup;
+
+    // --- arrivals (Poisson thinned to this slot) ------------------------
+    const double expect = config.entry_rate * slot_dt;
+    // Draw the Poisson count via inter-arrival exponentials.
+    double budget = expect;
+    while (true) {
+      const double gap = rng.exponential(1.0);
+      if (gap > budget) break;
+      budget -= gap;
+      peers.emplace_back(chunks);
+      peers.back().arrival = t;
+      peers.back().sampled = measured;
+      add_live(peers.size() - 1);
+    }
+    if (live.size() > config.max_peers) {
+      throw SolverError("chunk simulation exceeded max_peers");
+    }
+
+    // --- seed departures -------------------------------------------------
+    for (std::size_t li = 0; li < live.size();) {
+      Peer& p = peers[live[li]];
+      if (p.is_seed && !p.permanent && p.seed_depart <= t) {
+        for (unsigned c = 0; c < chunks; ++c) {
+          if (p.have.test(c)) --avail[c];
+        }
+        live[li] = live.back();
+        live.pop_back();
+      } else {
+        ++li;
+      }
+    }
+
+    // --- population accounting -------------------------------------------
+    if (measured) {
+      double x = 0.0;
+      double y = 0.0;
+      for (const std::size_t id : live) {
+        (peers[id].is_seed ? y : x) += 1.0;
+      }
+      downloaders_avg.add(x, slot_dt);
+      seeds_avg.add(y, slot_dt);
+    }
+
+    // --- uploads: every peer with data ships one chunk --------------------
+    order = live;
+    rng.shuffle(order);
+    for (const std::size_t uid : order) {
+      Peer& u = peers[uid];
+      if (u.have.count() == 0) continue;  // nothing to offer yet
+
+      // Interested receivers: downloaders lacking something u has.
+      interested.clear();
+      for (const std::size_t vid : live) {
+        if (vid == uid) continue;
+        Peer& v = peers[vid];
+        if (v.is_seed) continue;
+        if (u.have.has_something_for(v.have)) interested.push_back(vid);
+      }
+      if (measured) uploader_slots += 1.0;
+      if (interested.empty()) {
+        if (measured) idle_uploader_slots += 1.0;
+        continue;
+      }
+
+      // Receiver: seeds are altruistic; downloaders reciprocate their
+      // best recent uploader except on optimistic unchokes.
+      std::size_t receiver = interested[rng.index(interested.size())];
+      if (!u.is_seed && !(config.optimistic_prob > 0.0 &&
+                          rng.uniform() < config.optimistic_prob)) {
+        double best_credit = 0.0;
+        for (const std::size_t vid : interested) {
+          const auto it = u.credit.find(vid);
+          const double credit = it != u.credit.end() ? it->second : 0.0;
+          if (credit > best_credit) {
+            best_credit = credit;
+            receiver = vid;
+          }
+        }
+        // best_credit == 0 keeps the random (optimistic) choice.
+      }
+
+      // Chunk: local rarest first among what u can give the receiver.
+      Peer& v = peers[receiver];
+      u.have.missing_from(v.have, candidates);
+      BTMF_ASSERT(!candidates.empty());
+      unsigned chosen = candidates[0];
+      unsigned best_avail = std::numeric_limits<unsigned>::max();
+      const std::size_t start = rng.index(candidates.size());
+      for (std::size_t k = 0; k < candidates.size(); ++k) {
+        const unsigned c = candidates[(start + k) % candidates.size()];
+        if (avail[c] < best_avail) {
+          best_avail = avail[c];
+          chosen = c;
+        }
+      }
+
+      v.have.set(chosen);
+      ++avail[chosen];
+      v.credit[uid] += 1.0;
+      if (measured) {
+        (u.is_seed ? seed_uploads : downloader_uploads) += 1.0;
+      }
+
+      if (v.have.full()) {
+        v.is_seed = true;
+        v.seed_depart = t + rng.exponential(config.fluid.gamma);
+        v.credit.clear();
+        if (v.sampled) download_time.add(t + slot_dt - v.arrival);
+      }
+    }
+
+    // --- TFT credit decay --------------------------------------------------
+    for (const std::size_t id : live) {
+      Peer& p = peers[id];
+      if (p.is_seed || p.credit.empty()) continue;
+      for (auto it = p.credit.begin(); it != p.credit.end();) {
+        it->second *= config.credit_decay;
+        it = it->second < 0.01 ? p.credit.erase(it) : std::next(it);
+      }
+    }
+
+    t += slot_dt;
+  }
+
+  ChunkSimResult result;
+  result.completed_peers = download_time.count();
+  result.mean_download_time = download_time.mean();
+  result.ci_download_time = download_time.ci_halfwidth();
+  result.avg_downloaders = downloaders_avg.average();
+  result.avg_seeds = seeds_avg.average();
+  const double measured_slots =
+      (config.horizon - config.warmup) / slot_dt;
+  const double dl_per_slot = downloader_uploads / measured_slots;
+  result.emergent_eta = result.avg_downloaders > 0.0
+                            ? dl_per_slot / result.avg_downloaders
+                            : 0.0;
+  const double total_uploads = downloader_uploads + seed_uploads;
+  if (total_uploads > 0.0) {
+    result.downloader_upload_share = downloader_uploads / total_uploads;
+    result.seed_upload_share = seed_uploads / total_uploads;
+  }
+  result.idle_fraction =
+      uploader_slots > 0.0 ? idle_uploader_slots / uploader_slots : 0.0;
+  if (result.emergent_eta > 0.0 &&
+      config.fluid.gamma > config.fluid.mu) {
+    result.fluid_prediction =
+        (config.fluid.gamma - config.fluid.mu) /
+        (config.fluid.gamma * config.fluid.mu * result.emergent_eta);
+  }
+  return result;
+}
+
+}  // namespace btmf::sim

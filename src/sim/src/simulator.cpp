@@ -1,0 +1,104 @@
+#include "btmf/sim/simulator.h"
+
+#include "btmf/math/stats.h"
+#include "btmf/parallel/parallel_for.h"
+#include "btmf/parallel/seeds.h"
+#include "btmf/sim/cmfsd_sim.h"
+#include "btmf/sim/multi_torrent_sim.h"
+#include "btmf/util/check.h"
+
+namespace btmf::sim {
+
+void SimConfig::validate() const {
+  BTMF_CHECK_MSG(num_files >= 1, "num_files must be >= 1");
+  BTMF_CHECK_MSG(correlation >= 0.0 && correlation <= 1.0,
+                 "correlation p must lie in [0, 1]");
+  if (!file_probs.empty()) {
+    BTMF_CHECK_MSG(file_probs.size() == num_files,
+                   "file_probs must have exactly num_files entries");
+    for (const double p : file_probs) {
+      BTMF_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                     "file request probabilities must lie in [0, 1]");
+    }
+  }
+  BTMF_CHECK_MSG(visit_rate > 0.0, "visit_rate lambda0 must be positive");
+  fluid.validate();
+  BTMF_CHECK_MSG(rho >= 0.0 && rho <= 1.0, "rho must lie in [0, 1]");
+  BTMF_CHECK_MSG(cheater_fraction >= 0.0 && cheater_fraction <= 1.0,
+                 "cheater_fraction must lie in [0, 1]");
+  BTMF_CHECK_MSG(download_bw > 0.0, "download_bw must be positive");
+  BTMF_CHECK_MSG(abort_rate >= 0.0, "abort_rate must be non-negative");
+  BTMF_CHECK_MSG(file_size > 0.0, "file_size must be positive");
+  BTMF_CHECK_MSG(horizon > 0.0, "horizon must be positive");
+  BTMF_CHECK_MSG(warmup >= 0.0 && warmup < horizon,
+                 "warmup must lie in [0, horizon)");
+  BTMF_CHECK_MSG(max_active_peers > 0, "max_active_peers must be positive");
+  if (adapt.enabled) {
+    BTMF_CHECK_MSG(adapt.period > 0.0, "adapt.period must be positive");
+    BTMF_CHECK_MSG(adapt.phi_lo <= adapt.phi_hi,
+                   "adapt needs phi_lo <= phi_hi (dead band)");
+    BTMF_CHECK_MSG(adapt.step_up >= 0.0 && adapt.step_down >= 0.0,
+                   "adapt steps must be non-negative");
+    BTMF_CHECK_MSG(adapt.consecutive >= 1, "adapt.consecutive must be >= 1");
+    BTMF_CHECK_MSG(
+        adapt.initial_rho >= 0.0 && adapt.initial_rho <= 1.0,
+        "adapt.initial_rho must lie in [0, 1]");
+  }
+}
+
+SimResult run_simulation(const SimConfig& config) {
+  if (config.scheme == fluid::SchemeKind::kCmfsd) {
+    return run_cmfsd_sim(config);
+  }
+  return run_multi_torrent_sim(config);
+}
+
+ReplicationSummary run_replications(const SimConfig& config,
+                                    std::size_t num_replications) {
+  BTMF_CHECK_MSG(num_replications >= 1, "need at least one replication");
+  ReplicationSummary summary;
+  summary.runs.resize(num_replications);
+  parallel::parallel_for(0, num_replications, [&](std::size_t r) {
+    SimConfig rep = config;
+    rep.seed = parallel::derive_seed(config.seed, r);
+    summary.runs[r] = run_simulation(rep);
+  });
+
+  math::RunningStats online, download;
+  const unsigned num_classes = config.num_files;
+  std::vector<math::RunningStats> c_online(num_classes),
+      c_download(num_classes), c_lonline(num_classes),
+      c_ldownload(num_classes), c_rho(num_classes);
+  for (const SimResult& run : summary.runs) {
+    online.add(run.avg_online_per_file);
+    download.add(run.avg_download_per_file);
+    for (unsigned k = 0; k < num_classes; ++k) {
+      const PerClassResult& c = run.classes[k];
+      if (c.completed_users == 0) continue;
+      c_online[k].add(c.mean_online_per_file);
+      c_download[k].add(c.mean_download_per_file);
+      c_lonline[k].add(c.little_online_time);
+      c_ldownload[k].add(c.little_download_time);
+      c_rho[k].add(c.mean_final_rho);
+    }
+  }
+  summary.mean_online_per_file = online.mean();
+  summary.stderr_online_per_file = online.stderr_mean();
+  summary.mean_download_per_file = download.mean();
+  summary.stderr_download_per_file = download.stderr_mean();
+  summary.class_online_per_file.resize(num_classes);
+  summary.class_download_per_file.resize(num_classes);
+  summary.class_little_online.resize(num_classes);
+  summary.class_little_download.resize(num_classes);
+  summary.class_mean_final_rho.resize(num_classes);
+  for (unsigned k = 0; k < num_classes; ++k) {
+    summary.class_online_per_file[k] = c_online[k].mean();
+    summary.class_download_per_file[k] = c_download[k].mean();
+    summary.class_little_online[k] = c_lonline[k].mean();
+    summary.class_little_download[k] = c_ldownload[k].mean();
+    summary.class_mean_final_rho[k] = c_rho[k].mean();
+  }
+  return summary;
+}
+
+}  // namespace btmf::sim

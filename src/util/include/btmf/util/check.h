@@ -1,0 +1,41 @@
+// Precondition-checking helpers.
+//
+// BTMF_CHECK / BTMF_CHECK_MSG throw btmf::ConfigError on violation and are
+// always active (they guard the public API against invalid parameters, not
+// internal invariants). BTMF_ASSERT compiles away in release builds and is
+// reserved for internal invariants that indicate a bug in btmf itself.
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <string>
+
+#include "btmf/util/error.h"
+
+namespace btmf::detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ConfigError(os.str());
+}
+
+}  // namespace btmf::detail
+
+#define BTMF_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::btmf::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define BTMF_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::btmf::detail::throw_check_failure(#expr, __FILE__, __LINE__,    \
+                                          (msg));                        \
+  } while (false)
+
+#define BTMF_ASSERT(expr) assert(expr)

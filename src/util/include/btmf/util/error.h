@@ -1,0 +1,40 @@
+// Exception hierarchy for the btmf library.
+//
+// All btmf components signal unrecoverable misuse (bad configuration,
+// numerical failure, I/O trouble) through these types so callers can
+// distinguish "your parameters are outside the model's validity domain"
+// from "the solver failed to converge" without string matching.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace btmf {
+
+/// Base class of every exception thrown by btmf.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A configuration or parameter value is invalid or outside the model's
+/// validity domain (e.g. gamma <= mu in the upload-constrained fluid model).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or was asked to operate on
+/// ill-conditioned input (singular matrix, step-size underflow, ...).
+class SolverError : public Error {
+ public:
+  explicit SolverError(const std::string& what) : Error(what) {}
+};
+
+/// Filesystem or stream failure while writing result tables.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace btmf

@@ -1,0 +1,55 @@
+// Minimal thread-safe leveled logger.
+//
+// The benches and examples use this for progress reporting; the library
+// itself stays silent below LogLevel::kWarn so it can be embedded quietly.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace btmf::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns the process-wide minimum level; messages below it are dropped.
+LogLevel log_threshold() noexcept;
+
+/// Sets the process-wide minimum level (thread-safe).
+void set_log_threshold(LogLevel level) noexcept;
+
+/// Writes one formatted line ("[level] message") to stderr under a lock.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace btmf::util
+
+#define BTMF_LOG(level)                                      \
+  if (::btmf::util::log_threshold() <= (level))              \
+  ::btmf::util::detail::LogMessage(level)
+
+#define BTMF_LOG_DEBUG BTMF_LOG(::btmf::util::LogLevel::kDebug)
+#define BTMF_LOG_INFO BTMF_LOG(::btmf::util::LogLevel::kInfo)
+#define BTMF_LOG_WARN BTMF_LOG(::btmf::util::LogLevel::kWarn)
+#define BTMF_LOG_ERROR BTMF_LOG(::btmf::util::LogLevel::kError)

@@ -1,0 +1,56 @@
+// Column-oriented result tables.
+//
+// Every bench binary emits its figure/table data through this type so the
+// output is available both as an aligned human-readable table and as CSV
+// (for replotting against the paper's figures).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace btmf::util {
+
+/// A table cell: text or a double rendered with the table's precision.
+using Cell = std::variant<std::string, double>;
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number of significant digits used when rendering double cells.
+  void set_precision(int digits);
+
+  /// Appends one row; the number of cells must match the header count.
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+
+  /// Returns the cell at (row, col) rendered as a string.
+  [[nodiscard]] std::string cell_text(std::size_t row, std::size_t col) const;
+
+  /// Writes an aligned, pipe-separated table (markdown-compatible).
+  void write_pretty(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+  /// Writes CSV to `path`, throwing btmf::IoError on failure.
+  void save_csv(const std::string& path) const;
+
+  /// Convenience: render write_pretty() into a string.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 6;
+};
+
+}  // namespace btmf::util

@@ -1,0 +1,42 @@
+#include "btmf/util/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace btmf::util {
+
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() noexcept {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) noexcept {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace btmf::util

@@ -1,0 +1,111 @@
+#include "btmf/util/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "btmf/util/check.h"
+#include "btmf/util/error.h"
+#include "btmf/util/strings.h"
+
+namespace btmf::util {
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  BTMF_CHECK_MSG(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::set_precision(int digits) {
+  BTMF_CHECK(digits >= 1 && digits <= 17);
+  precision_ = digits;
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  BTMF_CHECK_MSG(cells.size() == headers_.size(),
+                 "row width does not match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell_text(std::size_t row, std::size_t col) const {
+  BTMF_CHECK(row < rows_.size() && col < headers_.size());
+  const Cell& cell = rows_[row][col];
+  if (std::holds_alternative<double>(cell)) {
+    return format_double(std::get<double>(cell), precision_);
+  }
+  return std::get<std::string>(cell);
+}
+
+void Table::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (std::size_t r = 0; r < rows_.size(); ++r)
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = std::max(widths[c], cell_text(r, c).size());
+
+  const auto write_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c]
+         << std::string(widths[c] - cells[c].size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  write_row(headers_);
+  os << '|';
+  for (const std::size_t w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      cells.push_back(cell_text(r, c));
+    write_row(cells);
+  }
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(cell_text(r, c));
+    }
+    os << '\n';
+  }
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw IoError("cannot open '" + path + "' for writing");
+  write_csv(file);
+  if (!file) throw IoError("write to '" + path + "' failed");
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  write_pretty(os);
+  return os.str();
+}
+
+}  // namespace btmf::util

@@ -1,0 +1,122 @@
+#include "btmf/core/evaluate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "btmf/util/error.h"
+
+namespace btmf::core {
+namespace {
+
+ScenarioConfig paper_scenario(double p) {
+  ScenarioConfig sc;
+  sc.correlation = p;
+  return sc;  // K = 10, paper fluid constants, lambda0 = 1
+}
+
+TEST(EvaluateTest, MtsdIsEightyEverywhere) {
+  for (const double p : {0.0, 0.3, 1.0}) {
+    const SchemeReport r =
+        evaluate_scheme(paper_scenario(p), fluid::SchemeKind::kMtsd);
+    EXPECT_NEAR(r.avg_online_per_file, 80.0, 1e-9) << "p=" << p;
+    EXPECT_NEAR(r.avg_download_per_file, 60.0, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(EvaluateTest, MtcdPaperNumbers) {
+  // p = 1: A = 96, avg online per file = 96 + 20/10 = 98.
+  const SchemeReport r =
+      evaluate_scheme(paper_scenario(1.0), fluid::SchemeKind::kMtcd);
+  EXPECT_NEAR(r.avg_online_per_file, 98.0, 1e-9);
+  EXPECT_NEAR(r.avg_download_per_file, 96.0, 1e-9);
+}
+
+TEST(EvaluateTest, MtcdEqualsMtsdInTheZeroCorrelationLimit) {
+  const SchemeReport mtcd =
+      evaluate_scheme(paper_scenario(0.0), fluid::SchemeKind::kMtcd);
+  const SchemeReport mtsd =
+      evaluate_scheme(paper_scenario(0.0), fluid::SchemeKind::kMtsd);
+  EXPECT_NEAR(mtcd.avg_online_per_file, mtsd.avg_online_per_file, 1e-9);
+}
+
+TEST(EvaluateTest, MfcdEqualsMtcd) {
+  const SchemeReport mtcd =
+      evaluate_scheme(paper_scenario(0.6), fluid::SchemeKind::kMtcd);
+  const SchemeReport mfcd =
+      evaluate_scheme(paper_scenario(0.6), fluid::SchemeKind::kMfcd);
+  EXPECT_NEAR(mtcd.avg_online_per_file, mfcd.avg_online_per_file, 1e-9);
+}
+
+TEST(EvaluateTest, CmfsdUsesRhoOption) {
+  EvaluateOptions generous;
+  generous.rho = 0.0;
+  EvaluateOptions selfish;
+  selfish.rho = 1.0;
+  const SchemeReport g = evaluate_scheme(paper_scenario(0.9),
+                                         fluid::SchemeKind::kCmfsd, generous);
+  const SchemeReport s = evaluate_scheme(paper_scenario(0.9),
+                                         fluid::SchemeKind::kCmfsd, selfish);
+  EXPECT_LT(g.avg_online_per_file, s.avg_online_per_file);
+  EXPECT_DOUBLE_EQ(g.rho, 0.0);
+  EXPECT_DOUBLE_EQ(s.rho, 1.0);
+}
+
+TEST(EvaluateTest, CmfsdAtZeroCorrelationThrows) {
+  EXPECT_THROW(
+      evaluate_scheme(paper_scenario(0.0), fluid::SchemeKind::kCmfsd),
+      ConfigError);
+}
+
+TEST(EvaluateTest, RhoIsNaNForSchemesWithoutTheKnob) {
+  const SchemeReport r =
+      evaluate_scheme(paper_scenario(0.5), fluid::SchemeKind::kMtsd);
+  EXPECT_TRUE(std::isnan(r.rho));
+}
+
+TEST(EvaluateTest, PerClassRhoOverridesUniform) {
+  EvaluateOptions options;
+  options.rho = 0.0;                          // would be generous...
+  options.rho_per_class.assign(10, 1.0);      // ...but per-class wins
+  const SchemeReport selfish = evaluate_scheme(
+      paper_scenario(0.9), fluid::SchemeKind::kCmfsd, options);
+  EvaluateOptions generous;
+  generous.rho = 0.0;
+  const SchemeReport g = evaluate_scheme(paper_scenario(0.9),
+                                         fluid::SchemeKind::kCmfsd, generous);
+  EXPECT_GT(selfish.avg_online_per_file, g.avg_online_per_file);
+}
+
+TEST(EvaluateTest, ClassEntryRatesAreReported) {
+  const SchemeReport r =
+      evaluate_scheme(paper_scenario(0.5), fluid::SchemeKind::kMtcd);
+  ASSERT_EQ(r.class_entry_rates.size(), 10u);
+  double total = 0.0;
+  for (const double rate : r.class_entry_rates) total += rate;
+  EXPECT_NEAR(total, 1.0 - std::pow(0.5, 10), 1e-9);
+}
+
+TEST(EvaluateTest, InvalidScenarioThrows) {
+  ScenarioConfig sc = paper_scenario(0.5);
+  sc.visit_rate = -1.0;
+  EXPECT_THROW((void)evaluate_scheme(sc, fluid::SchemeKind::kMtsd), ConfigError);
+  sc = paper_scenario(2.0);
+  EXPECT_THROW((void)evaluate_scheme(sc, fluid::SchemeKind::kMtsd), ConfigError);
+}
+
+TEST(EvaluateTest, EvaluateAllReturnsFourReports) {
+  const auto reports = evaluate_all_schemes(paper_scenario(0.5));
+  ASSERT_EQ(reports.size(), 4u);
+  EXPECT_EQ(reports[0].scheme, fluid::SchemeKind::kMtcd);
+  EXPECT_EQ(reports[3].scheme, fluid::SchemeKind::kCmfsd);
+}
+
+TEST(EvaluateTest, AveragePerUserAtLeastPerFile) {
+  // Per-user online time aggregates >= 1 file, so it dominates per-file.
+  const SchemeReport r =
+      evaluate_scheme(paper_scenario(0.7), fluid::SchemeKind::kMtsd);
+  EXPECT_GE(r.avg_online_per_user, r.avg_online_per_file - 1e-9);
+}
+
+}  // namespace
+}  // namespace btmf::core

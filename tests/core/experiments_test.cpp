@@ -1,0 +1,114 @@
+#include "btmf/core/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "btmf/util/strings.h"
+
+namespace btmf::core {
+namespace {
+
+ScenarioConfig paper_base() {
+  return {};  // K = 10, paper fluid constants
+}
+
+double cell(const util::Table& t, std::size_t row, std::size_t col) {
+  return util::parse_double(t.cell_text(row, col), "cell");
+}
+
+TEST(Fig2Test, ShapeMatchesPaper) {
+  const std::vector<double> ps{0.0, 0.1, 0.5, 1.0};
+  const util::Table t = fig2_table(paper_base(), ps);
+  ASSERT_EQ(t.num_rows(), 4u);
+  ASSERT_EQ(t.num_cols(), 4u);
+  // MTSD column is flat at 80.
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_NEAR(cell(t, r, 2), 80.0, 1e-6) << "row " << r;
+  }
+  // MTCD equals MTSD at p = 0 and rises monotonically to 98 at p = 1.
+  EXPECT_NEAR(cell(t, 0, 1), 80.0, 1e-6);
+  EXPECT_NEAR(cell(t, 3, 1), 98.0, 1e-6);
+  for (std::size_t r = 1; r < 4; ++r) {
+    EXPECT_GT(cell(t, r, 1), cell(t, r - 1, 1));
+  }
+}
+
+TEST(Fig3Test, PerClassStructure) {
+  const std::vector<double> ps{0.1, 1.0};
+  const util::Table t = fig3_table(paper_base(), ps);
+  ASSERT_EQ(t.num_rows(), 20u);  // 2 correlations x 10 classes
+  // Row 0: p = 0.1, class 1. MTCD online/file > MTSD's 80 at low p for
+  // the single-file majority (the paper's fairness complaint).
+  EXPECT_GT(cell(t, 0, 2), cell(t, 0, 3));
+  // Row 9: p = 0.1, class 10: MTCD beats MTSD per file.
+  EXPECT_LT(cell(t, 9, 2), cell(t, 9, 3));
+  // At p = 1 (rows 10..19) only class 10 is populated but the formula
+  // columns remain finite for every class; MTCD online/file at class 10
+  // must be 96 + 2 = 98.
+  EXPECT_NEAR(cell(t, 19, 2), 98.0, 1e-6);
+  // MTSD download per file is 60 everywhere.
+  for (const std::size_t r : {0ul, 5ul, 12ul, 19ul}) {
+    EXPECT_NEAR(cell(t, r, 5), 60.0, 1e-6);
+  }
+}
+
+TEST(Fig4aTest, SurfaceMonotoneInRhoAndBestAtZero) {
+  const std::vector<double> ps{0.3, 0.9};
+  const std::vector<double> rhos{0.0, 0.5, 1.0};
+  const util::Table t = fig4a_table(paper_base(), ps, rhos);
+  ASSERT_EQ(t.num_rows(), 2u);
+  ASSERT_EQ(t.num_cols(), 4u);
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_LT(cell(t, r, 1), cell(t, r, 2));
+    EXPECT_LT(cell(t, r, 2), cell(t, r, 3));
+  }
+  // The rho = 0 advantage grows with correlation (paper Sec. 4.2.2):
+  const double gain_low = cell(t, 0, 3) - cell(t, 0, 1);
+  const double gain_high = cell(t, 1, 3) - cell(t, 1, 1);
+  EXPECT_GT(gain_high, gain_low);
+}
+
+TEST(Fig4bcTest, UnfairnessPattern) {
+  const std::vector<double> rhos{0.1, 0.9};
+  // p = 0.1 (paper Fig. 4(c)): strong unfairness — class 1 much faster
+  // than class 10 in download time per file under CMFSD.
+  const util::Table low = fig4bc_table(paper_base(), 0.1, rhos);
+  ASSERT_EQ(low.num_rows(), 10u);
+  ASSERT_EQ(low.num_cols(), 7u);  // class + 2x2 CMFSD + MFCD pair
+  const double dl_c1_rho09 = cell(low, 0, 4);
+  const double dl_c10_rho09 = cell(low, 9, 4);
+  EXPECT_LT(dl_c1_rho09, dl_c10_rho09);
+  // MFCD download per file is class-independent (fair).
+  EXPECT_NEAR(cell(low, 0, 6), cell(low, 9, 6), 1e-6);
+
+  // p = 0.9 (Fig. 4(b)) with rho = 0.1: every class beats MFCD online.
+  const util::Table high = fig4bc_table(paper_base(), 0.9, rhos);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_LT(cell(high, r, 1), cell(high, r, 5)) << "class " << r + 1;
+  }
+}
+
+TEST(ValidationTest, AllChecksTight) {
+  const std::vector<double> ps{0.2, 0.7, 1.0};
+  const util::Table t = validation_table(paper_base(), ps);
+  ASSERT_EQ(t.num_rows(), 7u);  // 4 degenerate + 3 identity rows
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    const double expected = cell(t, r, 2);
+    const double diff = cell(t, r, 4);
+    EXPECT_LT(diff, 1e-3 * expected + 1e-6) << t.cell_text(r, 0);
+  }
+}
+
+TEST(Fig4aTest, CellsIndependentOfSweepOrder) {
+  // The parallel grid fill must be deterministic.
+  const std::vector<double> ps{0.5};
+  const std::vector<double> rhos{0.2, 0.8};
+  const util::Table a = fig4a_table(paper_base(), ps, rhos);
+  const util::Table b = fig4a_table(paper_base(), ps, rhos);
+  EXPECT_EQ(a.cell_text(0, 1), b.cell_text(0, 1));
+  EXPECT_EQ(a.cell_text(0, 2), b.cell_text(0, 2));
+}
+
+}  // namespace
+}  // namespace btmf::core

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "btmf/fluid/extended.h"
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+namespace {
+
+TEST(AbortAwareTest, ZeroThetaCoincidesWithTransferableModel) {
+  ExtendedParams params;
+  const ExtendedEquilibrium a =
+      abort_aware_single_torrent_equilibrium(params, 1.0);
+  const ExtendedEquilibrium b =
+      extended_single_torrent_equilibrium(params, 1.0);
+  EXPECT_DOUBLE_EQ(a.download_time, b.download_time);
+  EXPECT_DOUBLE_EQ(a.downloaders, b.downloaders);
+}
+
+TEST(AbortAwareTest, SatisfiesItsFixedPointEquation) {
+  ExtendedParams params;
+  params.abort_rate = 1.0 / 120.0;
+  const ExtendedEquilibrium eq =
+      abort_aware_single_torrent_equilibrium(params, 1.0);
+  const double r = 1.0 / eq.download_time;
+  const double q = std::exp(-params.abort_rate * eq.download_time);
+  const double rhs = params.base.mu * params.base.eta +
+                     params.base.mu * params.abort_rate / params.base.gamma *
+                         q / (1.0 - q);
+  EXPECT_NEAR(r, rhs, 1e-10);
+  EXPECT_NEAR(eq.completion_fraction, q, 1e-12);
+}
+
+TEST(AbortAwareTest, SlowerThanTransferableModel) {
+  // Wasting the partial progress of aborting peers can only hurt.
+  for (const double theta : {1e-4, 1.0 / 240.0, 1.0 / 120.0, 1.0 / 60.0}) {
+    ExtendedParams params;
+    params.abort_rate = theta;
+    const ExtendedEquilibrium aware =
+        abort_aware_single_torrent_equilibrium(params, 1.0);
+    const ExtendedEquilibrium transferable =
+        extended_single_torrent_equilibrium(params, 1.0);
+    EXPECT_GE(aware.download_time, transferable.download_time - 1e-9)
+        << "theta=" << theta;
+    EXPECT_LE(aware.completion_fraction,
+              transferable.completion_fraction + 1e-9)
+        << "theta=" << theta;
+  }
+}
+
+TEST(AbortAwareTest, ContinuousAsThetaVanishes) {
+  ExtendedParams params;
+  params.abort_rate = 1e-7;
+  const ExtendedEquilibrium tiny =
+      abort_aware_single_torrent_equilibrium(params, 1.0);
+  EXPECT_NEAR(tiny.download_time, 60.0, 0.01);
+  EXPECT_NEAR(tiny.completion_fraction, 1.0, 1e-4);
+}
+
+TEST(AbortAwareTest, PaperConstantsKnownValue) {
+  // theta = 1/120: r solves r = 0.01 + (0.02/120/0.05) q/(1-q). The
+  // discrete-event simulator measures dl time ~ 71.6, q ~ 0.55.
+  ExtendedParams params;
+  params.abort_rate = 1.0 / 120.0;
+  const ExtendedEquilibrium eq =
+      abort_aware_single_torrent_equilibrium(params, 1.0);
+  EXPECT_NEAR(eq.download_time, 71.6, 1.5);
+  EXPECT_NEAR(eq.completion_fraction, 0.55, 0.02);
+}
+
+TEST(AbortAwareTest, BandwidthCapOverridesRate) {
+  ExtendedParams params;
+  params.abort_rate = 1.0 / 120.0;
+  params.download_bw = 0.005;  // way below the solved rate
+  const ExtendedEquilibrium eq =
+      abort_aware_single_torrent_equilibrium(params, 1.0);
+  EXPECT_TRUE(eq.download_constrained);
+  EXPECT_NEAR(eq.download_time, 200.0, 1e-9);
+}
+
+TEST(AbortAwareTest, GammaBelowMuRequiresFiniteBandwidth) {
+  ExtendedParams params;
+  params.base.gamma = 0.01;
+  params.abort_rate = 0.01;
+  EXPECT_THROW((void)abort_aware_single_torrent_equilibrium(params, 1.0),
+               ConfigError);
+  params.download_bw = 0.03;
+  const ExtendedEquilibrium eq =
+      abort_aware_single_torrent_equilibrium(params, 1.0);
+  EXPECT_TRUE(eq.download_constrained);
+}
+
+}  // namespace
+}  // namespace btmf::fluid

@@ -1,0 +1,132 @@
+#include "btmf/fluid/adapt_fluid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "btmf/fluid/cmfsd.h"
+#include "btmf/fluid/correlation.h"
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+namespace {
+
+std::vector<double> paper_rates(unsigned k, double p) {
+  return CorrelationModel(k, p, 1.0).system_entry_rates();
+}
+
+TEST(AdaptFluidTest, StateLayoutIsConsistent) {
+  const AdaptFluidModel model(kPaperParams, paper_rates(4, 0.8), 0.3);
+  // 2 cohorts x 10 stages + 2 x 4 seeds + 4 rho = 32.
+  EXPECT_EQ(model.state_size(), 2u * 10u + 2u * 4u + 4u);
+  EXPECT_EQ(model.x_index(false, 1, 1), 0u);
+  EXPECT_EQ(model.x_index(true, 1, 1), 10u);
+  EXPECT_EQ(model.y_index(false, 1), 20u);
+  EXPECT_EQ(model.y_index(true, 4), 27u);
+  EXPECT_EQ(model.rho_index(1), 28u);
+  EXPECT_EQ(model.rho_index(4), 31u);
+}
+
+TEST(AdaptFluidTest, InvalidConstructionThrows) {
+  EXPECT_THROW((void)AdaptFluidModel(kPaperParams, {}, 0.0), ConfigError);
+  EXPECT_THROW((void)AdaptFluidModel(kPaperParams, {1.0}, 1.0), ConfigError);
+  EXPECT_THROW((void)AdaptFluidModel(kPaperParams, {1.0}, -0.1), ConfigError);
+  AdaptFluidParams bad;
+  bad.phi_lo = 1.0;
+  bad.phi_hi = -1.0;
+  EXPECT_THROW((void)AdaptFluidModel(kPaperParams, {1.0}, 0.0, bad), ConfigError);
+}
+
+TEST(AdaptFluidTest, AllObedientHighCorrelationStaysGenerous) {
+  // With no cheaters at high p, contributions and receipts balance near
+  // the dead band: starting at rho = 0 the system stays generous and
+  // reproduces the static CMFSD(rho ~ 0) performance.
+  const auto rates = paper_rates(5, 0.9);
+  const AdaptFluidModel model(kPaperParams, rates, 0.0);
+  const AdaptFluidEquilibrium eq = model.solve();
+  for (unsigned i = 2; i <= 5; ++i) {
+    EXPECT_LT(eq.rho[i - 1], 0.35) << "class " << i;
+  }
+  const CmfsdEquilibrium generous =
+      CmfsdModel(kPaperParams, rates, 0.0).solve();
+  const double static_avg =
+      average_online_time_per_file(generous.metrics, rates);
+  EXPECT_NEAR(eq.avg_online_per_file, static_avg, 0.25 * static_avg);
+}
+
+TEST(AdaptFluidTest, CheaterMajorityDrivesRhoUp) {
+  const auto rates = paper_rates(5, 0.9);
+  const AdaptFluidEquilibrium honest =
+      AdaptFluidModel(kPaperParams, rates, 0.0).solve();
+  const AdaptFluidEquilibrium cheated =
+      AdaptFluidModel(kPaperParams, rates, 0.8).solve();
+  double honest_mean = 0.0;
+  double cheated_mean = 0.0;
+  for (unsigned i = 2; i <= 5; ++i) {
+    honest_mean += honest.rho[i - 1];
+    cheated_mean += cheated.rho[i - 1];
+  }
+  EXPECT_GT(cheated_mean, honest_mean + 0.4);
+}
+
+TEST(AdaptFluidTest, RhoStaysInUnitInterval) {
+  for (const double f : {0.0, 0.5, 0.9}) {
+    AdaptFluidParams half_start;
+    half_start.initial_rho = 0.5;
+    const AdaptFluidEquilibrium eq =
+        AdaptFluidModel(kPaperParams, paper_rates(4, 0.8), f, half_start)
+            .solve();
+    for (const double rho : eq.rho) {
+      EXPECT_GE(rho, 0.0);
+      EXPECT_LE(rho, 1.0);
+    }
+  }
+}
+
+TEST(AdaptFluidTest, FlowConservationHoldsPerCohort) {
+  const auto rates = paper_rates(4, 0.7);
+  const double f = 0.4;
+  const AdaptFluidModel model(kPaperParams, rates, f);
+  const AdaptFluidEquilibrium eq = model.solve();
+  for (unsigned i = 1; i <= 4; ++i) {
+    const double obedient_rate = (i >= 2 ? 1.0 - f : 1.0) * rates[i - 1];
+    const double cheater_rate = (i >= 2 ? f : 0.0) * rates[i - 1];
+    EXPECT_NEAR(kPaperParams.gamma * eq.state[model.y_index(false, i)],
+                obedient_rate, 2e-4 * (1.0 + obedient_rate))
+        << "obedient class " << i;
+    EXPECT_NEAR(kPaperParams.gamma * eq.state[model.y_index(true, i)],
+                cheater_rate, 2e-4 * (1.0 + cheater_rate))
+        << "cheater class " << i;
+  }
+}
+
+TEST(AdaptFluidTest, CheatersOutperformObedientPeersOfSameClass) {
+  // The incentive problem the paper worries about: at the Adapt fixed
+  // point with a mixed population, a cheater of class i downloads no
+  // slower than an obedient peer of the same class.
+  const auto rates = paper_rates(5, 0.9);
+  const AdaptFluidEquilibrium eq =
+      AdaptFluidModel(kPaperParams, rates, 0.5).solve();
+  for (unsigned i = 2; i <= 5; ++i) {
+    if (std::isnan(eq.cheater.download_time[i - 1])) continue;
+    EXPECT_LE(eq.cheater.download_time[i - 1],
+              eq.obedient.download_time[i - 1] + 1e-6)
+        << "class " << i;
+  }
+}
+
+TEST(AdaptFluidTest, ZeroAdaptationRatesFreezeRho) {
+  AdaptFluidParams frozen;
+  frozen.rate_up = 0.0;
+  frozen.rate_down = 0.0;
+  frozen.initial_rho = 0.25;
+  const auto rates = paper_rates(3, 0.8);
+  const AdaptFluidEquilibrium eq =
+      AdaptFluidModel(kPaperParams, rates, 0.5, frozen).solve();
+  for (unsigned i = 2; i <= 3; ++i) {
+    EXPECT_NEAR(eq.rho[i - 1], 0.25, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace btmf::fluid

@@ -1,0 +1,119 @@
+#include "btmf/fluid/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+namespace {
+
+TEST(CorrelationTest, InvalidParametersThrow) {
+  EXPECT_THROW((void)CorrelationModel(0, 0.5, 1.0), ConfigError);
+  EXPECT_THROW((void)CorrelationModel(10, -0.1, 1.0), ConfigError);
+  EXPECT_THROW((void)CorrelationModel(10, 1.1, 1.0), ConfigError);
+  EXPECT_THROW((void)CorrelationModel(10, 0.5, 0.0), ConfigError);
+}
+
+TEST(CorrelationTest, SystemRatesAreBinomial) {
+  const CorrelationModel m(10, 0.3, 2.0);
+  // L_3 = 2 * C(10,3) * 0.3^3 * 0.7^7.
+  const double expected =
+      2.0 * 120.0 * std::pow(0.3, 3) * std::pow(0.7, 7);
+  EXPECT_NEAR(m.system_entry_rate(3), expected, 1e-12);
+}
+
+TEST(CorrelationTest, PerTorrentRateIsSystemRateTimesIOverK) {
+  const CorrelationModel m(10, 0.4, 1.5);
+  for (unsigned i = 1; i <= 10; ++i) {
+    EXPECT_NEAR(m.per_torrent_entry_rate(i),
+                m.system_entry_rate(i) * i / 10.0, 1e-12)
+        << "class " << i;
+  }
+}
+
+TEST(CorrelationTest, PerTorrentTotalRateClosure) {
+  // sum_l lambda_j^l = lambda0 * p (verified against the explicit sum).
+  for (const double p : {0.05, 0.3, 0.7, 1.0}) {
+    const CorrelationModel m(10, p, 3.0);
+    double total = 0.0;
+    for (unsigned i = 1; i <= 10; ++i) total += m.per_torrent_entry_rate(i);
+    EXPECT_NEAR(total, m.per_torrent_total_rate(), 1e-12) << "p=" << p;
+    EXPECT_NEAR(total, 3.0 * p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(CorrelationTest, PerTorrentWeightedRateClosure) {
+  // sum_l lambda_j^l / l = (lambda0/K)(1 - (1-p)^K).
+  for (const double p : {0.05, 0.3, 0.7, 1.0}) {
+    const CorrelationModel m(10, p, 3.0);
+    double weighted = 0.0;
+    for (unsigned i = 1; i <= 10; ++i) {
+      weighted += m.per_torrent_entry_rate(i) / i;
+    }
+    EXPECT_NEAR(weighted, m.per_torrent_weighted_rate(), 1e-12) << "p=" << p;
+  }
+}
+
+TEST(CorrelationTest, SystemUserRateIsOneMinusMissAll) {
+  const CorrelationModel m(10, 0.25, 2.0);
+  double total = 0.0;
+  for (unsigned i = 1; i <= 10; ++i) total += m.system_entry_rate(i);
+  EXPECT_NEAR(total, m.system_user_rate(), 1e-12);
+  EXPECT_NEAR(total, 2.0 * (1.0 - std::pow(0.75, 10)), 1e-12);
+}
+
+TEST(CorrelationTest, FileRequestRateIsLambdaKP) {
+  const CorrelationModel m(10, 0.25, 2.0);
+  double total = 0.0;
+  for (unsigned i = 1; i <= 10; ++i) total += i * m.system_entry_rate(i);
+  EXPECT_NEAR(total, m.system_file_request_rate(), 1e-12);
+  EXPECT_NEAR(total, 2.0 * 10.0 * 0.25, 1e-12);
+}
+
+TEST(CorrelationTest, PEqualsOneConcentratesOnClassK) {
+  const CorrelationModel m(10, 1.0, 1.0);
+  for (unsigned i = 1; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(m.system_entry_rate(i), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(m.system_entry_rate(10), 1.0);
+  EXPECT_DOUBLE_EQ(m.per_torrent_entry_rate(10), 1.0);
+}
+
+TEST(CorrelationTest, PEqualsZeroProducesNoUsers) {
+  const CorrelationModel m(10, 0.0, 1.0);
+  for (unsigned i = 1; i <= 10; ++i) {
+    EXPECT_DOUBLE_EQ(m.system_entry_rate(i), 0.0);
+    EXPECT_DOUBLE_EQ(m.per_torrent_entry_rate(i), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(m.system_user_rate(), 0.0);
+}
+
+TEST(CorrelationTest, SingleFileDegenerate) {
+  const CorrelationModel m(1, 0.6, 2.0);
+  EXPECT_NEAR(m.system_entry_rate(1), 1.2, 1e-12);
+  EXPECT_NEAR(m.per_torrent_entry_rate(1), 1.2, 1e-12);
+}
+
+TEST(CorrelationTest, ClassIndexOutOfRangeThrows) {
+  const CorrelationModel m(5, 0.5, 1.0);
+  EXPECT_THROW((void)m.system_entry_rate(0), ConfigError);
+  EXPECT_THROW((void)m.system_entry_rate(6), ConfigError);
+  EXPECT_THROW((void)m.per_torrent_entry_rate(0), ConfigError);
+}
+
+TEST(CorrelationTest, VectorsMatchScalars) {
+  const CorrelationModel m(8, 0.33, 1.7);
+  const auto sys = m.system_entry_rates();
+  const auto per = m.per_torrent_entry_rates();
+  ASSERT_EQ(sys.size(), 8u);
+  ASSERT_EQ(per.size(), 8u);
+  for (unsigned i = 1; i <= 8; ++i) {
+    EXPECT_DOUBLE_EQ(sys[i - 1], m.system_entry_rate(i));
+    EXPECT_DOUBLE_EQ(per[i - 1], m.per_torrent_entry_rate(i));
+  }
+}
+
+}  // namespace
+}  // namespace btmf::fluid

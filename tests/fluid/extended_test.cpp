@@ -1,0 +1,138 @@
+#include "btmf/fluid/extended.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "btmf/fluid/single_torrent.h"
+#include "btmf/math/equilibrium.h"
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+namespace {
+
+TEST(ExtendedTest, InfiniteBandwidthNoAbortMatchesBaseModel) {
+  ExtendedParams params;  // defaults: c = inf, theta = 0, paper fluid
+  const ExtendedEquilibrium eq =
+      extended_single_torrent_equilibrium(params, 1.5);
+  const SingleTorrentEquilibrium base =
+      single_torrent_equilibrium(kPaperParams, 1.5);
+  EXPECT_NEAR(eq.download_time, base.download_time, 1e-12);
+  EXPECT_NEAR(eq.downloaders, base.downloaders, 1e-9);
+  EXPECT_NEAR(eq.seeds, base.seeds, 1e-9);
+  EXPECT_FALSE(eq.download_constrained);
+  EXPECT_DOUBLE_EQ(eq.completion_fraction, 1.0);
+}
+
+TEST(ExtendedTest, CriticalBandwidthAtPaperConstants) {
+  // c* = gamma mu eta / (gamma - mu) = 0.0005/0.03 = 1/60 ~ 0.0167:
+  // only 0.83 x the upload bandwidth — the paper's "download much larger
+  // than upload" assumption is very mild.
+  const double c_star = critical_download_bandwidth(kPaperParams);
+  EXPECT_NEAR(c_star, 1.0 / 60.0, 1e-12);
+  EXPECT_LT(c_star, kPaperParams.mu);
+}
+
+TEST(ExtendedTest, DownloadConstrainedRegimeBelowCStar) {
+  ExtendedParams params;
+  params.download_bw = 0.01;  // < c* = 0.0167
+  const ExtendedEquilibrium eq =
+      extended_single_torrent_equilibrium(params, 1.0);
+  EXPECT_TRUE(eq.download_constrained);
+  EXPECT_NEAR(eq.download_time, 100.0, 1e-9);  // 1/c
+  EXPECT_NEAR(eq.downloaders, 1.0 / 0.01, 1e-9);
+  EXPECT_NEAR(eq.seeds, 0.01 * eq.downloaders / kPaperParams.gamma, 1e-9);
+}
+
+TEST(ExtendedTest, RegimesAgreeAtTheBoundary) {
+  // Just above and below c* the two closed forms must (nearly) coincide.
+  const double c_star = critical_download_bandwidth(kPaperParams);
+  ExtendedParams below;
+  below.download_bw = c_star * 0.999;
+  ExtendedParams above;
+  above.download_bw = c_star * 1.001;
+  const ExtendedEquilibrium lo =
+      extended_single_torrent_equilibrium(below, 1.0);
+  const ExtendedEquilibrium hi =
+      extended_single_torrent_equilibrium(above, 1.0);
+  EXPECT_NE(lo.download_constrained, hi.download_constrained);
+  EXPECT_NEAR(lo.download_time, hi.download_time, 0.01 * hi.download_time);
+  EXPECT_NEAR(lo.downloaders, hi.downloaders, 0.01 * hi.downloaders);
+}
+
+TEST(ExtendedTest, AbortReducesPopulationAndCompletionFraction) {
+  ExtendedParams with_abort;
+  with_abort.abort_rate = 1.0 / 120.0;  // half the completion rate 1/60
+  const ExtendedEquilibrium eq =
+      extended_single_torrent_equilibrium(with_abort, 1.0);
+  EXPECT_FALSE(eq.download_constrained);
+  // x = lambda / (theta + 1/T) with T = 60: 1 / (1/120 + 1/60) = 40.
+  EXPECT_NEAR(eq.downloaders, 40.0, 1e-9);
+  // Completing fraction = (1/60) / (1/60 + 1/120) = 2/3.
+  EXPECT_NEAR(eq.completion_fraction, 2.0 / 3.0, 1e-9);
+  // The per-completer download time is unchanged (rates are per peer).
+  EXPECT_NEAR(eq.download_time, 60.0, 1e-12);
+}
+
+TEST(ExtendedTest, GammaBelowMuWithFiniteBandwidthIsDownloadConstrained) {
+  ExtendedParams params;
+  params.base.gamma = 0.01;  // < mu: seeds linger, capacity abundant
+  params.download_bw = 0.05;
+  const ExtendedEquilibrium eq =
+      extended_single_torrent_equilibrium(params, 1.0);
+  EXPECT_TRUE(eq.download_constrained);
+  EXPECT_NEAR(eq.download_time, 20.0, 1e-9);
+}
+
+TEST(ExtendedTest, GammaBelowMuWithInfiniteBandwidthThrows) {
+  ExtendedParams params;
+  params.base.gamma = 0.01;
+  EXPECT_THROW((void)extended_single_torrent_equilibrium(params, 1.0),
+               ConfigError);
+  EXPECT_THROW((void)critical_download_bandwidth(params.base), ConfigError);
+}
+
+TEST(ExtendedTest, InvalidParamsThrow) {
+  ExtendedParams params;
+  params.download_bw = 0.0;
+  EXPECT_THROW((void)extended_single_torrent_equilibrium(params, 1.0),
+               ConfigError);
+  params = ExtendedParams{};
+  params.abort_rate = -1.0;
+  EXPECT_THROW((void)extended_single_torrent_equilibrium(params, 1.0),
+               ConfigError);
+  params = ExtendedParams{};
+  EXPECT_THROW((void)extended_single_torrent_equilibrium(params, 0.0),
+               ConfigError);
+}
+
+TEST(ExtendedTest, OdeConvergesToClosedFormUploadRegime) {
+  ExtendedParams params;
+  params.abort_rate = 0.004;
+  const math::OdeRhs rhs = extended_single_torrent_rhs(params, 1.0);
+  const math::EquilibriumResult eq = math::find_equilibrium(rhs, {0.0, 0.0});
+  const ExtendedEquilibrium expected =
+      extended_single_torrent_equilibrium(params, 1.0);
+  EXPECT_NEAR(eq.y[0], expected.downloaders, 1e-4 * expected.downloaders);
+  EXPECT_NEAR(eq.y[1], expected.seeds, 1e-4 * expected.seeds);
+}
+
+TEST(ExtendedTest, OdeConvergesToClosedFormDownloadRegime) {
+  ExtendedParams params;
+  params.download_bw = 0.012;
+  params.abort_rate = 0.002;
+  const math::OdeRhs rhs = extended_single_torrent_rhs(params, 2.0);
+  // The min() kink makes Newton's FD Jacobian unreliable; integrate only.
+  math::EquilibriumOptions options;
+  options.polish_with_newton = false;
+  options.residual_tol = 1e-7;
+  const math::EquilibriumResult eq =
+      math::find_equilibrium(rhs, {0.0, 0.0}, options);
+  const ExtendedEquilibrium expected =
+      extended_single_torrent_equilibrium(params, 2.0);
+  EXPECT_NEAR(eq.y[0], expected.downloaders, 1e-3 * expected.downloaders);
+  EXPECT_NEAR(eq.y[1], expected.seeds, 1e-3 * expected.seeds);
+}
+
+}  // namespace
+}  // namespace btmf::fluid

@@ -1,0 +1,141 @@
+#include "btmf/fluid/hetero.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "btmf/fluid/correlation.h"
+#include "btmf/fluid/mfcd.h"
+#include "btmf/math/special.h"
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+namespace {
+
+TEST(PoissonBinomialTest, UniformMatchesBinomial) {
+  const std::vector<double> probs(10, 0.3);
+  const auto pb = math::poisson_binomial_pmf_vector(probs);
+  const auto bin = math::binomial_pmf_vector(10, 0.3);
+  ASSERT_EQ(pb.size(), bin.size());
+  for (std::size_t k = 0; k < pb.size(); ++k) {
+    EXPECT_NEAR(pb[k], bin[k], 1e-14) << "k=" << k;
+  }
+}
+
+TEST(PoissonBinomialTest, SumsToOneAndMeanIsSumP) {
+  const std::vector<double> probs{0.9, 0.5, 0.2, 0.05, 1.0, 0.0};
+  const auto pmf = math::poisson_binomial_pmf_vector(probs);
+  const double total = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-14);
+  double mean = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    mean += static_cast<double>(k) * pmf[k];
+  }
+  EXPECT_NEAR(mean, 0.9 + 0.5 + 0.2 + 0.05 + 1.0, 1e-12);
+}
+
+TEST(PoissonBinomialTest, DegenerateEndpoints) {
+  const auto pmf = math::poisson_binomial_pmf_vector(
+      std::vector<double>{1.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(pmf[2], 1.0);
+  EXPECT_DOUBLE_EQ(pmf[0], 0.0);
+  EXPECT_DOUBLE_EQ(pmf[3], 0.0);
+}
+
+TEST(PoissonBinomialTest, InvalidProbabilityThrows) {
+  EXPECT_THROW(
+      math::poisson_binomial_pmf_vector(std::vector<double>{0.5, 1.2}),
+      ConfigError);
+}
+
+TEST(HeteroCatalogTest, UniformCatalogMatchesCorrelationModel) {
+  const HeterogeneousCatalog catalog(std::vector<double>(10, 0.4), 2.0);
+  const CorrelationModel uniform(10, 0.4, 2.0);
+  const auto het_sys = catalog.system_class_rates();
+  const auto uni_sys = uniform.system_entry_rates();
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(het_sys[i], uni_sys[i], 1e-12) << "class " << i + 1;
+  }
+  const auto het_torrent = catalog.torrent_class_rates(3);
+  const auto uni_torrent = uniform.per_torrent_entry_rates();
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(het_torrent[i], uni_torrent[i], 1e-12) << "class " << i + 1;
+  }
+}
+
+TEST(HeteroCatalogTest, TorrentRatesSumToLambdaPj) {
+  const HeterogeneousCatalog catalog({0.9, 0.3, 0.1, 0.6}, 1.5);
+  for (unsigned j = 0; j < 4; ++j) {
+    const auto rates = catalog.torrent_class_rates(j);
+    const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+    EXPECT_NEAR(total, 1.5 * catalog.request_probs()[j], 1e-12)
+        << "torrent " << j;
+  }
+}
+
+TEST(HeteroCatalogTest, InvalidConstructionThrows) {
+  EXPECT_THROW((void)HeterogeneousCatalog({}, 1.0), ConfigError);
+  EXPECT_THROW((void)HeterogeneousCatalog({0.5}, 0.0), ConfigError);
+  EXPECT_THROW((void)HeterogeneousCatalog({1.5}, 1.0), ConfigError);
+  EXPECT_THROW((void)HeterogeneousCatalog({0.0, 0.0}, 1.0), ConfigError);
+}
+
+TEST(ZipfProfileTest, SkewZeroIsUniformAtMeanP) {
+  const auto probs = HeterogeneousCatalog::zipf_profile(8, 0.0, 0.4);
+  for (const double p : probs) EXPECT_NEAR(p, 0.4, 1e-12);
+}
+
+TEST(ZipfProfileTest, PreservesMeanAndOrdering) {
+  // mean 0.25 keeps the head below 1 (scale = 2.5/H_10 ~ 0.85), so no
+  // clamping and the mean is exact.
+  const auto probs = HeterogeneousCatalog::zipf_profile(10, 1.0, 0.25);
+  double mean = std::accumulate(probs.begin(), probs.end(), 0.0) / 10.0;
+  EXPECT_NEAR(mean, 0.25, 1e-12);
+  for (std::size_t f = 1; f < probs.size(); ++f) {
+    EXPECT_GE(probs[f - 1], probs[f]);
+  }
+  EXPECT_LE(probs.front(), 1.0);
+}
+
+TEST(ZipfProfileTest, ClampsAtOne) {
+  // Extreme skew with a high mean: the head would exceed 1 unclamped.
+  const auto probs = HeterogeneousCatalog::zipf_profile(10, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(probs.front(), 1.0);
+  for (const double p : probs) EXPECT_LE(p, 1.0);
+}
+
+TEST(HeteroMtcdTest, UniformCatalogReducesToMfcdFactor) {
+  const HeterogeneousCatalog catalog(std::vector<double>(10, 0.7), 1.0);
+  const HeteroMtcdReport report =
+      hetero_mtcd_report(kPaperParams, catalog);
+  const CorrelationModel uniform(10, 0.7, 1.0);
+  const double a = mfcd_download_time_per_file(kPaperParams, uniform);
+  for (unsigned j = 0; j < 10; ++j) {
+    EXPECT_NEAR(report.per_torrent_factor[j], a, 1e-10) << "torrent " << j;
+  }
+  EXPECT_NEAR(report.avg_download_per_file, a, 1e-10);
+}
+
+TEST(HeteroMtcdTest, ColdTorrentsAreSlowerUnderSkew) {
+  // Users in a cold torrent almost surely also hold many hot files, so
+  // their bandwidth is split more ways: cold torrents get the larger
+  // per-file factor A_j.
+  const auto probs = HeterogeneousCatalog::zipf_profile(10, 1.2, 0.3);
+  const HeterogeneousCatalog catalog(probs, 1.0);
+  const HeteroMtcdReport report =
+      hetero_mtcd_report(kPaperParams, catalog);
+  EXPECT_LT(report.per_torrent_factor.front(),
+            report.per_torrent_factor.back());
+}
+
+TEST(HeteroMtcdTest, ZeroProbabilityFilesAreSkipped) {
+  const HeterogeneousCatalog catalog({0.8, 0.0, 0.4}, 1.0);
+  const HeteroMtcdReport report =
+      hetero_mtcd_report(kPaperParams, catalog);
+  EXPECT_DOUBLE_EQ(report.per_torrent_factor[1], 0.0);
+  EXPECT_GT(report.per_torrent_factor[0], 0.0);
+  EXPECT_GT(report.avg_online_per_file, report.avg_download_per_file);
+}
+
+}  // namespace
+}  // namespace btmf::fluid

@@ -1,0 +1,100 @@
+#include "btmf/fluid/incentives.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "btmf/fluid/correlation.h"
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+namespace {
+
+std::vector<double> paper_rates(double p, unsigned k = 5) {
+  return CorrelationModel(k, p, 1.0).system_entry_rates();
+}
+
+TEST(IncentivesTest, ConformingTimeMatchesEquilibriumMetrics) {
+  // The tagged-peer stage-sum with own_rho = rho_bar must reproduce the
+  // population equilibrium's per-class download time exactly (both are
+  // sum_j 1/(mu eta P(i,j) + PR)).
+  const auto rates = paper_rates(0.9);
+  const double rho_bar = 0.3;
+  const CmfsdModel model(kPaperParams, rates, rho_bar);
+  const CmfsdEquilibrium eq = model.solve();
+  const IncentiveReport report =
+      cmfsd_incentives(kPaperParams, rates, rho_bar);
+  for (unsigned i = 1; i <= 5; ++i) {
+    if (std::isnan(eq.metrics.download_time[i - 1])) continue;
+    EXPECT_NEAR(report.conforming_download[i - 1],
+                eq.metrics.download_time[i - 1],
+                1e-4 * eq.metrics.download_time[i - 1])
+        << "class " << i;
+  }
+}
+
+TEST(IncentivesTest, DefectionIsDominantForMultiFileClasses) {
+  // dD/d own_rho < 0: playing rho_d = 1 always (weakly) shortens the
+  // deviator's download, whatever the population plays.
+  for (const double rho_bar : {0.0, 0.3, 0.7, 1.0}) {
+    const IncentiveReport report =
+        cmfsd_incentives(kPaperParams, paper_rates(0.9), rho_bar);
+    for (unsigned i = 2; i <= 5; ++i) {
+      EXPECT_LE(report.defecting_download[i - 1],
+                report.conforming_download[i - 1] + 1e-9)
+          << "rho_bar=" << rho_bar << " class " << i;
+      EXPECT_GE(report.temptation[i - 1], -1e-12);
+    }
+    // Class 1 has nothing to defect with.
+    EXPECT_NEAR(report.temptation[0], 0.0, 1e-12);
+  }
+}
+
+TEST(IncentivesTest, TemptationVanishesAtRhoBarOne) {
+  // If everyone already defects, there is nothing left to gain.
+  const IncentiveReport report =
+      cmfsd_incentives(kPaperParams, paper_rates(0.9), 1.0);
+  for (unsigned i = 1; i <= 5; ++i) {
+    EXPECT_NEAR(report.temptation[i - 1], 0.0, 1e-12) << "class " << i;
+  }
+}
+
+TEST(IncentivesTest, TemptationLargestAtGenerousPopulations) {
+  // The social dilemma is sharpest when everyone else donates fully.
+  const IncentiveReport generous =
+      cmfsd_incentives(kPaperParams, paper_rates(0.9), 0.0);
+  const IncentiveReport moderate =
+      cmfsd_incentives(kPaperParams, paper_rates(0.9), 0.5);
+  EXPECT_GT(generous.temptation[4], moderate.temptation[4]);
+  EXPECT_GT(generous.temptation[4], 0.01);  // a real, material gain
+}
+
+TEST(IncentivesTest, SocialOptimumStillBeatsUniversalDefection) {
+  // Even the *defector* in a generous population finishes sooner than a
+  // conformer in an all-defecting one: cooperation enlarges the pie.
+  const IncentiveReport generous =
+      cmfsd_incentives(kPaperParams, paper_rates(0.9), 0.0);
+  const IncentiveReport all_defect =
+      cmfsd_incentives(kPaperParams, paper_rates(0.9), 1.0);
+  EXPECT_LT(generous.defecting_download[4],
+            all_defect.conforming_download[4]);
+}
+
+TEST(IncentivesTest, TaggedPeerValidatesInputs) {
+  const auto rates = paper_rates(0.9);
+  const CmfsdModel model(kPaperParams, rates, 0.5);
+  const CmfsdEquilibrium eq = model.solve();
+  EXPECT_THROW((void)tagged_peer_download_time(model, eq, 0, 0.5), ConfigError);
+  EXPECT_THROW((void)tagged_peer_download_time(model, eq, 6, 0.5), ConfigError);
+  EXPECT_THROW((void)tagged_peer_download_time(model, eq, 2, 1.5), ConfigError);
+}
+
+TEST(IncentivesTest, InvalidPopulationRhoThrows) {
+  EXPECT_THROW((void)cmfsd_incentives(kPaperParams, paper_rates(0.9), -0.1),
+               ConfigError);
+  EXPECT_THROW((void)cmfsd_incentives(kPaperParams, paper_rates(0.9), 1.1),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace btmf::fluid

@@ -1,0 +1,72 @@
+#include "btmf/fluid/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(MetricsTest, PerFileColumnsDivideByClassSize) {
+  const PerClassMetrics m =
+      make_per_class_metrics({80.0, 160.0, 240.0}, {60.0, 120.0, 180.0});
+  EXPECT_DOUBLE_EQ(m.online_per_file[0], 80.0);
+  EXPECT_DOUBLE_EQ(m.online_per_file[1], 80.0);
+  EXPECT_DOUBLE_EQ(m.online_per_file[2], 80.0);
+  EXPECT_DOUBLE_EQ(m.download_per_file[2], 60.0);
+  EXPECT_EQ(m.num_classes(), 3u);
+}
+
+TEST(MetricsTest, SizeMismatchThrows) {
+  EXPECT_THROW((void)make_per_class_metrics({1.0}, {1.0, 2.0}), ConfigError);
+}
+
+TEST(MetricsTest, AverageOnlinePerFileWeightsByRates) {
+  // Classes 1 and 2 with T = {10, 40} and rates {3, 1}:
+  // avg/file = (3*10 + 1*40) / (3*1 + 1*2) = 70/5 = 14.
+  const PerClassMetrics m = make_per_class_metrics({10.0, 40.0}, {5.0, 20.0});
+  const std::vector<double> rates{3.0, 1.0};
+  EXPECT_DOUBLE_EQ(average_online_time_per_file(m, rates), 14.0);
+  EXPECT_DOUBLE_EQ(average_download_time_per_file(m, rates), 7.0);
+}
+
+TEST(MetricsTest, AveragePerUserUsesUserDenominator) {
+  const PerClassMetrics m = make_per_class_metrics({10.0, 40.0}, {5.0, 20.0});
+  const std::vector<double> rates{3.0, 1.0};
+  // (3*10 + 1*40) / (3 + 1) = 17.5
+  EXPECT_DOUBLE_EQ(average_online_time_per_user(m, rates), 17.5);
+}
+
+TEST(MetricsTest, ZeroRateClassesAreSkipped) {
+  const PerClassMetrics m =
+      make_per_class_metrics({10.0, kNaN, 30.0}, {5.0, kNaN, 15.0});
+  const std::vector<double> rates{1.0, 0.0, 1.0};
+  // (1*10 + 1*30) / (1*1 + 1*3) = 10.
+  EXPECT_DOUBLE_EQ(average_online_time_per_file(m, rates), 10.0);
+}
+
+TEST(MetricsTest, NaNMetricsWithPositiveRateAreSkipped) {
+  const PerClassMetrics m = make_per_class_metrics({10.0, kNaN}, {5.0, kNaN});
+  const std::vector<double> rates{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(average_online_time_per_file(m, rates), 10.0);
+}
+
+TEST(MetricsTest, AllZeroRatesYieldNaN) {
+  const PerClassMetrics m = make_per_class_metrics({10.0}, {5.0});
+  const std::vector<double> rates{0.0};
+  EXPECT_TRUE(std::isnan(average_online_time_per_file(m, rates)));
+}
+
+TEST(MetricsTest, RateSizeMismatchThrows) {
+  const PerClassMetrics m = make_per_class_metrics({10.0}, {5.0});
+  const std::vector<double> rates{1.0, 2.0};
+  EXPECT_THROW((void)average_online_time_per_file(m, rates), ConfigError);
+}
+
+}  // namespace
+}  // namespace btmf::fluid

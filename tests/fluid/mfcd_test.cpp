@@ -1,0 +1,70 @@
+#include "btmf/fluid/mfcd.h"
+
+#include <gtest/gtest.h>
+
+#include "btmf/fluid/mtcd.h"
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+namespace {
+
+TEST(MfcdTest, EquivalentToMtcdWithSubtorrentRates) {
+  // Sec. 3.4: MFCD "could be viewed to be equivalent to the MTCD scheme".
+  const CorrelationModel corr(10, 0.7, 2.0);
+  const MtcdEquilibrium via_mfcd = mfcd_equilibrium(kPaperParams, corr);
+  const MtcdEquilibrium via_mtcd =
+      mtcd_equilibrium(kPaperParams, corr.per_torrent_entry_rates());
+  EXPECT_NEAR(via_mfcd.per_file_factor, via_mtcd.per_file_factor, 1e-12);
+  for (unsigned i = 0; i < 10; ++i) {
+    EXPECT_NEAR(via_mfcd.metrics.online_time[i],
+                via_mtcd.metrics.online_time[i], 1e-12);
+  }
+}
+
+TEST(MfcdTest, ClosedFormFactorMatchesEquilibrium) {
+  for (const double p : {0.1, 0.5, 0.9, 1.0}) {
+    const CorrelationModel corr(10, p, 1.0);
+    EXPECT_NEAR(mfcd_download_time_per_file(kPaperParams, corr),
+                mfcd_equilibrium(kPaperParams, corr).per_file_factor, 1e-10)
+        << "p=" << p;
+  }
+}
+
+TEST(MfcdTest, FactorAtFullCorrelationIs96) {
+  const CorrelationModel corr(10, 1.0, 1.0);
+  EXPECT_NEAR(mfcd_download_time_per_file(kPaperParams, corr), 96.0, 1e-9);
+}
+
+TEST(MfcdTest, FactorApproachesSingleTorrentLimitAsPVanishes) {
+  // As p -> 0, (1 - (1-p)^K)/(Kp) -> 1 and A -> T = 60.
+  const CorrelationModel corr(10, 1e-6, 1.0);
+  EXPECT_NEAR(mfcd_download_time_per_file(kPaperParams, corr), 60.0, 1e-3);
+}
+
+TEST(MfcdTest, FactorIncreasesWithCorrelation) {
+  // More correlation = more concurrent bandwidth splitting = slower.
+  double previous = 0.0;
+  for (const double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const CorrelationModel corr(10, p, 1.0);
+    const double a = mfcd_download_time_per_file(kPaperParams, corr);
+    EXPECT_GT(a, previous) << "p=" << p;
+    previous = a;
+  }
+}
+
+TEST(MfcdTest, FactorIndependentOfVisitRate) {
+  // BitTorrent scalability: lambda0 cancels out of A.
+  const CorrelationModel small(10, 0.5, 0.1);
+  const CorrelationModel large(10, 0.5, 100.0);
+  EXPECT_NEAR(mfcd_download_time_per_file(kPaperParams, small),
+              mfcd_download_time_per_file(kPaperParams, large), 1e-9);
+}
+
+TEST(MfcdTest, ZeroCorrelationThrows) {
+  const CorrelationModel corr(10, 0.0, 1.0);
+  EXPECT_THROW((void)mfcd_equilibrium(kPaperParams, corr), ConfigError);
+  EXPECT_THROW((void)mfcd_download_time_per_file(kPaperParams, corr), ConfigError);
+}
+
+}  // namespace
+}  // namespace btmf::fluid

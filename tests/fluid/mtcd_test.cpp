@@ -1,0 +1,128 @@
+#include "btmf/fluid/mtcd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "btmf/fluid/correlation.h"
+#include "btmf/fluid/single_torrent.h"
+#include "btmf/math/equilibrium.h"
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+namespace {
+
+std::vector<double> paper_rates(double p) {
+  return CorrelationModel(10, p, 1.0).per_torrent_entry_rates();
+}
+
+TEST(MtcdTest, DegeneratesToSingleTorrentWithOneClass) {
+  // K = 1, i = 1: eq. (2) must reduce to the Qiu–Srikant T (Sec. 3.3).
+  const std::vector<double> rates{1.0};
+  const MtcdEquilibrium eq = mtcd_equilibrium(kPaperParams, rates);
+  EXPECT_NEAR(eq.per_file_factor,
+              single_torrent_download_time(kPaperParams), 1e-12);
+  EXPECT_NEAR(eq.metrics.online_time[0], 80.0, 1e-12);
+}
+
+TEST(MtcdTest, PaperValueAtFullCorrelation) {
+  // p = 1: A = (gamma - mu/K) / (gamma mu eta) = 0.048/0.0005 = 96.
+  const MtcdEquilibrium eq = mtcd_equilibrium(kPaperParams, paper_rates(1.0));
+  EXPECT_NEAR(eq.per_file_factor, 96.0, 1e-9);
+  // T_10 = 10*96 + 20 = 980, per file 98.
+  EXPECT_NEAR(eq.metrics.online_per_file[9], 98.0, 1e-9);
+}
+
+TEST(MtcdTest, SeedsAreLambdaOverGamma) {
+  const auto rates = paper_rates(0.4);
+  const MtcdEquilibrium eq = mtcd_equilibrium(kPaperParams, rates);
+  for (unsigned i = 0; i < 10; ++i) {
+    EXPECT_NEAR(eq.seeds[i], rates[i] / kPaperParams.gamma, 1e-12);
+  }
+}
+
+TEST(MtcdTest, DownloadersAreIClassLambdaTimesA) {
+  const auto rates = paper_rates(0.4);
+  const MtcdEquilibrium eq = mtcd_equilibrium(kPaperParams, rates);
+  for (unsigned i = 0; i < 10; ++i) {
+    EXPECT_NEAR(eq.downloaders[i],
+                (i + 1) * rates[i] * eq.per_file_factor, 1e-12);
+  }
+}
+
+TEST(MtcdTest, OnlineTimeLinearInClassIndex) {
+  // T_i = i A + 1/gamma: differences between consecutive classes equal A.
+  const MtcdEquilibrium eq = mtcd_equilibrium(kPaperParams, paper_rates(0.6));
+  for (unsigned i = 1; i < 10; ++i) {
+    EXPECT_NEAR(eq.metrics.online_time[i] - eq.metrics.online_time[i - 1],
+                eq.per_file_factor, 1e-9);
+  }
+}
+
+TEST(MtcdTest, DownloadPerFileEqualForAllClasses) {
+  // The paper notes MTCD "maintains fairness" in download time per file.
+  const MtcdEquilibrium eq = mtcd_equilibrium(kPaperParams, paper_rates(0.3));
+  for (unsigned i = 0; i < 10; ++i) {
+    EXPECT_NEAR(eq.metrics.download_per_file[i], eq.per_file_factor, 1e-9);
+  }
+}
+
+TEST(MtcdTest, ZeroRateClassGetsNaNMetrics) {
+  std::vector<double> rates{1.0, 0.0, 0.5};
+  const MtcdEquilibrium eq = mtcd_equilibrium(kPaperParams, rates);
+  EXPECT_TRUE(std::isnan(eq.metrics.online_time[1]));
+  EXPECT_FALSE(std::isnan(eq.metrics.online_time[0]));
+  EXPECT_DOUBLE_EQ(eq.downloaders[1], 0.0);
+}
+
+TEST(MtcdTest, AllZeroRatesThrow) {
+  EXPECT_THROW((void)mtcd_equilibrium(kPaperParams, std::vector<double>{0.0, 0.0}),
+               ConfigError);
+  EXPECT_THROW((void)mtcd_equilibrium(kPaperParams, std::vector<double>{}),
+               ConfigError);
+  EXPECT_THROW((void)mtcd_equilibrium(kPaperParams, std::vector<double>{-1.0}),
+               ConfigError);
+}
+
+TEST(MtcdTest, InfeasibleParametersThrow) {
+  // gamma << mu: the closed form would give a negative downloader count.
+  FluidParams params = kPaperParams;
+  params.gamma = 0.001;
+  EXPECT_THROW((void)mtcd_equilibrium(params, std::vector<double>{1.0}),
+               ConfigError);
+}
+
+TEST(MtcdTest, OdeTransientConvergesToClosedForm) {
+  const auto rates = paper_rates(0.5);
+  const MtcdEquilibrium expected = mtcd_equilibrium(kPaperParams, rates);
+  const math::OdeRhs rhs = mtcd_rhs(kPaperParams, rates);
+  const math::EquilibriumResult eq =
+      math::find_equilibrium(rhs, std::vector<double>(20, 0.0));
+  for (unsigned i = 0; i < 10; ++i) {
+    EXPECT_NEAR(eq.y[i], expected.downloaders[i], 1e-4) << "x class " << i + 1;
+    EXPECT_NEAR(eq.y[10 + i], expected.seeds[i], 1e-4) << "y class " << i + 1;
+  }
+}
+
+TEST(MtcdTest, OdeRhsEmptyTorrentHasNoService) {
+  // With x = y = 0 the share term must be 0/0 -> 0 and dx = lambda.
+  const std::vector<double> rates{0.5, 0.25};
+  const math::OdeRhs rhs = mtcd_rhs(kPaperParams, rates);
+  std::vector<double> state(4, 0.0), dstate(4, -1.0);
+  rhs(0.0, state, dstate);
+  EXPECT_DOUBLE_EQ(dstate[0], 0.5);
+  EXPECT_DOUBLE_EQ(dstate[1], 0.25);
+  EXPECT_DOUBLE_EQ(dstate[2], 0.0);
+  EXPECT_DOUBLE_EQ(dstate[3], 0.0);
+}
+
+TEST(MtcdTest, PerFileFactorDecreasesWhenSeedsStayLonger) {
+  FluidParams sticky = kPaperParams;
+  sticky.gamma = 0.03;  // seeds stay longer, more capacity
+  const auto rates = paper_rates(0.5);
+  EXPECT_LT(mtcd_per_file_factor(sticky, rates),
+            mtcd_per_file_factor(kPaperParams, rates));
+}
+
+}  // namespace
+}  // namespace btmf::fluid

@@ -1,0 +1,55 @@
+#include "btmf/fluid/mtsd.h"
+
+#include <gtest/gtest.h>
+
+#include "btmf/fluid/single_torrent.h"
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+namespace {
+
+TEST(MtsdTest, PaperConstantsGive80PerFile) {
+  const MtsdResult r = mtsd_metrics(kPaperParams, 10);
+  EXPECT_NEAR(r.download_time_per_file, 60.0, 1e-12);
+  EXPECT_NEAR(r.online_time_per_file, 80.0, 1e-12);
+}
+
+TEST(MtsdTest, OnlineTimeIsLinearInClass) {
+  // Eq. (4): T_i = i (T + 1/gamma).
+  const MtsdResult r = mtsd_metrics(kPaperParams, 10);
+  for (unsigned i = 1; i <= 10; ++i) {
+    EXPECT_NEAR(r.metrics.online_time[i - 1], i * 80.0, 1e-9);
+    EXPECT_NEAR(r.metrics.download_time[i - 1], i * 60.0, 1e-9);
+  }
+}
+
+TEST(MtsdTest, PerFileMetricsConstantAcrossClasses) {
+  // MTSD is perfectly fair: every class pays the same per-file cost.
+  const MtsdResult r = mtsd_metrics(kPaperParams, 10);
+  for (unsigned i = 0; i < 10; ++i) {
+    EXPECT_NEAR(r.metrics.online_per_file[i], 80.0, 1e-9);
+    EXPECT_NEAR(r.metrics.download_per_file[i], 60.0, 1e-9);
+  }
+}
+
+TEST(MtsdTest, SingleClassDegenerate) {
+  const MtsdResult r = mtsd_metrics(kPaperParams, 1);
+  ASSERT_EQ(r.metrics.num_classes(), 1u);
+  EXPECT_NEAR(r.metrics.online_time[0],
+              single_torrent_download_time(kPaperParams) +
+                  1.0 / kPaperParams.gamma,
+              1e-12);
+}
+
+TEST(MtsdTest, ZeroClassesThrow) {
+  EXPECT_THROW((void)mtsd_metrics(kPaperParams, 0), ConfigError);
+}
+
+TEST(MtsdTest, UnstableParametersThrow) {
+  FluidParams params = kPaperParams;
+  params.gamma = params.mu;  // boundary: T would be 0, model invalid
+  EXPECT_THROW((void)mtsd_metrics(params, 5), ConfigError);
+}
+
+}  // namespace
+}  // namespace btmf::fluid

@@ -1,0 +1,172 @@
+// Parameterised property sweeps over the fluid models: the paper's
+// qualitative claims must hold across the whole (K, p, eta, gamma)
+// region, not just at the evaluation constants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "btmf/fluid/cmfsd.h"
+#include "btmf/fluid/correlation.h"
+#include "btmf/fluid/mfcd.h"
+#include "btmf/fluid/mtcd.h"
+#include "btmf/fluid/mtsd.h"
+#include "btmf/fluid/single_torrent.h"
+
+namespace btmf::fluid {
+namespace {
+
+struct SweepPoint {
+  unsigned num_files;
+  double p;
+  double eta;
+  double gamma;  // mu fixed at the paper's 0.02
+};
+
+std::ostream& operator<<(std::ostream& os, const SweepPoint& s) {
+  return os << "K=" << s.num_files << " p=" << s.p << " eta=" << s.eta
+            << " gamma=" << s.gamma;
+}
+
+class FluidPropertyTest : public ::testing::TestWithParam<SweepPoint> {
+ protected:
+  [[nodiscard]] FluidParams params() const {
+    FluidParams fp;
+    fp.mu = 0.02;
+    fp.eta = GetParam().eta;
+    fp.gamma = GetParam().gamma;
+    return fp;
+  }
+  [[nodiscard]] CorrelationModel correlation() const {
+    return {GetParam().num_files, GetParam().p, 1.0};
+  }
+};
+
+TEST_P(FluidPropertyTest, MtcdNeverBeatsMtsdOnAveragePerFile) {
+  // Fig. 2's claim: MTCD is at best equal (p -> 0) and worse otherwise.
+  const CorrelationModel corr = correlation();
+  const MtcdEquilibrium mtcd =
+      mtcd_equilibrium(params(), corr.per_torrent_entry_rates());
+  const MtsdResult mtsd = mtsd_metrics(params(), GetParam().num_files);
+  const auto rates = corr.system_entry_rates();
+  const double t_mtcd = average_online_time_per_file(mtcd.metrics, rates);
+  const double t_mtsd = average_online_time_per_file(mtsd.metrics, rates);
+  EXPECT_GE(t_mtcd, t_mtsd - 1e-9);
+}
+
+TEST_P(FluidPropertyTest, MtcdPopulationsNonNegative) {
+  const CorrelationModel corr = correlation();
+  const MtcdEquilibrium eq =
+      mtcd_equilibrium(params(), corr.per_torrent_entry_rates());
+  for (const double x : eq.downloaders) EXPECT_GE(x, 0.0);
+  for (const double y : eq.seeds) EXPECT_GE(y, 0.0);
+}
+
+TEST_P(FluidPropertyTest, MtcdLittleLawConsistency) {
+  // x_i = lambda_i * D_i must hold exactly in the closed form.
+  const CorrelationModel corr = correlation();
+  const auto rates = corr.per_torrent_entry_rates();
+  const MtcdEquilibrium eq = mtcd_equilibrium(params(), rates);
+  for (unsigned i = 0; i < GetParam().num_files; ++i) {
+    if (rates[i] <= 0.0) continue;
+    EXPECT_NEAR(eq.downloaders[i], rates[i] * eq.metrics.download_time[i],
+                1e-9 * (1.0 + eq.downloaders[i]));
+  }
+}
+
+TEST_P(FluidPropertyTest, MtcdFirstClassPerFileWorstAmongClasses) {
+  // Per-file online time A + 1/(i gamma) strictly decreases in i, so the
+  // single-file majority always pays the most under MTCD (Fig. 3).
+  const CorrelationModel corr = correlation();
+  if (corr.correlation() >= 1.0) return;  // only class K populated
+  const MtcdEquilibrium eq =
+      mtcd_equilibrium(params(), corr.per_torrent_entry_rates());
+  for (unsigned i = 1; i < GetParam().num_files; ++i) {
+    EXPECT_GT(eq.metrics.online_per_file[0],
+              eq.metrics.online_per_file[i] - 1e-12);
+  }
+}
+
+TEST_P(FluidPropertyTest, CmfsdRhoZeroNeverWorseThanRhoOne) {
+  const CorrelationModel corr = correlation();
+  const auto rates = corr.system_entry_rates();
+  const CmfsdEquilibrium eq0 = CmfsdModel(params(), rates, 0.0).solve();
+  const CmfsdEquilibrium eq1 = CmfsdModel(params(), rates, 1.0).solve();
+  const double t0 = average_online_time_per_file(eq0.metrics, rates);
+  const double t1 = average_online_time_per_file(eq1.metrics, rates);
+  EXPECT_LE(t0, t1 + 1e-6);
+}
+
+TEST_P(FluidPropertyTest, CmfsdAverageMonotoneInRho) {
+  // Fig. 4(a): the average online time per file increases with rho.
+  const CorrelationModel corr = correlation();
+  const auto rates = corr.system_entry_rates();
+  double previous = -1.0;
+  for (const double rho : {0.0, 0.5, 1.0}) {
+    const CmfsdEquilibrium eq = CmfsdModel(params(), rates, rho).solve();
+    const double t = average_online_time_per_file(eq.metrics, rates);
+    EXPECT_GE(t, previous - 1e-6) << "rho=" << rho;
+    previous = t;
+  }
+}
+
+TEST_P(FluidPropertyTest, CmfsdRhoOneMatchesMfcdIdentity) {
+  const CorrelationModel corr = correlation();
+  const auto rates = corr.system_entry_rates();
+  const CmfsdEquilibrium eq = CmfsdModel(params(), rates, 1.0).solve();
+  const double mfcd_a = mfcd_download_time_per_file(params(), corr);
+  const double avg = average_download_time_per_file(eq.metrics, rates);
+  EXPECT_NEAR(avg, mfcd_a, 1e-4 * mfcd_a);
+}
+
+TEST_P(FluidPropertyTest, CmfsdPopulationsNonNegativeAndFlowConserving) {
+  const CorrelationModel corr = correlation();
+  const auto rates = corr.system_entry_rates();
+  const CmfsdModel model(params(), rates, 0.25);
+  const CmfsdEquilibrium eq = model.solve();
+  for (const double v : eq.state) EXPECT_GE(v, -1e-9);
+  for (unsigned i = 1; i <= GetParam().num_files; ++i) {
+    EXPECT_NEAR(params().gamma * eq.state[model.y_index(i)], rates[i - 1],
+                1e-6 * (1.0 + rates[i - 1]))
+        << "class " << i;
+  }
+}
+
+TEST_P(FluidPropertyTest, CmfsdClassOneImmuneToRho) {
+  // Class-1 peers never virtual-seed; their download time still improves
+  // as rho falls because others donate bandwidth — it must never worsen.
+  const CorrelationModel corr = correlation();
+  if (corr.correlation() >= 1.0) return;  // class 1 unpopulated
+  const auto rates = corr.system_entry_rates();
+  const CmfsdEquilibrium eq0 = CmfsdModel(params(), rates, 0.0).solve();
+  const CmfsdEquilibrium eq1 = CmfsdModel(params(), rates, 1.0).solve();
+  EXPECT_LE(eq0.metrics.download_time[0],
+            eq1.metrics.download_time[0] + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FluidPropertyTest,
+    ::testing::Values(
+        SweepPoint{2, 0.2, 0.5, 0.05}, SweepPoint{2, 0.9, 0.5, 0.05},
+        SweepPoint{5, 0.1, 0.5, 0.05}, SweepPoint{5, 0.6, 0.5, 0.05},
+        SweepPoint{5, 1.0, 0.5, 0.05}, SweepPoint{10, 0.1, 0.5, 0.05},
+        SweepPoint{10, 0.5, 0.5, 0.05}, SweepPoint{10, 1.0, 0.5, 0.05},
+        SweepPoint{10, 0.5, 0.3, 0.05}, SweepPoint{10, 0.5, 1.0, 0.05},
+        SweepPoint{10, 0.5, 0.5, 0.03}, SweepPoint{10, 0.5, 0.5, 0.10},
+        SweepPoint{3, 0.7, 0.8, 0.08}),
+    [](const ::testing::TestParamInfo<SweepPoint>& param_info) {
+      const SweepPoint& s = param_info.param;
+      // Incremental appends sidestep a GCC 12 -Wrestrict false positive
+      // on chained operator+ over temporaries.
+      std::string name = "K";
+      name += std::to_string(s.num_files);
+      name += "_p";
+      name += std::to_string(static_cast<int>(s.p * 100));
+      name += "_eta";
+      name += std::to_string(static_cast<int>(s.eta * 100));
+      name += "_gamma";
+      name += std::to_string(static_cast<int>(s.gamma * 1000));
+      return name;
+    });
+
+}  // namespace
+}  // namespace btmf::fluid

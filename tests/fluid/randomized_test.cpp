@@ -1,0 +1,147 @@
+// Randomised invariant checks: seeded random parameter draws across the
+// whole feasible region, asserting structural properties that no amount
+// of hand-picked cases can cover. Failures print the draw so they are
+// reproducible.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "btmf/fluid/cmfsd.h"
+#include "btmf/fluid/correlation.h"
+#include "btmf/fluid/extended.h"
+#include "btmf/fluid/mfcd.h"
+#include "btmf/fluid/mtcd.h"
+#include "btmf/fluid/mtsd.h"
+
+namespace btmf::fluid {
+namespace {
+
+struct Draw {
+  unsigned k;
+  double p;
+  double mu;
+  double eta;
+  double gamma;
+  double rho;
+
+  [[nodiscard]] FluidParams params() const { return {mu, eta, gamma}; }
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os << "K=" << k << " p=" << p << " mu=" << mu << " eta=" << eta
+       << " gamma=" << gamma << " rho=" << rho;
+    return os.str();
+  }
+};
+
+Draw random_draw(std::mt19937_64& rng) {
+  std::uniform_int_distribution<unsigned> k_dist(1, 8);
+  std::uniform_real_distribution<double> p_dist(0.05, 1.0);
+  std::uniform_real_distribution<double> mu_dist(0.005, 0.05);
+  std::uniform_real_distribution<double> eta_dist(0.2, 1.0);
+  std::uniform_real_distribution<double> ratio_dist(1.2, 6.0);
+  std::uniform_real_distribution<double> rho_dist(0.0, 1.0);
+  Draw d;
+  d.k = k_dist(rng);
+  d.p = p_dist(rng);
+  d.mu = mu_dist(rng);
+  d.eta = eta_dist(rng);
+  d.gamma = d.mu * ratio_dist(rng);  // keep gamma > mu (stable regime)
+  d.rho = rho_dist(rng);
+  return d;
+}
+
+TEST(RandomizedFluidTest, MtcdClosedFormIsAFixedPointOfItsOde) {
+  std::mt19937_64 rng(2026);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Draw d = random_draw(rng);
+    const CorrelationModel corr(d.k, d.p, 1.0);
+    const auto rates = corr.per_torrent_entry_rates();
+    const MtcdEquilibrium eq = mtcd_equilibrium(d.params(), rates);
+
+    std::vector<double> state(2 * d.k);
+    for (unsigned i = 0; i < d.k; ++i) {
+      state[i] = eq.downloaders[i];
+      state[d.k + i] = eq.seeds[i];
+    }
+    std::vector<double> dstate(2 * d.k);
+    mtcd_rhs(d.params(), rates)(0.0, state, dstate);
+    for (const double v : dstate) {
+      EXPECT_NEAR(v, 0.0, 1e-10) << d.describe();
+    }
+  }
+}
+
+TEST(RandomizedFluidTest, SchemeOrderingHolds) {
+  // CMFSD(rho) <= MFCD = MTCD and MTSD <= MTCD on the average online
+  // time per file, everywhere in the stable region.
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Draw d = random_draw(rng);
+    const CorrelationModel corr(d.k, d.p, 1.0);
+    const auto sys = corr.system_entry_rates();
+
+    const MtcdEquilibrium mtcd =
+        mtcd_equilibrium(d.params(), corr.per_torrent_entry_rates());
+    const double mtcd_avg = average_online_time_per_file(mtcd.metrics, sys);
+    const double mtsd_avg = average_online_time_per_file(
+        mtsd_metrics(d.params(), d.k).metrics, sys);
+    const CmfsdEquilibrium cmfsd =
+        CmfsdModel(d.params(), sys, d.rho).solve();
+    const double cmfsd_avg =
+        average_online_time_per_file(cmfsd.metrics, sys);
+
+    EXPECT_LE(mtsd_avg, mtcd_avg + 1e-9) << d.describe();
+    EXPECT_LE(cmfsd_avg, mtcd_avg + 1e-4 * mtcd_avg) << d.describe();
+  }
+}
+
+TEST(RandomizedFluidTest, CmfsdConservationAndPositivity) {
+  std::mt19937_64 rng(13);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Draw d = random_draw(rng);
+    const CorrelationModel corr(d.k, d.p, 1.0);
+    const auto sys = corr.system_entry_rates();
+    const CmfsdModel model(d.params(), sys, d.rho);
+    const CmfsdEquilibrium eq = model.solve();
+    for (const double v : eq.state) {
+      EXPECT_GE(v, -1e-8) << d.describe();
+    }
+    for (unsigned i = 1; i <= d.k; ++i) {
+      EXPECT_NEAR(d.gamma * eq.state[model.y_index(i)], sys[i - 1],
+                  1e-5 * (1.0 + sys[i - 1]))
+          << d.describe() << " class " << i;
+    }
+  }
+}
+
+TEST(RandomizedFluidTest, ExtendedRegimesAlwaysConsistent) {
+  std::mt19937_64 rng(21);
+  std::uniform_real_distribution<double> c_dist(0.001, 0.1);
+  std::uniform_real_distribution<double> theta_dist(0.0, 0.02);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Draw d = random_draw(rng);
+    ExtendedParams params;
+    params.base = d.params();
+    params.download_bw = c_dist(rng);
+    params.abort_rate = theta_dist(rng);
+    const ExtendedEquilibrium eq =
+        extended_single_torrent_equilibrium(params, 1.0);
+    EXPECT_GT(eq.download_time, 0.0) << d.describe();
+    EXPECT_GE(eq.completion_fraction, 0.0) << d.describe();
+    EXPECT_LE(eq.completion_fraction, 1.0 + 1e-12) << d.describe();
+    EXPECT_GE(eq.downloaders, 0.0) << d.describe();
+    // If download-constrained, T = 1/c exactly.
+    if (eq.download_constrained) {
+      EXPECT_NEAR(eq.download_time, 1.0 / params.download_bw, 1e-9)
+          << d.describe();
+    }
+    // The abort-aware equilibrium is never faster.
+    const ExtendedEquilibrium aware =
+        abort_aware_single_torrent_equilibrium(params, 1.0);
+    EXPECT_GE(aware.download_time, eq.download_time - 1e-9) << d.describe();
+  }
+}
+
+}  // namespace
+}  // namespace btmf::fluid

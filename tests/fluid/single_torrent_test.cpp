@@ -1,0 +1,88 @@
+#include "btmf/fluid/single_torrent.h"
+
+#include <gtest/gtest.h>
+
+#include "btmf/math/equilibrium.h"
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+namespace {
+
+TEST(SingleTorrentTest, PaperConstantsGiveDownloadTime60) {
+  // With mu = 0.02, eta = 0.5, gamma = 0.05:
+  // T = (0.05 - 0.02) / (0.05 * 0.02 * 0.5) = 60, online = 80.
+  const SingleTorrentEquilibrium eq =
+      single_torrent_equilibrium(kPaperParams, 1.0);
+  EXPECT_NEAR(eq.download_time, 60.0, 1e-12);
+  EXPECT_NEAR(eq.online_time, 80.0, 1e-12);
+  EXPECT_NEAR(eq.downloaders, 60.0, 1e-12);
+  EXPECT_NEAR(eq.seeds, 20.0, 1e-12);
+}
+
+TEST(SingleTorrentTest, PopulationsScaleLinearlyInLambda) {
+  const SingleTorrentEquilibrium a =
+      single_torrent_equilibrium(kPaperParams, 1.0);
+  const SingleTorrentEquilibrium b =
+      single_torrent_equilibrium(kPaperParams, 3.0);
+  EXPECT_NEAR(b.downloaders, 3.0 * a.downloaders, 1e-9);
+  EXPECT_NEAR(b.seeds, 3.0 * a.seeds, 1e-9);
+  // ... while times are rate-independent (BitTorrent scalability, [7]).
+  EXPECT_NEAR(b.download_time, a.download_time, 1e-12);
+}
+
+TEST(SingleTorrentTest, GammaBelowMuThrows) {
+  FluidParams params = kPaperParams;
+  params.gamma = 0.01;  // < mu = 0.02
+  EXPECT_THROW((void)single_torrent_download_time(params), ConfigError);
+}
+
+TEST(SingleTorrentTest, InvalidParamsThrow) {
+  FluidParams params = kPaperParams;
+  params.mu = 0.0;
+  EXPECT_THROW((void)single_torrent_equilibrium(params, 1.0), ConfigError);
+  params = kPaperParams;
+  params.eta = 1.5;
+  EXPECT_THROW((void)single_torrent_equilibrium(params, 1.0), ConfigError);
+  EXPECT_THROW((void)single_torrent_equilibrium(kPaperParams, 0.0), ConfigError);
+}
+
+TEST(SingleTorrentTest, OdeTransientConvergesToClosedForm) {
+  const double lambda = 2.0;
+  const math::OdeRhs rhs = single_torrent_rhs(kPaperParams, lambda);
+  const math::EquilibriumResult eq =
+      math::find_equilibrium(rhs, {0.0, 0.0});
+  const SingleTorrentEquilibrium expected =
+      single_torrent_equilibrium(kPaperParams, lambda);
+  EXPECT_NEAR(eq.y[0], expected.downloaders, 1e-5);
+  EXPECT_NEAR(eq.y[1], expected.seeds, 1e-5);
+}
+
+TEST(SingleTorrentTest, OdeConservesFlowAtEquilibrium) {
+  // At steady state the seed outflow gamma*y equals the arrival rate.
+  const double lambda = 1.5;
+  const math::OdeRhs rhs = single_torrent_rhs(kPaperParams, lambda);
+  const math::EquilibriumResult eq =
+      math::find_equilibrium(rhs, {0.0, 0.0});
+  EXPECT_NEAR(kPaperParams.gamma * eq.y[1], lambda, 1e-6);
+}
+
+TEST(SingleTorrentTest, FasterSeedsLeaveLongerDownloads) {
+  // Larger gamma = seeds leave sooner = less capacity = longer T.
+  FluidParams slow_leave = kPaperParams;  // gamma = 0.05
+  FluidParams fast_leave = kPaperParams;
+  fast_leave.gamma = 0.10;
+  EXPECT_GT(single_torrent_download_time(fast_leave),
+            single_torrent_download_time(slow_leave));
+}
+
+TEST(SingleTorrentTest, HigherEtaShortensDownloads) {
+  FluidParams low = kPaperParams;
+  low.eta = 0.25;
+  FluidParams high = kPaperParams;
+  high.eta = 1.0;
+  EXPECT_GT(single_torrent_download_time(low),
+            single_torrent_download_time(high));
+}
+
+}  // namespace
+}  // namespace btmf::fluid

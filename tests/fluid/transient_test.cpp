@@ -1,0 +1,119 @@
+#include "btmf/fluid/transient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "btmf/fluid/cmfsd.h"
+#include "btmf/fluid/correlation.h"
+#include "btmf/fluid/single_torrent.h"
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+namespace {
+
+TEST(TransientTest, SamplesUniformGridIncludingEndpoints) {
+  const math::OdeRhs rhs = single_torrent_rhs(kPaperParams, 1.0);
+  TransientOptions options;
+  options.t_end = 100.0;
+  options.samples = 5;
+  const TransientSeries series = sample_trajectory(rhs, {0.0, 0.0}, options);
+  ASSERT_EQ(series.times.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.times.front(), 0.0);
+  EXPECT_DOUBLE_EQ(series.times.back(), 100.0);
+  EXPECT_NEAR(series.times[1], 25.0, 1e-12);
+  ASSERT_EQ(series.states.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.states[0][0], 0.0);
+}
+
+TEST(TransientTest, SingleTorrentConvergesToClosedForm) {
+  const double lambda = 2.0;
+  const math::OdeRhs rhs = single_torrent_rhs(kPaperParams, lambda);
+  TransientOptions options;
+  options.t_end = 3000.0;
+  options.samples = 60;
+  const TransientSeries series = sample_trajectory(rhs, {0.0, 0.0}, options);
+  const SingleTorrentEquilibrium eq =
+      single_torrent_equilibrium(kPaperParams, lambda);
+  EXPECT_NEAR(series.states.back()[0], eq.downloaders, 0.01 * eq.downloaders);
+  EXPECT_NEAR(series.states.back()[1], eq.seeds, 0.01 * eq.seeds);
+}
+
+TEST(TransientTest, SettlingTimeFindsFirstEntry) {
+  const double lambda = 1.0;
+  const math::OdeRhs rhs = single_torrent_rhs(kPaperParams, lambda);
+  TransientOptions options;
+  options.t_end = 4000.0;
+  options.samples = 400;
+  const TransientSeries series = sample_trajectory(rhs, {0.0, 0.0}, options);
+  const SingleTorrentEquilibrium eq =
+      single_torrent_equilibrium(kPaperParams, lambda);
+  const std::vector<double> target{eq.downloaders, eq.seeds};
+  const double settle = settling_time(series, target, 0.02);
+  EXPECT_TRUE(std::isfinite(settle));
+  EXPECT_GT(settle, 0.0);
+  EXPECT_LT(settle, 4000.0);
+  // A tighter tolerance cannot settle earlier.
+  EXPECT_GE(settling_time(series, target, 0.005), settle);
+}
+
+TEST(TransientTest, SettlingTimeInfiniteWhenNeverReached) {
+  const math::OdeRhs rhs = single_torrent_rhs(kPaperParams, 1.0);
+  TransientOptions options;
+  options.t_end = 10.0;  // far too short
+  options.samples = 10;
+  const TransientSeries series = sample_trajectory(rhs, {0.0, 0.0}, options);
+  const std::vector<double> target{60.0, 20.0};
+  EXPECT_TRUE(std::isinf(settling_time(series, target, 0.001)));
+}
+
+TEST(TransientTest, FlashCrowdPeakExceedsSteadyState) {
+  // Drop a crowd of 500 class-1 peers into an empty CMFSD torrent with a
+  // small trickle arrival: the downloader population peaks at the crowd
+  // size and then drains well below it.
+  const CorrelationModel corr(3, 0.5, 0.1);
+  const CmfsdModel model(kPaperParams, corr.system_entry_rates(), 0.0);
+  std::vector<double> y0(model.state_size(), 0.0);
+  y0[model.x_index(1, 1)] = 500.0;
+
+  TransientOptions options;
+  options.t_end = 3000.0;
+  options.samples = 120;
+  const TransientSeries series =
+      sample_trajectory(model.rhs(), y0, options);
+
+  const auto total_downloaders = [&](std::span<const double> state) {
+    double total = 0.0;
+    for (unsigned i = 1; i <= 3; ++i)
+      for (unsigned j = 1; j <= i; ++j) total += state[model.x_index(i, j)];
+    return total;
+  };
+  const double peak = peak_value(series, total_downloaders);
+  EXPECT_NEAR(peak, 500.0, 1.0);  // the crowd itself is the peak
+  EXPECT_LT(total_downloaders(series.states.back()), 50.0);
+}
+
+TEST(TransientTest, MapReducesEverySample) {
+  const math::OdeRhs rhs = single_torrent_rhs(kPaperParams, 1.0);
+  TransientOptions options;
+  options.t_end = 50.0;
+  options.samples = 6;
+  const TransientSeries series = sample_trajectory(rhs, {1.0, 2.0}, options);
+  const std::vector<double> sums = series.map(
+      [](std::span<const double> s) { return s[0] + s[1]; });
+  ASSERT_EQ(sums.size(), 6u);
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+}
+
+TEST(TransientTest, InvalidOptionsThrow) {
+  const math::OdeRhs rhs = single_torrent_rhs(kPaperParams, 1.0);
+  TransientOptions options;
+  options.samples = 1;
+  EXPECT_THROW((void)sample_trajectory(rhs, {0.0, 0.0}, options), ConfigError);
+  options.samples = 10;
+  options.t_end = 0.0;
+  EXPECT_THROW((void)sample_trajectory(rhs, {0.0, 0.0}, options), ConfigError);
+}
+
+}  // namespace
+}  // namespace btmf::fluid

@@ -1,0 +1,136 @@
+// Cross-validation of the two independent implementations of the paper's
+// models: the agent-level discrete-event simulator must reproduce the
+// fluid-model steady states within Monte-Carlo tolerance for all four
+// schemes. This is the strongest correctness evidence in the repository —
+// the fluid code knows nothing about the simulator and vice versa.
+#include <gtest/gtest.h>
+
+#include "btmf/core/evaluate.h"
+#include "btmf/sim/simulator.h"
+
+namespace btmf {
+namespace {
+
+core::ScenarioConfig scenario(double p, unsigned k = 5) {
+  core::ScenarioConfig sc;
+  sc.num_files = k;
+  sc.correlation = p;
+  sc.visit_rate = 1.0;
+  return sc;
+}
+
+sim::SimConfig sim_config(const core::ScenarioConfig& sc,
+                          fluid::SchemeKind scheme, double rho = 0.0) {
+  sim::SimConfig c;
+  c.scheme = scheme;
+  c.num_files = sc.num_files;
+  c.correlation = sc.correlation;
+  c.visit_rate = sc.visit_rate;
+  c.fluid = sc.fluid;
+  c.rho = rho;
+  c.horizon = 4000.0;
+  c.warmup = 1000.0;
+  c.seed = 1234;
+  return c;
+}
+
+TEST(SimVsFluidTest, MtsdOnlineTimeMatches) {
+  const core::ScenarioConfig sc = scenario(0.5);
+  const core::SchemeReport fluid_report =
+      core::evaluate_scheme(sc, fluid::SchemeKind::kMtsd);
+  const sim::SimResult sim_result =
+      sim::run_simulation(sim_config(sc, fluid::SchemeKind::kMtsd));
+  EXPECT_NEAR(sim_result.avg_online_per_file,
+              fluid_report.avg_online_per_file,
+              0.05 * fluid_report.avg_online_per_file);
+}
+
+TEST(SimVsFluidTest, MtcdLittleLawMatchesPerClass) {
+  const core::ScenarioConfig sc = scenario(1.0);
+  const core::SchemeReport fluid_report =
+      core::evaluate_scheme(sc, fluid::SchemeKind::kMtcd);
+  const sim::SimResult sim_result =
+      sim::run_simulation(sim_config(sc, fluid::SchemeKind::kMtcd));
+  const unsigned k = sc.num_files;
+  // At p = 1 only class K is populated.
+  const double expected = fluid_report.per_class.online_per_file[k - 1];
+  EXPECT_NEAR(sim_result.classes[k - 1].little_online_time, expected,
+              0.08 * expected);
+}
+
+TEST(SimVsFluidTest, MfcdMatchesMtcdFluidEquivalence) {
+  const core::ScenarioConfig sc = scenario(1.0);
+  const core::SchemeReport fluid_report =
+      core::evaluate_scheme(sc, fluid::SchemeKind::kMfcd);
+  const sim::SimResult sim_result =
+      sim::run_simulation(sim_config(sc, fluid::SchemeKind::kMfcd));
+  const unsigned k = sc.num_files;
+  const double expected = fluid_report.per_class.online_per_file[k - 1];
+  EXPECT_NEAR(sim_result.classes[k - 1].little_online_time, expected,
+              0.08 * expected);
+}
+
+TEST(SimVsFluidTest, CmfsdGenerousMatches) {
+  const core::ScenarioConfig sc = scenario(0.9);
+  core::EvaluateOptions options;
+  options.rho = 0.0;
+  const core::SchemeReport fluid_report =
+      core::evaluate_scheme(sc, fluid::SchemeKind::kCmfsd, options);
+  const sim::SimResult sim_result = sim::run_simulation(
+      sim_config(sc, fluid::SchemeKind::kCmfsd, /*rho=*/0.0));
+  EXPECT_NEAR(sim_result.avg_online_per_file,
+              fluid_report.avg_online_per_file,
+              0.07 * fluid_report.avg_online_per_file);
+}
+
+TEST(SimVsFluidTest, CmfsdSelfishMatches) {
+  const core::ScenarioConfig sc = scenario(0.9);
+  core::EvaluateOptions options;
+  options.rho = 1.0;
+  const core::SchemeReport fluid_report =
+      core::evaluate_scheme(sc, fluid::SchemeKind::kCmfsd, options);
+  const sim::SimResult sim_result = sim::run_simulation(
+      sim_config(sc, fluid::SchemeKind::kCmfsd, /*rho=*/1.0));
+  EXPECT_NEAR(sim_result.avg_online_per_file,
+              fluid_report.avg_online_per_file,
+              0.07 * fluid_report.avg_online_per_file);
+}
+
+TEST(SimVsFluidTest, CmfsdPerClassDownloadTimesMatch) {
+  const core::ScenarioConfig sc = scenario(0.8);
+  core::EvaluateOptions options;
+  options.rho = 0.2;
+  const core::SchemeReport fluid_report =
+      core::evaluate_scheme(sc, fluid::SchemeKind::kCmfsd, options);
+  sim::SimConfig c = sim_config(sc, fluid::SchemeKind::kCmfsd, 0.2);
+  c.horizon = 5000.0;
+  const sim::SimResult sim_result = sim::run_simulation(c);
+  for (unsigned i = 2; i <= sc.num_files; ++i) {
+    const auto& cls = sim_result.classes[i - 1];
+    if (cls.completed_users < 150) continue;
+    const double expected = fluid_report.per_class.download_per_file[i - 1];
+    EXPECT_NEAR(cls.little_download_time, expected, 0.10 * expected)
+        << "class " << i;
+  }
+}
+
+TEST(SimVsFluidTest, SchemeOrderingPreservedAtHighCorrelation) {
+  // The paper's bottom line, at the agent level: CMFSD(0) < MTSD <
+  // MFCD ~ MTCD in average online time per file when p is high.
+  const core::ScenarioConfig sc = scenario(0.9);
+  const double cmfsd =
+      sim::run_simulation(
+          sim_config(sc, fluid::SchemeKind::kCmfsd, /*rho=*/0.0))
+          .avg_online_per_file;
+  const double mtsd =
+      sim::run_simulation(sim_config(sc, fluid::SchemeKind::kMtsd))
+          .avg_online_per_file;
+  const double mfcd =
+      sim::run_simulation(sim_config(sc, fluid::SchemeKind::kMfcd))
+          .avg_online_per_file;
+  EXPECT_LT(cmfsd, mtsd);
+  EXPECT_LT(mtsd, mfcd);
+}
+
+}  // namespace
+}  // namespace btmf

@@ -1,0 +1,100 @@
+#include "btmf/math/equilibrium.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "btmf/util/error.h"
+
+namespace btmf::math {
+namespace {
+
+TEST(EquilibriumTest, LinearRelaxationFindsFixedPoint) {
+  // y' = 1 - y has the unique stable equilibrium y* = 1.
+  const OdeRhs rhs = [](double, std::span<const double> y,
+                        std::span<double> d) { d[0] = 1.0 - y[0]; };
+  const EquilibriumResult r = find_equilibrium(rhs, {0.0});
+  EXPECT_NEAR(r.y[0], 1.0, 1e-8);
+  EXPECT_LE(r.residual_inf, 1e-9);
+}
+
+TEST(EquilibriumTest, CoupledLinearSystem) {
+  // y1' = 2 - y1, y2' = y1 - 0.5 y2  ->  y* = (2, 4).
+  const OdeRhs rhs = [](double, std::span<const double> y,
+                        std::span<double> d) {
+    d[0] = 2.0 - y[0];
+    d[1] = y[0] - 0.5 * y[1];
+  };
+  const EquilibriumResult r = find_equilibrium(rhs, {0.0, 0.0});
+  EXPECT_NEAR(r.y[0], 2.0, 1e-7);
+  EXPECT_NEAR(r.y[1], 4.0, 1e-7);
+}
+
+TEST(EquilibriumTest, NonlinearLogisticEquilibrium) {
+  // Logistic growth y' = y (1 - y/10) from y0 = 1 -> carrying capacity 10.
+  const OdeRhs rhs = [](double, std::span<const double> y,
+                        std::span<double> d) {
+    d[0] = y[0] * (1.0 - y[0] / 10.0);
+  };
+  EquilibriumOptions options;
+  options.chunk_time = 50.0;
+  const EquilibriumResult r = find_equilibrium(rhs, {1.0}, options);
+  EXPECT_NEAR(r.y[0], 10.0, 1e-6);
+}
+
+TEST(EquilibriumTest, NewtonPolishTightensResidual) {
+  const OdeRhs rhs = [](double, std::span<const double> y,
+                        std::span<double> d) { d[0] = 3.0 - 0.1 * y[0]; };
+  EquilibriumOptions no_polish;
+  no_polish.polish_with_newton = false;
+  no_polish.residual_tol = 1e-6;
+  EquilibriumOptions polish = no_polish;
+  polish.polish_with_newton = true;
+  const double r_raw = find_equilibrium(rhs, {0.0}, no_polish).residual_inf;
+  const double r_polished = find_equilibrium(rhs, {0.0}, polish).residual_inf;
+  EXPECT_LE(r_polished, r_raw);
+  EXPECT_LE(r_polished, 1e-9);
+}
+
+TEST(EquilibriumTest, DivergentSystemThrows) {
+  // y' = 1 never reaches a fixed point.
+  const OdeRhs rhs = [](double, std::span<const double>,
+                        std::span<double> d) { d[0] = 1.0; };
+  EquilibriumOptions options;
+  options.max_chunks = 4;
+  options.chunk_time = 10.0;
+  EXPECT_THROW((void)find_equilibrium(rhs, {0.0}, options), SolverError);
+}
+
+TEST(EquilibriumTest, AlreadyAtEquilibriumReturnsImmediately) {
+  const OdeRhs rhs = [](double, std::span<const double> y,
+                        std::span<double> d) { d[0] = 1.0 - y[0]; };
+  const EquilibriumResult r = find_equilibrium(rhs, {1.0});
+  EXPECT_EQ(r.chunks, 0u);
+  EXPECT_NEAR(r.y[0], 1.0, 1e-12);
+}
+
+TEST(EquilibriumTest, EmptyStateThrows) {
+  const OdeRhs rhs = [](double, std::span<const double>,
+                        std::span<double>) {};
+  EXPECT_THROW((void)find_equilibrium(rhs, {}), ConfigError);
+}
+
+TEST(EquilibriumTest, ClampKeepsPopulationsNonNegative) {
+  // The flow briefly dips the transient below zero without clamping.
+  const OdeRhs rhs = [](double, std::span<const double> y,
+                        std::span<double> d) {
+    d[0] = -10.0 * y[0] + 0.1;
+    d[1] = y[0] - y[1];
+  };
+  EquilibriumOptions options;
+  options.clamp_nonnegative = true;
+  const EquilibriumResult r = find_equilibrium(rhs, {5.0, 0.0}, options);
+  EXPECT_GE(r.y[0], 0.0);
+  EXPECT_NEAR(r.y[0], 0.01, 1e-8);
+  EXPECT_NEAR(r.y[1], 0.01, 1e-8);
+}
+
+}  // namespace
+}  // namespace btmf::math

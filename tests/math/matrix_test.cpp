@@ -1,0 +1,137 @@
+#include "btmf/math/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "btmf/util/error.h"
+
+namespace btmf::math {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, ZeroDimensionThrows) {
+  EXPECT_THROW((void)Matrix(0, 3), ConfigError);
+  EXPECT_THROW((void)Matrix(3, 0), ConfigError);
+}
+
+TEST(MatrixTest, IdentityMultiplyIsNoOp) {
+  const Matrix eye = Matrix::identity(4);
+  const std::vector<double> x{1.0, -2.0, 3.5, 0.25};
+  const std::vector<double> y = eye.multiply(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(MatrixTest, MatrixVectorKnownProduct) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;  a(0, 1) = 2;  a(0, 2) = 3;
+  a(1, 0) = 4;  a(1, 1) = 5;  a(1, 2) = 6;
+  const std::vector<double> y = a.multiply(std::vector<double>{1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(MatrixTest, MatrixVectorSizeMismatchThrows) {
+  const Matrix a(2, 3);
+  EXPECT_THROW((void)a.multiply(std::vector<double>{1.0, 2.0}), ConfigError);
+}
+
+TEST(MatrixTest, MatrixMatrixKnownProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;  a(0, 1) = 2;
+  a(1, 0) = 3;  a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 0;  b(0, 1) = 1;
+  b(1, 0) = 1;  b(1, 1) = 0;
+  const Matrix c = a.multiply(b);  // column swap
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(MatrixTest, TransposedSwapsIndices) {
+  Matrix a(2, 3);
+  a(0, 2) = 7.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+}
+
+TEST(LuTest, SolvesKnownSystem) {
+  // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3
+  Matrix a(2, 2);
+  a(0, 0) = 2;  a(0, 1) = 1;
+  a(1, 0) = 1;  a(1, 1) = 3;
+  const LuDecomposition lu(a);
+  const std::vector<double> x = lu.solve(std::vector<double>{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantOfKnownMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 2;  a(0, 1) = 0;  a(0, 2) = 0;
+  a(1, 0) = 0;  a(1, 1) = 3;  a(1, 2) = 0;
+  a(2, 0) = 0;  a(2, 1) = 0;  a(2, 2) = 4;
+  EXPECT_NEAR(LuDecomposition(a).determinant(), 24.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantSignTracksPermutation) {
+  // A row swap of the identity has determinant -1.
+  Matrix a(2, 2);
+  a(0, 0) = 0;  a(0, 1) = 1;
+  a(1, 0) = 1;  a(1, 1) = 0;
+  EXPECT_NEAR(LuDecomposition(a).determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, SingularMatrixThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;  a(0, 1) = 2;
+  a(1, 0) = 2;  a(1, 1) = 4;  // rank 1
+  EXPECT_THROW(LuDecomposition{a}, SolverError);
+}
+
+TEST(LuTest, NonSquareThrows) {
+  EXPECT_THROW(LuDecomposition{Matrix(2, 3)}, ConfigError);
+}
+
+TEST(LuTest, RandomRoundTrip) {
+  // Solve A x = b for random well-conditioned A and check the residual.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(trial % 8);
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = dist(rng);
+      a(r, r) += 4.0;  // diagonal dominance keeps it well-conditioned
+    }
+    std::vector<double> b(n);
+    for (double& v : b) v = dist(rng);
+    const std::vector<double> x = LuDecomposition(a).solve(b);
+    const std::vector<double> ax = a.multiply(x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+  }
+}
+
+TEST(MatrixTest, MaxAbs) {
+  Matrix a(2, 2);
+  a(0, 0) = -5.0;
+  a(1, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(a.max_abs(), 5.0);
+}
+
+}  // namespace
+}  // namespace btmf::math

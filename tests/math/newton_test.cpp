@@ -1,0 +1,119 @@
+#include "btmf/math/newton.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "btmf/util/error.h"
+
+namespace btmf::math {
+namespace {
+
+TEST(JacobianTest, LinearSystemJacobianIsTheMatrix) {
+  // F(x) = A x with known A; the numerical Jacobian must recover A.
+  const VectorField f = [](std::span<const double> x, std::span<double> out) {
+    out[0] = 2.0 * x[0] + 3.0 * x[1];
+    out[1] = -1.0 * x[0] + 4.0 * x[1];
+  };
+  const std::vector<double> x{0.7, -0.3};
+  const Matrix jac = numerical_jacobian(f, x);
+  EXPECT_NEAR(jac(0, 0), 2.0, 1e-6);
+  EXPECT_NEAR(jac(0, 1), 3.0, 1e-6);
+  EXPECT_NEAR(jac(1, 0), -1.0, 1e-6);
+  EXPECT_NEAR(jac(1, 1), 4.0, 1e-6);
+}
+
+TEST(NewtonTest, SolvesScalarQuadratic) {
+  // x^2 - 4 = 0 from x0 = 3 -> x = 2.
+  const VectorField f = [](std::span<const double> x, std::span<double> out) {
+    out[0] = x[0] * x[0] - 4.0;
+  };
+  const NewtonResult r = newton_solve(f, {3.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-8);
+}
+
+TEST(NewtonTest, SolvesCoupledNonlinearSystem) {
+  // x^2 + y^2 = 5, x y = 2 -> (2, 1) from a nearby start.
+  const VectorField f = [](std::span<const double> x, std::span<double> out) {
+    out[0] = x[0] * x[0] + x[1] * x[1] - 5.0;
+    out[1] = x[0] * x[1] - 2.0;
+  };
+  const NewtonResult r = newton_solve(f, {2.5, 0.5});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-8);
+}
+
+TEST(NewtonTest, QuadraticConvergenceTakesFewIterations) {
+  const VectorField f = [](std::span<const double> x, std::span<double> out) {
+    out[0] = std::exp(x[0]) - 2.0;
+  };
+  const NewtonResult r = newton_solve(f, {1.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], std::log(2.0), 1e-10);
+  EXPECT_LE(r.iterations, 8u);
+}
+
+TEST(NewtonTest, DampingRescuesOvershoot) {
+  // atan has a tiny derivative far out; a full Newton step from x0 = 5
+  // overshoots wildly and diverges without damping.
+  const VectorField f = [](std::span<const double> x, std::span<double> out) {
+    out[0] = std::atan(x[0]);
+  };
+  const NewtonResult r = newton_solve(f, {5.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-8);
+}
+
+TEST(NewtonTest, ProjectionKeepsIterateInDomain) {
+  // Root of x^2 - 2 with iterates projected into x >= 0: finds +sqrt(2).
+  const VectorField f = [](std::span<const double> x, std::span<double> out) {
+    out[0] = x[0] * x[0] - 2.0;
+  };
+  NewtonOptions options;
+  options.project = [](std::span<double> x) {
+    for (double& v : x) v = std::max(v, 0.0);
+  };
+  const NewtonResult r = newton_solve(f, {0.5}, options);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], std::sqrt(2.0), 1e-8);
+}
+
+TEST(NewtonTest, AlreadyAtRootConvergesImmediately) {
+  const VectorField f = [](std::span<const double> x, std::span<double> out) {
+    out[0] = x[0] - 1.0;
+  };
+  const NewtonResult r = newton_solve(f, {1.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(NewtonTest, SingularJacobianThrows) {
+  // A rank-1 linear system: the Jacobian is singular everywhere and the
+  // start is not a root, so the LU factorisation must fail loudly.
+  const VectorField f = [](std::span<const double> x, std::span<double> out) {
+    out[0] = x[0] + x[1];
+    out[1] = x[0] + x[1];
+  };
+  EXPECT_THROW((void)newton_solve(f, {1.0, 0.0}), SolverError);
+}
+
+TEST(NewtonTest, NoRootReportsNonConvergence) {
+  // x^2 + 1 has no real root; Newton must stall and say so, not throw.
+  const VectorField f = [](std::span<const double> x, std::span<double> out) {
+    out[0] = x[0] * x[0] + 1.0;
+  };
+  const NewtonResult r = newton_solve(f, {3.0});
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.residual_inf, 0.5);
+}
+
+TEST(NewtonTest, EmptyStateThrows) {
+  const VectorField f = [](std::span<const double>, std::span<double>) {};
+  EXPECT_THROW((void)newton_solve(f, {}), ConfigError);
+}
+
+}  // namespace
+}  // namespace btmf::math

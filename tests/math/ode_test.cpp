@@ -1,0 +1,188 @@
+#include "btmf/math/ode.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "btmf/util/error.h"
+
+namespace btmf::math {
+namespace {
+
+// y' = -y, y(0) = 1 -> y(t) = e^{-t}.
+const OdeRhs kDecay = [](double, std::span<const double> y,
+                         std::span<double> d) { d[0] = -y[0]; };
+
+// Harmonic oscillator y'' = -y as a 2-system; energy is conserved.
+const OdeRhs kOscillator = [](double, std::span<const double> y,
+                              std::span<double> d) {
+  d[0] = y[1];
+  d[1] = -y[0];
+};
+
+double decay_error(FixedStepMethod method, double dt) {
+  const std::vector<double> y =
+      integrate_fixed(kDecay, {1.0}, 0.0, 1.0, dt, method);
+  return std::abs(y[0] - std::exp(-1.0));
+}
+
+TEST(FixedStepTest, EulerFirstOrderConvergence) {
+  const double e1 = decay_error(FixedStepMethod::kEuler, 0.01);
+  const double e2 = decay_error(FixedStepMethod::kEuler, 0.005);
+  const double order = std::log2(e1 / e2);
+  EXPECT_NEAR(order, 1.0, 0.1);
+}
+
+TEST(FixedStepTest, HeunSecondOrderConvergence) {
+  const double e1 = decay_error(FixedStepMethod::kHeun, 0.02);
+  const double e2 = decay_error(FixedStepMethod::kHeun, 0.01);
+  EXPECT_NEAR(std::log2(e1 / e2), 2.0, 0.1);
+}
+
+TEST(FixedStepTest, Rk4FourthOrderConvergence) {
+  const double e1 = decay_error(FixedStepMethod::kRk4, 0.1);
+  const double e2 = decay_error(FixedStepMethod::kRk4, 0.05);
+  EXPECT_NEAR(std::log2(e1 / e2), 4.0, 0.2);
+}
+
+TEST(FixedStepTest, FinalStepLandsExactlyOnT1) {
+  // dt does not divide the interval; the final (shortened) step must land
+  // on t1 = 1 rather than overshooting to 1.2.
+  const std::vector<double> y =
+      integrate_fixed(kDecay, {1.0}, 0.0, 1.0, 0.3, FixedStepMethod::kRk4);
+  // RK4 truncation error at dt = 0.3 is ~3e-5; an overshoot to t = 1.2
+  // would be off by ~6e-2.
+  EXPECT_NEAR(y[0], std::exp(-1.0), 1e-4);
+}
+
+TEST(FixedStepTest, ObserverSeesMonotoneTimes) {
+  double last_t = 0.0;
+  std::size_t calls = 0;
+  integrate_fixed(kDecay, {1.0}, 0.0, 1.0, 0.25, FixedStepMethod::kEuler,
+                  [&](double t, std::span<const double>) {
+                    EXPECT_GT(t, last_t);
+                    last_t = t;
+                    ++calls;
+                  });
+  EXPECT_EQ(calls, 4u);
+  EXPECT_DOUBLE_EQ(last_t, 1.0);
+}
+
+TEST(FixedStepTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(
+      integrate_fixed(kDecay, {1.0}, 0.0, 1.0, 0.0, FixedStepMethod::kRk4),
+      ConfigError);
+  EXPECT_THROW(
+      integrate_fixed(kDecay, {1.0}, 1.0, 0.0, 0.1, FixedStepMethod::kRk4),
+      ConfigError);
+}
+
+TEST(Dopri5Test, MatchesExponentialDecay) {
+  AdaptiveOptions options;
+  options.rtol = 1e-10;
+  options.atol = 1e-12;
+  const AdaptiveResult r = integrate_dopri5(kDecay, {1.0}, 0.0, 5.0, options);
+  EXPECT_NEAR(r.y[0], std::exp(-5.0), 1e-9);
+  EXPECT_DOUBLE_EQ(r.t, 5.0);
+  EXPECT_GT(r.accepted_steps, 0u);
+}
+
+TEST(Dopri5Test, OscillatorConservesEnergyToTolerance) {
+  AdaptiveOptions options;
+  options.rtol = 1e-10;
+  options.atol = 1e-12;
+  const AdaptiveResult r =
+      integrate_dopri5(kOscillator, {1.0, 0.0}, 0.0, 20.0, options);
+  EXPECT_NEAR(r.y[0], std::cos(20.0), 1e-7);
+  EXPECT_NEAR(r.y[1], -std::sin(20.0), 1e-7);
+  const double energy = r.y[0] * r.y[0] + r.y[1] * r.y[1];
+  EXPECT_NEAR(energy, 1.0, 1e-8);
+}
+
+TEST(Dopri5Test, TighterToleranceGivesSmallerError) {
+  AdaptiveOptions loose;
+  loose.rtol = 1e-4;
+  loose.atol = 1e-6;
+  AdaptiveOptions tight;
+  tight.rtol = 1e-10;
+  tight.atol = 1e-12;
+  const double exact = std::exp(-3.0);
+  const double e_loose =
+      std::abs(integrate_dopri5(kDecay, {1.0}, 0.0, 3.0, loose).y[0] - exact);
+  const double e_tight =
+      std::abs(integrate_dopri5(kDecay, {1.0}, 0.0, 3.0, tight).y[0] - exact);
+  EXPECT_LT(e_tight, e_loose);
+}
+
+TEST(Dopri5Test, TighterToleranceTakesMoreSteps) {
+  AdaptiveOptions loose;
+  loose.rtol = 1e-4;
+  AdaptiveOptions tight;
+  tight.rtol = 1e-11;
+  tight.atol = 1e-13;
+  const auto r_loose = integrate_dopri5(kOscillator, {1.0, 0.0}, 0.0, 10.0,
+                                        loose);
+  const auto r_tight = integrate_dopri5(kOscillator, {1.0, 0.0}, 0.0, 10.0,
+                                        tight);
+  EXPECT_GT(r_tight.accepted_steps, r_loose.accepted_steps);
+}
+
+TEST(Dopri5Test, ZeroLengthIntervalIsIdentity) {
+  const AdaptiveResult r = integrate_dopri5(kDecay, {3.0}, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.y[0], 3.0);
+  EXPECT_EQ(r.accepted_steps, 0u);
+}
+
+TEST(Dopri5Test, MaxStepBudgetThrows) {
+  AdaptiveOptions options;
+  options.max_steps = 3;
+  options.rtol = 1e-12;
+  options.atol = 1e-14;
+  EXPECT_THROW((void)integrate_dopri5(kOscillator, {1.0, 0.0}, 0.0, 100.0, options),
+               SolverError);
+}
+
+TEST(Dopri5Test, ClampNonNegativeKeepsPopulationsAtZero) {
+  // y' = -1 would cross zero; clamping pins the state at 0.
+  const OdeRhs rhs = [](double, std::span<const double>,
+                        std::span<double> d) { d[0] = -1.0; };
+  AdaptiveOptions options;
+  options.clamp_nonnegative = true;
+  const AdaptiveResult r = integrate_dopri5(rhs, {0.5}, 0.0, 2.0, options);
+  EXPECT_GE(r.y[0], 0.0);
+}
+
+TEST(Dopri5Test, NonFiniteRhsRejectedThenThrows) {
+  // A right-hand side that explodes: the controller shrinks dt until the
+  // underflow guard reports failure instead of looping forever.
+  const OdeRhs rhs = [](double t, std::span<const double> y,
+                        std::span<double> d) {
+    d[0] = (t > 0.5) ? y[0] / (1.0 - t) / (1.0 - t) * 1e300 : y[0];
+  };
+  EXPECT_THROW((void)integrate_dopri5(rhs, {1.0}, 0.0, 2.0), SolverError);
+}
+
+TEST(Dopri5Test, InvalidTolerancesThrow) {
+  AdaptiveOptions options;
+  options.rtol = 0.0;
+  EXPECT_THROW((void)integrate_dopri5(kDecay, {1.0}, 0.0, 1.0, options),
+               ConfigError);
+}
+
+TEST(Dopri5Test, ObserverOnlySeesAcceptedSteps) {
+  std::size_t calls = 0;
+  double last_t = 0.0;
+  const AdaptiveResult r = integrate_dopri5(
+      kDecay, {1.0}, 0.0, 2.0, {},
+      [&](double t, std::span<const double>) {
+        EXPECT_GT(t, last_t);
+        last_t = t;
+        ++calls;
+      });
+  EXPECT_EQ(calls, r.accepted_steps);
+  EXPECT_DOUBLE_EQ(last_t, 2.0);
+}
+
+}  // namespace
+}  // namespace btmf::math

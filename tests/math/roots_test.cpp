@@ -1,0 +1,64 @@
+#include "btmf/math/roots.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "btmf/util/error.h"
+
+namespace btmf::math {
+namespace {
+
+TEST(BrentTest, FindsQuadraticRoot) {
+  const double r = brent_root([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-10);
+}
+
+TEST(BrentTest, FindsTranscendentalRoot) {
+  const double r =
+      brent_root([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_NEAR(r, 0.7390851332151607, 1e-10);
+}
+
+TEST(BrentTest, RootAtBracketEndReturnsImmediately) {
+  const double r = brent_root([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(BrentTest, NoBracketThrows) {
+  EXPECT_THROW(
+      brent_root([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+      SolverError);
+}
+
+TEST(BrentTest, NanAtBracketThrows) {
+  EXPECT_THROW((void)brent_root([](double) { return std::nan(""); }, 0.0, 1.0),
+               SolverError);
+}
+
+TEST(BrentTest, InvertedBracketThrows) {
+  EXPECT_THROW((void)brent_root([](double x) { return x; }, 1.0, -1.0),
+               ConfigError);
+}
+
+TEST(BrentTest, SteepFunctionStillConverges) {
+  const double r = brent_root(
+      [](double x) { return std::exp(50.0 * x) - 1.0; }, -1.0, 1.0);
+  EXPECT_NEAR(r, 0.0, 1e-9);
+}
+
+TEST(BisectTest, AgreesWithBrent) {
+  const auto f = [](double x) { return x * x * x - x - 2.0; };
+  const double brent = brent_root(f, 1.0, 2.0);
+  const double bisect = bisect_root(f, 1.0, 2.0);
+  EXPECT_NEAR(brent, bisect, 1e-9);
+  EXPECT_NEAR(f(brent), 0.0, 1e-10);
+}
+
+TEST(BisectTest, NoBracketThrows) {
+  EXPECT_THROW((void)bisect_root([](double) { return 1.0; }, 0.0, 1.0),
+               SolverError);
+}
+
+}  // namespace
+}  // namespace btmf::math

@@ -1,0 +1,101 @@
+#include "btmf/math/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace btmf::math {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSmallSample) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStatsTest, CiHalfwidthScalesWithZ) {
+  RunningStats s;
+  for (int i = 0; i < 100; ++i) s.add(static_cast<double>(i % 10));
+  EXPECT_NEAR(s.ci_halfwidth(1.96) / s.ci_halfwidth(1.0), 1.96, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeMatchesPooledComputation) {
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> dist(5.0, 2.0);
+  RunningStats a, b, pooled;
+  for (int i = 0; i < 500; ++i) {
+    const double x = dist(rng);
+    (i % 3 == 0 ? a : b).add(x);
+    pooled.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsNoOp) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  EXPECT_EQ(a.count(), 2u);
+
+  RunningStats target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), mean_before);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  // Welford must not catastrophically cancel with a huge common offset.
+  RunningStats s;
+  const double offset = 1e9;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(TimeAverageTest, WeightsByDuration) {
+  TimeAverage avg;
+  avg.add(10.0, 1.0);
+  avg.add(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(avg.average(), 2.5);
+  EXPECT_DOUBLE_EQ(avg.total_time(), 4.0);
+}
+
+TEST(TimeAverageTest, IgnoresNonPositiveDurations) {
+  TimeAverage avg;
+  avg.add(100.0, 0.0);
+  avg.add(100.0, -1.0);
+  EXPECT_DOUBLE_EQ(avg.average(), 0.0);
+  avg.add(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(avg.average(), 5.0);
+}
+
+}  // namespace
+}  // namespace btmf::math

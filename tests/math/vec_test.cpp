@@ -1,0 +1,72 @@
+#include "btmf/math/vec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace btmf::math {
+namespace {
+
+TEST(VecTest, AxpyAccumulates) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{10.0, 20.0, 30.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(VecTest, ScaleInPlace) {
+  std::vector<double> x{1.0, -2.0};
+  scale(-0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], -0.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+}
+
+TEST(VecTest, DotAndNorms) {
+  const std::vector<double> x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 4.0);
+  const std::vector<double> neg{-7.0, 2.0};
+  EXPECT_DOUBLE_EQ(norm_inf(neg), 7.0);
+}
+
+TEST(VecTest, WrmsNormWeightsComponents) {
+  // err = 1e-6 on a component of size 1 with rtol 1e-6 -> ratio ~ 1.
+  const std::vector<double> err{1e-6};
+  const std::vector<double> y{1.0};
+  const double n = wrms_norm(err, y, /*atol=*/1e-12, /*rtol=*/1e-6);
+  EXPECT_NEAR(n, 1.0, 1e-3);
+  EXPECT_DOUBLE_EQ(
+      wrms_norm(std::vector<double>{}, std::vector<double>{}, 1.0, 1.0),
+      0.0);
+}
+
+TEST(VecTest, WrmsNormIsRms) {
+  // Two components with identical scaled error e: the norm is e, not
+  // e*sqrt(2) (root *mean* square).
+  const std::vector<double> err{2e-6, 2e-6};
+  const std::vector<double> y{1.0, 1.0};
+  const double n = wrms_norm(err, y, 1e-12, 1e-6);
+  EXPECT_NEAR(n, 2.0, 1e-3);
+}
+
+TEST(VecTest, AllFiniteDetectsNanAndInf) {
+  EXPECT_TRUE(all_finite(std::vector<double>{1.0, -2.0}));
+  EXPECT_FALSE(all_finite(std::vector<double>{
+      1.0, std::numeric_limits<double>::quiet_NaN()}));
+  EXPECT_FALSE(all_finite(std::vector<double>{
+      std::numeric_limits<double>::infinity()}));
+}
+
+TEST(VecTest, ClampNonNegative) {
+  std::vector<double> x{-1e-15, 0.5, -3.0};
+  clamp_nonnegative(x);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+  EXPECT_DOUBLE_EQ(x[2], 0.0);
+}
+
+}  // namespace
+}  // namespace btmf::math

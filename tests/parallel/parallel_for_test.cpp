@@ -1,0 +1,72 @@
+#include "btmf/parallel/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace btmf::parallel {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 5, 5, [&](std::size_t) { ++calls; });
+  parallel_for(pool, 7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, NonZeroBegin) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 10, 20, [&](std::size_t i) {
+    sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
+}
+
+TEST(ParallelForTest, RethrowsBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW((void)parallel_for(pool, 0, 100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("x");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, ResultIndependentOfThreadCount) {
+  std::vector<double> out1(200), out4(200);
+  ThreadPool pool1(1), pool4(4);
+  const auto body = [](std::size_t i) {
+    return static_cast<double>(i) * 1.5;
+  };
+  parallel_for(pool1, 0, out1.size(), [&](std::size_t i) { out1[i] = body(i); });
+  parallel_for(pool4, 0, out4.size(), [&](std::size_t i) { out4[i] = body(i); });
+  EXPECT_EQ(out1, out4);
+}
+
+TEST(ParallelMapTest, PreservesOrder) {
+  ThreadPool pool(3);
+  const auto out =
+      parallel_map(pool, 50, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 50u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMapTest, GlobalPoolOverloadWorks) {
+  const auto out = parallel_map(10, [](std::size_t i) { return i + 1; });
+  EXPECT_EQ(out.front(), 1u);
+  EXPECT_EQ(out.back(), 10u);
+}
+
+}  // namespace
+}  // namespace btmf::parallel

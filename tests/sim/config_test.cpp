@@ -1,0 +1,93 @@
+#include "btmf/sim/config.h"
+
+#include <gtest/gtest.h>
+
+#include "btmf/util/error.h"
+
+namespace btmf::sim {
+namespace {
+
+SimConfig valid() {
+  SimConfig c;
+  c.horizon = 100.0;
+  c.warmup = 10.0;
+  return c;
+}
+
+TEST(SimConfigTest, DefaultIsValid) {
+  EXPECT_NO_THROW(valid().validate());
+}
+
+TEST(SimConfigTest, RejectsBadCorrelation) {
+  SimConfig c = valid();
+  c.correlation = 1.5;
+  EXPECT_THROW((void)c.validate(), ConfigError);
+  c.correlation = -0.1;
+  EXPECT_THROW((void)c.validate(), ConfigError);
+}
+
+TEST(SimConfigTest, RejectsBadRates) {
+  SimConfig c = valid();
+  c.visit_rate = 0.0;
+  EXPECT_THROW((void)c.validate(), ConfigError);
+  c = valid();
+  c.num_files = 0;
+  EXPECT_THROW((void)c.validate(), ConfigError);
+  c = valid();
+  c.fluid.mu = -1.0;
+  EXPECT_THROW((void)c.validate(), ConfigError);
+}
+
+TEST(SimConfigTest, RejectsBadRhoAndCheaters) {
+  SimConfig c = valid();
+  c.rho = 1.2;
+  EXPECT_THROW((void)c.validate(), ConfigError);
+  c = valid();
+  c.cheater_fraction = -0.5;
+  EXPECT_THROW((void)c.validate(), ConfigError);
+}
+
+TEST(SimConfigTest, RejectsBadTimes) {
+  SimConfig c = valid();
+  c.warmup = c.horizon;
+  EXPECT_THROW((void)c.validate(), ConfigError);
+  c = valid();
+  c.horizon = 0.0;
+  EXPECT_THROW((void)c.validate(), ConfigError);
+  c = valid();
+  c.file_size = 0.0;
+  EXPECT_THROW((void)c.validate(), ConfigError);
+}
+
+TEST(SimConfigTest, RejectsBadAdaptSettings) {
+  SimConfig c = valid();
+  c.adapt.enabled = true;
+  c.adapt.period = 0.0;
+  EXPECT_THROW((void)c.validate(), ConfigError);
+
+  c = valid();
+  c.adapt.enabled = true;
+  c.adapt.phi_lo = 1.0;
+  c.adapt.phi_hi = -1.0;  // inverted dead band
+  EXPECT_THROW((void)c.validate(), ConfigError);
+
+  c = valid();
+  c.adapt.enabled = true;
+  c.adapt.consecutive = 0;
+  EXPECT_THROW((void)c.validate(), ConfigError);
+
+  c = valid();
+  c.adapt.enabled = true;
+  c.adapt.initial_rho = 2.0;
+  EXPECT_THROW((void)c.validate(), ConfigError);
+}
+
+TEST(SimConfigTest, BadAdaptSettingsIgnoredWhenDisabled) {
+  SimConfig c = valid();
+  c.adapt.enabled = false;
+  c.adapt.period = -1.0;  // invalid but dormant
+  EXPECT_NO_THROW(c.validate());
+}
+
+}  // namespace
+}  // namespace btmf::sim

@@ -1,0 +1,90 @@
+// Heterogeneous per-file popularity in the simulator.
+#include <gtest/gtest.h>
+
+#include "btmf/fluid/hetero.h"
+#include "btmf/sim/simulator.h"
+#include "btmf/util/error.h"
+
+namespace btmf::sim {
+namespace {
+
+TEST(HeteroSimTest, ClassArrivalRatesFollowPoissonBinomial) {
+  SimConfig c;
+  c.scheme = fluid::SchemeKind::kMtsd;
+  c.num_files = 4;
+  c.file_probs = {0.9, 0.5, 0.2, 0.05};
+  c.visit_rate = 2.0;
+  c.horizon = 4000.0;
+  c.warmup = 500.0;
+  c.seed = 3;
+  const SimResult r = run_simulation(c);
+
+  const fluid::HeterogeneousCatalog catalog(c.file_probs, c.visit_rate);
+  const auto expected = catalog.system_class_rates();
+  for (unsigned i = 1; i <= 4; ++i) {
+    EXPECT_NEAR(r.classes[i - 1].arrival_rate, expected[i - 1],
+                0.15 * expected[i - 1] + 0.02)
+        << "class " << i;
+  }
+}
+
+TEST(HeteroSimTest, EmptyProbsFallBackToUniformCorrelation) {
+  SimConfig uniform;
+  uniform.scheme = fluid::SchemeKind::kMtsd;
+  uniform.num_files = 3;
+  uniform.correlation = 0.4;
+  uniform.horizon = 1500.0;
+  uniform.warmup = 300.0;
+  uniform.seed = 8;
+  SimConfig explicit_probs = uniform;
+  explicit_probs.file_probs = {0.4, 0.4, 0.4};
+  const SimResult a = run_simulation(uniform);
+  const SimResult b = run_simulation(explicit_probs);
+  // Identical RNG consumption => bitwise identical runs.
+  EXPECT_DOUBLE_EQ(a.avg_online_per_file, b.avg_online_per_file);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(HeteroSimTest, UnrequestedFilesGetNoTraffic) {
+  SimConfig c;
+  c.scheme = fluid::SchemeKind::kMtcd;
+  c.num_files = 3;
+  c.file_probs = {0.8, 0.0, 0.3};
+  c.visit_rate = 1.0;
+  c.horizon = 1500.0;
+  c.warmup = 300.0;
+  const SimResult r = run_simulation(c);
+  // Nobody can request more than 2 files.
+  EXPECT_EQ(r.classes[2].completed_users, 0u);
+  EXPECT_GT(r.classes[0].completed_users, 100u);
+}
+
+TEST(HeteroSimTest, WrongSizeProbsRejected) {
+  SimConfig c;
+  c.num_files = 3;
+  c.file_probs = {0.5, 0.5};
+  EXPECT_THROW((void)run_simulation(c), ConfigError);
+  c.file_probs = {0.5, 0.5, 1.5};
+  EXPECT_THROW((void)run_simulation(c), ConfigError);
+}
+
+TEST(HeteroSimTest, MtsdPerFileTimesUnaffectedBySkew) {
+  // MTSD's per-file cycle is rate-independent, so even a skewed catalogue
+  // leaves the per-file online time at ~80 for every populated class.
+  SimConfig c;
+  c.scheme = fluid::SchemeKind::kMtsd;
+  c.num_files = 5;
+  c.file_probs = fluid::HeterogeneousCatalog::zipf_profile(5, 1.2, 0.4);
+  c.visit_rate = 1.0;
+  c.horizon = 3000.0;
+  c.warmup = 700.0;
+  const SimResult r = run_simulation(c);
+  for (unsigned i = 0; i < 5; ++i) {
+    if (r.classes[i].completed_users < 80) continue;
+    EXPECT_NEAR(r.classes[i].mean_online_per_file, 80.0, 8.0)
+        << "class " << i + 1;
+  }
+}
+
+}  // namespace
+}  // namespace btmf::sim

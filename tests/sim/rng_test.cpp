@@ -1,0 +1,76 @@
+#include "btmf/sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace btmf::sim {
+namespace {
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  RandomStream rng(1);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.05);
+  EXPECT_NEAR(sum / n, 20.0, 0.5);  // mean = 1/rate
+}
+
+TEST(RngTest, UniformCoversUnitInterval) {
+  RandomStream rng(2);
+  double lo = 1.0;
+  double hi = 0.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  RandomStream rng(3);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, IndexStaysInRangeAndIsRoughlyUniform) {
+  RandomStream rng(4);
+  std::vector<int> counts(5, 0);
+  const int n = 25000;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t idx = rng.index(5);
+    ASSERT_LT(idx, 5u);
+    ++counts[idx];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, n / 5, n / 25);
+}
+
+TEST(RngTest, ShufflePermutesAllElements) {
+  RandomStream rng(5);
+  std::vector<int> items(20);
+  std::iota(items.begin(), items.end(), 0);
+  const std::vector<int> original = items;
+  rng.shuffle(items);
+  EXPECT_NE(items, original);  // 1/20! odds of flaking
+  std::vector<int> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  RandomStream a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+}  // namespace
+}  // namespace btmf::sim

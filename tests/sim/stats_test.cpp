@@ -1,0 +1,82 @@
+#include "btmf/sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "btmf/util/error.h"
+
+namespace btmf::sim {
+namespace {
+
+TEST(StatsCollectorTest, RecordsPerClassSamples) {
+  StatsCollector c(3);
+  c.record_user(/*class=*/2, /*files=*/2, /*online=*/160.0,
+                /*download=*/120.0, 0.0, false);
+  c.record_user(2, 2, 200.0, 140.0, 0.0, false);
+  const SimResult r = c.finalize(100.0, 5);
+  EXPECT_EQ(r.classes[1].completed_users, 2u);
+  EXPECT_DOUBLE_EQ(r.classes[1].mean_online_per_file, 90.0);
+  EXPECT_DOUBLE_EQ(r.classes[1].mean_download_per_file, 65.0);
+  EXPECT_EQ(r.classes[0].completed_users, 0u);
+}
+
+TEST(StatsCollectorTest, SystemAveragesWeightByFiles) {
+  StatsCollector c(2);
+  c.record_user(1, 1, 80.0, 60.0, 0.0, false);   // 1 file
+  c.record_user(2, 2, 200.0, 120.0, 0.0, false); // 2 files
+  const SimResult r = c.finalize(10.0, 2);
+  // (80 + 200) / (1 + 2)
+  EXPECT_NEAR(r.avg_online_per_file, 280.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.avg_download_per_file, 60.0, 1e-12);
+  EXPECT_NEAR(r.avg_online_per_user, 140.0, 1e-12);
+  EXPECT_EQ(r.total_users, 2u);
+}
+
+TEST(StatsCollectorTest, LittleFieldsFromPopulationsAndArrivals) {
+  StatsCollector c(1);
+  // Population of 6 downloaders and 2 seeds for the whole window.
+  c.observe_populations({6.0}, {2.0}, 50.0);
+  for (int i = 0; i < 10; ++i) c.record_arrival(1);
+  const SimResult r = c.finalize(/*measured_time=*/50.0, 10);
+  EXPECT_DOUBLE_EQ(r.classes[0].arrival_rate, 0.2);
+  EXPECT_DOUBLE_EQ(r.classes[0].avg_downloaders, 6.0);
+  EXPECT_DOUBLE_EQ(r.classes[0].little_download_time, 30.0);
+  EXPECT_DOUBLE_EQ(r.classes[0].little_online_time, 40.0);
+}
+
+TEST(StatsCollectorTest, PopulationsAreTimeWeighted) {
+  StatsCollector c(1);
+  c.observe_populations({10.0}, {0.0}, 1.0);
+  c.observe_populations({0.0}, {0.0}, 3.0);
+  const SimResult r = c.finalize(4.0, 0);
+  EXPECT_DOUBLE_EQ(r.classes[0].avg_downloaders, 2.5);
+}
+
+TEST(StatsCollectorTest, RhoSamplesOnlyFromAdaptiveUsers) {
+  StatsCollector c(2);
+  c.record_user(2, 2, 100.0, 80.0, /*final_rho=*/0.7, /*adaptive=*/true);
+  c.record_user(2, 2, 100.0, 80.0, /*final_rho=*/0.1, /*adaptive=*/false);
+  const SimResult r = c.finalize(10.0, 2);
+  EXPECT_DOUBLE_EQ(r.classes[1].mean_final_rho, 0.7);
+}
+
+TEST(StatsCollectorTest, TrajectoryAndCounters) {
+  StatsCollector c(1);
+  c.record_rho_sample(10.0, 0.3);
+  c.record_rho_sample(20.0, 0.5);
+  c.record_censored();
+  c.record_event();
+  c.record_event();
+  const SimResult r = c.finalize(30.0, 7);
+  ASSERT_EQ(r.rho_trajectory_time.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.rho_trajectory_mean[1], 0.5);
+  EXPECT_EQ(r.censored_users, 1u);
+  EXPECT_EQ(r.events_processed, 2u);
+  EXPECT_EQ(r.total_arrivals, 7u);
+}
+
+TEST(StatsCollectorTest, ZeroClassesRejected) {
+  EXPECT_THROW((void)StatsCollector(0), ConfigError);
+}
+
+}  // namespace
+}  // namespace btmf::sim

@@ -1,0 +1,41 @@
+#include "btmf/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace btmf::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_threshold(); }
+  void TearDown() override { set_log_threshold(saved_); }
+  LogLevel saved_{};
+};
+
+TEST_F(LoggingTest, ThresholdRoundTrips) {
+  set_log_threshold(LogLevel::kError);
+  EXPECT_EQ(log_threshold(), LogLevel::kError);
+  set_log_threshold(LogLevel::kDebug);
+  EXPECT_EQ(log_threshold(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, BelowThresholdIsDropped) {
+  set_log_threshold(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  BTMF_LOG_INFO << "should not appear";
+  BTMF_LOG_ERROR << "must appear";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("must appear"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessageCarriesLevelTag) {
+  set_log_threshold(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  BTMF_LOG_WARN << "careful " << 42;
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[warn] careful 42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace btmf::util

@@ -1,0 +1,33 @@
+#include "btmf/util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace btmf::util {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // generous upper bound for loaded CI machines
+}
+
+TEST(StopwatchTest, ResetRestartsTheClock) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.reset();
+  EXPECT_LT(watch.seconds(), 0.015);
+}
+
+TEST(StopwatchTest, MonotoneNonDecreasing) {
+  Stopwatch watch;
+  const double a = watch.seconds();
+  const double b = watch.seconds();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace btmf::util

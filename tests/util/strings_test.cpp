@@ -1,0 +1,76 @@
+#include "btmf/util/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "btmf/util/error.h"
+
+namespace btmf::util {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitTest, NoSeparatorYieldsWholeString) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(FormatDoubleTest, TrimsTrailingNoise) {
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(80.0), "80");
+  EXPECT_EQ(format_double(1.0 / 3.0, 3), "0.333");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(to_lower("MtCd"), "mtcd");
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(parse_double("0.25", "test"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_double("  -3e2 ", "test"), -300.0);
+  EXPECT_THROW((void)parse_double("abc", "test"), ConfigError);
+  EXPECT_THROW((void)parse_double("1.5x", "test"), ConfigError);
+  EXPECT_THROW((void)parse_double("", "test"), ConfigError);
+}
+
+TEST(ParseIntTest, ValidAndInvalid) {
+  EXPECT_EQ(parse_int("42", "test"), 42);
+  EXPECT_EQ(parse_int("-7", "test"), -7);
+  EXPECT_THROW((void)parse_int("4.2", "test"), ConfigError);
+  EXPECT_THROW((void)parse_int("", "test"), ConfigError);
+}
+
+}  // namespace
+}  // namespace btmf::util

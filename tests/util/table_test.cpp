@@ -1,0 +1,93 @@
+#include "btmf/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "btmf/util/error.h"
+
+namespace btmf::util {
+namespace {
+
+TEST(TableTest, CellTextRendersDoublesWithPrecision) {
+  Table t({"a", "b"});
+  t.set_precision(3);
+  t.add_row({std::string("x"), 1.0 / 3.0});
+  EXPECT_EQ(t.cell_text(0, 0), "x");
+  EXPECT_EQ(t.cell_text(0, 1), "0.333");
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW((void)t.add_row({1.0}), ConfigError);
+}
+
+TEST(TableTest, EmptyHeadersThrow) {
+  EXPECT_THROW((void)Table({}), ConfigError);
+}
+
+TEST(TableTest, PrettyOutputIsAligned) {
+  Table t({"name", "v"});
+  t.add_row({std::string("alpha"), 1.0});
+  t.add_row({std::string("b"), 22.5});
+  std::ostringstream os;
+  t.write_pretty(os);
+  const std::string out = os.str();
+  // Header, separator and two data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Markdown table shape: every line starts with '|'.
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '|');
+    EXPECT_EQ(line.back(), '|');
+  }
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table t({"label", "note"});
+  t.add_row({std::string("a,b"), std::string("say \"hi\"")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "label,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableTest, SaveCsvRoundTrip) {
+  Table t({"p", "value"});
+  t.add_row({0.5, 80.0});
+  const std::string path = ::testing::TempDir() + "/btmf_table_test.csv";
+  t.save_csv(path);
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "p,value");
+  EXPECT_EQ(row, "0.5,80");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, SaveCsvToBadPathThrows) {
+  Table t({"a"});
+  EXPECT_THROW((void)t.save_csv("/nonexistent-dir/x/y.csv"), IoError);
+}
+
+TEST(TableTest, NumRowsAndCols) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({1.0, 2.0, 3.0});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, OutOfRangeCellThrows) {
+  Table t({"a"});
+  t.add_row({1.0});
+  EXPECT_THROW((void)t.cell_text(1, 0), ConfigError);
+  EXPECT_THROW((void)t.cell_text(0, 1), ConfigError);
+}
+
+}  // namespace
+}  // namespace btmf::util
