@@ -1,0 +1,312 @@
+// Unified discrete-event kernel of the flow-level simulator.
+//
+// One kernel drives all four downloading schemes (MTCD, MTSD, MFCD,
+// CMFSD). The kernel owns the machinery every scheme shares — Poisson
+// arrivals, binomial file-set sampling, user lifecycle, the seed-departure
+// queue, abort clocks, warmup-aware population integrals and SimResult
+// accumulation — while a SchemePolicy supplies only the scheme-specific
+// rules: how arrivals start downloads, how service rates are allocated,
+// and what happens when a download completes or a seed departs.
+//
+// Incremental rate scheduling
+// ---------------------------
+// In a flow-level model a peer's download rate changes only when its
+// torrent's population or pooled seed bandwidth changes — not per event.
+// The kernel therefore never rescans live peers. Downloads that share a
+// rate are grouped into a ServiceGroup g that accumulates service
+//
+//     S_g(t) = integral of rate_g over time,
+//
+// advanced lazily (acc/last_t) whenever the group is touched. A download
+// with `work` units of service entering at t0 completes when S_g reaches
+// S_g(t0) + work; that target is pushed onto the group's min-heap and the
+// group's earliest candidate *time* lives in an indexed priority queue
+// across groups. A rate change ("rate epoch") syncs S_g, swaps the slope
+// and re-keys one heap entry — O(log G) instead of O(live peers). Stale
+// heap entries (download ended, moved groups, or was re-targeted) are
+// invalidated by per-slot generation counters and skipped lazily.
+//
+// Invariant: between rate epochs, S_g is linear in t, so the candidate
+// completion time of the group's smallest pending target is exact; a due
+// test in *service* space (target - acc <= eps) rather than time space
+// makes completions immune to float residue in recomputed candidates.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "btmf/sim/config.h"
+#include "btmf/sim/indexed_heap.h"
+#include "btmf/sim/rng.h"
+#include "btmf/sim/stats.h"
+
+namespace btmf::sim {
+
+/// Lifecycle of one download slot (one file for the concurrent schemes,
+/// the current stage for the sequential ones).
+enum class SlotState : std::uint8_t { kIdle, kDownloading, kSeeding };
+
+/// Per-user state. The kernel owns the lifecycle fields and the per-slot
+/// scheduling state; the scheme scratch fields below are written by the
+/// policies only.
+struct SimUser {
+  double arrival = 0.0;
+  std::vector<unsigned> files;  ///< requested torrent ids
+  unsigned cls = 0;             ///< number of files requested
+  bool sampled = false;         ///< arrived after warm-up
+  bool aborted = false;         ///< abandoned some download
+
+  // Per-slot scheduling state (sized cls).
+  std::vector<SlotState> state;
+  std::vector<std::uint32_t> sched_gen;  ///< validates group heap entries
+  std::vector<std::uint32_t> inst;       ///< validates abort heap entries
+  std::vector<std::size_t> gid;          ///< current service group
+  std::vector<double> target;            ///< completion target in S_g space
+
+  // Scheme scratch.
+  unsigned seq_pos = 0;          ///< sequential schemes: current stage
+  unsigned live_parts = 0;       ///< MTCD: virtual peers not yet departed
+  double stage_start = 0.0;
+  double download_accum = 0.0;   ///< summed stage durations
+  double last_completion = 0.0;
+
+  // CMFSD / Adapt scratch.
+  double rho = 0.0;
+  bool cheater = false;
+  bool adaptive = false;
+  unsigned vseed_target = 0;     ///< subtorrent served (local pool modes)
+  double up_base = 0.0;          ///< uploaded-virtual accumulated at up_mark
+  double up_mark = 0.0;          ///< time of last upload sync
+  double rv_base = 0.0;          ///< received-virtual accumulated at rv_mark
+  double rv_mark = 0.0;          ///< pool integral value at last sync
+  unsigned hi_streak = 0;
+  unsigned lo_streak = 0;
+
+  std::size_t live_pos = 0;      ///< index into the kernel's live list
+};
+
+class EventKernel;
+
+/// Scheme-specific rules plugged into the kernel. Implementations live in
+/// policy_multi_torrent.cpp / policy_cmfsd.cpp; see docs/MODELS.md for the
+/// recipe for adding a new one.
+class SchemePolicy {
+ public:
+  virtual ~SchemePolicy() = default;
+
+  /// Called once before the run; store the kernel and size pool state.
+  virtual void attach(EventKernel& kernel) { kernel_ = &kernel; }
+
+  /// A user with a non-empty file set arrived (already in the live list);
+  /// draw scheme-specific randomness, start downloads, update populations.
+  virtual void on_arrival(std::size_t ui, double t) = 0;
+
+  /// Re-derive the rates of groups whose pools changed since the last
+  /// call. Runs once per loop iteration, before the next event time is
+  /// chosen; must be a no-op when nothing is dirty.
+  virtual void refresh_rates(double t) = 0;
+
+  /// The download in `slot` reached its service target (the kernel has
+  /// already unscheduled it).
+  virtual void on_complete(std::size_t ui, unsigned slot, double t) = 0;
+
+  /// The abort clock of `slot` fired before the download finished.
+  virtual void on_abort(std::size_t ui, unsigned slot, double t) = 0;
+
+  /// A seed residence ended. `file_idx` is the slot that was seeding, or
+  /// EventKernel::kAllFiles for MFCD's joint departure.
+  virtual void on_seed_departure(std::size_t ui, unsigned file_idx,
+                                 double t) = 0;
+
+  /// Next scheme-driven event (CMFSD's Adapt tick); +inf when none.
+  [[nodiscard]] virtual double next_policy_event_time() const {
+    return std::numeric_limits<double>::infinity();
+  }
+  virtual void on_policy_event(double /*t*/) {}
+
+  /// Populations are counted in virtual peers for the concurrent schemes
+  /// and users for the sequential ones; this is the divisor turning the
+  /// class-k Little's-law sojourn into a per-file time.
+  [[nodiscard]] virtual double little_divisor(double files) const = 0;
+
+ protected:
+  EventKernel* kernel_ = nullptr;
+};
+
+/// The shared event loop. Construct with a validated config and a policy,
+/// then call run() exactly once.
+class EventKernel {
+ public:
+  static constexpr unsigned kAllFiles = std::numeric_limits<unsigned>::max();
+
+  EventKernel(const SimConfig& config, SchemePolicy& policy);
+
+  SimResult run();
+
+  // ---- services for policies --------------------------------------------
+  [[nodiscard]] const SimConfig& cfg() const { return cfg_; }
+  RandomStream& rng() { return rng_; }
+  StatsCollector& stats() { return stats_; }
+  SimUser& user(std::size_t ui) { return users_[ui]; }
+  [[nodiscard]] const std::vector<std::size_t>& live() const { return live_; }
+  std::vector<double>& down_pop() { return down_pop_; }
+  std::vector<double>& seed_pop() { return seed_pop_; }
+
+  /// Creates an empty service group (rate 0) whose integral starts at `t`.
+  std::size_t new_group(double t);
+  /// Sets a group's rate, advancing its service integral to `t` first.
+  void set_group_rate(std::size_t gid, double rate, double t);
+  /// Adds `delta` to a group's rate, for policies that maintain a summed
+  /// rate by increments.
+  void add_group_rate(std::size_t gid, double delta, double t);
+  [[nodiscard]] double group_rate(std::size_t gid) const {
+    return groups_[gid].rate;
+  }
+
+  /// Schedules `work` units of service for (ui, slot) in group `gid` and
+  /// marks the slot downloading. Starts a fresh download instance: any
+  /// previous abort clock of the slot is invalidated.
+  void begin_service(std::size_t ui, unsigned slot, std::size_t gid,
+                     double work, double t);
+  /// Moves an in-flight download to another group, preserving its abort
+  /// clock (CMFSD re-grouping when rho changes).
+  void move_service(std::size_t ui, unsigned slot, std::size_t gid,
+                    double work, double t);
+  /// Forgets the scheduled completion and abort clock of (ui, slot).
+  /// The caller updates SlotState itself.
+  void end_service(std::size_t ui, unsigned slot);
+  /// Service still owed to (ui, slot) at time `t` (>= 0).
+  [[nodiscard]] double remaining_work(std::size_t ui, unsigned slot, double t);
+
+  /// Draws an Exp(abort_rate) deadline for the slot's current download
+  /// instance; no-op (and no RNG draw) when abort_rate == 0.
+  void arm_abort(std::size_t ui, unsigned slot, double t);
+
+  void schedule_seed_departure(std::size_t ui, unsigned file_idx, double when);
+
+  /// Policies that run their own incremental scheduler (MFCD's kinetic
+  /// per-user wakes) report their rate epochs through this.
+  void add_rate_epochs(std::size_t n) { rate_epochs_ += n; }
+
+  /// Tracks the concurrent peer count (virtual peers for the concurrent
+  /// schemes, users for the sequential ones) and throws SolverError when
+  /// it exceeds cfg.max_active_peers.
+  void add_active_peers(std::size_t n);
+  void remove_active_peers(std::size_t n) { active_peer_count_ -= n; }
+
+  /// Removes the user from the live list and records its visit: aborted
+  /// users are only counted, completed ones feed the sample statistics.
+  void retire_user(std::size_t ui, double t, double download,
+                   double final_rho, bool adaptive);
+
+ private:
+  struct PendingEntry {
+    double target = 0.0;
+    std::size_t ui = 0;
+    unsigned slot = 0;
+    std::uint32_t gen = 0;
+    /// (target, ui, slot) lexicographic order keeps simultaneous
+    /// completions deterministic.
+    bool operator>(const PendingEntry& o) const {
+      if (target != o.target) return target > o.target;
+      if (ui != o.ui) return ui > o.ui;
+      return slot > o.slot;
+    }
+  };
+
+  struct ServiceGroup {
+    double rate = 0.0;
+    double acc = 0.0;     ///< S_g at last_t
+    double last_t = 0.0;
+    std::priority_queue<PendingEntry, std::vector<PendingEntry>,
+                        std::greater<>>
+        pending;
+  };
+
+  struct AbortEntry {
+    double time = 0.0;
+    std::size_t ui = 0;
+    unsigned slot = 0;
+    std::uint32_t inst = 0;
+    bool operator>(const AbortEntry& o) const {
+      if (time != o.time) return time > o.time;
+      if (ui != o.ui) return ui > o.ui;
+      return slot > o.slot;
+    }
+  };
+
+  struct SeedDeparture {
+    double time = 0.0;
+    std::size_t ui = 0;
+    unsigned file_idx = 0;
+    bool operator>(const SeedDeparture& o) const {
+      if (time != o.time) return time > o.time;
+      if (ui != o.ui) return ui > o.ui;
+      return file_idx > o.file_idx;
+    }
+  };
+
+  void sync_group(ServiceGroup& g, double t) {
+    if (t > g.last_t) {
+      g.acc += g.rate * (t - g.last_t);
+      g.last_t = t;
+    }
+  }
+  /// Due test in service space; immune to float residue in candidate
+  /// times recomputed across rate epochs.
+  [[nodiscard]] static bool due(double target, double acc) {
+    return target - acc <= 1e-9 * std::max(1.0, std::abs(target));
+  }
+  void drop_stale_pending(ServiceGroup& g);
+  /// Re-derives the group's earliest candidate completion time and
+  /// re-keys it in the cross-group queue.
+  void update_candidate(std::size_t gid);
+
+  void process_arrival(double t);
+  void drain_completions(double t);
+  void drain_aborts(double t);
+  /// Earliest valid abort deadline; pops stale entries.
+  double peek_abort();
+
+  void add_live(std::size_t ui) {
+    users_[ui].live_pos = live_.size();
+    live_.push_back(ui);
+  }
+  void remove_live(std::size_t ui) {
+    const std::size_t pos = users_[ui].live_pos;
+    live_[pos] = live_.back();
+    users_[live_[pos]].live_pos = pos;
+    live_.pop_back();
+  }
+
+  SimConfig cfg_;
+  SchemePolicy& policy_;
+  RandomStream rng_;
+  StatsCollector stats_;
+
+  std::vector<SimUser> users_;
+  std::vector<std::size_t> live_;
+
+  std::vector<ServiceGroup> groups_;
+  IndexedMinHeap candidates_;  ///< group id -> earliest completion time
+
+  std::priority_queue<AbortEntry, std::vector<AbortEntry>, std::greater<>>
+      abort_queue_;
+  std::priority_queue<SeedDeparture, std::vector<SeedDeparture>,
+                      std::greater<>>
+      seed_queue_;
+
+  std::vector<double> down_pop_;
+  std::vector<double> seed_pop_;
+
+  std::size_t total_arrivals_ = 0;
+  std::size_t active_peer_count_ = 0;
+  std::size_t rate_epochs_ = 0;
+  std::size_t peak_live_peers_ = 0;
+};
+
+}  // namespace btmf::sim

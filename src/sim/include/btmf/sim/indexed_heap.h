@@ -1,0 +1,117 @@
+// Indexed binary min-heap over a dense id space, keyed by double.
+//
+// The event kernel keeps one entry per service group: the key is the
+// group's earliest candidate completion time. Updating a group's key on a
+// rate epoch is O(log G) where G is the number of groups — the heart of
+// the incremental scheduler that replaced the per-event O(live peers)
+// rate rescan. Ties are broken by id so the pop order (and therefore the
+// whole simulation) is deterministic.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "btmf/util/check.h"
+
+namespace btmf::sim {
+
+class IndexedMinHeap {
+ public:
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+  /// Grows the id space to `n`; new ids start absent from the heap.
+  void resize(std::size_t n) {
+    BTMF_ASSERT(n >= pos_.size());
+    pos_.resize(n, npos);
+    key_.resize(n, 0.0);
+  }
+
+  [[nodiscard]] std::size_t id_capacity() const { return pos_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] bool contains(std::size_t id) const {
+    return pos_[id] != npos;
+  }
+  [[nodiscard]] double key_of(std::size_t id) const { return key_[id]; }
+
+  [[nodiscard]] std::size_t top_id() const { return heap_.front(); }
+  [[nodiscard]] double top_key() const { return key_[heap_.front()]; }
+
+  /// Inserts `id` or changes its key, restoring the heap order.
+  void set(std::size_t id, double key) {
+    if (pos_[id] == npos) {
+      key_[id] = key;
+      pos_[id] = heap_.size();
+      heap_.push_back(id);
+      sift_up(pos_[id]);
+    } else {
+      const double old = key_[id];
+      key_[id] = key;
+      if (key < old || (key == old && id < heap_[parent(pos_[id])])) {
+        sift_up(pos_[id]);
+      } else {
+        sift_down(pos_[id]);
+      }
+    }
+  }
+
+  void erase(std::size_t id) {
+    const std::size_t at = pos_[id];
+    if (at == npos) return;
+    const std::size_t last = heap_.size() - 1;
+    if (at != last) {
+      heap_[at] = heap_[last];
+      pos_[heap_[at]] = at;
+    }
+    heap_.pop_back();
+    pos_[id] = npos;
+    if (at < heap_.size()) {
+      sift_up(at);
+      sift_down(at);
+    }
+  }
+
+ private:
+  [[nodiscard]] static std::size_t parent(std::size_t i) {
+    return i == 0 ? 0 : (i - 1) / 2;
+  }
+
+  /// (key, id) lexicographic order makes the heap a strict weak order even
+  /// when many groups share a candidate time (e.g. +infinity).
+  [[nodiscard]] bool before(std::size_t a, std::size_t b) const {
+    return key_[a] < key_[b] || (key_[a] == key_[b] && a < b);
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t p = (i - 1) / 2;
+      if (!before(heap_[i], heap_[p])) break;
+      std::swap(heap_[i], heap_[p]);
+      pos_[heap_[i]] = i;
+      pos_[heap_[p]] = p;
+      i = p;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && before(heap_[l], heap_[best])) best = l;
+      if (r < n && before(heap_[r], heap_[best])) best = r;
+      if (best == i) break;
+      std::swap(heap_[i], heap_[best]);
+      pos_[heap_[i]] = i;
+      pos_[heap_[best]] = best;
+      i = best;
+    }
+  }
+
+  std::vector<std::size_t> heap_;  ///< heap of ids
+  std::vector<std::size_t> pos_;   ///< id -> heap slot, npos when absent
+  std::vector<double> key_;        ///< id -> key
+};
+
+}  // namespace btmf::sim

@@ -7,6 +7,10 @@
 #include "btmf/sim/config.h"
 #include "btmf/sim/stats.h"
 
+namespace btmf::parallel {
+class ThreadPool;
+}
+
 namespace btmf::sim {
 
 /// Runs one replication of `config`, dispatching to the multi-torrent or
@@ -20,7 +24,9 @@ struct ReplicationSummary {
   std::vector<SimResult> runs;
 
   double mean_online_per_file = 0.0;     ///< across-run mean
-  double stderr_online_per_file = 0.0;   ///< across-run standard error
+  /// Across-run standard error; exactly 0 when num_replications == 1
+  /// (a single run has no across-run variance to estimate).
+  double stderr_online_per_file = 0.0;
   double mean_download_per_file = 0.0;
   double stderr_download_per_file = 0.0;
 
@@ -35,5 +41,12 @@ struct ReplicationSummary {
 
 ReplicationSummary run_replications(const SimConfig& config,
                                     std::size_t num_replications);
+
+/// As above but scheduling the replications on `pool`. Each run carries
+/// its own derived seed and writes to a pre-allocated slot, so the
+/// summary is bitwise identical for any pool size.
+ReplicationSummary run_replications(const SimConfig& config,
+                                    std::size_t num_replications,
+                                    parallel::ThreadPool& pool);
 
 }  // namespace btmf::sim

@@ -47,7 +47,13 @@ struct SimResult {
   std::size_t total_arrivals = 0;    ///< incl. warm-up and censored users
   std::size_t censored_users = 0;    ///< still active at the horizon
   std::size_t aborted_users = 0;     ///< left before completing (theta > 0)
-  std::size_t events_processed = 0;
+
+  // Per-run observability counters (see bench/perf_sim.cpp). Everything
+  // except wall_clock_seconds is deterministic for a fixed seed.
+  std::size_t events_processed = 0;  ///< kernel dispatch rounds
+  std::size_t rate_epochs = 0;       ///< group-rate invalidations
+  std::size_t peak_live_peers = 0;   ///< max concurrent peer units
+  double wall_clock_seconds = 0.0;   ///< run() wall time (not deterministic)
 
   /// Mean rho across obedient adaptive peers, sampled at Adapt ticks
   /// (time series; empty unless Adapt is enabled).

@@ -1,467 +1,20 @@
 #include "btmf/sim/cmfsd_sim.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <limits>
-#include <queue>
-#include <vector>
+#include <memory>
 
-#include "btmf/sim/rng.h"
+#include "btmf/sim/event_kernel.h"
+#include "btmf/sim/policies.h"
 #include "btmf/util/check.h"
-#include "btmf/util/error.h"
 
 namespace btmf::sim {
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-constexpr double kCompletionEps = 1e-9;
-constexpr double kTimeEps = 1e-12;
-
-enum class UserState : std::uint8_t { kDownloading, kSeeding, kDeparted };
-
-struct User {
-  double arrival = 0.0;
-  std::vector<unsigned> files;   ///< requested subtorrents, shuffled order
-  unsigned cls = 0;
-  unsigned seq_pos = 0;          ///< files[seq_pos] is being downloaded
-  double remaining = 0.0;
-  double rate = 0.0;             ///< current epoch's download rate
-  UserState state = UserState::kDownloading;
-  bool sampled = false;
-
-  double rho = 0.0;              ///< current bandwidth-split ratio
-  bool cheater = false;
-  bool adaptive = false;
-
-  unsigned vseed_target = 0;     ///< completed file served (local pool mode)
-  double stage_start = 0.0;
-  double download_accum = 0.0;
-  double abort_time = kInf;      ///< Exp(theta) deadline of this stage
-
-  // Adapt accumulators over the current measurement period.
-  double uploaded_virtual = 0.0;
-  double received_virtual = 0.0;
-  unsigned hi_streak = 0;
-  unsigned lo_streak = 0;
-
-  std::size_t live_pos = 0;
-};
-
-struct SeedDeparture {
-  double time = 0.0;
-  std::size_t user = 0;
-  bool operator>(const SeedDeparture& o) const { return time > o.time; }
-};
-
-class Engine {
- public:
-  explicit Engine(const SimConfig& config)
-      : cfg_(config), rng_(config.seed), stats_(config.num_files),
-        down_pop_(config.num_files, 0.0), seed_pop_(config.num_files, 0.0) {
-    cfg_.validate();
-    BTMF_CHECK_MSG(cfg_.scheme == fluid::SchemeKind::kCmfsd,
-                   "CMFSD engine only handles the CMFSD scheme");
-  }
-
-  SimResult run();
-
- private:
-  /// True while the peer donates virtual-seed bandwidth.
-  [[nodiscard]] static bool is_partial_seed(const User& u) {
-    return u.state == UserState::kDownloading && u.seq_pos > 0;
-  }
-  [[nodiscard]] static double tft_share(const User& u) {
-    return u.seq_pos == 0 ? 1.0 : u.rho;  // P(i, j) of the fluid model
-  }
-
-  void process_arrival(double t);
-  void complete_file(std::size_t ui, double t);
-  void abort_user(std::size_t ui, double t);
-  void process_seed_departure(std::size_t ui, double t);
-  void adapt_tick(double t);
-  void pick_vseed_target(User& u);
-
-  [[nodiscard]] double draw_abort_deadline(double t) {
-    return cfg_.abort_rate > 0.0 ? t + rng_.exponential(cfg_.abort_rate)
-                                 : kInf;
-  }
-
-  void add_live(std::size_t ui) {
-    users_[ui].live_pos = live_.size();
-    live_.push_back(ui);
-  }
-  void remove_live(std::size_t ui) {
-    const std::size_t pos = users_[ui].live_pos;
-    live_[pos] = live_.back();
-    users_[live_[pos]].live_pos = pos;
-    live_.pop_back();
-  }
-
-  SimConfig cfg_;
-  RandomStream rng_;
-  StatsCollector stats_;
-
-  std::vector<User> users_;
-  std::vector<std::size_t> live_;  ///< downloaders and seeds
-  std::priority_queue<SeedDeparture, std::vector<SeedDeparture>,
-                      std::greater<>>
-      seed_queue_;
-
-  std::vector<double> down_pop_;
-  std::vector<double> seed_pop_;
-
-  std::size_t total_arrivals_ = 0;
-  double next_debug_ = 0.0;
-
-  // Scratch reused every epoch (local pool mode).
-  std::vector<double> pool_per_subtorrent_;
-  std::vector<double> virtual_per_subtorrent_;
-  std::vector<std::size_t> downloaders_per_subtorrent_;
-};
-
-void Engine::pick_vseed_target(User& u) {
-  // Serve a uniformly random completed file for the coming stage.
-  BTMF_ASSERT(u.seq_pos >= 1);
-  u.vseed_target = u.files[rng_.index(u.seq_pos)];
-}
-
-void Engine::process_arrival(double t) {
-  ++total_arrivals_;
-  std::vector<unsigned> files;
-  for (unsigned f = 0; f < cfg_.num_files; ++f) {
-    if (rng_.bernoulli(cfg_.file_probability(f))) files.push_back(f);
-  }
-  if (files.empty()) return;
-
-  users_.emplace_back();
-  const std::size_t ui = users_.size() - 1;
-  User& u = users_[ui];
-  u.arrival = t;
-  u.cls = static_cast<unsigned>(files.size());
-  u.files = std::move(files);
-  rng_.shuffle(u.files);
-  u.sampled = t >= cfg_.warmup;
-  u.remaining = cfg_.file_size;
-  u.stage_start = t;
-  u.abort_time = draw_abort_deadline(t);
-
-  if (u.cls > 1 && cfg_.cheater_fraction > 0.0 &&
-      rng_.bernoulli(cfg_.cheater_fraction)) {
-    u.cheater = true;
-    u.rho = 1.0;
-  } else if (cfg_.adapt.enabled) {
-    u.adaptive = true;
-    u.rho = cfg_.adapt.initial_rho;
-  } else {
-    u.rho = cfg_.rho;
-  }
-
-  if (u.sampled) stats_.record_arrival(u.cls);
-  add_live(ui);
-  down_pop_[u.cls - 1] += 1.0;
-  if (live_.size() > cfg_.max_active_peers) {
-    throw SolverError(
-        "simulation exceeded max_active_peers — the configuration is "
-        "outside the stable region (offered load exceeds service capacity)");
-  }
-}
-
-void Engine::complete_file(std::size_t ui, double t) {
-  User& u = users_[ui];
-  u.download_accum += t - u.stage_start;
-  ++u.seq_pos;
-  if (u.seq_pos < u.cls) {
-    u.remaining = cfg_.file_size;
-    u.stage_start = t;
-    u.abort_time = draw_abort_deadline(t);
-    pick_vseed_target(u);
-  } else {
-    // Last file done: become a real seed for one Exp(gamma) residence.
-    u.state = UserState::kSeeding;
-    u.abort_time = kInf;
-    down_pop_[u.cls - 1] -= 1.0;
-    seed_pop_[u.cls - 1] += 1.0;
-    seed_queue_.push({t + rng_.exponential(cfg_.fluid.gamma), ui});
-  }
-}
-
-void Engine::abort_user(std::size_t ui, double t) {
-  User& u = users_[ui];
-  BTMF_ASSERT(u.state == UserState::kDownloading);
-  u.state = UserState::kDeparted;
-  down_pop_[u.cls - 1] -= 1.0;
-  remove_live(ui);
-  if (u.sampled) stats_.record_aborted();
-  (void)t;
-}
-
-void Engine::process_seed_departure(std::size_t ui, double t) {
-  User& u = users_[ui];
-  BTMF_ASSERT(u.state == UserState::kSeeding);
-  u.state = UserState::kDeparted;
-  seed_pop_[u.cls - 1] -= 1.0;
-  remove_live(ui);
-  if (u.sampled) {
-    stats_.record_user(u.cls, u.cls, t - u.arrival, u.download_accum, u.rho,
-                       u.adaptive && u.cls > 1);
-  }
-}
-
-void Engine::adapt_tick(double t) {
-  const AdaptConfig& a = cfg_.adapt;
-  double rho_sum = 0.0;
-  std::size_t rho_count = 0;
-  for (const std::size_t ui : live_) {
-    User& u = users_[ui];
-    if (!u.adaptive || u.cls <= 1) continue;
-    if (u.state == UserState::kDownloading) {
-      rho_sum += u.rho;
-      ++rho_count;
-    }
-    if (!is_partial_seed(u)) continue;
-    const double delta = (u.uploaded_virtual - u.received_virtual) / a.period;
-    u.uploaded_virtual = 0.0;
-    u.received_virtual = 0.0;
-    if (delta > a.phi_hi) {
-      ++u.hi_streak;
-      u.lo_streak = 0;
-      if (u.hi_streak >= a.consecutive) {
-        u.rho = std::min(1.0, u.rho + a.step_up);
-        u.hi_streak = 0;
-      }
-    } else if (delta < a.phi_lo) {
-      ++u.lo_streak;
-      u.hi_streak = 0;
-      if (u.lo_streak >= a.consecutive) {
-        u.rho = std::max(0.0, u.rho - a.step_down);
-        u.lo_streak = 0;
-      }
-    } else {
-      u.hi_streak = 0;
-      u.lo_streak = 0;
-    }
-  }
-  if (rho_count > 0 && t >= cfg_.warmup) {
-    stats_.record_rho_sample(t, rho_sum / static_cast<double>(rho_count));
-  }
-}
-
-SimResult Engine::run() {
-  const double mu = cfg_.fluid.mu;
-  const double eta = cfg_.fluid.eta;
-  double t = 0.0;
-  double next_arrival = rng_.exponential(cfg_.visit_rate);
-  double next_adapt_tick =
-      cfg_.adapt.enabled ? cfg_.adapt.period : kInf;
-
-  const bool local_pool = cfg_.seed_pool != SeedPoolMode::kGlobal;
-  const bool demand_aware =
-      cfg_.seed_pool == SeedPoolMode::kSubtorrentDemandAware;
-  pool_per_subtorrent_.assign(cfg_.num_files, 0.0);
-  virtual_per_subtorrent_.assign(cfg_.num_files, 0.0);
-  downloaders_per_subtorrent_.assign(cfg_.num_files, 0);
-
-  while (t < cfg_.horizon) {
-    // --- build this epoch's service pools -------------------------------
-    double virtual_bw = 0.0;   // sum (1 - P) mu over partial seeds
-    double seed_bw = 0.0;      // sum mu over real seeds
-    std::size_t num_downloaders = 0;
-    if (local_pool) {
-      std::fill(pool_per_subtorrent_.begin(), pool_per_subtorrent_.end(),
-                0.0);
-      std::fill(virtual_per_subtorrent_.begin(),
-                virtual_per_subtorrent_.end(), 0.0);
-      std::fill(downloaders_per_subtorrent_.begin(),
-                downloaders_per_subtorrent_.end(), 0);
-      // Pass 1: demand (downloader counts) so demand-aware donors can
-      // steer toward the most backlogged completed subtorrent.
-      for (const std::size_t ui : live_) {
-        const User& u = users_[ui];
-        if (u.state == UserState::kDownloading) {
-          ++downloaders_per_subtorrent_[u.files[u.seq_pos]];
-        }
-      }
-    }
-    for (const std::size_t ui : live_) {
-      User& u = users_[ui];
-      if (u.state == UserState::kDownloading) {
-        ++num_downloaders;
-        if (is_partial_seed(u)) {
-          const double donated = (1.0 - u.rho) * mu;
-          virtual_bw += donated;
-          if (local_pool) {
-            if (demand_aware) {
-              // Re-target the completed subtorrent with the most
-              // downloaders right now.
-              unsigned best = u.files[0];
-              std::size_t best_count = downloaders_per_subtorrent_[best];
-              for (unsigned c = 1; c < u.seq_pos; ++c) {
-                const unsigned f = u.files[c];
-                if (downloaders_per_subtorrent_[f] > best_count) {
-                  best = f;
-                  best_count = downloaders_per_subtorrent_[f];
-                }
-              }
-              u.vseed_target = best;
-            }
-            pool_per_subtorrent_[u.vseed_target] += donated;
-            virtual_per_subtorrent_[u.vseed_target] += donated;
-          }
-        }
-      } else if (u.state == UserState::kSeeding) {
-        seed_bw += mu;
-        if (local_pool) {
-          // A real seed splits its bandwidth across the files it holds.
-          const double per_file =
-              mu / static_cast<double>(u.cls);
-          for (const unsigned f : u.files) {
-            pool_per_subtorrent_[f] += per_file;
-          }
-        }
-      }
-    }
-
-    // --- per-downloader rates, earliest completion and abort ------------
-    double min_tta = kInf;
-    double min_abort = kInf;
-    for (const std::size_t ui : live_) {
-      User& u = users_[ui];
-      if (u.state != UserState::kDownloading) continue;
-      const double tft = eta * mu * tft_share(u);
-      double pool_rate = 0.0;
-      if (local_pool) {
-        const unsigned sub = u.files[u.seq_pos];
-        const std::size_t n = downloaders_per_subtorrent_[sub];
-        pool_rate = n > 0 ? pool_per_subtorrent_[sub] /
-                                static_cast<double>(n)
-                          : 0.0;
-      } else if (num_downloaders > 0) {
-        pool_rate =
-            (virtual_bw + seed_bw) / static_cast<double>(num_downloaders);
-      }
-      u.rate = std::min(tft + pool_rate, cfg_.download_bw);
-      min_abort = std::min(min_abort, u.abort_time);
-      if (u.rate > 0.0) min_tta = std::min(min_tta, u.remaining / u.rate);
-    }
-
-    if (std::getenv("BTMF_SIM_DEBUG") && t >= next_debug_) {
-      next_debug_ += 250.0;
-      double wasted = 0.0, delivered = 0.0;
-      for (unsigned f = 0; f < cfg_.num_files; ++f) {
-        if (downloaders_per_subtorrent_[f] == 0) wasted += pool_per_subtorrent_[f];
-        else delivered += pool_per_subtorrent_[f];
-      }
-      std::size_t stage1 = 0, stageN = 0;
-      for (const std::size_t ui : live_) {
-        const User& u = users_[ui];
-        if (u.state != UserState::kDownloading) continue;
-        if (u.seq_pos == 0) ++stage1; else ++stageN;
-      }
-      std::fprintf(stderr,
-                   "t=%.0f N=%zu stage1=%zu stageN=%zu vbw=%.3f sbw=%.3f "
-                   "wasted=%.3f sub_n=[%zu %zu %zu %zu %zu]\n",
-                   t, num_downloaders, stage1, stageN, virtual_bw, seed_bw,
-                   wasted, downloaders_per_subtorrent_[0],
-                   downloaders_per_subtorrent_[1],
-                   downloaders_per_subtorrent_[2],
-                   downloaders_per_subtorrent_[3],
-                   downloaders_per_subtorrent_[4]);
-    }
-
-    const double seed_time =
-        seed_queue_.empty() ? kInf : seed_queue_.top().time;
-    const double t_next = std::min(
-        {next_arrival, seed_time, t + min_tta, min_abort, next_adapt_tick,
-         cfg_.horizon});
-    const double dt = std::max(0.0, t_next - t);
-
-    // --- advance state ---------------------------------------------------
-    if (dt > 0.0) {
-      for (const std::size_t ui : live_) {
-        User& u = users_[ui];
-        if (u.state != UserState::kDownloading) continue;
-        u.remaining -= u.rate * dt;
-        if (u.adaptive) {
-          if (is_partial_seed(u)) {
-            u.uploaded_virtual += (1.0 - u.rho) * mu * dt;
-          }
-          // Bandwidth received from *virtual* seeds specifically.
-          if (local_pool) {
-            const unsigned sub = u.files[u.seq_pos];
-            const std::size_t n = downloaders_per_subtorrent_[sub];
-            if (n > 0) {
-              u.received_virtual += virtual_per_subtorrent_[sub] /
-                                    static_cast<double>(n) * dt;
-            }
-          } else if (num_downloaders > 0) {
-            u.received_virtual +=
-                virtual_bw / static_cast<double>(num_downloaders) * dt;
-          }
-        }
-      }
-      const double stat_lo = std::max(t, cfg_.warmup);
-      if (t_next > stat_lo) {
-        stats_.observe_populations(down_pop_, seed_pop_, t_next - stat_lo);
-      }
-    }
-    t = t_next;
-    if (t >= cfg_.horizon) break;
-
-    // --- dispatch --------------------------------------------------------
-    stats_.record_event();
-    if (t + kTimeEps >= next_arrival) {
-      process_arrival(t);
-      next_arrival = t + rng_.exponential(cfg_.visit_rate);
-    }
-    while (!seed_queue_.empty() &&
-           seed_queue_.top().time <= t + kTimeEps) {
-      const std::size_t ui = seed_queue_.top().user;
-      seed_queue_.pop();
-      process_seed_departure(ui, t);
-    }
-    if (t + kTimeEps >= next_adapt_tick) {
-      adapt_tick(t);
-      next_adapt_tick += cfg_.adapt.period;
-    }
-    for (std::size_t li = 0; li < live_.size();) {
-      const std::size_t ui = live_[li];
-      User& u = users_[ui];
-      if (u.state == UserState::kDownloading) {
-        if (u.remaining <= kCompletionEps * cfg_.file_size) {
-          complete_file(ui, t);
-        } else if (u.abort_time <= t + kTimeEps) {
-          abort_user(ui, t);  // swaps another user into this slot
-        }
-      }
-      const bool slot_replaced = li < live_.size() && live_[li] != ui;
-      if (!slot_replaced) ++li;
-    }
-  }
-
-  for (const std::size_t ui : live_) {
-    if (users_[ui].sampled) stats_.record_censored();
-  }
-
-  SimResult result = stats_.finalize(
-      std::max(0.0, cfg_.horizon - cfg_.warmup), total_arrivals_);
-  // Populations are in users; Little gives the per-user sojourn, which we
-  // normalise to per-file like every other metric.
-  for (unsigned k = 0; k < cfg_.num_files; ++k) {
-    const double files = static_cast<double>(k + 1);
-    result.classes[k].little_download_time /= files;
-    result.classes[k].little_online_time /= files;
-  }
-  return result;
-}
-
-}  // namespace
-
 SimResult run_cmfsd_sim(const SimConfig& config) {
-  Engine engine(config);
-  return engine.run();
+  config.validate();
+  BTMF_CHECK_MSG(config.scheme == fluid::SchemeKind::kCmfsd,
+                 "CMFSD engine only handles the CMFSD scheme");
+  std::unique_ptr<SchemePolicy> policy = make_cmfsd_policy();
+  EventKernel kernel(config, *policy);
+  return kernel.run();
 }
 
 }  // namespace btmf::sim

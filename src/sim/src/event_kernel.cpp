@@ -1,0 +1,294 @@
+#include "btmf/sim/event_kernel.h"
+
+#include "btmf/util/check.h"
+#include "btmf/util/error.h"
+#include "btmf/util/stopwatch.h"
+
+namespace btmf::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Events within this window of the current time are dispatched together,
+/// matching the pre-refactor engines' simultaneity rule.
+constexpr double kTimeEps = 1e-12;
+}  // namespace
+
+EventKernel::EventKernel(const SimConfig& config, SchemePolicy& policy)
+    : cfg_(config),
+      policy_(policy),
+      rng_(config.seed),
+      stats_(config.num_files),
+      down_pop_(config.num_files, 0.0),
+      seed_pop_(config.num_files, 0.0) {
+  cfg_.validate();
+  policy_.attach(*this);
+}
+
+std::size_t EventKernel::new_group(double t) {
+  groups_.emplace_back();
+  groups_.back().last_t = t;
+  candidates_.resize(groups_.size());
+  return groups_.size() - 1;
+}
+
+void EventKernel::set_group_rate(std::size_t gid, double rate, double t) {
+  ServiceGroup& g = groups_[gid];
+  sync_group(g, t);
+  if (rate != g.rate) {
+    g.rate = rate;
+    ++rate_epochs_;
+    update_candidate(gid);
+  }
+}
+
+void EventKernel::add_group_rate(std::size_t gid, double delta, double t) {
+  if (delta == 0.0) return;
+  ServiceGroup& g = groups_[gid];
+  sync_group(g, t);
+  g.rate = std::max(0.0, g.rate + delta);
+  ++rate_epochs_;
+  update_candidate(gid);
+}
+
+void EventKernel::drop_stale_pending(ServiceGroup& g) {
+  while (!g.pending.empty()) {
+    const PendingEntry& e = g.pending.top();
+    if (users_[e.ui].sched_gen[e.slot] == e.gen) break;
+    g.pending.pop();
+  }
+}
+
+void EventKernel::update_candidate(std::size_t gid) {
+  ServiceGroup& g = groups_[gid];
+  drop_stale_pending(g);
+  if (g.pending.empty()) {
+    candidates_.erase(gid);
+    return;
+  }
+  const PendingEntry& top = g.pending.top();
+  double when;
+  if (due(top.target, g.acc)) {
+    when = g.last_t;
+  } else if (g.rate > 0.0) {
+    // A not-yet-due target must land strictly outside the simultaneity
+    // window, or the drain loop would re-derive the same candidate forever
+    // when rate is so large that need/rate underflows kTimeEps.
+    when = std::max(g.last_t + (top.target - g.acc) / g.rate,
+                    g.last_t + 2.0 * kTimeEps);
+  } else {
+    candidates_.erase(gid);
+    return;
+  }
+  candidates_.set(gid, when);
+}
+
+void EventKernel::begin_service(std::size_t ui, unsigned slot,
+                                std::size_t gid, double work, double t) {
+  SimUser& u = users_[ui];
+  ServiceGroup& g = groups_[gid];
+  sync_group(g, t);
+  u.state[slot] = SlotState::kDownloading;
+  ++u.sched_gen[slot];
+  ++u.inst[slot];
+  u.gid[slot] = gid;
+  u.target[slot] = g.acc + work;
+  g.pending.push({u.target[slot], ui, slot, u.sched_gen[slot]});
+  update_candidate(gid);
+}
+
+void EventKernel::move_service(std::size_t ui, unsigned slot,
+                               std::size_t gid, double work, double t) {
+  SimUser& u = users_[ui];
+  const std::size_t old_gid = u.gid[slot];
+  ++u.sched_gen[slot];  // old entry goes stale; abort clock stays armed
+  ServiceGroup& g = groups_[gid];
+  sync_group(g, t);
+  u.gid[slot] = gid;
+  u.target[slot] = g.acc + work;
+  g.pending.push({u.target[slot], ui, slot, u.sched_gen[slot]});
+  if (old_gid != gid) update_candidate(old_gid);
+  update_candidate(gid);
+}
+
+void EventKernel::end_service(std::size_t ui, unsigned slot) {
+  SimUser& u = users_[ui];
+  ++u.sched_gen[slot];
+  ++u.inst[slot];
+  update_candidate(u.gid[slot]);
+}
+
+double EventKernel::remaining_work(std::size_t ui, unsigned slot, double t) {
+  SimUser& u = users_[ui];
+  ServiceGroup& g = groups_[u.gid[slot]];
+  sync_group(g, t);
+  return std::max(0.0, u.target[slot] - g.acc);
+}
+
+void EventKernel::arm_abort(std::size_t ui, unsigned slot, double t) {
+  if (cfg_.abort_rate <= 0.0) return;
+  const double deadline = t + rng_.exponential(cfg_.abort_rate);
+  abort_queue_.push({deadline, ui, slot, users_[ui].inst[slot]});
+}
+
+void EventKernel::schedule_seed_departure(std::size_t ui, unsigned file_idx,
+                                          double when) {
+  seed_queue_.push({when, ui, file_idx});
+}
+
+void EventKernel::add_active_peers(std::size_t n) {
+  active_peer_count_ += n;
+  if (active_peer_count_ > cfg_.max_active_peers) {
+    throw SolverError(
+        "simulation exceeded max_active_peers — the configuration is "
+        "outside the stable region (offered load exceeds service capacity)");
+  }
+}
+
+void EventKernel::retire_user(std::size_t ui, double t, double download,
+                              double final_rho, bool adaptive) {
+  SimUser& u = users_[ui];
+  remove_live(ui);
+  if (!u.sampled) return;
+  if (u.aborted) {
+    // Users who abandoned a download are not comparable to the fluid
+    // per-class sojourn metrics; count them separately.
+    stats_.record_aborted();
+    return;
+  }
+  stats_.record_user(u.cls, u.cls, t - u.arrival, download, final_rho,
+                     adaptive);
+}
+
+void EventKernel::process_arrival(double t) {
+  ++total_arrivals_;
+  std::vector<unsigned> files;
+  for (unsigned f = 0; f < cfg_.num_files; ++f) {
+    if (rng_.bernoulli(cfg_.file_probability(f))) files.push_back(f);
+  }
+  if (files.empty()) return;  // visitor requested nothing
+
+  users_.emplace_back();
+  const std::size_t ui = users_.size() - 1;
+  SimUser& u = users_[ui];
+  u.arrival = t;
+  u.cls = static_cast<unsigned>(files.size());
+  u.files = std::move(files);
+  u.sampled = t >= cfg_.warmup;
+  u.state.assign(u.cls, SlotState::kIdle);
+  u.sched_gen.assign(u.cls, 0);
+  u.inst.assign(u.cls, 0);
+  u.gid.assign(u.cls, 0);
+  u.target.assign(u.cls, 0.0);
+  if (u.sampled) stats_.record_arrival(u.cls);
+  add_live(ui);
+  policy_.on_arrival(ui, t);
+}
+
+double EventKernel::peek_abort() {
+  while (!abort_queue_.empty()) {
+    const AbortEntry& e = abort_queue_.top();
+    const SimUser& u = users_[e.ui];
+    if (u.inst[e.slot] == e.inst &&
+        u.state[e.slot] == SlotState::kDownloading) {
+      return e.time;
+    }
+    abort_queue_.pop();
+  }
+  return kInf;
+}
+
+void EventKernel::drain_completions(double t) {
+  while (!candidates_.empty() && candidates_.top_key() <= t + kTimeEps) {
+    const std::size_t gid = candidates_.top_id();
+    ServiceGroup& g = groups_[gid];
+    sync_group(g, t);
+    drop_stale_pending(g);
+    if (!g.pending.empty() && due(g.pending.top().target, g.acc)) {
+      const PendingEntry e = g.pending.top();
+      g.pending.pop();
+      SimUser& u = users_[e.ui];
+      ++u.sched_gen[e.slot];
+      ++u.inst[e.slot];  // the abort clock lost the race
+      policy_.on_complete(e.ui, e.slot, t);
+    }
+    update_candidate(gid);
+  }
+}
+
+void EventKernel::drain_aborts(double t) {
+  while (peek_abort() <= t + kTimeEps) {
+    const AbortEntry e = abort_queue_.top();
+    abort_queue_.pop();
+    policy_.on_abort(e.ui, e.slot, t);
+  }
+}
+
+SimResult EventKernel::run() {
+  util::Stopwatch wall;
+  double t = 0.0;
+  double next_arrival = rng_.exponential(cfg_.visit_rate);
+
+  while (t < cfg_.horizon) {
+    // Apply pending rate epochs before choosing the next event: rates
+    // changed by the last dispatch take effect from the current time.
+    policy_.refresh_rates(t);
+
+    const double completion_time =
+        candidates_.empty() ? kInf : candidates_.top_key();
+    const double abort_time = peek_abort();
+    const double seed_time =
+        seed_queue_.empty() ? kInf : seed_queue_.top().time;
+    const double policy_time = policy_.next_policy_event_time();
+    const double t_next =
+        std::min({next_arrival, seed_time, completion_time, abort_time,
+                  policy_time, cfg_.horizon});
+
+    if (t_next > t) {
+      const double stat_lo = std::max(t, cfg_.warmup);
+      if (t_next > stat_lo) {
+        stats_.observe_populations(down_pop_, seed_pop_, t_next - stat_lo);
+      }
+      t = t_next;
+    }
+    if (t >= cfg_.horizon) break;
+
+    // ---- dispatch everything due at time t (completion wins a tie with
+    // ---- an abort because completions drain first) ----------------------
+    stats_.record_event();
+    peak_live_peers_ = std::max(peak_live_peers_, active_peer_count_);
+    if (t + kTimeEps >= next_arrival) {
+      process_arrival(t);
+      next_arrival = t + rng_.exponential(cfg_.visit_rate);
+    }
+    while (!seed_queue_.empty() && seed_queue_.top().time <= t + kTimeEps) {
+      const SeedDeparture ev = seed_queue_.top();
+      seed_queue_.pop();
+      policy_.on_seed_departure(ev.ui, ev.file_idx, t);
+    }
+    if (t + kTimeEps >= policy_time) policy_.on_policy_event(t);
+    drain_completions(t);
+    drain_aborts(t);
+  }
+
+  // Census of users still active at the horizon.
+  for (const std::size_t ui : live_) {
+    if (users_[ui].sampled) stats_.record_censored();
+  }
+
+  SimResult result = stats_.finalize(
+      std::max(0.0, cfg_.horizon - cfg_.warmup), total_arrivals_);
+  // Little's law yields the per-*peer* sojourn from the population the
+  // policy counted; normalise to "per file" like every other metric.
+  for (unsigned k = 0; k < cfg_.num_files; ++k) {
+    const double divisor =
+        policy_.little_divisor(static_cast<double>(k + 1));
+    result.classes[k].little_download_time /= divisor;
+    result.classes[k].little_online_time /= divisor;
+  }
+  result.rate_epochs = rate_epochs_;
+  result.peak_live_peers = peak_live_peers_;
+  result.wall_clock_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace btmf::sim

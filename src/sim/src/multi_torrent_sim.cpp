@@ -1,481 +1,38 @@
 #include "btmf/sim/multi_torrent_sim.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <queue>
-#include <vector>
+#include <memory>
 
-#include "btmf/sim/rng.h"
+#include "btmf/sim/event_kernel.h"
+#include "btmf/sim/policies.h"
 #include "btmf/util/check.h"
-#include "btmf/util/error.h"
 
 namespace btmf::sim {
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-constexpr double kCompletionEps = 1e-9;
-constexpr double kTimeEps = 1e-12;
-
-enum class FileState : std::uint8_t { kDownloading, kSeeding, kDone };
-
-struct User {
-  double arrival = 0.0;
-  std::vector<unsigned> files;       ///< torrent ids requested
-  std::vector<double> remaining;     ///< per-file bytes left (MTCD/MTSD)
-  std::vector<FileState> file_state;
-  std::vector<double> rate_scratch;  ///< per-file rate of the current epoch
-  std::vector<double> abort_time;    ///< per-download Exp(theta) deadline
-  bool aborted = false;              ///< any download abandoned
-  unsigned cls = 0;                  ///< number of files requested
-  bool sampled = false;              ///< arrived after warm-up
-  unsigned seq_pos = 0;              ///< MTSD: file currently processed
-  unsigned live_parts = 0;           ///< MTCD: virtual peers not yet departed
-  double aggregate_remaining = 0.0;  ///< MFCD: single content buffer
-  double download_accum = 0.0;       ///< MTSD: summed stage durations
-  double stage_start = 0.0;
-  double last_completion = 0.0;
-  std::size_t live_pos = 0;          ///< index into the live list
-};
-
-struct SeedDeparture {
-  double time = 0.0;
-  std::size_t user = 0;
-  unsigned file_idx = 0;  ///< index into User::files; kAllFiles for MFCD
-  bool operator>(const SeedDeparture& o) const { return time > o.time; }
-};
-
-constexpr unsigned kAllFiles = std::numeric_limits<unsigned>::max();
-
-class Engine {
- public:
-  explicit Engine(const SimConfig& config)
-      : cfg_(config),
-        scheme_(config.scheme == fluid::SchemeKind::kMfcd &&
-                        !config.mfcd_joint_completion
-                    ? fluid::SchemeKind::kMtcd
-                    : config.scheme),
-        rng_(config.seed),
-        stats_(config.num_files),
-        seed_bw_(config.num_files, 0.0),
-        weight_sum_(config.num_files, 0.0),
-        downloader_count_(config.num_files, 0),
-        down_pop_(config.num_files, 0.0),
-        seed_pop_(config.num_files, 0.0) {
-    cfg_.validate();
-    BTMF_CHECK_MSG(scheme_ != fluid::SchemeKind::kCmfsd,
-                   "multi-torrent engine does not handle CMFSD");
-  }
-
-  SimResult run();
-
- private:
-  [[nodiscard]] bool concurrent() const {
-    return scheme_ != fluid::SchemeKind::kMtsd;
-  }
-
-  /// Rate of the download `f` of user `u` in its torrent; the epoch's
-  /// pools (weight_sum_, seed_bw_) must be current. Capped by the user's
-  /// download bandwidth share.
-  [[nodiscard]] double download_rate(const User& u, unsigned f) const {
-    const unsigned torrent = u.files[f];
-    const double split = concurrent() ? 1.0 / static_cast<double>(u.cls) : 1.0;
-    const double tft = cfg_.fluid.eta * cfg_.fluid.mu * split;
-    const double w = weight_sum_[torrent];
-    const double from_seeds = w > 0.0 ? split / w * seed_bw_[torrent] : 0.0;
-    return std::min(tft + from_seeds, cfg_.download_bw * split);
-  }
-
-  [[nodiscard]] double draw_abort_deadline(double t) {
-    return cfg_.abort_rate > 0.0 ? t + rng_.exponential(cfg_.abort_rate)
-                                 : kInf;
-  }
-
-  void process_arrival(double t);
-  void complete_file(std::size_t ui, unsigned f, double t);
-  void complete_aggregate(std::size_t ui, double t);
-  void process_seed_departure(const SeedDeparture& ev, double t);
-  void start_download(std::size_t ui, unsigned f, double t);
-  void abort_download(std::size_t ui, unsigned f, double t);
-  void retire_user(std::size_t ui, double t);
-
-  void add_live(std::size_t ui) {
-    users_[ui].live_pos = live_.size();
-    live_.push_back(ui);
-  }
-  void remove_live(std::size_t ui) {
-    const std::size_t pos = users_[ui].live_pos;
-    live_[pos] = live_.back();
-    users_[live_[pos]].live_pos = pos;
-    live_.pop_back();
-  }
-
-  SimConfig cfg_;
-  fluid::SchemeKind scheme_;
-  RandomStream rng_;
-  StatsCollector stats_;
-
-  std::vector<User> users_;
-  std::vector<std::size_t> live_;  ///< users still owning any peer
-  std::priority_queue<SeedDeparture, std::vector<SeedDeparture>,
-                      std::greater<>>
-      seed_queue_;
-
-  // Per-torrent pools, maintained incrementally.
-  std::vector<double> seed_bw_;          ///< sum of seed uploads
-  std::vector<double> weight_sum_;       ///< sum of downloader weights
-  std::vector<std::size_t> downloader_count_;
-
-  // Per-class populations (virtual peers for concurrent schemes, users
-  // for MTSD), maintained incrementally for the Little's-law averages.
-  std::vector<double> down_pop_;
-  std::vector<double> seed_pop_;
-
-  std::size_t total_arrivals_ = 0;
-  std::size_t active_peer_count_ = 0;
-};
-
-void Engine::start_download(std::size_t ui, unsigned f, double t) {
-  User& u = users_[ui];
-  const unsigned torrent = u.files[f];
-  u.file_state[f] = FileState::kDownloading;
-  u.remaining[f] = cfg_.file_size;
-  u.stage_start = t;
-  u.abort_time[f] = draw_abort_deadline(t);
-  weight_sum_[torrent] +=
-      concurrent() ? 1.0 / static_cast<double>(u.cls) : 1.0;
-  ++downloader_count_[torrent];
-}
-
-void Engine::process_arrival(double t) {
-  ++total_arrivals_;
-  std::vector<unsigned> files;
-  for (unsigned f = 0; f < cfg_.num_files; ++f) {
-    if (rng_.bernoulli(cfg_.file_probability(f))) files.push_back(f);
-  }
-  if (files.empty()) return;  // visitor requested nothing
-
-  users_.emplace_back();
-  const std::size_t ui = users_.size() - 1;
-  User& u = users_[ui];
-  u.arrival = t;
-  u.cls = static_cast<unsigned>(files.size());
-  u.files = std::move(files);
-  u.remaining.assign(u.cls, 0.0);
-  u.file_state.assign(u.cls, FileState::kDone);
-  u.rate_scratch.assign(u.cls, 0.0);
-  u.abort_time.assign(u.cls, kInf);
-  u.sampled = t >= cfg_.warmup;
-  if (u.sampled) stats_.record_arrival(u.cls);
-  add_live(ui);
-
-  switch (scheme_) {
-    case fluid::SchemeKind::kMtcd:
-      u.live_parts = u.cls;
-      for (unsigned f = 0; f < u.cls; ++f) start_download(ui, f, t);
-      down_pop_[u.cls - 1] += static_cast<double>(u.cls);
-      active_peer_count_ += u.cls;
+SimResult run_multi_torrent_sim(const SimConfig& config) {
+  config.validate();
+  // MFCD without joint completion degenerates to MTCD semantics:
+  // independent per-file completions and departures.
+  const fluid::SchemeKind scheme =
+      config.scheme == fluid::SchemeKind::kMfcd &&
+              !config.mfcd_joint_completion
+          ? fluid::SchemeKind::kMtcd
+          : config.scheme;
+  BTMF_CHECK_MSG(scheme != fluid::SchemeKind::kCmfsd,
+                 "multi-torrent engine does not handle CMFSD");
+  std::unique_ptr<SchemePolicy> policy;
+  switch (scheme) {
+    case fluid::SchemeKind::kMtsd:
+      policy = make_mtsd_policy();
       break;
     case fluid::SchemeKind::kMfcd:
-      u.aggregate_remaining =
-          cfg_.file_size * static_cast<double>(u.cls);
-      for (unsigned f = 0; f < u.cls; ++f) start_download(ui, f, t);
-      down_pop_[u.cls - 1] += static_cast<double>(u.cls);
-      active_peer_count_ += u.cls;
+      policy = make_mfcd_policy();
       break;
-    case fluid::SchemeKind::kMtsd:
-      rng_.shuffle(u.files);
-      u.seq_pos = 0;
-      start_download(ui, 0, t);
-      down_pop_[u.cls - 1] += 1.0;
-      active_peer_count_ += 1;
+    default:
+      policy = make_mtcd_policy();
       break;
-    case fluid::SchemeKind::kCmfsd:
-      break;  // unreachable, rejected in the constructor
   }
-  if (active_peer_count_ > cfg_.max_active_peers) {
-    throw SolverError(
-        "simulation exceeded max_active_peers — the configuration is "
-        "outside the stable region (offered load exceeds service capacity)");
-  }
-}
-
-void Engine::complete_file(std::size_t ui, unsigned f, double t) {
-  User& u = users_[ui];
-  const unsigned torrent = u.files[f];
-  const double weight =
-      concurrent() ? 1.0 / static_cast<double>(u.cls) : 1.0;
-  weight_sum_[torrent] -= weight;
-  if (--downloader_count_[torrent] == 0) weight_sum_[torrent] = 0.0;
-  u.remaining[f] = 0.0;
-  u.last_completion = t;
-
-  if (scheme_ == fluid::SchemeKind::kMtcd) {
-    // The virtual peer turns into a seed of its torrent with an
-    // independent Exp(gamma) residence (paper Sec. 3.2 semantics).
-    u.file_state[f] = FileState::kSeeding;
-    seed_bw_[torrent] += cfg_.fluid.mu / static_cast<double>(u.cls);
-    down_pop_[u.cls - 1] -= 1.0;
-    seed_pop_[u.cls - 1] += 1.0;
-    seed_queue_.push(
-        {t + rng_.exponential(cfg_.fluid.gamma), ui, f});
-  } else {  // MTSD
-    u.file_state[f] = FileState::kSeeding;
-    u.download_accum += t - u.stage_start;
-    seed_bw_[torrent] += cfg_.fluid.mu;  // full bandwidth while seeding
-    down_pop_[u.cls - 1] -= 1.0;
-    seed_pop_[u.cls - 1] += 1.0;
-    seed_queue_.push(
-        {t + rng_.exponential(cfg_.fluid.gamma), ui, f});
-  }
-}
-
-void Engine::complete_aggregate(std::size_t ui, double t) {
-  User& u = users_[ui];
-  u.aggregate_remaining = 0.0;
-  u.last_completion = t;
-  // All files finish together; the user seeds every subtorrent with mu/i
-  // until one shared Exp(gamma) residence elapses.
-  for (unsigned f = 0; f < u.cls; ++f) {
-    const unsigned torrent = u.files[f];
-    const double weight = 1.0 / static_cast<double>(u.cls);
-    weight_sum_[torrent] -= weight;
-    if (--downloader_count_[torrent] == 0) weight_sum_[torrent] = 0.0;
-    u.file_state[f] = FileState::kSeeding;
-    seed_bw_[torrent] += cfg_.fluid.mu / static_cast<double>(u.cls);
-  }
-  down_pop_[u.cls - 1] -= static_cast<double>(u.cls);
-  seed_pop_[u.cls - 1] += static_cast<double>(u.cls);
-  seed_queue_.push({t + rng_.exponential(cfg_.fluid.gamma), ui, kAllFiles});
-}
-
-void Engine::retire_user(std::size_t ui, double t) {
-  User& u = users_[ui];
-  remove_live(ui);
-  if (!u.sampled) return;
-  if (u.aborted) {
-    // Users who abandoned any download are not comparable to the fluid
-    // per-class sojourn metrics; count them separately.
-    stats_.record_aborted();
-    return;
-  }
-  const double online = t - u.arrival;
-  const double download = scheme_ == fluid::SchemeKind::kMtsd
-                              ? u.download_accum
-                              : u.last_completion - u.arrival;
-  stats_.record_user(u.cls, u.cls, online, download, /*final_rho=*/0.0,
-                     /*adaptive=*/false);
-}
-
-void Engine::abort_download(std::size_t ui, unsigned f, double t) {
-  User& u = users_[ui];
-  u.aborted = true;
-  const double weight =
-      concurrent() ? 1.0 / static_cast<double>(u.cls) : 1.0;
-
-  if (scheme_ == fluid::SchemeKind::kMfcd) {
-    // Random-chunk downloading means no file is individually complete;
-    // the whole visit is abandoned.
-    for (unsigned g = 0; g < u.cls; ++g) {
-      const unsigned torrent = u.files[g];
-      weight_sum_[torrent] -= weight;
-      if (--downloader_count_[torrent] == 0) weight_sum_[torrent] = 0.0;
-      u.file_state[g] = FileState::kDone;
-      u.abort_time[g] = kInf;
-    }
-    down_pop_[u.cls - 1] -= static_cast<double>(u.cls);
-    active_peer_count_ -= u.cls;
-    retire_user(ui, t);
-    return;
-  }
-
-  const unsigned torrent = u.files[f];
-  weight_sum_[torrent] -= weight;
-  if (--downloader_count_[torrent] == 0) weight_sum_[torrent] = 0.0;
-  u.file_state[f] = FileState::kDone;
-  u.abort_time[f] = kInf;
-  down_pop_[u.cls - 1] -= 1.0;
-  active_peer_count_ -= 1;
-
-  if (scheme_ == fluid::SchemeKind::kMtcd) {
-    // Only this virtual peer leaves; siblings keep downloading/seeding.
-    if (--u.live_parts == 0) retire_user(ui, t);
-  } else {  // MTSD: the user walks away from its whole queue
-    retire_user(ui, t);
-  }
-}
-
-void Engine::process_seed_departure(const SeedDeparture& ev, double t) {
-  User& u = users_[ev.user];
-  if (ev.file_idx == kAllFiles) {  // MFCD joint departure
-    for (unsigned f = 0; f < u.cls; ++f) {
-      seed_bw_[u.files[f]] -= cfg_.fluid.mu / static_cast<double>(u.cls);
-      u.file_state[f] = FileState::kDone;
-    }
-    seed_pop_[u.cls - 1] -= static_cast<double>(u.cls);
-    active_peer_count_ -= u.cls;
-    retire_user(ev.user, t);
-    return;
-  }
-
-  const unsigned torrent = u.files[ev.file_idx];
-  u.file_state[ev.file_idx] = FileState::kDone;
-  seed_pop_[u.cls - 1] -= 1.0;
-
-  if (scheme_ == fluid::SchemeKind::kMtcd) {
-    seed_bw_[torrent] -= cfg_.fluid.mu / static_cast<double>(u.cls);
-    active_peer_count_ -= 1;
-    if (--u.live_parts == 0) retire_user(ev.user, t);
-  } else {  // MTSD: move on to the next file or leave
-    seed_bw_[torrent] -= cfg_.fluid.mu;
-    ++u.seq_pos;
-    if (u.seq_pos < u.cls) {
-      start_download(ev.user, u.seq_pos, t);
-      down_pop_[u.cls - 1] += 1.0;
-    } else {
-      active_peer_count_ -= 1;
-      retire_user(ev.user, t);
-    }
-  }
-}
-
-SimResult Engine::run() {
-  double t = 0.0;
-  double next_arrival = rng_.exponential(cfg_.visit_rate);
-
-  while (t < cfg_.horizon) {
-    // --- compute rates, the earliest completion and the earliest abort -
-    double min_tta = kInf;
-    double min_abort = kInf;
-    for (const std::size_t ui : live_) {
-      User& u = users_[ui];
-      if (scheme_ == fluid::SchemeKind::kMfcd) {
-        if (u.file_state[0] != FileState::kDownloading) continue;
-        double agg_rate = 0.0;
-        for (unsigned f = 0; f < u.cls; ++f) {
-          agg_rate += download_rate(u, f);
-          min_abort = std::min(min_abort, u.abort_time[f]);
-        }
-        u.rate_scratch[0] = agg_rate;
-        if (agg_rate > 0.0) {
-          min_tta = std::min(min_tta, u.aggregate_remaining / agg_rate);
-        }
-      } else {
-        for (unsigned f = 0; f < u.cls; ++f) {
-          if (u.file_state[f] != FileState::kDownloading) continue;
-          const double rate = download_rate(u, f);
-          u.rate_scratch[f] = rate;
-          min_abort = std::min(min_abort, u.abort_time[f]);
-          if (rate > 0.0) {
-            min_tta = std::min(min_tta, u.remaining[f] / rate);
-          }
-        }
-      }
-    }
-
-    const double seed_time =
-        seed_queue_.empty() ? kInf : seed_queue_.top().time;
-    const double t_next = std::min(
-        {next_arrival, seed_time, t + min_tta, min_abort, cfg_.horizon});
-    const double dt = std::max(0.0, t_next - t);
-
-    // --- advance downloads and population integrals --------------------
-    if (dt > 0.0) {
-      for (const std::size_t ui : live_) {
-        User& u = users_[ui];
-        if (scheme_ == fluid::SchemeKind::kMfcd) {
-          if (u.file_state[0] == FileState::kDownloading) {
-            u.aggregate_remaining -= u.rate_scratch[0] * dt;
-          }
-        } else {
-          for (unsigned f = 0; f < u.cls; ++f) {
-            if (u.file_state[f] == FileState::kDownloading) {
-              u.remaining[f] -= u.rate_scratch[f] * dt;
-            }
-          }
-        }
-      }
-      const double stat_lo = std::max(t, cfg_.warmup);
-      if (t_next > stat_lo) {
-        stats_.observe_populations(down_pop_, seed_pop_, t_next - stat_lo);
-      }
-    }
-    t = t_next;
-    if (t >= cfg_.horizon) break;
-
-    // --- dispatch whatever is due at time t -----------------------------
-    stats_.record_event();
-    if (t + kTimeEps >= next_arrival) {
-      process_arrival(t);
-      next_arrival = t + rng_.exponential(cfg_.visit_rate);
-    }
-    while (!seed_queue_.empty() &&
-           seed_queue_.top().time <= t + kTimeEps) {
-      const SeedDeparture ev = seed_queue_.top();
-      seed_queue_.pop();
-      process_seed_departure(ev, t);
-    }
-    // Completion/abort sweep: catch every download that crossed zero or
-    // whose abort clock fired. Completion wins a tie.
-    for (std::size_t li = 0; li < live_.size();) {
-      const std::size_t ui = live_[li];
-      User& u = users_[ui];
-      if (scheme_ == fluid::SchemeKind::kMfcd) {
-        if (u.file_state[0] == FileState::kDownloading) {
-          if (u.aggregate_remaining <= kCompletionEps * cfg_.file_size) {
-            complete_aggregate(ui, t);
-          } else {
-            for (unsigned f = 0; f < u.cls; ++f) {
-              if (u.abort_time[f] <= t + kTimeEps) {
-                abort_download(ui, f, t);
-                break;
-              }
-            }
-          }
-        }
-      } else {
-        for (unsigned f = 0; f < u.cls; ++f) {
-          if (u.file_state[f] != FileState::kDownloading) continue;
-          if (u.remaining[f] <= kCompletionEps * cfg_.file_size) {
-            complete_file(ui, f, t);
-          } else if (u.abort_time[f] <= t + kTimeEps) {
-            abort_download(ui, f, t);
-            if (scheme_ == fluid::SchemeKind::kMtsd) break;
-          }
-        }
-      }
-      // retire_user swaps another user into this slot; only advance when
-      // the slot still holds the same user.
-      const bool retired = li < live_.size() && live_[li] != ui;
-      if (!retired) ++li;
-    }
-  }
-
-  // Census of users still active at the horizon.
-  for (const std::size_t ui : live_) {
-    if (users_[ui].sampled) stats_.record_censored();
-  }
-
-  SimResult result = stats_.finalize(
-      std::max(0.0, cfg_.horizon - cfg_.warmup), total_arrivals_);
-  // Populations were counted in virtual peers for the concurrent schemes
-  // (i per class-i user) and users for MTSD; Little's law then yields the
-  // per-*peer* sojourn. Normalise both to "per file".
-  for (unsigned k = 0; k < cfg_.num_files; ++k) {
-    const double files = static_cast<double>(k + 1);
-    const double divisor = concurrent() ? files * files : files;
-    result.classes[k].little_download_time /= divisor;
-    result.classes[k].little_online_time /= divisor;
-  }
-  return result;
-}
-
-}  // namespace
-
-SimResult run_multi_torrent_sim(const SimConfig& config) {
-  Engine engine(config);
-  return engine.run();
+  EventKernel kernel(config, *policy);
+  return kernel.run();
 }
 
 }  // namespace btmf::sim

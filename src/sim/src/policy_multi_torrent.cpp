@@ -1,0 +1,483 @@
+// Scheme policies for the independent-torrent schemes (MTCD, MTSD) and
+// the merged-buffer scheme (MFCD with joint completion).
+//
+// All three share the per-torrent pools of the fluid models: a torrent's
+// downloaders pull at the common rate
+//
+//     R_T = min(eta * mu + seed_bw_T / weight_sum_T, download_bw),
+//
+// scaled by the user's bandwidth split (1/i for the concurrent schemes,
+// 1 for MTSD). The split is folded into the *service target* instead of
+// the rate, so one service group per torrent suffices: a class-i MTCD
+// download owes file_size * i units of R_T integral. MFCD's merged buffer
+// drains at (1/i) * sum of its torrents' R_T — a sum no single group rate
+// captures cheaply — so MfcdPolicy schedules completions itself with a
+// kinetic per-user heap over lazy per-torrent integrals (see below).
+#include <utility>
+#include <vector>
+
+#include "btmf/sim/policies.h"
+
+namespace btmf::sim {
+
+namespace {
+
+/// Shared per-torrent pool bookkeeping (weights, seed bandwidth,
+/// downloader counts) with a dirty list consumed by refresh_rates.
+class TorrentPoolPolicy : public SchemePolicy {
+ public:
+  void attach(EventKernel& kernel) override {
+    SchemePolicy::attach(kernel);
+    const SimConfig& cfg = kernel.cfg();
+    num_files_ = cfg.num_files;
+    mu_ = cfg.fluid.mu;
+    eta_ = cfg.fluid.eta;
+    gamma_ = cfg.fluid.gamma;
+    download_bw_ = cfg.download_bw;
+    file_size_ = cfg.file_size;
+    weight_sum_.assign(num_files_, 0.0);
+    seed_bw_.assign(num_files_, 0.0);
+    downloader_count_.assign(num_files_, 0);
+    dirty_.assign(num_files_, false);
+    dirty_list_.clear();
+  }
+
+ protected:
+  void mark_dirty(unsigned torrent) {
+    if (!dirty_[torrent]) {
+      dirty_[torrent] = true;
+      dirty_list_.push_back(torrent);
+    }
+  }
+
+  /// The epoch's common download rate of `torrent` (0 when idle).
+  [[nodiscard]] double torrent_rate(unsigned torrent) const {
+    if (downloader_count_[torrent] == 0 || weight_sum_[torrent] <= 0.0) {
+      return 0.0;
+    }
+    return std::min(eta_ * mu_ + seed_bw_[torrent] / weight_sum_[torrent],
+                    download_bw_);
+  }
+
+  void add_downloader(unsigned torrent, double weight) {
+    weight_sum_[torrent] += weight;
+    ++downloader_count_[torrent];
+    mark_dirty(torrent);
+  }
+
+  void remove_downloader(unsigned torrent, double weight) {
+    weight_sum_[torrent] -= weight;
+    // Snap the pool shut when the last downloader leaves so float residue
+    // never leaks into the next epoch's seed-bandwidth share.
+    if (--downloader_count_[torrent] == 0) weight_sum_[torrent] = 0.0;
+    mark_dirty(torrent);
+  }
+
+  unsigned num_files_ = 0;
+  double mu_ = 0.0, eta_ = 0.0, gamma_ = 0.0;
+  double download_bw_ = 0.0, file_size_ = 0.0;
+  std::vector<double> weight_sum_;
+  std::vector<double> seed_bw_;
+  std::vector<std::size_t> downloader_count_;
+  std::vector<bool> dirty_;
+  std::vector<unsigned> dirty_list_;
+};
+
+// ---------------------------------------------------------------------------
+// MTCD: i independent virtual peers per class-i user.
+// ---------------------------------------------------------------------------
+class MtcdPolicy final : public TorrentPoolPolicy {
+ public:
+  void attach(EventKernel& kernel) override {
+    TorrentPoolPolicy::attach(kernel);
+    for (unsigned f = 0; f < num_files_; ++f) kernel.new_group(0.0);
+  }
+
+  void on_arrival(std::size_t ui, double t) override {
+    SimUser& u = kernel_->user(ui);
+    u.live_parts = u.cls;
+    for (unsigned f = 0; f < u.cls; ++f) start_download(ui, f, t);
+    kernel_->down_pop()[u.cls - 1] += static_cast<double>(u.cls);
+    kernel_->add_active_peers(u.cls);
+  }
+
+  void refresh_rates(double t) override {
+    for (const unsigned torrent : dirty_list_) {
+      kernel_->set_group_rate(torrent, torrent_rate(torrent), t);
+      dirty_[torrent] = false;
+    }
+    dirty_list_.clear();
+  }
+
+  void on_complete(std::size_t ui, unsigned slot, double t) override {
+    SimUser& u = kernel_->user(ui);
+    const unsigned torrent = u.files[slot];
+    remove_downloader(torrent, 1.0 / static_cast<double>(u.cls));
+    // The virtual peer turns into a seed of its torrent with an
+    // independent Exp(gamma) residence (paper Sec. 3.2 semantics).
+    u.state[slot] = SlotState::kSeeding;
+    seed_bw_[torrent] += mu_ / static_cast<double>(u.cls);
+    u.last_completion = t;
+    kernel_->down_pop()[u.cls - 1] -= 1.0;
+    kernel_->seed_pop()[u.cls - 1] += 1.0;
+    kernel_->schedule_seed_departure(ui, slot,
+                                     t + kernel_->rng().exponential(gamma_));
+  }
+
+  void on_seed_departure(std::size_t ui, unsigned file_idx,
+                         double t) override {
+    SimUser& u = kernel_->user(ui);
+    const unsigned torrent = u.files[file_idx];
+    u.state[file_idx] = SlotState::kIdle;
+    seed_bw_[torrent] -= mu_ / static_cast<double>(u.cls);
+    mark_dirty(torrent);
+    kernel_->seed_pop()[u.cls - 1] -= 1.0;
+    kernel_->remove_active_peers(1);
+    if (--u.live_parts == 0) {
+      kernel_->retire_user(ui, t, u.last_completion - u.arrival, 0.0, false);
+    }
+  }
+
+  void on_abort(std::size_t ui, unsigned slot, double t) override {
+    SimUser& u = kernel_->user(ui);
+    kernel_->end_service(ui, slot);
+    u.state[slot] = SlotState::kIdle;
+    u.aborted = true;
+    remove_downloader(u.files[slot], 1.0 / static_cast<double>(u.cls));
+    kernel_->down_pop()[u.cls - 1] -= 1.0;
+    kernel_->remove_active_peers(1);
+    // Only this virtual peer leaves; siblings keep downloading/seeding.
+    if (--u.live_parts == 0) {
+      kernel_->retire_user(ui, t, u.last_completion - u.arrival, 0.0, false);
+    }
+  }
+
+  [[nodiscard]] double little_divisor(double files) const override {
+    return files * files;
+  }
+
+ private:
+  void start_download(std::size_t ui, unsigned slot, double t) {
+    SimUser& u = kernel_->user(ui);
+    const unsigned torrent = u.files[slot];
+    add_downloader(torrent, 1.0 / static_cast<double>(u.cls));
+    // Group rate is the unsplit R_T; the 1/i split becomes an i-fold work.
+    kernel_->begin_service(ui, slot, torrent,
+                           file_size_ * static_cast<double>(u.cls), t);
+    kernel_->arm_abort(ui, slot, t);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MTSD: one file at a time at full bandwidth, seed between stages.
+// ---------------------------------------------------------------------------
+class MtsdPolicy final : public TorrentPoolPolicy {
+ public:
+  void attach(EventKernel& kernel) override {
+    TorrentPoolPolicy::attach(kernel);
+    for (unsigned f = 0; f < num_files_; ++f) kernel.new_group(0.0);
+  }
+
+  void on_arrival(std::size_t ui, double t) override {
+    SimUser& u = kernel_->user(ui);
+    kernel_->rng().shuffle(u.files);
+    u.seq_pos = 0;
+    start_download(ui, 0, t);
+    kernel_->down_pop()[u.cls - 1] += 1.0;
+    kernel_->add_active_peers(1);
+  }
+
+  void refresh_rates(double t) override {
+    for (const unsigned torrent : dirty_list_) {
+      kernel_->set_group_rate(torrent, torrent_rate(torrent), t);
+      dirty_[torrent] = false;
+    }
+    dirty_list_.clear();
+  }
+
+  void on_complete(std::size_t ui, unsigned slot, double t) override {
+    SimUser& u = kernel_->user(ui);
+    const unsigned torrent = u.files[slot];
+    remove_downloader(torrent, 1.0);
+    u.state[slot] = SlotState::kSeeding;
+    u.download_accum += t - u.stage_start;
+    seed_bw_[torrent] += mu_;  // full bandwidth while seeding
+    u.last_completion = t;
+    kernel_->down_pop()[u.cls - 1] -= 1.0;
+    kernel_->seed_pop()[u.cls - 1] += 1.0;
+    kernel_->schedule_seed_departure(ui, slot,
+                                     t + kernel_->rng().exponential(gamma_));
+  }
+
+  void on_seed_departure(std::size_t ui, unsigned file_idx,
+                         double t) override {
+    SimUser& u = kernel_->user(ui);
+    u.state[file_idx] = SlotState::kIdle;
+    seed_bw_[u.files[file_idx]] -= mu_;
+    mark_dirty(u.files[file_idx]);
+    kernel_->seed_pop()[u.cls - 1] -= 1.0;
+    // Move on to the next file or leave.
+    ++u.seq_pos;
+    if (u.seq_pos < u.cls) {
+      start_download(ui, u.seq_pos, t);
+      kernel_->down_pop()[u.cls - 1] += 1.0;
+    } else {
+      kernel_->remove_active_peers(1);
+      kernel_->retire_user(ui, t, u.download_accum, 0.0, false);
+    }
+  }
+
+  void on_abort(std::size_t ui, unsigned slot, double t) override {
+    SimUser& u = kernel_->user(ui);
+    kernel_->end_service(ui, slot);
+    u.state[slot] = SlotState::kIdle;
+    u.aborted = true;
+    remove_downloader(u.files[slot], 1.0);
+    kernel_->down_pop()[u.cls - 1] -= 1.0;
+    kernel_->remove_active_peers(1);
+    // The user walks away from its whole queue.
+    kernel_->retire_user(ui, t, u.download_accum, 0.0, false);
+  }
+
+  [[nodiscard]] double little_divisor(double files) const override {
+    return files;
+  }
+
+ private:
+  void start_download(std::size_t ui, unsigned slot, double t) {
+    SimUser& u = kernel_->user(ui);
+    add_downloader(u.files[slot], 1.0);
+    u.stage_start = t;
+    kernel_->begin_service(ui, slot, u.files[slot], file_size_, t);
+    kernel_->arm_abort(ui, slot, t);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MFCD (joint completion): one merged buffer per user; all files finish
+// together and the user then seeds every subtorrent for one shared
+// Exp(gamma) residence.
+//
+// A class-i buffer drains at (1/i) * sum of its torrents' R_T, so in the
+// summed per-torrent integral S(t) = sum_f S_{T_f}(t) the user completes
+// when S reaches S(t0) + file_size * i^2. Grouping users by exact file
+// set (up to 2^K groups) makes every rate epoch fan out to every group
+// containing a dirty torrent — roughly *all* of them once the population
+// is large. Instead the policy keeps only K lazy per-torrent integrals
+// and schedules each user kinetically: a wake time
+//
+//     t + need / sum_f bound_{T_f},    bound_T >= R_T at all times,
+//
+// is a guaranteed-early bound on the true completion (service can only
+// accrue slower than the bounds allow), so the kernel never steps past a
+// completion. At each wake the user is either due or re-keyed; `need`
+// shrinks by at least the factor headroom/(1+headroom) per wake, so a
+// completion costs O(log(need/eps)) wakes. bound_T only needs attention
+// when R_T breaks through it — then the members of that torrent are
+// re-keyed — which the 10% headroom makes rare, instead of per-event.
+// ---------------------------------------------------------------------------
+class MfcdPolicy final : public TorrentPoolPolicy {
+ public:
+  void attach(EventKernel& kernel) override {
+    TorrentPoolPolicy::attach(kernel);
+    rate_.assign(num_files_, 0.0);
+    integ_.assign(num_files_, 0.0);
+    integ_mark_.assign(num_files_, 0.0);
+    bound_.assign(num_files_, 0.0);
+    members_.assign(num_files_, {});
+  }
+
+  void on_arrival(std::size_t ui, double t) override {
+    SimUser& u = kernel_->user(ui);
+    const double cls = static_cast<double>(u.cls);
+    for (unsigned f = 0; f < u.cls; ++f) {
+      const unsigned torrent = u.files[f];
+      add_downloader(torrent, 1.0 / cls);
+      u.state[f] = SlotState::kDownloading;
+      // gid doubles as the user's position in each torrent's member list.
+      u.gid[f] = members_[torrent].size();
+      members_[torrent].push_back({ui, f});
+    }
+    u.target[0] = set_integral(u, t) + file_size_ * cls * cls;
+    if (ui >= wakes_.id_capacity()) wakes_.resize(ui + 1);
+    rekey(ui, t);
+    for (unsigned f = 0; f < u.cls; ++f) kernel_->arm_abort(ui, f, t);
+    kernel_->down_pop()[u.cls - 1] += cls;
+    kernel_->add_active_peers(u.cls);
+  }
+
+  void refresh_rates(double t) override {
+    for (const unsigned torrent : dirty_list_) {
+      // The old slope applied on [mark, t]; bank it before swapping.
+      integ_[torrent] += rate_[torrent] * (t - integ_mark_[torrent]);
+      integ_mark_[torrent] = t;
+      const double r = torrent_rate(torrent);
+      if (r != rate_[torrent]) {
+        rate_[torrent] = r;
+        kernel_->add_rate_epochs(1);
+      }
+      if (r > bound_[torrent]) {
+        // The rate broke through the guarded bound: wakes computed against
+        // the old bound may now be too late. Re-key every member.
+        bound_[torrent] = r * (1.0 + kHeadroom);
+        for (const auto& member : members_[torrent]) rekey(member.first, t);
+      } else if (r * (1.0 + kHeadroom) * (1.0 + kHeadroom) < bound_[torrent]) {
+        // Tighten once a spike decays, or wakes stay needlessly early.
+        // Outstanding wakes used the larger bound and remain safe.
+        bound_[torrent] = r * (1.0 + kHeadroom);
+      }
+      dirty_[torrent] = false;
+    }
+    dirty_list_.clear();
+  }
+
+  void on_complete(std::size_t /*ui*/, unsigned /*slot*/,
+                   double /*t*/) override {
+    BTMF_ASSERT(false && "MFCD completions are policy-scheduled");
+  }
+
+  [[nodiscard]] double next_policy_event_time() const override {
+    return wakes_.empty() ? std::numeric_limits<double>::infinity()
+                          : wakes_.top_key();
+  }
+
+  void on_policy_event(double t) override {
+    while (!wakes_.empty() && wakes_.top_key() <= t + kTimeEps) {
+      const std::size_t ui = wakes_.top_id();
+      const SimUser& u = kernel_->user(ui);
+      if (due(u.target[0], set_integral(u, t))) {
+        finish_user(ui, t);
+      } else {
+        rekey(ui, t);
+      }
+    }
+  }
+
+  void on_seed_departure(std::size_t ui, unsigned /*file_idx*/,
+                         double t) override {
+    SimUser& u = kernel_->user(ui);
+    const double cls = static_cast<double>(u.cls);
+    for (unsigned f = 0; f < u.cls; ++f) {
+      seed_bw_[u.files[f]] -= mu_ / cls;
+      mark_dirty(u.files[f]);
+      u.state[f] = SlotState::kIdle;
+    }
+    kernel_->seed_pop()[u.cls - 1] -= cls;
+    kernel_->remove_active_peers(u.cls);
+    kernel_->retire_user(ui, t, u.last_completion - u.arrival, 0.0, false);
+  }
+
+  void on_abort(std::size_t ui, unsigned /*slot*/, double t) override {
+    // Random-chunk downloading means no file is individually complete;
+    // the whole visit is abandoned.
+    SimUser& u = kernel_->user(ui);
+    wakes_.erase(ui);
+    const double cls = static_cast<double>(u.cls);
+    for (unsigned f = 0; f < u.cls; ++f) {
+      drop_member(u, f);
+      remove_downloader(u.files[f], 1.0 / cls);
+      u.state[f] = SlotState::kIdle;
+    }
+    u.aborted = true;
+    kernel_->down_pop()[u.cls - 1] -= cls;
+    kernel_->remove_active_peers(u.cls);
+    kernel_->retire_user(ui, t, 0.0, 0.0, false);
+  }
+
+  [[nodiscard]] double little_divisor(double files) const override {
+    return files * files;
+  }
+
+ private:
+  static constexpr double kHeadroom = 0.1;
+  static constexpr double kTimeEps = 1e-12;  // kernel simultaneity window
+
+  [[nodiscard]] double torrent_integral(unsigned torrent, double t) const {
+    return integ_[torrent] + rate_[torrent] * (t - integ_mark_[torrent]);
+  }
+
+  [[nodiscard]] double set_integral(const SimUser& u, double t) const {
+    double acc = 0.0;
+    for (unsigned f = 0; f < u.cls; ++f) {
+      acc += torrent_integral(u.files[f], t);
+    }
+    return acc;
+  }
+
+  /// Same service-space due test as the kernel's.
+  [[nodiscard]] static bool due(double target, double acc) {
+    return target - acc <= 1e-9 * std::max(1.0, std::abs(target));
+  }
+
+  /// Recomputes the guaranteed-early wake of `ui` from the current
+  /// integrals and bounds.
+  void rekey(std::size_t ui, double t) {
+    const SimUser& u = kernel_->user(ui);
+    const double acc = set_integral(u, t);
+    if (due(u.target[0], acc)) {
+      wakes_.set(ui, t);
+      return;
+    }
+    double ub = 0.0;
+    for (unsigned f = 0; f < u.cls; ++f) ub += bound_[u.files[f]];
+    if (ub <= 0.0) {
+      // Every subtorrent idle; a rate rising from zero breaks through its
+      // bound and re-keys the members, so erasing here is safe.
+      wakes_.erase(ui);
+      return;
+    }
+    // Clamp outside the simultaneity window so a huge `ub` cannot pin the
+    // wake at the current time and spin the policy-event loop.
+    wakes_.set(ui, t + std::max((u.target[0] - acc) / ub, 2.0 * kTimeEps));
+  }
+
+  /// Swap-removes (ui, slot) from its torrent's member list.
+  void drop_member(SimUser& u, unsigned slot) {
+    auto& list = members_[u.files[slot]];
+    const std::size_t at = u.gid[slot];
+    const auto moved = list.back();
+    list[at] = moved;
+    kernel_->user(moved.first).gid[moved.second] = at;
+    list.pop_back();
+  }
+
+  void finish_user(std::size_t ui, double t) {
+    wakes_.erase(ui);
+    SimUser& u = kernel_->user(ui);
+    const double cls = static_cast<double>(u.cls);
+    for (unsigned f = 0; f < u.cls; ++f) {
+      const unsigned torrent = u.files[f];
+      drop_member(u, f);
+      remove_downloader(torrent, 1.0 / cls);
+      u.state[f] = SlotState::kSeeding;
+      seed_bw_[torrent] += mu_ / cls;
+    }
+    u.last_completion = t;
+    kernel_->down_pop()[u.cls - 1] -= cls;
+    kernel_->seed_pop()[u.cls - 1] += cls;
+    kernel_->schedule_seed_departure(ui, EventKernel::kAllFiles,
+                                     t + kernel_->rng().exponential(gamma_));
+  }
+
+  std::vector<double> rate_;        ///< current R_T
+  std::vector<double> integ_;       ///< S_T banked at integ_mark_
+  std::vector<double> integ_mark_;
+  std::vector<double> bound_;       ///< ratcheted bound_T >= R_T
+  /// T -> (ui, slot) of its current downloaders; positions live in gid.
+  std::vector<std::vector<std::pair<std::size_t, unsigned>>> members_;
+  IndexedMinHeap wakes_;            ///< ui -> guaranteed-early wake time
+};
+
+}  // namespace
+
+std::unique_ptr<SchemePolicy> make_mtcd_policy() {
+  return std::make_unique<MtcdPolicy>();
+}
+std::unique_ptr<SchemePolicy> make_mtsd_policy() {
+  return std::make_unique<MtsdPolicy>();
+}
+std::unique_ptr<SchemePolicy> make_mfcd_policy() {
+  return std::make_unique<MfcdPolicy>();
+}
+
+}  // namespace btmf::sim

@@ -54,11 +54,12 @@ SimResult run_simulation(const SimConfig& config) {
 }
 
 ReplicationSummary run_replications(const SimConfig& config,
-                                    std::size_t num_replications) {
+                                    std::size_t num_replications,
+                                    parallel::ThreadPool& pool) {
   BTMF_CHECK_MSG(num_replications >= 1, "need at least one replication");
   ReplicationSummary summary;
   summary.runs.resize(num_replications);
-  parallel::parallel_for(0, num_replications, [&](std::size_t r) {
+  parallel::parallel_for(pool, 0, num_replications, [&](std::size_t r) {
     SimConfig rep = config;
     rep.seed = parallel::derive_seed(config.seed, r);
     summary.runs[r] = run_simulation(rep);
@@ -83,9 +84,13 @@ ReplicationSummary run_replications(const SimConfig& config,
     }
   }
   summary.mean_online_per_file = online.mean();
-  summary.stderr_online_per_file = online.stderr_mean();
   summary.mean_download_per_file = download.mean();
-  summary.stderr_download_per_file = download.stderr_mean();
+  // A single replication has no across-run variance; report exactly 0
+  // rather than trusting the n-1 divisor path with n == 1.
+  if (num_replications > 1) {
+    summary.stderr_online_per_file = online.stderr_mean();
+    summary.stderr_download_per_file = download.stderr_mean();
+  }
   summary.class_online_per_file.resize(num_classes);
   summary.class_download_per_file.resize(num_classes);
   summary.class_little_online.resize(num_classes);
@@ -99,6 +104,11 @@ ReplicationSummary run_replications(const SimConfig& config,
     summary.class_mean_final_rho[k] = c_rho[k].mean();
   }
   return summary;
+}
+
+ReplicationSummary run_replications(const SimConfig& config,
+                                    std::size_t num_replications) {
+  return run_replications(config, num_replications, parallel::global_pool());
 }
 
 }  // namespace btmf::sim

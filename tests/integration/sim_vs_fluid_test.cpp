@@ -5,6 +5,8 @@
 // the fluid code knows nothing about the simulator and vice versa.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "btmf/core/evaluate.h"
 #include "btmf/sim/simulator.h"
 
@@ -33,6 +35,57 @@ sim::SimConfig sim_config(const core::ScenarioConfig& sc,
   c.seed = 1234;
   return c;
 }
+
+// Every scheme must track its fluid steady state across the correlation
+// range, not just at a hand-picked p. CMFSD only exists for p > 0 (no
+// peers otherwise), so the sweep starts at 0.1.
+struct SweepCase {
+  fluid::SchemeKind scheme;
+  double p;
+};
+
+class SimVsFluidSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SimVsFluidSweep, OnlineTimePerFileMatchesFluid) {
+  const auto [scheme, p] = GetParam();
+  const core::ScenarioConfig sc = scenario(p);
+  core::EvaluateOptions options;
+  options.rho = 0.0;  // CMFSD: generous peers; ignored by the others
+  const core::SchemeReport fluid_report =
+      core::evaluate_scheme(sc, scheme, options);
+  const sim::SimResult sim_result =
+      sim::run_simulation(sim_config(sc, scheme, /*rho=*/0.0));
+  EXPECT_NEAR(sim_result.avg_online_per_file,
+              fluid_report.avg_online_per_file,
+              0.10 * fluid_report.avg_online_per_file);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAcrossCorrelation, SimVsFluidSweep,
+    ::testing::Values(
+        SweepCase{fluid::SchemeKind::kMtcd, 0.1},
+        SweepCase{fluid::SchemeKind::kMtcd, 0.5},
+        SweepCase{fluid::SchemeKind::kMtcd, 1.0},
+        SweepCase{fluid::SchemeKind::kMtsd, 0.1},
+        SweepCase{fluid::SchemeKind::kMtsd, 0.5},
+        SweepCase{fluid::SchemeKind::kMtsd, 1.0},
+        SweepCase{fluid::SchemeKind::kMfcd, 0.1},
+        SweepCase{fluid::SchemeKind::kMfcd, 0.5},
+        SweepCase{fluid::SchemeKind::kMfcd, 1.0},
+        SweepCase{fluid::SchemeKind::kCmfsd, 0.1},
+        SweepCase{fluid::SchemeKind::kCmfsd, 0.5},
+        SweepCase{fluid::SchemeKind::kCmfsd, 1.0}),
+    [](const ::testing::TestParamInfo<SweepCase>& tpi) {
+      const char* name = "Cmfsd";
+      switch (tpi.param.scheme) {
+        case fluid::SchemeKind::kMtcd: name = "Mtcd"; break;
+        case fluid::SchemeKind::kMtsd: name = "Mtsd"; break;
+        case fluid::SchemeKind::kMfcd: name = "Mfcd"; break;
+        default: break;
+      }
+      return std::string(name) + "P" +
+             std::to_string(static_cast<int>(tpi.param.p * 10));
+    });
 
 TEST(SimVsFluidTest, MtsdOnlineTimeMatches) {
   const core::ScenarioConfig sc = scenario(0.5);
