@@ -12,15 +12,18 @@
 
 #include "btmf/sim/simulator.h"
 #include "btmf/util/cli.h"
+#include "btmf/util/error.h"
 #include "btmf/util/strings.h"
 #include "btmf/util/table.h"
 
 namespace {
 
 btmf::sim::SimResult run(double cheaters, const btmf::util::ArgParser& args) {
+  const long long k = args.get_int("k");
+  if (k < 1) throw btmf::ConfigError("--k must be >= 1");
   btmf::sim::SimConfig config;
   config.scheme = btmf::fluid::SchemeKind::kCmfsd;
-  config.num_files = static_cast<unsigned>(args.get_int("k"));
+  config.num_files = static_cast<unsigned>(k);
   config.correlation = args.get_double("p");
   config.visit_rate = 1.0;
   config.horizon = args.get_double("horizon");
@@ -28,12 +31,13 @@ btmf::sim::SimResult run(double cheaters, const btmf::util::ArgParser& args) {
   config.cheater_fraction = cheaters;
   config.adapt.enabled = true;
   config.seed = 123;
+  config.validate();
   return btmf::sim::run_simulation(config);
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace btmf;
   util::ArgParser parser("adapt_demo",
                          "watch obedient peers adapt rho under cheating");
@@ -80,4 +84,7 @@ int main(int argc, char** argv) {
                "rho = 1,\ndegenerating CMFSD into MFCD — exactly the "
                "paper's predicted failure mode.\n";
   return 0;
+} catch (const btmf::Error& error) {
+  std::cerr << "error: " << error.what() << '\n';
+  return 1;
 }

@@ -12,6 +12,7 @@
 
 #include "btmf/core/evaluate.h"
 #include "btmf/fluid/adapt_fluid.h"
+#include "btmf/sim/faults.h"
 #include "btmf/sim/simulator.h"
 #include "btmf/util/cli.h"
 #include "btmf/util/error.h"
@@ -21,6 +22,21 @@
 namespace {
 
 using namespace btmf;
+
+void require(bool ok, const std::string& msg) {
+  if (!ok) throw ConfigError(msg);
+}
+
+/// Reads an integral option that denotes a count. The range check runs on
+/// the raw int: casting a negative value first would wrap it to a huge
+/// unsigned that sails past every downstream `>= 1` validation.
+unsigned positive_count(const util::ArgParser& parser,
+                        const std::string& name) {
+  const long long raw = parser.get_int(name);
+  require(raw >= 1, "--" + name + " must be >= 1 (got " +
+                        std::to_string(raw) + ")");
+  return static_cast<unsigned>(raw);
+}
 
 fluid::SchemeKind parse_scheme(const std::string& name) {
   const std::string lower = util::to_lower(name);
@@ -43,12 +59,13 @@ void add_scenario_options(util::ArgParser& parser) {
 
 core::ScenarioConfig scenario_from(const util::ArgParser& parser) {
   core::ScenarioConfig scenario;
-  scenario.num_files = static_cast<unsigned>(parser.get_int("k"));
+  scenario.num_files = positive_count(parser, "k");
   scenario.correlation = parser.get_double("p");
   scenario.visit_rate = parser.get_double("lambda0");
   scenario.fluid.mu = parser.get_double("mu");
   scenario.fluid.eta = parser.get_double("eta");
   scenario.fluid.gamma = parser.get_double("gamma");
+  scenario.validate();  // reject bad p/lambda0/mu/eta/gamma up front
   return scenario;
 }
 
@@ -62,6 +79,8 @@ int cmd_evaluate(int argc, const char* const* argv) {
 
   core::EvaluateOptions options;
   options.rho = parser.get_double("rho");
+  require(options.rho >= 0.0 && options.rho <= 1.0,
+          "--rho must lie in [0, 1]");
   const core::SchemeReport report = core::evaluate_scheme(
       scenario_from(parser), parse_scheme(parser.get("scheme")), options);
 
@@ -95,7 +114,12 @@ int cmd_simulate(int argc, const char* const* argv) {
   parser.add_option("theta", "0.0", "downloader abort rate");
   parser.add_option("horizon", "5000", "simulated time");
   parser.add_option("seed", "42", "RNG seed");
+  parser.add_option("faults", "",
+                    "fault plan, e.g. \"tracker:500:200;churn:1200:0.5\" "
+                    "(see docs/FAULTS.md)");
   parser.add_flag("adapt", "enable the Adapt rho controller");
+  parser.add_flag("paranoid",
+                  "audit the kernel's invariants after every event");
   if (!parser.parse(argc, argv)) return 0;
 
   const core::ScenarioConfig scenario = scenario_from(parser);
@@ -111,14 +135,31 @@ int cmd_simulate(int argc, const char* const* argv) {
   config.adapt.enabled = parser.get_flag("adapt");
   config.horizon = parser.get_double("horizon");
   config.warmup = config.horizon * 0.25;
-  config.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  const long long seed = parser.get_int("seed");
+  require(seed >= 0, "--seed must be non-negative");
+  config.seed = static_cast<std::uint64_t>(seed);
+  if (!parser.get("faults").empty()) {
+    config.faults = sim::parse_fault_plan(parser.get("faults"));
+  }
+  config.paranoid = parser.get_flag("paranoid");
+  config.validate();  // reject bad rho/cheaters/theta/horizon/faults here
 
   const sim::SimResult r = sim::run_simulation(config);
   std::cout << "avg online time per file:   " << r.avg_online_per_file
             << "\navg download time per file: " << r.avg_download_per_file
             << "\nusers sampled / censored / aborted: " << r.total_users
             << " / " << r.censored_users << " / " << r.aborted_users
-            << "\nevents processed: " << r.events_processed << "\n\n";
+            << "\nevents processed: " << r.events_processed << '\n';
+  if (!config.faults.empty()) {
+    std::cout << "faults injected: " << r.faults_injected
+              << "  downloads killed: " << r.downloads_killed
+              << "  arrivals dropped/queued: " << r.arrivals_dropped << " / "
+              << r.arrivals_queued << "\nreadmissions: " << r.readmissions
+              << " (queue peak " << r.readmission_queue_peak
+              << ")  time to recover: " << r.time_to_recover
+              << "  unrecovered: " << r.faults_unrecovered << '\n';
+  }
+  std::cout << '\n';
   util::Table table({"class", "users", "online/file", "+-95%",
                      "little online/file", "avg downloaders"});
   table.set_precision(5);
@@ -146,7 +187,9 @@ int cmd_sweep(int argc, const char* const* argv) {
   const fluid::SchemeKind scheme = parse_scheme(parser.get("scheme"));
   core::EvaluateOptions options;
   options.rho = parser.get_double("rho");
-  const auto steps = static_cast<std::size_t>(parser.get_int("steps"));
+  require(options.rho >= 0.0 && options.rho <= 1.0,
+          "--rho must lie in [0, 1]");
+  const std::size_t steps = positive_count(parser, "steps");
 
   util::Table table({"p", "avg online/file", "avg dl/file"});
   table.set_precision(6);
@@ -171,9 +214,12 @@ int cmd_adapt(int argc, const char* const* argv) {
   if (!parser.parse(argc, argv)) return 0;
 
   const core::ScenarioConfig scenario = scenario_from(parser);
+  const double cheaters = parser.get_double("cheaters");
+  require(cheaters >= 0.0 && cheaters <= 1.0,
+          "--cheaters must lie in [0, 1]");
   const fluid::AdaptFluidModel model(
       scenario.fluid, scenario.correlation_model().system_entry_rates(),
-      parser.get_double("cheaters"));
+      cheaters);
   const fluid::AdaptFluidEquilibrium eq = model.solve();
 
   std::cout << "avg online time per file (everyone): "

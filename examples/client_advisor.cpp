@@ -13,10 +13,11 @@
 #include "btmf/core/evaluate.h"
 #include "btmf/sim/simulator.h"
 #include "btmf/util/cli.h"
+#include "btmf/util/error.h"
 #include "btmf/util/strings.h"
 #include "btmf/util/table.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace btmf;
   util::ArgParser parser("client_advisor",
                          "concurrent or sequential? advice for a user's "
@@ -27,14 +28,17 @@ int main(int argc, char** argv) {
   parser.add_flag("no-sim", "skip the confirming simulation");
   if (!parser.parse(argc, argv)) return 0;
 
-  const unsigned queued = static_cast<unsigned>(parser.get_int("queued"));
-  core::ScenarioConfig scenario;
-  scenario.num_files = static_cast<unsigned>(parser.get_int("k"));
-  scenario.correlation = parser.get_double("p");
-  if (queued < 1 || queued > scenario.num_files) {
-    std::cerr << "queued must lie in [1, K]\n";
-    return 1;
+  const long long raw_queued = parser.get_int("queued");
+  const long long raw_k = parser.get_int("k");
+  if (raw_k < 1) throw ConfigError("--k must be >= 1");
+  if (raw_queued < 1 || raw_queued > raw_k) {
+    throw ConfigError("--queued must lie in [1, K]");
   }
+  const unsigned queued = static_cast<unsigned>(raw_queued);
+  core::ScenarioConfig scenario;
+  scenario.num_files = static_cast<unsigned>(raw_k);
+  scenario.correlation = parser.get_double("p");
+  scenario.validate();
 
   const auto mtcd = core::evaluate_scheme(scenario, fluid::SchemeKind::kMtcd);
   const auto mtsd = core::evaluate_scheme(scenario, fluid::SchemeKind::kMtsd);
@@ -91,4 +95,7 @@ int main(int argc, char** argv) {
               << util::format_double(mtsd.avg_online_per_file, 4) << ")\n";
   }
   return 0;
+} catch (const btmf::Error& error) {
+  std::cerr << "error: " << error.what() << '\n';
+  return 1;
 }

@@ -17,10 +17,11 @@
 
 #include "btmf/core/evaluate.h"
 #include "btmf/util/cli.h"
+#include "btmf/util/error.h"
 #include "btmf/util/strings.h"
 #include "btmf/util/table.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace btmf;
   util::ArgParser parser("publisher_planner",
                          "choose a publishing strategy for an episodic "
@@ -32,14 +33,17 @@ int main(int argc, char** argv) {
                     "CMFSD bandwidth ratio clients would use");
   if (!parser.parse(argc, argv)) return 0;
 
-  const unsigned episodes =
-      static_cast<unsigned>(parser.get_int("episodes"));
+  const long long raw_episodes = parser.get_int("episodes");
+  if (raw_episodes < 1) throw ConfigError("--episodes must be >= 1");
+  const unsigned episodes = static_cast<unsigned>(raw_episodes);
   const double p = parser.get_double("p");
   const double rho = parser.get_double("rho");
+  if (rho < 0.0 || rho > 1.0) throw ConfigError("--rho must lie in [0, 1]");
 
   core::ScenarioConfig scenario;
   scenario.num_files = episodes;
   scenario.correlation = p;
+  scenario.validate();
 
   core::EvaluateOptions options;
   options.rho = rho;
@@ -82,4 +86,7 @@ int main(int argc, char** argv) {
                "clients cannot collaborate, separate torrents downloaded "
                "one at a\ntime (MTSD) still beat concurrent downloading.\n";
   return 0;
+} catch (const btmf::Error& error) {
+  std::cerr << "error: " << error.what() << '\n';
+  return 1;
 }

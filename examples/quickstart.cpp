@@ -12,9 +12,10 @@
 
 #include "btmf/core/evaluate.h"
 #include "btmf/util/cli.h"
+#include "btmf/util/error.h"
 #include "btmf/util/table.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace btmf;
   util::ArgParser parser("quickstart",
                          "compare all four downloading schemes at the "
@@ -23,9 +24,12 @@ int main(int argc, char** argv) {
   parser.add_option("k", "10", "number of files K");
   if (!parser.parse(argc, argv)) return 0;
 
+  const long long k = parser.get_int("k");
+  if (k < 1) throw ConfigError("--k must be >= 1");
   core::ScenarioConfig scenario;  // paper defaults: mu/eta/gamma
-  scenario.num_files = static_cast<unsigned>(parser.get_int("k"));
+  scenario.num_files = static_cast<unsigned>(k);
   scenario.correlation = parser.get_double("p");
+  scenario.validate();
 
   util::Table table({"scheme", "avg online time/file", "avg download/file",
                      "vs MTSD"});
@@ -57,4 +61,7 @@ int main(int argc, char** argv) {
                "CMFSD turns finished downloaders into partial seeds and "
                "wins\nby a wide margin when p is high.\n";
   return 0;
+} catch (const btmf::Error& error) {
+  std::cerr << "error: " << error.what() << '\n';
+  return 1;
 }

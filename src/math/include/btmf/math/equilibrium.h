@@ -31,13 +31,24 @@ struct EquilibriumResult {
   double residual_inf = 0.0;    ///< ||f(y)||_inf at the returned point
   double integrated_time = 0.0; ///< total transient time simulated
   std::size_t chunks = 0;
+  /// Whether the accepted Newton polish certified the point. May be false
+  /// on a *successful* solve when the transient alone met residual_tol
+  /// (or polishing was disabled); the invariant callers can rely on is
+  /// "find_equilibrium returned => residual_inf <= residual_tol", enforced
+  /// by the SolverError below — never this flag alone.
   bool newton_converged = false;
 };
 
-/// Finds y* with f(y*) ~ 0 starting from y0. Throws btmf::SolverError if
-/// the scaled residual never reaches `residual_tol` within the chunk
-/// budget (which for these models indicates an infeasible parameter set,
-/// e.g. arrival rate exceeding service capacity).
+/// Finds y* with f(y*) ~ 0 starting from y0.
+///
+/// Robustness ladder: the configured transient-plus-polish strategy runs
+/// first; if the residual misses the tolerance, up to two escalation rungs
+/// retry with additional transient chunks and a damped Newton allowed to
+/// halve its step far below the default floor (the bisection fallback of
+/// the line search). Throws btmf::SolverError — carrying the per-rung
+/// iteration diagnostics — only after the whole ladder is exhausted, which
+/// for these models indicates an infeasible parameter set (e.g. arrival
+/// rate exceeding service capacity).
 EquilibriumResult find_equilibrium(const OdeRhs& rhs, std::vector<double> y0,
                                    const EquilibriumOptions& options = {});
 

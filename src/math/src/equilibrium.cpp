@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "btmf/math/vec.h"
 #include "btmf/util/check.h"
@@ -31,50 +32,76 @@ EquilibriumResult find_equilibrium(const OdeRhs& rhs, std::vector<double> y0,
   AdaptiveOptions ode = options.ode;
   ode.clamp_nonnegative = options.clamp_nonnegative;
 
+  // Escalation ladder: rung 0 is the caller's configured strategy; if the
+  // residual misses the tolerance, rungs 1 and 2 retry with more transient
+  // time and a Newton polish allowed to damp its steps much deeper (the
+  // step-halving line search is Newton's bisection fallback: each halving
+  // bisects the segment towards the current iterate). Every rung records
+  // its diagnostics, and only once the whole ladder is exhausted does the
+  // failure surface as a SolverError carrying them.
+  constexpr int kMaxRungs = 3;
+  std::ostringstream diag;
   double chunk = options.chunk_time;
   double t = 0.0;
-  for (std::size_t c = 0; c < options.max_chunks; ++c) {
-    result.residual_inf = scaled_residual(rhs, result.y);
-    if (result.residual_inf <= options.residual_tol) break;
-    AdaptiveResult step =
-        integrate_dopri5(rhs, std::move(result.y), t, t + chunk, ode);
-    result.y = std::move(step.y);
-    t += chunk;
-    chunk *= options.chunk_growth;
-    result.chunks = c + 1;
-  }
-  result.integrated_time = t;
-  result.residual_inf = scaled_residual(rhs, result.y);
 
-  if (options.polish_with_newton) {
-    // The autonomous field as a VectorField for Newton.
-    const VectorField field = [&rhs](std::span<const double> x,
-                                     std::span<double> out) {
-      rhs(0.0, x, out);
-    };
-    NewtonOptions newton;
-    newton.tol = options.residual_tol * 1e-3;
-    if (options.clamp_nonnegative) {
-      newton.project = [](std::span<double> x) { clamp_nonnegative(x); };
+  for (int rung = 0; rung < kMaxRungs; ++rung) {
+    const std::size_t budget = rung == 0 ? options.max_chunks : 8;
+    for (std::size_t c = 0; c < budget; ++c) {
+      result.residual_inf = scaled_residual(rhs, result.y);
+      if (result.residual_inf <= options.residual_tol) break;
+      AdaptiveResult step =
+          integrate_dopri5(rhs, std::move(result.y), t, t + chunk, ode);
+      result.y = std::move(step.y);
+      t += chunk;
+      chunk *= options.chunk_growth;
+      ++result.chunks;
     }
-    NewtonResult polished = newton_solve(field, result.y, newton);
-    // Accept the polish only if it genuinely improved the residual.
-    const double polished_scaled =
-        polished.residual_inf / (1.0 + norm_inf(polished.x));
-    if (polished_scaled < result.residual_inf) {
-      result.y = std::move(polished.x);
-      result.residual_inf = polished_scaled;
-      result.newton_converged = polished.converged;
+    result.integrated_time = t;
+    result.residual_inf = scaled_residual(rhs, result.y);
+    diag << (rung == 0 ? "" : "; ") << "rung " << rung << ": transient to t="
+         << result.integrated_time << " residual " << result.residual_inf;
+
+    if (options.polish_with_newton) {
+      // The autonomous field as a VectorField for Newton.
+      const VectorField field = [&rhs](std::span<const double> x,
+                                       std::span<double> out) {
+        rhs(0.0, x, out);
+      };
+      NewtonOptions newton;
+      newton.tol = options.residual_tol * 1e-3;
+      // Deeper rungs may halve the step far below the default floor
+      // before declaring the direction useless.
+      newton.min_damping =
+          rung == 0 ? 1.0 / 1024.0 : 1.0 / (1024.0 * 1024.0);
+      if (options.clamp_nonnegative) {
+        newton.project = [](std::span<double> x) { clamp_nonnegative(x); };
+      }
+      NewtonResult polished = newton_solve(field, result.y, newton);
+      diag << ", newton " << polished.iterations << " iters "
+           << (polished.converged ? "converged" : "stalled") << " at "
+           << polished.residual_inf;
+      // Accept the polish only if it genuinely improved the residual.
+      const double polished_scaled =
+          polished.residual_inf / (1.0 + norm_inf(polished.x));
+      if (polished_scaled < result.residual_inf) {
+        result.y = std::move(polished.x);
+        result.residual_inf = polished_scaled;
+        result.newton_converged = polished.converged;
+      }
     }
+    if (result.residual_inf <= options.residual_tol) break;
   }
 
   if (result.residual_inf > options.residual_tol) {
     throw SolverError(
         "find_equilibrium: residual " + std::to_string(result.residual_inf) +
         " did not reach tolerance " + std::to_string(options.residual_tol) +
-        " after t = " + std::to_string(result.integrated_time) +
-        " — the parameter set is likely outside the model's stability "
-        "region (arrival rate exceeding service capacity)");
+        " after t = " + std::to_string(result.integrated_time) + " and " +
+        std::to_string(result.chunks) +
+        " chunks — the parameter set is likely outside the model's "
+        "stability region (arrival rate exceeding service capacity). "
+        "Ladder diagnostics: " +
+        diag.str());
   }
   return result;
 }

@@ -16,6 +16,7 @@
 
 #include "btmf/fluid/params.h"
 #include "btmf/fluid/schemes.h"
+#include "btmf/sim/faults.h"
 
 namespace btmf::sim {
 
@@ -107,6 +108,18 @@ struct SimConfig {
   double warmup = 1500.0;            ///< statistics start here
   std::uint64_t seed = 42;
   std::size_t max_active_peers = 1'000'000;  ///< runaway guard
+
+  /// Declarative fault schedule (tracker outages, seed failure, churn
+  /// bursts, bandwidth degradation). An empty plan is bit-identical to a
+  /// run without the fault layer. See faults.h and docs/FAULTS.md.
+  FaultPlan faults{};
+
+  /// Runs the paranoid invariant auditor after every dispatched event
+  /// round (service-group integrals, indexed-heap cross-references, live
+  /// list, policy pool recounts); throws btmf::AuditError at the event
+  /// that corrupted state. Expensive — meant for tests and debugging.
+  /// Compiling with -DBTMF_PARANOID forces this on for every run.
+  bool paranoid = false;
 
   /// Request probability of file f under this configuration.
   [[nodiscard]] double file_probability(unsigned f) const {

@@ -30,19 +30,38 @@
 // completion time of the group's smallest pending target is exact; a due
 // test in *service* space (target - acc <= eps) rather than time space
 // makes completions immune to float residue in recomputed candidates.
+//
+// Fault injection
+// ---------------
+// A SimConfig::faults plan compiles into a sorted timeline of fault
+// *edges* (outage start/end, seed failure/recovery, churn instant,
+// degradation start/end) that participate in the next-event race like any
+// other clock. Tracker outages gate the arrival path inside the kernel;
+// seed failures drain the seed-departure queue and clamp new residences
+// to "depart immediately" while the window is open; churn bursts crash a
+// random subset of downloading users through the policy's on_fault_crash
+// hook and queue their re-arrivals; bandwidth windows reach the policies
+// through on_fault_bandwidth. An empty plan leaves the kernel bit-
+// identical to the pre-fault-layer behaviour.
+//
+// The paranoid auditor (SimConfig::paranoid, forced by -DBTMF_PARANOID)
+// re-walks the service-group integrals, both indexed heaps, the live-list
+// cross-references and the policy's own pool bookkeeping after every
+// dispatch round, throwing btmf::AuditError at the event that corrupted
+// state instead of 10^6 events later.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <queue>
 #include <vector>
 
 #include "btmf/sim/config.h"
 #include "btmf/sim/indexed_heap.h"
 #include "btmf/sim/rng.h"
 #include "btmf/sim/stats.h"
+#include "btmf/util/error.h"
 
 namespace btmf::sim {
 
@@ -66,6 +85,9 @@ struct SimUser {
   std::vector<std::uint32_t> inst;       ///< validates abort heap entries
   std::vector<std::size_t> gid;          ///< current service group
   std::vector<double> target;            ///< completion target in S_g space
+  /// Per-slot "file fully downloaded" flags, set by the policies; the
+  /// fault layer uses them to decide what a crashed peer may keep.
+  std::vector<std::uint8_t> done;
 
   // Scheme scratch.
   unsigned seq_pos = 0;          ///< sequential schemes: current stage
@@ -121,6 +143,36 @@ class SchemePolicy {
   /// EventKernel::kAllFiles for MFCD's joint departure.
   virtual void on_seed_departure(std::size_t ui, unsigned file_idx,
                                  double t) = 0;
+
+  // ---- fault hooks ------------------------------------------------------
+  /// A churn burst crashed this user. The policy must tear down every
+  /// download/seeding slot: unschedule services, release pool
+  /// contributions, fix populations and the active-peer count, and leave
+  /// every slot kIdle. It must NOT retire the user or draw randomness —
+  /// the kernel removes the user from the live list and schedules the
+  /// re-arrival itself (using SimUser::done to decide what survives).
+  virtual void on_fault_crash(std::size_t /*ui*/, double /*t*/) {
+    throw ConfigError(
+        "this scheme policy does not implement churn-burst faults");
+  }
+
+  /// A bandwidth-degradation window opened (scale < 1) or closed
+  /// (scale = 1): every peer's mu and c are multiplied by `scale` from
+  /// time t on. The policy re-derives all service rates accordingly.
+  virtual void on_fault_bandwidth(double /*scale*/, double /*t*/) {
+    throw ConfigError(
+        "this scheme policy does not implement bandwidth faults");
+  }
+
+  /// Paranoid auditor: recount the policy's pool bookkeeping (per-torrent
+  /// weights, seed bandwidth, populations) from first principles and
+  /// throw btmf::AuditError on any mismatch. Default: no policy state.
+  virtual void audit(double /*t*/) {}
+
+  /// False for policies that bypass the kernel's service groups and run
+  /// their own completion scheduler (MFCD); the kernel auditor then skips
+  /// the per-slot group cross-checks.
+  [[nodiscard]] virtual bool kernel_scheduled() const { return true; }
 
   /// Next scheme-driven event (CMFSD's Adapt tick); +inf when none.
   [[nodiscard]] virtual double next_policy_event_time() const {
@@ -186,6 +238,9 @@ class EventKernel {
   /// instance; no-op (and no RNG draw) when abort_rate == 0.
   void arm_abort(std::size_t ui, unsigned slot, double t);
 
+  /// Queues a seed residence ending at `when`. During a seed-failure
+  /// window the residence is cut short: it fires at the current time
+  /// instead (seeding is impossible while the infrastructure is down).
   void schedule_seed_departure(std::size_t ui, unsigned file_idx, double when);
 
   /// Policies that run their own incremental scheduler (MFCD's kinetic
@@ -203,6 +258,12 @@ class EventKernel {
   void retire_user(std::size_t ui, double t, double download,
                    double final_rho, bool adaptive);
 
+  /// Paranoid invariant audit of the kernel structures and the policy's
+  /// pools; throws btmf::AuditError with a diagnosis on violation. Runs
+  /// automatically after every dispatch round when cfg.paranoid is set
+  /// (or the library was built with -DBTMF_PARANOID).
+  void audit(double t);
+
  private:
   struct PendingEntry {
     double target = 0.0;
@@ -218,13 +279,14 @@ class EventKernel {
     }
   };
 
+  /// `pending` is a std::greater min-heap maintained with the <algorithm>
+  /// heap primitives (identical pop order to std::priority_queue) so the
+  /// paranoid auditor can walk the entries in place.
   struct ServiceGroup {
     double rate = 0.0;
     double acc = 0.0;     ///< S_g at last_t
     double last_t = 0.0;
-    std::priority_queue<PendingEntry, std::vector<PendingEntry>,
-                        std::greater<>>
-        pending;
+    std::vector<PendingEntry> pending;
   };
 
   struct AbortEntry {
@@ -250,6 +312,41 @@ class EventKernel {
     }
   };
 
+  /// One endpoint of a scheduled fault: the timeline below is the plan
+  /// compiled to sorted edges. Kind order breaks time ties so "outage
+  /// ends" dispatches before "next outage begins" at the same instant.
+  struct FaultEdge {
+    double time = 0.0;
+    enum class Kind : std::uint8_t {
+      kTrackerUp,
+      kTrackerDown,
+      kSeedUp,
+      kSeedDown,
+      kBandwidthUp,
+      kBandwidthDown,
+      kChurn,
+    } kind = Kind::kChurn;
+    std::size_t idx = 0;  ///< index into the plan's vector for this kind
+    bool operator<(const FaultEdge& o) const {
+      if (time != o.time) return time < o.time;
+      if (kind != o.kind) return kind < o.kind;
+      return idx < o.idx;
+    }
+  };
+
+  /// A user waiting to (re-)enter the swarm: a tracker-outage visitor
+  /// retrying after the outage (empty `files` — the file set is drawn at
+  /// admission) or a crashed peer re-arriving with its unfinished files.
+  struct Readmission {
+    double time = 0.0;
+    std::uint64_t seq = 0;  ///< injection order; breaks time ties
+    std::vector<unsigned> files;
+    bool operator>(const Readmission& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
   void sync_group(ServiceGroup& g, double t) {
     if (t > g.last_t) {
       g.acc += g.rate * (t - g.last_t);
@@ -267,10 +364,38 @@ class EventKernel {
   void update_candidate(std::size_t gid);
 
   void process_arrival(double t);
+  /// Creates a user requesting `files` at time t and hands it to the
+  /// policy; shared by organic arrivals and fault re-admissions.
+  void admit_user(std::vector<unsigned> files, double t);
   void drain_completions(double t);
   void drain_aborts(double t);
   /// Earliest valid abort deadline; pops stale entries.
   double peek_abort();
+
+  // ---- fault machinery --------------------------------------------------
+  void build_fault_timeline();
+  [[nodiscard]] double next_fault_time() const {
+    return fault_cursor_ < fault_timeline_.size()
+               ? fault_timeline_[fault_cursor_].time
+               : std::numeric_limits<double>::infinity();
+  }
+  void process_fault_edges(double t);
+  void apply_tracker_down(const TrackerOutageFault& f);
+  void apply_tracker_up(const TrackerOutageFault& f, double t);
+  void apply_seed_down(double t);
+  void apply_churn(const ChurnBurstFault& f, double t);
+  [[nodiscard]] double next_readmission_time() const {
+    return readmissions_.empty()
+               ? std::numeric_limits<double>::infinity()
+               : readmissions_.front().time;
+  }
+  void drain_readmissions(double t);
+  void push_readmission(double when, std::vector<unsigned> files);
+  void note_readmission_peak();
+  /// Opens a recovery episode if the fault edge dented the population;
+  /// closes it once the live peer count regains the reference level.
+  void begin_recovery_watch(std::size_t pre_fault_peers, double t);
+  void update_recovery_watch(double t);
 
   void add_live(std::size_t ui) {
     users_[ui].live_pos = live_.size();
@@ -294,11 +419,9 @@ class EventKernel {
   std::vector<ServiceGroup> groups_;
   IndexedMinHeap candidates_;  ///< group id -> earliest completion time
 
-  std::priority_queue<AbortEntry, std::vector<AbortEntry>, std::greater<>>
-      abort_queue_;
-  std::priority_queue<SeedDeparture, std::vector<SeedDeparture>,
-                      std::greater<>>
-      seed_queue_;
+  /// std::greater min-heaps maintained with the <algorithm> primitives.
+  std::vector<AbortEntry> abort_queue_;
+  std::vector<SeedDeparture> seed_queue_;
 
   std::vector<double> down_pop_;
   std::vector<double> seed_pop_;
@@ -307,6 +430,30 @@ class EventKernel {
   std::size_t active_peer_count_ = 0;
   std::size_t rate_epochs_ = 0;
   std::size_t peak_live_peers_ = 0;
+
+  // ---- fault state ------------------------------------------------------
+  std::vector<FaultEdge> fault_timeline_;
+  std::size_t fault_cursor_ = 0;
+  bool paranoid_ = false;
+  bool tracker_down_ = false;
+  bool tracker_drop_ = false;       ///< drop vs queue during the outage
+  std::size_t tracker_queue_ = 0;   ///< visitors waiting for the tracker
+  bool seed_down_ = false;
+  double now_ = 0.0;                ///< current dispatch time (seed clamp)
+  std::vector<Readmission> readmissions_;  ///< std::greater min-heap
+  std::uint64_t readmission_seq_ = 0;
+
+  std::size_t faults_injected_ = 0;
+  std::size_t downloads_killed_ = 0;
+  std::size_t arrivals_dropped_ = 0;
+  std::size_t arrivals_queued_ = 0;
+  std::size_t readmissions_count_ = 0;
+  std::size_t readmission_queue_peak_ = 0;
+  bool recovering_ = false;
+  std::size_t recover_ref_ = 0;     ///< pre-fault live peer count
+  double recovery_start_ = 0.0;
+  double time_to_recover_ = 0.0;
+  std::size_t faults_unrecovered_ = 0;
 };
 
 }  // namespace btmf::sim

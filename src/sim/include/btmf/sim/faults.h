@@ -1,0 +1,111 @@
+// Fault-injection plans for the event kernel.
+//
+// The fluid models (and the kernel's default configuration) assume an
+// idealized swarm: the tracker never blinks, seeds retire on their own
+// schedule and arrival rates are stationary. A FaultPlan is a declarative
+// schedule of departures from that clean room, replayed deterministically
+// by the kernel:
+//
+//  * TrackerOutageFault — during [start, start+duration) indexing-server
+//    visits cannot register. Arrivals are either dropped outright or
+//    queued; queued visitors retry after the outage with independent
+//    Exp(readmit_rate) backoffs (the re-admission queue and its peak size
+//    are reported in SimResult).
+//  * SeedFailureFault — at `start` the seeding infrastructure fails: every
+//    queued seeding residence ends immediately (the pooled seed bandwidth
+//    collapses) and until start+duration newly completed peers cannot
+//    stay to seed either. Recovery is organic: once the window closes,
+//    completions seed normally and the pool refills.
+//  * ChurnBurstFault — at `time` each user with a download in flight
+//    crashes independently with probability kill_fraction. A crashed peer
+//    re-arrives after an Exp(backoff_rate) backoff re-requesting its
+//    unfinished files; each *finished* file is lost (and re-requested)
+//    with probability progress_loss.
+//  * BandwidthFault — during [start, start+duration) every peer's upload
+//    and download bandwidth (mu and c) is multiplied by `scale`; all
+//    service rates scale accordingly and restore when the window closes.
+//
+// An empty plan is guaranteed to leave the kernel bit-identical to a run
+// without the fault layer (tested in tests/sim/fault_sim_test.cpp). All
+// fault randomness (kill coin flips, backoffs) is drawn from the
+// replication's RandomStream, so faulted runs are as deterministic as
+// clean ones.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace btmf::sim {
+
+struct TrackerOutageFault {
+  double start = 0.0;
+  double duration = 0.0;
+  /// false: queue arrivals during the outage and re-admit them afterwards;
+  /// true: drop them (the visitor never retries).
+  bool drop = false;
+  /// Rate of the per-visitor Exp backoff applied after the outage ends
+  /// (queue mode only).
+  double readmit_rate = 1.0;
+};
+
+struct SeedFailureFault {
+  double start = 0.0;
+  /// Seeding stays impossible until start + duration.
+  double duration = 0.0;
+};
+
+struct ChurnBurstFault {
+  double time = 0.0;
+  /// Independent crash probability of each user with a live download.
+  double kill_fraction = 0.5;
+  /// Probability that a *completed* file is lost in the crash and must be
+  /// re-downloaded; in-flight progress is always lost.
+  double progress_loss = 1.0;
+  /// Crashed peers re-arrive after an Exp(backoff_rate) delay.
+  double backoff_rate = 1.0;
+};
+
+struct BandwidthFault {
+  double start = 0.0;
+  double duration = 0.0;
+  /// mu and c are multiplied by this during the window; must be in (0, 1].
+  double scale = 0.5;
+};
+
+/// A declarative schedule of fault events, replayed by the kernel.
+struct FaultPlan {
+  std::vector<TrackerOutageFault> tracker_outages;
+  std::vector<SeedFailureFault> seed_failures;
+  std::vector<ChurnBurstFault> churn_bursts;
+  std::vector<BandwidthFault> bandwidth_faults;
+
+  [[nodiscard]] bool empty() const {
+    return tracker_outages.empty() && seed_failures.empty() &&
+           churn_bursts.empty() && bandwidth_faults.empty();
+  }
+
+  /// Total number of scheduled faults, irrespective of the horizon.
+  [[nodiscard]] std::size_t size() const {
+    return tracker_outages.size() + seed_failures.size() +
+           churn_bursts.size() + bandwidth_faults.size();
+  }
+
+  /// Throws btmf::ConfigError on out-of-range values or overlapping
+  /// windows of the same fault type.
+  void validate() const;
+};
+
+/// Parses the btmf_tool `--faults` mini-language: a semicolon-separated
+/// list of fault clauses, each a colon-separated tuple,
+///
+///   tracker:<start>:<duration>[:drop|:queue[:<readmit_rate>]]
+///   seed:<start>:<duration>
+///   churn:<time>:<kill_fraction>[:<progress_loss>[:<backoff_rate>]]
+///   bw:<start>:<duration>:<scale>
+///
+/// e.g. "tracker:500:200;churn:1200:0.5:1.0:0.2;seed:2000:400".
+/// Throws btmf::ConfigError on malformed specs.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
+
+}  // namespace btmf::sim

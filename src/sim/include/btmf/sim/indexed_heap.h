@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "btmf/util/check.h"
@@ -69,6 +70,31 @@ class IndexedMinHeap {
       sift_up(at);
       sift_down(at);
     }
+  }
+
+  /// Paranoid-auditor hook: verifies the heap property and the pos_/heap_
+  /// cross-references. Returns false (with a reason) instead of throwing
+  /// so the caller can attach context. O(n).
+  [[nodiscard]] bool validate(std::string* reason = nullptr) const {
+    const auto fail = [&](const char* why) {
+      if (reason != nullptr) *reason = why;
+      return false;
+    };
+    std::size_t present = 0;
+    for (std::size_t id = 0; id < pos_.size(); ++id) {
+      if (pos_[id] == npos) continue;
+      ++present;
+      if (pos_[id] >= heap_.size() || heap_[pos_[id]] != id) {
+        return fail("pos_/heap_ cross-reference broken");
+      }
+    }
+    if (present != heap_.size()) return fail("heap size != live id count");
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      if (before(heap_[i], heap_[(i - 1) / 2])) {
+        return fail("heap order violated");
+      }
+    }
+    return true;
   }
 
  private:

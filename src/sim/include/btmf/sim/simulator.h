@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "btmf/sim/config.h"
@@ -17,11 +19,26 @@ namespace btmf::sim {
 /// CMFSD engine by `config.scheme`.
 SimResult run_simulation(const SimConfig& config);
 
+/// One replication that died with an exception instead of producing a
+/// SimResult; `seed` is the derived per-replication seed, so the failure
+/// reproduces as a single run_simulation call.
+struct ReplicationFailure {
+  std::size_t index = 0;     ///< replication number in [0, num_replications)
+  std::uint64_t seed = 0;    ///< derived seed of the failed run
+  std::string message;       ///< what() of the exception
+};
+
 /// Aggregate over independent replications (seeds derived from
 /// config.seed via SplitMix64 stream splitting; runs execute on the
 /// global thread pool).
+///
+/// A replication that throws (solver divergence, runaway population,
+/// audit failure) is isolated: it lands in `failures` instead of taking
+/// down its siblings, and the aggregates are computed over the surviving
+/// runs. Only when *every* replication fails does run_replications throw.
 struct ReplicationSummary {
-  std::vector<SimResult> runs;
+  std::vector<SimResult> runs;           ///< surviving runs, in seed order
+  std::vector<ReplicationFailure> failures;
 
   double mean_online_per_file = 0.0;     ///< across-run mean
   /// Across-run standard error; exactly 0 when num_replications == 1

@@ -55,6 +55,20 @@ struct SimResult {
   std::size_t peak_live_peers = 0;   ///< max concurrent peer units
   double wall_clock_seconds = 0.0;   ///< run() wall time (not deterministic)
 
+  // Fault-injection & recovery observability (all zero without a
+  // FaultPlan; see docs/FAULTS.md and bench/churn_sweep.cpp).
+  std::size_t faults_injected = 0;     ///< fault edges dispatched
+  std::size_t downloads_killed = 0;    ///< users crashed by churn bursts
+  std::size_t arrivals_dropped = 0;    ///< tracker outage, drop mode
+  std::size_t arrivals_queued = 0;     ///< tracker outage, queue mode
+  std::size_t readmissions = 0;        ///< users re-admitted after a fault
+  std::size_t readmission_queue_peak = 0;  ///< max pending re-admissions
+  /// Longest time any fault needed to restore the live peer population to
+  /// its pre-fault level (0 when no fault reduced the population).
+  double time_to_recover = 0.0;
+  /// Faults whose population dent had not healed by the horizon.
+  std::size_t faults_unrecovered = 0;
+
   /// Mean rho across obedient adaptive peers, sampled at Adapt ticks
   /// (time series; empty unless Adapt is enabled).
   std::vector<double> rho_trajectory_time;

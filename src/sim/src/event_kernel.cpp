@@ -1,5 +1,7 @@
 #include "btmf/sim/event_kernel.h"
 
+#include <sstream>
+
 #include "btmf/util/check.h"
 #include "btmf/util/error.h"
 #include "btmf/util/stopwatch.h"
@@ -11,6 +13,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// Events within this window of the current time are dispatched together,
 /// matching the pre-refactor engines' simultaneity rule.
 constexpr double kTimeEps = 1e-12;
+
+const std::greater<> kMinHeap{};
 }  // namespace
 
 EventKernel::EventKernel(const SimConfig& config, SchemePolicy& policy)
@@ -21,7 +25,36 @@ EventKernel::EventKernel(const SimConfig& config, SchemePolicy& policy)
       down_pop_(config.num_files, 0.0),
       seed_pop_(config.num_files, 0.0) {
   cfg_.validate();
+  paranoid_ = cfg_.paranoid;
+#ifdef BTMF_PARANOID
+  paranoid_ = true;
+#endif
+  build_fault_timeline();
   policy_.attach(*this);
+}
+
+void EventKernel::build_fault_timeline() {
+  const FaultPlan& plan = cfg_.faults;
+  using Kind = FaultEdge::Kind;
+  for (std::size_t i = 0; i < plan.tracker_outages.size(); ++i) {
+    const TrackerOutageFault& f = plan.tracker_outages[i];
+    fault_timeline_.push_back({f.start, Kind::kTrackerDown, i});
+    fault_timeline_.push_back({f.start + f.duration, Kind::kTrackerUp, i});
+  }
+  for (std::size_t i = 0; i < plan.seed_failures.size(); ++i) {
+    const SeedFailureFault& f = plan.seed_failures[i];
+    fault_timeline_.push_back({f.start, Kind::kSeedDown, i});
+    fault_timeline_.push_back({f.start + f.duration, Kind::kSeedUp, i});
+  }
+  for (std::size_t i = 0; i < plan.bandwidth_faults.size(); ++i) {
+    const BandwidthFault& f = plan.bandwidth_faults[i];
+    fault_timeline_.push_back({f.start, Kind::kBandwidthDown, i});
+    fault_timeline_.push_back({f.start + f.duration, Kind::kBandwidthUp, i});
+  }
+  for (std::size_t i = 0; i < plan.churn_bursts.size(); ++i) {
+    fault_timeline_.push_back({plan.churn_bursts[i].time, Kind::kChurn, i});
+  }
+  std::sort(fault_timeline_.begin(), fault_timeline_.end());
 }
 
 std::size_t EventKernel::new_group(double t) {
@@ -52,9 +85,10 @@ void EventKernel::add_group_rate(std::size_t gid, double delta, double t) {
 
 void EventKernel::drop_stale_pending(ServiceGroup& g) {
   while (!g.pending.empty()) {
-    const PendingEntry& e = g.pending.top();
+    const PendingEntry& e = g.pending.front();
     if (users_[e.ui].sched_gen[e.slot] == e.gen) break;
-    g.pending.pop();
+    std::pop_heap(g.pending.begin(), g.pending.end(), kMinHeap);
+    g.pending.pop_back();
   }
 }
 
@@ -65,7 +99,7 @@ void EventKernel::update_candidate(std::size_t gid) {
     candidates_.erase(gid);
     return;
   }
-  const PendingEntry& top = g.pending.top();
+  const PendingEntry& top = g.pending.front();
   double when;
   if (due(top.target, g.acc)) {
     when = g.last_t;
@@ -92,7 +126,8 @@ void EventKernel::begin_service(std::size_t ui, unsigned slot,
   ++u.inst[slot];
   u.gid[slot] = gid;
   u.target[slot] = g.acc + work;
-  g.pending.push({u.target[slot], ui, slot, u.sched_gen[slot]});
+  g.pending.push_back({u.target[slot], ui, slot, u.sched_gen[slot]});
+  std::push_heap(g.pending.begin(), g.pending.end(), kMinHeap);
   update_candidate(gid);
 }
 
@@ -105,7 +140,8 @@ void EventKernel::move_service(std::size_t ui, unsigned slot,
   sync_group(g, t);
   u.gid[slot] = gid;
   u.target[slot] = g.acc + work;
-  g.pending.push({u.target[slot], ui, slot, u.sched_gen[slot]});
+  g.pending.push_back({u.target[slot], ui, slot, u.sched_gen[slot]});
+  std::push_heap(g.pending.begin(), g.pending.end(), kMinHeap);
   if (old_gid != gid) update_candidate(old_gid);
   update_candidate(gid);
 }
@@ -127,12 +163,18 @@ double EventKernel::remaining_work(std::size_t ui, unsigned slot, double t) {
 void EventKernel::arm_abort(std::size_t ui, unsigned slot, double t) {
   if (cfg_.abort_rate <= 0.0) return;
   const double deadline = t + rng_.exponential(cfg_.abort_rate);
-  abort_queue_.push({deadline, ui, slot, users_[ui].inst[slot]});
+  abort_queue_.push_back({deadline, ui, slot, users_[ui].inst[slot]});
+  std::push_heap(abort_queue_.begin(), abort_queue_.end(), kMinHeap);
 }
 
 void EventKernel::schedule_seed_departure(std::size_t ui, unsigned file_idx,
                                           double when) {
-  seed_queue_.push({when, ui, file_idx});
+  // While the seeding infrastructure is down, residences cannot start:
+  // the departure fires immediately (the policy's RNG draw still
+  // happened, so recovery re-synchronises with the clean-run stream).
+  if (seed_down_) when = now_;
+  seed_queue_.push_back({when, ui, file_idx});
+  std::push_heap(seed_queue_.begin(), seed_queue_.end(), kMinHeap);
 }
 
 void EventKernel::add_active_peers(std::size_t n) {
@@ -161,12 +203,25 @@ void EventKernel::retire_user(std::size_t ui, double t, double download,
 
 void EventKernel::process_arrival(double t) {
   ++total_arrivals_;
+  if (tracker_down_) {
+    if (tracker_drop_) {
+      ++arrivals_dropped_;
+    } else {
+      ++arrivals_queued_;
+      ++tracker_queue_;
+      note_readmission_peak();
+    }
+    return;
+  }
   std::vector<unsigned> files;
   for (unsigned f = 0; f < cfg_.num_files; ++f) {
     if (rng_.bernoulli(cfg_.file_probability(f))) files.push_back(f);
   }
   if (files.empty()) return;  // visitor requested nothing
+  admit_user(std::move(files), t);
+}
 
+void EventKernel::admit_user(std::vector<unsigned> files, double t) {
   users_.emplace_back();
   const std::size_t ui = users_.size() - 1;
   SimUser& u = users_[ui];
@@ -179,6 +234,7 @@ void EventKernel::process_arrival(double t) {
   u.inst.assign(u.cls, 0);
   u.gid.assign(u.cls, 0);
   u.target.assign(u.cls, 0.0);
+  u.done.assign(u.cls, 0);
   if (u.sampled) stats_.record_arrival(u.cls);
   add_live(ui);
   policy_.on_arrival(ui, t);
@@ -186,13 +242,14 @@ void EventKernel::process_arrival(double t) {
 
 double EventKernel::peek_abort() {
   while (!abort_queue_.empty()) {
-    const AbortEntry& e = abort_queue_.top();
+    const AbortEntry& e = abort_queue_.front();
     const SimUser& u = users_[e.ui];
     if (u.inst[e.slot] == e.inst &&
         u.state[e.slot] == SlotState::kDownloading) {
       return e.time;
     }
-    abort_queue_.pop();
+    std::pop_heap(abort_queue_.begin(), abort_queue_.end(), kMinHeap);
+    abort_queue_.pop_back();
   }
   return kInf;
 }
@@ -203,9 +260,10 @@ void EventKernel::drain_completions(double t) {
     ServiceGroup& g = groups_[gid];
     sync_group(g, t);
     drop_stale_pending(g);
-    if (!g.pending.empty() && due(g.pending.top().target, g.acc)) {
-      const PendingEntry e = g.pending.top();
-      g.pending.pop();
+    if (!g.pending.empty() && due(g.pending.front().target, g.acc)) {
+      const PendingEntry e = g.pending.front();
+      std::pop_heap(g.pending.begin(), g.pending.end(), kMinHeap);
+      g.pending.pop_back();
       SimUser& u = users_[e.ui];
       ++u.sched_gen[e.slot];
       ++u.inst[e.slot];  // the abort clock lost the race
@@ -217,11 +275,266 @@ void EventKernel::drain_completions(double t) {
 
 void EventKernel::drain_aborts(double t) {
   while (peek_abort() <= t + kTimeEps) {
-    const AbortEntry e = abort_queue_.top();
-    abort_queue_.pop();
+    const AbortEntry e = abort_queue_.front();
+    std::pop_heap(abort_queue_.begin(), abort_queue_.end(), kMinHeap);
+    abort_queue_.pop_back();
     policy_.on_abort(e.ui, e.slot, t);
   }
 }
+
+// ---- fault machinery ------------------------------------------------------
+
+void EventKernel::push_readmission(double when, std::vector<unsigned> files) {
+  readmissions_.push_back({when, readmission_seq_++, std::move(files)});
+  std::push_heap(readmissions_.begin(), readmissions_.end(), kMinHeap);
+  note_readmission_peak();
+}
+
+void EventKernel::note_readmission_peak() {
+  readmission_queue_peak_ =
+      std::max(readmission_queue_peak_, tracker_queue_ + readmissions_.size());
+}
+
+void EventKernel::apply_tracker_down(const TrackerOutageFault& f) {
+  tracker_down_ = true;
+  tracker_drop_ = f.drop;
+}
+
+void EventKernel::apply_tracker_up(const TrackerOutageFault& f, double t) {
+  tracker_down_ = false;
+  // Every visitor queued during the outage retries independently with an
+  // exponential backoff from the moment the tracker answers again.
+  for (std::size_t i = 0; i < tracker_queue_; ++i) {
+    push_readmission(t + rng_.exponential(f.readmit_rate), {});
+  }
+  tracker_queue_ = 0;
+}
+
+void EventKernel::apply_seed_down(double t) {
+  seed_down_ = true;
+  // The seeding infrastructure failed: every residence in flight ends now.
+  // Dispatch in (time, ui, idx) order so the collapse is deterministic.
+  std::vector<SeedDeparture> in_flight;
+  in_flight.swap(seed_queue_);
+  std::sort(in_flight.begin(), in_flight.end(),
+            [](const SeedDeparture& a, const SeedDeparture& b) {
+              return b > a;
+            });
+  for (const SeedDeparture& ev : in_flight) {
+    const SimUser& u = users_[ev.ui];
+    const unsigned check = ev.file_idx == kAllFiles ? 0U : ev.file_idx;
+    if (u.state[check] == SlotState::kSeeding) {
+      policy_.on_seed_departure(ev.ui, ev.file_idx, t);
+    }
+  }
+}
+
+void EventKernel::apply_churn(const ChurnBurstFault& f, double t) {
+  // Snapshot the victims first: the teardown swap-removes from the live
+  // list, and the kill coin flips must be drawn in live order.
+  std::vector<std::size_t> victims;
+  for (const std::size_t ui : live_) {
+    const SimUser& u = users_[ui];
+    const bool downloading =
+        std::any_of(u.state.begin(), u.state.end(), [](SlotState s) {
+          return s == SlotState::kDownloading;
+        });
+    if (downloading && rng_.bernoulli(f.kill_fraction)) {
+      victims.push_back(ui);
+    }
+  }
+  for (const std::size_t ui : victims) {
+    policy_.on_fault_crash(ui, t);
+    remove_live(ui);
+    ++downloads_killed_;
+    SimUser& u = users_[ui];
+    // The peer re-arrives after a backoff, re-requesting everything it
+    // had in flight plus every finished file the crash destroyed.
+    std::vector<unsigned> refetch;
+    for (unsigned s = 0; s < u.cls; ++s) {
+      if (u.done[s] != 0 && !rng_.bernoulli(f.progress_loss)) continue;
+      refetch.push_back(u.files[s]);
+    }
+    if (!refetch.empty()) {
+      push_readmission(t + rng_.exponential(f.backoff_rate),
+                       std::move(refetch));
+    }
+  }
+}
+
+void EventKernel::drain_readmissions(double t) {
+  while (!readmissions_.empty() &&
+         readmissions_.front().time <= t + kTimeEps) {
+    std::pop_heap(readmissions_.begin(), readmissions_.end(), kMinHeap);
+    Readmission r = std::move(readmissions_.back());
+    readmissions_.pop_back();
+    ++readmissions_count_;
+    std::vector<unsigned> files = std::move(r.files);
+    if (files.empty()) {
+      // A tracker-outage visitor retrying: the file set is drawn now.
+      for (unsigned f = 0; f < cfg_.num_files; ++f) {
+        if (rng_.bernoulli(cfg_.file_probability(f))) files.push_back(f);
+      }
+      if (files.empty()) continue;  // requested nothing after all
+    }
+    admit_user(std::move(files), t);
+  }
+}
+
+void EventKernel::process_fault_edges(double t) {
+  using Kind = FaultEdge::Kind;
+  while (fault_cursor_ < fault_timeline_.size() &&
+         fault_timeline_[fault_cursor_].time <= t + kTimeEps) {
+    const FaultEdge e = fault_timeline_[fault_cursor_++];
+    const std::size_t pre_fault_peers = active_peer_count_;
+    switch (e.kind) {
+      case Kind::kTrackerDown:
+        apply_tracker_down(cfg_.faults.tracker_outages[e.idx]);
+        break;
+      case Kind::kTrackerUp:
+        apply_tracker_up(cfg_.faults.tracker_outages[e.idx], t);
+        break;
+      case Kind::kSeedDown:
+        apply_seed_down(t);
+        break;
+      case Kind::kSeedUp:
+        seed_down_ = false;
+        break;
+      case Kind::kBandwidthDown:
+        policy_.on_fault_bandwidth(cfg_.faults.bandwidth_faults[e.idx].scale,
+                                   t);
+        break;
+      case Kind::kBandwidthUp:
+        policy_.on_fault_bandwidth(1.0, t);
+        break;
+      case Kind::kChurn:
+        apply_churn(cfg_.faults.churn_bursts[e.idx], t);
+        break;
+    }
+    ++faults_injected_;
+    begin_recovery_watch(pre_fault_peers, t);
+    // Corruption must surface at the fault that caused it, so the
+    // auditor runs right at the edge, before any organic event.
+    if (paranoid_) audit(t);
+  }
+}
+
+void EventKernel::begin_recovery_watch(std::size_t pre_fault_peers,
+                                       double t) {
+  // Only faults that actually dent the population open an episode;
+  // already-watching episodes keep their original reference level.
+  if (!recovering_ && active_peer_count_ < pre_fault_peers) {
+    recovering_ = true;
+    recover_ref_ = pre_fault_peers;
+    recovery_start_ = t;
+  }
+}
+
+void EventKernel::update_recovery_watch(double t) {
+  if (recovering_ && active_peer_count_ >= recover_ref_) {
+    time_to_recover_ = std::max(time_to_recover_, t - recovery_start_);
+    recovering_ = false;
+  }
+}
+
+// ---- paranoid auditor -----------------------------------------------------
+
+void EventKernel::audit(double t) {
+  const auto fail = [&](const std::string& why) {
+    std::ostringstream os;
+    os << "paranoid audit failed at t = " << t << ": " << why;
+    throw AuditError(os.str());
+  };
+
+  // Live-list cross-references.
+  for (std::size_t pos = 0; pos < live_.size(); ++pos) {
+    const std::size_t ui = live_[pos];
+    if (ui >= users_.size()) fail("live list references unknown user");
+    if (users_[ui].live_pos != pos) {
+      fail("live_pos cross-reference broken for user " + std::to_string(ui));
+    }
+  }
+
+  // Cross-group candidate heap.
+  std::string reason;
+  if (!candidates_.validate(&reason)) fail("candidate heap: " + reason);
+
+  // Service-group integrals and pending heaps.
+  for (std::size_t gid = 0; gid < groups_.size(); ++gid) {
+    const ServiceGroup& g = groups_[gid];
+    if (!(std::isfinite(g.rate) && g.rate >= 0.0)) {
+      fail("group " + std::to_string(gid) + " has invalid rate");
+    }
+    if (!std::isfinite(g.acc)) {
+      fail("group " + std::to_string(gid) + " integral is not finite");
+    }
+    if (g.last_t > t + 1e-9) {
+      fail("group " + std::to_string(gid) + " integral is ahead of time");
+    }
+    if (!std::is_heap(g.pending.begin(), g.pending.end(), kMinHeap)) {
+      fail("group " + std::to_string(gid) + " pending heap order violated");
+    }
+    bool has_valid = false;
+    for (const PendingEntry& e : g.pending) {
+      if (e.ui >= users_.size()) fail("pending entry references unknown user");
+      const SimUser& u = users_[e.ui];
+      if (e.slot >= u.cls) fail("pending entry slot out of range");
+      if (u.sched_gen[e.slot] != e.gen) continue;  // stale entry, fine
+      has_valid = true;
+      if (u.gid[e.slot] != gid) {
+        fail("live pending entry sits in the wrong group");
+      }
+      if (u.state[e.slot] != SlotState::kDownloading) {
+        fail("scheduled slot is not downloading");
+      }
+      if (e.target != u.target[e.slot]) {
+        fail("pending entry target diverged from the slot target");
+      }
+    }
+    if (has_valid && g.rate > 0.0 && !candidates_.contains(gid)) {
+      fail("group " + std::to_string(gid) +
+           " has live work and positive rate but no candidate entry");
+    }
+  }
+
+  // Every downloading slot of every live user is scheduled exactly once
+  // (policies that run their own completion scheduler opt out).
+  if (policy_.kernel_scheduled()) {
+    for (const std::size_t ui : live_) {
+      const SimUser& u = users_[ui];
+      for (unsigned s = 0; s < u.cls; ++s) {
+        if (u.state[s] != SlotState::kDownloading) continue;
+        if (u.gid[s] >= groups_.size()) fail("slot gid out of range");
+        const ServiceGroup& g = groups_[u.gid[s]];
+        std::size_t n = 0;
+        for (const PendingEntry& e : g.pending) {
+          if (e.ui == ui && e.slot == s && e.gen == u.sched_gen[s]) ++n;
+        }
+        if (n != 1) {
+          fail("downloading slot has " + std::to_string(n) +
+               " live heap entries (expected 1)");
+        }
+      }
+    }
+  }
+
+  // Population integrals must stay finite and non-negative.
+  for (unsigned k = 0; k < cfg_.num_files; ++k) {
+    if (!std::isfinite(down_pop_[k]) || down_pop_[k] < -1e-6) {
+      fail("downloader population of class " + std::to_string(k + 1) +
+           " is negative or non-finite");
+    }
+    if (!std::isfinite(seed_pop_[k]) || seed_pop_[k] < -1e-6) {
+      fail("seed population of class " + std::to_string(k + 1) +
+           " is negative or non-finite");
+    }
+  }
+
+  // Scheme-specific pool recounts.
+  policy_.audit(t);
+}
+
+// ---- main loop ------------------------------------------------------------
 
 SimResult EventKernel::run() {
   util::Stopwatch wall;
@@ -237,11 +550,13 @@ SimResult EventKernel::run() {
         candidates_.empty() ? kInf : candidates_.top_key();
     const double abort_time = peek_abort();
     const double seed_time =
-        seed_queue_.empty() ? kInf : seed_queue_.top().time;
+        seed_queue_.empty() ? kInf : seed_queue_.front().time;
     const double policy_time = policy_.next_policy_event_time();
+    const double fault_time = next_fault_time();
+    const double readmit_time = next_readmission_time();
     const double t_next =
         std::min({next_arrival, seed_time, completion_time, abort_time,
-                  policy_time, cfg_.horizon});
+                  policy_time, fault_time, readmit_time, cfg_.horizon});
 
     if (t_next > t) {
       const double stat_lo = std::max(t, cfg_.warmup);
@@ -256,24 +571,37 @@ SimResult EventKernel::run() {
     // ---- an abort because completions drain first) ----------------------
     stats_.record_event();
     peak_live_peers_ = std::max(peak_live_peers_, active_peer_count_);
+    now_ = t;
+    process_fault_edges(t);
     if (t + kTimeEps >= next_arrival) {
       process_arrival(t);
       next_arrival = t + rng_.exponential(cfg_.visit_rate);
     }
-    while (!seed_queue_.empty() && seed_queue_.top().time <= t + kTimeEps) {
-      const SeedDeparture ev = seed_queue_.top();
-      seed_queue_.pop();
-      policy_.on_seed_departure(ev.ui, ev.file_idx, t);
+    drain_readmissions(t);
+    while (!seed_queue_.empty() && seed_queue_.front().time <= t + kTimeEps) {
+      const SeedDeparture ev = seed_queue_.front();
+      std::pop_heap(seed_queue_.begin(), seed_queue_.end(), kMinHeap);
+      seed_queue_.pop_back();
+      // Entries of crashed users are stale: their slots are no longer
+      // seeding. Skipping them here keeps the queue free of tombstones.
+      const SimUser& u = users_[ev.ui];
+      const unsigned check = ev.file_idx == kAllFiles ? 0U : ev.file_idx;
+      if (u.state[check] == SlotState::kSeeding) {
+        policy_.on_seed_departure(ev.ui, ev.file_idx, t);
+      }
     }
     if (t + kTimeEps >= policy_time) policy_.on_policy_event(t);
     drain_completions(t);
     drain_aborts(t);
+    update_recovery_watch(t);
+    if (paranoid_) audit(t);
   }
 
   // Census of users still active at the horizon.
   for (const std::size_t ui : live_) {
     if (users_[ui].sampled) stats_.record_censored();
   }
+  if (recovering_) ++faults_unrecovered_;
 
   SimResult result = stats_.finalize(
       std::max(0.0, cfg_.horizon - cfg_.warmup), total_arrivals_);
@@ -287,6 +615,14 @@ SimResult EventKernel::run() {
   }
   result.rate_epochs = rate_epochs_;
   result.peak_live_peers = peak_live_peers_;
+  result.faults_injected = faults_injected_;
+  result.downloads_killed = downloads_killed_;
+  result.arrivals_dropped = arrivals_dropped_;
+  result.arrivals_queued = arrivals_queued_;
+  result.readmissions = readmissions_count_;
+  result.readmission_queue_peak = readmission_queue_peak_;
+  result.time_to_recover = time_to_recover_;
+  result.faults_unrecovered = faults_unrecovered_;
   result.wall_clock_seconds = wall.seconds();
   return result;
 }

@@ -1,0 +1,130 @@
+#include "btmf/sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "btmf/util/check.h"
+#include "btmf/util/strings.h"
+
+namespace btmf::sim {
+
+namespace {
+
+bool finite_nonneg(double x) { return std::isfinite(x) && x >= 0.0; }
+
+/// Same-type windows must not overlap: each fault kind models one shared
+/// facility (the tracker, the seeding infrastructure, the access links),
+/// and overlapping windows would make the recovery edges ambiguous.
+void check_disjoint(std::vector<std::pair<double, double>> windows,
+                    const char* what) {
+  std::sort(windows.begin(), windows.end());
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    BTMF_CHECK_MSG(windows[i].first >= windows[i - 1].second,
+                   std::string(what) + " fault windows must not overlap");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  std::vector<std::pair<double, double>> windows;
+  for (const TrackerOutageFault& f : tracker_outages) {
+    BTMF_CHECK_MSG(finite_nonneg(f.start), "tracker outage start must be >= 0");
+    BTMF_CHECK_MSG(std::isfinite(f.duration) && f.duration > 0.0,
+                   "tracker outage duration must be positive");
+    BTMF_CHECK_MSG(f.drop || f.readmit_rate > 0.0,
+                   "tracker outage readmit_rate must be positive");
+    windows.emplace_back(f.start, f.start + f.duration);
+  }
+  check_disjoint(std::move(windows), "tracker");
+
+  windows.clear();
+  for (const SeedFailureFault& f : seed_failures) {
+    BTMF_CHECK_MSG(finite_nonneg(f.start), "seed failure start must be >= 0");
+    BTMF_CHECK_MSG(std::isfinite(f.duration) && f.duration > 0.0,
+                   "seed failure duration must be positive");
+    windows.emplace_back(f.start, f.start + f.duration);
+  }
+  check_disjoint(std::move(windows), "seed");
+
+  for (const ChurnBurstFault& f : churn_bursts) {
+    BTMF_CHECK_MSG(finite_nonneg(f.time), "churn burst time must be >= 0");
+    BTMF_CHECK_MSG(f.kill_fraction >= 0.0 && f.kill_fraction <= 1.0,
+                   "churn kill_fraction must lie in [0, 1]");
+    BTMF_CHECK_MSG(f.progress_loss >= 0.0 && f.progress_loss <= 1.0,
+                   "churn progress_loss must lie in [0, 1]");
+    BTMF_CHECK_MSG(f.backoff_rate > 0.0,
+                   "churn backoff_rate must be positive");
+  }
+
+  windows.clear();
+  for (const BandwidthFault& f : bandwidth_faults) {
+    BTMF_CHECK_MSG(finite_nonneg(f.start),
+                   "bandwidth fault start must be >= 0");
+    BTMF_CHECK_MSG(std::isfinite(f.duration) && f.duration > 0.0,
+                   "bandwidth fault duration must be positive");
+    BTMF_CHECK_MSG(f.scale > 0.0 && f.scale <= 1.0,
+                   "bandwidth fault scale must lie in (0, 1]");
+    windows.emplace_back(f.start, f.start + f.duration);
+  }
+  check_disjoint(std::move(windows), "bandwidth");
+}
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& clause : util::split(spec, ';')) {
+    const std::string trimmed{util::trim(clause)};
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> parts = util::split(trimmed, ':');
+    const std::string kind = util::to_lower(util::trim(parts[0]));
+    const auto num = [&](std::size_t i) {
+      BTMF_CHECK_MSG(i < parts.size(), "fault clause '" + trimmed +
+                                           "' is missing a field");
+      return util::parse_double(util::trim(parts[i]),
+                                "fault clause '" + trimmed + "'");
+    };
+    if (kind == "tracker") {
+      TrackerOutageFault f;
+      f.start = num(1);
+      f.duration = num(2);
+      if (parts.size() > 3) {
+        const std::string mode = util::to_lower(util::trim(parts[3]));
+        if (mode == "drop") {
+          f.drop = true;
+        } else {
+          BTMF_CHECK_MSG(mode == "queue",
+                         "tracker mode must be 'drop' or 'queue', got '" +
+                             mode + "'");
+          if (parts.size() > 4) f.readmit_rate = num(4);
+        }
+      }
+      plan.tracker_outages.push_back(f);
+    } else if (kind == "seed") {
+      SeedFailureFault f;
+      f.start = num(1);
+      f.duration = num(2);
+      plan.seed_failures.push_back(f);
+    } else if (kind == "churn") {
+      ChurnBurstFault f;
+      f.time = num(1);
+      f.kill_fraction = num(2);
+      if (parts.size() > 3) f.progress_loss = num(3);
+      if (parts.size() > 4) f.backoff_rate = num(4);
+      plan.churn_bursts.push_back(f);
+    } else if (kind == "bw") {
+      BandwidthFault f;
+      f.start = num(1);
+      f.duration = num(2);
+      f.scale = num(3);
+      plan.bandwidth_faults.push_back(f);
+    } else {
+      BTMF_CHECK_MSG(false, "unknown fault kind '" + kind +
+                                "' (expected tracker|seed|churn|bw)");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace btmf::sim

@@ -23,7 +23,9 @@
 // stage transitions and Adapt ticks, exactly like the pre-refactor
 // engine's accumulate-then-reset cadence.
 #include <algorithm>
+#include <cmath>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -98,9 +100,12 @@ class CmfsdPolicy final : public SchemePolicy {
       // the pool changes take effect at t.
       vint_acc_ += vint_rate_ * (t - vint_last_);
       vint_last_ = t;
-      vint_rate_ = num_downloaders_ > 0
-                       ? virtual_bw_ / static_cast<double>(num_downloaders_)
-                       : 0.0;
+      // Physical bandwidths all carry the degradation scale; the pool
+      // accumulators stay unscaled and the scale applies at the end.
+      vint_rate_ =
+          num_downloaders_ > 0
+              ? bw_scale_ * virtual_bw_ / static_cast<double>(num_downloaders_)
+              : 0.0;
       const double pool =
           num_downloaders_ > 0
               ? (virtual_bw_ + seed_bw_) /
@@ -108,7 +113,9 @@ class CmfsdPolicy final : public SchemePolicy {
               : 0.0;
       for (std::size_t gid = 0; gid < group_key_.size(); ++gid) {
         kernel_->set_group_rate(
-            gid, std::min(group_key_[gid].first + pool, download_bw_), t);
+            gid,
+            bw_scale_ * std::min(group_key_[gid].first + pool, download_bw_),
+            t);
       }
     } else {
       refresh_local_pools(t);
@@ -121,6 +128,7 @@ class CmfsdPolicy final : public SchemePolicy {
     u.download_accum += t - u.stage_start;
     const bool was_partial = u.seq_pos > 0;
     if (u.adaptive) sync_received(u, t);  // before the subtorrent changes
+    u.done[u.seq_pos] = 1;  // stage s downloaded file u.files[s]
     ++u.seq_pos;
     if (u.seq_pos < u.cls) {
       if (!was_partial) {
@@ -180,6 +188,90 @@ class CmfsdPolicy final : public SchemePolicy {
   void on_policy_event(double t) override {
     adapt_tick(t);
     next_adapt_ += adapt_.period;
+  }
+
+  void on_fault_crash(std::size_t ui, double t) override {
+    (void)t;
+    SimUser& u = kernel_->user(ui);
+    if (u.state[0] == SlotState::kDownloading) {
+      kernel_->end_service(ui, 0);
+      if (u.seq_pos > 0) virtual_bw_ -= (1.0 - u.rho) * mu_;
+      --num_downloaders_;
+      kernel_->down_pop()[u.cls - 1] -= 1.0;
+      kernel_->remove_active_peers(1);
+    } else if (u.state[0] == SlotState::kSeeding) {
+      seed_bw_ -= mu_;
+      kernel_->seed_pop()[u.cls - 1] -= 1.0;
+      kernel_->remove_active_peers(1);
+    }
+    u.state[0] = SlotState::kIdle;
+    pools_dirty_ = true;
+  }
+
+  void on_fault_bandwidth(double scale, double t) override {
+    // The lazily-accumulated Adapt quantities elapsed at the old scale;
+    // fold them before swapping it.
+    vint_acc_ += vint_rate_ * (t - vint_last_);
+    vint_last_ = t;
+    for (unsigned s = 0; s < num_files_; ++s) {
+      wint_acc_[s] += wint_rate_[s] * (t - wint_last_);
+    }
+    wint_last_ = t;
+    for (const std::size_t ui : kernel_->live()) {
+      SimUser& u = kernel_->user(ui);
+      if (u.adaptive && u.state[0] == SlotState::kDownloading &&
+          u.seq_pos > 0) {
+        u.up_base += (1.0 - u.rho) * mu_ * bw_scale_ * (t - u.up_mark);
+        u.up_mark = t;
+      }
+    }
+    bw_scale_ = scale;
+    pools_dirty_ = true;
+  }
+
+  void audit(double /*t*/) override {
+    const auto fail = [](const std::string& why) {
+      throw AuditError("CMFSD audit failed: " + why);
+    };
+    constexpr double kTol = 1e-6;
+    double virtual_bw = 0.0;
+    double seed_bw = 0.0;
+    std::size_t downloaders = 0;
+    std::vector<double> down(num_files_, 0.0);
+    std::vector<double> seeds(num_files_, 0.0);
+    for (const std::size_t ui : kernel_->live()) {
+      const SimUser& u = kernel_->user(ui);
+      if (u.state[0] == SlotState::kDownloading) {
+        if (u.seq_pos >= u.cls) fail("downloading user past its last stage");
+        ++downloaders;
+        down[u.cls - 1] += 1.0;
+        if (u.seq_pos > 0) virtual_bw += (1.0 - u.rho) * mu_;
+      } else if (u.state[0] == SlotState::kSeeding) {
+        seed_bw += mu_;
+        seeds[u.cls - 1] += 1.0;
+      } else {
+        fail("live user with an idle slot");
+      }
+    }
+    if (downloaders != num_downloaders_) {
+      fail("downloader count diverged from the live list");
+    }
+    if (std::abs(virtual_bw - virtual_bw_) > kTol) {
+      fail("virtual-seed pool diverged from the partial seeds");
+    }
+    if (std::abs(seed_bw - seed_bw_) > kTol) {
+      fail("real-seed pool diverged from the seeding users");
+    }
+    for (unsigned k = 0; k < num_files_; ++k) {
+      if (std::abs(down[k] - kernel_->down_pop()[k]) > kTol) {
+        fail("downloader population of class " + std::to_string(k + 1) +
+             " diverged from the live list");
+      }
+      if (std::abs(seeds[k] - kernel_->seed_pop()[k]) > kTol) {
+        fail("seed population of class " + std::to_string(k + 1) +
+             " diverged from the live list");
+      }
+    }
   }
 
   [[nodiscard]] double little_divisor(double files) const override {
@@ -280,7 +372,7 @@ class CmfsdPolicy final : public SchemePolicy {
     for (unsigned s = 0; s < num_files_; ++s) {
       wint_rate_[s] =
           downloaders_per_sub_[s] > 0
-              ? virtual_per_sub_[s] /
+              ? bw_scale_ * virtual_per_sub_[s] /
                     static_cast<double>(downloaders_per_sub_[s])
               : 0.0;
     }
@@ -291,7 +383,8 @@ class CmfsdPolicy final : public SchemePolicy {
               ? pool_per_sub_[sub] /
                     static_cast<double>(downloaders_per_sub_[sub])
               : 0.0;
-      kernel_->set_group_rate(gid, std::min(tft + pool, download_bw_), t);
+      kernel_->set_group_rate(
+          gid, bw_scale_ * std::min(tft + pool, download_bw_), t);
     }
   }
 
@@ -308,7 +401,7 @@ class CmfsdPolicy final : public SchemePolicy {
       }
       if (!downloading || u.seq_pos == 0) continue;  // partial seeds only
       const double uploaded =
-          u.up_base + (1.0 - u.rho) * mu_ * (t - u.up_mark);
+          u.up_base + (1.0 - u.rho) * mu_ * bw_scale_ * (t - u.up_mark);
       const double received = u.rv_base + recv_integral(u, t) - u.rv_mark;
       const double delta = (uploaded - received) / adapt_.period;
       u.up_base = 0.0;
@@ -361,6 +454,7 @@ class CmfsdPolicy final : public SchemePolicy {
   bool local_pool_ = false;
   bool demand_aware_ = false;
   double next_adapt_ = kInf;
+  double bw_scale_ = 1.0;  ///< bandwidth-degradation multiplier on mu and c
 
   // Global pools, maintained incrementally.
   double virtual_bw_ = 0.0;   ///< sum (1 - rho) * mu over partial seeds

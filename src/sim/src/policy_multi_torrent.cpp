@@ -13,6 +13,8 @@
 // drains at (1/i) * sum of its torrents' R_T — a sum no single group rate
 // captures cheaply — so MfcdPolicy schedules completions itself with a
 // kinetic per-user heap over lazy per-torrent integrals (see below).
+#include <cmath>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -50,12 +52,15 @@ class TorrentPoolPolicy : public SchemePolicy {
     }
   }
 
-  /// The epoch's common download rate of `torrent` (0 when idle).
+  /// The epoch's common download rate of `torrent` (0 when idle). During a
+  /// bandwidth-degradation window every peer's mu and c scale together, so
+  /// scale * min(...) is exact and the pool accumulators stay unscaled.
   [[nodiscard]] double torrent_rate(unsigned torrent) const {
     if (downloader_count_[torrent] == 0 || weight_sum_[torrent] <= 0.0) {
       return 0.0;
     }
-    return std::min(eta_ * mu_ + seed_bw_[torrent] / weight_sum_[torrent],
+    return bw_scale_ *
+           std::min(eta_ * mu_ + seed_bw_[torrent] / weight_sum_[torrent],
                     download_bw_);
   }
 
@@ -73,14 +78,74 @@ class TorrentPoolPolicy : public SchemePolicy {
     mark_dirty(torrent);
   }
 
+  /// Recounts the per-torrent pools and the kernel's per-class populations
+  /// from the live users' slot states and compares against the incremental
+  /// bookkeeping. `split` is true for the schemes whose per-slot share is
+  /// 1/cls (MTCD, MFCD) and false for MTSD's full-bandwidth stages.
+  void audit_shared_pools(bool split) const {
+    const auto fail = [](const std::string& why) {
+      throw AuditError("torrent-pool audit failed: " + why);
+    };
+    constexpr double kTol = 1e-6;
+    std::vector<double> weight(num_files_, 0.0);
+    std::vector<double> seed_bw(num_files_, 0.0);
+    std::vector<std::size_t> count(num_files_, 0);
+    std::vector<double> down(num_files_, 0.0);
+    std::vector<double> seeds(num_files_, 0.0);
+    for (const std::size_t ui : kernel_->live()) {
+      const SimUser& u = kernel_->user(ui);
+      const double share = split ? 1.0 / static_cast<double>(u.cls) : 1.0;
+      for (unsigned f = 0; f < u.cls; ++f) {
+        if (u.state[f] == SlotState::kDownloading) {
+          weight[u.files[f]] += share;
+          ++count[u.files[f]];
+          down[u.cls - 1] += 1.0;
+        } else if (u.state[f] == SlotState::kSeeding) {
+          seed_bw[u.files[f]] += mu_ * share;
+          seeds[u.cls - 1] += 1.0;
+        }
+      }
+    }
+    for (unsigned f = 0; f < num_files_; ++f) {
+      if (count[f] != downloader_count_[f]) {
+        fail("downloader count of torrent " + std::to_string(f) +
+             " diverged from the live slots");
+      }
+      if (std::abs(weight[f] - weight_sum_[f]) > kTol) {
+        fail("weight sum of torrent " + std::to_string(f) +
+             " diverged from the live slots");
+      }
+      if (std::abs(seed_bw[f] - seed_bw_[f]) > kTol) {
+        fail("seed bandwidth of torrent " + std::to_string(f) +
+             " diverged from the seeding slots");
+      }
+      if (std::abs(down[f] - kernel_->down_pop()[f]) > kTol) {
+        fail("downloader population of class " + std::to_string(f + 1) +
+             " diverged from the live slots");
+      }
+      if (std::abs(seeds[f] - kernel_->seed_pop()[f]) > kTol) {
+        fail("seed population of class " + std::to_string(f + 1) +
+             " diverged from the seeding slots");
+      }
+    }
+  }
+
   unsigned num_files_ = 0;
   double mu_ = 0.0, eta_ = 0.0, gamma_ = 0.0;
   double download_bw_ = 0.0, file_size_ = 0.0;
+  double bw_scale_ = 1.0;  ///< bandwidth-degradation multiplier on mu and c
   std::vector<double> weight_sum_;
   std::vector<double> seed_bw_;
   std::vector<std::size_t> downloader_count_;
   std::vector<bool> dirty_;
   std::vector<unsigned> dirty_list_;
+
+ public:
+  void on_fault_bandwidth(double scale, double /*t*/) override {
+    bw_scale_ = scale;
+    // Every torrent's rate changes; refresh_rates re-derives them all.
+    for (unsigned f = 0; f < num_files_; ++f) mark_dirty(f);
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -116,6 +181,7 @@ class MtcdPolicy final : public TorrentPoolPolicy {
     // The virtual peer turns into a seed of its torrent with an
     // independent Exp(gamma) residence (paper Sec. 3.2 semantics).
     u.state[slot] = SlotState::kSeeding;
+    u.done[slot] = 1;
     seed_bw_[torrent] += mu_ / static_cast<double>(u.cls);
     u.last_completion = t;
     kernel_->down_pop()[u.cls - 1] -= 1.0;
@@ -151,6 +217,31 @@ class MtcdPolicy final : public TorrentPoolPolicy {
       kernel_->retire_user(ui, t, u.last_completion - u.arrival, 0.0, false);
     }
   }
+
+  void on_fault_crash(std::size_t ui, double t) override {
+    (void)t;
+    SimUser& u = kernel_->user(ui);
+    const double cls = static_cast<double>(u.cls);
+    for (unsigned f = 0; f < u.cls; ++f) {
+      if (u.state[f] == SlotState::kDownloading) {
+        kernel_->end_service(ui, f);
+        remove_downloader(u.files[f], 1.0 / cls);
+        kernel_->down_pop()[u.cls - 1] -= 1.0;
+        kernel_->remove_active_peers(1);
+      } else if (u.state[f] == SlotState::kSeeding) {
+        // Queued seed departures of this slot go stale; the kernel skips
+        // them because the slot is no longer kSeeding.
+        seed_bw_[u.files[f]] -= mu_ / cls;
+        mark_dirty(u.files[f]);
+        kernel_->seed_pop()[u.cls - 1] -= 1.0;
+        kernel_->remove_active_peers(1);
+      }
+      u.state[f] = SlotState::kIdle;
+    }
+    u.live_parts = 0;
+  }
+
+  void audit(double /*t*/) override { audit_shared_pools(true); }
 
   [[nodiscard]] double little_divisor(double files) const override {
     return files * files;
@@ -200,6 +291,7 @@ class MtsdPolicy final : public TorrentPoolPolicy {
     const unsigned torrent = u.files[slot];
     remove_downloader(torrent, 1.0);
     u.state[slot] = SlotState::kSeeding;
+    u.done[slot] = 1;
     u.download_accum += t - u.stage_start;
     seed_bw_[torrent] += mu_;  // full bandwidth while seeding
     u.last_completion = t;
@@ -238,6 +330,29 @@ class MtsdPolicy final : public TorrentPoolPolicy {
     // The user walks away from its whole queue.
     kernel_->retire_user(ui, t, u.download_accum, 0.0, false);
   }
+
+  void on_fault_crash(std::size_t ui, double t) override {
+    (void)t;
+    SimUser& u = kernel_->user(ui);
+    // Exactly one slot is active at a time in the sequential scheme, but
+    // the teardown sweeps them all for robustness.
+    for (unsigned f = 0; f < u.cls; ++f) {
+      if (u.state[f] == SlotState::kDownloading) {
+        kernel_->end_service(ui, f);
+        remove_downloader(u.files[f], 1.0);
+        kernel_->down_pop()[u.cls - 1] -= 1.0;
+        kernel_->remove_active_peers(1);
+      } else if (u.state[f] == SlotState::kSeeding) {
+        seed_bw_[u.files[f]] -= mu_;
+        mark_dirty(u.files[f]);
+        kernel_->seed_pop()[u.cls - 1] -= 1.0;
+        kernel_->remove_active_peers(1);
+      }
+      u.state[f] = SlotState::kIdle;
+    }
+  }
+
+  void audit(double /*t*/) override { audit_shared_pools(false); }
 
   [[nodiscard]] double little_divisor(double files) const override {
     return files;
@@ -384,6 +499,71 @@ class MfcdPolicy final : public TorrentPoolPolicy {
     kernel_->retire_user(ui, t, 0.0, 0.0, false);
   }
 
+  void on_fault_crash(std::size_t ui, double t) override {
+    (void)t;
+    SimUser& u = kernel_->user(ui);
+    wakes_.erase(ui);
+    const double cls = static_cast<double>(u.cls);
+    for (unsigned f = 0; f < u.cls; ++f) {
+      if (u.state[f] == SlotState::kDownloading) {
+        drop_member(u, f);
+        remove_downloader(u.files[f], 1.0 / cls);
+        kernel_->down_pop()[u.cls - 1] -= 1.0;
+        kernel_->remove_active_peers(1);
+      } else if (u.state[f] == SlotState::kSeeding) {
+        seed_bw_[u.files[f]] -= mu_ / cls;
+        mark_dirty(u.files[f]);
+        kernel_->seed_pop()[u.cls - 1] -= 1.0;
+        kernel_->remove_active_peers(1);
+      }
+      u.state[f] = SlotState::kIdle;
+    }
+  }
+
+  /// MFCD schedules completions itself; the kernel auditor must not
+  /// expect per-slot service-group entries.
+  [[nodiscard]] bool kernel_scheduled() const override { return false; }
+
+  void audit(double /*t*/) override {
+    audit_shared_pools(true);
+    const auto fail = [](const std::string& why) {
+      throw AuditError("MFCD audit failed: " + why);
+    };
+    std::string reason;
+    if (!wakes_.validate(&reason)) fail("wake heap: " + reason);
+    std::size_t member_entries = 0;
+    for (unsigned torrent = 0; torrent < num_files_; ++torrent) {
+      if (bound_[torrent] + 1e-12 < rate_[torrent]) {
+        fail("bound of torrent " + std::to_string(torrent) +
+             " fell below its rate");
+      }
+      member_entries += members_[torrent].size();
+      for (std::size_t at = 0; at < members_[torrent].size(); ++at) {
+        const auto [ui, slot] = members_[torrent][at];
+        const SimUser& u = kernel_->user(ui);
+        if (slot >= u.cls || u.files[slot] != torrent) {
+          fail("member entry does not match its user's file set");
+        }
+        if (u.state[slot] != SlotState::kDownloading) {
+          fail("member entry for a slot that is not downloading");
+        }
+        if (u.gid[slot] != at) {
+          fail("member position cross-reference broken");
+        }
+      }
+    }
+    std::size_t downloading_slots = 0;
+    for (const std::size_t ui : kernel_->live()) {
+      const SimUser& u = kernel_->user(ui);
+      for (unsigned f = 0; f < u.cls; ++f) {
+        if (u.state[f] == SlotState::kDownloading) ++downloading_slots;
+      }
+    }
+    if (member_entries != downloading_slots) {
+      fail("member lists and downloading slots disagree");
+    }
+  }
+
   [[nodiscard]] double little_divisor(double files) const override {
     return files * files;
   }
@@ -450,6 +630,7 @@ class MfcdPolicy final : public TorrentPoolPolicy {
       drop_member(u, f);
       remove_downloader(torrent, 1.0 / cls);
       u.state[f] = SlotState::kSeeding;
+      u.done[f] = 1;
       seed_bw_[torrent] += mu_ / cls;
     }
     u.last_completion = t;

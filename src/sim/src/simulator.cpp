@@ -1,11 +1,17 @@
 #include "btmf/sim/simulator.h"
 
+#include <exception>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "btmf/math/stats.h"
 #include "btmf/parallel/parallel_for.h"
 #include "btmf/parallel/seeds.h"
 #include "btmf/sim/cmfsd_sim.h"
 #include "btmf/sim/multi_torrent_sim.h"
 #include "btmf/util/check.h"
+#include "btmf/util/error.h"
 
 namespace btmf::sim {
 
@@ -44,6 +50,7 @@ void SimConfig::validate() const {
         adapt.initial_rho >= 0.0 && adapt.initial_rho <= 1.0,
         "adapt.initial_rho must lie in [0, 1]");
   }
+  faults.validate();
 }
 
 SimResult run_simulation(const SimConfig& config) {
@@ -57,13 +64,42 @@ ReplicationSummary run_replications(const SimConfig& config,
                                     std::size_t num_replications,
                                     parallel::ThreadPool& pool) {
   BTMF_CHECK_MSG(num_replications >= 1, "need at least one replication");
-  ReplicationSummary summary;
-  summary.runs.resize(num_replications);
+  // Replications are isolated: one seed hitting a solver divergence or a
+  // runaway population must not discard its siblings' work. Each slot
+  // records either a result or the failure, and the aggregates below run
+  // over the survivors.
+  std::vector<SimResult> runs(num_replications);
+  std::vector<std::uint64_t> seeds(num_replications, 0);
+  std::vector<std::string> errors(num_replications);
+  std::vector<char> failed(num_replications, 0);
   parallel::parallel_for(pool, 0, num_replications, [&](std::size_t r) {
     SimConfig rep = config;
     rep.seed = parallel::derive_seed(config.seed, r);
-    summary.runs[r] = run_simulation(rep);
+    seeds[r] = rep.seed;
+    try {
+      runs[r] = run_simulation(rep);
+    } catch (const std::exception& e) {
+      failed[r] = 1;
+      errors[r] = e.what();
+    }
   });
+
+  ReplicationSummary summary;
+  for (std::size_t r = 0; r < num_replications; ++r) {
+    if (failed[r] != 0) {
+      summary.failures.push_back({r, seeds[r], errors[r]});
+    } else {
+      summary.runs.push_back(std::move(runs[r]));
+    }
+  }
+  if (summary.runs.empty()) {
+    throw SolverError("all " + std::to_string(num_replications) +
+                      " replications failed; first failure (replication " +
+                      std::to_string(summary.failures.front().index) +
+                      ", seed " +
+                      std::to_string(summary.failures.front().seed) +
+                      "): " + summary.failures.front().message);
+  }
 
   math::RunningStats online, download;
   const unsigned num_classes = config.num_files;
@@ -85,9 +121,9 @@ ReplicationSummary run_replications(const SimConfig& config,
   }
   summary.mean_online_per_file = online.mean();
   summary.mean_download_per_file = download.mean();
-  // A single replication has no across-run variance; report exactly 0
-  // rather than trusting the n-1 divisor path with n == 1.
-  if (num_replications > 1) {
+  // A single surviving replication has no across-run variance; report
+  // exactly 0 rather than trusting the n-1 divisor path with n == 1.
+  if (summary.runs.size() > 1) {
     summary.stderr_online_per_file = online.stderr_mean();
     summary.stderr_download_per_file = download.stderr_mean();
   }

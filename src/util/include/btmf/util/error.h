@@ -37,4 +37,14 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// An internal consistency audit failed: a data structure invariant of the
+/// simulator (service-group integrals, heap cross-references, population
+/// bookkeeping) was violated. Always indicates a bug in btmf itself, never
+/// bad user input; thrown by the paranoid auditor so corruption is caught
+/// at the event that caused it.
+class AuditError : public Error {
+ public:
+  explicit AuditError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace btmf
