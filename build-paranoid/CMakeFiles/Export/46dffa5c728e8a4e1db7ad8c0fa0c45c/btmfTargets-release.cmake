@@ -1,0 +1,69 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "btmf::btmf_util" for configuration "Release"
+set_property(TARGET btmf::btmf_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(btmf::btmf_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libbtmf_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets btmf::btmf_util )
+list(APPEND _cmake_import_check_files_for_btmf::btmf_util "${_IMPORT_PREFIX}/lib/libbtmf_util.a" )
+
+# Import target "btmf::btmf_parallel" for configuration "Release"
+set_property(TARGET btmf::btmf_parallel APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(btmf::btmf_parallel PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libbtmf_parallel.a"
+  )
+
+list(APPEND _cmake_import_check_targets btmf::btmf_parallel )
+list(APPEND _cmake_import_check_files_for_btmf::btmf_parallel "${_IMPORT_PREFIX}/lib/libbtmf_parallel.a" )
+
+# Import target "btmf::btmf_math" for configuration "Release"
+set_property(TARGET btmf::btmf_math APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(btmf::btmf_math PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libbtmf_math.a"
+  )
+
+list(APPEND _cmake_import_check_targets btmf::btmf_math )
+list(APPEND _cmake_import_check_files_for_btmf::btmf_math "${_IMPORT_PREFIX}/lib/libbtmf_math.a" )
+
+# Import target "btmf::btmf_fluid" for configuration "Release"
+set_property(TARGET btmf::btmf_fluid APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(btmf::btmf_fluid PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libbtmf_fluid.a"
+  )
+
+list(APPEND _cmake_import_check_targets btmf::btmf_fluid )
+list(APPEND _cmake_import_check_files_for_btmf::btmf_fluid "${_IMPORT_PREFIX}/lib/libbtmf_fluid.a" )
+
+# Import target "btmf::btmf_sim" for configuration "Release"
+set_property(TARGET btmf::btmf_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(btmf::btmf_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libbtmf_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets btmf::btmf_sim )
+list(APPEND _cmake_import_check_files_for_btmf::btmf_sim "${_IMPORT_PREFIX}/lib/libbtmf_sim.a" )
+
+# Import target "btmf::btmf_core" for configuration "Release"
+set_property(TARGET btmf::btmf_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(btmf::btmf_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libbtmf_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets btmf::btmf_core )
+list(APPEND _cmake_import_check_files_for_btmf::btmf_core "${_IMPORT_PREFIX}/lib/libbtmf_core.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/evaluate.cpp" "src/core/CMakeFiles/btmf_core.dir/src/evaluate.cpp.o" "gcc" "src/core/CMakeFiles/btmf_core.dir/src/evaluate.cpp.o.d"
+  "/root/repo/src/core/src/experiments.cpp" "src/core/CMakeFiles/btmf_core.dir/src/experiments.cpp.o" "gcc" "src/core/CMakeFiles/btmf_core.dir/src/experiments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-paranoid/src/fluid/CMakeFiles/btmf_fluid.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/math/CMakeFiles/btmf_math.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/parallel/CMakeFiles/btmf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/util/CMakeFiles/btmf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

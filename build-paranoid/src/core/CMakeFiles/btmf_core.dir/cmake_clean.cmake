@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btmf_core.dir/src/evaluate.cpp.o"
+  "CMakeFiles/btmf_core.dir/src/evaluate.cpp.o.d"
+  "CMakeFiles/btmf_core.dir/src/experiments.cpp.o"
+  "CMakeFiles/btmf_core.dir/src/experiments.cpp.o.d"
+  "libbtmf_core.a"
+  "libbtmf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btmf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluid/src/adapt_fluid.cpp" "src/fluid/CMakeFiles/btmf_fluid.dir/src/adapt_fluid.cpp.o" "gcc" "src/fluid/CMakeFiles/btmf_fluid.dir/src/adapt_fluid.cpp.o.d"
+  "/root/repo/src/fluid/src/cmfsd.cpp" "src/fluid/CMakeFiles/btmf_fluid.dir/src/cmfsd.cpp.o" "gcc" "src/fluid/CMakeFiles/btmf_fluid.dir/src/cmfsd.cpp.o.d"
+  "/root/repo/src/fluid/src/correlation.cpp" "src/fluid/CMakeFiles/btmf_fluid.dir/src/correlation.cpp.o" "gcc" "src/fluid/CMakeFiles/btmf_fluid.dir/src/correlation.cpp.o.d"
+  "/root/repo/src/fluid/src/extended.cpp" "src/fluid/CMakeFiles/btmf_fluid.dir/src/extended.cpp.o" "gcc" "src/fluid/CMakeFiles/btmf_fluid.dir/src/extended.cpp.o.d"
+  "/root/repo/src/fluid/src/hetero.cpp" "src/fluid/CMakeFiles/btmf_fluid.dir/src/hetero.cpp.o" "gcc" "src/fluid/CMakeFiles/btmf_fluid.dir/src/hetero.cpp.o.d"
+  "/root/repo/src/fluid/src/incentives.cpp" "src/fluid/CMakeFiles/btmf_fluid.dir/src/incentives.cpp.o" "gcc" "src/fluid/CMakeFiles/btmf_fluid.dir/src/incentives.cpp.o.d"
+  "/root/repo/src/fluid/src/metrics.cpp" "src/fluid/CMakeFiles/btmf_fluid.dir/src/metrics.cpp.o" "gcc" "src/fluid/CMakeFiles/btmf_fluid.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/fluid/src/mfcd.cpp" "src/fluid/CMakeFiles/btmf_fluid.dir/src/mfcd.cpp.o" "gcc" "src/fluid/CMakeFiles/btmf_fluid.dir/src/mfcd.cpp.o.d"
+  "/root/repo/src/fluid/src/mtcd.cpp" "src/fluid/CMakeFiles/btmf_fluid.dir/src/mtcd.cpp.o" "gcc" "src/fluid/CMakeFiles/btmf_fluid.dir/src/mtcd.cpp.o.d"
+  "/root/repo/src/fluid/src/mtsd.cpp" "src/fluid/CMakeFiles/btmf_fluid.dir/src/mtsd.cpp.o" "gcc" "src/fluid/CMakeFiles/btmf_fluid.dir/src/mtsd.cpp.o.d"
+  "/root/repo/src/fluid/src/params.cpp" "src/fluid/CMakeFiles/btmf_fluid.dir/src/params.cpp.o" "gcc" "src/fluid/CMakeFiles/btmf_fluid.dir/src/params.cpp.o.d"
+  "/root/repo/src/fluid/src/single_torrent.cpp" "src/fluid/CMakeFiles/btmf_fluid.dir/src/single_torrent.cpp.o" "gcc" "src/fluid/CMakeFiles/btmf_fluid.dir/src/single_torrent.cpp.o.d"
+  "/root/repo/src/fluid/src/transient.cpp" "src/fluid/CMakeFiles/btmf_fluid.dir/src/transient.cpp.o" "gcc" "src/fluid/CMakeFiles/btmf_fluid.dir/src/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-paranoid/src/math/CMakeFiles/btmf_math.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/util/CMakeFiles/btmf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btmf_fluid.dir/src/adapt_fluid.cpp.o"
+  "CMakeFiles/btmf_fluid.dir/src/adapt_fluid.cpp.o.d"
+  "CMakeFiles/btmf_fluid.dir/src/cmfsd.cpp.o"
+  "CMakeFiles/btmf_fluid.dir/src/cmfsd.cpp.o.d"
+  "CMakeFiles/btmf_fluid.dir/src/correlation.cpp.o"
+  "CMakeFiles/btmf_fluid.dir/src/correlation.cpp.o.d"
+  "CMakeFiles/btmf_fluid.dir/src/extended.cpp.o"
+  "CMakeFiles/btmf_fluid.dir/src/extended.cpp.o.d"
+  "CMakeFiles/btmf_fluid.dir/src/hetero.cpp.o"
+  "CMakeFiles/btmf_fluid.dir/src/hetero.cpp.o.d"
+  "CMakeFiles/btmf_fluid.dir/src/incentives.cpp.o"
+  "CMakeFiles/btmf_fluid.dir/src/incentives.cpp.o.d"
+  "CMakeFiles/btmf_fluid.dir/src/metrics.cpp.o"
+  "CMakeFiles/btmf_fluid.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/btmf_fluid.dir/src/mfcd.cpp.o"
+  "CMakeFiles/btmf_fluid.dir/src/mfcd.cpp.o.d"
+  "CMakeFiles/btmf_fluid.dir/src/mtcd.cpp.o"
+  "CMakeFiles/btmf_fluid.dir/src/mtcd.cpp.o.d"
+  "CMakeFiles/btmf_fluid.dir/src/mtsd.cpp.o"
+  "CMakeFiles/btmf_fluid.dir/src/mtsd.cpp.o.d"
+  "CMakeFiles/btmf_fluid.dir/src/params.cpp.o"
+  "CMakeFiles/btmf_fluid.dir/src/params.cpp.o.d"
+  "CMakeFiles/btmf_fluid.dir/src/single_torrent.cpp.o"
+  "CMakeFiles/btmf_fluid.dir/src/single_torrent.cpp.o.d"
+  "CMakeFiles/btmf_fluid.dir/src/transient.cpp.o"
+  "CMakeFiles/btmf_fluid.dir/src/transient.cpp.o.d"
+  "libbtmf_fluid.a"
+  "libbtmf_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btmf_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

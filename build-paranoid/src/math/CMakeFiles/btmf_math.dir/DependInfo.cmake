@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/src/equilibrium.cpp" "src/math/CMakeFiles/btmf_math.dir/src/equilibrium.cpp.o" "gcc" "src/math/CMakeFiles/btmf_math.dir/src/equilibrium.cpp.o.d"
+  "/root/repo/src/math/src/matrix.cpp" "src/math/CMakeFiles/btmf_math.dir/src/matrix.cpp.o" "gcc" "src/math/CMakeFiles/btmf_math.dir/src/matrix.cpp.o.d"
+  "/root/repo/src/math/src/newton.cpp" "src/math/CMakeFiles/btmf_math.dir/src/newton.cpp.o" "gcc" "src/math/CMakeFiles/btmf_math.dir/src/newton.cpp.o.d"
+  "/root/repo/src/math/src/ode.cpp" "src/math/CMakeFiles/btmf_math.dir/src/ode.cpp.o" "gcc" "src/math/CMakeFiles/btmf_math.dir/src/ode.cpp.o.d"
+  "/root/repo/src/math/src/roots.cpp" "src/math/CMakeFiles/btmf_math.dir/src/roots.cpp.o" "gcc" "src/math/CMakeFiles/btmf_math.dir/src/roots.cpp.o.d"
+  "/root/repo/src/math/src/special.cpp" "src/math/CMakeFiles/btmf_math.dir/src/special.cpp.o" "gcc" "src/math/CMakeFiles/btmf_math.dir/src/special.cpp.o.d"
+  "/root/repo/src/math/src/stats.cpp" "src/math/CMakeFiles/btmf_math.dir/src/stats.cpp.o" "gcc" "src/math/CMakeFiles/btmf_math.dir/src/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-paranoid/src/util/CMakeFiles/btmf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btmf_math.dir/src/equilibrium.cpp.o"
+  "CMakeFiles/btmf_math.dir/src/equilibrium.cpp.o.d"
+  "CMakeFiles/btmf_math.dir/src/matrix.cpp.o"
+  "CMakeFiles/btmf_math.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/btmf_math.dir/src/newton.cpp.o"
+  "CMakeFiles/btmf_math.dir/src/newton.cpp.o.d"
+  "CMakeFiles/btmf_math.dir/src/ode.cpp.o"
+  "CMakeFiles/btmf_math.dir/src/ode.cpp.o.d"
+  "CMakeFiles/btmf_math.dir/src/roots.cpp.o"
+  "CMakeFiles/btmf_math.dir/src/roots.cpp.o.d"
+  "CMakeFiles/btmf_math.dir/src/special.cpp.o"
+  "CMakeFiles/btmf_math.dir/src/special.cpp.o.d"
+  "CMakeFiles/btmf_math.dir/src/stats.cpp.o"
+  "CMakeFiles/btmf_math.dir/src/stats.cpp.o.d"
+  "libbtmf_math.a"
+  "libbtmf_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btmf_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

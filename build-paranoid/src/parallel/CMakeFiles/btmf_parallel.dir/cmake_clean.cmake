@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btmf_parallel.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/btmf_parallel.dir/src/thread_pool.cpp.o.d"
+  "libbtmf_parallel.a"
+  "libbtmf_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btmf_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

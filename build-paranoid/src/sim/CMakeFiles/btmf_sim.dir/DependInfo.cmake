@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/chunk_sim.cpp" "src/sim/CMakeFiles/btmf_sim.dir/src/chunk_sim.cpp.o" "gcc" "src/sim/CMakeFiles/btmf_sim.dir/src/chunk_sim.cpp.o.d"
+  "/root/repo/src/sim/src/cmfsd_sim.cpp" "src/sim/CMakeFiles/btmf_sim.dir/src/cmfsd_sim.cpp.o" "gcc" "src/sim/CMakeFiles/btmf_sim.dir/src/cmfsd_sim.cpp.o.d"
+  "/root/repo/src/sim/src/event_kernel.cpp" "src/sim/CMakeFiles/btmf_sim.dir/src/event_kernel.cpp.o" "gcc" "src/sim/CMakeFiles/btmf_sim.dir/src/event_kernel.cpp.o.d"
+  "/root/repo/src/sim/src/faults.cpp" "src/sim/CMakeFiles/btmf_sim.dir/src/faults.cpp.o" "gcc" "src/sim/CMakeFiles/btmf_sim.dir/src/faults.cpp.o.d"
+  "/root/repo/src/sim/src/multi_torrent_sim.cpp" "src/sim/CMakeFiles/btmf_sim.dir/src/multi_torrent_sim.cpp.o" "gcc" "src/sim/CMakeFiles/btmf_sim.dir/src/multi_torrent_sim.cpp.o.d"
+  "/root/repo/src/sim/src/policy_cmfsd.cpp" "src/sim/CMakeFiles/btmf_sim.dir/src/policy_cmfsd.cpp.o" "gcc" "src/sim/CMakeFiles/btmf_sim.dir/src/policy_cmfsd.cpp.o.d"
+  "/root/repo/src/sim/src/policy_multi_torrent.cpp" "src/sim/CMakeFiles/btmf_sim.dir/src/policy_multi_torrent.cpp.o" "gcc" "src/sim/CMakeFiles/btmf_sim.dir/src/policy_multi_torrent.cpp.o.d"
+  "/root/repo/src/sim/src/simulator.cpp" "src/sim/CMakeFiles/btmf_sim.dir/src/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/btmf_sim.dir/src/simulator.cpp.o.d"
+  "/root/repo/src/sim/src/stats.cpp" "src/sim/CMakeFiles/btmf_sim.dir/src/stats.cpp.o" "gcc" "src/sim/CMakeFiles/btmf_sim.dir/src/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-paranoid/src/fluid/CMakeFiles/btmf_fluid.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/math/CMakeFiles/btmf_math.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/parallel/CMakeFiles/btmf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/util/CMakeFiles/btmf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

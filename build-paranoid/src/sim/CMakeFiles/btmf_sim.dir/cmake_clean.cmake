@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btmf_sim.dir/src/chunk_sim.cpp.o"
+  "CMakeFiles/btmf_sim.dir/src/chunk_sim.cpp.o.d"
+  "CMakeFiles/btmf_sim.dir/src/cmfsd_sim.cpp.o"
+  "CMakeFiles/btmf_sim.dir/src/cmfsd_sim.cpp.o.d"
+  "CMakeFiles/btmf_sim.dir/src/event_kernel.cpp.o"
+  "CMakeFiles/btmf_sim.dir/src/event_kernel.cpp.o.d"
+  "CMakeFiles/btmf_sim.dir/src/faults.cpp.o"
+  "CMakeFiles/btmf_sim.dir/src/faults.cpp.o.d"
+  "CMakeFiles/btmf_sim.dir/src/multi_torrent_sim.cpp.o"
+  "CMakeFiles/btmf_sim.dir/src/multi_torrent_sim.cpp.o.d"
+  "CMakeFiles/btmf_sim.dir/src/policy_cmfsd.cpp.o"
+  "CMakeFiles/btmf_sim.dir/src/policy_cmfsd.cpp.o.d"
+  "CMakeFiles/btmf_sim.dir/src/policy_multi_torrent.cpp.o"
+  "CMakeFiles/btmf_sim.dir/src/policy_multi_torrent.cpp.o.d"
+  "CMakeFiles/btmf_sim.dir/src/simulator.cpp.o"
+  "CMakeFiles/btmf_sim.dir/src/simulator.cpp.o.d"
+  "CMakeFiles/btmf_sim.dir/src/stats.cpp.o"
+  "CMakeFiles/btmf_sim.dir/src/stats.cpp.o.d"
+  "libbtmf_sim.a"
+  "libbtmf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btmf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/src/cli.cpp" "src/util/CMakeFiles/btmf_util.dir/src/cli.cpp.o" "gcc" "src/util/CMakeFiles/btmf_util.dir/src/cli.cpp.o.d"
+  "/root/repo/src/util/src/logging.cpp" "src/util/CMakeFiles/btmf_util.dir/src/logging.cpp.o" "gcc" "src/util/CMakeFiles/btmf_util.dir/src/logging.cpp.o.d"
+  "/root/repo/src/util/src/strings.cpp" "src/util/CMakeFiles/btmf_util.dir/src/strings.cpp.o" "gcc" "src/util/CMakeFiles/btmf_util.dir/src/strings.cpp.o.d"
+  "/root/repo/src/util/src/table.cpp" "src/util/CMakeFiles/btmf_util.dir/src/table.cpp.o" "gcc" "src/util/CMakeFiles/btmf_util.dir/src/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btmf_util.dir/src/cli.cpp.o"
+  "CMakeFiles/btmf_util.dir/src/cli.cpp.o.d"
+  "CMakeFiles/btmf_util.dir/src/logging.cpp.o"
+  "CMakeFiles/btmf_util.dir/src/logging.cpp.o.d"
+  "CMakeFiles/btmf_util.dir/src/strings.cpp.o"
+  "CMakeFiles/btmf_util.dir/src/strings.cpp.o.d"
+  "CMakeFiles/btmf_util.dir/src/table.cpp.o"
+  "CMakeFiles/btmf_util.dir/src/table.cpp.o.d"
+  "libbtmf_util.a"
+  "libbtmf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btmf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

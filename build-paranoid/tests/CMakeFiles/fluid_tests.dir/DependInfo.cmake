@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fluid/abort_aware_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/abort_aware_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/abort_aware_test.cpp.o.d"
+  "/root/repo/tests/fluid/adapt_fluid_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/adapt_fluid_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/adapt_fluid_test.cpp.o.d"
+  "/root/repo/tests/fluid/cmfsd_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/cmfsd_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/cmfsd_test.cpp.o.d"
+  "/root/repo/tests/fluid/correlation_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/correlation_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/correlation_test.cpp.o.d"
+  "/root/repo/tests/fluid/extended_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/extended_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/extended_test.cpp.o.d"
+  "/root/repo/tests/fluid/hetero_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/hetero_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/hetero_test.cpp.o.d"
+  "/root/repo/tests/fluid/incentives_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/incentives_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/incentives_test.cpp.o.d"
+  "/root/repo/tests/fluid/metrics_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/metrics_test.cpp.o.d"
+  "/root/repo/tests/fluid/mfcd_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/mfcd_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/mfcd_test.cpp.o.d"
+  "/root/repo/tests/fluid/mtcd_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/mtcd_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/mtcd_test.cpp.o.d"
+  "/root/repo/tests/fluid/mtsd_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/mtsd_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/mtsd_test.cpp.o.d"
+  "/root/repo/tests/fluid/properties_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/properties_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/properties_test.cpp.o.d"
+  "/root/repo/tests/fluid/randomized_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/randomized_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/randomized_test.cpp.o.d"
+  "/root/repo/tests/fluid/single_torrent_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/single_torrent_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/single_torrent_test.cpp.o.d"
+  "/root/repo/tests/fluid/transient_test.cpp" "tests/CMakeFiles/fluid_tests.dir/fluid/transient_test.cpp.o" "gcc" "tests/CMakeFiles/fluid_tests.dir/fluid/transient_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-paranoid/src/core/CMakeFiles/btmf_core.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/sim/CMakeFiles/btmf_sim.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/fluid/CMakeFiles/btmf_fluid.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/math/CMakeFiles/btmf_math.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/parallel/CMakeFiles/btmf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/util/CMakeFiles/btmf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/math/equilibrium_test.cpp" "tests/CMakeFiles/math_tests.dir/math/equilibrium_test.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/equilibrium_test.cpp.o.d"
+  "/root/repo/tests/math/matrix_test.cpp" "tests/CMakeFiles/math_tests.dir/math/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/matrix_test.cpp.o.d"
+  "/root/repo/tests/math/newton_test.cpp" "tests/CMakeFiles/math_tests.dir/math/newton_test.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/newton_test.cpp.o.d"
+  "/root/repo/tests/math/ode_test.cpp" "tests/CMakeFiles/math_tests.dir/math/ode_test.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/ode_test.cpp.o.d"
+  "/root/repo/tests/math/roots_test.cpp" "tests/CMakeFiles/math_tests.dir/math/roots_test.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/roots_test.cpp.o.d"
+  "/root/repo/tests/math/special_test.cpp" "tests/CMakeFiles/math_tests.dir/math/special_test.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/special_test.cpp.o.d"
+  "/root/repo/tests/math/stats_test.cpp" "tests/CMakeFiles/math_tests.dir/math/stats_test.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/stats_test.cpp.o.d"
+  "/root/repo/tests/math/vec_test.cpp" "tests/CMakeFiles/math_tests.dir/math/vec_test.cpp.o" "gcc" "tests/CMakeFiles/math_tests.dir/math/vec_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-paranoid/src/core/CMakeFiles/btmf_core.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/sim/CMakeFiles/btmf_sim.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/fluid/CMakeFiles/btmf_fluid.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/math/CMakeFiles/btmf_math.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/parallel/CMakeFiles/btmf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/util/CMakeFiles/btmf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

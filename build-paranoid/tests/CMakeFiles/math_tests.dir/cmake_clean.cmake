@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_tests.dir/math/equilibrium_test.cpp.o"
+  "CMakeFiles/math_tests.dir/math/equilibrium_test.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/matrix_test.cpp.o"
+  "CMakeFiles/math_tests.dir/math/matrix_test.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/newton_test.cpp.o"
+  "CMakeFiles/math_tests.dir/math/newton_test.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/ode_test.cpp.o"
+  "CMakeFiles/math_tests.dir/math/ode_test.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/roots_test.cpp.o"
+  "CMakeFiles/math_tests.dir/math/roots_test.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/special_test.cpp.o"
+  "CMakeFiles/math_tests.dir/math/special_test.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/stats_test.cpp.o"
+  "CMakeFiles/math_tests.dir/math/stats_test.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math/vec_test.cpp.o"
+  "CMakeFiles/math_tests.dir/math/vec_test.cpp.o.d"
+  "math_tests"
+  "math_tests.pdb"
+  "math_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_tests.dir/parallel/parallel_for_test.cpp.o"
+  "CMakeFiles/parallel_tests.dir/parallel/parallel_for_test.cpp.o.d"
+  "CMakeFiles/parallel_tests.dir/parallel/seeds_test.cpp.o"
+  "CMakeFiles/parallel_tests.dir/parallel/seeds_test.cpp.o.d"
+  "CMakeFiles/parallel_tests.dir/parallel/thread_pool_test.cpp.o"
+  "CMakeFiles/parallel_tests.dir/parallel/thread_pool_test.cpp.o.d"
+  "parallel_tests"
+  "parallel_tests.pdb"
+  "parallel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

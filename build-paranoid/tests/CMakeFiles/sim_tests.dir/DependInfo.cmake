@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/abort_bandwidth_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/abort_bandwidth_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/abort_bandwidth_test.cpp.o.d"
+  "/root/repo/tests/sim/adapt_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/adapt_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/adapt_test.cpp.o.d"
+  "/root/repo/tests/sim/chunk_sim_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/chunk_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/chunk_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/cmfsd_sim_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/cmfsd_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/cmfsd_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/config_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/config_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/config_test.cpp.o.d"
+  "/root/repo/tests/sim/determinism_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/determinism_test.cpp.o.d"
+  "/root/repo/tests/sim/fault_kernel_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/fault_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/fault_kernel_test.cpp.o.d"
+  "/root/repo/tests/sim/fault_sim_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/fault_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/fault_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/hetero_sim_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/hetero_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/hetero_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/multi_torrent_sim_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/multi_torrent_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/multi_torrent_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/rng_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/rng_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/rng_test.cpp.o.d"
+  "/root/repo/tests/sim/stats_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/stats_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-paranoid/src/core/CMakeFiles/btmf_core.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/sim/CMakeFiles/btmf_sim.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/fluid/CMakeFiles/btmf_fluid.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/math/CMakeFiles/btmf_math.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/parallel/CMakeFiles/btmf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-paranoid/src/util/CMakeFiles/btmf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/abort_bandwidth_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/abort_bandwidth_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/adapt_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/adapt_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/chunk_sim_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/chunk_sim_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/cmfsd_sim_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/cmfsd_sim_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/config_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/config_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/determinism_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/determinism_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/fault_kernel_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/fault_kernel_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/fault_sim_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/fault_sim_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/hetero_sim_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/hetero_sim_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/multi_torrent_sim_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/multi_torrent_sim_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/rng_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/rng_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/stats_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/stats_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-paranoid/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-paranoid/tests/util_tests[1]_include.cmake")
+include("/root/repo/build-paranoid/tests/parallel_tests[1]_include.cmake")
+include("/root/repo/build-paranoid/tests/math_tests[1]_include.cmake")
+include("/root/repo/build-paranoid/tests/fluid_tests[1]_include.cmake")
+include("/root/repo/build-paranoid/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build-paranoid/tests/core_tests[1]_include.cmake")
+include("/root/repo/build-paranoid/tests/integration_tests[1]_include.cmake")
