@@ -7,11 +7,13 @@
 //
 // Every subcommand accepts --help.
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "btmf/core/evaluate.h"
 #include "btmf/fluid/adapt_fluid.h"
+#include "btmf/obs/sink.h"
 #include "btmf/sim/faults.h"
 #include "btmf/sim/simulator.h"
 #include "btmf/util/cli.h"
@@ -120,6 +122,12 @@ int cmd_simulate(int argc, const char* const* argv) {
   parser.add_flag("adapt", "enable the Adapt rho controller");
   parser.add_flag("paranoid",
                   "audit the kernel's invariants after every event");
+  parser.add_option("metrics-out", "",
+                    "write a metrics + time-series JSON snapshot here");
+  parser.add_option("trace-out", "",
+                    "write a Chrome trace_event JSON here (load in Perfetto)");
+  parser.add_option("sample-dt", "0",
+                    "time-series sampling cadence (0 = horizon / 512)");
   if (!parser.parse(argc, argv)) return 0;
 
   const core::ScenarioConfig scenario = scenario_from(parser);
@@ -142,9 +150,36 @@ int cmd_simulate(int argc, const char* const* argv) {
     config.faults = sim::parse_fault_plan(parser.get("faults"));
   }
   config.paranoid = parser.get_flag("paranoid");
+
+  // Telemetry sinks: fail fast on unwritable paths before the long run.
+  const std::string metrics_out = parser.get("metrics-out");
+  const std::string trace_out = parser.get("trace-out");
+  if (!metrics_out.empty()) obs::require_writable_path(metrics_out);
+  if (!trace_out.empty()) obs::require_writable_path(trace_out);
+  obs::MetricsRegistry metrics;
+  obs::TimeSeriesRecorder recorder;
+  std::optional<obs::TraceWriter> trace;
+  if (!metrics_out.empty()) {
+    config.obs.metrics = &metrics;
+    config.obs.recorder = &recorder;
+  }
+  if (!trace_out.empty()) {
+    trace.emplace("btmf_tool simulate");
+    config.obs.trace = &*trace;
+  }
+  config.obs.sample_dt = parser.get_double("sample-dt");
   config.validate();  // reject bad rho/cheaters/theta/horizon/faults here
 
   const sim::SimResult r = sim::run_simulation(config);
+  if (!metrics_out.empty()) {
+    const obs::MetricsSnapshot snapshot = metrics.snapshot();
+    obs::write_combined_json(metrics_out, &snapshot, &recorder);
+    std::cout << "metrics + series written to " << metrics_out << '\n';
+  }
+  if (trace.has_value()) {
+    trace->write_file(trace_out);
+    std::cout << "trace written to " << trace_out << '\n';
+  }
   std::cout << "avg online time per file:   " << r.avg_online_per_file
             << "\navg download time per file: " << r.avg_download_per_file
             << "\nusers sampled / censored / aborted: " << r.total_users

@@ -24,6 +24,12 @@ struct EquilibriumOptions {
   AdaptiveOptions ode;          ///< tolerances for the transient solver
   bool polish_with_newton = true;
   bool clamp_nonnegative = true;  ///< populations cannot go negative
+
+  /// Optional Chrome-trace writer (non-owning, null = inert): each
+  /// escalation rung becomes an "equilibrium.rung" span and each Newton
+  /// polish an "equilibrium.newton" span; also forwarded to the transient
+  /// integrator (AdaptiveOptions::trace).
+  obs::TraceWriter* trace = nullptr;
 };
 
 struct EquilibriumResult {

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "btmf/obs/trace.h"
+
 namespace btmf::math {
 
 /// Right-hand side f(t, y) -> dy/dt, written into `dydt` (same length as y).
@@ -53,6 +55,13 @@ struct AdaptiveOptions {
   double max_dt = 0.0;         ///< 0 = no cap
   std::size_t max_steps = 1'000'000;
   bool clamp_nonnegative = false;  ///< clip tiny negative populations
+
+  /// Optional Chrome-trace writer (non-owning, null = inert): the whole
+  /// integration becomes one "ode.integrate" span stamped with the
+  /// accepted/rejected step counts. With trace_steps, every accepted step
+  /// additionally emits an instant event — verbose, debugging only.
+  obs::TraceWriter* trace = nullptr;
+  bool trace_steps = false;
 };
 
 struct AdaptiveResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
 
 #include "btmf/math/vec.h"
@@ -31,6 +32,7 @@ EquilibriumResult find_equilibrium(const OdeRhs& rhs, std::vector<double> y0,
 
   AdaptiveOptions ode = options.ode;
   ode.clamp_nonnegative = options.clamp_nonnegative;
+  if (options.trace != nullptr) ode.trace = options.trace;
 
   // Escalation ladder: rung 0 is the caller's configured strategy; if the
   // residual misses the tolerance, rungs 1 and 2 retry with more transient
@@ -45,6 +47,11 @@ EquilibriumResult find_equilibrium(const OdeRhs& rhs, std::vector<double> y0,
   double t = 0.0;
 
   for (int rung = 0; rung < kMaxRungs; ++rung) {
+    std::optional<obs::TraceWriter::Span> rung_span;
+    if (options.trace != nullptr) {
+      rung_span.emplace(options.trace->span("equilibrium.rung"));
+      rung_span->set_args("{\"rung\": " + std::to_string(rung) + "}");
+    }
     const std::size_t budget = rung == 0 ? options.max_chunks : 8;
     for (std::size_t c = 0; c < budget; ++c) {
       result.residual_inf = scaled_residual(rhs, result.y);
@@ -76,7 +83,18 @@ EquilibriumResult find_equilibrium(const OdeRhs& rhs, std::vector<double> y0,
       if (options.clamp_nonnegative) {
         newton.project = [](std::span<double> x) { clamp_nonnegative(x); };
       }
+      std::optional<obs::TraceWriter::Span> newton_span;
+      if (options.trace != nullptr) {
+        newton_span.emplace(options.trace->span("equilibrium.newton"));
+      }
       NewtonResult polished = newton_solve(field, result.y, newton);
+      if (newton_span.has_value()) {
+        newton_span->set_args(
+            "{\"iterations\": " + std::to_string(polished.iterations) +
+            ", \"converged\": " + (polished.converged ? "true" : "false") +
+            "}");
+        newton_span.reset();
+      }
       diag << ", newton " << polished.iterations << " iters "
            << (polished.converged ? "converged" : "stalled") << " at "
            << polished.residual_inf;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <sstream>
 
 #include "btmf/math/vec.h"
 #include "btmf/util/check.h"
@@ -112,6 +114,11 @@ AdaptiveResult integrate_dopri5(const OdeRhs& rhs, std::vector<double> y0,
   result.t = t0;
   if (t1 == t0 || n == 0) return result;
 
+  std::optional<obs::TraceWriter::Span> span;
+  if (options.trace != nullptr) {
+    span.emplace(options.trace->span("ode.integrate"));
+  }
+
   const double span_t = t1 - t0;
   double dt = options.initial_dt > 0.0 ? options.initial_dt : span_t / 100.0;
   const double max_dt = options.max_dt > 0.0 ? options.max_dt : span_t;
@@ -160,6 +167,11 @@ AdaptiveResult integrate_dopri5(const OdeRhs& rhs, std::vector<double> y0,
       result.y = y5;
       if (options.clamp_nonnegative) clamp_nonnegative(result.y);
       ++result.accepted_steps;
+      if (options.trace != nullptr && options.trace_steps) {
+        std::ostringstream args;
+        args << "{\"t\": " << result.t << ", \"dt\": " << dt << "}";
+        options.trace->instant("ode.step", args.str());
+      }
       if (observer) observer(result.t, result.y);
       // FSAL: k7 (== k[6]) evaluated at (t+dt, y5) is the next step's k1.
       // Clamping invalidates it, so re-evaluate in that case.
@@ -184,6 +196,13 @@ AdaptiveResult integrate_dopri5(const OdeRhs& rhs, std::vector<double> y0,
       factor = std::clamp(factor, 0.2, 5.0);
     }
     dt = std::min(dt * factor, max_dt);
+  }
+  if (span.has_value()) {
+    std::ostringstream args;
+    args << "{\"t0\": " << t0 << ", \"t1\": " << t1
+         << ", \"accepted\": " << result.accepted_steps
+         << ", \"rejected\": " << result.rejected_steps << "}";
+    span->set_args(args.str());
   }
   return result;
 }

@@ -1,0 +1,159 @@
+// Metrics registry: named counters, gauges and log-linear histograms.
+//
+// The registry is built for the simulator's concurrency model: many
+// replication workers record into the same registry at once, and a
+// snapshot may be taken from yet another thread. The hot path
+// (add/observe) is lock-free — each recording thread owns a private
+// shard of relaxed-atomic cells, created on first touch, and snapshot()
+// merges the shards. Counter merges are integer-exact, so snapshots of
+// a deterministic workload are themselves deterministic; histogram
+// `sum` is a float reduction whose shard order follows thread creation,
+// so it is exact only for single-threaded recording.
+//
+// Metric ids are registry-local dense indices resolved once up front
+// (get-or-create by name under a mutex); record sites then carry the id,
+// never the name. Naming convention: lower-case dotted paths,
+// `component.metric` with an optional `.cN` class suffix — see
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace btmf::obs {
+
+/// Dense per-registry index of one counter, gauge, or histogram.
+using MetricId = std::size_t;
+
+/// Merged view of one histogram. Buckets are log-linear: each power-of-two
+/// octave is split into kSubBuckets linear sub-buckets, so relative bucket
+/// width is bounded (~12%) across the full range; values <= 0 or outside
+/// the covered range land in the under/overflow buckets.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty
+  double max = 0.0;
+  /// Non-empty buckets only: bucket_bounds[i] is the upper edge of the
+  /// bucket holding bucket_counts[i] samples (lower edge = previous bound).
+  std::vector<double> bucket_bounds;
+  std::vector<std::uint64_t> bucket_counts;
+
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Quantile estimate by linear interpolation inside the owning bucket,
+  /// clamped to the observed [min, max]. q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, min, max, mean, p50, p90, p99}}} — stable key order (std::map).
+  [[nodiscard]] std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create by name (mutex-guarded; resolve ids up front, not on
+  // the hot path). Throws btmf::ConfigError if the name already exists
+  // with a different kind.
+  MetricId counter(const std::string& name);
+  MetricId gauge(const std::string& name);
+  MetricId histogram(const std::string& name);
+
+  /// Lock-free: bumps the calling thread's shard cell.
+  void add(MetricId id, std::uint64_t delta = 1);
+  /// Gauges are registry-global, last write wins (relaxed atomic store).
+  void set(MetricId id, double value);
+  /// Lock-free: records `value` into the thread-shard histogram.
+  void observe(MetricId id, double value);
+
+  /// Merges every thread shard. Safe to call concurrently with recording;
+  /// concurrent increments may or may not be included.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  // Log-linear bucket geometry (shared with the snapshot math).
+  static constexpr int kSubBuckets = 4;    ///< linear slices per octave
+  static constexpr int kMinExp = -20;      ///< smallest octave: [2^-21, 2^-20)
+  static constexpr int kNumOctaves = 64;
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kSubBuckets) * kNumOctaves + 2;  ///< + under/over
+
+  /// Bucket index of a sample (0 = underflow, kNumBuckets-1 = overflow).
+  static std::size_t bucket_index(double value);
+  /// Upper edge of bucket b (inf for the overflow bucket).
+  static double bucket_upper(std::size_t b);
+  /// Lower edge of bucket b (0 for the underflow bucket).
+  static double bucket_lower(std::size_t b);
+
+ private:
+  // Cells live in chunks with stable addresses so a recording thread can
+  // publish a freshly allocated chunk with one release store while other
+  // threads (snapshot) read concurrently — no resize races, no locks.
+  static constexpr std::size_t kChunkSize = 256;
+  static constexpr std::size_t kMaxChunks = 64;  ///< 16384 metrics per kind
+
+  struct HistCell {
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+  };
+  struct CounterChunk {
+    std::array<std::atomic<std::uint64_t>, kChunkSize> cells{};
+  };
+  struct HistChunk {
+    std::array<std::atomic<HistCell*>, kChunkSize> cells{};
+    ~HistChunk();
+  };
+  struct GaugeChunk {
+    std::array<std::atomic<double>, kChunkSize> cells{};
+  };
+
+  /// One thread's private recording surface; the registry keeps shared
+  /// ownership so snapshots survive thread exit.
+  struct Shard {
+    std::array<std::atomic<CounterChunk*>, kMaxChunks> counters{};
+    std::array<std::atomic<HistChunk*>, kMaxChunks> histograms{};
+    ~Shard();
+
+    std::atomic<std::uint64_t>& counter_cell(MetricId id);
+    HistCell& hist_cell(MetricId id);
+  };
+
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  MetricId intern(const std::string& name, Kind kind);
+  Shard& local_shard() const;
+  std::atomic<double>& gauge_cell(MetricId id) const;
+
+  const std::uint64_t serial_;  ///< process-unique; keys the TLS cache
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::pair<Kind, MetricId>> by_name_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  mutable std::vector<std::shared_ptr<Shard>> shards_;
+  mutable std::array<std::atomic<GaugeChunk*>, kMaxChunks> gauges_{};
+};
+
+}  // namespace btmf::obs

@@ -1,0 +1,62 @@
+// ObsSink: the one handle instrumented code carries.
+//
+// A sink is a bundle of three optional, non-owning pointers (metrics,
+// recorder, tracer) plus sampling knobs. Instrumented code guards every
+// probe with a pointer check — `if (sink.metrics) ...` — so a
+// default-constructed sink costs one predictable branch per probe site
+// and records nothing. Observation never draws randomness and never
+// changes event times: results with and without a sink attached are
+// bit-identical (enforced by ObsSim.InertByDefault).
+//
+// Ownership stays with the caller (btmf_tool, a test, a bench); sinks
+// are freely copyable and a copy observes into the same backends.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "btmf/obs/metrics.h"
+#include "btmf/obs/timeseries.h"
+#include "btmf/obs/trace.h"
+
+namespace btmf::obs {
+
+struct ObsSink {
+  MetricsRegistry* metrics = nullptr;
+  TimeSeriesRecorder* recorder = nullptr;
+  TraceWriter* trace = nullptr;
+
+  /// Cadence (sim-time) for population sampling when `recorder` is set;
+  /// 0 picks a per-component default (horizon / 512 in the kernel).
+  double sample_dt = 0.0;
+
+  /// Kernel dispatch rounds folded into one trace span (bounds event
+  /// volume; ~events/trace_batch spans per run).
+  std::size_t trace_batch = 1024;
+
+  [[nodiscard]] bool attached() const {
+    return metrics != nullptr || recorder != nullptr || trace != nullptr;
+  }
+
+  /// Throws btmf::ConfigError on nonsensical knobs (negative sample_dt,
+  /// zero trace_batch).
+  void validate() const;
+};
+
+/// Verifies `path` can be created/written by opening it for append, then
+/// removes the probe if the file did not previously exist. Throws
+/// btmf::IoError with a friendly message otherwise. Used by CLI tools to
+/// fail fast before a long run.
+void require_writable_path(const std::string& path);
+
+/// Serialises a combined document: the snapshot's counters/gauges/
+/// histograms plus the recorder's series (either part optional).
+std::string combined_json(const MetricsSnapshot* snapshot,
+                          const TimeSeriesRecorder* recorder);
+
+/// Writes combined_json to `path`; throws btmf::IoError on failure.
+void write_combined_json(const std::string& path,
+                         const MetricsSnapshot* snapshot,
+                         const TimeSeriesRecorder* recorder);
+
+}  // namespace btmf::obs

@@ -1,0 +1,83 @@
+// Time-series recorder: named (t, v) series under a fixed sample budget.
+//
+// Producers append strictly-forward-in-time samples on a cadence they
+// control (the kernel samples piecewise-constant populations every
+// `ObsSink::sample_dt`). When a series outgrows its budget the recorder
+// decimates it in place — keeps every other sample — so long horizons
+// degrade resolution gracefully instead of growing without bound. The
+// first recorded sample is always preserved and the most recent sample
+// is always present, so a series spans the full recorded interval at
+// any budget >= 2.
+//
+// The recorder is mutex-protected, not hot-path lock-free like the
+// metrics registry: appends happen on a sampling cadence (thousands per
+// run, not millions), and one recorder may be shared by concurrent
+// replication workers.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace btmf::obs {
+
+/// Dense per-recorder index of one series.
+using SeriesId = std::size_t;
+
+/// Copy of one series' samples.
+struct SeriesData {
+  std::vector<double> t;
+  std::vector<double> v;
+  /// Number of decimation passes applied; effective cadence is the
+  /// producer's cadence * 2^decimations.
+  std::size_t decimations = 0;
+};
+
+class TimeSeriesRecorder {
+ public:
+  /// `default_budget` caps samples per series; 0 means unbounded.
+  explicit TimeSeriesRecorder(std::size_t default_budget = 4096);
+
+  /// Get-or-create by name. A budget given on first creation overrides
+  /// the recorder default for that series (0 = unbounded); on subsequent
+  /// calls the budget argument is ignored.
+  SeriesId series(const std::string& name);
+  SeriesId series(const std::string& name, std::size_t budget);
+
+  /// Appends one sample. Timestamps must be non-decreasing per series;
+  /// a backwards timestamp throws btmf::ConfigError.
+  void append(SeriesId id, double t, double v);
+
+  /// Replaces the named series' samples wholesale (used to publish a
+  /// per-run internal recorder into a shared sink; last import wins).
+  void import_series(const std::string& name, const std::vector<double>& t,
+                     const std::vector<double>& v);
+
+  [[nodiscard]] SeriesData data(SeriesId id) const;
+  [[nodiscard]] std::map<std::string, SeriesData> all() const;
+
+  /// {"series": {name: {"t": [...], "v": [...]}}} fragment — the inner
+  /// object only, composable into a larger JSON document.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::size_t budget;
+    std::size_t decimations = 0;
+    std::vector<double> t;
+    std::vector<double> v;
+  };
+
+  void decimate(Series& s);
+
+  const std::size_t default_budget_;
+  mutable std::mutex mutex_;
+  std::map<std::string, SeriesId> by_name_;
+  std::vector<std::unique_ptr<Series>> series_;
+};
+
+}  // namespace btmf::obs

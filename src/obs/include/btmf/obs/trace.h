@@ -1,0 +1,88 @@
+// Chrome trace_event writer: spans and instants loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Events buffer in memory as finished JSON fragments and flush on
+// write()/write_file(). Timestamps are wall-clock microseconds from a
+// steady clock anchored at writer construction; simulation time, when
+// relevant, goes into an event's args instead. Each recording thread
+// gets a small dense tid so traces from run_replications separate into
+// lanes. The writer is mutex-protected — tracing instruments control
+// flow (dispatch batches, solver rungs), not per-event hot paths.
+//
+// Span usage:
+//   { auto span = tracer.span("kernel.dispatch"); ... }   // timed scope
+//   span.set_args("{\"rounds\": 1024}");                  // optional JSON
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace btmf::obs {
+
+class TraceWriter {
+ public:
+  TraceWriter() : TraceWriter(std::string("btmf")) {}
+  explicit TraceWriter(std::string process_name);
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// RAII scope emitting one complete ("ph":"X") event on destruction.
+  class Span {
+   public:
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span();
+
+    /// Attaches an args payload; `json_object` must be a JSON object
+    /// literal, e.g. R"({"epoch": 12})".
+    void set_args(std::string json_object);
+    /// Ends the span now instead of at scope exit.
+    void end();
+
+   private:
+    friend class TraceWriter;
+    Span(TraceWriter* writer, std::string name, std::uint64_t start_us);
+    TraceWriter* writer_;  // null once ended/moved-from
+    std::string name_;
+    std::string args_;
+    std::uint64_t start_us_;
+  };
+
+  /// Starts a timed scope named `name` (category "btmf").
+  [[nodiscard]] Span span(std::string name);
+
+  /// Emits an instant event ("ph":"i", thread scope).
+  void instant(const std::string& name, const std::string& args_json = "");
+
+  /// Emits a counter event ("ph":"C") — Perfetto renders these as a
+  /// stacked track named `name`.
+  void counter(const std::string& name, double value);
+
+  /// Microseconds since writer construction (steady clock).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Number of buffered events (spans still open are not counted).
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Serialises {"traceEvents": [...]} with the buffered events.
+  [[nodiscard]] std::string to_json() const;
+  /// Writes to_json() to `path`; throws btmf::IoError on failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  void complete_event(const std::string& name, std::uint64_t start_us,
+                      std::uint64_t dur_us, const std::string& args_json);
+  std::uint64_t local_tid();
+
+  std::string process_name_;
+  std::uint64_t t0_ns_;
+  mutable std::mutex mutex_;
+  std::vector<std::string> events_;  // finished JSON object fragments
+  std::uint64_t next_tid_ = 1;
+};
+
+}  // namespace btmf::obs

@@ -1,0 +1,365 @@
+#include "btmf/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "btmf/util/check.h"
+#include "btmf/util/error.h"
+
+namespace btmf::obs {
+
+namespace {
+
+std::uint64_t next_registry_serial() {
+  static std::atomic<std::uint64_t> serial{1};
+  return serial.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// One thread's cached (registry serial -> shard) bindings. The common
+/// case — one registry per process — hits the one-entry inline cache;
+/// shared_ptr keeps shards alive past either the thread or the registry.
+struct TlsShardCache {
+  std::uint64_t hot_serial = 0;
+  void* hot_shard = nullptr;
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<void>>> all;
+};
+
+thread_local TlsShardCache tls_shards;
+
+void json_number(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";  // JSON has no inf/nan
+  }
+}
+
+}  // namespace
+
+// ---- bucket geometry ------------------------------------------------------
+
+std::size_t MetricsRegistry::bucket_index(double value) {
+  if (!(value > 0.0)) return 0;  // <= 0 and NaN underflow
+  int exp = 0;
+  const double frac = std::frexp(value, &exp);  // value = frac * 2^exp
+  const int octave = exp - kMinExp;
+  if (octave < 0) return 0;
+  if (octave >= kNumOctaves) return kNumBuckets - 1;
+  // frac in [0.5, 1): (frac - 0.5) * 2 * kSubBuckets in [0, kSubBuckets).
+  const int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+  return 1 + static_cast<std::size_t>(octave) * kSubBuckets +
+         static_cast<std::size_t>(std::min(sub, kSubBuckets - 1));
+}
+
+double MetricsRegistry::bucket_upper(std::size_t b) {
+  if (b == 0) return std::ldexp(1.0, kMinExp - 1);  // top of the underflow
+  if (b >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  const std::size_t rel = b - 1;
+  const auto octave = static_cast<int>(rel / kSubBuckets);
+  const auto sub = static_cast<int>(rel % kSubBuckets);
+  const double frac = 0.5 + static_cast<double>(sub + 1) / (2.0 * kSubBuckets);
+  return std::ldexp(frac, kMinExp + octave);
+}
+
+double MetricsRegistry::bucket_lower(std::size_t b) {
+  if (b == 0) return 0.0;
+  if (b >= kNumBuckets - 1) return std::ldexp(1.0, kMinExp + kNumOctaves - 1);
+  const std::size_t rel = b - 1;
+  const auto octave = static_cast<int>(rel / kSubBuckets);
+  const auto sub = static_cast<int>(rel % kSubBuckets);
+  const double frac = 0.5 + static_cast<double>(sub) / (2.0 * kSubBuckets);
+  return std::ldexp(frac, kMinExp + octave);
+}
+
+// ---- chunked storage ------------------------------------------------------
+
+MetricsRegistry::HistChunk::~HistChunk() {
+  for (auto& cell : cells) delete cell.load(std::memory_order_relaxed);
+}
+
+MetricsRegistry::Shard::~Shard() {
+  for (auto& chunk : counters) delete chunk.load(std::memory_order_relaxed);
+  for (auto& chunk : histograms) delete chunk.load(std::memory_order_relaxed);
+}
+
+std::atomic<std::uint64_t>& MetricsRegistry::Shard::counter_cell(MetricId id) {
+  const std::size_t c = id / kChunkSize;
+  BTMF_ASSERT(c < kMaxChunks);
+  CounterChunk* chunk = counters[c].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    // Single writer per shard: no allocation race within the shard, and
+    // the release store publishes the zeroed chunk to snapshot readers.
+    chunk = new CounterChunk();
+    counters[c].store(chunk, std::memory_order_release);
+  }
+  return chunk->cells[id % kChunkSize];
+}
+
+MetricsRegistry::HistCell& MetricsRegistry::Shard::hist_cell(MetricId id) {
+  const std::size_t c = id / kChunkSize;
+  BTMF_ASSERT(c < kMaxChunks);
+  HistChunk* chunk = histograms[c].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    chunk = new HistChunk();
+    histograms[c].store(chunk, std::memory_order_release);
+  }
+  std::atomic<HistCell*>& slot = chunk->cells[id % kChunkSize];
+  HistCell* cell = slot.load(std::memory_order_acquire);
+  if (cell == nullptr) {
+    cell = new HistCell();
+    cell->min.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    cell->max.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    slot.store(cell, std::memory_order_release);
+  }
+  return *cell;
+}
+
+std::atomic<double>& MetricsRegistry::gauge_cell(MetricId id) const {
+  const std::size_t c = id / kChunkSize;
+  BTMF_ASSERT(c < kMaxChunks);
+  GaugeChunk* chunk = gauges_[c].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    // Gauges are registered under the mutex before they are set, so the
+    // chunk is created there too — see intern().
+    BTMF_ASSERT(false && "gauge cell accessed before registration");
+  }
+  return chunk->cells[id % kChunkSize];
+}
+
+// ---- registry -------------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry() : serial_(next_registry_serial()) {}
+
+MetricsRegistry::~MetricsRegistry() {
+  for (auto& chunk : gauges_) delete chunk.load(std::memory_order_relaxed);
+}
+
+MetricId MetricsRegistry::intern(const std::string& name, Kind kind) {
+  BTMF_CHECK_MSG(!name.empty(), "metric name must not be empty");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second.first != kind) {
+      throw ConfigError("metric '" + name +
+                        "' already registered with a different kind");
+    }
+    return it->second.second;
+  }
+  std::vector<std::string>* names = nullptr;
+  switch (kind) {
+    case Kind::kCounter: names = &counter_names_; break;
+    case Kind::kGauge: names = &gauge_names_; break;
+    case Kind::kHistogram: names = &histogram_names_; break;
+  }
+  const MetricId id = names->size();
+  BTMF_CHECK_MSG(id < kChunkSize * kMaxChunks,
+                 "metric registry is full for this kind");
+  names->push_back(name);
+  by_name_.emplace(name, std::make_pair(kind, id));
+  if (kind == Kind::kGauge) {
+    const std::size_t c = id / kChunkSize;
+    if (gauges_[c].load(std::memory_order_acquire) == nullptr) {
+      gauges_[c].store(new GaugeChunk(), std::memory_order_release);
+    }
+  }
+  return id;
+}
+
+MetricId MetricsRegistry::counter(const std::string& name) {
+  return intern(name, Kind::kCounter);
+}
+MetricId MetricsRegistry::gauge(const std::string& name) {
+  return intern(name, Kind::kGauge);
+}
+MetricId MetricsRegistry::histogram(const std::string& name) {
+  return intern(name, Kind::kHistogram);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() const {
+  TlsShardCache& cache = tls_shards;
+  if (cache.hot_serial == serial_) {
+    return *static_cast<Shard*>(cache.hot_shard);  // lock-free fast path
+  }
+  for (const auto& [serial, shard] : cache.all) {
+    if (serial == serial_) {
+      cache.hot_serial = serial_;
+      cache.hot_shard = shard.get();
+      return *static_cast<Shard*>(shard.get());
+    }
+  }
+  auto shard = std::make_shared<Shard>();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(shard);
+  }
+  cache.all.emplace_back(serial_, shard);
+  cache.hot_serial = serial_;
+  cache.hot_shard = shard.get();
+  return *shard;
+}
+
+void MetricsRegistry::add(MetricId id, std::uint64_t delta) {
+  local_shard().counter_cell(id).fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(MetricId id, double value) {
+  gauge_cell(id).store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(MetricId id, double value) {
+  HistCell& cell = local_shard().hist_cell(id);
+  // Single-writer cells: plain load + store is a race-free increment for
+  // the owner thread, and relaxed atomics keep concurrent snapshot reads
+  // tear-free.
+  cell.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.store(cell.sum.load(std::memory_order_relaxed) + value,
+                 std::memory_order_relaxed);
+  if (value < cell.min.load(std::memory_order_relaxed)) {
+    cell.min.store(value, std::memory_order_relaxed);
+  }
+  if (value > cell.max.load(std::memory_order_relaxed)) {
+    cell.max.store(value, std::memory_order_relaxed);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::vector<std::shared_ptr<Shard>> shards;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> histogram_names;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shards = shards_;
+    counter_names = counter_names_;
+    gauge_names = gauge_names_;
+    histogram_names = histogram_names_;
+  }
+
+  MetricsSnapshot snap;
+  for (MetricId id = 0; id < counter_names.size(); ++id) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards) {
+      const std::size_t c = id / kChunkSize;
+      const CounterChunk* chunk =
+          shard->counters[c].load(std::memory_order_acquire);
+      if (chunk != nullptr) {
+        total += chunk->cells[id % kChunkSize].load(std::memory_order_relaxed);
+      }
+    }
+    snap.counters.emplace(counter_names[id], total);
+  }
+  for (MetricId id = 0; id < gauge_names.size(); ++id) {
+    snap.gauges.emplace(gauge_names[id],
+                        gauge_cell(id).load(std::memory_order_relaxed));
+  }
+  for (MetricId id = 0; id < histogram_names.size(); ++id) {
+    HistogramSnapshot h;
+    std::vector<std::uint64_t> buckets(kNumBuckets, 0);
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    for (const auto& shard : shards) {
+      const std::size_t c = id / kChunkSize;
+      const HistChunk* chunk =
+          shard->histograms[c].load(std::memory_order_acquire);
+      if (chunk == nullptr) continue;
+      const HistCell* cell =
+          chunk->cells[id % kChunkSize].load(std::memory_order_acquire);
+      if (cell == nullptr) continue;
+      for (std::size_t b = 0; b < kNumBuckets; ++b) {
+        buckets[b] += cell->buckets[b].load(std::memory_order_relaxed);
+      }
+      h.count += cell->count.load(std::memory_order_relaxed);
+      h.sum += cell->sum.load(std::memory_order_relaxed);
+      min = std::min(min, cell->min.load(std::memory_order_relaxed));
+      max = std::max(max, cell->max.load(std::memory_order_relaxed));
+    }
+    if (h.count > 0) {
+      h.min = min;
+      h.max = max;
+    }
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      if (buckets[b] > 0) {
+        h.bucket_bounds.push_back(bucket_upper(b));
+        h.bucket_counts.push_back(buckets[b]);
+      }
+    }
+    snap.histograms.emplace(histogram_names[id], std::move(h));
+  }
+  return snap;
+}
+
+// ---- snapshot views -------------------------------------------------------
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const std::uint64_t next = seen + bucket_counts[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate inside the bucket; the snapshot stores upper edges,
+      // recover the lower edge from the previous non-empty bucket when the
+      // geometric neighbour is unknown.
+      double lo = i > 0 ? bucket_bounds[i - 1] : 0.0;
+      double hi = bucket_bounds[i];
+      lo = std::max(lo, min);
+      hi = std::min(hi, max);
+      if (!(hi > lo)) return std::clamp(hi, min, max);
+      const double inside =
+          (target - static_cast<double>(seen)) /
+          static_cast<double>(bucket_counts[i]);
+      return std::clamp(lo + inside * (hi - lo), min, max);
+    }
+    seen = next;
+  }
+  return max;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": ";
+    json_number(os, value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": "
+       << h.count << ", \"sum\": ";
+    json_number(os, h.sum);
+    os << ", \"min\": ";
+    json_number(os, h.min);
+    os << ", \"max\": ";
+    json_number(os, h.max);
+    os << ", \"mean\": ";
+    json_number(os, h.mean());
+    os << ", \"p50\": ";
+    json_number(os, h.quantile(0.5));
+    os << ", \"p90\": ";
+    json_number(os, h.quantile(0.9));
+    os << ", \"p99\": ";
+    json_number(os, h.quantile(0.99));
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}";
+  return os.str();
+}
+
+}  // namespace btmf::obs

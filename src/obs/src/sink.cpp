@@ -1,0 +1,66 @@
+#include "btmf/obs/sink.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "btmf/util/error.h"
+
+namespace btmf::obs {
+
+void ObsSink::validate() const {
+  if (sample_dt < 0.0) {
+    throw ConfigError("obs: sample_dt must be >= 0 (0 = auto)");
+  }
+  if (trace_batch == 0) {
+    throw ConfigError("obs: trace_batch must be >= 1");
+  }
+}
+
+void require_writable_path(const std::string& path) {
+  if (path.empty()) throw IoError("output path must not be empty");
+  const bool existed = static_cast<bool>(std::ifstream(path));
+  {
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) {
+      throw IoError("cannot write to '" + path +
+                    "': check that the directory exists and is writable");
+    }
+  }
+  if (!existed) std::remove(path.c_str());
+}
+
+std::string combined_json(const MetricsSnapshot* snapshot,
+                          const TimeSeriesRecorder* recorder) {
+  std::ostringstream os;
+  if (snapshot != nullptr) {
+    const std::string metrics = snapshot->to_json();
+    // Splice the series object into the snapshot document: drop the
+    // closing "\n}" and append a fourth top-level key.
+    os << metrics.substr(0, metrics.size() - 2) << ",\n  \"series\": ";
+  } else {
+    os << "{\n  \"series\": ";
+  }
+  if (recorder != nullptr) {
+    os << recorder->to_json();
+  } else {
+    os << "{}";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+void write_combined_json(const std::string& path,
+                         const MetricsSnapshot* snapshot,
+                         const TimeSeriesRecorder* recorder) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw IoError("cannot open metrics output '" + path + "' for writing");
+  }
+  out << combined_json(snapshot, recorder);
+  if (!out.good()) {
+    throw IoError("failed while writing metrics output '" + path + "'");
+  }
+}
+
+}  // namespace btmf::obs

@@ -1,0 +1,112 @@
+#include "btmf/obs/timeseries.h"
+
+#include <sstream>
+#include <utility>
+
+#include "btmf/util/check.h"
+#include "btmf/util/error.h"
+
+namespace btmf::obs {
+
+TimeSeriesRecorder::TimeSeriesRecorder(std::size_t default_budget)
+    : default_budget_(default_budget) {}
+
+SeriesId TimeSeriesRecorder::series(const std::string& name) {
+  return series(name, default_budget_);
+}
+
+SeriesId TimeSeriesRecorder::series(const std::string& name,
+                                    std::size_t budget) {
+  BTMF_CHECK_MSG(!name.empty(), "series name must not be empty");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const SeriesId id = series_.size();
+  auto s = std::make_unique<Series>();
+  s->name = name;
+  s->budget = budget == 0 ? 0 : std::max<std::size_t>(budget, 2);
+  series_.push_back(std::move(s));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+void TimeSeriesRecorder::append(SeriesId id, double t, double v) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  BTMF_CHECK_MSG(id < series_.size(), "unknown series id");
+  Series& s = *series_[id];
+  if (!s.t.empty() && t < s.t.back()) {
+    throw ConfigError("series '" + s.name +
+                      "': timestamps must be non-decreasing");
+  }
+  if (s.budget != 0 && s.t.size() >= s.budget) decimate(s);
+  s.t.push_back(t);
+  s.v.push_back(v);
+}
+
+void TimeSeriesRecorder::decimate(Series& s) {
+  // Keep even indices: index 0 (the first sample) survives, and the
+  // sample about to be pushed becomes the new last — so first/last
+  // coverage of the recorded interval is preserved.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < s.t.size(); r += 2, ++w) {
+    s.t[w] = s.t[r];
+    s.v[w] = s.v[r];
+  }
+  s.t.resize(w);
+  s.v.resize(w);
+  ++s.decimations;
+}
+
+void TimeSeriesRecorder::import_series(const std::string& name,
+                                       const std::vector<double>& t,
+                                       const std::vector<double>& v) {
+  BTMF_CHECK_MSG(t.size() == v.size(),
+                 "import_series: t and v must have equal length");
+  const SeriesId id = series(name, 0);  // imported series keep every sample
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Series& s = *series_[id];
+  s.t = t;
+  s.v = v;
+  s.decimations = 0;
+}
+
+SeriesData TimeSeriesRecorder::data(SeriesId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  BTMF_CHECK_MSG(id < series_.size(), "unknown series id");
+  const Series& s = *series_[id];
+  return SeriesData{s.t, s.v, s.decimations};
+}
+
+std::map<std::string, SeriesData> TimeSeriesRecorder::all() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, SeriesData> out;
+  for (const auto& [name, id] : by_name_) {
+    const Series& s = *series_[id];
+    out.emplace(name, SeriesData{s.t, s.v, s.decimations});
+  }
+  return out;
+}
+
+std::string TimeSeriesRecorder::to_json() const {
+  const auto series = all();
+  std::ostringstream os;
+  os.precision(17);
+  os << "{";
+  bool first = true;
+  for (const auto& [name, data] : series) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"t\": [";
+    for (std::size_t i = 0; i < data.t.size(); ++i) {
+      os << (i > 0 ? ", " : "") << data.t[i];
+    }
+    os << "], \"v\": [";
+    for (std::size_t i = 0; i < data.v.size(); ++i) {
+      os << (i > 0 ? ", " : "") << data.v[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}";
+  return os.str();
+}
+
+}  // namespace btmf::obs

@@ -1,0 +1,170 @@
+#include "btmf/obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "btmf/util/error.h"
+
+namespace btmf::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Dense per-writer thread lanes: a thread resolves its tid once per
+// writer via this TLS cache (writer address -> tid). Writer addresses
+// can recycle, but a stale hit only mislabels a lane, never corrupts.
+struct TlsTidCache {
+  const void* writer = nullptr;
+  std::uint64_t tid = 0;
+};
+thread_local TlsTidCache tls_tid;
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::string process_name)
+    : process_name_(std::move(process_name)), t0_ns_(steady_ns()) {}
+
+std::uint64_t TraceWriter::now_us() const {
+  return (steady_ns() - t0_ns_) / 1000;
+}
+
+std::uint64_t TraceWriter::local_tid() {
+  if (tls_tid.writer == this) return tls_tid.tid;
+  std::uint64_t tid = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tid = next_tid_++;
+  }
+  tls_tid.writer = this;
+  tls_tid.tid = tid;
+  return tid;
+}
+
+TraceWriter::Span::Span(TraceWriter* writer, std::string name,
+                        std::uint64_t start_us)
+    : writer_(writer), name_(std::move(name)), start_us_(start_us) {}
+
+TraceWriter::Span::Span(Span&& other) noexcept
+    : writer_(other.writer_),
+      name_(std::move(other.name_)),
+      args_(std::move(other.args_)),
+      start_us_(other.start_us_) {
+  other.writer_ = nullptr;
+}
+
+void TraceWriter::Span::set_args(std::string json_object) {
+  args_ = std::move(json_object);
+}
+
+void TraceWriter::Span::end() {
+  if (writer_ == nullptr) return;
+  const std::uint64_t end_us = writer_->now_us();
+  writer_->complete_event(name_, start_us_,
+                          end_us > start_us_ ? end_us - start_us_ : 0, args_);
+  writer_ = nullptr;
+}
+
+TraceWriter::Span::~Span() { end(); }
+
+TraceWriter::Span TraceWriter::span(std::string name) {
+  return Span(this, std::move(name), now_us());
+}
+
+void TraceWriter::complete_event(const std::string& name,
+                                 std::uint64_t start_us, std::uint64_t dur_us,
+                                 const std::string& args_json) {
+  std::ostringstream os;
+  os << "{\"name\": \"" << escape_json(name)
+     << "\", \"cat\": \"btmf\", \"ph\": \"X\", \"ts\": " << start_us
+     << ", \"dur\": " << dur_us << ", \"pid\": 1, \"tid\": " << local_tid();
+  if (!args_json.empty()) os << ", \"args\": " << args_json;
+  os << "}";
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(os.str());
+}
+
+void TraceWriter::instant(const std::string& name,
+                          const std::string& args_json) {
+  std::ostringstream os;
+  os << "{\"name\": \"" << escape_json(name)
+     << "\", \"cat\": \"btmf\", \"ph\": \"i\", \"s\": \"t\", \"ts\": "
+     << now_us() << ", \"pid\": 1, \"tid\": " << local_tid();
+  if (!args_json.empty()) os << ", \"args\": " << args_json;
+  os << "}";
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(os.str());
+}
+
+void TraceWriter::counter(const std::string& name, double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"name\": \"" << escape_json(name)
+     << "\", \"cat\": \"btmf\", \"ph\": \"C\", \"ts\": " << now_us()
+     << ", \"pid\": 1, \"tid\": " << local_tid() << ", \"args\": {\"value\": "
+     << value << "}}";
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(os.str());
+}
+
+std::size_t TraceWriter::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceWriter::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  // Process-name metadata event lets Perfetto label the lane group.
+  os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+     << "\"args\": {\"name\": \"" << escape_json(process_name_) << "\"}}";
+  for (const std::string& event : events_) {
+    os << ",\n" << event;
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void TraceWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw IoError("cannot open trace output '" + path + "' for writing");
+  }
+  out << to_json();
+  if (!out.good()) {
+    throw IoError("failed while writing trace output '" + path + "'");
+  }
+}
+
+}  // namespace btmf::obs

@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "btmf/obs/metrics.h"
+
 namespace btmf::parallel {
 
 class ThreadPool {
@@ -43,11 +45,19 @@ class ThreadPool {
       }
       queue_.emplace([packaged] { (*packaged)(); });
     }
+    if (metrics_ != nullptr) metrics_->add(submitted_id_);
     cv_.notify_one();
     return result;
   }
 
   [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+  /// Attaches a metrics registry (non-owning; nullptr detaches): every
+  /// submit bumps pool.tasks_submitted, every finished task
+  /// pool.tasks_completed. Attach before submitting — counters are read
+  /// by workers without further synchronisation (registry adds are
+  /// lock-free, but swapping registries mid-flight races the workers).
+  void attach_metrics(obs::MetricsRegistry* metrics);
 
  private:
   void worker_loop();
@@ -57,6 +67,10 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricId submitted_id_ = 0;
+  obs::MetricId completed_id_ = 0;
 };
 
 /// Process-wide default pool, created on first use with one worker per core.

@@ -26,6 +26,7 @@
 #include <cstdint>
 
 #include "btmf/fluid/params.h"
+#include "btmf/obs/sink.h"
 
 namespace btmf::sim {
 
@@ -44,6 +45,12 @@ struct ChunkSimConfig {
   double warmup = 1000.0;
   std::uint64_t seed = 42;
   std::size_t max_peers = 200'000;
+
+  /// Telemetry sinks (all optional; see docs/OBSERVABILITY.md). The
+  /// recorder samples chunk.downloaders / chunk.seeds / chunk.availability
+  /// every obs.sample_dt (0 = horizon / 512); the tracer gets batched
+  /// "chunk.slots" spans of obs.trace_batch slots each.
+  obs::ObsSink obs{};
 
   void validate() const;
 };

@@ -16,6 +16,7 @@
 
 #include "btmf/fluid/params.h"
 #include "btmf/fluid/schemes.h"
+#include "btmf/obs/sink.h"
 #include "btmf/sim/faults.h"
 
 namespace btmf::sim {
@@ -113,6 +114,13 @@ struct SimConfig {
   /// bursts, bandwidth degradation). An empty plan is bit-identical to a
   /// run without the fault layer. See faults.h and docs/FAULTS.md.
   FaultPlan faults{};
+
+  /// Telemetry sinks (metrics registry, time-series recorder, Chrome-trace
+  /// writer — all optional, non-owning). A default sink records nothing
+  /// and leaves the run bit-identical to an uninstrumented one; see
+  /// docs/OBSERVABILITY.md. obs.sample_dt also sets the cadence of the
+  /// SimResult population trajectories (0 = horizon / 512).
+  obs::ObsSink obs{};
 
   /// Runs the paranoid invariant auditor after every dispatched event
   /// round (service-group integrals, indexed-heap cross-references, live

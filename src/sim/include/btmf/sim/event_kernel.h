@@ -55,8 +55,11 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <vector>
 
+#include "btmf/obs/sink.h"
 #include "btmf/sim/config.h"
 #include "btmf/sim/indexed_heap.h"
 #include "btmf/sim/rng.h"
@@ -201,6 +204,10 @@ class EventKernel {
 
   // ---- services for policies --------------------------------------------
   [[nodiscard]] const SimConfig& cfg() const { return cfg_; }
+  /// Telemetry sinks (copied from cfg.obs). Probe sites must pointer-check
+  /// each pillar: `if (kernel.obs().metrics) ...` — observation never
+  /// draws RNG and never changes event times (inert-by-default contract).
+  [[nodiscard]] const obs::ObsSink& obs() const { return obs_; }
   RandomStream& rng() { return rng_; }
   StatsCollector& stats() { return stats_; }
   SimUser& user(std::size_t ui) { return users_[ui]; }
@@ -397,6 +404,17 @@ class EventKernel {
   void begin_recovery_watch(std::size_t pre_fault_peers, double t);
   void update_recovery_watch(double t);
 
+  // ---- telemetry --------------------------------------------------------
+  /// Appends one sample of every population series at sim-time `when`
+  /// (left limits: the piecewise-constant value before the dispatch).
+  void record_sample(double when);
+  /// Ends the open batched "kernel.dispatch" trace span, stamping the
+  /// number of dispatch rounds it covered.
+  void flush_dispatch_span();
+  /// End-of-run export: counters/gauges/series into the attached sinks
+  /// and the population trajectories into `result`.
+  void export_observations(SimResult& result);
+
   void add_live(std::size_t ui) {
     users_[ui].live_pos = live_.size();
     live_.push_back(ui);
@@ -430,6 +448,26 @@ class EventKernel {
   std::size_t active_peer_count_ = 0;
   std::size_t rate_epochs_ = 0;
   std::size_t peak_live_peers_ = 0;
+
+  // ---- telemetry state --------------------------------------------------
+  obs::ObsSink obs_;            ///< cfg.obs copy; null pointers = inert
+  /// Internal per-run recorder backing the SimResult population
+  /// trajectories — always on (deterministic, a few hundred samples);
+  /// exported into obs_.recorder at the end of the run when one is set.
+  std::unique_ptr<obs::TimeSeriesRecorder> sampler_;
+  std::vector<obs::SeriesId> down_series_;   ///< per class
+  std::vector<obs::SeriesId> seed_series_;   ///< per class
+  obs::SeriesId live_series_ = 0;
+  obs::SeriesId queue_series_ = 0;
+  obs::SeriesId recovering_series_ = 0;
+  double sample_dt_ = 0.0;
+  double next_sample_ = 0.0;
+  /// Histogram ids, resolved up front when obs_.metrics is attached.
+  obs::MetricId hist_online_ = 0;
+  obs::MetricId hist_download_ = 0;
+  obs::MetricId hist_files_ = 0;
+  std::optional<obs::TraceWriter::Span> dispatch_span_;
+  std::size_t dispatch_rounds_ = 0;  ///< rounds inside dispatch_span_
 
   // ---- fault state ------------------------------------------------------
   std::vector<FaultEdge> fault_timeline_;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "btmf/math/stats.h"
+#include "btmf/obs/timeseries.h"
 
 namespace btmf::sim {
 
@@ -70,9 +71,19 @@ struct SimResult {
   std::size_t faults_unrecovered = 0;
 
   /// Mean rho across obedient adaptive peers, sampled at Adapt ticks
-  /// (time series; empty unless Adapt is enabled).
+  /// (time series; empty unless Adapt is enabled). A thin view of the
+  /// collector's "adapt.rho_mean" recorder series.
   std::vector<double> rho_trajectory_time;
   std::vector<double> rho_trajectory_mean;
+
+  /// Per-class population trajectories sampled every SimConfig::obs
+  /// .sample_dt (0 = horizon / 512) on the kernel's internal recorder —
+  /// always recorded, sink or no sink. population_time is shared by all
+  /// classes; downloaders/seeds_trajectory[k] is class k+1. The final
+  /// sample sits at the horizon, so the series spans the full run.
+  std::vector<double> population_time;
+  std::vector<std::vector<double>> downloaders_trajectory;
+  std::vector<std::vector<double>> seeds_trajectory;
 };
 
 /// Accumulators the engines feed during a run; finalise() builds SimResult.
@@ -116,8 +127,10 @@ class StatsCollector {
   std::size_t censored_ = 0;
   std::size_t aborted_ = 0;
   std::size_t events_ = 0;
-  std::vector<double> rho_times_;
-  std::vector<double> rho_means_;
+  /// Backs record_rho_sample; finalize() copies the "adapt.rho_mean"
+  /// series into SimResult::rho_trajectory_time/mean.
+  obs::TimeSeriesRecorder rho_recorder_;
+  obs::SeriesId rho_series_;
 };
 
 }  // namespace btmf::sim

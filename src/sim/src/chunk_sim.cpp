@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <sstream>
 #include <unordered_map>
 #include <vector>
 
@@ -88,6 +90,7 @@ void ChunkSimConfig::validate() const {
                  "need at least one publisher seed to bootstrap");
   BTMF_CHECK_MSG(horizon > 0.0 && warmup >= 0.0 && warmup < horizon,
                  "need 0 <= warmup < horizon");
+  obs.validate();
 }
 
 ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
@@ -125,9 +128,52 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
   std::vector<std::size_t> interested;
   std::vector<unsigned> candidates;
 
+  // Telemetry: cadence-sampled population series and batched slot spans.
+  // Observation draws no randomness, so the result is identical with or
+  // without sinks attached.
+  const obs::ObsSink& sink = config.obs;
+  const double sample_dt =
+      sink.sample_dt > 0.0 ? sink.sample_dt : config.horizon / 512.0;
+  double next_sample = sink.recorder != nullptr ? 0.0 : kInf;
+  obs::SeriesId dl_series = 0, seed_series = 0, avail_series = 0;
+  if (sink.recorder != nullptr) {
+    dl_series = sink.recorder->series("chunk.downloaders");
+    seed_series = sink.recorder->series("chunk.seeds");
+    avail_series = sink.recorder->series("chunk.availability");
+  }
+  std::optional<obs::TraceWriter::Span> slot_span;
+  std::size_t span_slots = 0;
+  double slots_total = 0.0;
+
   double t = 0.0;
   while (t < config.horizon) {
     const bool measured = t >= config.warmup;
+    slots_total += 1.0;
+    if (sink.trace != nullptr) {
+      if (!slot_span.has_value()) {
+        slot_span.emplace(sink.trace->span("chunk.slots"));
+      }
+      if (++span_slots >= sink.trace_batch) {
+        std::ostringstream args;
+        args << "{\"slots\": " << span_slots << ", \"sim_t\": " << t << "}";
+        slot_span->set_args(args.str());
+        slot_span.reset();
+        span_slots = 0;
+      }
+    }
+    if (next_sample <= t) {
+      double x = 0.0, y = 0.0;
+      for (const std::size_t id : live) {
+        (peers[id].is_seed ? y : x) += 1.0;
+      }
+      double copies = 0.0;
+      for (const unsigned n : avail) copies += static_cast<double>(n);
+      sink.recorder->append(dl_series, t, x);
+      sink.recorder->append(seed_series, t, y);
+      sink.recorder->append(avail_series, t,
+                            copies / static_cast<double>(chunks));
+      next_sample += sample_dt;
+    }
 
     // --- arrivals (Poisson thinned to this slot) ------------------------
     const double expect = config.entry_rate * slot_dt;
@@ -250,6 +296,21 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
     }
 
     t += slot_dt;
+  }
+  if (slot_span.has_value()) {
+    std::ostringstream args;
+    args << "{\"slots\": " << span_slots << ", \"sim_t\": " << t << "}";
+    slot_span->set_args(args.str());
+    slot_span.reset();
+  }
+  if (sink.metrics != nullptr) {
+    obs::MetricsRegistry& m = *sink.metrics;
+    m.add(m.counter("chunk.slots"), static_cast<std::uint64_t>(slots_total));
+    m.add(m.counter("chunk.completions"), download_time.count());
+    m.add(m.counter("chunk.downloader_uploads"),
+          static_cast<std::uint64_t>(downloader_uploads));
+    m.add(m.counter("chunk.seed_uploads"),
+          static_cast<std::uint64_t>(seed_uploads));
   }
 
   ChunkSimResult result;

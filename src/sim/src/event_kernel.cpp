@@ -30,6 +30,27 @@ EventKernel::EventKernel(const SimConfig& config, SchemePolicy& policy)
   paranoid_ = true;
 #endif
   build_fault_timeline();
+
+  // Telemetry: the internal population sampler is always on (it backs the
+  // SimResult trajectories and draws no randomness); the external sinks
+  // stay null unless the caller attached them.
+  obs_ = cfg_.obs;
+  sample_dt_ = obs_.sample_dt > 0.0 ? obs_.sample_dt : cfg_.horizon / 512.0;
+  sampler_ = std::make_unique<obs::TimeSeriesRecorder>(0);  // exact cadence
+  for (unsigned k = 0; k < cfg_.num_files; ++k) {
+    const std::string cls = ".c" + std::to_string(k + 1);
+    down_series_.push_back(sampler_->series("sim.downloaders" + cls));
+    seed_series_.push_back(sampler_->series("sim.seeds" + cls));
+  }
+  live_series_ = sampler_->series("sim.live_peers");
+  queue_series_ = sampler_->series("sim.readmission_queue");
+  recovering_series_ = sampler_->series("sim.recovering");
+  if (obs_.metrics != nullptr) {
+    hist_online_ = obs_.metrics->histogram("sim.user_online_per_file");
+    hist_download_ = obs_.metrics->histogram("sim.user_download_per_file");
+    hist_files_ = obs_.metrics->histogram("sim.user_files");
+  }
+
   policy_.attach(*this);
 }
 
@@ -196,6 +217,12 @@ void EventKernel::retire_user(std::size_t ui, double t, double download,
     // per-class sojourn metrics; count them separately.
     stats_.record_aborted();
     return;
+  }
+  if (obs_.metrics != nullptr) {
+    const double files = static_cast<double>(u.cls);
+    obs_.metrics->observe(hist_online_, (t - u.arrival) / files);
+    obs_.metrics->observe(hist_download_, download / files);
+    obs_.metrics->observe(hist_files_, files);
   }
   stats_.record_user(u.cls, u.cls, t - u.arrival, download, final_rho,
                      adaptive);
@@ -412,6 +439,22 @@ void EventKernel::process_fault_edges(double t) {
         break;
     }
     ++faults_injected_;
+    if (obs_.trace != nullptr) {
+      const char* name = "fault.churn";
+      switch (e.kind) {
+        case Kind::kTrackerDown: name = "fault.tracker_down"; break;
+        case Kind::kTrackerUp: name = "fault.tracker_up"; break;
+        case Kind::kSeedDown: name = "fault.seed_down"; break;
+        case Kind::kSeedUp: name = "fault.seed_up"; break;
+        case Kind::kBandwidthDown: name = "fault.bandwidth_down"; break;
+        case Kind::kBandwidthUp: name = "fault.bandwidth_up"; break;
+        case Kind::kChurn: name = "fault.churn"; break;
+      }
+      std::ostringstream args;
+      args << "{\"sim_t\": " << t
+           << ", \"live_peers\": " << active_peer_count_ << "}";
+      obs_.trace->instant(name, args.str());
+    }
     begin_recovery_watch(pre_fault_peers, t);
     // Corruption must surface at the fault that caused it, so the
     // auditor runs right at the edge, before any organic event.
@@ -534,6 +577,71 @@ void EventKernel::audit(double t) {
   policy_.audit(t);
 }
 
+// ---- telemetry ------------------------------------------------------------
+
+void EventKernel::record_sample(double when) {
+  for (unsigned k = 0; k < cfg_.num_files; ++k) {
+    sampler_->append(down_series_[k], when, down_pop_[k]);
+    sampler_->append(seed_series_[k], when, seed_pop_[k]);
+  }
+  sampler_->append(live_series_, when,
+                   static_cast<double>(active_peer_count_));
+  sampler_->append(queue_series_, when,
+                   static_cast<double>(tracker_queue_ + readmissions_.size()));
+  sampler_->append(recovering_series_, when, recovering_ ? 1.0 : 0.0);
+}
+
+void EventKernel::flush_dispatch_span() {
+  if (!dispatch_span_.has_value()) return;
+  std::ostringstream args;
+  args << "{\"rounds\": " << dispatch_rounds_ << ", \"sim_t\": " << now_
+       << "}";
+  dispatch_span_->set_args(args.str());
+  dispatch_span_.reset();  // ends the span
+  dispatch_rounds_ = 0;
+}
+
+void EventKernel::export_observations(SimResult& result) {
+  // Population trajectories: the shared time axis plus one series per
+  // class (every series is appended in lockstep, so axes agree).
+  const obs::SeriesData axis = sampler_->data(down_series_[0]);
+  result.population_time = axis.t;
+  for (unsigned k = 0; k < cfg_.num_files; ++k) {
+    result.downloaders_trajectory.push_back(
+        sampler_->data(down_series_[k]).v);
+    result.seeds_trajectory.push_back(sampler_->data(seed_series_[k]).v);
+  }
+
+  if (obs_.recorder != nullptr) {
+    for (const auto& [name, data] : sampler_->all()) {
+      obs_.recorder->import_series(name, data.t, data.v);
+    }
+    if (!result.rho_trajectory_time.empty()) {
+      obs_.recorder->import_series("adapt.rho_mean",
+                                   result.rho_trajectory_time,
+                                   result.rho_trajectory_mean);
+    }
+  }
+
+  if (obs_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *obs_.metrics;
+    m.add(m.counter("sim.events"), result.events_processed);
+    m.add(m.counter("sim.arrivals"), result.total_arrivals);
+    m.add(m.counter("sim.users_completed"), result.total_users);
+    m.add(m.counter("sim.users_censored"), result.censored_users);
+    m.add(m.counter("sim.users_aborted"), result.aborted_users);
+    m.add(m.counter("sim.rate_epochs"), result.rate_epochs);
+    m.add(m.counter("sim.faults_injected"), result.faults_injected);
+    m.add(m.counter("sim.downloads_killed"), result.downloads_killed);
+    m.add(m.counter("sim.readmissions"), result.readmissions);
+    m.set(m.gauge("sim.peak_live_peers"),
+          static_cast<double>(result.peak_live_peers));
+    m.set(m.gauge("sim.time_to_recover"), result.time_to_recover);
+    m.set(m.gauge("sim.readmission_queue_peak"),
+          static_cast<double>(result.readmission_queue_peak));
+  }
+}
+
 // ---- main loop ------------------------------------------------------------
 
 SimResult EventKernel::run() {
@@ -563,12 +671,26 @@ SimResult EventKernel::run() {
       if (t_next > stat_lo) {
         stats_.observe_populations(down_pop_, seed_pop_, t_next - stat_lo);
       }
+      // Sample the piecewise-constant populations at every cadence point
+      // the advance steps over (left limits — the value holding on
+      // [t, t_next)). Pure observation: no RNG, no event-time changes.
+      const double sample_hi = std::min(t_next, cfg_.horizon);
+      while (next_sample_ <= sample_hi) {
+        record_sample(next_sample_);
+        next_sample_ += sample_dt_;
+      }
       t = t_next;
     }
     if (t >= cfg_.horizon) break;
 
     // ---- dispatch everything due at time t (completion wins a tie with
     // ---- an abort because completions drain first) ----------------------
+    if (obs_.trace != nullptr) {
+      if (!dispatch_span_.has_value()) {
+        dispatch_span_.emplace(obs_.trace->span("kernel.dispatch"));
+      }
+      if (++dispatch_rounds_ >= obs_.trace_batch) flush_dispatch_span();
+    }
     stats_.record_event();
     peak_live_peers_ = std::max(peak_live_peers_, active_peer_count_);
     now_ = t;
@@ -602,6 +724,13 @@ SimResult EventKernel::run() {
     if (users_[ui].sampled) stats_.record_censored();
   }
   if (recovering_) ++faults_unrecovered_;
+  flush_dispatch_span();
+  // Close the trajectories exactly at the horizon so the series cover
+  // the full run even when the cadence does not divide it.
+  if (sampler_->data(live_series_).t.empty() ||
+      sampler_->data(live_series_).t.back() < cfg_.horizon) {
+    record_sample(cfg_.horizon);
+  }
 
   SimResult result = stats_.finalize(
       std::max(0.0, cfg_.horizon - cfg_.warmup), total_arrivals_);
@@ -623,6 +752,7 @@ SimResult EventKernel::run() {
   result.readmission_queue_peak = readmission_queue_peak_;
   result.time_to_recover = time_to_recover_;
   result.faults_unrecovered = faults_unrecovered_;
+  export_observations(result);
   result.wall_clock_seconds = wall.seconds();
   return result;
 }

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -68,6 +69,14 @@ class CmfsdPolicy final : public SchemePolicy {
     wint_last_ = 0.0;
     group_of_.clear();
     group_key_.clear();
+
+    metrics_ = kernel.obs().metrics;
+    trace_ = kernel.obs().trace;
+    if (metrics_ != nullptr) {
+      pool_rebuilds_id_ = metrics_->counter("sim.cmfsd.pool_rebuilds");
+      adapt_ticks_id_ = metrics_->counter("sim.cmfsd.adapt_ticks");
+      rho_moves_id_ = metrics_->counter("sim.cmfsd.rho_moves");
+    }
   }
 
   void on_arrival(std::size_t ui, double t) override {
@@ -118,6 +127,7 @@ class CmfsdPolicy final : public SchemePolicy {
             t);
       }
     } else {
+      if (metrics_ != nullptr) metrics_->add(pool_rebuilds_id_);
       refresh_local_pools(t);
     }
     pools_dirty_ = false;
@@ -389,6 +399,9 @@ class CmfsdPolicy final : public SchemePolicy {
   }
 
   void adapt_tick(double t) {
+    std::optional<obs::TraceWriter::Span> span;
+    if (trace_ != nullptr) span.emplace(trace_->span("cmfsd.adapt_tick"));
+    if (metrics_ != nullptr) metrics_->add(adapt_ticks_id_);
     double rho_sum = 0.0;
     std::size_t rho_count = 0;
     for (const std::size_t ui : kernel_->live()) {
@@ -428,6 +441,7 @@ class CmfsdPolicy final : public SchemePolicy {
         u.lo_streak = 0;
       }
       if (u.rho != old_rho) {
+        if (metrics_ != nullptr) metrics_->add(rho_moves_id_);
         virtual_bw_ += (old_rho - u.rho) * mu_;
         // The tit-for-tat share of the in-flight stage changed: move the
         // download to the (new rate, subtorrent) group, preserving its
@@ -475,6 +489,13 @@ class CmfsdPolicy final : public SchemePolicy {
   // (tit-for-tat rate, subtorrent) -> service group.
   std::map<std::pair<double, unsigned>, std::size_t> group_of_;
   std::vector<std::pair<double, unsigned>> group_key_;
+
+  // Telemetry (null = inert).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceWriter* trace_ = nullptr;
+  obs::MetricId pool_rebuilds_id_ = 0;
+  obs::MetricId adapt_ticks_id_ = 0;
+  obs::MetricId rho_moves_id_ = 0;
 };
 
 }  // namespace

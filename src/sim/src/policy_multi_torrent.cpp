@@ -42,6 +42,10 @@ class TorrentPoolPolicy : public SchemePolicy {
     downloader_count_.assign(num_files_, 0);
     dirty_.assign(num_files_, false);
     dirty_list_.clear();
+    metrics_ = kernel.obs().metrics;
+    if (metrics_ != nullptr) {
+      refreshes_id_ = metrics_->counter("sim.mt.torrent_refreshes");
+    }
   }
 
  protected:
@@ -49,6 +53,13 @@ class TorrentPoolPolicy : public SchemePolicy {
     if (!dirty_[torrent]) {
       dirty_[torrent] = true;
       dirty_list_.push_back(torrent);
+    }
+  }
+
+  /// Telemetry: per-torrent rate re-derivations consumed this epoch.
+  void count_refreshes() {
+    if (metrics_ != nullptr && !dirty_list_.empty()) {
+      metrics_->add(refreshes_id_, dirty_list_.size());
     }
   }
 
@@ -139,6 +150,8 @@ class TorrentPoolPolicy : public SchemePolicy {
   std::vector<std::size_t> downloader_count_;
   std::vector<bool> dirty_;
   std::vector<unsigned> dirty_list_;
+  obs::MetricsRegistry* metrics_ = nullptr;  ///< null = inert
+  obs::MetricId refreshes_id_ = 0;
 
  public:
   void on_fault_bandwidth(double scale, double /*t*/) override {
@@ -167,6 +180,7 @@ class MtcdPolicy final : public TorrentPoolPolicy {
   }
 
   void refresh_rates(double t) override {
+    count_refreshes();
     for (const unsigned torrent : dirty_list_) {
       kernel_->set_group_rate(torrent, torrent_rate(torrent), t);
       dirty_[torrent] = false;
@@ -279,6 +293,7 @@ class MtsdPolicy final : public TorrentPoolPolicy {
   }
 
   void refresh_rates(double t) override {
+    count_refreshes();
     for (const unsigned torrent : dirty_list_) {
       kernel_->set_group_rate(torrent, torrent_rate(torrent), t);
       dirty_[torrent] = false;
@@ -422,6 +437,7 @@ class MfcdPolicy final : public TorrentPoolPolicy {
   }
 
   void refresh_rates(double t) override {
+    count_refreshes();
     for (const unsigned torrent : dirty_list_) {
       // The old slope applied on [mark, t]; bank it before swapping.
       integ_[torrent] += rate_[torrent] * (t - integ_mark_[torrent]);

@@ -51,6 +51,7 @@ void SimConfig::validate() const {
         "adapt.initial_rho must lie in [0, 1]");
   }
   faults.validate();
+  obs.validate();
 }
 
 SimResult run_simulation(const SimConfig& config) {

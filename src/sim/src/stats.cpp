@@ -11,7 +11,8 @@ StatsCollector::StatsCollector(unsigned num_classes)
       online_per_file_(num_classes),
       download_per_file_(num_classes),
       final_rho_(num_classes),
-      arrivals_(num_classes, 0) {
+      arrivals_(num_classes, 0),
+      rho_series_(rho_recorder_.series("adapt.rho_mean")) {
   BTMF_CHECK_MSG(num_classes >= 1, "StatsCollector needs >= 1 class");
 }
 
@@ -47,8 +48,7 @@ void StatsCollector::record_user(unsigned user_class, unsigned files_requested,
 }
 
 void StatsCollector::record_rho_sample(double t, double mean_rho) {
-  rho_times_.push_back(t);
-  rho_means_.push_back(mean_rho);
+  rho_recorder_.append(rho_series_, t, mean_rho);
 }
 
 SimResult StatsCollector::finalize(double measured_time,
@@ -86,8 +86,9 @@ SimResult StatsCollector::finalize(double measured_time,
   result.censored_users = censored_;
   result.aborted_users = aborted_;
   result.events_processed = events_;
-  result.rho_trajectory_time = rho_times_;
-  result.rho_trajectory_mean = rho_means_;
+  const obs::SeriesData rho = rho_recorder_.data(rho_series_);
+  result.rho_trajectory_time = rho.t;
+  result.rho_trajectory_mean = rho.v;
   return result;
 }
 

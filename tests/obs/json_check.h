@@ -1,0 +1,125 @@
+// Minimal recursive-descent JSON well-formedness checker for the obs
+// tests: no external JSON dependency, just enough to assert that emitted
+// documents parse (objects, arrays, strings, numbers, literals). Returns
+// false on trailing garbage too.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace btmf::obs::test {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    pos_ = 0;
+    const bool ok = value();
+    skip_ws();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool string() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;  // skip the escaped character
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      digits = true;
+      ++pos_;
+    }
+    if (!digits) pos_ = start;
+    return digits;
+  }
+
+  bool literal(const char* word) {
+    skip_ws();
+    std::size_t i = 0;
+    while (word[i] != '\0') {
+      if (pos_ + i >= text_.size() || text_[pos_ + i] != word[i]) return false;
+      ++i;
+    }
+    pos_ += i;
+    return true;
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    do {
+      if (!string()) return false;
+      if (!consume(':')) return false;
+      if (!value()) return false;
+    } while (consume(','));
+    return consume('}');
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    if (consume(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (consume(','));
+    return consume(']');
+  }
+
+  bool value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline bool json_parses(const std::string& text) {
+  return JsonChecker(text).valid();
+}
+
+}  // namespace btmf::obs::test

@@ -1,0 +1,92 @@
+// TimeSeriesRecorder: budgeted decimation must preserve the recorded
+// interval's endpoints and sample order at any budget.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "btmf/obs/timeseries.h"
+#include "btmf/util/error.h"
+#include "json_check.h"
+
+namespace btmf::obs {
+namespace {
+
+TEST(ObsSeries, AppendAndReadBack) {
+  TimeSeriesRecorder rec;
+  const SeriesId id = rec.series("sim.live_peers");
+  rec.append(id, 0.0, 3.0);
+  rec.append(id, 1.5, 5.0);
+  const SeriesData data = rec.data(id);
+  ASSERT_EQ(data.t.size(), 2u);
+  EXPECT_EQ(data.t[1], 1.5);
+  EXPECT_EQ(data.v[1], 5.0);
+  EXPECT_EQ(data.decimations, 0u);
+}
+
+TEST(ObsSeries, BackwardsTimestampThrows) {
+  TimeSeriesRecorder rec;
+  const SeriesId id = rec.series("sim.live_peers");
+  rec.append(id, 10.0, 1.0);
+  EXPECT_THROW(rec.append(id, 9.0, 2.0), ConfigError);
+  rec.append(id, 10.0, 3.0);  // equal timestamps are allowed (step edges)
+}
+
+TEST(ObsSeries, DecimationPreservesEndpointsAndOrder) {
+  TimeSeriesRecorder rec;
+  const std::size_t kBudget = 16;
+  const SeriesId id = rec.series("sim.downloaders.c1", kBudget);
+  const std::size_t kSamples = 1000;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const double t = static_cast<double>(i) * 0.25;
+    rec.append(id, t, 2.0 * t);  // v = f(t) so pairs stay checkable
+  }
+  const SeriesData data = rec.data(id);
+  ASSERT_GE(data.t.size(), 2u);
+  EXPECT_LE(data.t.size(), kBudget);
+  EXPECT_GT(data.decimations, 0u);
+  // First and last appended samples survive every decimation pass.
+  EXPECT_EQ(data.t.front(), 0.0);
+  EXPECT_EQ(data.t.back(), static_cast<double>(kSamples - 1) * 0.25);
+  for (std::size_t i = 0; i < data.t.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(data.t[i - 1], data.t[i]);  // monotone timestamps
+    }
+    EXPECT_EQ(data.v[i], 2.0 * data.t[i]);  // (t, v) pairs intact
+  }
+}
+
+TEST(ObsSeries, BudgetZeroIsUnbounded) {
+  TimeSeriesRecorder rec(0);
+  const SeriesId id = rec.series("adapt.rho_mean");
+  for (int i = 0; i < 10'000; ++i) {
+    rec.append(id, static_cast<double>(i), 0.5);
+  }
+  const SeriesData data = rec.data(id);
+  EXPECT_EQ(data.t.size(), 10'000u);
+  EXPECT_EQ(data.decimations, 0u);
+}
+
+TEST(ObsSeries, ImportReplacesWholesaleLastWins) {
+  TimeSeriesRecorder rec;
+  rec.import_series("sim.live_peers", {0.0, 1.0}, {2.0, 3.0});
+  rec.import_series("sim.live_peers", {0.0, 5.0, 9.0}, {1.0, 4.0, 2.0});
+  const SeriesData data = rec.data(rec.series("sim.live_peers"));
+  ASSERT_EQ(data.t.size(), 3u);
+  EXPECT_EQ(data.t.back(), 9.0);
+  EXPECT_EQ(data.v.back(), 2.0);
+}
+
+TEST(ObsSeries, JsonFragmentParses) {
+  TimeSeriesRecorder rec;
+  const SeriesId id = rec.series("sim.seeds.c2");
+  rec.append(id, 0.0, 0.0);
+  rec.append(id, 2.5, 7.0);
+  const std::string json = rec.to_json();
+  EXPECT_TRUE(test::json_parses(json)) << json;
+  EXPECT_NE(json.find("\"sim.seeds.c2\""), std::string::npos);
+  EXPECT_NE(json.find("\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"v\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace btmf::obs

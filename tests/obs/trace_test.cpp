@@ -1,0 +1,106 @@
+// TraceWriter: emitted Chrome trace_event JSON must parse and nested
+// spans must stay properly contained in their parent's interval.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "btmf/obs/trace.h"
+#include "btmf/util/error.h"
+#include "json_check.h"
+
+namespace btmf::obs {
+namespace {
+
+// Pulls `"key": <number>` out of the event line holding `"name": "<name>"`.
+std::uint64_t event_field(const std::string& json, const std::string& name,
+                          const std::string& key) {
+  const std::size_t at = json.find("\"name\": \"" + name + "\"");
+  EXPECT_NE(at, std::string::npos) << "no event named " << name;
+  const std::size_t field = json.find("\"" + key + "\": ", at);
+  EXPECT_NE(field, std::string::npos) << key << " missing on " << name;
+  return std::strtoull(json.c_str() + field + key.size() + 4, nullptr, 10);
+}
+
+TEST(ObsTrace, SpanEmitsCompleteEvent) {
+  TraceWriter trace("test");
+  {
+    TraceWriter::Span span = trace.span("kernel.dispatch");
+    span.set_args(R"({"rounds": 1024})");
+  }
+  EXPECT_EQ(trace.event_count(), 1u);
+  const std::string json = trace.to_json();
+  EXPECT_TRUE(test::json_parses(json)) << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"kernel.dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"rounds\": 1024"), std::string::npos);
+}
+
+TEST(ObsTrace, NestedSpansStayContained) {
+  TraceWriter trace("test");
+  TraceWriter::Span outer = trace.span("outer");
+  {
+    TraceWriter::Span inner = trace.span("inner");
+    // Spin until the clock visibly advances so the intervals are distinct.
+    const std::uint64_t start = trace.now_us();
+    while (trace.now_us() - start < 200) {
+    }
+  }
+  outer.end();
+  const std::string json = trace.to_json();
+  ASSERT_TRUE(test::json_parses(json)) << json;
+  const std::uint64_t outer_ts = event_field(json, "outer", "ts");
+  const std::uint64_t outer_end = outer_ts + event_field(json, "outer", "dur");
+  const std::uint64_t inner_ts = event_field(json, "inner", "ts");
+  const std::uint64_t inner_end = inner_ts + event_field(json, "inner", "dur");
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_end, outer_end);
+  EXPECT_GT(inner_end, inner_ts);  // the spin made the inner span nonzero
+}
+
+TEST(ObsTrace, EndIsIdempotentAndMoveTransfersOwnership) {
+  TraceWriter trace("test");
+  TraceWriter::Span a = trace.span("step");
+  TraceWriter::Span b = std::move(a);
+  b.end();
+  b.end();  // second end is a no-op
+  EXPECT_EQ(trace.event_count(), 1u);  // the moved-from span emits nothing
+}
+
+TEST(ObsTrace, InstantAndCounterEvents) {
+  TraceWriter trace("test");
+  trace.instant("fault.tracker_down", R"({"sim_t": 500})");
+  trace.counter("live_peers", 321.0);
+  const std::string json = trace.to_json();
+  EXPECT_TRUE(test::json_parses(json)) << json;
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_t\": 500"), std::string::npos);
+}
+
+TEST(ObsTrace, MetadataNamesTheProcess) {
+  TraceWriter trace("btmf_tool simulate");
+  const std::string json = trace.to_json();
+  EXPECT_TRUE(test::json_parses(json)) << json;
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("btmf_tool simulate"), std::string::npos);
+}
+
+TEST(ObsTrace, WriteFileRoundTripAndFailure) {
+  TraceWriter trace("test");
+  trace.instant("marker");
+  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  trace.write_file(path);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(test::json_parses(buffer.str()));
+  std::remove(path.c_str());
+  EXPECT_THROW(trace.write_file("/nonexistent-dir/trace.json"), IoError);
+}
+
+}  // namespace
+}  // namespace btmf::obs
