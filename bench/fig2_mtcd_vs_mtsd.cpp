@@ -2,34 +2,11 @@
 // under MTCD and MTSD (K = 10, mu = 0.02, eta = 0.5, gamma = 0.05).
 //
 // Paper shape: MTSD is flat at 80; MTCD matches it at p -> 0 and degrades
-// monotonically to 98 at p = 1 (~22% worse).
-#include <vector>
-
-#include "bench_util.h"
-#include "btmf/core/experiments.h"
+// monotonically to 98 at p = 1 (~22% worse). The grid and claim checks
+// live in the `btmf_tool reproduce` registry; see fig_common.h.
+#include "fig_common.h"
 
 int main(int argc, char** argv) {
-  using namespace btmf;
-  util::ArgParser parser =
-      bench::make_parser("fig2_mtcd_vs_mtsd",
-                         "Figure 2: MTCD vs MTSD average online time per "
-                         "file over the file correlation p");
-  parser.add_option("k", "10", "number of files K");
-  parser.add_option("steps", "21", "number of p samples in [0, 1]");
-  if (!parser.parse(argc, argv)) return 0;
-
-  core::ScenarioConfig base;
-  base.num_files = static_cast<unsigned>(parser.get_int("k"));
-
-  const auto steps = static_cast<std::size_t>(parser.get_int("steps"));
-  std::vector<double> ps;
-  for (std::size_t s = 0; s < steps; ++s) {
-    ps.push_back(static_cast<double>(s) / static_cast<double>(steps - 1));
-  }
-
-  const util::Table table = core::fig2_table(base, ps);
-  bench::emit(table,
-              "Figure 2 — average online time per file (fluid model)",
-              parser.get("csv"));
-  return 0;
+  return btmf::bench::run_figure_bench("fig2_mtcd_vs_mtsd", "fig2", argc,
+                                       argv);
 }

@@ -5,29 +5,10 @@
 // classes). Under MTCD the per-file online time falls with the class
 // index (multi-file peers amortise the single seeding residence); at low
 // p class-1 peers do worse than MTSD while high classes do better; at
-// p = 1 every class does worse than MTSD.
-#include <vector>
-
-#include "bench_util.h"
-#include "btmf/core/experiments.h"
+// p = 1 every class does worse than MTSD. The grid and claim checks live
+// in the `btmf_tool reproduce` registry; see fig_common.h.
+#include "fig_common.h"
 
 int main(int argc, char** argv) {
-  using namespace btmf;
-  util::ArgParser parser = bench::make_parser(
-      "fig3_per_class",
-      "Figure 3: per-class online/download time per file, MTCD vs MTSD");
-  parser.add_option("k", "10", "number of files K");
-  parser.add_option("p-low", "0.1", "low file correlation");
-  parser.add_option("p-high", "1.0", "high file correlation");
-  if (!parser.parse(argc, argv)) return 0;
-
-  core::ScenarioConfig base;
-  base.num_files = static_cast<unsigned>(parser.get_int("k"));
-  const std::vector<double> ps{parser.get_double("p-low"),
-                               parser.get_double("p-high")};
-
-  const util::Table table = core::fig3_table(base, ps);
-  bench::emit(table, "Figure 3 — per-class metrics, MTCD vs MTSD (fluid)",
-              parser.get("csv"));
-  return 0;
+  return btmf::bench::run_figure_bench("fig3_per_class", "fig3", argc, argv);
 }

@@ -3,42 +3,12 @@
 //
 // Paper shape: for every p the surface is minimised at rho = 0; the
 // improvement over rho = 1 (which equals MFCD) grows with p. Each cell is
-// an independent 65-state ODE steady-state solve, run in parallel.
-#include <vector>
-
-#include "bench_util.h"
-#include "btmf/core/experiments.h"
-#include "btmf/util/stopwatch.h"
+// an independent 65-state ODE steady-state solve, sharded across the
+// thread pool (and cached with --cache-dir). The grid and claim checks
+// live in the `btmf_tool reproduce` registry; see fig_common.h.
+#include "fig_common.h"
 
 int main(int argc, char** argv) {
-  using namespace btmf;
-  util::ArgParser parser = bench::make_parser(
-      "fig4a_cmfsd_surface",
-      "Figure 4(a): CMFSD average online time per file over (p, rho)");
-  parser.add_option("k", "10", "number of files K");
-  parser.add_option("p-steps", "10", "number of p samples in (0, 1]");
-  parser.add_option("rho-steps", "11", "number of rho samples in [0, 1]");
-  if (!parser.parse(argc, argv)) return 0;
-
-  core::ScenarioConfig base;
-  base.num_files = static_cast<unsigned>(parser.get_int("k"));
-
-  const auto np = static_cast<std::size_t>(parser.get_int("p-steps"));
-  const auto nr = static_cast<std::size_t>(parser.get_int("rho-steps"));
-  std::vector<double> ps, rhos;
-  for (std::size_t s = 1; s <= np; ++s) {
-    ps.push_back(static_cast<double>(s) / static_cast<double>(np));
-  }
-  for (std::size_t s = 0; s < nr; ++s) {
-    rhos.push_back(static_cast<double>(s) / static_cast<double>(nr - 1));
-  }
-
-  util::Stopwatch timer;
-  const util::Table table = core::fig4a_table(base, ps, rhos);
-  bench::emit(table,
-              "Figure 4(a) — CMFSD avg online time per file over (p, rho)",
-              parser.get("csv"));
-  std::cout << "\n(" << ps.size() * rhos.size()
-            << " steady-state solves in " << timer.seconds() << " s)\n";
-  return 0;
+  return btmf::bench::run_figure_bench("fig4a_cmfsd_surface", "fig4a", argc,
+                                       argv);
 }

@@ -5,33 +5,11 @@
 // Paper shape: CMFSD introduces class unfairness — single-file peers
 // download faster per file than multi-file peers — most visibly at large
 // rho and low p; at p = 0.9 with rho = 0.1 every class clearly beats
-// MFCD and the unfairness is mild.
-#include <vector>
-
-#include "bench_util.h"
-#include "btmf/core/experiments.h"
+// MFCD and the unfairness is mild. The grid and claim checks live in the
+// `btmf_tool reproduce` registry; see fig_common.h.
+#include "fig_common.h"
 
 int main(int argc, char** argv) {
-  using namespace btmf;
-  util::ArgParser parser = bench::make_parser(
-      "fig4bc_per_class",
-      "Figures 4(b)/(c): per-class metrics under CMFSD and MFCD");
-  parser.add_option("k", "10", "number of files K");
-  parser.add_option("rho-low", "0.1", "generous CMFSD setting");
-  parser.add_option("rho-high", "0.9", "selfish CMFSD setting");
-  if (!parser.parse(argc, argv)) return 0;
-
-  core::ScenarioConfig base;
-  base.num_files = static_cast<unsigned>(parser.get_int("k"));
-  const std::vector<double> rhos{parser.get_double("rho-low"),
-                                 parser.get_double("rho-high")};
-
-  const util::Table fig4b = core::fig4bc_table(base, 0.9, rhos);
-  bench::emit(fig4b, "Figure 4(b) — per-class metrics at p = 0.9 (fluid)",
-              parser.get("csv").empty() ? "" : parser.get("csv") + ".b.csv");
-
-  const util::Table fig4c = core::fig4bc_table(base, 0.1, rhos);
-  bench::emit(fig4c, "Figure 4(c) — per-class metrics at p = 0.1 (fluid)",
-              parser.get("csv").empty() ? "" : parser.get("csv") + ".c.csv");
-  return 0;
+  return btmf::bench::run_figure_bench("fig4bc_per_class", "fig4bc", argc,
+                                       argv);
 }

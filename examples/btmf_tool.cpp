@@ -4,6 +4,7 @@
 //   btmf_tool simulate --scheme mtsd --p 0.5              agent-level swarm
 //   btmf_tool sweep --scheme cmfsd --rho 0.0              online time vs p
 //   btmf_tool adapt --cheaters 0.5                        Adapt fixed point
+//   btmf_tool reproduce [--figure fig2]                   paper-vs-measured
 //
 // Every subcommand accepts --help.
 #include <iostream>
@@ -16,6 +17,7 @@
 #include "btmf/obs/sink.h"
 #include "btmf/sim/faults.h"
 #include "btmf/sim/simulator.h"
+#include "btmf/sweep/reproduce.h"
 #include "btmf/util/cli.h"
 #include "btmf/util/error.h"
 #include "btmf/util/strings.h"
@@ -273,9 +275,116 @@ int cmd_adapt(int argc, const char* const* argv) {
   return 0;
 }
 
+std::string claim_condition(const sweep::Claim& claim) {
+  const std::string expected = util::format_double(claim.expected, 6);
+  const std::string tol = util::format_double(claim.tolerance, 6);
+  switch (claim.relation) {
+    case sweep::Relation::kWithin:
+      return "want " + expected + " +- " + tol;
+    case sweep::Relation::kAtMost:
+      return "want <= " + expected + (claim.tolerance != 0.0
+                                          ? " (+" + tol + " slack)"
+                                          : "");
+    case sweep::Relation::kAtLeast:
+      return "want >= " + expected + (claim.tolerance != 0.0
+                                          ? " (-" + tol + " slack)"
+                                          : "");
+  }
+  return {};
+}
+
+int cmd_reproduce(int argc, const char* const* argv) {
+  util::ArgParser parser(
+      "btmf_tool reproduce",
+      "regenerate the paper's figures, check every headline claim against "
+      "explicit tolerances, and write docs/REPRODUCTION.md");
+  parser.add_option("figure", "all", "fig2|fig3|fig4a|fig4bc|adapt|all");
+  parser.add_option("cache-dir", ".btmf-sweep-cache",
+                    "sweep point cache root ('' = recompute everything)");
+  parser.add_option("jobs", "0", "worker threads (0 = shared global pool)");
+  parser.add_option("report", "docs/REPRODUCTION.md",
+                    "write the paper-vs-measured markdown here ('' = skip)");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const long long jobs = parser.get_int("jobs");
+  require(jobs >= 0, "--jobs must be >= 0");
+  obs::MetricsRegistry metrics;
+  sweep::ReproduceOptions options;
+  options.cache_dir = parser.get("cache-dir");
+  options.jobs = static_cast<std::size_t>(jobs);
+  options.metrics = &metrics;
+
+  const std::string figure = util::to_lower(parser.get("figure"));
+  std::vector<const sweep::FigureSpec*> specs;
+  if (figure == "all") {
+    for (const sweep::FigureSpec& spec : sweep::figure_registry()) {
+      specs.push_back(&spec);
+    }
+  } else {
+    const sweep::FigureSpec* spec = sweep::find_figure(figure);
+    require(spec != nullptr,
+            "unknown figure '" + figure +
+                "' (expected fig2|fig3|fig4a|fig4bc|adapt|all)");
+    specs.push_back(spec);
+  }
+
+  std::vector<sweep::FigureReport> reports;
+  reports.reserve(specs.size());
+  for (const sweep::FigureSpec* spec : specs) {
+    std::cout << "== " << spec->name << " — " << spec->title << " ("
+              << spec->paper_ref << ")\n";
+    reports.push_back(spec->run(options));
+    const sweep::FigureReport& report = reports.back();
+    for (const sweep::Claim& claim : report.claims) {
+      std::cout << (claim.pass ? "  PASS  " : "  FAIL  ") << claim.id << ": "
+                << "measured " << util::format_double(claim.measured, 6)
+                << " (" << claim_condition(claim) << ")\n";
+    }
+    std::cout << "  sweep: " << report.stats.points << " points — "
+              << report.stats.cache_hits << " cached, "
+              << report.stats.cache_misses << " computed, "
+              << report.stats.failures << " failed ("
+              << util::format_double(report.stats.seconds, 3) << " s)\n";
+  }
+
+  const obs::MetricsSnapshot snapshot = metrics.snapshot();
+  const auto counter = [&snapshot](const char* name) -> std::uint64_t {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0 : it->second;
+  };
+  std::size_t passed = 0;
+  std::size_t total = 0;
+  for (const sweep::FigureReport& report : reports) {
+    passed += report.num_passed();
+    total += report.claims.size();
+  }
+  std::cout << "\nsweep metrics: " << counter("sweep.points_done")
+            << " points done, " << counter("sweep.cache_hits")
+            << " cache hits, " << counter("sweep.cache_misses")
+            << " computed, " << counter("sweep.failures") << " failures\n"
+            << "claims: " << passed << "/" << total << " passed\n";
+
+  // A partial --figure run never overwrites the committed report at the
+  // default path (it would silently shrink it); redirect with --report to
+  // capture a partial run's claim summary (the CI smoke test does).
+  const std::string report_path = parser.get("report");
+  if (!report_path.empty()) {
+    if (figure == "all" || report_path != "docs/REPRODUCTION.md") {
+      sweep::write_reproduction_report(report_path, reports);
+      std::cout << "report written to " << report_path << '\n';
+    } else {
+      std::cout << "partial run (--figure " << figure
+                << "); not overwriting " << report_path
+                << " (pass --report elsewhere to save this run)\n";
+    }
+  }
+  return passed == total ? 0 : 1;
+}
+
 void print_usage() {
   std::cout << "btmf_tool — multiple-file BitTorrent downloading analysis\n"
-               "usage: btmf_tool <evaluate|simulate|sweep|adapt> [options]\n"
+               "usage: btmf_tool "
+               "<evaluate|simulate|sweep|adapt|reproduce> [options]\n"
                "       btmf_tool <subcommand> --help for details\n";
 }
 
@@ -304,6 +413,9 @@ int main(int argc, char** argv) {
     }
     if (subcommand == "adapt") {
       return cmd_adapt(static_cast<int>(args.size()), args.data());
+    }
+    if (subcommand == "reproduce") {
+      return cmd_reproduce(static_cast<int>(args.size()), args.data());
     }
     if (subcommand == "--help" || subcommand == "-h") {
       print_usage();

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Check relative links in the repo's markdown docs.
+
+Scans the top-level markdown files and everything under docs/ for
+markdown-style links `[text](target)` and fails (exit 1) if a relative
+target does not exist on disk. External links (http/https/mailto) and
+pure in-page anchors (#...) are skipped; a `path#anchor` target is
+checked for the path part only.
+
+Run from anywhere: paths resolve against the repo root (the parent of
+this script's directory).
+
+Usage: python3 scripts/check_doc_links.py [extra files...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Files whose links must resolve. ISSUE/PAPERS/SNIPPETS are working notes
+# with external or illustrative references, so they are not checked.
+DEFAULT_DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+]
+
+# [text](target) — target must not contain spaces or nested parens.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+# Fenced code blocks: links inside them are illustrative, not navigational.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every markdown link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:  # pure in-page anchor
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            rel = path.relative_to(REPO_ROOT)
+            errors.append(f"{rel}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    docs = [REPO_ROOT / name for name in DEFAULT_DOCS]
+    docs += sorted((REPO_ROOT / "docs").glob("*.md"))
+    docs += [Path(arg).resolve() for arg in argv[1:]]
+
+    errors = []
+    checked = 0
+    for doc in docs:
+        if not doc.exists():
+            errors.append(f"{doc}: file listed for checking does not exist")
+            continue
+        checked += 1
+        errors.extend(check_file(doc))
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} files: "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} broken links)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

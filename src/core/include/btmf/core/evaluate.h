@@ -5,6 +5,7 @@
 // online/download times at the fluid steady state.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "btmf/core/scenario.h"
@@ -51,5 +52,16 @@ SchemeReport evaluate_scheme(const ScenarioConfig& scenario,
 /// Convenience: evaluate all four schemes (CMFSD at options.rho).
 std::vector<SchemeReport> evaluate_all_schemes(
     const ScenarioConfig& scenario, const EvaluateOptions& options = {});
+
+/// Canonical, whitespace-free "key=value;..." description of a scenario,
+/// with exact round-trip doubles. Two scenarios fingerprint equally iff
+/// every field that can change an evaluation result is equal — the sweep
+/// cache folds this into its content keys, so editing any input is a
+/// cache miss rather than a stale hit.
+std::string fingerprint(const ScenarioConfig& scenario);
+
+/// Same for the evaluation knobs, including every solver option
+/// (tolerances, chunk schedule, ODE controls) that can move a result.
+std::string fingerprint(const EvaluateOptions& options);
 
 }  // namespace btmf::core

@@ -7,11 +7,32 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "btmf/core/scenario.h"
 #include "btmf/util/table.h"
 
 namespace btmf::core {
+
+/// One Fig. 2 sample: both schemes' headline metric at one correlation.
+/// The unit of work the sweep engine computes (and caches) per grid
+/// point; fig2_table assembles rows from these.
+struct Fig2Point {
+  double mtcd_online_per_file = 0.0;
+  double mtsd_online_per_file = 0.0;
+};
+Fig2Point fig2_point(const ScenarioConfig& base, double p);
+
+/// One Fig. 3 sample at correlation p: the MTCD closed-form per-file
+/// factor A (the MTCD curves are online = A + 1/(i gamma), download = A
+/// for every class i, including classes whose population vanishes) and
+/// the MTSD per-class per-file metrics.
+struct Fig3Point {
+  double mtcd_factor_a = 0.0;
+  std::vector<double> mtsd_online_per_file;    ///< index 0 = class 1
+  std::vector<double> mtsd_download_per_file;
+};
+Fig3Point fig3_point(const ScenarioConfig& base, double p);
 
 /// Fig. 2 — average online time per file vs file correlation p under MTCD
 /// and MTSD. Columns: p, MTCD, MTSD, MTCD/MTSD ratio.

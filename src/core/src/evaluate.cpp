@@ -8,6 +8,7 @@
 #include "btmf/fluid/mtsd.h"
 #include "btmf/fluid/single_torrent.h"
 #include "btmf/util/check.h"
+#include "btmf/util/strings.h"
 
 namespace btmf::core {
 
@@ -114,6 +115,38 @@ SchemeReport evaluate_scheme(const ScenarioConfig& scenario,
   report.avg_online_per_user = fluid::average_online_time_per_user(
       report.per_class, report.class_entry_rates);
   return report;
+}
+
+std::string fingerprint(const ScenarioConfig& scenario) {
+  const auto d = [](double v) { return util::format_double_exact(v); };
+  return "k=" + std::to_string(scenario.num_files) +
+         ";p=" + d(scenario.correlation) +
+         ";lambda0=" + d(scenario.visit_rate) + ";mu=" + d(scenario.fluid.mu) +
+         ";eta=" + d(scenario.fluid.eta) +
+         ";gamma=" + d(scenario.fluid.gamma);
+}
+
+std::string fingerprint(const EvaluateOptions& options) {
+  const auto d = [](double v) { return util::format_double_exact(v); };
+  std::string out = "rho=" + d(options.rho);
+  if (!options.rho_per_class.empty()) {
+    out += ";rho_per_class=";
+    for (std::size_t i = 0; i < options.rho_per_class.size(); ++i) {
+      if (i != 0) out += ',';
+      out += d(options.rho_per_class[i]);
+    }
+  }
+  const math::EquilibriumOptions& solver = options.solver;
+  out += ";solver=" + d(solver.residual_tol) + ',' + d(solver.chunk_time) +
+         ',' + d(solver.chunk_growth) + ',' +
+         std::to_string(solver.max_chunks) + ',' +
+         (solver.polish_with_newton ? '1' : '0') + ',' +
+         (solver.clamp_nonnegative ? '1' : '0');
+  out += ";ode=" + d(solver.ode.rtol) + ',' + d(solver.ode.atol) + ',' +
+         d(solver.ode.initial_dt) + ',' + d(solver.ode.max_dt) + ',' +
+         std::to_string(solver.ode.max_steps) + ',' +
+         (solver.ode.clamp_nonnegative ? '1' : '0');
+  return out;
 }
 
 std::vector<SchemeReport> evaluate_all_schemes(

@@ -11,19 +11,43 @@
 
 namespace btmf::core {
 
+Fig2Point fig2_point(const ScenarioConfig& base, double p) {
+  ScenarioConfig scenario = base;
+  scenario.correlation = p;
+  return Fig2Point{
+      evaluate_scheme(scenario, fluid::SchemeKind::kMtcd).avg_online_per_file,
+      evaluate_scheme(scenario, fluid::SchemeKind::kMtsd)
+          .avg_online_per_file};
+}
+
+Fig3Point fig3_point(const ScenarioConfig& base, double p) {
+  ScenarioConfig scenario = base;
+  scenario.correlation = p;
+  // The paper plots the closed-form curves T_i/i = A + 1/(i gamma) and
+  // D_i/i = A over ALL classes, including classes whose population
+  // vanishes at the given p (e.g. everything but class K at p = 1), so
+  // the figure uses the per-file factor A directly rather than the
+  // population-conditional per-class metrics.
+  Fig3Point point;
+  point.mtcd_factor_a =
+      p == 0.0
+          ? fluid::single_torrent_download_time(scenario.fluid)
+          : fluid::mfcd_download_time_per_file(scenario.fluid,
+                                               scenario.correlation_model());
+  const SchemeReport mtsd = evaluate_scheme(scenario, fluid::SchemeKind::kMtsd);
+  point.mtsd_online_per_file = mtsd.per_class.online_per_file;
+  point.mtsd_download_per_file = mtsd.per_class.download_per_file;
+  return point;
+}
+
 util::Table fig2_table(const ScenarioConfig& base,
                        std::span<const double> p_values) {
   util::Table table({"p", "MTCD online/file", "MTSD online/file",
                      "MTCD/MTSD"});
   for (const double p : p_values) {
-    ScenarioConfig scenario = base;
-    scenario.correlation = p;
-    const SchemeReport mtcd =
-        evaluate_scheme(scenario, fluid::SchemeKind::kMtcd);
-    const SchemeReport mtsd =
-        evaluate_scheme(scenario, fluid::SchemeKind::kMtsd);
-    table.add_row({p, mtcd.avg_online_per_file, mtsd.avg_online_per_file,
-                   mtcd.avg_online_per_file / mtsd.avg_online_per_file});
+    const Fig2Point point = fig2_point(base, p);
+    table.add_row({p, point.mtcd_online_per_file, point.mtsd_online_per_file,
+                   point.mtcd_online_per_file / point.mtsd_online_per_file});
   }
   return table;
 }
@@ -33,25 +57,13 @@ util::Table fig3_table(const ScenarioConfig& base,
   util::Table table({"p", "class", "MTCD online/file", "MTSD online/file",
                      "MTCD dl/file", "MTSD dl/file"});
   for (const double p : p_values) {
-    ScenarioConfig scenario = base;
-    scenario.correlation = p;
-    // The paper plots the closed-form curves T_i/i = A + 1/(i gamma) and
-    // D_i/i = A over ALL classes, including classes whose population
-    // vanishes at the given p (e.g. everything but class K at p = 1), so
-    // the figure uses the per-file factor A directly rather than the
-    // population-conditional per-class metrics.
-    const double a =
-        p == 0.0
-            ? fluid::single_torrent_download_time(scenario.fluid)
-            : fluid::mfcd_download_time_per_file(scenario.fluid,
-                                                 scenario.correlation_model());
-    const SchemeReport mtsd =
-        evaluate_scheme(scenario, fluid::SchemeKind::kMtsd);
+    const Fig3Point point = fig3_point(base, p);
     for (unsigned i = 1; i <= base.num_files; ++i) {
-      const double mtcd_online = a + 1.0 / (i * scenario.fluid.gamma);
+      const double mtcd_online =
+          point.mtcd_factor_a + 1.0 / (i * base.fluid.gamma);
       table.add_row({p, static_cast<double>(i), mtcd_online,
-                     mtsd.per_class.online_per_file[i - 1], a,
-                     mtsd.per_class.download_per_file[i - 1]});
+                     point.mtsd_online_per_file[i - 1], point.mtcd_factor_a,
+                     point.mtsd_download_per_file[i - 1]});
     }
   }
   return table;

@@ -14,15 +14,20 @@
 
 namespace btmf::parallel {
 
-/// Runs body(i) for i in [begin, end) across `pool`, in blocks of
-/// roughly equal size. Rethrows the first exception any body raised.
+/// Runs body(i) for i in [begin, end) across `pool`, split into exactly
+/// `num_shards` contiguous blocks (clamped to [1, n]) of roughly equal
+/// size — one pool task per shard. Rethrows the first exception any body
+/// raised. Callers that must prove shard-count independence (the sweep
+/// engine's determinism tests) pin `num_shards` explicitly; everyone else
+/// should use parallel_for, which picks a load-balancing default.
 template <typename Body>
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const Body& body) {
+void parallel_for_sharded(ThreadPool& pool, std::size_t begin,
+                          std::size_t end, std::size_t num_shards,
+                          const Body& body) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t num_blocks =
-      std::min(n, std::max<std::size_t>(1, pool.num_threads() * 4));
+      std::min(n, std::max<std::size_t>(1, num_shards));
   const std::size_t block = (n + num_blocks - 1) / num_blocks;
 
   std::vector<std::future<void>> futures;
@@ -43,6 +48,15 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Runs body(i) for i in [begin, end) across `pool`, in blocks of
+/// roughly equal size (4 shards per worker, for load balancing).
+/// Rethrows the first exception any body raised.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const Body& body) {
+  parallel_for_sharded(pool, begin, end, pool.num_threads() * 4, body);
 }
 
 /// Convenience overload using the process-global pool.

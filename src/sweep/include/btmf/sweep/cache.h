@@ -1,0 +1,80 @@
+// Content-addressed disk cache for sweep point results.
+//
+// Each grid point's result is one small text file keyed by a 64-bit
+// FNV-1a hash of the full key material: cache-format salt + library
+// version + sweep name + spec fingerprint (scheme config, solver
+// options — whatever the registration folds in) + the point's canonical
+// coordinate string. Any change to any ingredient therefore misses
+// instead of serving a stale hit, and the stored key material is
+// re-verified on load so even a hash collision cannot alias two points.
+//
+// Values round-trip bit-identically (util::format_double_exact), so a
+// sweep served from cache is indistinguishable from a recomputed one —
+// the property the Sweep* tier-1 determinism tests pin down. Writes go
+// through a temp file + rename, so an interrupted run leaves either a
+// complete entry or a malformed one (treated as a miss), never a torn
+// read — this is what makes resume-after-interrupt safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace btmf::sweep {
+
+/// One point's computed values, keyed by metric name. std::map keeps the
+/// serialised form canonical (sorted) independent of insertion order.
+struct PointResult {
+  std::map<std::string, double> values;
+
+  [[nodiscard]] double at(std::string_view name) const;
+
+  bool operator==(const PointResult&) const = default;
+};
+
+/// 64-bit FNV-1a of `s` (the cache's content hash; also reusable for any
+/// deterministic string fingerprinting).
+std::uint64_t fnv1a64(std::string_view s);
+
+/// Identity of one cache entry. `material()` is the hashed string; the
+/// cache stores it verbatim alongside the values and rejects entries
+/// whose stored material mismatches (collision / hand-edited files).
+struct CacheKey {
+  std::string sweep;  ///< sweep (namespace) name — also the subdirectory
+  std::string spec;   ///< configuration fingerprint of the whole sweep
+  std::string point;  ///< GridPoint::canonical()
+
+  [[nodiscard]] std::string material() const;
+  [[nodiscard]] std::uint64_t hash() const { return fnv1a64(material()); }
+};
+
+/// Bumped whenever the on-disk format or key derivation changes; part of
+/// the key material, so old caches simply miss instead of misparsing.
+inline constexpr int kCacheFormatVersion = 1;
+
+class DiskCache {
+ public:
+  /// Opens (creating if needed) the cache rooted at `root`. Throws
+  /// btmf::IoError when the directory cannot be created.
+  explicit DiskCache(std::string root);
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+
+  /// Returns the stored result, or nullopt on absence, key-material
+  /// mismatch, or a malformed/truncated file (all treated as misses).
+  [[nodiscard]] std::optional<PointResult> load(const CacheKey& key) const;
+
+  /// Atomically persists `result` under `key` (temp file + rename).
+  /// Throws btmf::IoError on filesystem failure.
+  void store(const CacheKey& key, const PointResult& result) const;
+
+  /// Path of the entry file for `key` (whether or not it exists).
+  [[nodiscard]] std::string entry_path(const CacheKey& key) const;
+
+ private:
+  std::string root_;
+};
+
+}  // namespace btmf::sweep

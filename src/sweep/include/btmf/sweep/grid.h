@@ -1,0 +1,63 @@
+// Declarative parameter grids for batch evaluation.
+//
+// A Grid is an ordered set of named axes; its points are the cartesian
+// product, enumerated row-major (the first axis varies slowest). Every
+// point renders to a canonical string built from exact round-trip double
+// formatting, so a point's identity — and therefore its cache key — is a
+// pure function of its coordinates, independent of shard count, thread
+// count, or enumeration order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace btmf::sweep {
+
+/// One grid dimension: a parameter name and the values it takes.
+struct Axis {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// One cartesian-product point: (axis name, value) pairs in axis order.
+struct GridPoint {
+  std::vector<std::pair<std::string, double>> coords;
+
+  /// Value of the named coordinate; throws btmf::ConfigError if absent.
+  [[nodiscard]] double at(std::string_view name) const;
+
+  /// "name=value;name=value" with exact round-trip doubles — the point's
+  /// identity in cache keys and failure reports.
+  [[nodiscard]] std::string canonical() const;
+};
+
+class Grid {
+ public:
+  Grid() = default;
+
+  /// Appends an axis (chainable). Throws btmf::ConfigError on an empty
+  /// name, empty value list, or duplicate axis name.
+  Grid& axis(std::string name, std::vector<double> values);
+
+  [[nodiscard]] std::size_t num_axes() const { return axes_.size(); }
+  [[nodiscard]] const std::vector<Axis>& axes() const { return axes_; }
+
+  /// Number of cartesian-product points (0 for a grid with no axes).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Point `index` in row-major order (first axis slowest); throws
+  /// btmf::ConfigError when out of range.
+  [[nodiscard]] GridPoint point(std::size_t index) const;
+
+ private:
+  std::vector<Axis> axes_;
+};
+
+/// `n` evenly spaced values from `lo` to `hi` inclusive (n >= 2), or
+/// {lo} when n == 1. Throws btmf::ConfigError when n == 0.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace btmf::sweep

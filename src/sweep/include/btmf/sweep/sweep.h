@@ -1,0 +1,94 @@
+// The sweep engine: shard a parameter grid across the thread pool,
+// cache each point's result on disk, tolerate per-point failures.
+//
+// Fluid sweeps over (p, rho, lambda, gamma, ...) grids are embarrassingly
+// parallel, and the per-point solves are pure functions of their inputs —
+// so the engine treats every point as an independent, content-addressed
+// unit of work: look it up in the cache, compute on miss, store, move on.
+// Results land in pre-allocated slots indexed by grid position, making
+// the output bit-identical for any shard count, thread count, or cache
+// state (cold, warm, or partially warm after an interrupted run).
+//
+// A point whose compute function throws is recorded as failed (with the
+// exception message) without killing the sweep or poisoning the cache;
+// callers decide whether a partial sweep is usable. Progress streams
+// through an optional obs::MetricsRegistry (`sweep.*` counters — see
+// docs/OBSERVABILITY.md and docs/SWEEP.md).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "btmf/obs/metrics.h"
+#include "btmf/sweep/cache.h"
+#include "btmf/sweep/grid.h"
+
+namespace btmf::sweep {
+
+/// Computes one grid point. Must be a pure function of the point (plus
+/// the configuration captured in SweepSpec::fingerprint — anything that
+/// changes the output MUST be folded into the fingerprint, or the cache
+/// will serve stale results). Thread-safe: called concurrently from pool
+/// workers. Must not submit work to the pool the sweep itself runs on.
+using PointFn = std::function<PointResult(const GridPoint&)>;
+
+struct SweepSpec {
+  std::string name;         ///< cache namespace; one subdirectory per sweep
+  Grid grid;
+  /// Canonical description of everything the compute function depends on
+  /// besides the point itself: scheme config, solver options, seeds, ...
+  /// Folded into every point's cache key.
+  std::string fingerprint;
+  PointFn compute;
+};
+
+struct SweepOptions {
+  /// Cache root directory; empty disables caching entirely.
+  std::string cache_dir;
+  /// Worker threads: 0 = run on the process-global pool, N > 0 = a
+  /// dedicated pool of N workers for this sweep.
+  std::size_t jobs = 0;
+  /// Task granularity: the grid is split into this many contiguous
+  /// shards (one pool task each). 0 = four shards per worker. Results
+  /// are identical for every value; this knob only shapes scheduling.
+  std::size_t shards = 0;
+  /// Optional progress/metrics sink (non-owning): sweep.points_total,
+  /// sweep.points_done, sweep.cache_hits, sweep.cache_misses,
+  /// sweep.failures, and the sweep.point_seconds histogram.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+enum class PointStatus { kOk, kFailed };
+
+struct PointOutcome {
+  std::size_t index = 0;      ///< grid position (row-major)
+  GridPoint point;
+  PointResult result;         ///< empty when status == kFailed
+  PointStatus status = PointStatus::kOk;
+  bool from_cache = false;
+  std::string error;          ///< exception message when failed
+};
+
+struct SweepResult {
+  std::vector<PointOutcome> points;  ///< grid order, one per point
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;      ///< points actually computed
+  std::size_t failures = 0;
+  double wall_seconds = 0.0;         ///< not deterministic
+
+  [[nodiscard]] std::size_t num_points() const { return points.size(); }
+  [[nodiscard]] bool all_ok() const { return failures == 0; }
+  /// Outcome of the point at `index`; throws btmf::ConfigError if the
+  /// point failed (callers that tolerate failures check status first).
+  [[nodiscard]] const PointResult& result_at(std::size_t index) const;
+};
+
+/// Runs the sweep. Throws btmf::ConfigError on a malformed spec (empty
+/// name/grid, missing compute) and btmf::IoError when the cache
+/// directory cannot be used; per-point compute failures are *recorded*,
+/// never thrown.
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
+
+}  // namespace btmf::sweep

@@ -1,0 +1,87 @@
+#include "btmf/sweep/grid.h"
+
+#include <limits>
+
+#include "btmf/util/error.h"
+#include "btmf/util/strings.h"
+
+namespace btmf::sweep {
+
+double GridPoint::at(std::string_view name) const {
+  for (const auto& [axis, value] : coords) {
+    if (axis == name) return value;
+  }
+  throw ConfigError("grid point has no coordinate named '" +
+                    std::string(name) + "' (point: " + canonical() + ")");
+}
+
+std::string GridPoint::canonical() const {
+  std::string out;
+  for (const auto& [axis, value] : coords) {
+    if (!out.empty()) out += ';';
+    out += axis;
+    out += '=';
+    out += util::format_double_exact(value);
+  }
+  return out;
+}
+
+Grid& Grid::axis(std::string name, std::vector<double> values) {
+  if (name.empty()) throw ConfigError("grid axis needs a non-empty name");
+  if (values.empty()) {
+    throw ConfigError("grid axis '" + name + "' needs at least one value");
+  }
+  for (const Axis& existing : axes_) {
+    if (existing.name == name) {
+      throw ConfigError("duplicate grid axis '" + name + "'");
+    }
+  }
+  axes_.push_back(Axis{std::move(name), std::move(values)});
+  return *this;
+}
+
+std::size_t Grid::size() const {
+  if (axes_.empty()) return 0;
+  std::size_t n = 1;
+  for (const Axis& axis : axes_) {
+    const std::size_t m = axis.values.size();
+    if (n > std::numeric_limits<std::size_t>::max() / m) {
+      throw ConfigError("grid size overflows std::size_t");
+    }
+    n *= m;
+  }
+  return n;
+}
+
+GridPoint Grid::point(std::size_t index) const {
+  const std::size_t n = size();
+  if (index >= n) {
+    throw ConfigError("grid point index " + std::to_string(index) +
+                      " out of range (grid has " + std::to_string(n) +
+                      " points)");
+  }
+  // Row-major: the last axis cycles fastest.
+  GridPoint point;
+  point.coords.resize(axes_.size());
+  std::size_t remainder = index;
+  for (std::size_t a = axes_.size(); a-- > 0;) {
+    const Axis& axis = axes_[a];
+    point.coords[a] = {axis.name, axis.values[remainder % axis.values.size()]};
+    remainder /= axis.values.size();
+  }
+  return point;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n == 0) throw ConfigError("linspace needs at least one sample");
+  if (n == 1) return {lo};
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                           static_cast<double>(n - 1));
+  }
+  return out;
+}
+
+}  // namespace btmf::sweep

@@ -1,0 +1,139 @@
+#include "btmf/sweep/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <optional>
+
+#include "btmf/parallel/parallel_for.h"
+#include "btmf/parallel/thread_pool.h"
+#include "btmf/util/error.h"
+#include "btmf/util/stopwatch.h"
+
+namespace btmf::sweep {
+
+namespace {
+
+/// Resolved-up-front metric ids (the registry hot path carries ids, not
+/// names); all-zero and unused when no registry is attached.
+struct SweepMetrics {
+  obs::MetricsRegistry* registry = nullptr;
+  obs::MetricId total = 0;
+  obs::MetricId done = 0;
+  obs::MetricId hits = 0;
+  obs::MetricId misses = 0;
+  obs::MetricId failures = 0;
+  obs::MetricId seconds = 0;
+
+  explicit SweepMetrics(obs::MetricsRegistry* r) : registry(r) {
+    if (registry == nullptr) return;
+    total = registry->gauge("sweep.points_total");
+    done = registry->counter("sweep.points_done");
+    hits = registry->counter("sweep.cache_hits");
+    misses = registry->counter("sweep.cache_misses");
+    failures = registry->counter("sweep.failures");
+    seconds = registry->histogram("sweep.point_seconds");
+  }
+};
+
+}  // namespace
+
+const PointResult& SweepResult::result_at(std::size_t index) const {
+  if (index >= points.size()) {
+    throw ConfigError("sweep result index " + std::to_string(index) +
+                      " out of range");
+  }
+  const PointOutcome& outcome = points[index];
+  if (outcome.status != PointStatus::kOk) {
+    throw ConfigError("sweep point " + outcome.point.canonical() +
+                      " failed: " + outcome.error);
+  }
+  return outcome.result;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
+  if (spec.name.empty()) throw ConfigError("sweep spec needs a name");
+  if (!spec.compute) {
+    throw ConfigError("sweep '" + spec.name + "' has no compute function");
+  }
+  const std::size_t n = spec.grid.size();
+  if (n == 0) {
+    throw ConfigError("sweep '" + spec.name + "' has an empty grid");
+  }
+
+  std::optional<DiskCache> cache;
+  if (!options.cache_dir.empty()) cache.emplace(options.cache_dir);
+
+  SweepMetrics metrics(options.metrics);
+  if (metrics.registry != nullptr) {
+    metrics.registry->set(metrics.total, static_cast<double>(n));
+  }
+
+  util::Stopwatch timer;
+  SweepResult sweep;
+  sweep.points.resize(n);
+
+  // Aggregate counters are relaxed atomics: per-point order is irrelevant
+  // and the parallel_for join below is the synchronisation point.
+  std::atomic<std::size_t> hits{0}, misses{0}, failures{0};
+
+  const auto run_point = [&](std::size_t i) {
+    PointOutcome& outcome = sweep.points[i];
+    outcome.index = i;
+    outcome.point = spec.grid.point(i);
+
+    CacheKey key;
+    std::optional<PointResult> cached;
+    if (cache.has_value()) {
+      key = CacheKey{spec.name, spec.fingerprint, outcome.point.canonical()};
+      cached = cache->load(key);
+    }
+    if (cached.has_value()) {
+      outcome.result = *std::move(cached);
+      outcome.from_cache = true;
+      hits.fetch_add(1, std::memory_order_relaxed);
+      if (metrics.registry != nullptr) metrics.registry->add(metrics.hits);
+    } else {
+      util::Stopwatch point_timer;
+      try {
+        outcome.result = spec.compute(outcome.point);
+        if (cache.has_value()) cache->store(key, outcome.result);
+      } catch (const std::exception& error) {
+        outcome.status = PointStatus::kFailed;
+        outcome.error = error.what();
+        outcome.result = PointResult{};
+        failures.fetch_add(1, std::memory_order_relaxed);
+        if (metrics.registry != nullptr) {
+          metrics.registry->add(metrics.failures);
+        }
+      }
+      misses.fetch_add(1, std::memory_order_relaxed);
+      if (metrics.registry != nullptr) {
+        metrics.registry->add(metrics.misses);
+        metrics.registry->observe(metrics.seconds, point_timer.seconds());
+      }
+    }
+    if (metrics.registry != nullptr) metrics.registry->add(metrics.done);
+  };
+
+  // A dedicated pool when the caller pinned a job count; the process
+  // pool otherwise. The shard count bounds tasks in flight — results are
+  // slot-indexed, so any sharding yields the same SweepResult.
+  std::unique_ptr<parallel::ThreadPool> own_pool;
+  if (options.jobs > 0) {
+    own_pool = std::make_unique<parallel::ThreadPool>(options.jobs);
+  }
+  parallel::ThreadPool& pool =
+      own_pool != nullptr ? *own_pool : parallel::global_pool();
+  const std::size_t shards =
+      options.shards > 0 ? options.shards : pool.num_threads() * 4;
+  parallel::parallel_for_sharded(pool, 0, n, shards, run_point);
+
+  sweep.cache_hits = hits.load();
+  sweep.cache_misses = misses.load();
+  sweep.failures = failures.load();
+  sweep.wall_seconds = timer.seconds();
+  return sweep;
+}
+
+}  // namespace btmf::sweep

@@ -23,6 +23,12 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep);
 /// noise a raw std::to_string would produce ("0.500000").
 std::string format_double(double v, int precision = 6);
 
+/// Shortest decimal string that parses back to exactly `v` (std::to_chars
+/// round-trip guarantee). Used wherever doubles must survive a
+/// serialise/parse cycle bit-identically — sweep cache files, config
+/// fingerprints. Non-finite values render as "inf"/"-inf"/"nan".
+std::string format_double_exact(double v);
+
 /// Lower-cases ASCII characters in place and returns the result.
 std::string to_lower(std::string_view s);
 

@@ -52,6 +52,13 @@ std::string format_double(double v, int precision) {
   return os.str();
 }
 
+std::string format_double_exact(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) throw Error("format_double_exact: to_chars failed");
+  return std::string(buf, ptr);
+}
+
 std::string to_lower(std::string_view s) {
   std::string out(s);
   std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {

@@ -1,0 +1,172 @@
+#include "btmf/sweep/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "btmf/util/error.h"
+
+namespace btmf::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty directory under the test temp root.
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::trunc);
+  file << content;
+}
+
+CacheKey test_key() {
+  return CacheKey{"unit", "k=10;p=0.5", "p=0.25;rho=0.75"};
+}
+
+TEST(SweepCache, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(SweepCache, RoundTripsValuesBitIdentically) {
+  const DiskCache cache(fresh_dir("sweep_cache_roundtrip"));
+  PointResult stored;
+  stored.values["a"] = 0.1;
+  stored.values["b"] = 1.0 / 3.0;
+  stored.values["c"] = 1e-300;
+  stored.values["d"] = 6.02214076e23;
+  stored.values["e"] = -123456.789012345;
+  cache.store(test_key(), stored);
+
+  const auto loaded = cache.load(test_key());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, stored);
+  for (const auto& [name, value] : stored.values) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded->at(name)),
+              std::bit_cast<std::uint64_t>(value))
+        << "value '" << name << "' did not round-trip bit-identically";
+  }
+}
+
+TEST(SweepCache, MissesOnAbsentKey) {
+  const DiskCache cache(fresh_dir("sweep_cache_absent"));
+  EXPECT_FALSE(cache.load(test_key()).has_value());
+}
+
+TEST(SweepCache, SpecFingerprintSeparatesEntries) {
+  const DiskCache cache(fresh_dir("sweep_cache_spec"));
+  PointResult result;
+  result.values["v"] = 1.0;
+  cache.store(test_key(), result);
+
+  CacheKey other = test_key();
+  other.spec = "k=10;p=0.9";  // e.g. a solver-option or scenario change
+  EXPECT_FALSE(cache.load(other).has_value());
+  EXPECT_TRUE(cache.load(test_key()).has_value());
+}
+
+TEST(SweepCache, RejectsEntryWithMismatchedKeyMaterial) {
+  const DiskCache cache(fresh_dir("sweep_cache_tamper"));
+  PointResult result;
+  result.values["v"] = 2.5;
+  cache.store(test_key(), result);
+
+  // Simulate a hash collision / hand-edited entry: same file name, stored
+  // key material describing a different point.
+  const std::string path = cache.entry_path(test_key());
+  std::string content = slurp(path);
+  const std::string needle = "point p=0.25;rho=0.75";
+  const std::size_t pos = content.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  content.replace(pos, needle.size(), "point p=0.99;rho=0.75");
+  spit(path, content);
+
+  EXPECT_FALSE(cache.load(test_key()).has_value());
+}
+
+TEST(SweepCache, TruncatedEntryIsAMiss) {
+  const DiskCache cache(fresh_dir("sweep_cache_truncated"));
+  PointResult result;
+  result.values["v"] = 3.75;
+  cache.store(test_key(), result);
+
+  // Drop the "end" terminator, as an interrupted write would.
+  const std::string path = cache.entry_path(test_key());
+  std::string content = slurp(path);
+  ASSERT_TRUE(content.ends_with("end\n"));
+  content.resize(content.size() - 4);
+  spit(path, content);
+
+  EXPECT_FALSE(cache.load(test_key()).has_value());
+
+  // Re-storing repairs the entry.
+  cache.store(test_key(), result);
+  ASSERT_TRUE(cache.load(test_key()).has_value());
+  EXPECT_EQ(*cache.load(test_key()), result);
+}
+
+TEST(SweepCache, GarbageFileIsAMiss) {
+  const DiskCache cache(fresh_dir("sweep_cache_garbage"));
+  PointResult result;
+  result.values["v"] = 1.0;
+  cache.store(test_key(), result);
+  spit(cache.entry_path(test_key()), "not a cache entry at all\n");
+  EXPECT_FALSE(cache.load(test_key()).has_value());
+}
+
+TEST(SweepCache, RejectsInvalidNames) {
+  const DiskCache cache(fresh_dir("sweep_cache_names"));
+  PointResult bad_value_name;
+  bad_value_name.values["has space"] = 1.0;
+  EXPECT_THROW(cache.store(test_key(), bad_value_name), ConfigError);
+
+  CacheKey bad_sweep = test_key();
+  bad_sweep.sweep = "a/b";
+  PointResult ok;
+  ok.values["v"] = 1.0;
+  EXPECT_THROW(cache.store(bad_sweep, ok), ConfigError);
+  CacheKey empty_sweep = test_key();
+  empty_sweep.sweep = "";
+  EXPECT_THROW(cache.store(empty_sweep, ok), ConfigError);
+}
+
+TEST(SweepCache, MaterialFoldsInEveryIngredient) {
+  const CacheKey key = test_key();
+  CacheKey sweep_changed = key;
+  sweep_changed.sweep = "other";
+  CacheKey spec_changed = key;
+  spec_changed.spec = "k=20";
+  CacheKey point_changed = key;
+  point_changed.point = "p=0.5";
+  EXPECT_NE(key.hash(), sweep_changed.hash());
+  EXPECT_NE(key.hash(), spec_changed.hash());
+  EXPECT_NE(key.hash(), point_changed.hash());
+}
+
+TEST(SweepCache, PointResultAtThrowsOnUnknownName) {
+  PointResult result;
+  result.values["v"] = 1.0;
+  EXPECT_DOUBLE_EQ(result.at("v"), 1.0);
+  EXPECT_THROW((void)result.at("missing"), ConfigError);
+}
+
+}  // namespace
+}  // namespace btmf::sweep

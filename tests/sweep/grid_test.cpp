@@ -1,0 +1,93 @@
+#include "btmf/sweep/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "btmf/util/error.h"
+#include "btmf/util/strings.h"
+
+namespace btmf::sweep {
+namespace {
+
+TEST(SweepGrid, LinspaceCoversEndpointsEvenly) {
+  const std::vector<double> v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+}
+
+TEST(SweepGrid, LinspaceSinglePointIsLo) {
+  EXPECT_EQ(linspace(2.5, 9.0, 1), std::vector<double>{2.5});
+}
+
+TEST(SweepGrid, LinspaceZeroPointsThrows) {
+  EXPECT_THROW(linspace(0.0, 1.0, 0), ConfigError);
+}
+
+TEST(SweepGrid, EnumeratesRowMajorFirstAxisSlowest) {
+  Grid grid;
+  grid.axis("a", {1.0, 2.0}).axis("b", {10.0, 20.0, 30.0});
+  ASSERT_EQ(grid.size(), 6u);
+
+  const GridPoint first = grid.point(0);
+  EXPECT_DOUBLE_EQ(first.at("a"), 1.0);
+  EXPECT_DOUBLE_EQ(first.at("b"), 10.0);
+
+  // b (the last axis) varies fastest.
+  EXPECT_DOUBLE_EQ(grid.point(1).at("b"), 20.0);
+  EXPECT_DOUBLE_EQ(grid.point(1).at("a"), 1.0);
+  EXPECT_DOUBLE_EQ(grid.point(3).at("a"), 2.0);
+  EXPECT_DOUBLE_EQ(grid.point(3).at("b"), 10.0);
+  EXPECT_DOUBLE_EQ(grid.point(5).at("a"), 2.0);
+  EXPECT_DOUBLE_EQ(grid.point(5).at("b"), 30.0);
+}
+
+TEST(SweepGrid, PointCoordsKeepAxisOrder) {
+  Grid grid;
+  grid.axis("p", {0.5}).axis("rho", {0.25});
+  const GridPoint point = grid.point(0);
+  ASSERT_EQ(point.coords.size(), 2u);
+  EXPECT_EQ(point.coords[0].first, "p");
+  EXPECT_EQ(point.coords[1].first, "rho");
+}
+
+TEST(SweepGrid, CanonicalUsesExactDoubles) {
+  Grid grid;
+  grid.axis("p", {0.1}).axis("rho", {1.0 / 3.0});
+  const std::string canonical = grid.point(0).canonical();
+  EXPECT_EQ(canonical, "p=" + util::format_double_exact(0.1) +
+                           ";rho=" + util::format_double_exact(1.0 / 3.0));
+}
+
+TEST(SweepGrid, MissingCoordinateThrows) {
+  Grid grid;
+  grid.axis("p", {0.5});
+  EXPECT_THROW((void)grid.point(0).at("rho"), ConfigError);
+}
+
+TEST(SweepGrid, DuplicateAxisNameThrows) {
+  Grid grid;
+  grid.axis("p", {0.5});
+  EXPECT_THROW(grid.axis("p", {0.9}), ConfigError);
+}
+
+TEST(SweepGrid, EmptyAxisThrows) {
+  Grid grid;
+  EXPECT_THROW(grid.axis("p", {}), ConfigError);
+  EXPECT_THROW(grid.axis("", {0.5}), ConfigError);
+}
+
+TEST(SweepGrid, OutOfRangePointThrows) {
+  Grid grid;
+  grid.axis("p", {0.5, 0.9});
+  EXPECT_THROW(grid.point(2), ConfigError);
+}
+
+TEST(SweepGrid, AxislessGridIsEmpty) {
+  EXPECT_EQ(Grid{}.size(), 0u);
+}
+
+}  // namespace
+}  // namespace btmf::sweep

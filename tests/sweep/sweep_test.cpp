@@ -1,0 +1,226 @@
+#include "btmf/sweep/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "btmf/obs/metrics.h"
+#include "btmf/util/error.h"
+
+namespace btmf::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// 5 x 2 grid of cheap arithmetic points.
+SweepSpec arithmetic_spec(std::string fingerprint = "v1") {
+  SweepSpec spec;
+  spec.name = "arith";
+  spec.grid.axis("x", {1.0, 2.0, 3.0, 4.0, 5.0}).axis("y", {0.25, 0.5});
+  spec.fingerprint = std::move(fingerprint);
+  spec.compute = [](const GridPoint& point) {
+    PointResult result;
+    result.values["prod"] = point.at("x") * point.at("y");
+    result.values["ratio"] = point.at("x") / 3.0;  // non-terminating binary
+    return result;
+  };
+  return spec;
+}
+
+/// Bit-exact equality of two sweep results (values AND statuses).
+void expect_identical(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.num_points(), b.num_points());
+  for (std::size_t i = 0; i < a.num_points(); ++i) {
+    EXPECT_EQ(a.points[i].status, b.points[i].status) << "point " << i;
+    ASSERT_EQ(a.points[i].result.values.size(),
+              b.points[i].result.values.size());
+    for (const auto& [name, value] : a.points[i].result.values) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(value),
+                std::bit_cast<std::uint64_t>(b.points[i].result.at(name)))
+          << "point " << i << " value '" << name << "'";
+    }
+  }
+}
+
+TEST(SweepEngine, ComputesEveryPointInGridOrder) {
+  const SweepSpec spec = arithmetic_spec();
+  const SweepResult sweep = run_sweep(spec);
+  ASSERT_EQ(sweep.num_points(), 10u);
+  EXPECT_TRUE(sweep.all_ok());
+  EXPECT_EQ(sweep.cache_hits, 0u);
+  EXPECT_EQ(sweep.cache_misses, 10u);
+  for (std::size_t i = 0; i < sweep.num_points(); ++i) {
+    const PointOutcome& outcome = sweep.points[i];
+    EXPECT_EQ(outcome.index, i);
+    EXPECT_FALSE(outcome.from_cache);
+    EXPECT_DOUBLE_EQ(outcome.result.at("prod"),
+                     outcome.point.at("x") * outcome.point.at("y"));
+  }
+  // Slot 0 is the first grid point (x = 1, y = 0.25) regardless of which
+  // worker computed it.
+  EXPECT_DOUBLE_EQ(sweep.points[0].point.at("x"), 1.0);
+  EXPECT_DOUBLE_EQ(sweep.points[0].point.at("y"), 0.25);
+  EXPECT_DOUBLE_EQ(sweep.result_at(9).at("prod"), 2.5);
+}
+
+TEST(SweepEngine, ColdThenWarmCacheServesIdenticalResults) {
+  SweepOptions options;
+  options.cache_dir = fresh_dir("sweep_engine_warm");
+  const SweepSpec spec = arithmetic_spec();
+
+  const SweepResult cold = run_sweep(spec, options);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, 10u);
+
+  const SweepResult warm = run_sweep(spec, options);
+  EXPECT_EQ(warm.cache_hits, 10u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_TRUE(warm.points[0].from_cache);
+  expect_identical(cold, warm);
+
+  // The warm run is also bit-identical to a cache-less run: serving from
+  // disk is observationally equivalent to recomputing.
+  expect_identical(run_sweep(spec), warm);
+}
+
+TEST(SweepEngine, ResumesAfterInterruptWithPartialCache) {
+  SweepOptions options;
+  options.cache_dir = fresh_dir("sweep_engine_resume");
+
+  // Simulate an interrupted earlier run: only a sub-grid got cached.
+  SweepSpec partial = arithmetic_spec();
+  partial.grid = Grid();
+  partial.grid.axis("x", {1.0, 2.0, 3.0}).axis("y", {0.25, 0.5});
+  const SweepResult first = run_sweep(partial, options);
+  EXPECT_EQ(first.cache_misses, 6u);
+
+  // The resumed full run recomputes exactly the missing points...
+  const SweepSpec spec = arithmetic_spec();
+  const SweepResult resumed = run_sweep(spec, options);
+  EXPECT_EQ(resumed.cache_hits, 6u);
+  EXPECT_EQ(resumed.cache_misses, 4u);
+
+  // ...and is bit-identical to a never-interrupted cold run.
+  expect_identical(run_sweep(spec), resumed);
+}
+
+TEST(SweepEngine, ShardCountDoesNotChangeResults) {
+  const SweepSpec spec = arithmetic_spec();
+  const SweepResult baseline = run_sweep(spec);
+  for (const std::size_t shards : {1u, 3u, 7u, 64u}) {
+    SweepOptions options;
+    options.shards = shards;
+    expect_identical(baseline, run_sweep(spec, options));
+  }
+}
+
+TEST(SweepEngine, DedicatedPoolMatchesGlobalPool) {
+  SweepOptions options;
+  options.jobs = 3;
+  expect_identical(run_sweep(arithmetic_spec()),
+                   run_sweep(arithmetic_spec(), options));
+}
+
+TEST(SweepEngine, FailedPointIsRecordedNotFatalAndNotCached) {
+  SweepSpec spec = arithmetic_spec();
+  spec.compute = [](const GridPoint& point) {
+    if (point.at("x") == 3.0 && point.at("y") == 0.5) {
+      throw ConfigError("deliberate failure");
+    }
+    PointResult result;
+    result.values["prod"] = point.at("x") * point.at("y");
+    return result;
+  };
+  SweepOptions options;
+  options.cache_dir = fresh_dir("sweep_engine_failure");
+
+  const SweepResult sweep = run_sweep(spec, options);
+  EXPECT_EQ(sweep.failures, 1u);
+  EXPECT_FALSE(sweep.all_ok());
+
+  std::size_t failed_index = 0;
+  for (const PointOutcome& outcome : sweep.points) {
+    if (outcome.status == PointStatus::kFailed) {
+      failed_index = outcome.index;
+      EXPECT_NE(outcome.error.find("deliberate failure"), std::string::npos);
+    } else {
+      EXPECT_DOUBLE_EQ(outcome.result.at("prod"),
+                       outcome.point.at("x") * outcome.point.at("y"));
+    }
+  }
+  EXPECT_THROW((void)sweep.result_at(failed_index), ConfigError);
+  EXPECT_NO_THROW(
+      (void)sweep.result_at((failed_index + 1) % sweep.num_points()));
+
+  // Failures are never cached: the rerun serves the 9 good points from
+  // disk and retries (and re-fails) only the bad one.
+  const SweepResult rerun = run_sweep(spec, options);
+  EXPECT_EQ(rerun.cache_hits, 9u);
+  EXPECT_EQ(rerun.cache_misses, 1u);
+  EXPECT_EQ(rerun.failures, 1u);
+}
+
+TEST(SweepEngine, FingerprintChangeInvalidatesCache) {
+  SweepOptions options;
+  options.cache_dir = fresh_dir("sweep_engine_fingerprint");
+  EXPECT_EQ(run_sweep(arithmetic_spec("v1"), options).cache_misses, 10u);
+  EXPECT_EQ(run_sweep(arithmetic_spec("v1"), options).cache_hits, 10u);
+
+  // Same sweep name, changed configuration fingerprint: full recompute.
+  const SweepResult changed = run_sweep(arithmetic_spec("v2"), options);
+  EXPECT_EQ(changed.cache_hits, 0u);
+  EXPECT_EQ(changed.cache_misses, 10u);
+}
+
+TEST(SweepEngine, StreamsProgressThroughMetricsRegistry) {
+  obs::MetricsRegistry metrics;
+  SweepOptions options;
+  options.cache_dir = fresh_dir("sweep_engine_metrics");
+  options.metrics = &metrics;
+  run_sweep(arithmetic_spec(), options);
+
+  const obs::MetricsSnapshot cold = metrics.snapshot();
+  EXPECT_DOUBLE_EQ(cold.gauges.at("sweep.points_total"), 10.0);
+  EXPECT_EQ(cold.counters.at("sweep.points_done"), 10u);
+  EXPECT_EQ(cold.counters.at("sweep.cache_hits"), 0u);
+  EXPECT_EQ(cold.counters.at("sweep.cache_misses"), 10u);
+  EXPECT_EQ(cold.counters.at("sweep.failures"), 0u);
+  EXPECT_EQ(cold.histograms.at("sweep.point_seconds").count, 10u);
+
+  run_sweep(arithmetic_spec(), options);
+  const obs::MetricsSnapshot warm = metrics.snapshot();
+  EXPECT_EQ(warm.counters.at("sweep.points_done"), 20u);
+  EXPECT_EQ(warm.counters.at("sweep.cache_hits"), 10u);
+  EXPECT_EQ(warm.counters.at("sweep.cache_misses"), 10u);
+}
+
+TEST(SweepEngine, MalformedSpecThrows) {
+  SweepSpec nameless = arithmetic_spec();
+  nameless.name.clear();
+  EXPECT_THROW(run_sweep(nameless), ConfigError);
+
+  SweepSpec gridless = arithmetic_spec();
+  gridless.grid = Grid();
+  EXPECT_THROW(run_sweep(gridless), ConfigError);
+
+  SweepSpec computeless = arithmetic_spec();
+  computeless.compute = nullptr;
+  EXPECT_THROW(run_sweep(computeless), ConfigError);
+}
+
+TEST(SweepEngine, ResultAtOutOfRangeThrows) {
+  const SweepResult sweep = run_sweep(arithmetic_spec());
+  EXPECT_THROW((void)sweep.result_at(sweep.num_points()), ConfigError);
+}
+
+}  // namespace
+}  // namespace btmf::sweep
