@@ -6,14 +6,17 @@
 //   btmf_tool adapt --cheaters 0.5                        Adapt fixed point
 //   btmf_tool reproduce [--figure fig2]                   paper-vs-measured
 //
-// Every subcommand accepts --help.
+// evaluate, simulate and sweep all run through the btmf::model backend
+// layer: one ScenarioSpec built from the shared CLI options, dispatched
+// to any registered backend via --backend (see --list-backends and
+// docs/BACKENDS.md). Every subcommand accepts --help.
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "btmf/core/evaluate.h"
 #include "btmf/fluid/adapt_fluid.h"
+#include "btmf/model/backend.h"
 #include "btmf/obs/sink.h"
 #include "btmf/sim/faults.h"
 #include "btmf/sim/simulator.h"
@@ -42,82 +45,130 @@ unsigned positive_count(const util::ArgParser& parser,
   return static_cast<unsigned>(raw);
 }
 
-fluid::SchemeKind parse_scheme(const std::string& name) {
-  const std::string lower = util::to_lower(name);
-  if (lower == "mtcd") return fluid::SchemeKind::kMtcd;
-  if (lower == "mtsd") return fluid::SchemeKind::kMtsd;
-  if (lower == "mfcd") return fluid::SchemeKind::kMfcd;
-  if (lower == "cmfsd") return fluid::SchemeKind::kCmfsd;
-  throw ConfigError("unknown scheme '" + name +
-                    "' (expected mtcd|mtsd|mfcd|cmfsd)");
-}
-
-void add_scenario_options(util::ArgParser& parser) {
+/// The shared spec options of evaluate / simulate / sweep. `backend_default`
+/// is the subcommand's natural evaluator; any registered backend works.
+void add_spec_options(util::ArgParser& parser,
+                      const std::string& backend_default) {
   parser.add_option("k", "10", "number of files K");
   parser.add_option("p", "0.9", "file correlation in [0, 1]");
   parser.add_option("lambda0", "1.0", "indexing-server visit rate");
   parser.add_option("mu", "0.02", "peer upload bandwidth");
   parser.add_option("eta", "0.5", "downloader sharing efficiency");
   parser.add_option("gamma", "0.05", "seed departure rate");
+  parser.add_option("scheme", "cmfsd", "mtcd|mtsd|mfcd|cmfsd");
+  parser.add_option("rho", "0.0", "CMFSD bandwidth split");
+  parser.add_option("backend", backend_default,
+                    "evaluator: fluid-equilibrium|fluid-transient|"
+                    "kernel-sim|chunk-sim");
+  parser.add_flag("list-backends",
+                  "print the backend capability table and exit");
 }
 
-core::ScenarioConfig scenario_from(const util::ArgParser& parser) {
-  core::ScenarioConfig scenario;
-  scenario.num_files = positive_count(parser, "k");
-  scenario.correlation = parser.get_double("p");
-  scenario.visit_rate = parser.get_double("lambda0");
-  scenario.fluid.mu = parser.get_double("mu");
-  scenario.fluid.eta = parser.get_double("eta");
-  scenario.fluid.gamma = parser.get_double("gamma");
-  scenario.validate();  // reject bad p/lambda0/mu/eta/gamma up front
-  return scenario;
+/// The one spec-from-CLI builder shared by evaluate / simulate / sweep.
+model::ScenarioSpec spec_from_cli(const util::ArgParser& parser) {
+  model::ScenarioSpec spec;
+  spec.num_files = positive_count(parser, "k");
+  spec.correlation = parser.get_double("p");
+  spec.visit_rate = parser.get_double("lambda0");
+  spec.fluid.mu = parser.get_double("mu");
+  spec.fluid.eta = parser.get_double("eta");
+  spec.fluid.gamma = parser.get_double("gamma");
+  spec.scheme = fluid::scheme_from_string(parser.get("scheme"));
+  spec.rho = parser.get_double("rho");
+  return spec;
+}
+
+std::string scheme_list(const model::BackendCapabilities& caps) {
+  std::string out;
+  for (const fluid::SchemeKind scheme :
+       {fluid::SchemeKind::kMtcd, fluid::SchemeKind::kMtsd,
+        fluid::SchemeKind::kMfcd, fluid::SchemeKind::kCmfsd}) {
+    if (!caps.supports_scheme(scheme)) continue;
+    if (!out.empty()) out += ',';
+    out += std::string(fluid::to_string(scheme));
+  }
+  return out;
+}
+
+int list_backends() {
+  const auto yn = [](bool v) { return std::string(v ? "yes" : "-"); };
+  util::Table table({"backend", "schemes", "max K", "kind", "p=0",
+                     "rho/class", "adapt", "cheaters", "aborts", "faults",
+                     "extras"});
+  for (const model::Backend* backend : model::backend_registry()) {
+    const model::BackendCapabilities caps = backend->capabilities();
+    std::string extras;
+    if (caps.trajectory) extras += "trajectory ";
+    if (caps.sim_counters) extras += "sim-counters ";
+    if (!extras.empty()) extras.pop_back();
+    table.add_row({std::string(backend->name()), scheme_list(caps),
+                   caps.max_files == 0 ? std::string("-")
+                                       : std::to_string(caps.max_files),
+                   std::string(caps.monte_carlo ? "monte-carlo"
+                                                : "deterministic"),
+                   yn(caps.zero_correlation), yn(caps.rho_per_class),
+                   yn(caps.adapt), yn(caps.cheaters), yn(caps.aborts),
+                   yn(caps.faults), extras.empty() ? "-" : extras});
+  }
+  table.write_pretty(std::cout);
+  std::cout << "\nspecs outside a backend's declared capabilities return a "
+               "typed 'unsupported'\noutcome, never a crash; see "
+               "docs/BACKENDS.md.\n";
+  return 0;
+}
+
+void print_outcome(const model::Outcome& outcome) {
+  std::cout << "scheme " << fluid::to_string(outcome.scheme)
+            << "  p = " << outcome.correlation << '\n'
+            << "avg online time per file:   " << outcome.avg_online_per_file
+            << '\n'
+            << "avg download time per file: "
+            << outcome.avg_download_per_file << "\n\n";
+  util::Table table({"class", "online time", "download time",
+                     "online/file", "dl/file"});
+  table.set_precision(5);
+  for (std::size_t i = 0; i < outcome.per_class.num_classes(); ++i) {
+    table.add_row({static_cast<double>(i + 1),
+                   outcome.per_class.online_time[i],
+                   outcome.per_class.download_time[i],
+                   outcome.per_class.online_per_file[i],
+                   outcome.per_class.download_per_file[i]});
+  }
+  table.write_pretty(std::cout);
 }
 
 int cmd_evaluate(int argc, const char* const* argv) {
   util::ArgParser parser("btmf_tool evaluate",
-                         "fluid steady state of one scheme");
-  add_scenario_options(parser);
-  parser.add_option("scheme", "cmfsd", "mtcd|mtsd|mfcd|cmfsd");
-  parser.add_option("rho", "0.0", "CMFSD bandwidth split");
+                         "steady-state evaluation of one scheme");
+  add_spec_options(parser, "fluid-equilibrium");
+  parser.add_option("horizon", "6000",
+                    "time horizon (fluid-transient and the simulators)");
+  parser.add_option("seed", "42", "RNG seed (stochastic backends)");
   if (!parser.parse(argc, argv)) return 0;
+  if (parser.get_flag("list-backends")) return list_backends();
 
-  core::EvaluateOptions options;
-  options.rho = parser.get_double("rho");
-  require(options.rho >= 0.0 && options.rho <= 1.0,
-          "--rho must lie in [0, 1]");
-  const core::SchemeReport report = core::evaluate_scheme(
-      scenario_from(parser), parse_scheme(parser.get("scheme")), options);
+  model::ScenarioSpec spec = spec_from_cli(parser);
+  spec.horizon = parser.get_double("horizon");
+  spec.warmup = spec.horizon * 0.25;
+  const long long seed = parser.get_int("seed");
+  require(seed >= 0, "--seed must be non-negative");
+  spec.seed = static_cast<std::uint64_t>(seed);
 
-  std::cout << "scheme " << fluid::to_string(report.scheme)
-            << "  p = " << report.correlation << '\n'
-            << "avg online time per file:   " << report.avg_online_per_file
-            << '\n'
-            << "avg download time per file: "
-            << report.avg_download_per_file << "\n\n";
-  util::Table table({"class", "online time", "download time",
-                     "online/file", "dl/file"});
-  table.set_precision(5);
-  for (std::size_t i = 0; i < report.per_class.num_classes(); ++i) {
-    table.add_row({static_cast<double>(i + 1),
-                   report.per_class.online_time[i],
-                   report.per_class.download_time[i],
-                   report.per_class.online_per_file[i],
-                   report.per_class.download_per_file[i]});
-  }
-  table.write_pretty(std::cout);
+  const model::Backend& backend =
+      model::require_backend(parser.get("backend"));
+  print_outcome(backend.evaluate_or_throw(spec));
   return 0;
 }
 
 int cmd_simulate(int argc, const char* const* argv) {
   util::ArgParser parser("btmf_tool simulate",
                          "agent-level swarm simulation of one scheme");
-  add_scenario_options(parser);
-  parser.add_option("scheme", "cmfsd", "mtcd|mtsd|mfcd|cmfsd");
-  parser.add_option("rho", "0.0", "CMFSD bandwidth split");
+  add_spec_options(parser, "kernel-sim");
   parser.add_option("cheaters", "0.0", "fraction of multi-file cheaters");
   parser.add_option("theta", "0.0", "downloader abort rate");
   parser.add_option("horizon", "5000", "simulated time");
   parser.add_option("seed", "42", "RNG seed");
+  parser.add_option("chunks", "32", "chunks per file (chunk-sim backend)");
   parser.add_option("faults", "",
                     "fault plan, e.g. \"tracker:500:200;churn:1200:0.5\" "
                     "(see docs/FAULTS.md)");
@@ -131,31 +182,52 @@ int cmd_simulate(int argc, const char* const* argv) {
   parser.add_option("sample-dt", "0",
                     "time-series sampling cadence (0 = horizon / 512)");
   if (!parser.parse(argc, argv)) return 0;
+  if (parser.get_flag("list-backends")) return list_backends();
 
-  const core::ScenarioConfig scenario = scenario_from(parser);
-  sim::SimConfig config;
-  config.scheme = parse_scheme(parser.get("scheme"));
-  config.num_files = scenario.num_files;
-  config.correlation = scenario.correlation;
-  config.visit_rate = scenario.visit_rate;
-  config.fluid = scenario.fluid;
-  config.rho = parser.get_double("rho");
-  config.cheater_fraction = parser.get_double("cheaters");
-  config.abort_rate = parser.get_double("theta");
-  config.adapt.enabled = parser.get_flag("adapt");
-  config.horizon = parser.get_double("horizon");
-  config.warmup = config.horizon * 0.25;
+  model::ScenarioSpec spec = spec_from_cli(parser);
+  spec.cheater_fraction = parser.get_double("cheaters");
+  spec.abort_rate = parser.get_double("theta");
+  spec.adapt.enabled = parser.get_flag("adapt");
+  spec.horizon = parser.get_double("horizon");
+  spec.warmup = spec.horizon * 0.25;
   const long long seed = parser.get_int("seed");
   require(seed >= 0, "--seed must be non-negative");
-  config.seed = static_cast<std::uint64_t>(seed);
+  spec.seed = static_cast<std::uint64_t>(seed);
+  spec.num_chunks = positive_count(parser, "chunks");
   if (!parser.get("faults").empty()) {
-    config.faults = sim::parse_fault_plan(parser.get("faults"));
+    spec.faults = sim::parse_fault_plan(parser.get("faults"));
   }
-  config.paranoid = parser.get_flag("paranoid");
 
-  // Telemetry sinks: fail fast on unwritable paths before the long run.
+  const model::Backend& backend =
+      model::require_backend(parser.get("backend"));
+  const bool kernel = backend.name() == "kernel-sim";
+
+  // Telemetry sinks and the paranoid auditor hook into the event kernel's
+  // run loop, so they exist only behind the kernel-sim backend; other
+  // backends evaluate the same spec without them.
   const std::string metrics_out = parser.get("metrics-out");
   const std::string trace_out = parser.get("trace-out");
+  const bool paranoid = parser.get_flag("paranoid");
+  if (!kernel) {
+    require(metrics_out.empty() && trace_out.empty() && !paranoid &&
+                parser.get_double("sample-dt") == 0.0,
+            "--metrics-out/--trace-out/--sample-dt/--paranoid require "
+            "--backend kernel-sim");
+    print_outcome(backend.evaluate_or_throw(spec));
+    return 0;
+  }
+
+  // kernel-sim: run the exact config the backend would build — via the
+  // shared sim_config_from_spec mapping — with the sinks attached.
+  spec.validate();
+  if (const std::optional<std::string> reason =
+          backend.unsupported_reason(spec)) {
+    throw ConfigError(*reason);
+  }
+  sim::SimConfig config = model::sim_config_from_spec(spec);
+  config.paranoid = paranoid;
+
+  // Telemetry sinks: fail fast on unwritable paths before the long run.
   if (!metrics_out.empty()) obs::require_writable_path(metrics_out);
   if (!trace_out.empty()) obs::require_writable_path(trace_out);
   obs::MetricsRegistry metrics;
@@ -214,29 +286,29 @@ int cmd_simulate(int argc, const char* const* argv) {
 int cmd_sweep(int argc, const char* const* argv) {
   util::ArgParser parser("btmf_tool sweep",
                          "avg online time per file vs correlation p");
-  add_scenario_options(parser);
-  parser.add_option("scheme", "cmfsd", "mtcd|mtsd|mfcd|cmfsd");
-  parser.add_option("rho", "0.0", "CMFSD bandwidth split");
+  add_spec_options(parser, "fluid-equilibrium");
   parser.add_option("steps", "10", "p samples in (0, 1]");
+  parser.add_option("seed", "42", "RNG seed (stochastic backends)");
   parser.add_option("csv", "", "save CSV here");
   if (!parser.parse(argc, argv)) return 0;
+  if (parser.get_flag("list-backends")) return list_backends();
 
-  const fluid::SchemeKind scheme = parse_scheme(parser.get("scheme"));
-  core::EvaluateOptions options;
-  options.rho = parser.get_double("rho");
-  require(options.rho >= 0.0 && options.rho <= 1.0,
-          "--rho must lie in [0, 1]");
+  model::ScenarioSpec base = spec_from_cli(parser);
+  const long long seed = parser.get_int("seed");
+  require(seed >= 0, "--seed must be non-negative");
+  base.seed = static_cast<std::uint64_t>(seed);
   const std::size_t steps = positive_count(parser, "steps");
+  const model::Backend& backend =
+      model::require_backend(parser.get("backend"));
 
   util::Table table({"p", "avg online/file", "avg dl/file"});
   table.set_precision(6);
   for (std::size_t s = 1; s <= steps; ++s) {
-    core::ScenarioConfig scenario = scenario_from(parser);
-    scenario.correlation = static_cast<double>(s) / static_cast<double>(steps);
-    const core::SchemeReport report =
-        core::evaluate_scheme(scenario, scheme, options);
-    table.add_row({scenario.correlation, report.avg_online_per_file,
-                   report.avg_download_per_file});
+    model::ScenarioSpec spec = base;
+    spec.correlation = static_cast<double>(s) / static_cast<double>(steps);
+    const model::Outcome outcome = backend.evaluate_or_throw(spec);
+    table.add_row({spec.correlation, outcome.avg_online_per_file,
+                   outcome.avg_download_per_file});
   }
   table.write_pretty(std::cout);
   if (!parser.get("csv").empty()) table.save_csv(parser.get("csv"));
@@ -246,11 +318,23 @@ int cmd_sweep(int argc, const char* const* argv) {
 int cmd_adapt(int argc, const char* const* argv) {
   util::ArgParser parser("btmf_tool adapt",
                          "fluid fixed point of the Adapt mechanism");
-  add_scenario_options(parser);
+  parser.add_option("k", "10", "number of files K");
+  parser.add_option("p", "0.9", "file correlation in [0, 1]");
+  parser.add_option("lambda0", "1.0", "indexing-server visit rate");
+  parser.add_option("mu", "0.02", "peer upload bandwidth");
+  parser.add_option("eta", "0.5", "downloader sharing efficiency");
+  parser.add_option("gamma", "0.05", "seed departure rate");
   parser.add_option("cheaters", "0.5", "fraction of multi-file cheaters");
   if (!parser.parse(argc, argv)) return 0;
 
-  const core::ScenarioConfig scenario = scenario_from(parser);
+  model::ScenarioSpec scenario;
+  scenario.num_files = positive_count(parser, "k");
+  scenario.correlation = parser.get_double("p");
+  scenario.visit_rate = parser.get_double("lambda0");
+  scenario.fluid.mu = parser.get_double("mu");
+  scenario.fluid.eta = parser.get_double("eta");
+  scenario.fluid.gamma = parser.get_double("gamma");
+  scenario.validate();
   const double cheaters = parser.get_double("cheaters");
   require(cheaters >= 0.0 && cheaters <= 1.0,
           "--cheaters must lie in [0, 1]");

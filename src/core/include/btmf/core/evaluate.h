@@ -40,7 +40,10 @@ struct SchemeReport {
   std::vector<double> class_entry_rates;  ///< system rates L_i used as weights
 };
 
-/// Evaluates `scheme` on `scenario` at the fluid steady state.
+/// Evaluates `scheme` on `scenario` at the fluid steady state. A thin
+/// wrapper over the "fluid-equilibrium" backend of btmf::model (which is
+/// where the steady-state logic lives); kept as the convenient
+/// scheme-by-scheme entry point.
 ///
 /// p = 0 edge cases: MTSD is rate-independent and MTCD/MFCD converge to
 /// the single-torrent limit (per-file factor A -> T), which is returned
@@ -50,18 +53,14 @@ SchemeReport evaluate_scheme(const ScenarioConfig& scenario,
                              const EvaluateOptions& options = {});
 
 /// Convenience: evaluate all four schemes (CMFSD at options.rho).
+/// Scheme/scenario pairs the backend declares unsupported — CMFSD at
+/// p = 0 — are skipped (3 reports instead of 4), not errors; genuine
+/// failures still throw.
 std::vector<SchemeReport> evaluate_all_schemes(
     const ScenarioConfig& scenario, const EvaluateOptions& options = {});
 
-/// Canonical, whitespace-free "key=value;..." description of a scenario,
-/// with exact round-trip doubles. Two scenarios fingerprint equally iff
-/// every field that can change an evaluation result is equal — the sweep
-/// cache folds this into its content keys, so editing any input is a
-/// cache miss rather than a stale hit.
-std::string fingerprint(const ScenarioConfig& scenario);
-
-/// Same for the evaluation knobs, including every solver option
-/// (tolerances, chunk schedule, ODE controls) that can move a result.
-std::string fingerprint(const EvaluateOptions& options);
+// The old fingerprint(ScenarioConfig) / fingerprint(EvaluateOptions) pair
+// is gone: build a model::ScenarioSpec and use its canonical
+// ScenarioSpec::fingerprint(), which covers every evaluator knob.
 
 }  // namespace btmf::core

@@ -1,37 +1,41 @@
 #include "btmf/core/evaluate.h"
 
-#include <cmath>
-#include <limits>
+#include <utility>
 
-#include "btmf/fluid/mfcd.h"
-#include "btmf/fluid/mtcd.h"
-#include "btmf/fluid/mtsd.h"
-#include "btmf/fluid/single_torrent.h"
+#include "btmf/model/backend.h"
 #include "btmf/util/check.h"
-#include "btmf/util/strings.h"
 
 namespace btmf::core {
 
 namespace {
 
-constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+/// The one translation between the legacy core API and the backend layer.
+model::ScenarioSpec spec_from(const ScenarioConfig& scenario,
+                              fluid::SchemeKind scheme,
+                              const EvaluateOptions& options) {
+  model::ScenarioSpec spec;
+  spec.num_files = scenario.num_files;
+  spec.correlation = scenario.correlation;
+  spec.visit_rate = scenario.visit_rate;
+  spec.fluid = scenario.fluid;
+  spec.scheme = scheme;
+  spec.rho = options.rho;
+  spec.rho_per_class = options.rho_per_class;
+  spec.solver = options.solver;
+  return spec;
+}
 
-/// MTCD/MFCD per-class metrics with a given per-file factor A.
-fluid::PerClassMetrics concurrent_metrics(double per_file_factor,
-                                          double gamma, unsigned num_classes,
-                                          std::span<const double> rates) {
-  std::vector<double> online(num_classes), download(num_classes);
-  for (unsigned i = 1; i <= num_classes; ++i) {
-    if (rates.empty() || rates[i - 1] > 0.0) {
-      download[i - 1] = static_cast<double>(i) * per_file_factor;
-      online[i - 1] = download[i - 1] + 1.0 / gamma;
-    } else {
-      download[i - 1] = kNaN;
-      online[i - 1] = kNaN;
-    }
-  }
-  return fluid::make_per_class_metrics(std::move(online),
-                                       std::move(download));
+SchemeReport report_from(model::Outcome outcome) {
+  SchemeReport report;
+  report.scheme = outcome.scheme;
+  report.correlation = outcome.correlation;
+  report.rho = outcome.rho;
+  report.avg_online_per_file = outcome.avg_online_per_file;
+  report.avg_download_per_file = outcome.avg_download_per_file;
+  report.avg_online_per_user = outcome.avg_online_per_user;
+  report.per_class = std::move(outcome.per_class);
+  report.class_entry_rates = std::move(outcome.class_entry_rates);
+  return report;
 }
 
 }  // namespace
@@ -47,116 +51,29 @@ void ScenarioConfig::validate() const {
 SchemeReport evaluate_scheme(const ScenarioConfig& scenario,
                              fluid::SchemeKind scheme,
                              const EvaluateOptions& options) {
-  scenario.validate();
-  const unsigned k = scenario.num_files;
-
-  SchemeReport report;
-  report.scheme = scheme;
-  report.correlation = scenario.correlation;
-  report.rho = scheme == fluid::SchemeKind::kCmfsd ? options.rho : kNaN;
-
-  const fluid::CorrelationModel corr = scenario.correlation_model();
-  report.class_entry_rates = corr.system_entry_rates();
-
-  switch (scheme) {
-    case fluid::SchemeKind::kMtcd:
-    case fluid::SchemeKind::kMfcd: {
-      if (scenario.correlation == 0.0) {
-        // p -> 0 limit: (1 - (1-p)^K)/(K p) -> 1, so A -> T. All classes
-        // are limits of conditional metrics, so fill every class.
-        const double t_single =
-            fluid::single_torrent_download_time(scenario.fluid);
-        report.per_class = concurrent_metrics(t_single, scenario.fluid.gamma,
-                                              k, std::span<const double>{});
-      } else {
-        const double per_file_factor =
-            fluid::mfcd_download_time_per_file(scenario.fluid, corr);
-        report.per_class =
-            concurrent_metrics(per_file_factor, scenario.fluid.gamma, k,
-                               report.class_entry_rates);
-      }
-      break;
-    }
-    case fluid::SchemeKind::kMtsd: {
-      report.per_class = fluid::mtsd_metrics(scenario.fluid, k).metrics;
-      break;
-    }
-    case fluid::SchemeKind::kCmfsd: {
-      BTMF_CHECK_MSG(scenario.correlation > 0.0,
-                     "CMFSD needs p > 0 (no peer requests any file at p=0)");
-      const fluid::CmfsdModel model =
-          options.rho_per_class.empty()
-              ? fluid::CmfsdModel(scenario.fluid, report.class_entry_rates,
-                                  options.rho)
-              : fluid::CmfsdModel(scenario.fluid, report.class_entry_rates,
-                                  options.rho_per_class);
-      report.per_class = model.solve(options.solver).metrics;
-      break;
-    }
-  }
-
-  if (scenario.correlation == 0.0) {
-    // No peer requests anything; the averages are the class-1 limits.
-    report.avg_online_per_file = report.per_class.online_per_file.empty()
-                                     ? kNaN
-                                     : report.per_class.online_per_file[0];
-    report.avg_download_per_file =
-        report.per_class.download_per_file.empty()
-            ? kNaN
-            : report.per_class.download_per_file[0];
-    report.avg_online_per_user = report.avg_online_per_file;
-    return report;
-  }
-
-  report.avg_online_per_file = fluid::average_online_time_per_file(
-      report.per_class, report.class_entry_rates);
-  report.avg_download_per_file = fluid::average_download_time_per_file(
-      report.per_class, report.class_entry_rates);
-  report.avg_online_per_user = fluid::average_online_time_per_user(
-      report.per_class, report.class_entry_rates);
-  return report;
-}
-
-std::string fingerprint(const ScenarioConfig& scenario) {
-  const auto d = [](double v) { return util::format_double_exact(v); };
-  return "k=" + std::to_string(scenario.num_files) +
-         ";p=" + d(scenario.correlation) +
-         ";lambda0=" + d(scenario.visit_rate) + ";mu=" + d(scenario.fluid.mu) +
-         ";eta=" + d(scenario.fluid.eta) +
-         ";gamma=" + d(scenario.fluid.gamma);
-}
-
-std::string fingerprint(const EvaluateOptions& options) {
-  const auto d = [](double v) { return util::format_double_exact(v); };
-  std::string out = "rho=" + d(options.rho);
-  if (!options.rho_per_class.empty()) {
-    out += ";rho_per_class=";
-    for (std::size_t i = 0; i < options.rho_per_class.size(); ++i) {
-      if (i != 0) out += ',';
-      out += d(options.rho_per_class[i]);
-    }
-  }
-  const math::EquilibriumOptions& solver = options.solver;
-  out += ";solver=" + d(solver.residual_tol) + ',' + d(solver.chunk_time) +
-         ',' + d(solver.chunk_growth) + ',' +
-         std::to_string(solver.max_chunks) + ',' +
-         (solver.polish_with_newton ? '1' : '0') + ',' +
-         (solver.clamp_nonnegative ? '1' : '0');
-  out += ";ode=" + d(solver.ode.rtol) + ',' + d(solver.ode.atol) + ',' +
-         d(solver.ode.initial_dt) + ',' + d(solver.ode.max_dt) + ',' +
-         std::to_string(solver.ode.max_steps) + ',' +
-         (solver.ode.clamp_nonnegative ? '1' : '0');
-  return out;
+  // Thin wrapper over the fluid-equilibrium backend: same inputs, same
+  // code path, same numbers — the steady-state logic lives in
+  // src/model/src/backend_fluid.cpp now.
+  const model::Backend& backend =
+      model::require_backend("fluid-equilibrium");
+  return report_from(
+      backend.evaluate_or_throw(spec_from(scenario, scheme, options)));
 }
 
 std::vector<SchemeReport> evaluate_all_schemes(
     const ScenarioConfig& scenario, const EvaluateOptions& options) {
+  const model::Backend& backend =
+      model::require_backend("fluid-equilibrium");
   std::vector<SchemeReport> reports;
   reports.reserve(4);
   for (const fluid::SchemeKind scheme :
        {fluid::SchemeKind::kMtcd, fluid::SchemeKind::kMtsd,
         fluid::SchemeKind::kMfcd, fluid::SchemeKind::kCmfsd}) {
-    reports.push_back(evaluate_scheme(scenario, scheme, options));
+    const model::ScenarioSpec spec = spec_from(scenario, scheme, options);
+    // Declared-unsupported combinations (CMFSD at p = 0) are skipped;
+    // real failures still surface as their original exceptions.
+    if (backend.unsupported_reason(spec)) continue;
+    reports.push_back(report_from(backend.evaluate_or_throw(spec)));
   }
   return reports;
 }

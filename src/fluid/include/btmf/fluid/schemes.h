@@ -26,4 +26,8 @@ constexpr std::string_view to_string(SchemeKind scheme) {
   return "?";
 }
 
+/// Inverse of to_string, case-insensitive ("mtcd" == "MTCD"). Throws
+/// btmf::ConfigError naming the accepted spellings on anything else.
+SchemeKind scheme_from_string(std::string_view name);
+
 }  // namespace btmf::fluid

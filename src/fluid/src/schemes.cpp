@@ -1,0 +1,26 @@
+#include "btmf/fluid/schemes.h"
+
+#include <cctype>
+#include <string>
+
+#include "btmf/util/error.h"
+
+namespace btmf::fluid {
+
+SchemeKind scheme_from_string(std::string_view name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (const char c : name) {
+    upper += static_cast<char>(
+        std::toupper(static_cast<unsigned char>(c)));
+  }
+  for (const SchemeKind scheme :
+       {SchemeKind::kMtcd, SchemeKind::kMtsd, SchemeKind::kMfcd,
+        SchemeKind::kCmfsd}) {
+    if (upper == to_string(scheme)) return scheme;
+  }
+  throw ConfigError("unknown scheme '" + std::string(name) +
+                    "' (expected MTCD|MTSD|MFCD|CMFSD)");
+}
+
+}  // namespace btmf::fluid

@@ -1,0 +1,109 @@
+// The backend seam: one interface every evaluator implements.
+//
+// A Backend turns a ScenarioSpec into an Outcome. Four are registered:
+//
+//   fluid-equilibrium  the paper's steady-state models (closed forms where
+//                      they exist, transient-plus-Newton solve for CMFSD)
+//   fluid-transient    the same ODEs integrated to the spec's horizon and
+//                      read out with Little's law — plus the trajectory
+//   kernel-sim         the policy-driven discrete-event kernel (replication
+//                      -aware: Adapt, cheaters, faults, abort clocks)
+//   chunk-sim          the chunk-level protocol substrate (single torrent,
+//                      measures the emergent sharing efficiency eta)
+//
+// Capabilities are *declared*, not discovered by crashing: evaluate()
+// returns a typed kUnsupported outcome for specs outside a backend's
+// domain (e.g. CMFSD at p = 0 anywhere, a fault plan on a fluid backend),
+// so cross-backend harnesses can walk the full scheme x backend matrix
+// with no silent skips. See docs/BACKENDS.md for the capability table and
+// the how-to-add-a-backend walkthrough.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "btmf/model/outcome.h"
+#include "btmf/model/spec.h"
+
+namespace btmf::model {
+
+struct BackendCapabilities {
+  /// Bit-identical outcomes for identical specs (all four backends; the
+  /// stochastic ones are deterministic *per seed*).
+  bool deterministic = true;
+  /// Finite-sample Monte-Carlo noise: conformance comparisons against a
+  /// fluid backend need a statistical tolerance, not an analytic one.
+  bool monte_carlo = false;
+  /// The outcome approximates the fluid steady state (false would mean a
+  /// purely transient quantity; all current backends report steady-ish
+  /// long-run metrics).
+  bool steady_state = true;
+  bool per_class = true;           ///< per-class metrics populated
+  bool trajectory = false;         ///< Outcome::trajectory attached
+  bool sim_counters = false;       ///< Outcome::sim attached
+
+  /// Schemes the backend evaluates, indexed by fluid::SchemeKind.
+  std::array<bool, 4> schemes{true, true, true, true};
+  /// 0 = unlimited; chunk-sim models a single torrent (max_files = 1,
+  /// where all four schemes coincide).
+  unsigned max_files = 0;
+  /// p = 0 acceptable (only the closed-form backend can take the limit
+  /// analytically; Little's-law and sampling readouts need arrivals).
+  bool zero_correlation = false;
+
+  bool rho_per_class = false;      ///< ScenarioSpec::rho_per_class honoured
+  bool adapt = false;              ///< AdaptConfig honoured
+  bool cheaters = false;           ///< cheater_fraction honoured
+  bool aborts = false;             ///< abort_rate honoured
+  bool faults = false;             ///< FaultPlan honoured
+
+  [[nodiscard]] bool supports_scheme(fluid::SchemeKind scheme) const {
+    return schemes[static_cast<std::size_t>(scheme)];
+  }
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual BackendCapabilities capabilities() const = 0;
+
+  /// Why this backend cannot evaluate `spec` (derived from the capability
+  /// declaration plus the universal rules, e.g. CMFSD needs p > 0), or
+  /// nullopt when it can. Does not validate field ranges — that is
+  /// ScenarioSpec::validate()'s job.
+  [[nodiscard]] std::optional<std::string> unsupported_reason(
+      const ScenarioSpec& spec) const;
+
+  /// Evaluates `spec`, never throwing for model-level problems: a
+  /// malformed spec or an evaluation failure comes back as kFailed with
+  /// the exception message, an out-of-capability spec as kUnsupported.
+  [[nodiscard]] Outcome evaluate(const ScenarioSpec& spec) const;
+
+  /// As evaluate() but throwing: btmf::ConfigError for malformed or
+  /// unsupported specs, the original btmf::Error (SolverError, ...) for
+  /// evaluation failures. What core::evaluate_scheme builds on.
+  [[nodiscard]] Outcome evaluate_or_throw(const ScenarioSpec& spec) const;
+
+ protected:
+  /// The actual evaluation; called only on validated, supported specs.
+  /// May throw btmf::Error.
+  [[nodiscard]] virtual Outcome do_evaluate(const ScenarioSpec& spec) const
+      = 0;
+};
+
+/// All registered backends, in the order listed above. Pointers are to
+/// process-lifetime singletons.
+const std::vector<const Backend*>& backend_registry();
+
+/// Lookup by name; nullptr when unknown.
+const Backend* find_backend(std::string_view name);
+
+/// Lookup by name; throws btmf::ConfigError naming the known backends.
+const Backend& require_backend(std::string_view name);
+
+}  // namespace btmf::model

@@ -1,0 +1,71 @@
+// The one typed result every backend produces.
+//
+// Cross-backend comparison (fluid steady state vs transient ODE vs
+// event-kernel simulation vs chunk-level protocol simulation) only works
+// if every evaluator reports the same quantities in the same shape. An
+// Outcome carries the paper's headline metrics (per-class and
+// system-average online/download times per file, with the entry-rate
+// weights used to average them) plus backend-specific extras as optional
+// attachments — a sampled trajectory, the full SimResult counters, the
+// chunk simulator's emergent-eta measurement.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "btmf/fluid/metrics.h"
+#include "btmf/fluid/schemes.h"
+#include "btmf/sim/chunk_sim.h"
+#include "btmf/sim/stats.h"
+
+namespace btmf::model {
+
+enum class OutcomeStatus {
+  kOk,           ///< metrics are populated
+  kUnsupported,  ///< the backend declared the spec outside its capabilities
+  kFailed,       ///< evaluation threw (solver divergence, runaway run, ...)
+};
+
+/// A reduced population trajectory: total downloaders and seeds over time.
+/// Fluid-transient samples its ODE; kernel-sim sums the per-class
+/// population series its internal recorder always collects.
+struct Trajectory {
+  std::vector<double> time;
+  std::vector<double> downloaders;
+  std::vector<double> seeds;
+};
+
+struct Outcome {
+  OutcomeStatus status = OutcomeStatus::kOk;
+  /// kUnsupported: the capability reason; kFailed: the exception message.
+  std::string error;
+
+  fluid::SchemeKind scheme{};
+  double correlation = 0.0;
+  /// NaN for schemes without a rho knob.
+  double rho = std::numeric_limits<double>::quiet_NaN();
+
+  double avg_online_per_file = 0.0;    ///< the paper's headline metric
+  double avg_download_per_file = 0.0;
+  double avg_online_per_user = 0.0;
+
+  fluid::PerClassMetrics per_class;
+  /// System entry rates L_i used as averaging weights (the correlation
+  /// model's rates; stochastic backends report their *measured* per-class
+  /// arrival rates inside `sim`).
+  std::vector<double> class_entry_rates;
+
+  // --- optional backend-specific attachments -----------------------------
+  std::optional<Trajectory> trajectory;        ///< fluid-transient, kernel-sim
+  std::optional<sim::SimResult> sim;           ///< kernel-sim counters
+  std::optional<sim::ChunkSimResult> chunk;    ///< chunk-sim measurements
+
+  [[nodiscard]] bool ok() const { return status == OutcomeStatus::kOk; }
+};
+
+/// "ok" / "unsupported" / "failed" — stable strings for tables and logs.
+[[nodiscard]] const char* to_string(OutcomeStatus status);
+
+}  // namespace btmf::model

@@ -1,0 +1,91 @@
+// The one scenario description every evaluator understands.
+//
+// A ScenarioSpec is the typed union of everything the repository's
+// evaluators consume: the paper's scenario (K, p, lambda0, fluid
+// parameters), the downloading scheme and its rho knob(s), the fluid
+// solver settings, and the stochastic-run knobs (horizon, seed, cheaters,
+// Adapt, fault plan, chunking). Each backend reads the subset it
+// understands and declares — via Backend::capabilities() — which fields it
+// refuses; nothing is silently ignored that could change a result.
+//
+// The spec carries one *canonical fingerprint* that subsumes both the old
+// core::fingerprint(ScenarioConfig/EvaluateOptions) pair and the
+// hand-rolled sim_fingerprint that reproduce.cpp used to maintain: every
+// field that can move any backend's output is folded in with exact
+// round-trip doubles, so keying a cache on (backend name, fingerprint)
+// makes stale hits impossible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "btmf/fluid/cmfsd.h"
+#include "btmf/fluid/correlation.h"
+#include "btmf/fluid/params.h"
+#include "btmf/fluid/schemes.h"
+#include "btmf/math/equilibrium.h"
+#include "btmf/sim/config.h"
+#include "btmf/sim/faults.h"
+
+namespace btmf::model {
+
+struct ScenarioSpec {
+  // --- scenario: the paper's Sec. 4 inputs -------------------------------
+  unsigned num_files = 10;            ///< K
+  double correlation = 0.5;           ///< p
+  double visit_rate = 1.0;            ///< lambda0
+  fluid::FluidParams fluid{};         ///< mu, eta, gamma
+
+  // --- scheme ------------------------------------------------------------
+  fluid::SchemeKind scheme = fluid::SchemeKind::kCmfsd;
+  double rho = 0.0;                   ///< CMFSD bandwidth split
+  /// Optional per-class rho for CMFSD (overrides `rho` when non-empty).
+  std::vector<double> rho_per_class;
+
+  // --- fluid backends ----------------------------------------------------
+  /// Steady-state solver settings (fluid-equilibrium) and the ODE
+  /// tolerances inside (shared with fluid-transient).
+  math::EquilibriumOptions solver =
+      fluid::CmfsdModel::default_solve_options();
+  /// Uniform sample count of the fluid-transient trajectory (incl. t = 0).
+  std::size_t transient_samples = 200;
+
+  // --- stochastic backends (kernel-sim, chunk-sim) -----------------------
+  double horizon = 6000.0;            ///< simulated end time / ODE t_end
+  double warmup = 1500.0;             ///< statistics start here
+  std::uint64_t seed = 42;
+  double cheater_fraction = 0.0;      ///< multi-file users pinning rho = 1
+  double abort_rate = 0.0;            ///< downloader abort rate theta
+  sim::AdaptConfig adapt{};           ///< per-peer rho controller
+  sim::FaultPlan faults{};            ///< declarative fault schedule
+
+  // --- chunk-sim ---------------------------------------------------------
+  unsigned num_chunks = 32;           ///< chunks per file
+
+  /// Throws btmf::ConfigError on out-of-range values (scenario ranges,
+  /// rho/cheaters/theta in [0, 1], warmup < horizon, fault plan).
+  void validate() const;
+
+  /// Canonical, whitespace-free "key=value;..." description with exact
+  /// round-trip doubles. Covers EVERY field above — editing any knob
+  /// (including a single fault-plan entry or an Adapt threshold) changes
+  /// the fingerprint, so content-addressed caches can never serve stale
+  /// results. Backend identity is NOT included; cache keys prepend the
+  /// backend name (see docs/SWEEP.md).
+  [[nodiscard]] std::string fingerprint() const;
+
+  [[nodiscard]] fluid::CorrelationModel correlation_model() const {
+    return fluid::CorrelationModel(num_files, correlation, visit_rate);
+  }
+};
+
+/// Maps the spec onto the event-kernel simulator's configuration (the
+/// kernel-sim backend uses this; btmf_tool reuses it so telemetry sinks
+/// can be attached to the exact same run the backend would perform).
+/// Fields the spec does not model (seed-pool mode, download bandwidth
+/// caps, per-file popularity profiles) keep their SimConfig defaults.
+[[nodiscard]] sim::SimConfig sim_config_from_spec(const ScenarioSpec& spec);
+
+}  // namespace btmf::model

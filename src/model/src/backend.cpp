@@ -1,0 +1,120 @@
+#include "btmf/model/backend.h"
+
+#include "backends.h"
+#include "btmf/util/error.h"
+
+namespace btmf::model {
+
+const char* to_string(OutcomeStatus status) {
+  switch (status) {
+    case OutcomeStatus::kOk:
+      return "ok";
+    case OutcomeStatus::kUnsupported:
+      return "unsupported";
+    case OutcomeStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+std::optional<std::string> Backend::unsupported_reason(
+    const ScenarioSpec& spec) const {
+  const BackendCapabilities caps = capabilities();
+  const std::string who(name());
+  if (!caps.supports_scheme(spec.scheme)) {
+    return who + " does not evaluate " +
+           std::string(fluid::to_string(spec.scheme));
+  }
+  if (caps.max_files != 0 && spec.num_files > caps.max_files) {
+    return who + " models at most " + std::to_string(caps.max_files) +
+           " file(s) (got K = " + std::to_string(spec.num_files) + ")";
+  }
+  // Universal rule, independent of the backend: at p = 0 no peer requests
+  // any file, so the CMFSD torrent does not exist even as a limit.
+  if (spec.scheme == fluid::SchemeKind::kCmfsd && spec.correlation == 0.0) {
+    return "CMFSD needs p > 0 (no peer requests any file at p=0)";
+  }
+  if (spec.correlation == 0.0 && !caps.zero_correlation) {
+    return who + " needs p > 0 (its readout needs arrivals; only the "
+                 "closed forms take the p = 0 limit analytically)";
+  }
+  if (!spec.rho_per_class.empty() && !caps.rho_per_class) {
+    return who + " does not honour rho_per_class";
+  }
+  if (spec.adapt.enabled && !caps.adapt) {
+    return who + " does not model the Adapt controller";
+  }
+  if (spec.cheater_fraction > 0.0 && !caps.cheaters) {
+    return who + " does not model cheaters";
+  }
+  if (spec.abort_rate > 0.0 && !caps.aborts) {
+    return who + " does not model download aborts";
+  }
+  if (!spec.faults.empty() && !caps.faults) {
+    return who + " does not replay fault plans";
+  }
+  return std::nullopt;
+}
+
+Outcome Backend::evaluate(const ScenarioSpec& spec) const {
+  Outcome outcome;
+  outcome.scheme = spec.scheme;
+  outcome.correlation = spec.correlation;
+  try {
+    spec.validate();
+  } catch (const Error& error) {
+    outcome.status = OutcomeStatus::kFailed;
+    outcome.error = error.what();
+    return outcome;
+  }
+  if (const std::optional<std::string> reason = unsupported_reason(spec)) {
+    outcome.status = OutcomeStatus::kUnsupported;
+    outcome.error = *reason;
+    return outcome;
+  }
+  try {
+    return do_evaluate(spec);
+  } catch (const Error& error) {
+    outcome.status = OutcomeStatus::kFailed;
+    outcome.error = error.what();
+    return outcome;
+  }
+}
+
+Outcome Backend::evaluate_or_throw(const ScenarioSpec& spec) const {
+  spec.validate();
+  if (const std::optional<std::string> reason = unsupported_reason(spec)) {
+    throw ConfigError(*reason);
+  }
+  return do_evaluate(spec);
+}
+
+const std::vector<const Backend*>& backend_registry() {
+  static const std::vector<const Backend*> registry{
+      &detail::fluid_equilibrium_backend(),
+      &detail::fluid_transient_backend(),
+      &detail::kernel_sim_backend(),
+      &detail::chunk_sim_backend(),
+  };
+  return registry;
+}
+
+const Backend* find_backend(std::string_view name) {
+  for (const Backend* backend : backend_registry()) {
+    if (backend->name() == name) return backend;
+  }
+  return nullptr;
+}
+
+const Backend& require_backend(std::string_view name) {
+  if (const Backend* backend = find_backend(name)) return *backend;
+  std::string known;
+  for (const Backend* backend : backend_registry()) {
+    if (!known.empty()) known += '|';
+    known += std::string(backend->name());
+  }
+  throw ConfigError("unknown backend '" + std::string(name) +
+                    "' (expected " + known + ")");
+}
+
+}  // namespace btmf::model

@@ -1,0 +1,14 @@
+// Internal: accessors for the backend singletons, one per implementation
+// translation unit. Only backend.cpp (the registry) includes this.
+#pragma once
+
+#include "btmf/model/backend.h"
+
+namespace btmf::model::detail {
+
+const Backend& fluid_equilibrium_backend();
+const Backend& fluid_transient_backend();
+const Backend& kernel_sim_backend();
+const Backend& chunk_sim_backend();
+
+}  // namespace btmf::model::detail

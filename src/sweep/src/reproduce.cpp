@@ -8,9 +8,9 @@
 #include <map>
 #include <sstream>
 
-#include "btmf/core/evaluate.h"
 #include "btmf/core/experiments.h"
-#include "btmf/sim/simulator.h"
+#include "btmf/model/backend.h"
+#include "btmf/sim/stats.h"
 #include "btmf/util/error.h"
 #include "btmf/util/strings.h"
 
@@ -56,6 +56,28 @@ SweepOptions engine_options(const ReproduceOptions& options) {
   return out;
 }
 
+/// The scenario part of a figure's spec (scheme/rho/seed vary per point).
+model::ScenarioSpec spec_of(const core::ScenarioConfig& base) {
+  model::ScenarioSpec spec;
+  spec.num_files = base.num_files;
+  spec.correlation = base.correlation;
+  spec.visit_rate = base.visit_rate;
+  spec.fluid = base.fluid;
+  return spec;
+}
+
+/// Every figure keys its disk cache on (backend name, canonical spec
+/// fingerprint) — the one fingerprint scheme of the whole repository
+/// (see docs/SWEEP.md). Grid-axis values are hashed separately per point.
+std::string cache_key(std::string_view backend,
+                      const model::ScenarioSpec& spec) {
+  return "backend=" + std::string(backend) + "|" + spec.fingerprint();
+}
+
+const model::Backend& fluid_backend() {
+  return model::require_backend("fluid-equilibrium");
+}
+
 /// The "did every point solve" claim every figure leads with; when it
 /// fails the value claims are not evaluated (they would dereference
 /// failed points) and the failures are tabulated instead.
@@ -85,7 +107,7 @@ SweepSpec fig2_spec() {
   SweepSpec spec;
   spec.name = "fig2";
   spec.grid.axis("p", linspace(0.0, 1.0, 21));
-  spec.fingerprint = core::fingerprint(base);
+  spec.fingerprint = cache_key("fluid-equilibrium", spec_of(base));
   spec.compute = [base](const GridPoint& point) {
     const core::Fig2Point sample = core::fig2_point(base, point.at("p"));
     PointResult result;
@@ -165,7 +187,7 @@ SweepSpec fig3_spec() {
   SweepSpec spec;
   spec.name = "fig3";
   spec.grid.axis("p", {0.1, 1.0});
-  spec.fingerprint = core::fingerprint(base);
+  spec.fingerprint = cache_key("fluid-equilibrium", spec_of(base));
   spec.compute = [base](const GridPoint& point) {
     const core::Fig3Point sample = core::fig3_point(base, point.at("p"));
     PointResult result;
@@ -280,18 +302,16 @@ SweepSpec fig4a_spec() {
   // starts at 0.1 exactly as the paper's sweep does.
   spec.grid.axis("p", linspace(0.1, 1.0, 10))
       .axis("rho", linspace(0.0, 1.0, 11));
-  spec.fingerprint = core::fingerprint(base) + "|" +
-                     core::fingerprint(core::EvaluateOptions{});
+  spec.fingerprint = cache_key("fluid-equilibrium", spec_of(base));
   spec.compute = [base](const GridPoint& point) {
-    core::ScenarioConfig scenario = base;
+    model::ScenarioSpec scenario = spec_of(base);
+    scenario.scheme = fluid::SchemeKind::kCmfsd;
     scenario.correlation = point.at("p");
-    core::EvaluateOptions eval;
-    eval.rho = point.at("rho");
-    const core::SchemeReport scheme =
-        core::evaluate_scheme(scenario, fluid::SchemeKind::kCmfsd, eval);
+    scenario.rho = point.at("rho");
+    const model::Outcome outcome = fluid_backend().evaluate_or_throw(scenario);
     PointResult result;
-    result.values["online"] = scheme.avg_online_per_file;
-    result.values["dl"] = scheme.avg_download_per_file;
+    result.values["online"] = outcome.avg_online_per_file;
+    result.values["dl"] = outcome.avg_download_per_file;
     return result;
   };
   return spec;
@@ -354,11 +374,11 @@ FigureReport run_fig4a(const ReproduceOptions& options) {
     table.add_row(std::move(row));
     if (argmin != 0) ++argmin_not_zero;
 
-    core::ScenarioConfig scenario = base;
+    model::ScenarioSpec scenario = spec_of(base);
+    scenario.scheme = fluid::SchemeKind::kMfcd;
     scenario.correlation = p_values[pi];
     const double mfcd_online =
-        core::evaluate_scheme(scenario, fluid::SchemeKind::kMfcd)
-            .avg_online_per_file;
+        fluid_backend().evaluate_or_throw(scenario).avg_online_per_file;
     max_mfcd_gap = std::max(
         max_mfcd_gap, std::abs(online_at(pi, nr - 1) - mfcd_online));
 
@@ -409,21 +429,20 @@ SweepSpec fig4bc_spec() {
   SweepSpec spec;
   spec.name = "fig4bc";
   spec.grid.axis("p", {0.9, 0.1}).axis("rho", {0.1, 0.9});
-  spec.fingerprint = core::fingerprint(base) + "|" +
-                     core::fingerprint(core::EvaluateOptions{});
+  spec.fingerprint = cache_key("fluid-equilibrium", spec_of(base));
   spec.compute = [base](const GridPoint& point) {
-    core::ScenarioConfig scenario = base;
+    model::ScenarioSpec scenario = spec_of(base);
+    scenario.scheme = fluid::SchemeKind::kCmfsd;
     scenario.correlation = point.at("p");
-    core::EvaluateOptions eval;
-    eval.rho = point.at("rho");
-    const core::SchemeReport scheme =
-        core::evaluate_scheme(scenario, fluid::SchemeKind::kCmfsd, eval);
+    scenario.rho = point.at("rho");
+    const model::Outcome outcome = fluid_backend().evaluate_or_throw(scenario);
     PointResult result;
     for (unsigned i = 1; i <= base.num_files; ++i) {
       const std::string suffix = ".c" + std::to_string(i);
       result.values["online" + suffix] =
-          scheme.per_class.online_per_file[i - 1];
-      result.values["dl" + suffix] = scheme.per_class.download_per_file[i - 1];
+          outcome.per_class.online_per_file[i - 1];
+      result.values["dl" + suffix] =
+          outcome.per_class.download_per_file[i - 1];
     }
     return result;
   };
@@ -464,10 +483,10 @@ FigureReport run_fig4bc(const ReproduceOptions& options) {
   double fig4c_dl_ck = 0.0;
   for (std::size_t pi = 0; pi < p_values.size(); ++pi) {
     const double p = p_values[pi];
-    core::ScenarioConfig scenario = base;
+    model::ScenarioSpec scenario = spec_of(base);
+    scenario.scheme = fluid::SchemeKind::kMfcd;
     scenario.correlation = p;
-    const core::SchemeReport mfcd =
-        core::evaluate_scheme(scenario, fluid::SchemeKind::kMfcd);
+    const model::Outcome mfcd = fluid_backend().evaluate_or_throw(scenario);
 
     std::vector<std::string> headers{"class"};
     for (const double rho : rho_values) {
@@ -504,10 +523,11 @@ FigureReport run_fig4bc(const ReproduceOptions& options) {
   // (p = 0.9, rho = 0.1) is point 0 and (p = 0.1, rho = 0.1) is point 2.
   const PointResult& fig4b_cell = result_at(0, 0);
   const PointResult& fig4c_cell = result_at(1, 0);
-  core::ScenarioConfig fig4b_scenario = base;
+  model::ScenarioSpec fig4b_scenario = spec_of(base);
+  fig4b_scenario.scheme = fluid::SchemeKind::kMfcd;
   fig4b_scenario.correlation = 0.9;
-  const core::SchemeReport fig4b_mfcd =
-      core::evaluate_scheme(fig4b_scenario, fluid::SchemeKind::kMfcd);
+  const model::Outcome fig4b_mfcd =
+      fluid_backend().evaluate_or_throw(fig4b_scenario);
   double fig4b_min_mfcd_online = kInf;
   for (unsigned i = 1; i <= k; ++i) {
     fig4b_max_online = std::max(
@@ -541,35 +561,16 @@ FigureReport run_fig4bc(const ReproduceOptions& options) {
 // Adapt — the paper's Sec. 4.3 mechanism, exercised in the discrete-event
 // simulator with a cheater-fraction sweep.
 
-sim::SimConfig adapt_base_config() {
-  sim::SimConfig config;
-  config.num_files = 5;
-  config.correlation = 0.9;
-  config.visit_rate = 1.0;
-  config.scheme = fluid::SchemeKind::kCmfsd;
-  config.rho = 0.0;
-  config.horizon = 2500.0;
-  config.warmup = 750.0;
-  return config;
-}
-
-std::string sim_fingerprint(const sim::SimConfig& config) {
-  const auto d = [](double v) { return util::format_double_exact(v); };
-  std::string out =
-      "k=" + std::to_string(config.num_files) +
-      ";p=" + d(config.correlation) + ";lambda0=" + d(config.visit_rate) +
-      ";mu=" + d(config.fluid.mu) + ";eta=" + d(config.fluid.eta) +
-      ";gamma=" + d(config.fluid.gamma) +
-      ";scheme=" + std::string(fluid::to_string(config.scheme)) +
-      ";rho=" + d(config.rho) + ";horizon=" + d(config.horizon) +
-      ";warmup=" + d(config.warmup) +
-      ";seed=" + std::to_string(config.seed);
-  const sim::AdaptConfig& adapt = config.adapt;
-  out += ";adapt=" + std::string(adapt.enabled ? "1" : "0") + ',' +
-         d(adapt.initial_rho) + ',' + d(adapt.period) + ',' +
-         d(adapt.phi_lo) + ',' + d(adapt.phi_hi) + ',' + d(adapt.step_up) +
-         ',' + d(adapt.step_down) + ',' + std::to_string(adapt.consecutive);
-  return out;
+model::ScenarioSpec adapt_base_spec() {
+  model::ScenarioSpec spec;
+  spec.num_files = 5;
+  spec.correlation = 0.9;
+  spec.visit_rate = 1.0;
+  spec.scheme = fluid::SchemeKind::kCmfsd;
+  spec.rho = 0.0;
+  spec.horizon = 2500.0;
+  spec.warmup = 750.0;
+  return spec;
 }
 
 /// Mean departure rho over the multi-file classes that completed users
@@ -588,7 +589,7 @@ double mean_multi_file_rho(const sim::SimResult& result) {
 }
 
 SweepSpec adapt_spec(bool adapt_enabled) {
-  sim::SimConfig base = adapt_base_config();
+  model::ScenarioSpec base = adapt_base_spec();
   base.adapt.enabled = adapt_enabled;
   SweepSpec spec;
   spec.name = adapt_enabled ? "adapt-on" : "adapt-off";
@@ -597,18 +598,20 @@ SweepSpec adapt_spec(bool adapt_enabled) {
                             ? std::vector<double>{0.0, 0.5, 0.8}
                             : std::vector<double>{0.0})
       .axis("rep", {0.0, 1.0});
-  spec.fingerprint = sim_fingerprint(base);
-  // NOTE: one run_simulation per point (the replication index is a grid
-  // axis) rather than run_replications, which fans out on the global pool
-  // — a compute function must never submit to the pool its sweep runs on.
+  spec.fingerprint = cache_key("kernel-sim", base);
+  // NOTE: one single-replication backend call per point (the replication
+  // index is a grid axis) rather than run_replications, which fans out on
+  // the global pool — a compute function must never submit to the pool
+  // its sweep runs on.
   spec.compute = [base](const GridPoint& point) {
-    sim::SimConfig config = base;
-    config.cheater_fraction = point.at("cheaters");
-    config.seed = 20'060 + static_cast<std::uint64_t>(point.at("rep"));
-    const sim::SimResult run = sim::run_simulation(config);
+    model::ScenarioSpec scenario = base;
+    scenario.cheater_fraction = point.at("cheaters");
+    scenario.seed = 20'060 + static_cast<std::uint64_t>(point.at("rep"));
+    const model::Outcome outcome =
+        model::require_backend("kernel-sim").evaluate_or_throw(scenario);
     PointResult result;
-    result.values["online_per_file"] = run.avg_online_per_file;
-    result.values["mean_final_rho"] = mean_multi_file_rho(run);
+    result.values["online_per_file"] = outcome.avg_online_per_file;
+    result.values["mean_final_rho"] = mean_multi_file_rho(*outcome.sim);
     return result;
   };
   return spec;

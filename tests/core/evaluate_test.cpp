@@ -111,6 +111,16 @@ TEST(EvaluateTest, EvaluateAllReturnsFourReports) {
   EXPECT_EQ(reports[3].scheme, fluid::SchemeKind::kCmfsd);
 }
 
+TEST(EvaluateTest, EvaluateAllSkipsCmfsdAtZeroCorrelation) {
+  // CMFSD does not exist at p = 0; the backend declares the combination
+  // unsupported, so evaluate_all skips it instead of throwing.
+  const auto reports = evaluate_all_schemes(paper_scenario(0.0));
+  ASSERT_EQ(reports.size(), 3u);
+  for (const SchemeReport& report : reports) {
+    EXPECT_NE(report.scheme, fluid::SchemeKind::kCmfsd);
+  }
+}
+
 TEST(EvaluateTest, AveragePerUserAtLeastPerFile) {
   // Per-user online time aggregates >= 1 file, so it dominates per-file.
   const SchemeReport r =

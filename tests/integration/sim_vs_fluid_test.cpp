@@ -1,168 +1,210 @@
-// Cross-validation of the two independent implementations of the paper's
-// models: the agent-level discrete-event simulator must reproduce the
-// fluid-model steady states within Monte-Carlo tolerance for all four
-// schemes. This is the strongest correctness evidence in the repository —
-// the fluid code knows nothing about the simulator and vice versa.
+// Cross-validation of the independent implementations of the paper's
+// models, driven entirely through the btmf::model backend seam: every
+// (scheme, correlation, backend) cell of the matrix must either match the
+// fluid-equilibrium reference within the backend's declared tolerance or
+// be *declared* unsupported via Backend::capabilities() — a silent skip
+// is a test failure. This is the strongest correctness evidence in the
+// repository: the fluid code knows nothing about the simulator and vice
+// versa, yet both answer the same ScenarioSpec.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 
-#include "btmf/core/evaluate.h"
-#include "btmf/sim/simulator.h"
+#include "btmf/model/backend.h"
 
 namespace btmf {
 namespace {
 
-core::ScenarioConfig scenario(double p, unsigned k = 5) {
-  core::ScenarioConfig sc;
-  sc.num_files = k;
-  sc.correlation = p;
-  sc.visit_rate = 1.0;
-  return sc;
+model::ScenarioSpec spec_for(fluid::SchemeKind scheme, double p,
+                             double rho = 0.0, unsigned k = 5) {
+  model::ScenarioSpec spec;
+  spec.num_files = k;
+  spec.correlation = p;
+  spec.visit_rate = 1.0;
+  spec.scheme = scheme;
+  spec.rho = rho;
+  spec.horizon = 4000.0;
+  spec.warmup = 1000.0;
+  spec.seed = 1234;
+  return spec;
 }
 
-sim::SimConfig sim_config(const core::ScenarioConfig& sc,
-                          fluid::SchemeKind scheme, double rho = 0.0) {
-  sim::SimConfig c;
-  c.scheme = scheme;
-  c.num_files = sc.num_files;
-  c.correlation = sc.correlation;
-  c.visit_rate = sc.visit_rate;
-  c.fluid = sc.fluid;
-  c.rho = rho;
-  c.horizon = 4000.0;
-  c.warmup = 1000.0;
-  c.seed = 1234;
-  return c;
+const model::Backend& reference() {
+  return model::require_backend("fluid-equilibrium");
 }
 
-// Every scheme must track its fluid steady state across the correlation
-// range, not just at a hand-picked p. CMFSD only exists for p > 0 (no
-// peers otherwise), so the sweep starts at 0.1.
-struct SweepCase {
+// Every candidate backend must track the reference across the scheme x
+// correlation grid — including p = 0, where the candidate is required to
+// *declare* the cell unsupported (its Little's-law / sampling readout
+// needs arrivals) rather than crash or silently skip.
+struct MatrixCase {
+  const char* backend;
   fluid::SchemeKind scheme;
   double p;
+  double tolerance;  ///< relative, on avg online time per file
 };
 
-class SimVsFluidSweep : public ::testing::TestWithParam<SweepCase> {};
+class SimVsFluidMatrix : public ::testing::TestWithParam<MatrixCase> {};
 
-TEST_P(SimVsFluidSweep, OnlineTimePerFileMatchesFluid) {
-  const auto [scheme, p] = GetParam();
-  const core::ScenarioConfig sc = scenario(p);
-  core::EvaluateOptions options;
-  options.rho = 0.0;  // CMFSD: generous peers; ignored by the others
-  const core::SchemeReport fluid_report =
-      core::evaluate_scheme(sc, scheme, options);
-  const sim::SimResult sim_result =
-      sim::run_simulation(sim_config(sc, scheme, /*rho=*/0.0));
-  EXPECT_NEAR(sim_result.avg_online_per_file,
-              fluid_report.avg_online_per_file,
-              0.10 * fluid_report.avg_online_per_file);
+TEST_P(SimVsFluidMatrix, MatchesReferenceOrDeclaresUnsupported) {
+  const MatrixCase& c = GetParam();
+  const model::ScenarioSpec spec = spec_for(c.scheme, c.p);
+  const model::Backend& candidate = model::require_backend(c.backend);
+
+  const model::Outcome expected = reference().evaluate(spec);
+  const model::Outcome got = candidate.evaluate(spec);
+
+  if (!candidate.capabilities().zero_correlation && c.p == 0.0) {
+    // The declared skip: a typed refusal with a reason, never a crash.
+    ASSERT_EQ(got.status, model::OutcomeStatus::kUnsupported);
+    EXPECT_FALSE(got.error.empty());
+    return;
+  }
+  ASSERT_TRUE(expected.ok()) << expected.error;
+  ASSERT_TRUE(got.ok()) << got.error;
+  EXPECT_NEAR(got.avg_online_per_file, expected.avg_online_per_file,
+              c.tolerance * expected.avg_online_per_file);
+}
+
+std::string matrix_case_name(
+    const ::testing::TestParamInfo<MatrixCase>& tpi) {
+  std::string name = tpi.param.backend == std::string("fluid-transient")
+                         ? "Transient"
+                         : "Kernel";
+  switch (tpi.param.scheme) {
+    case fluid::SchemeKind::kMtcd: name += "Mtcd"; break;
+    case fluid::SchemeKind::kMtsd: name += "Mtsd"; break;
+    case fluid::SchemeKind::kMfcd: name += "Mfcd"; break;
+    case fluid::SchemeKind::kCmfsd: name += "Cmfsd"; break;
+  }
+  return name + "P" + std::to_string(static_cast<int>(tpi.param.p * 10));
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllSchemesAcrossCorrelation, SimVsFluidSweep,
+    AllSchemesAcrossCorrelation, SimVsFluidMatrix,
     ::testing::Values(
-        SweepCase{fluid::SchemeKind::kMtcd, 0.1},
-        SweepCase{fluid::SchemeKind::kMtcd, 0.5},
-        SweepCase{fluid::SchemeKind::kMtcd, 1.0},
-        SweepCase{fluid::SchemeKind::kMtsd, 0.1},
-        SweepCase{fluid::SchemeKind::kMtsd, 0.5},
-        SweepCase{fluid::SchemeKind::kMtsd, 1.0},
-        SweepCase{fluid::SchemeKind::kMfcd, 0.1},
-        SweepCase{fluid::SchemeKind::kMfcd, 0.5},
-        SweepCase{fluid::SchemeKind::kMfcd, 1.0},
-        SweepCase{fluid::SchemeKind::kCmfsd, 0.1},
-        SweepCase{fluid::SchemeKind::kCmfsd, 0.5},
-        SweepCase{fluid::SchemeKind::kCmfsd, 1.0}),
-    [](const ::testing::TestParamInfo<SweepCase>& tpi) {
-      const char* name = "Cmfsd";
-      switch (tpi.param.scheme) {
-        case fluid::SchemeKind::kMtcd: name = "Mtcd"; break;
-        case fluid::SchemeKind::kMtsd: name = "Mtsd"; break;
-        case fluid::SchemeKind::kMfcd: name = "Mfcd"; break;
-        default: break;
+        // kernel-sim: Monte-Carlo tolerance. CMFSD only exists for p > 0
+        // (no peers otherwise), so its sweep starts at 0.1; the p = 0
+        // cells of the other schemes assert the declared-unsupported path.
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kMtcd, 0.0, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kMtcd, 0.1, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kMtcd, 0.5, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kMtcd, 1.0, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kMtsd, 0.0, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kMtsd, 0.1, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kMtsd, 0.5, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kMtsd, 1.0, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kMfcd, 0.0, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kMfcd, 0.1, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kMfcd, 0.5, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kMfcd, 1.0, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kCmfsd, 0.1, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kCmfsd, 0.5, 0.10},
+        MatrixCase{"kernel-sim", fluid::SchemeKind::kCmfsd, 1.0, 0.10},
+        // fluid-transient: same ODEs read out at the horizon — analytic
+        // agreement, so the tolerance is much tighter.
+        MatrixCase{"fluid-transient", fluid::SchemeKind::kMtcd, 0.0, 0.02},
+        MatrixCase{"fluid-transient", fluid::SchemeKind::kMtcd, 0.5, 0.02},
+        MatrixCase{"fluid-transient", fluid::SchemeKind::kMtsd, 0.5, 0.02},
+        MatrixCase{"fluid-transient", fluid::SchemeKind::kMfcd, 0.5, 0.02},
+        MatrixCase{"fluid-transient", fluid::SchemeKind::kCmfsd, 0.5, 0.02}),
+    matrix_case_name);
+
+// Every cell of the full scheme x backend grid must be accounted for:
+// either the backend claims support (and the matrix above exercises it)
+// or unsupported_reason() explains why. No silent third state.
+TEST(SimVsFluidTest, EveryMatrixCellIsSupportedOrDeclared) {
+  for (const model::Backend* backend : model::backend_registry()) {
+    for (const fluid::SchemeKind scheme :
+         {fluid::SchemeKind::kMtcd, fluid::SchemeKind::kMtsd,
+          fluid::SchemeKind::kMfcd, fluid::SchemeKind::kCmfsd}) {
+      for (const double p : {0.0, 0.5, 1.0}) {
+        const model::ScenarioSpec spec = spec_for(scheme, p);
+        const auto reason = backend->unsupported_reason(spec);
+        const model::Outcome outcome = backend->evaluate(spec);
+        if (reason) {
+          EXPECT_EQ(outcome.status, model::OutcomeStatus::kUnsupported)
+              << backend->name() << " " << fluid::to_string(scheme)
+              << " p=" << p;
+          EXPECT_EQ(outcome.error, *reason);
+        } else {
+          EXPECT_TRUE(outcome.ok())
+              << backend->name() << " " << fluid::to_string(scheme)
+              << " p=" << p << ": " << outcome.error;
+        }
       }
-      return std::string(name) + "P" +
-             std::to_string(static_cast<int>(tpi.param.p * 10));
-    });
+    }
+  }
+}
 
 TEST(SimVsFluidTest, MtsdOnlineTimeMatches) {
-  const core::ScenarioConfig sc = scenario(0.5);
-  const core::SchemeReport fluid_report =
-      core::evaluate_scheme(sc, fluid::SchemeKind::kMtsd);
-  const sim::SimResult sim_result =
-      sim::run_simulation(sim_config(sc, fluid::SchemeKind::kMtsd));
-  EXPECT_NEAR(sim_result.avg_online_per_file,
-              fluid_report.avg_online_per_file,
-              0.05 * fluid_report.avg_online_per_file);
+  const model::ScenarioSpec spec = spec_for(fluid::SchemeKind::kMtsd, 0.5);
+  const model::Outcome expected = reference().evaluate_or_throw(spec);
+  const model::Outcome got =
+      model::require_backend("kernel-sim").evaluate_or_throw(spec);
+  EXPECT_NEAR(got.avg_online_per_file, expected.avg_online_per_file,
+              0.05 * expected.avg_online_per_file);
 }
 
 TEST(SimVsFluidTest, MtcdLittleLawMatchesPerClass) {
-  const core::ScenarioConfig sc = scenario(1.0);
-  const core::SchemeReport fluid_report =
-      core::evaluate_scheme(sc, fluid::SchemeKind::kMtcd);
-  const sim::SimResult sim_result =
-      sim::run_simulation(sim_config(sc, fluid::SchemeKind::kMtcd));
-  const unsigned k = sc.num_files;
+  const model::ScenarioSpec spec = spec_for(fluid::SchemeKind::kMtcd, 1.0);
+  const model::Outcome expected = reference().evaluate_or_throw(spec);
+  const model::Outcome got =
+      model::require_backend("kernel-sim").evaluate_or_throw(spec);
+  ASSERT_TRUE(got.sim.has_value());
+  const unsigned k = spec.num_files;
   // At p = 1 only class K is populated.
-  const double expected = fluid_report.per_class.online_per_file[k - 1];
-  EXPECT_NEAR(sim_result.classes[k - 1].little_online_time, expected,
-              0.08 * expected);
+  const double fluid_value = expected.per_class.online_per_file[k - 1];
+  EXPECT_NEAR(got.sim->classes[k - 1].little_online_time, fluid_value,
+              0.08 * fluid_value);
 }
 
 TEST(SimVsFluidTest, MfcdMatchesMtcdFluidEquivalence) {
-  const core::ScenarioConfig sc = scenario(1.0);
-  const core::SchemeReport fluid_report =
-      core::evaluate_scheme(sc, fluid::SchemeKind::kMfcd);
-  const sim::SimResult sim_result =
-      sim::run_simulation(sim_config(sc, fluid::SchemeKind::kMfcd));
-  const unsigned k = sc.num_files;
-  const double expected = fluid_report.per_class.online_per_file[k - 1];
-  EXPECT_NEAR(sim_result.classes[k - 1].little_online_time, expected,
-              0.08 * expected);
+  const model::ScenarioSpec spec = spec_for(fluid::SchemeKind::kMfcd, 1.0);
+  const model::Outcome expected = reference().evaluate_or_throw(spec);
+  const model::Outcome got =
+      model::require_backend("kernel-sim").evaluate_or_throw(spec);
+  ASSERT_TRUE(got.sim.has_value());
+  const unsigned k = spec.num_files;
+  const double fluid_value = expected.per_class.online_per_file[k - 1];
+  EXPECT_NEAR(got.sim->classes[k - 1].little_online_time, fluid_value,
+              0.08 * fluid_value);
 }
 
 TEST(SimVsFluidTest, CmfsdGenerousMatches) {
-  const core::ScenarioConfig sc = scenario(0.9);
-  core::EvaluateOptions options;
-  options.rho = 0.0;
-  const core::SchemeReport fluid_report =
-      core::evaluate_scheme(sc, fluid::SchemeKind::kCmfsd, options);
-  const sim::SimResult sim_result = sim::run_simulation(
-      sim_config(sc, fluid::SchemeKind::kCmfsd, /*rho=*/0.0));
-  EXPECT_NEAR(sim_result.avg_online_per_file,
-              fluid_report.avg_online_per_file,
-              0.07 * fluid_report.avg_online_per_file);
+  const model::ScenarioSpec spec =
+      spec_for(fluid::SchemeKind::kCmfsd, 0.9, /*rho=*/0.0);
+  const model::Outcome expected = reference().evaluate_or_throw(spec);
+  const model::Outcome got =
+      model::require_backend("kernel-sim").evaluate_or_throw(spec);
+  EXPECT_NEAR(got.avg_online_per_file, expected.avg_online_per_file,
+              0.07 * expected.avg_online_per_file);
 }
 
 TEST(SimVsFluidTest, CmfsdSelfishMatches) {
-  const core::ScenarioConfig sc = scenario(0.9);
-  core::EvaluateOptions options;
-  options.rho = 1.0;
-  const core::SchemeReport fluid_report =
-      core::evaluate_scheme(sc, fluid::SchemeKind::kCmfsd, options);
-  const sim::SimResult sim_result = sim::run_simulation(
-      sim_config(sc, fluid::SchemeKind::kCmfsd, /*rho=*/1.0));
-  EXPECT_NEAR(sim_result.avg_online_per_file,
-              fluid_report.avg_online_per_file,
-              0.07 * fluid_report.avg_online_per_file);
+  const model::ScenarioSpec spec =
+      spec_for(fluid::SchemeKind::kCmfsd, 0.9, /*rho=*/1.0);
+  const model::Outcome expected = reference().evaluate_or_throw(spec);
+  const model::Outcome got =
+      model::require_backend("kernel-sim").evaluate_or_throw(spec);
+  EXPECT_NEAR(got.avg_online_per_file, expected.avg_online_per_file,
+              0.07 * expected.avg_online_per_file);
 }
 
 TEST(SimVsFluidTest, CmfsdPerClassDownloadTimesMatch) {
-  const core::ScenarioConfig sc = scenario(0.8);
-  core::EvaluateOptions options;
-  options.rho = 0.2;
-  const core::SchemeReport fluid_report =
-      core::evaluate_scheme(sc, fluid::SchemeKind::kCmfsd, options);
-  sim::SimConfig c = sim_config(sc, fluid::SchemeKind::kCmfsd, 0.2);
-  c.horizon = 5000.0;
-  const sim::SimResult sim_result = sim::run_simulation(c);
-  for (unsigned i = 2; i <= sc.num_files; ++i) {
-    const auto& cls = sim_result.classes[i - 1];
+  model::ScenarioSpec spec =
+      spec_for(fluid::SchemeKind::kCmfsd, 0.8, /*rho=*/0.2);
+  spec.horizon = 5000.0;
+  const model::Outcome expected = reference().evaluate_or_throw(spec);
+  const model::Outcome got =
+      model::require_backend("kernel-sim").evaluate_or_throw(spec);
+  ASSERT_TRUE(got.sim.has_value());
+  for (unsigned i = 2; i <= spec.num_files; ++i) {
+    const auto& cls = got.sim->classes[i - 1];
     if (cls.completed_users < 150) continue;
-    const double expected = fluid_report.per_class.download_per_file[i - 1];
-    EXPECT_NEAR(cls.little_download_time, expected, 0.10 * expected)
+    const double fluid_value = expected.per_class.download_per_file[i - 1];
+    EXPECT_NEAR(cls.little_download_time, fluid_value, 0.10 * fluid_value)
         << "class " << i;
   }
 }
@@ -170,16 +212,15 @@ TEST(SimVsFluidTest, CmfsdPerClassDownloadTimesMatch) {
 TEST(SimVsFluidTest, SchemeOrderingPreservedAtHighCorrelation) {
   // The paper's bottom line, at the agent level: CMFSD(0) < MTSD <
   // MFCD ~ MTCD in average online time per file when p is high.
-  const core::ScenarioConfig sc = scenario(0.9);
+  const model::Backend& kernel = model::require_backend("kernel-sim");
   const double cmfsd =
-      sim::run_simulation(
-          sim_config(sc, fluid::SchemeKind::kCmfsd, /*rho=*/0.0))
+      kernel.evaluate_or_throw(spec_for(fluid::SchemeKind::kCmfsd, 0.9, 0.0))
           .avg_online_per_file;
   const double mtsd =
-      sim::run_simulation(sim_config(sc, fluid::SchemeKind::kMtsd))
+      kernel.evaluate_or_throw(spec_for(fluid::SchemeKind::kMtsd, 0.9))
           .avg_online_per_file;
   const double mfcd =
-      sim::run_simulation(sim_config(sc, fluid::SchemeKind::kMfcd))
+      kernel.evaluate_or_throw(spec_for(fluid::SchemeKind::kMfcd, 0.9))
           .avg_online_per_file;
   EXPECT_LT(cmfsd, mtsd);
   EXPECT_LT(mtsd, mfcd);

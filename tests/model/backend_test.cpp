@@ -1,0 +1,245 @@
+// The Backend seam: registry contents, typed unsupported/failed outcomes
+// (no backend may crash on an out-of-domain spec), capability gating, the
+// core::evaluate_scheme wrapper identity, and per-seed determinism of the
+// stochastic backends.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "btmf/core/evaluate.h"
+#include "btmf/core/scenario.h"
+#include "btmf/model/backend.h"
+#include "btmf/util/error.h"
+
+namespace btmf::model {
+namespace {
+
+constexpr const char* kAllBackends[] = {"fluid-equilibrium", "fluid-transient",
+                                        "kernel-sim", "chunk-sim"};
+
+// Small, fast spec the stochastic backends can run in milliseconds.
+ScenarioSpec small_spec(fluid::SchemeKind scheme, double p) {
+  ScenarioSpec spec;
+  spec.num_files = 3;
+  spec.correlation = p;
+  spec.scheme = scheme;
+  spec.horizon = 800.0;
+  spec.warmup = 200.0;
+  return spec;
+}
+
+TEST(ModelBackendTest, RegistryListsTheFourBackendsInOrder) {
+  const auto& registry = backend_registry();
+  ASSERT_EQ(registry.size(), 4u);
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    EXPECT_EQ(registry[i]->name(), kAllBackends[i]);
+  }
+}
+
+TEST(ModelBackendTest, FindBackendReturnsNullForUnknownNames) {
+  for (const char* name : kAllBackends) {
+    EXPECT_NE(find_backend(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_backend("fluid"), nullptr);
+  EXPECT_EQ(find_backend(""), nullptr);
+}
+
+TEST(ModelBackendTest, RequireBackendThrowsNamingTheKnownBackends) {
+  try {
+    (void)require_backend("no-such-backend");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("no-such-backend"), std::string::npos);
+    for (const char* name : kAllBackends) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+// The universal rule: CMFSD at p = 0 is a typed kUnsupported from EVERY
+// backend — same message everywhere, never a crash, never a throw from
+// evaluate().
+TEST(ModelBackendTest, CmfsdAtZeroCorrelationIsUnsupportedEverywhere) {
+  ScenarioSpec spec = small_spec(fluid::SchemeKind::kCmfsd, 0.0);
+  spec.num_files = 1;  // keep chunk-sim's K = 1 gate out of the way
+  for (const Backend* backend : backend_registry()) {
+    const Outcome outcome = backend->evaluate(spec);
+    EXPECT_EQ(outcome.status, OutcomeStatus::kUnsupported) << backend->name();
+    EXPECT_EQ(outcome.error, "CMFSD needs p > 0 (no peer requests any file at p=0)")
+        << backend->name();
+    EXPECT_THROW((void)backend->evaluate_or_throw(spec), ConfigError)
+        << backend->name();
+  }
+}
+
+TEST(ModelBackendTest, OnlyTheClosedFormsTakeTheZeroCorrelationLimit) {
+  const ScenarioSpec spec = small_spec(fluid::SchemeKind::kMtcd, 0.0);
+  for (const Backend* backend : backend_registry()) {
+    if (backend->capabilities().max_files != 0 &&
+        spec.num_files > backend->capabilities().max_files) {
+      continue;  // chunk-sim: gated on K, checked separately below
+    }
+    const Outcome outcome = backend->evaluate(spec);
+    if (backend->capabilities().zero_correlation) {
+      EXPECT_EQ(outcome.status, OutcomeStatus::kOk) << backend->name();
+    } else {
+      EXPECT_EQ(outcome.status, OutcomeStatus::kUnsupported) << backend->name();
+      EXPECT_FALSE(outcome.error.empty()) << backend->name();
+    }
+  }
+  EXPECT_TRUE(
+      require_backend("fluid-equilibrium").evaluate(spec).ok());
+}
+
+TEST(ModelBackendTest, CapabilityGatesRefuseWhatABackendCannotModel) {
+  // Fault plans only replay on the event kernel.
+  {
+    ScenarioSpec spec = small_spec(fluid::SchemeKind::kMtcd, 0.5);
+    spec.faults.seed_failures.push_back({/*start=*/100.0, /*duration=*/50.0});
+    for (const char* name : {"fluid-equilibrium", "fluid-transient"}) {
+      const Outcome outcome = require_backend(name).evaluate(spec);
+      EXPECT_EQ(outcome.status, OutcomeStatus::kUnsupported) << name;
+      EXPECT_NE(outcome.error.find("fault"), std::string::npos) << name;
+    }
+    EXPECT_FALSE(
+        require_backend("kernel-sim").unsupported_reason(spec).has_value());
+  }
+  // The Adapt controller and cheaters are kernel-sim-only.
+  {
+    ScenarioSpec spec = small_spec(fluid::SchemeKind::kCmfsd, 0.9);
+    spec.adapt.enabled = true;
+    EXPECT_EQ(require_backend("fluid-equilibrium").evaluate(spec).status,
+              OutcomeStatus::kUnsupported);
+    spec.adapt.enabled = false;
+    spec.cheater_fraction = 0.3;
+    EXPECT_EQ(require_backend("fluid-transient").evaluate(spec).status,
+              OutcomeStatus::kUnsupported);
+    EXPECT_FALSE(
+        require_backend("kernel-sim").unsupported_reason(spec).has_value());
+  }
+  // Per-class rho is a fluid-model construct the kernel does not model.
+  {
+    ScenarioSpec spec = small_spec(fluid::SchemeKind::kCmfsd, 0.9);
+    spec.rho_per_class.assign(spec.num_files, 0.5);
+    EXPECT_EQ(require_backend("kernel-sim").evaluate(spec).status,
+              OutcomeStatus::kUnsupported);
+    EXPECT_FALSE(require_backend("fluid-equilibrium")
+                     .unsupported_reason(spec)
+                     .has_value());
+  }
+  // chunk-sim models a single torrent.
+  {
+    const ScenarioSpec spec = small_spec(fluid::SchemeKind::kMtcd, 1.0);
+    const Outcome outcome = require_backend("chunk-sim").evaluate(spec);
+    EXPECT_EQ(outcome.status, OutcomeStatus::kUnsupported);
+    EXPECT_NE(outcome.error.find("at most 1"), std::string::npos);
+  }
+}
+
+TEST(ModelBackendTest, MalformedSpecComesBackAsTypedFailure) {
+  ScenarioSpec spec = small_spec(fluid::SchemeKind::kMtcd, 0.5);
+  spec.correlation = 1.5;
+  for (const Backend* backend : backend_registry()) {
+    const Outcome outcome = backend->evaluate(spec);
+    EXPECT_EQ(outcome.status, OutcomeStatus::kFailed) << backend->name();
+    EXPECT_FALSE(outcome.error.empty()) << backend->name();
+    EXPECT_THROW((void)backend->evaluate_or_throw(spec), ConfigError)
+        << backend->name();
+  }
+}
+
+TEST(ModelBackendTest, OutcomeStatusToStringIsStable) {
+  EXPECT_STREQ(to_string(OutcomeStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(OutcomeStatus::kUnsupported), "unsupported");
+  EXPECT_STREQ(to_string(OutcomeStatus::kFailed), "failed");
+}
+
+// core::evaluate_scheme is a thin wrapper over fluid-equilibrium: same
+// inputs must give bit-identical numbers through either door.
+TEST(ModelBackendTest, CoreEvaluateSchemeIsTheFluidEquilibriumBackend) {
+  core::ScenarioConfig scenario;
+  scenario.num_files = 5;
+  scenario.correlation = 0.9;
+  core::EvaluateOptions options;
+  options.rho = 0.3;
+
+  ScenarioSpec spec;
+  spec.num_files = 5;
+  spec.correlation = 0.9;
+  spec.scheme = fluid::SchemeKind::kCmfsd;
+  spec.rho = 0.3;
+
+  const core::SchemeReport report =
+      core::evaluate_scheme(scenario, fluid::SchemeKind::kCmfsd, options);
+  const Outcome outcome =
+      require_backend("fluid-equilibrium").evaluate_or_throw(spec);
+
+  EXPECT_DOUBLE_EQ(report.avg_online_per_file, outcome.avg_online_per_file);
+  EXPECT_DOUBLE_EQ(report.avg_download_per_file,
+                   outcome.avg_download_per_file);
+  EXPECT_DOUBLE_EQ(report.avg_online_per_user, outcome.avg_online_per_user);
+  ASSERT_EQ(report.per_class.num_classes(), outcome.per_class.num_classes());
+  for (std::size_t i = 0; i < report.per_class.num_classes(); ++i) {
+    EXPECT_DOUBLE_EQ(report.per_class.online_per_file[i],
+                     outcome.per_class.online_per_file[i]);
+    EXPECT_DOUBLE_EQ(report.per_class.download_per_file[i],
+                     outcome.per_class.download_per_file[i]);
+  }
+  ASSERT_EQ(report.class_entry_rates.size(),
+            outcome.class_entry_rates.size());
+  for (std::size_t i = 0; i < report.class_entry_rates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(report.class_entry_rates[i],
+                     outcome.class_entry_rates[i]);
+  }
+}
+
+TEST(ModelBackendTest, StochasticBackendsAreDeterministicPerSeed) {
+  const Backend& kernel = require_backend("kernel-sim");
+  ScenarioSpec spec = small_spec(fluid::SchemeKind::kMtcd, 0.5);
+  spec.seed = 7;
+  const Outcome first = kernel.evaluate_or_throw(spec);
+  const Outcome second = kernel.evaluate_or_throw(spec);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.avg_online_per_file, second.avg_online_per_file);
+  EXPECT_EQ(first.avg_download_per_file, second.avg_download_per_file);
+  ASSERT_TRUE(first.sim.has_value());
+  ASSERT_TRUE(second.sim.has_value());
+  for (std::size_t i = 0; i < first.sim->classes.size(); ++i) {
+    EXPECT_EQ(first.sim->classes[i].completed_users,
+              second.sim->classes[i].completed_users);
+  }
+
+  spec.seed = 8;
+  const Outcome other = kernel.evaluate_or_throw(spec);
+  EXPECT_NE(first.avg_online_per_file, other.avg_online_per_file);
+}
+
+TEST(ModelBackendTest, AttachmentsMatchDeclaredCapabilities) {
+  for (const Backend* backend : backend_registry()) {
+    const BackendCapabilities caps = backend->capabilities();
+    ScenarioSpec spec = small_spec(fluid::SchemeKind::kMtcd, 0.8);
+    if (caps.max_files != 0) spec.num_files = caps.max_files;
+    const Outcome outcome = backend->evaluate(spec);
+    ASSERT_TRUE(outcome.ok()) << backend->name() << ": " << outcome.error;
+    EXPECT_EQ(outcome.trajectory.has_value(), caps.trajectory)
+        << backend->name();
+    EXPECT_EQ(outcome.sim.has_value(), caps.sim_counters) << backend->name();
+    EXPECT_EQ(outcome.chunk.has_value(),
+              std::string(backend->name()) == "chunk-sim")
+        << backend->name();
+    if (outcome.trajectory) {
+      EXPECT_FALSE(outcome.trajectory->time.empty()) << backend->name();
+      EXPECT_EQ(outcome.trajectory->time.size(),
+                outcome.trajectory->downloaders.size())
+          << backend->name();
+      EXPECT_EQ(outcome.trajectory->time.size(),
+                outcome.trajectory->seeds.size())
+          << backend->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace btmf::model
