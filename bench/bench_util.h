@@ -3,6 +3,9 @@
 // --csv <path>) saves the same data for replotting.
 #pragma once
 
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -11,6 +14,35 @@
 #include "btmf/util/table.h"
 
 namespace btmf::bench {
+
+/// Peak resident-set size (VmHWM) of this process in bytes, read from
+/// /proc/self/status. Returns 0 where procfs is unavailable, so callers
+/// can print "n/a" instead of a lie.
+inline std::size_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%zu", &kib);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+/// Resets the kernel's peak-RSS water mark (writes "5" to
+/// /proc/self/clear_refs) so per-phase peaks can be measured in one
+/// process. Returns false when the platform refuses; peak_rss_bytes()
+/// then reports the process-lifetime high water mark instead.
+inline bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
 
 inline void emit(const util::Table& table, const std::string& caption,
                  const std::string& csv_path) {

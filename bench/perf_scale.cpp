@@ -1,0 +1,201 @@
+// Scale gate for the sharded kernel: a flash-crowd MTCD workload whose
+// live population crosses ten million concurrent peer units, plus a
+// thread-scaling projection of aggregate event throughput.
+//
+// Methodology (honest numbers on a small container)
+// -------------------------------------------------
+// This repository's CI box exposes a single CPU, so "events/s at T
+// threads" cannot be measured directly. Instead the bench runs the
+// sharded kernel inline (kernel_threads = 1), measures the run's CPU
+// time with CLOCK_THREAD_CPUTIME_ID (exact for an inline run: every
+// shard executes on the calling thread), apportions that CPU time across
+// shards by their event counts (the `sim.kernel.shard<N>.events` obs
+// counters), and projects the T-thread makespan with an LPT (longest
+// processing time first) list schedule of the per-shard work onto T
+// workers. Epoch barriers divide every shard's work uniformly, so the
+// barrier-aware makespan equals the LPT makespan of the per-shard
+// totals. The projection is a model, and BENCH_scale.json labels it as
+// such; determinism (tests/sim/shard_determinism_test.cpp) guarantees
+// the answer a real T-thread box computes is bit-identical — only the
+// wall clock is projected here.
+//
+// --smoke shrinks the workload to a CI-sized run (seconds, no 10M
+// claim) while still exercising every stage, including the JSON shape.
+#include <ctime>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "btmf/obs/metrics.h"
+#include "btmf/sim/simulator.h"
+
+namespace {
+
+/// CPU time of the calling thread, in seconds.
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// LPT list-schedule makespan of `work` on `machines` workers.
+double lpt_makespan(std::vector<double> work, unsigned machines) {
+  std::sort(work.begin(), work.end(), std::greater<double>());
+  std::vector<double> load(machines, 0.0);
+  for (const double w : work) {
+    *std::min_element(load.begin(), load.end()) += w;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace btmf;
+  util::ArgParser parser = bench::make_parser(
+      "perf_scale", "Sharded-kernel scale gate: 10M+ peers, events/s vs threads");
+  parser.add_option("shards", "8", "torrent shards for the measured run");
+  parser.add_option("json", "", "dump the scale record as JSON to this path");
+  parser.add_flag("smoke", "CI-sized run: seconds of work, no 10M-peer claim");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const bool smoke = parser.get_flag("smoke");
+
+  // Flash crowd: every user requests all K files (p = 1), arrivals are
+  // hot, downloads are fast (hot upload capacity), and seeds linger
+  // (mean seeding time 50 >> horizon - arrival), so the live population
+  // climbs towards arrivals x K across the whole horizon while every
+  // torrent still turns over completions (events on every shard).
+  sim::SimConfig config;
+  config.scheme = fluid::SchemeKind::kMtcd;
+  config.num_files = 10;
+  config.correlation = 1.0;
+  config.visit_rate = smoke ? 100.0 : 29'000.0;
+  config.fluid.mu = 1.0;      // ~2 time units per file download
+  config.fluid.gamma = 0.02;  // mean seeding time 50: seeds pile up
+  config.horizon = 60.0;
+  config.warmup = 15.0;
+  config.seed = 31337;
+  config.shards = static_cast<unsigned>(parser.get_int("shards"));
+  config.kernel_threads = 1;  // inline: thread CPU time covers every shard
+  config.max_active_peers = 50'000'000;
+
+  obs::MetricsRegistry metrics;
+  config.obs.metrics = &metrics;
+
+  bench::reset_peak_rss();
+  const double cpu0 = thread_cpu_seconds();
+  const sim::SimResult r = sim::run_simulation(config);
+  const double cpu = thread_cpu_seconds() - cpu0;
+  const std::size_t rss = bench::peak_rss_bytes();
+
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  std::vector<std::uint64_t> shard_events;
+  for (unsigned s = 0;; ++s) {
+    const auto it =
+        snap.counters.find("sim.kernel.shard" + std::to_string(s) + ".events");
+    if (it == snap.counters.end()) break;
+    shard_events.push_back(it->second);
+  }
+  std::uint64_t shard_total = 0;
+  for (const std::uint64_t e : shard_events) shard_total += e;
+
+  // Apportion measured CPU across shards by event share, then project
+  // the makespan for each thread count with an LPT list schedule.
+  std::vector<double> shard_cpu;
+  for (const std::uint64_t e : shard_events) {
+    shard_cpu.push_back(shard_total == 0 ? 0.0
+                                         : cpu * static_cast<double>(e) /
+                                               static_cast<double>(shard_total));
+  }
+
+  util::Table table({"threads", "makespan s (LPT)", "events/s (model)"});
+  table.set_precision(3);
+  std::vector<std::string> scaling_rows;
+  double prev_rate = 0.0;
+  bool monotone = true;
+  for (const unsigned threads : {1U, 2U, 4U}) {
+    const double makespan = lpt_makespan(shard_cpu, threads);
+    const double rate =
+        makespan > 0.0 ? static_cast<double>(r.events_processed) / makespan
+                       : 0.0;
+    monotone = monotone && rate >= prev_rate;
+    prev_rate = rate;
+    table.add_row({static_cast<double>(threads), makespan, rate});
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %u, \"makespan_s\": %.4f, "
+                  "\"events_per_sec\": %.0f}",
+                  threads, makespan, rate);
+    scaling_rows.emplace_back(buf);
+  }
+
+  bench::emit(table, "Sharded kernel thread-scaling (LPT projection)",
+              parser.get("csv"));
+  std::printf("peak live peers : %zu%s\n", r.peak_live_peers,
+              smoke ? " (smoke run; the 10M gate applies to full runs)" : "");
+  std::printf("events          : %zu over %u shards\n", r.events_processed,
+              config.shards);
+  std::printf("serial CPU      : %.3f s   peak RSS: %.1f MiB\n", cpu,
+              static_cast<double>(rss) / (1024.0 * 1024.0));
+
+  bool ok = true;
+  if (!smoke && r.peak_live_peers < 10'000'000) {
+    std::fprintf(stderr, "FAIL: peak live peers %zu < 10M gate\n",
+                 r.peak_live_peers);
+    ok = false;
+  }
+  if (!monotone) {
+    std::fprintf(stderr, "FAIL: modeled events/s not monotone in threads\n");
+    ok = false;
+  }
+
+  const std::string json_path = parser.get("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"benchmark\": \"bench/perf_scale\",\n"
+        << "  \"workload\": {\"scheme\": \"MTCD\", \"k\": "
+        << config.num_files << ", \"p\": 1.0, \"lambda0\": "
+        << config.visit_rate << ", \"gamma\": " << config.fluid.gamma
+        << ", \"horizon\": " << config.horizon << ", \"seed\": "
+        << config.seed << ", \"shards\": " << config.shards
+        << ", \"smoke\": " << (smoke ? "true" : "false") << "},\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"peak_live_peers\": %zu,\n  \"events\": %zu,\n"
+                  "  \"serial_cpu_s\": %.3f,\n  \"peak_rss_bytes\": %zu,\n",
+                  r.peak_live_peers, r.events_processed, cpu, rss);
+    out << buf;
+    out << "  \"shard_events\": [";
+    for (std::size_t s = 0; s < shard_events.size(); ++s) {
+      out << (s == 0 ? "" : ", ") << shard_events[s];
+    }
+    out << "],\n"
+        << "  \"thread_scaling\": [\n";
+    for (std::size_t i = 0; i < scaling_rows.size(); ++i) {
+      out << scaling_rows[i] << (i + 1 < scaling_rows.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n"
+        << "  \"methodology\": \"Inline run on one thread; CPU measured "
+           "with CLOCK_THREAD_CPUTIME_ID, apportioned across shards by "
+           "event count, T-thread makespan projected by LPT list "
+           "schedule (epoch barriers split shard work uniformly). The "
+           "simulation RESULT is bit-identical at any threads/shards "
+           "setting; only the wall clock is modeled.\"\n"
+        << "}\n";
+    if (!out) {
+      std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("(json saved to %s)\n", json_path.c_str());
+  }
+  return ok ? 0 : 1;
+}

@@ -50,9 +50,14 @@ int main(int argc, char** argv) {
   };
 
   util::Table table({"scheme", "events", "wall s", "events/s", "peak peers",
-                     "rate epochs", "users done"});
+                     "rate epochs", "users done", "peak RSS MiB"});
   table.set_precision(3);
   std::vector<std::string> json_rows;
+
+  // Per-scheme peak RSS needs the water mark cleared between runs; when
+  // the platform refuses, the column degrades to the process-lifetime
+  // high water mark (monotone across rows).
+  const bool rss_per_scheme = bench::reset_peak_rss();
 
   for (const Row& row : rows) {
     sim::SimConfig config;
@@ -66,23 +71,28 @@ int main(int argc, char** argv) {
     config.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
     config.max_active_peers = 4'000'000;
 
+    if (rss_per_scheme) bench::reset_peak_rss();
     util::Stopwatch timer;
     const sim::SimResult r = sim::run_simulation(config);
     const double wall = timer.seconds();
     const double rate =
         wall > 0.0 ? static_cast<double>(r.events_processed) / wall : 0.0;
+    const std::size_t rss = bench::peak_rss_bytes();
+    const double rss_mib = static_cast<double>(rss) / (1024.0 * 1024.0);
 
     table.add_row({row.label, static_cast<double>(r.events_processed), wall,
                    rate, static_cast<double>(r.peak_live_peers),
                    static_cast<double>(r.rate_epochs),
-                   static_cast<double>(r.total_users)});
+                   static_cast<double>(r.total_users), rss_mib});
     char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "  {\"scheme\": \"%s\", \"events\": %zu, \"wall_s\": %.3f, "
                   "\"events_per_sec\": %.0f, \"peak_peers\": %zu, "
-                  "\"rate_epochs\": %zu, \"users\": %zu}",
+                  "\"rate_epochs\": %zu, \"users\": %zu, "
+                  "\"peak_rss_bytes\": %zu, \"rss_per_scheme\": %s}",
                   row.label.c_str(), r.events_processed, wall, rate,
-                  r.peak_live_peers, r.rate_epochs, r.total_users);
+                  r.peak_live_peers, r.rate_epochs, r.total_users, rss,
+                  rss_per_scheme ? "true" : "false");
     json_rows.emplace_back(buf);
   }
 

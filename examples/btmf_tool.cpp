@@ -60,6 +60,11 @@ void add_spec_options(util::ArgParser& parser,
   parser.add_option("backend", backend_default,
                     "evaluator: fluid-equilibrium|fluid-transient|"
                     "kernel-sim|chunk-sim");
+  parser.add_option("shards", "1",
+                    "torrent shards for the sharded kernel (kernel-sim, "
+                    "decomposable schemes; bit-identical for any value)");
+  parser.add_option("kernel-threads", "1",
+                    "worker threads driving the shards (0 = one per core)");
   parser.add_flag("list-backends",
                   "print the backend capability table and exit");
 }
@@ -75,6 +80,10 @@ model::ScenarioSpec spec_from_cli(const util::ArgParser& parser) {
   spec.fluid.gamma = parser.get_double("gamma");
   spec.scheme = fluid::scheme_from_string(parser.get("scheme"));
   spec.rho = parser.get_double("rho");
+  spec.shards = static_cast<unsigned>(positive_count(parser, "shards"));
+  const long long threads = parser.get_int("kernel-threads");
+  require(threads >= 0, "--kernel-threads must be non-negative");
+  spec.kernel_threads = static_cast<unsigned>(threads);
   return spec;
 }
 
@@ -388,6 +397,9 @@ int cmd_reproduce(int argc, const char* const* argv) {
   parser.add_option("jobs", "0", "worker threads (0 = shared global pool)");
   parser.add_option("report", "docs/REPRODUCTION.md",
                     "write the paper-vs-measured markdown here ('' = skip)");
+  parser.add_option("shards", "1",
+                    "kernel-sim sharding (bit-identical for any value; the "
+                    "report must not change)");
   if (!parser.parse(argc, argv)) return 0;
 
   const long long jobs = parser.get_int("jobs");
@@ -397,6 +409,7 @@ int cmd_reproduce(int argc, const char* const* argv) {
   options.cache_dir = parser.get("cache-dir");
   options.jobs = static_cast<std::size_t>(jobs);
   options.metrics = &metrics;
+  options.shards = static_cast<unsigned>(positive_count(parser, "shards"));
 
   const std::string figure = util::to_lower(parser.get("figure"));
   std::vector<const sweep::FigureSpec*> specs;

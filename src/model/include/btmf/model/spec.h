@@ -64,6 +64,15 @@ struct ScenarioSpec {
   // --- chunk-sim ---------------------------------------------------------
   unsigned num_chunks = 32;           ///< chunks per file
 
+  // --- kernel-sim execution (NOT part of the fingerprint) ----------------
+  /// Torrent shards and worker threads for the sharded kernel. Results
+  /// are bit-identical across every shards x kernel_threads configuration
+  /// (the determinism contract in docs/SCALE.md), so these knobs are
+  /// deliberately EXCLUDED from fingerprint(): a cached result computed
+  /// at any sharding is valid for all of them.
+  unsigned shards = 1;
+  unsigned kernel_threads = 1;        ///< 0 = one per hardware core
+
   /// Throws btmf::ConfigError on out-of-range values (scenario ranges,
   /// rho/cheaters/theta in [0, 1], warmup < horizon, fault plan).
   void validate() const;

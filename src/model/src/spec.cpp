@@ -28,6 +28,7 @@ void ScenarioSpec::validate() const {
                  "cheater_fraction must lie in [0, 1]");
   BTMF_CHECK_MSG(abort_rate >= 0.0, "abort_rate theta must be >= 0");
   BTMF_CHECK_MSG(num_chunks >= 1, "num_chunks must be >= 1");
+  BTMF_CHECK_MSG(shards >= 1, "shards must be >= 1");
   faults.validate();
 }
 
@@ -96,6 +97,9 @@ std::string ScenarioSpec::fingerprint() const {
          std::to_string(adapt.consecutive);
   out += ";faults=" + fault_fingerprint(faults);
   out += ";chunks=" + std::to_string(num_chunks);
+  // `shards` and `kernel_threads` are intentionally absent: the sharded
+  // kernel is bit-identical across every execution configuration, so a
+  // cached result keyed without them serves all of them.
   return out;
 }
 
@@ -114,6 +118,8 @@ sim::SimConfig sim_config_from_spec(const ScenarioSpec& spec) {
   config.warmup = spec.warmup;
   config.seed = spec.seed;
   config.faults = spec.faults;
+  config.shards = spec.shards;
+  config.kernel_threads = spec.kernel_threads;
   return config;
 }
 

@@ -5,6 +5,7 @@
 // not depend on scheduling order or thread count.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace btmf::parallel {
@@ -22,6 +23,29 @@ constexpr std::uint64_t derive_seed(std::uint64_t master,
                                     std::uint64_t stream_index) noexcept {
   // Two rounds keep adjacent stream indices statistically unrelated.
   return splitmix64(splitmix64(master) ^ splitmix64(stream_index * 2 + 1));
+}
+
+/// Domain tag for the sharded kernel's per-slot counter streams, so slot
+/// draws never collide with the replication streams derived from the same
+/// master seed.
+inline constexpr std::uint64_t kSlotStreamDomain = 0x736c6f747374726dULL;
+
+/// n-th uniform in (0, 1) of the counter stream keyed by `key`.
+///
+/// Counter-based (stateless) generation: the value depends only on
+/// (key, n), never on which thread or shard issues the draw — the basis
+/// of the sharded kernel's determinism contract. The top 53 bits of the
+/// mix give a uniform double in [2^-53, 1 - 2^-53] shifted open at both
+/// ends, safe for -log1p.
+constexpr double counter_uniform(std::uint64_t key, std::uint64_t n) noexcept {
+  const std::uint64_t x = splitmix64(key + n);
+  return (static_cast<double>(x >> 11) + 0.5) * 0x1.0p-53;
+}
+
+/// n-th exponential variate (mean 1/rate) of the counter stream `key`.
+inline double counter_exponential(std::uint64_t key, std::uint64_t n,
+                                  double rate) noexcept {
+  return -std::log1p(-counter_uniform(key, n)) / rate;
 }
 
 }  // namespace btmf::parallel

@@ -1,0 +1,54 @@
+// Offset arena for the struct-of-arrays user pool.
+//
+// The pool stores per-slot state (one cell per requested file) in shared
+// parallel columns; SlotArena hands out offset ranges into those columns.
+// Allocation is a bump pointer with per-length LIFO free lists, so a
+// released span is only ever reused for a span of the same length. That
+// keeps spans length-stable across recycling: a stale queue entry that
+// still names a released row can never index past the end of the reused
+// span, and the LIFO order keeps hot cache lines in play under the
+// arrive/depart churn of a long run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace btmf::sim {
+
+class SlotArena {
+ public:
+  /// Returns the column offset of a fresh span of `len` cells, reusing a
+  /// released same-length span when one is available.
+  std::size_t allocate(std::size_t len) {
+    if (len < free_.size() && !free_[len].empty()) {
+      const std::size_t off = free_[len].back();
+      free_[len].pop_back();
+      return off;
+    }
+    const std::size_t off = size_;
+    size_ += len;
+    return off;
+  }
+
+  /// Returns a span to the allocator for reuse by a same-length user.
+  void release(std::size_t off, std::size_t len) {
+    if (free_.size() <= len) free_.resize(len + 1);
+    free_[len].push_back(off);
+  }
+
+  /// High-water column size every slot column must be able to index.
+  [[nodiscard]] std::size_t capacity() const { return size_; }
+
+  /// Spans currently sitting in the free lists (test/diagnostic view).
+  [[nodiscard]] std::size_t free_spans() const {
+    std::size_t n = 0;
+    for (const auto& bucket : free_) n += bucket.size();
+    return n;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::vector<std::size_t>> free_;  ///< free_[len] = LIFO offsets
+};
+
+}  // namespace btmf::sim

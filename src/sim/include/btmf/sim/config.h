@@ -108,7 +108,18 @@ struct SimConfig {
   double horizon = 6000.0;           ///< simulated end time
   double warmup = 1500.0;            ///< statistics start here
   std::uint64_t seed = 42;
-  std::size_t max_active_peers = 1'000'000;  ///< runaway guard
+  std::size_t max_active_peers = 1'000'000;  ///< runaway guard (per shard)
+
+  /// Torrent shards for the decomposed schemes (MTCD): the kernel state is
+  /// partitioned per torrent into min(shards, num_files) independent
+  /// shards synchronized at rate-epoch barriers. Results are bit-identical
+  /// for ANY shards x kernel_threads configuration (see docs/SCALE.md);
+  /// schemes whose dynamics do not decompose ignore the knob and run the
+  /// serial kernel. A non-empty FaultPlan also forces one shard.
+  unsigned shards = 1;
+  /// Worker threads driving the shards: 0 = one per hardware core,
+  /// 1 = run shards inline on the calling thread (the default).
+  unsigned kernel_threads = 1;
 
   /// Declarative fault schedule (tracker outages, seed failure, churn
   /// bursts, bandwidth degradation). An empty plan is bit-identical to a

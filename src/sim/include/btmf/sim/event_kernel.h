@@ -8,6 +8,13 @@
 // rules: how arrivals start downloads, how service rates are allocated,
 // and what happens when a download completes or a seed departs.
 //
+// User state lives in a struct-of-arrays UserPool (user_pool.h): dense
+// user ids over columnar storage, slot state in arena-backed spans, rows
+// recycled through a free list once a user retires. Queue entries carry
+// the user's admission sequence number and are invalidated by comparing
+// it first, so recycled rows can never be confused with their previous
+// tenants.
+//
 // Incremental rate scheduling
 // ---------------------------
 // In a flow-level model a peer's download rate changes only when its
@@ -30,6 +37,23 @@
 // completion time of the group's smallest pending target is exact; a due
 // test in *service* space (target - acc <= eps) rather than time space
 // makes completions immune to float residue in recomputed candidates.
+//
+// Sharded (decomposed) execution
+// ------------------------------
+// A policy whose dynamics decompose per torrent (MtcdPolicy: every file
+// of a user is an independent virtual peer) can run *decomposed*: the
+// kernel is constructed with a ShardSpec and only materialises the slots
+// of torrents it owns (torrent f belongs to shard f % count). Every
+// shard replays the identical arrival process from cfg.seed — arrival
+// times, file sets and the global admission sequence are bitwise equal
+// across shards — while slot-level randomness (seed residences, abort
+// deadlines) comes from counter-based streams keyed by (admission seq,
+// file id), so a draw's value depends only on *which* download it is,
+// never on shard layout or scheduling. Shards therefore produce the
+// same per-torrent event sequence for any shard count, and ShardedKernel
+// (sharded_kernel.h) merges their ShardOutputs into a SimResult that is
+// bit-identical for any shards x threads configuration. See
+// docs/SCALE.md for the full determinism contract.
 //
 // Fault injection
 // ---------------
@@ -57,6 +81,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "btmf/obs/sink.h"
@@ -64,57 +89,68 @@
 #include "btmf/sim/indexed_heap.h"
 #include "btmf/sim/rng.h"
 #include "btmf/sim/stats.h"
+#include "btmf/sim/user_pool.h"
 #include "btmf/util/error.h"
 
 namespace btmf::sim {
 
-/// Lifecycle of one download slot (one file for the concurrent schemes,
-/// the current stage for the sequential ones).
-enum class SlotState : std::uint8_t { kIdle, kDownloading, kSeeding };
+class EventKernel;
 
-/// Per-user state. The kernel owns the lifecycle fields and the per-slot
-/// scheduling state; the scheme scratch fields below are written by the
-/// policies only.
-struct SimUser {
-  double arrival = 0.0;
-  std::vector<unsigned> files;  ///< requested torrent ids
-  unsigned cls = 0;             ///< number of files requested
-  bool sampled = false;         ///< arrived after warm-up
-  bool aborted = false;         ///< abandoned some download
-
-  // Per-slot scheduling state (sized cls).
-  std::vector<SlotState> state;
-  std::vector<std::uint32_t> sched_gen;  ///< validates group heap entries
-  std::vector<std::uint32_t> inst;       ///< validates abort heap entries
-  std::vector<std::size_t> gid;          ///< current service group
-  std::vector<double> target;            ///< completion target in S_g space
-  /// Per-slot "file fully downloaded" flags, set by the policies; the
-  /// fault layer uses them to decide what a crashed peer may keep.
-  std::vector<std::uint8_t> done;
-
-  // Scheme scratch.
-  unsigned seq_pos = 0;          ///< sequential schemes: current stage
-  unsigned live_parts = 0;       ///< MTCD: virtual peers not yet departed
-  double stage_start = 0.0;
-  double download_accum = 0.0;   ///< summed stage durations
-  double last_completion = 0.0;
-
-  // CMFSD / Adapt scratch.
-  double rho = 0.0;
-  bool cheater = false;
-  bool adaptive = false;
-  unsigned vseed_target = 0;     ///< subtorrent served (local pool modes)
-  double up_base = 0.0;          ///< uploaded-virtual accumulated at up_mark
-  double up_mark = 0.0;          ///< time of last upload sync
-  double rv_base = 0.0;          ///< received-virtual accumulated at rv_mark
-  double rv_mark = 0.0;          ///< pool integral value at last sync
-  unsigned hi_streak = 0;
-  unsigned lo_streak = 0;
-
-  std::size_t live_pos = 0;      ///< index into the kernel's live list
+/// Placement of one kernel instance in a sharded run. The default spec
+/// (one shard, not decomposed) is the classic serial kernel, bit-for-bit.
+struct ShardSpec {
+  unsigned index = 0;       ///< this shard's id in [0, count)
+  unsigned count = 1;       ///< total shards
+  bool decomposed = false;  ///< torrent-decomposed execution mode
 };
 
-class EventKernel;
+/// One retired (or horizon-censored) user as reported by a decomposed
+/// shard. A user whose files span shards yields one closure per shard;
+/// ShardedKernel folds same-seq closures with order-insensitive rules
+/// (any-censored, any-aborted, max-online, max-download), so the merge
+/// is invariant to shard layout.
+struct ShardClosure {
+  std::uint64_t seq = 0;   ///< admission sequence (global, shard-invariant)
+  unsigned cls = 0;        ///< logical class (files the user requested)
+  std::uint8_t aborted = 0;
+  std::uint8_t censored = 0;
+  double online = 0.0;     ///< retire time - arrival time
+  double download = 0.0;   ///< scheme-defined download span
+};
+
+/// Raw per-shard output of a decomposed run, merged by ShardedKernel.
+/// Population integrals are per (torrent, class) cell so the merge can
+/// sum them in ascending torrent order — a float-deterministic order
+/// that does not depend on how torrents were distributed over shards.
+struct ShardOutput {
+  std::vector<double> down_integral;  ///< K*K cells, torrent*K + (cls-1)
+  std::vector<double> seed_integral;
+  std::vector<ShardClosure> closures;
+  std::vector<std::size_t> arrivals_by_class;  ///< sampled admissions
+  std::size_t total_arrivals = 0;
+  std::size_t prim_events = 0;  ///< events dispatched, owner-counted
+  std::size_t rate_epochs = 0;
+
+  // Population sample grid (identical across shards) and the series
+  // recorded on it; per-class series merge by elementwise sum.
+  std::vector<double> sample_time;
+  std::vector<std::vector<double>> down_series;  ///< per class
+  std::vector<std::vector<double>> seed_series;  ///< per class
+  std::vector<double> live_series;
+  std::vector<double> queue_series;
+  std::vector<double> recovering_series;
+
+  // Fault/recovery counters. Fault plans force a single shard, so these
+  // are only ever nonzero on shard 0.
+  std::size_t faults_injected = 0;
+  std::size_t downloads_killed = 0;
+  std::size_t arrivals_dropped = 0;
+  std::size_t arrivals_queued = 0;
+  std::size_t readmissions = 0;
+  std::size_t readmission_queue_peak = 0;
+  std::size_t faults_unrecovered = 0;
+  double time_to_recover = 0.0;
+};
 
 /// Scheme-specific rules plugged into the kernel. Implementations live in
 /// policy_multi_torrent.cpp / policy_cmfsd.cpp; see docs/MODELS.md for the
@@ -177,6 +213,13 @@ class SchemePolicy {
   /// the per-slot group cross-checks.
   [[nodiscard]] virtual bool kernel_scheduled() const { return true; }
 
+  /// True when the scheme's dynamics decompose per torrent — no state is
+  /// shared between torrents beyond the arrival process — so the policy
+  /// can run under ShardedKernel's decomposed mode. Policies that opt in
+  /// must take slot-level randomness from EventKernel::slot_exponential
+  /// and keep populations through note_download/note_seed.
+  [[nodiscard]] virtual bool shardable() const { return false; }
+
   /// Next scheme-driven event (CMFSD's Adapt tick); +inf when none.
   [[nodiscard]] virtual double next_policy_event_time() const {
     return std::numeric_limits<double>::infinity();
@@ -193,14 +236,29 @@ class SchemePolicy {
 };
 
 /// The shared event loop. Construct with a validated config and a policy,
-/// then call run() exactly once.
+/// then either call run() exactly once, or — for a decomposed shard —
+/// start() / run_until(epoch boundaries) / shard_finish().
 class EventKernel {
  public:
   static constexpr unsigned kAllFiles = std::numeric_limits<unsigned>::max();
 
-  EventKernel(const SimConfig& config, SchemePolicy& policy);
+  EventKernel(const SimConfig& config, SchemePolicy& policy,
+              ShardSpec shard = {});
 
   SimResult run();
+
+  // ---- sharded execution -------------------------------------------------
+  /// Arms the arrival process; call once before the first run_until.
+  void start();
+  /// Advances the event loop to min(t_end, horizon) and pauses exactly at
+  /// t_end (the epoch barrier). run() is start() + run_until(horizon).
+  void run_until(double t_end);
+  /// Collects the decomposed shard's raw output (closures, population
+  /// integrals, sample series, counters) after run_until(horizon).
+  [[nodiscard]] ShardOutput shard_finish();
+  /// Simulation clock after the last run_until — equals the epoch
+  /// boundary at a barrier (checked by the sharded paranoid auditor).
+  [[nodiscard]] double current_time() const { return cur_t_; }
 
   // ---- services for policies --------------------------------------------
   [[nodiscard]] const SimConfig& cfg() const { return cfg_; }
@@ -210,10 +268,41 @@ class EventKernel {
   [[nodiscard]] const obs::ObsSink& obs() const { return obs_; }
   RandomStream& rng() { return rng_; }
   StatsCollector& stats() { return stats_; }
-  SimUser& user(std::size_t ui) { return users_[ui]; }
+  /// View of one user's pooled state (cheap reference bundle, return by
+  /// value). Spans stay valid across policy callbacks; they are refreshed
+  /// by fetching a new view after any admission.
+  SimUser user(std::size_t ui) { return pool_.view(ui); }
   [[nodiscard]] const std::vector<std::size_t>& live() const { return live_; }
   std::vector<double>& down_pop() { return down_pop_; }
   std::vector<double>& seed_pop() { return seed_pop_; }
+
+  // ---- sharding services ------------------------------------------------
+  [[nodiscard]] bool decomposed() const { return shard_.decomposed; }
+  [[nodiscard]] unsigned shard_index() const { return shard_.index; }
+  [[nodiscard]] unsigned shard_count() const { return shard_.count; }
+  /// True when torrent `f`'s events belong to this kernel instance.
+  [[nodiscard]] bool owns_torrent(unsigned f) const {
+    return !shard_.decomposed || shard_.count <= 1 ||
+           f % shard_.count == shard_.index;
+  }
+  /// Exp(rate) variate for (ui, slot). Decomposed kernels draw from the
+  /// counter stream keyed by (admission seq, file id) — the value depends
+  /// only on which download is drawing and how many draws it made, never
+  /// on shard layout. Legacy kernels fall back to the shared stream.
+  double slot_exponential(std::size_t ui, unsigned slot, double rate);
+  /// Decomposed population bookkeeping: a class-`cls` user's virtual peer
+  /// on `torrent` started (+1) or stopped (-1) downloading / seeding at t.
+  /// Maintains the warmup-clamped per-(torrent, class) time integrals and
+  /// the instantaneous per-class counts behind the sample series.
+  void note_download(unsigned torrent, unsigned cls, int delta, double t);
+  void note_seed(unsigned torrent, unsigned cls, int delta, double t);
+  /// Instantaneous decomposed per-class counts (k is 0-based).
+  [[nodiscard]] std::int64_t down_count(unsigned k) const {
+    return down_cnt_[k];
+  }
+  [[nodiscard]] std::int64_t seed_count(unsigned k) const {
+    return seed_cnt_[k];
+  }
 
   /// Creates an empty service group (rate 0) whose integral starts at `t`.
   std::size_t new_group(double t);
@@ -256,12 +345,15 @@ class EventKernel {
 
   /// Tracks the concurrent peer count (virtual peers for the concurrent
   /// schemes, users for the sequential ones) and throws SolverError when
-  /// it exceeds cfg.max_active_peers.
+  /// it exceeds cfg.max_active_peers. Decomposed shards each count the
+  /// virtual peers they own, so the guard applies per shard.
   void add_active_peers(std::size_t n);
   void remove_active_peers(std::size_t n) { active_peer_count_ -= n; }
 
   /// Removes the user from the live list and records its visit: aborted
   /// users are only counted, completed ones feed the sample statistics.
+  /// A decomposed kernel records a ShardClosure instead and recycles the
+  /// user's pool row.
   void retire_user(std::size_t ui, double t, double download,
                    double final_rho, bool adaptive);
 
@@ -274,14 +366,16 @@ class EventKernel {
  private:
   struct PendingEntry {
     double target = 0.0;
+    std::uint64_t seq = 0;
     std::size_t ui = 0;
     unsigned slot = 0;
     std::uint32_t gen = 0;
-    /// (target, ui, slot) lexicographic order keeps simultaneous
-    /// completions deterministic.
+    /// (target, seq, slot) lexicographic order keeps simultaneous
+    /// completions deterministic; admission order (seq) is stable under
+    /// user-row recycling where raw pool ids are not.
     bool operator>(const PendingEntry& o) const {
       if (target != o.target) return target > o.target;
-      if (ui != o.ui) return ui > o.ui;
+      if (seq != o.seq) return seq > o.seq;
       return slot > o.slot;
     }
   };
@@ -298,23 +392,25 @@ class EventKernel {
 
   struct AbortEntry {
     double time = 0.0;
+    std::uint64_t seq = 0;
     std::size_t ui = 0;
     unsigned slot = 0;
     std::uint32_t inst = 0;
     bool operator>(const AbortEntry& o) const {
       if (time != o.time) return time > o.time;
-      if (ui != o.ui) return ui > o.ui;
+      if (seq != o.seq) return seq > o.seq;
       return slot > o.slot;
     }
   };
 
   struct SeedDeparture {
     double time = 0.0;
+    std::uint64_t seq = 0;
     std::size_t ui = 0;
     unsigned file_idx = 0;
     bool operator>(const SeedDeparture& o) const {
       if (time != o.time) return time > o.time;
-      if (ui != o.ui) return ui > o.ui;
+      if (seq != o.seq) return seq > o.seq;
       return file_idx > o.file_idx;
     }
   };
@@ -354,6 +450,14 @@ class EventKernel {
     }
   };
 
+  /// Lazy warmup-clamped integral of one decomposed (torrent, class)
+  /// population cell: cnt held constant since mark.
+  struct PopCell {
+    double integ = 0.0;
+    double mark = 0.0;
+    std::int64_t cnt = 0;
+  };
+
   void sync_group(ServiceGroup& g, double t) {
     if (t > g.last_t) {
       g.acc += g.rate * (t - g.last_t);
@@ -372,12 +476,22 @@ class EventKernel {
 
   void process_arrival(double t);
   /// Creates a user requesting `files` at time t and hands it to the
-  /// policy; shared by organic arrivals and fault re-admissions.
-  void admit_user(std::vector<unsigned> files, double t);
+  /// policy; shared by organic arrivals and fault re-admissions. A
+  /// decomposed kernel advances the global admission sequence for every
+  /// arrival but only materialises users with at least one owned file.
+  void admit_user(std::span<const unsigned> files, double t);
   void drain_completions(double t);
   void drain_aborts(double t);
   /// Earliest valid abort deadline; pops stale entries.
   double peek_abort();
+
+  void flush_cell(PopCell& c, double t) {
+    if (t > c.mark) {
+      const double lo = std::max(c.mark, cfg_.warmup);
+      if (t > lo) c.integ += static_cast<double>(c.cnt) * (t - lo);
+      c.mark = t;
+    }
+  }
 
   // ---- fault machinery --------------------------------------------------
   void build_fault_timeline();
@@ -415,24 +529,29 @@ class EventKernel {
   /// and the population trajectories into `result`.
   void export_observations(SimResult& result);
 
+  /// End of a legacy (non-decomposed) run: census, finalize, export.
+  SimResult finish();
+
   void add_live(std::size_t ui) {
-    users_[ui].live_pos = live_.size();
+    pool_.live_pos(ui) = live_.size();
     live_.push_back(ui);
   }
   void remove_live(std::size_t ui) {
-    const std::size_t pos = users_[ui].live_pos;
+    const std::size_t pos = pool_.live_pos(ui);
     live_[pos] = live_.back();
-    users_[live_[pos]].live_pos = pos;
+    pool_.live_pos(live_[pos]) = pos;
     live_.pop_back();
   }
 
   SimConfig cfg_;
   SchemePolicy& policy_;
+  ShardSpec shard_;
   RandomStream rng_;
   StatsCollector stats_;
 
-  std::vector<SimUser> users_;
+  UserPool pool_;
   std::vector<std::size_t> live_;
+  std::uint64_t next_seq_ = 0;  ///< global admission sequence
 
   std::vector<ServiceGroup> groups_;
   IndexedMinHeap candidates_;  ///< group id -> earliest completion time
@@ -448,6 +567,23 @@ class EventKernel {
   std::size_t active_peer_count_ = 0;
   std::size_t rate_epochs_ = 0;
   std::size_t peak_live_peers_ = 0;
+
+  // ---- event-loop state (persists across run_until epochs) --------------
+  bool started_ = false;
+  double cur_t_ = 0.0;
+  double next_arrival_ = 0.0;
+  std::vector<unsigned> scratch_files_;  ///< arrival draw, no per-event alloc
+  std::vector<unsigned> scratch_owned_;  ///< decomposed ownership filter
+
+  // ---- decomposed-mode state --------------------------------------------
+  std::uint64_t slot_root_ = 0;  ///< master key of the slot counter streams
+  std::vector<PopCell> down_cells_;  ///< K*K, torrent*K + (cls-1)
+  std::vector<PopCell> seed_cells_;
+  std::vector<std::int64_t> down_cnt_;  ///< instantaneous, per class
+  std::vector<std::int64_t> seed_cnt_;
+  std::vector<std::size_t> arrivals_cls_;  ///< sampled admissions per class
+  std::vector<ShardClosure> closures_;
+  std::size_t prim_events_ = 0;
 
   // ---- telemetry state --------------------------------------------------
   obs::ObsSink obs_;            ///< cfg.obs copy; null pointers = inert

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <span>
 #include <vector>
 
 namespace btmf::sim {
@@ -36,6 +37,13 @@ class RandomStream {
 
   template <typename T>
   void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// Span overload for pool-backed storage; draws the same variates as
+  /// the vector form for equal lengths.
+  template <typename T>
+  void shuffle(std::span<T> items) {
     std::shuffle(items.begin(), items.end(), engine_);
   }
 

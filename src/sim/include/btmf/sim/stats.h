@@ -107,6 +107,11 @@ class StatsCollector {
   void record_censored() { ++censored_; }
   void record_aborted() { ++aborted_; }
   void record_event() { ++events_; }
+
+  /// Bulk accumulators for the sharded driver, which folds per-shard
+  /// outputs into one collector instead of replaying individual events.
+  void add_arrivals(unsigned user_class, std::size_t n);
+  void add_events(std::size_t n) { events_ += n; }
   void record_rho_sample(double t, double mean_rho);
 
   [[nodiscard]] SimResult finalize(double measured_time,

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "btmf/parallel/seeds.h"
 #include "btmf/util/check.h"
 #include "btmf/util/error.h"
 #include "btmf/util/stopwatch.h"
@@ -17,9 +18,11 @@ constexpr double kTimeEps = 1e-12;
 const std::greater<> kMinHeap{};
 }  // namespace
 
-EventKernel::EventKernel(const SimConfig& config, SchemePolicy& policy)
+EventKernel::EventKernel(const SimConfig& config, SchemePolicy& policy,
+                         ShardSpec shard)
     : cfg_(config),
       policy_(policy),
+      shard_(shard),
       rng_(config.seed),
       stats_(config.num_files),
       down_pop_(config.num_files, 0.0),
@@ -31,11 +34,24 @@ EventKernel::EventKernel(const SimConfig& config, SchemePolicy& policy)
 #endif
   build_fault_timeline();
 
+  if (shard_.decomposed) {
+    slot_root_ = parallel::derive_seed(cfg_.seed, parallel::kSlotStreamDomain);
+    const std::size_t k = cfg_.num_files;
+    down_cells_.assign(k * k, {});
+    seed_cells_.assign(k * k, {});
+    down_cnt_.assign(k, 0);
+    seed_cnt_.assign(k, 0);
+    arrivals_cls_.assign(k, 0);
+  }
+
   // Telemetry: the internal population sampler is always on (it backs the
   // SimResult trajectories and draws no randomness); the external sinks
-  // stay null unless the caller attached them.
+  // stay null unless the caller attached them. Decomposed runs sample on
+  // a finer default grid: the merged peak-peer gauge is read off it.
   obs_ = cfg_.obs;
-  sample_dt_ = obs_.sample_dt > 0.0 ? obs_.sample_dt : cfg_.horizon / 512.0;
+  sample_dt_ = obs_.sample_dt > 0.0
+                   ? obs_.sample_dt
+                   : cfg_.horizon / (shard_.decomposed ? 4096.0 : 512.0);
   sampler_ = std::make_unique<obs::TimeSeriesRecorder>(0);  // exact cadence
   for (unsigned k = 0; k < cfg_.num_files; ++k) {
     const std::string cls = ".c" + std::to_string(k + 1);
@@ -107,7 +123,11 @@ void EventKernel::add_group_rate(std::size_t gid, double delta, double t) {
 void EventKernel::drop_stale_pending(ServiceGroup& g) {
   while (!g.pending.empty()) {
     const PendingEntry& e = g.pending.front();
-    if (users_[e.ui].sched_gen[e.slot] == e.gen) break;
+    // seq first: a recycled row must be recognised as stale before any
+    // slot column of its new tenant is consulted.
+    if (pool_.seq(e.ui) == e.seq && pool_.sched_gen(e.ui, e.slot) == e.gen) {
+      break;
+    }
     std::pop_heap(g.pending.begin(), g.pending.end(), kMinHeap);
     g.pending.pop_back();
   }
@@ -139,7 +159,7 @@ void EventKernel::update_candidate(std::size_t gid) {
 
 void EventKernel::begin_service(std::size_t ui, unsigned slot,
                                 std::size_t gid, double work, double t) {
-  SimUser& u = users_[ui];
+  SimUser u = pool_.view(ui);
   ServiceGroup& g = groups_[gid];
   sync_group(g, t);
   u.state[slot] = SlotState::kDownloading;
@@ -147,44 +167,77 @@ void EventKernel::begin_service(std::size_t ui, unsigned slot,
   ++u.inst[slot];
   u.gid[slot] = gid;
   u.target[slot] = g.acc + work;
-  g.pending.push_back({u.target[slot], ui, slot, u.sched_gen[slot]});
+  g.pending.push_back({u.target[slot], u.seq, ui, slot, u.sched_gen[slot]});
   std::push_heap(g.pending.begin(), g.pending.end(), kMinHeap);
   update_candidate(gid);
 }
 
 void EventKernel::move_service(std::size_t ui, unsigned slot,
                                std::size_t gid, double work, double t) {
-  SimUser& u = users_[ui];
+  SimUser u = pool_.view(ui);
   const std::size_t old_gid = u.gid[slot];
   ++u.sched_gen[slot];  // old entry goes stale; abort clock stays armed
   ServiceGroup& g = groups_[gid];
   sync_group(g, t);
   u.gid[slot] = gid;
   u.target[slot] = g.acc + work;
-  g.pending.push_back({u.target[slot], ui, slot, u.sched_gen[slot]});
+  g.pending.push_back({u.target[slot], u.seq, ui, slot, u.sched_gen[slot]});
   std::push_heap(g.pending.begin(), g.pending.end(), kMinHeap);
   if (old_gid != gid) update_candidate(old_gid);
   update_candidate(gid);
 }
 
 void EventKernel::end_service(std::size_t ui, unsigned slot) {
-  SimUser& u = users_[ui];
+  SimUser u = pool_.view(ui);
   ++u.sched_gen[slot];
   ++u.inst[slot];
   update_candidate(u.gid[slot]);
 }
 
 double EventKernel::remaining_work(std::size_t ui, unsigned slot, double t) {
-  SimUser& u = users_[ui];
+  const SimUser u = pool_.view(ui);
   ServiceGroup& g = groups_[u.gid[slot]];
   sync_group(g, t);
   return std::max(0.0, u.target[slot] - g.acc);
 }
 
+double EventKernel::slot_exponential(std::size_t ui, unsigned slot,
+                                     double rate) {
+  if (!shard_.decomposed) return rng_.exponential(rate);
+  // Keyed by (admission seq, file id): both are invariant to the shard
+  // layout, so the same download draws the same variate at any shard
+  // count — the core of the sharded determinism contract.
+  const std::uint64_t key = parallel::derive_seed(
+      parallel::derive_seed(slot_root_, pool_.seq(ui)), pool_.file(ui, slot));
+  return parallel::counter_exponential(key, pool_.bump_rng_ctr(ui, slot),
+                                       rate);
+}
+
+void EventKernel::note_download(unsigned torrent, unsigned cls, int delta,
+                                double t) {
+  PopCell& c =
+      down_cells_[static_cast<std::size_t>(torrent) * cfg_.num_files +
+                  (cls - 1)];
+  flush_cell(c, t);
+  c.cnt += delta;
+  down_cnt_[cls - 1] += delta;
+}
+
+void EventKernel::note_seed(unsigned torrent, unsigned cls, int delta,
+                            double t) {
+  PopCell& c =
+      seed_cells_[static_cast<std::size_t>(torrent) * cfg_.num_files +
+                  (cls - 1)];
+  flush_cell(c, t);
+  c.cnt += delta;
+  seed_cnt_[cls - 1] += delta;
+}
+
 void EventKernel::arm_abort(std::size_t ui, unsigned slot, double t) {
   if (cfg_.abort_rate <= 0.0) return;
-  const double deadline = t + rng_.exponential(cfg_.abort_rate);
-  abort_queue_.push_back({deadline, ui, slot, users_[ui].inst[slot]});
+  const double deadline = t + slot_exponential(ui, slot, cfg_.abort_rate);
+  abort_queue_.push_back(
+      {deadline, pool_.seq(ui), ui, slot, pool_.inst(ui, slot)});
   std::push_heap(abort_queue_.begin(), abort_queue_.end(), kMinHeap);
 }
 
@@ -194,7 +247,7 @@ void EventKernel::schedule_seed_departure(std::size_t ui, unsigned file_idx,
   // the departure fires immediately (the policy's RNG draw still
   // happened, so recovery re-synchronises with the clean-run stream).
   if (seed_down_) when = now_;
-  seed_queue_.push_back({when, ui, file_idx});
+  seed_queue_.push_back({when, pool_.seq(ui), ui, file_idx});
   std::push_heap(seed_queue_.begin(), seed_queue_.end(), kMinHeap);
 }
 
@@ -209,7 +262,18 @@ void EventKernel::add_active_peers(std::size_t n) {
 
 void EventKernel::retire_user(std::size_t ui, double t, double download,
                               double final_rho, bool adaptive) {
-  SimUser& u = users_[ui];
+  if (shard_.decomposed) {
+    remove_live(ui);
+    if (pool_.sampled(ui)) {
+      closures_.push_back(
+          {pool_.seq(ui), pool_.cls(ui),
+           static_cast<std::uint8_t>(pool_.aborted(ui) ? 1 : 0), 0,
+           t - pool_.arrival(ui), download});
+    }
+    pool_.release(ui);
+    return;
+  }
+  const SimUser u = pool_.view(ui);
   remove_live(ui);
   if (!u.sampled) return;
   if (u.aborted) {
@@ -240,29 +304,36 @@ void EventKernel::process_arrival(double t) {
     }
     return;
   }
-  std::vector<unsigned> files;
+  scratch_files_.clear();
   for (unsigned f = 0; f < cfg_.num_files; ++f) {
-    if (rng_.bernoulli(cfg_.file_probability(f))) files.push_back(f);
+    if (rng_.bernoulli(cfg_.file_probability(f))) scratch_files_.push_back(f);
   }
-  if (files.empty()) return;  // visitor requested nothing
-  admit_user(std::move(files), t);
+  if (scratch_files_.empty()) return;  // visitor requested nothing
+  admit_user(scratch_files_, t);
 }
 
-void EventKernel::admit_user(std::vector<unsigned> files, double t) {
-  users_.emplace_back();
-  const std::size_t ui = users_.size() - 1;
-  SimUser& u = users_[ui];
-  u.arrival = t;
-  u.cls = static_cast<unsigned>(files.size());
-  u.files = std::move(files);
-  u.sampled = t >= cfg_.warmup;
-  u.state.assign(u.cls, SlotState::kIdle);
-  u.sched_gen.assign(u.cls, 0);
-  u.inst.assign(u.cls, 0);
-  u.gid.assign(u.cls, 0);
-  u.target.assign(u.cls, 0.0);
-  u.done.assign(u.cls, 0);
-  if (u.sampled) stats_.record_arrival(u.cls);
+void EventKernel::admit_user(std::span<const unsigned> files, double t) {
+  const unsigned cls = static_cast<unsigned>(files.size());
+  const bool sampled = t >= cfg_.warmup;
+  // The admission sequence advances for every admitted user in every
+  // shard — shards replay the identical arrival stream, so seq is a
+  // global, shard-invariant user identity.
+  const std::uint64_t seq = next_seq_++;
+  if (shard_.decomposed) {
+    if (sampled) ++arrivals_cls_[cls - 1];
+    if (owns_torrent(files[0])) ++prim_events_;  // admission, home-counted
+    scratch_owned_.clear();
+    for (const unsigned f : files) {
+      if (owns_torrent(f)) scratch_owned_.push_back(f);
+    }
+    if (scratch_owned_.empty()) return;  // no slot of ours; other shards'
+    const std::size_t ui = pool_.create(scratch_owned_, cls, t, sampled, seq);
+    add_live(ui);
+    policy_.on_arrival(ui, t);
+    return;
+  }
+  const std::size_t ui = pool_.create(files, cls, t, sampled, seq);
+  if (sampled) stats_.record_arrival(cls);
   add_live(ui);
   policy_.on_arrival(ui, t);
 }
@@ -270,9 +341,8 @@ void EventKernel::admit_user(std::vector<unsigned> files, double t) {
 double EventKernel::peek_abort() {
   while (!abort_queue_.empty()) {
     const AbortEntry& e = abort_queue_.front();
-    const SimUser& u = users_[e.ui];
-    if (u.inst[e.slot] == e.inst &&
-        u.state[e.slot] == SlotState::kDownloading) {
+    if (pool_.seq(e.ui) == e.seq && pool_.inst(e.ui, e.slot) == e.inst &&
+        pool_.state(e.ui, e.slot) == SlotState::kDownloading) {
       return e.time;
     }
     std::pop_heap(abort_queue_.begin(), abort_queue_.end(), kMinHeap);
@@ -291,10 +361,11 @@ void EventKernel::drain_completions(double t) {
       const PendingEntry e = g.pending.front();
       std::pop_heap(g.pending.begin(), g.pending.end(), kMinHeap);
       g.pending.pop_back();
-      SimUser& u = users_[e.ui];
+      SimUser u = pool_.view(e.ui);
       ++u.sched_gen[e.slot];
       ++u.inst[e.slot];  // the abort clock lost the race
       policy_.on_complete(e.ui, e.slot, t);
+      if (shard_.decomposed) ++prim_events_;
     }
     update_candidate(gid);
   }
@@ -306,6 +377,7 @@ void EventKernel::drain_aborts(double t) {
     std::pop_heap(abort_queue_.begin(), abort_queue_.end(), kMinHeap);
     abort_queue_.pop_back();
     policy_.on_abort(e.ui, e.slot, t);
+    if (shard_.decomposed) ++prim_events_;
   }
 }
 
@@ -340,7 +412,7 @@ void EventKernel::apply_tracker_up(const TrackerOutageFault& f, double t) {
 void EventKernel::apply_seed_down(double t) {
   seed_down_ = true;
   // The seeding infrastructure failed: every residence in flight ends now.
-  // Dispatch in (time, ui, idx) order so the collapse is deterministic.
+  // Dispatch in (time, seq, idx) order so the collapse is deterministic.
   std::vector<SeedDeparture> in_flight;
   in_flight.swap(seed_queue_);
   std::sort(in_flight.begin(), in_flight.end(),
@@ -348,9 +420,9 @@ void EventKernel::apply_seed_down(double t) {
               return b > a;
             });
   for (const SeedDeparture& ev : in_flight) {
-    const SimUser& u = users_[ev.ui];
+    if (pool_.seq(ev.ui) != ev.seq) continue;  // row recycled, entry stale
     const unsigned check = ev.file_idx == kAllFiles ? 0U : ev.file_idx;
-    if (u.state[check] == SlotState::kSeeding) {
+    if (pool_.state(ev.ui, check) == SlotState::kSeeding) {
       policy_.on_seed_departure(ev.ui, ev.file_idx, t);
     }
   }
@@ -361,7 +433,7 @@ void EventKernel::apply_churn(const ChurnBurstFault& f, double t) {
   // list, and the kill coin flips must be drawn in live order.
   std::vector<std::size_t> victims;
   for (const std::size_t ui : live_) {
-    const SimUser& u = users_[ui];
+    const SimUser u = pool_.view(ui);
     const bool downloading =
         std::any_of(u.state.begin(), u.state.end(), [](SlotState s) {
           return s == SlotState::kDownloading;
@@ -374,14 +446,17 @@ void EventKernel::apply_churn(const ChurnBurstFault& f, double t) {
     policy_.on_fault_crash(ui, t);
     remove_live(ui);
     ++downloads_killed_;
-    SimUser& u = users_[ui];
+    const SimUser u = pool_.view(ui);
     // The peer re-arrives after a backoff, re-requesting everything it
     // had in flight plus every finished file the crash destroyed.
     std::vector<unsigned> refetch;
-    for (unsigned s = 0; s < u.cls; ++s) {
+    for (unsigned s = 0; s < u.slots(); ++s) {
       if (u.done[s] != 0 && !rng_.bernoulli(f.progress_loss)) continue;
       refetch.push_back(u.files[s]);
     }
+    // The crashed row is recycled (decomposed mode only — the legacy
+    // kernel keeps rows so raw ids stay admission-ordered).
+    if (shard_.decomposed) pool_.release(ui);
     if (!refetch.empty()) {
       push_readmission(t + rng_.exponential(f.backoff_rate),
                        std::move(refetch));
@@ -404,7 +479,7 @@ void EventKernel::drain_readmissions(double t) {
       }
       if (files.empty()) continue;  // requested nothing after all
     }
-    admit_user(std::move(files), t);
+    admit_user(files, t);
   }
 }
 
@@ -439,6 +514,7 @@ void EventKernel::process_fault_edges(double t) {
         break;
     }
     ++faults_injected_;
+    if (shard_.decomposed) ++prim_events_;
     if (obs_.trace != nullptr) {
       const char* name = "fault.churn";
       switch (e.kind) {
@@ -492,8 +568,11 @@ void EventKernel::audit(double t) {
   // Live-list cross-references.
   for (std::size_t pos = 0; pos < live_.size(); ++pos) {
     const std::size_t ui = live_[pos];
-    if (ui >= users_.size()) fail("live list references unknown user");
-    if (users_[ui].live_pos != pos) {
+    if (ui >= pool_.size()) fail("live list references unknown user");
+    if (pool_.seq(ui) == UserPool::kDeadSeq) {
+      fail("live list references a released pool row");
+    }
+    if (pool_.live_pos(ui) != pos) {
       fail("live_pos cross-reference broken for user " + std::to_string(ui));
     }
   }
@@ -519,9 +598,10 @@ void EventKernel::audit(double t) {
     }
     bool has_valid = false;
     for (const PendingEntry& e : g.pending) {
-      if (e.ui >= users_.size()) fail("pending entry references unknown user");
-      const SimUser& u = users_[e.ui];
-      if (e.slot >= u.cls) fail("pending entry slot out of range");
+      if (e.ui >= pool_.size()) fail("pending entry references unknown user");
+      if (pool_.seq(e.ui) != e.seq) continue;  // row recycled, entry stale
+      const SimUser u = pool_.view(e.ui);
+      if (e.slot >= u.slots()) fail("pending entry slot out of range");
       if (u.sched_gen[e.slot] != e.gen) continue;  // stale entry, fine
       has_valid = true;
       if (u.gid[e.slot] != gid) {
@@ -544,14 +624,17 @@ void EventKernel::audit(double t) {
   // (policies that run their own completion scheduler opt out).
   if (policy_.kernel_scheduled()) {
     for (const std::size_t ui : live_) {
-      const SimUser& u = users_[ui];
-      for (unsigned s = 0; s < u.cls; ++s) {
+      const SimUser u = pool_.view(ui);
+      for (unsigned s = 0; s < u.slots(); ++s) {
         if (u.state[s] != SlotState::kDownloading) continue;
         if (u.gid[s] >= groups_.size()) fail("slot gid out of range");
         const ServiceGroup& g = groups_[u.gid[s]];
         std::size_t n = 0;
         for (const PendingEntry& e : g.pending) {
-          if (e.ui == ui && e.slot == s && e.gen == u.sched_gen[s]) ++n;
+          if (e.ui == ui && e.seq == u.seq && e.slot == s &&
+              e.gen == u.sched_gen[s]) {
+            ++n;
+          }
         }
         if (n != 1) {
           fail("downloading slot has " + std::to_string(n) +
@@ -572,6 +655,18 @@ void EventKernel::audit(double t) {
            " is negative or non-finite");
     }
   }
+  if (shard_.decomposed) {
+    for (unsigned k = 0; k < cfg_.num_files; ++k) {
+      if (down_cnt_[k] < 0) {
+        fail("decomposed downloader count of class " + std::to_string(k + 1) +
+             " went negative");
+      }
+      if (seed_cnt_[k] < 0) {
+        fail("decomposed seed count of class " + std::to_string(k + 1) +
+             " went negative");
+      }
+    }
+  }
 
   // Scheme-specific pool recounts.
   policy_.audit(t);
@@ -580,9 +675,18 @@ void EventKernel::audit(double t) {
 // ---- telemetry ------------------------------------------------------------
 
 void EventKernel::record_sample(double when) {
-  for (unsigned k = 0; k < cfg_.num_files; ++k) {
-    sampler_->append(down_series_[k], when, down_pop_[k]);
-    sampler_->append(seed_series_[k], when, seed_pop_[k]);
+  if (shard_.decomposed) {
+    for (unsigned k = 0; k < cfg_.num_files; ++k) {
+      sampler_->append(down_series_[k], when,
+                       static_cast<double>(down_cnt_[k]));
+      sampler_->append(seed_series_[k], when,
+                       static_cast<double>(seed_cnt_[k]));
+    }
+  } else {
+    for (unsigned k = 0; k < cfg_.num_files; ++k) {
+      sampler_->append(down_series_[k], when, down_pop_[k]);
+      sampler_->append(seed_series_[k], when, seed_pop_[k]);
+    }
   }
   sampler_->append(live_series_, when,
                    static_cast<double>(active_peer_count_));
@@ -646,8 +750,22 @@ void EventKernel::export_observations(SimResult& result) {
 
 SimResult EventKernel::run() {
   util::Stopwatch wall;
-  double t = 0.0;
-  double next_arrival = rng_.exponential(cfg_.visit_rate);
+  start();
+  run_until(cfg_.horizon);
+  SimResult result = finish();
+  result.wall_clock_seconds = wall.seconds();
+  return result;
+}
+
+void EventKernel::start() {
+  BTMF_CHECK_MSG(!started_, "EventKernel::start called twice");
+  started_ = true;
+  cur_t_ = 0.0;
+  next_arrival_ = rng_.exponential(cfg_.visit_rate);
+}
+
+void EventKernel::run_until(double t_end) {
+  double t = cur_t_;
 
   while (t < cfg_.horizon) {
     // Apply pending rate epochs before choosing the next event: rates
@@ -663,13 +781,28 @@ SimResult EventKernel::run() {
     const double fault_time = next_fault_time();
     const double readmit_time = next_readmission_time();
     const double t_next =
-        std::min({next_arrival, seed_time, completion_time, abort_time,
+        std::min({next_arrival_, seed_time, completion_time, abort_time,
                   policy_time, fault_time, readmit_time, cfg_.horizon});
 
+    if (t_next > t_end && t_end < cfg_.horizon) {
+      // Epoch barrier: nothing fires in (t, t_end], so pause exactly at
+      // the boundary. Populations are constant on [t, t_next); sampling
+      // the grid points up to t_end now records the same left-limit
+      // values an unpaused run would.
+      while (next_sample_ <= t_end) {
+        record_sample(next_sample_);
+        next_sample_ += sample_dt_;
+      }
+      t = t_end;
+      break;
+    }
+
     if (t_next > t) {
-      const double stat_lo = std::max(t, cfg_.warmup);
-      if (t_next > stat_lo) {
-        stats_.observe_populations(down_pop_, seed_pop_, t_next - stat_lo);
+      if (!shard_.decomposed) {
+        const double stat_lo = std::max(t, cfg_.warmup);
+        if (t_next > stat_lo) {
+          stats_.observe_populations(down_pop_, seed_pop_, t_next - stat_lo);
+        }
       }
       // Sample the piecewise-constant populations at every cadence point
       // the advance steps over (left limits — the value holding on
@@ -691,25 +824,29 @@ SimResult EventKernel::run() {
       }
       if (++dispatch_rounds_ >= obs_.trace_batch) flush_dispatch_span();
     }
-    stats_.record_event();
-    peak_live_peers_ = std::max(peak_live_peers_, active_peer_count_);
+    if (!shard_.decomposed) {
+      stats_.record_event();
+      peak_live_peers_ = std::max(peak_live_peers_, active_peer_count_);
+    }
     now_ = t;
     process_fault_edges(t);
-    if (t + kTimeEps >= next_arrival) {
+    if (t + kTimeEps >= next_arrival_) {
       process_arrival(t);
-      next_arrival = t + rng_.exponential(cfg_.visit_rate);
+      next_arrival_ = t + rng_.exponential(cfg_.visit_rate);
     }
     drain_readmissions(t);
     while (!seed_queue_.empty() && seed_queue_.front().time <= t + kTimeEps) {
       const SeedDeparture ev = seed_queue_.front();
       std::pop_heap(seed_queue_.begin(), seed_queue_.end(), kMinHeap);
       seed_queue_.pop_back();
-      // Entries of crashed users are stale: their slots are no longer
-      // seeding. Skipping them here keeps the queue free of tombstones.
-      const SimUser& u = users_[ev.ui];
-      const unsigned check = ev.file_idx == kAllFiles ? 0U : ev.file_idx;
-      if (u.state[check] == SlotState::kSeeding) {
-        policy_.on_seed_departure(ev.ui, ev.file_idx, t);
+      // Entries of crashed (or recycled) users are stale: their slots are
+      // no longer seeding. Skipping them here keeps the queue clean.
+      if (pool_.seq(ev.ui) == ev.seq) {
+        const unsigned check = ev.file_idx == kAllFiles ? 0U : ev.file_idx;
+        if (pool_.state(ev.ui, check) == SlotState::kSeeding) {
+          policy_.on_seed_departure(ev.ui, ev.file_idx, t);
+          if (shard_.decomposed) ++prim_events_;
+        }
       }
     }
     if (t + kTimeEps >= policy_time) policy_.on_policy_event(t);
@@ -719,9 +856,13 @@ SimResult EventKernel::run() {
     if (paranoid_) audit(t);
   }
 
+  cur_t_ = t;
+}
+
+SimResult EventKernel::finish() {
   // Census of users still active at the horizon.
   for (const std::size_t ui : live_) {
-    if (users_[ui].sampled) stats_.record_censored();
+    if (pool_.sampled(ui)) stats_.record_censored();
   }
   if (recovering_) ++faults_unrecovered_;
   flush_dispatch_span();
@@ -753,8 +894,60 @@ SimResult EventKernel::run() {
   result.time_to_recover = time_to_recover_;
   result.faults_unrecovered = faults_unrecovered_;
   export_observations(result);
-  result.wall_clock_seconds = wall.seconds();
   return result;
+}
+
+ShardOutput EventKernel::shard_finish() {
+  const double horizon = cfg_.horizon;
+  // Census closures for users still live at the horizon. Order does not
+  // matter: the merge sorts all closures by admission seq before folding.
+  for (const std::size_t ui : live_) {
+    if (!pool_.sampled(ui)) continue;
+    closures_.push_back(
+        {pool_.seq(ui), pool_.cls(ui),
+         static_cast<std::uint8_t>(pool_.aborted(ui) ? 1 : 0), 1,
+         horizon - pool_.arrival(ui), 0.0});
+  }
+  if (recovering_) ++faults_unrecovered_;
+  flush_dispatch_span();
+  if (sampler_->data(live_series_).t.empty() ||
+      sampler_->data(live_series_).t.back() < horizon) {
+    record_sample(horizon);
+  }
+
+  ShardOutput out;
+  out.down_integral.resize(down_cells_.size());
+  out.seed_integral.resize(seed_cells_.size());
+  for (std::size_t i = 0; i < down_cells_.size(); ++i) {
+    flush_cell(down_cells_[i], horizon);
+    flush_cell(seed_cells_[i], horizon);
+    out.down_integral[i] = down_cells_[i].integ;
+    out.seed_integral[i] = seed_cells_[i].integ;
+  }
+  out.closures = std::move(closures_);
+  out.arrivals_by_class = arrivals_cls_;
+  out.total_arrivals = total_arrivals_;
+  out.prim_events = prim_events_;
+  out.rate_epochs = rate_epochs_;
+
+  out.sample_time = sampler_->data(live_series_).t;
+  for (unsigned k = 0; k < cfg_.num_files; ++k) {
+    out.down_series.push_back(sampler_->data(down_series_[k]).v);
+    out.seed_series.push_back(sampler_->data(seed_series_[k]).v);
+  }
+  out.live_series = sampler_->data(live_series_).v;
+  out.queue_series = sampler_->data(queue_series_).v;
+  out.recovering_series = sampler_->data(recovering_series_).v;
+
+  out.faults_injected = faults_injected_;
+  out.downloads_killed = downloads_killed_;
+  out.arrivals_dropped = arrivals_dropped_;
+  out.arrivals_queued = arrivals_queued_;
+  out.readmissions = readmissions_count_;
+  out.readmission_queue_peak = readmission_queue_peak_;
+  out.faults_unrecovered = faults_unrecovered_;
+  out.time_to_recover = time_to_recover_;
+  return out;
 }
 
 }  // namespace btmf::sim

@@ -1,9 +1,10 @@
 #include "btmf/sim/multi_torrent_sim.h"
 
 #include <memory>
+#include <utility>
 
-#include "btmf/sim/event_kernel.h"
 #include "btmf/sim/policies.h"
+#include "btmf/sim/sharded_kernel.h"
 #include "btmf/util/check.h"
 
 namespace btmf::sim {
@@ -19,19 +20,22 @@ SimResult run_multi_torrent_sim(const SimConfig& config) {
           : config.scheme;
   BTMF_CHECK_MSG(scheme != fluid::SchemeKind::kCmfsd,
                  "multi-torrent engine does not handle CMFSD");
-  std::unique_ptr<SchemePolicy> policy;
+  // ShardedKernel probes the policy: MTCD decomposes per torrent and runs
+  // sharded (cfg.shards / cfg.kernel_threads apply); MTSD and MFCD couple
+  // a user's torrents and run the serial kernel, ignoring the knobs.
+  PolicyFactory factory;
   switch (scheme) {
     case fluid::SchemeKind::kMtsd:
-      policy = make_mtsd_policy();
+      factory = make_mtsd_policy;
       break;
     case fluid::SchemeKind::kMfcd:
-      policy = make_mfcd_policy();
+      factory = make_mfcd_policy;
       break;
     default:
-      policy = make_mtcd_policy();
+      factory = make_mtcd_policy;
       break;
   }
-  EventKernel kernel(config, *policy);
+  ShardedKernel kernel(config, std::move(factory));
   return kernel.run();
 }
 

@@ -80,7 +80,7 @@ class CmfsdPolicy final : public SchemePolicy {
   }
 
   void on_arrival(std::size_t ui, double t) override {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     kernel_->rng().shuffle(u.files);
     u.seq_pos = 0;
     if (u.cls > 1 && cheater_fraction_ > 0.0 &&
@@ -134,7 +134,7 @@ class CmfsdPolicy final : public SchemePolicy {
   }
 
   void on_complete(std::size_t ui, unsigned /*slot*/, double t) override {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     u.download_accum += t - u.stage_start;
     const bool was_partial = u.seq_pos > 0;
     if (u.adaptive) sync_received(u, t);  // before the subtorrent changes
@@ -167,7 +167,7 @@ class CmfsdPolicy final : public SchemePolicy {
   }
 
   void on_abort(std::size_t ui, unsigned /*slot*/, double t) override {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     kernel_->end_service(ui, 0);
     if (u.seq_pos > 0) virtual_bw_ -= (1.0 - u.rho) * mu_;
     --num_downloaders_;
@@ -181,7 +181,7 @@ class CmfsdPolicy final : public SchemePolicy {
 
   void on_seed_departure(std::size_t ui, unsigned /*file_idx*/,
                          double t) override {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     seed_bw_ -= mu_;
     u.state[0] = SlotState::kIdle;
     kernel_->seed_pop()[u.cls - 1] -= 1.0;
@@ -202,7 +202,7 @@ class CmfsdPolicy final : public SchemePolicy {
 
   void on_fault_crash(std::size_t ui, double t) override {
     (void)t;
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     if (u.state[0] == SlotState::kDownloading) {
       kernel_->end_service(ui, 0);
       if (u.seq_pos > 0) virtual_bw_ -= (1.0 - u.rho) * mu_;
@@ -228,7 +228,7 @@ class CmfsdPolicy final : public SchemePolicy {
     }
     wint_last_ = t;
     for (const std::size_t ui : kernel_->live()) {
-      SimUser& u = kernel_->user(ui);
+      SimUser u = kernel_->user(ui);
       if (u.adaptive && u.state[0] == SlotState::kDownloading &&
           u.seq_pos > 0) {
         u.up_base += (1.0 - u.rho) * mu_ * bw_scale_ * (t - u.up_mark);
@@ -250,7 +250,7 @@ class CmfsdPolicy final : public SchemePolicy {
     std::vector<double> down(num_files_, 0.0);
     std::vector<double> seeds(num_files_, 0.0);
     for (const std::size_t ui : kernel_->live()) {
-      const SimUser& u = kernel_->user(ui);
+      const SimUser u = kernel_->user(ui);
       if (u.state[0] == SlotState::kDownloading) {
         if (u.seq_pos >= u.cls) fail("downloading user past its last stage");
         ++downloaders;
@@ -310,7 +310,7 @@ class CmfsdPolicy final : public SchemePolicy {
   }
 
   void start_stage(std::size_t ui, double t) {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     const unsigned sub = local_pool_ ? current_sub(u) : 0;
     kernel_->begin_service(ui, 0, group_for(tft_rate(u), sub, t),
                            file_size_, t);
@@ -347,13 +347,13 @@ class CmfsdPolicy final : public SchemePolicy {
     std::fill(downloaders_per_sub_.begin(), downloaders_per_sub_.end(),
               std::size_t{0});
     for (const std::size_t ui : kernel_->live()) {
-      const SimUser& u = kernel_->user(ui);
+      const SimUser u = kernel_->user(ui);
       if (u.state[0] == SlotState::kDownloading) {
         ++downloaders_per_sub_[current_sub(u)];
       }
     }
     for (const std::size_t ui : kernel_->live()) {
-      SimUser& u = kernel_->user(ui);
+      SimUser u = kernel_->user(ui);
       if (u.state[0] == SlotState::kDownloading) {
         if (u.seq_pos == 0) continue;
         const double donated = (1.0 - u.rho) * mu_;
@@ -405,7 +405,7 @@ class CmfsdPolicy final : public SchemePolicy {
     double rho_sum = 0.0;
     std::size_t rho_count = 0;
     for (const std::size_t ui : kernel_->live()) {
-      SimUser& u = kernel_->user(ui);
+      SimUser u = kernel_->user(ui);
       if (!u.adaptive || u.cls <= 1) continue;
       const bool downloading = u.state[0] == SlotState::kDownloading;
       if (downloading) {

@@ -13,7 +13,16 @@
 // drains at (1/i) * sum of its torrents' R_T — a sum no single group rate
 // captures cheaply — so MfcdPolicy schedules completions itself with a
 // kinetic per-user heap over lazy per-torrent integrals (see below).
+//
+// MTCD is *shardable*: a class-i user is i independent virtual peers, one
+// per torrent, with no cross-torrent coupling. MtcdPolicy therefore runs
+// decomposed under ShardedKernel — it draws slot randomness from the
+// kernel's counter streams and keeps populations through note_download /
+// note_seed, and each kernel instance only materialises the slots of the
+// torrents it owns. MTSD and MFCD couple a user's torrents (sequential
+// stages, joint completion) and stay on the serial legacy path.
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -92,7 +101,8 @@ class TorrentPoolPolicy : public SchemePolicy {
   /// Recounts the per-torrent pools and the kernel's per-class populations
   /// from the live users' slot states and compares against the incremental
   /// bookkeeping. `split` is true for the schemes whose per-slot share is
-  /// 1/cls (MTCD, MFCD) and false for MTSD's full-bandwidth stages.
+  /// 1/cls (MFCD) and false for MTSD's full-bandwidth stages. Legacy-path
+  /// schemes only: the decomposed MTCD audit recounts its own way.
   void audit_shared_pools(bool split) const {
     const auto fail = [](const std::string& why) {
       throw AuditError("torrent-pool audit failed: " + why);
@@ -104,9 +114,9 @@ class TorrentPoolPolicy : public SchemePolicy {
     std::vector<double> down(num_files_, 0.0);
     std::vector<double> seeds(num_files_, 0.0);
     for (const std::size_t ui : kernel_->live()) {
-      const SimUser& u = kernel_->user(ui);
+      const SimUser u = kernel_->user(ui);
       const double share = split ? 1.0 / static_cast<double>(u.cls) : 1.0;
-      for (unsigned f = 0; f < u.cls; ++f) {
+      for (unsigned f = 0; f < u.slots(); ++f) {
         if (u.state[f] == SlotState::kDownloading) {
           weight[u.files[f]] += share;
           ++count[u.files[f]];
@@ -171,12 +181,16 @@ class MtcdPolicy final : public TorrentPoolPolicy {
     for (unsigned f = 0; f < num_files_; ++f) kernel.new_group(0.0);
   }
 
+  /// Virtual peers are torrent-independent; ShardedKernel may decompose.
+  [[nodiscard]] bool shardable() const override { return true; }
+
   void on_arrival(std::size_t ui, double t) override {
-    SimUser& u = kernel_->user(ui);
-    u.live_parts = u.cls;
-    for (unsigned f = 0; f < u.cls; ++f) start_download(ui, f, t);
-    kernel_->down_pop()[u.cls - 1] += static_cast<double>(u.cls);
-    kernel_->add_active_peers(u.cls);
+    SimUser u = kernel_->user(ui);
+    // In a decomposed kernel the user's slots are the shard's owned
+    // files only; arithmetic weights still use the logical class.
+    u.live_parts = u.slots();
+    for (unsigned f = 0; f < u.slots(); ++f) start_download(ui, f, t);
+    kernel_->add_active_peers(u.slots());
   }
 
   void refresh_rates(double t) override {
@@ -189,7 +203,7 @@ class MtcdPolicy final : public TorrentPoolPolicy {
   }
 
   void on_complete(std::size_t ui, unsigned slot, double t) override {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     const unsigned torrent = u.files[slot];
     remove_downloader(torrent, 1.0 / static_cast<double>(u.cls));
     // The virtual peer turns into a seed of its torrent with an
@@ -198,20 +212,20 @@ class MtcdPolicy final : public TorrentPoolPolicy {
     u.done[slot] = 1;
     seed_bw_[torrent] += mu_ / static_cast<double>(u.cls);
     u.last_completion = t;
-    kernel_->down_pop()[u.cls - 1] -= 1.0;
-    kernel_->seed_pop()[u.cls - 1] += 1.0;
-    kernel_->schedule_seed_departure(ui, slot,
-                                     t + kernel_->rng().exponential(gamma_));
+    kernel_->note_download(torrent, u.cls, -1, t);
+    kernel_->note_seed(torrent, u.cls, +1, t);
+    kernel_->schedule_seed_departure(
+        ui, slot, t + kernel_->slot_exponential(ui, slot, gamma_));
   }
 
   void on_seed_departure(std::size_t ui, unsigned file_idx,
                          double t) override {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     const unsigned torrent = u.files[file_idx];
     u.state[file_idx] = SlotState::kIdle;
     seed_bw_[torrent] -= mu_ / static_cast<double>(u.cls);
     mark_dirty(torrent);
-    kernel_->seed_pop()[u.cls - 1] -= 1.0;
+    kernel_->note_seed(torrent, u.cls, -1, t);
     kernel_->remove_active_peers(1);
     if (--u.live_parts == 0) {
       kernel_->retire_user(ui, t, u.last_completion - u.arrival, 0.0, false);
@@ -219,12 +233,12 @@ class MtcdPolicy final : public TorrentPoolPolicy {
   }
 
   void on_abort(std::size_t ui, unsigned slot, double t) override {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     kernel_->end_service(ui, slot);
     u.state[slot] = SlotState::kIdle;
     u.aborted = true;
     remove_downloader(u.files[slot], 1.0 / static_cast<double>(u.cls));
-    kernel_->down_pop()[u.cls - 1] -= 1.0;
+    kernel_->note_download(u.files[slot], u.cls, -1, t);
     kernel_->remove_active_peers(1);
     // Only this virtual peer leaves; siblings keep downloading/seeding.
     if (--u.live_parts == 0) {
@@ -233,21 +247,20 @@ class MtcdPolicy final : public TorrentPoolPolicy {
   }
 
   void on_fault_crash(std::size_t ui, double t) override {
-    (void)t;
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     const double cls = static_cast<double>(u.cls);
-    for (unsigned f = 0; f < u.cls; ++f) {
+    for (unsigned f = 0; f < u.slots(); ++f) {
       if (u.state[f] == SlotState::kDownloading) {
         kernel_->end_service(ui, f);
         remove_downloader(u.files[f], 1.0 / cls);
-        kernel_->down_pop()[u.cls - 1] -= 1.0;
+        kernel_->note_download(u.files[f], u.cls, -1, t);
         kernel_->remove_active_peers(1);
       } else if (u.state[f] == SlotState::kSeeding) {
         // Queued seed departures of this slot go stale; the kernel skips
         // them because the slot is no longer kSeeding.
         seed_bw_[u.files[f]] -= mu_ / cls;
         mark_dirty(u.files[f]);
-        kernel_->seed_pop()[u.cls - 1] -= 1.0;
+        kernel_->note_seed(u.files[f], u.cls, -1, t);
         kernel_->remove_active_peers(1);
       }
       u.state[f] = SlotState::kIdle;
@@ -255,7 +268,56 @@ class MtcdPolicy final : public TorrentPoolPolicy {
     u.live_parts = 0;
   }
 
-  void audit(double /*t*/) override { audit_shared_pools(true); }
+  /// Recounts pools and the kernel's decomposed per-class counts from the
+  /// live slots (the legacy audit checks down_pop/seed_pop, which the
+  /// decomposed kernel does not maintain).
+  void audit(double /*t*/) override {
+    const auto fail = [](const std::string& why) {
+      throw AuditError("MTCD pool audit failed: " + why);
+    };
+    constexpr double kTol = 1e-6;
+    std::vector<double> weight(num_files_, 0.0);
+    std::vector<double> seed_bw(num_files_, 0.0);
+    std::vector<std::size_t> count(num_files_, 0);
+    std::vector<std::int64_t> down(num_files_, 0);
+    std::vector<std::int64_t> seeds(num_files_, 0);
+    for (const std::size_t ui : kernel_->live()) {
+      const SimUser u = kernel_->user(ui);
+      const double share = 1.0 / static_cast<double>(u.cls);
+      for (unsigned f = 0; f < u.slots(); ++f) {
+        if (u.state[f] == SlotState::kDownloading) {
+          weight[u.files[f]] += share;
+          ++count[u.files[f]];
+          ++down[u.cls - 1];
+        } else if (u.state[f] == SlotState::kSeeding) {
+          seed_bw[u.files[f]] += mu_ * share;
+          ++seeds[u.cls - 1];
+        }
+      }
+    }
+    for (unsigned f = 0; f < num_files_; ++f) {
+      if (count[f] != downloader_count_[f]) {
+        fail("downloader count of torrent " + std::to_string(f) +
+             " diverged from the live slots");
+      }
+      if (std::abs(weight[f] - weight_sum_[f]) > kTol) {
+        fail("weight sum of torrent " + std::to_string(f) +
+             " diverged from the live slots");
+      }
+      if (std::abs(seed_bw[f] - seed_bw_[f]) > kTol) {
+        fail("seed bandwidth of torrent " + std::to_string(f) +
+             " diverged from the seeding slots");
+      }
+      if (down[f] != kernel_->down_count(f)) {
+        fail("downloader count of class " + std::to_string(f + 1) +
+             " diverged from the live slots");
+      }
+      if (seeds[f] != kernel_->seed_count(f)) {
+        fail("seed count of class " + std::to_string(f + 1) +
+             " diverged from the seeding slots");
+      }
+    }
+  }
 
   [[nodiscard]] double little_divisor(double files) const override {
     return files * files;
@@ -263,9 +325,10 @@ class MtcdPolicy final : public TorrentPoolPolicy {
 
  private:
   void start_download(std::size_t ui, unsigned slot, double t) {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     const unsigned torrent = u.files[slot];
     add_downloader(torrent, 1.0 / static_cast<double>(u.cls));
+    kernel_->note_download(torrent, u.cls, +1, t);
     // Group rate is the unsplit R_T; the 1/i split becomes an i-fold work.
     kernel_->begin_service(ui, slot, torrent,
                            file_size_ * static_cast<double>(u.cls), t);
@@ -284,7 +347,7 @@ class MtsdPolicy final : public TorrentPoolPolicy {
   }
 
   void on_arrival(std::size_t ui, double t) override {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     kernel_->rng().shuffle(u.files);
     u.seq_pos = 0;
     start_download(ui, 0, t);
@@ -302,7 +365,7 @@ class MtsdPolicy final : public TorrentPoolPolicy {
   }
 
   void on_complete(std::size_t ui, unsigned slot, double t) override {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     const unsigned torrent = u.files[slot];
     remove_downloader(torrent, 1.0);
     u.state[slot] = SlotState::kSeeding;
@@ -318,7 +381,7 @@ class MtsdPolicy final : public TorrentPoolPolicy {
 
   void on_seed_departure(std::size_t ui, unsigned file_idx,
                          double t) override {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     u.state[file_idx] = SlotState::kIdle;
     seed_bw_[u.files[file_idx]] -= mu_;
     mark_dirty(u.files[file_idx]);
@@ -335,7 +398,7 @@ class MtsdPolicy final : public TorrentPoolPolicy {
   }
 
   void on_abort(std::size_t ui, unsigned slot, double t) override {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     kernel_->end_service(ui, slot);
     u.state[slot] = SlotState::kIdle;
     u.aborted = true;
@@ -348,7 +411,7 @@ class MtsdPolicy final : public TorrentPoolPolicy {
 
   void on_fault_crash(std::size_t ui, double t) override {
     (void)t;
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     // Exactly one slot is active at a time in the sequential scheme, but
     // the teardown sweeps them all for robustness.
     for (unsigned f = 0; f < u.cls; ++f) {
@@ -375,7 +438,7 @@ class MtsdPolicy final : public TorrentPoolPolicy {
 
  private:
   void start_download(std::size_t ui, unsigned slot, double t) {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     add_downloader(u.files[slot], 1.0);
     u.stage_start = t;
     kernel_->begin_service(ui, slot, u.files[slot], file_size_, t);
@@ -418,7 +481,7 @@ class MfcdPolicy final : public TorrentPoolPolicy {
   }
 
   void on_arrival(std::size_t ui, double t) override {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     const double cls = static_cast<double>(u.cls);
     for (unsigned f = 0; f < u.cls; ++f) {
       const unsigned torrent = u.files[f];
@@ -475,7 +538,7 @@ class MfcdPolicy final : public TorrentPoolPolicy {
   void on_policy_event(double t) override {
     while (!wakes_.empty() && wakes_.top_key() <= t + kTimeEps) {
       const std::size_t ui = wakes_.top_id();
-      const SimUser& u = kernel_->user(ui);
+      const SimUser u = kernel_->user(ui);
       if (due(u.target[0], set_integral(u, t))) {
         finish_user(ui, t);
       } else {
@@ -486,7 +549,7 @@ class MfcdPolicy final : public TorrentPoolPolicy {
 
   void on_seed_departure(std::size_t ui, unsigned /*file_idx*/,
                          double t) override {
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     const double cls = static_cast<double>(u.cls);
     for (unsigned f = 0; f < u.cls; ++f) {
       seed_bw_[u.files[f]] -= mu_ / cls;
@@ -501,7 +564,7 @@ class MfcdPolicy final : public TorrentPoolPolicy {
   void on_abort(std::size_t ui, unsigned /*slot*/, double t) override {
     // Random-chunk downloading means no file is individually complete;
     // the whole visit is abandoned.
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     wakes_.erase(ui);
     const double cls = static_cast<double>(u.cls);
     for (unsigned f = 0; f < u.cls; ++f) {
@@ -517,7 +580,7 @@ class MfcdPolicy final : public TorrentPoolPolicy {
 
   void on_fault_crash(std::size_t ui, double t) override {
     (void)t;
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     wakes_.erase(ui);
     const double cls = static_cast<double>(u.cls);
     for (unsigned f = 0; f < u.cls; ++f) {
@@ -556,7 +619,7 @@ class MfcdPolicy final : public TorrentPoolPolicy {
       member_entries += members_[torrent].size();
       for (std::size_t at = 0; at < members_[torrent].size(); ++at) {
         const auto [ui, slot] = members_[torrent][at];
-        const SimUser& u = kernel_->user(ui);
+        const SimUser u = kernel_->user(ui);
         if (slot >= u.cls || u.files[slot] != torrent) {
           fail("member entry does not match its user's file set");
         }
@@ -570,7 +633,7 @@ class MfcdPolicy final : public TorrentPoolPolicy {
     }
     std::size_t downloading_slots = 0;
     for (const std::size_t ui : kernel_->live()) {
-      const SimUser& u = kernel_->user(ui);
+      const SimUser u = kernel_->user(ui);
       for (unsigned f = 0; f < u.cls; ++f) {
         if (u.state[f] == SlotState::kDownloading) ++downloading_slots;
       }
@@ -608,7 +671,7 @@ class MfcdPolicy final : public TorrentPoolPolicy {
   /// Recomputes the guaranteed-early wake of `ui` from the current
   /// integrals and bounds.
   void rekey(std::size_t ui, double t) {
-    const SimUser& u = kernel_->user(ui);
+    const SimUser u = kernel_->user(ui);
     const double acc = set_integral(u, t);
     if (due(u.target[0], acc)) {
       wakes_.set(ui, t);
@@ -639,7 +702,7 @@ class MfcdPolicy final : public TorrentPoolPolicy {
 
   void finish_user(std::size_t ui, double t) {
     wakes_.erase(ui);
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     const double cls = static_cast<double>(u.cls);
     for (unsigned f = 0; f < u.cls; ++f) {
       const unsigned torrent = u.files[f];

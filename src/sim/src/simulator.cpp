@@ -39,6 +39,7 @@ void SimConfig::validate() const {
   BTMF_CHECK_MSG(warmup >= 0.0 && warmup < horizon,
                  "warmup must lie in [0, horizon)");
   BTMF_CHECK_MSG(max_active_peers > 0, "max_active_peers must be positive");
+  BTMF_CHECK_MSG(shards >= 1, "shards must be >= 1");
   if (adapt.enabled) {
     BTMF_CHECK_MSG(adapt.period > 0.0, "adapt.period must be positive");
     BTMF_CHECK_MSG(adapt.phi_lo <= adapt.phi_hi,

@@ -47,6 +47,11 @@ void StatsCollector::record_user(unsigned user_class, unsigned files_requested,
   ++users_;
 }
 
+void StatsCollector::add_arrivals(unsigned user_class, std::size_t n) {
+  BTMF_ASSERT(user_class >= 1 && user_class <= num_classes_);
+  arrivals_[user_class - 1] += n;
+}
+
 void StatsCollector::record_rho_sample(double t, double mean_rho) {
   rho_recorder_.append(rho_series_, t, mean_rho);
 }

@@ -588,9 +588,10 @@ double mean_multi_file_rho(const sim::SimResult& result) {
                      : std::numeric_limits<double>::quiet_NaN();
 }
 
-SweepSpec adapt_spec(bool adapt_enabled) {
+SweepSpec adapt_spec(bool adapt_enabled, unsigned shards) {
   model::ScenarioSpec base = adapt_base_spec();
   base.adapt.enabled = adapt_enabled;
+  base.shards = shards;  // no effect on results or the cache fingerprint
   SweepSpec spec;
   spec.name = adapt_enabled ? "adapt-on" : "adapt-off";
   spec.grid
@@ -632,8 +633,8 @@ FigureReport run_adapt(const ReproduceOptions& options) {
       "measurements are this repository's discrete-event check of the "
       "claimed behaviour, averaged over 2 seeds.)";
 
-  const SweepSpec on_spec = adapt_spec(true);
-  const SweepSpec off_spec = adapt_spec(false);
+  const SweepSpec on_spec = adapt_spec(true, options.shards);
+  const SweepSpec off_spec = adapt_spec(false, options.shards);
   const SweepResult on = run_sweep(on_spec, engine_options(options));
   const SweepResult off = run_sweep(off_spec, engine_options(options));
   report.stats.absorb(on);

@@ -68,7 +68,7 @@ class ExactTiePolicy : public SchemePolicy {
     // time the abort clock holds. A failed prediction would land here at
     // a different time (or in on_abort).
     EXPECT_EQ(t, deadline_[ui]);
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     u.state[slot] = SlotState::kIdle;
     kernel_->down_pop()[0] -= 1.0;
     kernel_->remove_active_peers(1);
@@ -150,7 +150,7 @@ class RegroupPolicy : public SchemePolicy {
     // Completing off the stale slow-group entry instead of the fast one
     // would land a moved download at roughly twice this time.
     EXPECT_NEAR(t, expected_[ui], 1e-6);
-    SimUser& u = kernel_->user(ui);
+    SimUser u = kernel_->user(ui);
     u.state[slot] = SlotState::kIdle;
     kernel_->down_pop()[0] -= 1.0;
     kernel_->remove_active_peers(1);

@@ -1,0 +1,175 @@
+// Micro-tests for the kernel's indexed min-heap and the SoA user pool it
+// schedules over: decrease-key ordering, erase-from-the-middle integrity,
+// and id re-insertion after the pool's free list recycles rows.
+#include <cstddef>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "btmf/sim/indexed_heap.h"
+#include "btmf/sim/user_pool.h"
+
+namespace btmf::sim {
+namespace {
+
+std::vector<std::size_t> drain(IndexedMinHeap& heap) {
+  std::vector<std::size_t> order;
+  while (!heap.empty()) {
+    order.push_back(heap.top_id());
+    heap.erase(heap.top_id());
+  }
+  return order;
+}
+
+TEST(IndexedHeapTest, PopsInKeyOrderWithIdTieBreak) {
+  IndexedMinHeap heap;
+  heap.resize(6);
+  heap.set(3, 2.0);
+  heap.set(0, 5.0);
+  heap.set(5, 2.0);  // ties with id 3; id order must win
+  heap.set(1, 1.0);
+  heap.set(4, 5.0);  // ties with id 0
+  EXPECT_TRUE(heap.validate());
+  EXPECT_EQ(drain(heap), (std::vector<std::size_t>{1, 3, 5, 0, 4}));
+}
+
+TEST(IndexedHeapTest, DecreaseKeyPromotesEntry) {
+  IndexedMinHeap heap;
+  heap.resize(4);
+  heap.set(0, 10.0);
+  heap.set(1, 20.0);
+  heap.set(2, 30.0);
+  heap.set(3, 40.0);
+  ASSERT_EQ(heap.top_id(), 0U);
+
+  heap.set(3, 5.0);  // decrease-key: last entry becomes the minimum
+  EXPECT_TRUE(heap.validate());
+  EXPECT_EQ(heap.top_id(), 3U);
+  EXPECT_DOUBLE_EQ(heap.top_key(), 5.0);
+
+  heap.set(3, 25.0);  // increase-key: sifts back down
+  EXPECT_TRUE(heap.validate());
+  EXPECT_EQ(drain(heap), (std::vector<std::size_t>{0, 1, 3, 2}));
+}
+
+TEST(IndexedHeapTest, EraseMiddleKeepsHeapConsistent) {
+  IndexedMinHeap heap;
+  heap.resize(8);
+  for (std::size_t id = 0; id < 8; ++id) {
+    heap.set(id, static_cast<double>((id * 5) % 8));
+  }
+  // Erase an interior entry (neither top nor a leaf position).
+  heap.erase(5);
+  EXPECT_FALSE(heap.contains(5));
+  std::string reason;
+  ASSERT_TRUE(heap.validate(&reason)) << reason;
+  // Keys are (id * 5) % 8; with id 5 (key 1) gone, ascending key order is:
+  EXPECT_EQ(drain(heap), (std::vector<std::size_t>{0, 2, 7, 4, 1, 6, 3}));
+  // Erasing an absent id is a no-op.
+  heap.erase(5);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedHeapTest, RandomizedChurnAgainstStdOracle) {
+  IndexedMinHeap heap;
+  constexpr std::size_t kIds = 64;
+  heap.resize(kIds);
+  std::vector<double> oracle(kIds, 0.0);
+  std::vector<bool> present(kIds, false);
+  std::mt19937_64 gen(1234);
+  std::uniform_real_distribution<double> key(0.0, 100.0);
+  std::uniform_int_distribution<std::size_t> pick(0, kIds - 1);
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::size_t id = pick(gen);
+    if (present[id] && gen() % 3 == 0) {
+      heap.erase(id);
+      present[id] = false;
+    } else {
+      const double k = key(gen);
+      heap.set(id, k);
+      oracle[id] = k;
+      present[id] = true;
+    }
+    if (step % 257 == 0) {
+      std::string reason;
+      ASSERT_TRUE(heap.validate(&reason)) << reason;
+    }
+    if (!heap.empty()) {
+      std::size_t best = kIds;
+      for (std::size_t i = 0; i < kIds; ++i) {
+        if (!present[i]) continue;
+        if (best == kIds || oracle[i] < oracle[best] ||
+            (oracle[i] == oracle[best] && i < best)) {
+          best = i;
+        }
+      }
+      ASSERT_EQ(heap.top_id(), best);
+    }
+  }
+}
+
+TEST(IndexedHeapTest, RefillAfterPoolFreeListRecycling) {
+  // The kernel keys heap entries by dense user id; when the pool recycles
+  // a released row, the SAME id re-enters the heap with fresh keys. The
+  // heap must treat the re-tenanted id as brand new.
+  UserPool pool;
+  IndexedMinHeap heap;
+  const std::vector<unsigned> files{0, 1, 2};
+
+  const std::size_t a = pool.create(files, 3, 0.0, false, /*seq=*/1);
+  const std::size_t b = pool.create(files, 3, 0.1, false, /*seq=*/2);
+  heap.resize(pool.size());
+  heap.set(a, 4.0);
+  heap.set(b, 2.0);
+  ASSERT_EQ(heap.top_id(), b);
+
+  // Retire `b`: heap entry erased, row released to the free list.
+  heap.erase(b);
+  pool.release(b);
+  EXPECT_EQ(pool.seq(b), UserPool::kDeadSeq);
+  EXPECT_EQ(pool.free_rows(), 1U);
+
+  // The next admission recycles the row (LIFO) with a fresh seq...
+  const std::size_t c = pool.create(files, 3, 0.2, true, /*seq=*/3);
+  EXPECT_EQ(c, b);
+  EXPECT_EQ(pool.free_rows(), 0U);
+  EXPECT_EQ(pool.seq(c), 3U);
+  EXPECT_TRUE(pool.sampled(c));
+  // ...with every slot column reset to defaults.
+  for (unsigned slot = 0; slot < 3; ++slot) {
+    EXPECT_EQ(pool.state(c, slot), SlotState::kIdle);
+    EXPECT_EQ(pool.sched_gen(c, slot), 0U);
+    EXPECT_EQ(pool.file(c, slot), files[slot]);
+  }
+
+  // ...and the recycled id re-enters the heap as a fresh entry.
+  EXPECT_FALSE(heap.contains(c));
+  heap.set(c, 1.0);
+  EXPECT_EQ(heap.top_id(), c);
+  std::string reason;
+  ASSERT_TRUE(heap.validate(&reason)) << reason;
+  EXPECT_EQ(drain(heap), (std::vector<std::size_t>{c, a}));
+}
+
+TEST(IndexedHeapTest, PoolRecyclingIsLengthStableInArena) {
+  // Same-length spans must be recycled rather than growing the arena —
+  // the property that bounds slot-column memory under churn.
+  UserPool pool;
+  const std::vector<unsigned> files{4, 7};
+  const std::size_t a = pool.create(files, 2, 0.0, false, 1);
+  const std::size_t used = pool.arena().capacity();
+  for (std::uint64_t seq = 2; seq < 50; ++seq) {
+    pool.release(a);
+    ASSERT_EQ(pool.arena().free_spans(), 1U);
+    const std::size_t again = pool.create(files, 2, 0.0, false, seq);
+    ASSERT_EQ(again, a);
+    ASSERT_EQ(pool.arena().capacity(), used);
+    ASSERT_EQ(pool.arena().free_spans(), 0U);
+  }
+}
+
+}  // namespace
+}  // namespace btmf::sim
