@@ -1,0 +1,188 @@
+// Overhead budget check for the btmf::robust execution supervisor.
+//
+// The supervisor (deadlines, retry policy, crash isolation, checkpoint
+// journal) must be free when nothing goes wrong: the common case is a
+// fully warm cache where every point is a hit and the supervisor's only
+// possible cost is its bookkeeping (journal open, replay table, options
+// plumbing). This bench times the same warm-cache sweep twice — once
+// with a default (inert) SweepOptions, once with the full supervision
+// stack switched on (deadline + retries + resume) — taking the best of
+// --repeats runs of each, and fails (exit 1) if supervision costs more
+// than --budget percent of warm-cache throughput. It also cross-checks
+// that both modes return bit-identical SweepResults: supervision decides
+// *whether* a point computes, never what it computes. `--json` records
+// the measurement for the committed BENCH_robust.json baseline.
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "bench_util.h"
+#include "btmf/sweep/grid.h"
+#include "btmf/sweep/sweep.h"
+#include "btmf/util/stopwatch.h"
+
+namespace {
+
+using namespace btmf;
+
+sweep::SweepSpec bench_spec(std::size_t points) {
+  sweep::SweepSpec spec;
+  spec.name = "perf-robust";
+  spec.grid.axis("p", sweep::linspace(0.01, 1.0, points));
+  spec.fingerprint = "perf-robust-v1";
+  // Deliberately cheap compute: the cold populate is not what's measured,
+  // and trivial points make the warm-path bookkeeping the entire signal
+  // instead of burying it under solver time.
+  spec.compute = [](const sweep::GridPoint& point) {
+    const double p = point.at("p");
+    sweep::PointResult result;
+    result.values["inv"] = 1.0 / (p + 0.5);
+    result.values["sq"] = p * p;
+    return result;
+  };
+  return spec;
+}
+
+sweep::SweepOptions baseline_options(const std::string& cache_dir) {
+  sweep::SweepOptions options;
+  options.cache_dir = cache_dir;
+  options.jobs = 1;  // single worker: steadiest timing signal
+  return options;
+}
+
+sweep::SweepOptions supervised_options(const std::string& cache_dir) {
+  sweep::SweepOptions options = baseline_options(cache_dir);
+  options.robust.timeout_s = 30.0;
+  options.robust.retry.retries = 2;
+  options.resume = true;
+  return options;
+}
+
+double timed_rate(const sweep::SweepSpec& spec,
+                  const sweep::SweepOptions& options, std::size_t points,
+                  sweep::SweepResult& out) {
+  util::Stopwatch timer;
+  out = sweep::run_sweep(spec, options);
+  const double wall = timer.seconds();
+  return wall > 0.0 ? static_cast<double>(points) / wall : 0.0;
+}
+
+bool same_results(const sweep::SweepResult& a, const sweep::SweepResult& b) {
+  if (a.num_points() != b.num_points() || a.failures != b.failures) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.num_points(); ++i) {
+    if (a.points[i].status != b.points[i].status) return false;
+    for (const auto& [name, value] : a.points[i].result.values) {
+      if (std::bit_cast<std::uint64_t>(value) !=
+          std::bit_cast<std::uint64_t>(b.points[i].result.at(name))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser parser = bench::make_parser(
+      "perf_robust",
+      "Execution-supervisor overhead on a warm-cache sweep (budget check)");
+  parser.add_option("points", "400", "grid points in the sweep");
+  parser.add_option("repeats", "5", "timed runs per mode; best rate wins");
+  parser.add_option("budget", "2.0", "max allowed overhead in percent");
+  parser.add_option("cache-dir", ".perf-robust-cache",
+                    "scratch cache directory (recreated each run)");
+  parser.add_option("json", "", "also dump the measurement as JSON here");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const std::size_t points =
+      static_cast<std::size_t>(parser.get_int("points"));
+  const int repeats = static_cast<int>(parser.get_int("repeats"));
+  const double budget = parser.get_double("budget");
+  const std::string cache_dir = parser.get("cache-dir");
+  std::filesystem::remove_all(cache_dir);
+
+  const sweep::SweepSpec spec = bench_spec(points);
+
+  // Cold populate once, then one untimed warm run per mode to fault in
+  // the cache files; the timed runs interleave the two modes so slow
+  // drifts (page cache churn, governor) hit both equally.
+  sweep::SweepResult baseline_result, supervised_result;
+  (void)sweep::run_sweep(spec, baseline_options(cache_dir));
+  (void)timed_rate(spec, baseline_options(cache_dir), points,
+                   baseline_result);
+  (void)timed_rate(spec, supervised_options(cache_dir), points,
+                   supervised_result);
+  double baseline_rate = 0.0;
+  double supervised_rate = 0.0;
+  for (int i = 0; i < repeats; ++i) {
+    baseline_rate =
+        std::max(baseline_rate, timed_rate(spec, baseline_options(cache_dir),
+                                           points, baseline_result));
+    supervised_rate = std::max(
+        supervised_rate, timed_rate(spec, supervised_options(cache_dir),
+                                    points, supervised_result));
+  }
+
+  const double overhead_pct =
+      baseline_rate > 0.0 ? 100.0 * (1.0 - supervised_rate / baseline_rate)
+                          : 0.0;
+
+  util::Table table({"mode", "cache hits", "best points/s", "overhead %"});
+  table.set_precision(3);
+  table.add_row({"inert (default options)",
+                 static_cast<double>(baseline_result.cache_hits),
+                 baseline_rate, 0.0});
+  table.add_row({"supervised (deadline+retries+resume)",
+                 static_cast<double>(supervised_result.cache_hits),
+                 supervised_rate, overhead_pct});
+  bench::emit(table, "Supervisor overhead (warm-cache sweep)",
+              parser.get("csv"));
+
+  const std::string json_path = parser.get("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    char buf[384];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"points\": %zu, \"baseline_points_per_sec\": %.0f, "
+                  "\"supervised_points_per_sec\": %.0f, "
+                  "\"overhead_pct\": %.2f, \"budget_pct\": %.2f}\n",
+                  points, baseline_rate, supervised_rate, overhead_pct,
+                  budget);
+    out << buf;
+    if (!out) {
+      std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("(json saved to %s)\n", json_path.c_str());
+  }
+
+  if (!same_results(baseline_result, supervised_result)) {
+    std::fprintf(
+        stderr,
+        "FAIL: supervision changed the sweep result (it must only decide "
+        "whether points compute, never what they compute)\n");
+    return 1;
+  }
+  if (baseline_result.cache_hits != points ||
+      supervised_result.cache_hits != points) {
+    std::fprintf(stderr,
+                 "FAIL: warm runs were not fully cached (%zu / %zu hits)\n",
+                 baseline_result.cache_hits, supervised_result.cache_hits);
+    return 1;
+  }
+  if (overhead_pct > budget) {
+    std::fprintf(stderr,
+                 "FAIL: supervisor overhead %.2f%% exceeds budget %.2f%%\n",
+                 overhead_pct, budget);
+    return 1;
+  }
+  std::printf("PASS: supervisor overhead %.2f%% within %.2f%% budget\n",
+              overhead_pct, budget);
+  return 0;
+}

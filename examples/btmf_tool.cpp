@@ -18,9 +18,13 @@
 #include "btmf/fluid/adapt_fluid.h"
 #include "btmf/model/backend.h"
 #include "btmf/obs/sink.h"
+#include "btmf/robust/escalate.h"
+#include "btmf/robust/failure.h"
+#include "btmf/robust/supervisor.h"
 #include "btmf/sim/faults.h"
 #include "btmf/sim/simulator.h"
 #include "btmf/sweep/reproduce.h"
+#include "btmf/sweep/sweep.h"
 #include "btmf/util/cli.h"
 #include "btmf/util/error.h"
 #include "btmf/util/strings.h"
@@ -292,6 +296,35 @@ int cmd_simulate(int argc, const char* const* argv) {
   return 0;
 }
 
+/// The supervision flags shared by sweep and reproduce. None of them can
+/// change a computed number — only whether/how points get (re)computed.
+void add_robust_options(util::ArgParser& parser) {
+  parser.add_option("timeout-s", "0",
+                    "per-point wall-clock deadline in seconds (0 = none)");
+  parser.add_option("retries", "0",
+                    "supervisor retries per point (escalating solver "
+                    "tolerances where the backend allows)");
+  parser.add_flag("isolate",
+                  "run each computed point in a forked worker subprocess "
+                  "(crashes are contained and retried, not fatal)");
+  parser.add_flag("resume",
+                  "resume an interrupted run: replay journaled failures "
+                  "and serve completed points from the cache");
+}
+
+void robust_options_from_cli(const util::ArgParser& parser,
+                             robust::SupervisorOptions* robust,
+                             bool* resume) {
+  const double timeout_s = parser.get_double("timeout-s");
+  require(timeout_s >= 0.0, "--timeout-s must be non-negative");
+  const long long retries = parser.get_int("retries");
+  require(retries >= 0, "--retries must be non-negative");
+  robust->timeout_s = timeout_s;
+  robust->retry.retries = static_cast<unsigned>(retries);
+  robust->isolate = parser.get_flag("isolate");
+  *resume = parser.get_flag("resume");
+}
+
 int cmd_sweep(int argc, const char* const* argv) {
   util::ArgParser parser("btmf_tool sweep",
                          "avg online time per file vs correlation p");
@@ -299,6 +332,10 @@ int cmd_sweep(int argc, const char* const* argv) {
   parser.add_option("steps", "10", "p samples in (0, 1]");
   parser.add_option("seed", "42", "RNG seed (stochastic backends)");
   parser.add_option("csv", "", "save CSV here");
+  parser.add_option("cache-dir", "",
+                    "sweep point cache root ('' = uncached)");
+  parser.add_option("jobs", "0", "worker threads (0 = shared global pool)");
+  add_robust_options(parser);
   if (!parser.parse(argc, argv)) return 0;
   if (parser.get_flag("list-backends")) return list_backends();
 
@@ -306,22 +343,80 @@ int cmd_sweep(int argc, const char* const* argv) {
   const long long seed = parser.get_int("seed");
   require(seed >= 0, "--seed must be non-negative");
   base.seed = static_cast<std::uint64_t>(seed);
+  // The grid supplies p; pin the base's correlation so --p cannot split
+  // the cache namespace for otherwise-identical sweeps.
+  base.correlation = 1.0;
   const std::size_t steps = positive_count(parser, "steps");
+  const long long jobs = parser.get_int("jobs");
+  require(jobs >= 0, "--jobs must be >= 0");
   const model::Backend& backend =
       model::require_backend(parser.get("backend"));
 
+  std::vector<double> p_values;
+  p_values.reserve(steps);
+  for (std::size_t s = 1; s <= steps; ++s) {
+    p_values.push_back(static_cast<double>(s) /
+                       static_cast<double>(steps));
+  }
+
+  // The same engine the reproduce registry uses: content-addressed cache,
+  // per-point failure isolation, and the execution supervisor.
+  sweep::SweepSpec spec;
+  spec.name = "cli-" + std::string(backend.name()) + "-" +
+              std::string(fluid::to_string(base.scheme));
+  spec.grid.axis("p", std::move(p_values));
+  spec.fingerprint =
+      "backend=" + std::string(backend.name()) + "|" + base.fingerprint();
+  const auto eval_point = [base, &backend](const sweep::GridPoint& point,
+                                           unsigned attempt) {
+    model::ScenarioSpec scenario =
+        attempt > 0 ? robust::escalate_spec(base, attempt) : base;
+    scenario.correlation = point.at("p");
+    const model::Outcome outcome = backend.evaluate_or_throw(scenario);
+    sweep::PointResult result;
+    result.values["online_per_file"] = outcome.avg_online_per_file;
+    result.values["dl_per_file"] = outcome.avg_download_per_file;
+    return result;
+  };
+  spec.compute = [eval_point](const sweep::GridPoint& point) {
+    return eval_point(point, 0);
+  };
+  spec.compute_retry = eval_point;
+
+  sweep::SweepOptions options;
+  options.cache_dir = parser.get("cache-dir");
+  options.jobs = static_cast<std::size_t>(jobs);
+  robust_options_from_cli(parser, &options.robust, &options.resume);
+
+  const sweep::SweepResult sweep = sweep::run_sweep(spec, options);
+
   util::Table table({"p", "avg online/file", "avg dl/file"});
   table.set_precision(6);
-  for (std::size_t s = 1; s <= steps; ++s) {
-    model::ScenarioSpec spec = base;
-    spec.correlation = static_cast<double>(s) / static_cast<double>(steps);
-    const model::Outcome outcome = backend.evaluate_or_throw(spec);
-    table.add_row({spec.correlation, outcome.avg_online_per_file,
-                   outcome.avg_download_per_file});
+  for (const sweep::PointOutcome& outcome : sweep.points) {
+    if (outcome.status != sweep::PointStatus::kOk) continue;
+    table.add_row({outcome.point.at("p"),
+                   outcome.result.at("online_per_file"),
+                   outcome.result.at("dl_per_file")});
   }
   table.write_pretty(std::cout);
   if (!parser.get("csv").empty()) table.save_csv(parser.get("csv"));
-  return 0;
+
+  for (const sweep::PointOutcome& outcome : sweep.points) {
+    if (outcome.status != sweep::PointStatus::kOk) {
+      std::cout << "FAILED [" << robust::to_string(outcome.failure) << "] "
+                << outcome.point.canonical() << ": " << outcome.error
+                << (outcome.from_journal ? " (replayed from journal)" : "")
+                << '\n';
+    }
+  }
+  if (sweep.retries + sweep.timeouts + sweep.crashes + sweep.quarantined >
+      0) {
+    std::cout << "supervisor: " << sweep.retries << " retries, "
+              << sweep.timeouts << " timeouts, " << sweep.crashes
+              << " crashes, " << sweep.quarantined
+              << " quarantined cache entries\n";
+  }
+  return sweep.failures == 0 ? 0 : 1;
 }
 
 int cmd_adapt(int argc, const char* const* argv) {
@@ -400,6 +495,7 @@ int cmd_reproduce(int argc, const char* const* argv) {
   parser.add_option("shards", "1",
                     "kernel-sim sharding (bit-identical for any value; the "
                     "report must not change)");
+  add_robust_options(parser);
   if (!parser.parse(argc, argv)) return 0;
 
   const long long jobs = parser.get_int("jobs");
@@ -410,6 +506,11 @@ int cmd_reproduce(int argc, const char* const* argv) {
   options.jobs = static_cast<std::size_t>(jobs);
   options.metrics = &metrics;
   options.shards = static_cast<unsigned>(positive_count(parser, "shards"));
+  robust::SupervisorOptions robust;
+  robust_options_from_cli(parser, &robust, &options.resume);
+  options.timeout_s = robust.timeout_s;
+  options.retries = robust.retry.retries;
+  options.isolate = robust.isolate;
 
   const std::string figure = util::to_lower(parser.get("figure"));
   std::vector<const sweep::FigureSpec*> specs;
@@ -433,6 +534,11 @@ int cmd_reproduce(int argc, const char* const* argv) {
     reports.push_back(spec->run(options));
     const sweep::FigureReport& report = reports.back();
     for (const sweep::Claim& claim : report.claims) {
+      if (claim.skipped) {
+        std::cout << "  SKIP  " << claim.id
+                  << ": not evaluated (the sweep had failed points)\n";
+        continue;
+      }
       std::cout << (claim.pass ? "  PASS  " : "  FAIL  ") << claim.id << ": "
                 << "measured " << util::format_double(claim.measured, 6)
                 << " (" << claim_condition(claim) << ")\n";
@@ -458,8 +564,17 @@ int cmd_reproduce(int argc, const char* const* argv) {
   std::cout << "\nsweep metrics: " << counter("sweep.points_done")
             << " points done, " << counter("sweep.cache_hits")
             << " cache hits, " << counter("sweep.cache_misses")
-            << " computed, " << counter("sweep.failures") << " failures\n"
-            << "claims: " << passed << "/" << total << " passed\n";
+            << " computed, " << counter("sweep.failures") << " failures\n";
+  if (counter("robust.retries") + counter("robust.timeouts") +
+          counter("robust.crashes") + counter("robust.quarantined") >
+      0) {
+    std::cout << "supervisor: " << counter("robust.retries") << " retries, "
+              << counter("robust.timeouts") << " timeouts, "
+              << counter("robust.crashes") << " crashes, "
+              << counter("robust.quarantined")
+              << " quarantined cache entries\n";
+  }
+  std::cout << "claims: " << passed << "/" << total << " passed\n";
 
   // A partial --figure run never overwrites the committed report at the
   // default path (it would silently shrink it); redirect with --report to

@@ -53,6 +53,15 @@ std::optional<std::string> Backend::unsupported_reason(
   if (!spec.faults.empty() && !caps.faults) {
     return who + " does not replay fault plans";
   }
+  // Typed, not silent: the fault layer cannot be decomposed per torrent
+  // (churn bursts pick victims across every torrent; outages gate the
+  // shared arrival path), so a faulted spec only runs on one shard. The
+  // sharded kernel used to force this silently; callers now get a
+  // kUnsupported diagnostic and choose shards = 1 themselves.
+  if (!spec.faults.empty() && caps.faults && spec.shards > 1) {
+    return who + " cannot shard a faulted run (fault plans are globally "
+                 "coupled across torrents); use shards = 1";
+  }
   return std::nullopt;
 }
 

@@ -1,0 +1,72 @@
+// Write-ahead checkpoint journal for resumable batch runs.
+//
+// The journal records, one line per *computed* point, what happened: ok
+// (the result itself lives in the content-addressed cache — the cache IS
+// the checkpoint for successes) or a failure kind + attempts + exact
+// message. A resumed run replays journaled failures verbatim instead of
+// recomputing them, and picks up successes from the cache, so the final
+// result is bit-identical to an uninterrupted run — including the failure
+// table of the report, message for message.
+//
+// Crash safety: every entry is a single buffered write + flush of one
+// '\n'-terminated line to an append-only stream. A SIGKILL can tear at
+// most the final line; load() discards any line not terminated by '\n'
+// and any line that fails to parse, so a torn journal never poisons a
+// resume — the torn point is simply recomputed.
+//
+// The header binds the journal to one (sweep name, spec fingerprint,
+// grid) identity, hashed by the caller. A journal whose identity does not
+// match is ignored on load and truncated on open: resuming a *different*
+// sweep in the same cache directory never replays stale entries.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "btmf/robust/failure.h"
+
+namespace btmf::robust {
+
+class CheckpointJournal {
+ public:
+  struct Entry {
+    std::size_t index = 0;      ///< flat point index within the sweep grid
+    FailureKind kind = FailureKind::kNone;  ///< kNone = computed ok
+    unsigned attempts = 1;
+    std::string message;        ///< failure message; empty when ok
+  };
+
+  /// Parses the journal at `path`. Returns no entries when the file is
+  /// missing, has a foreign identity, or a corrupt header; tolerates and
+  /// discards a torn tail.
+  [[nodiscard]] static std::vector<Entry> load(const std::string& path,
+                                               std::uint64_t identity);
+
+  /// Opens `path` for appending. `fresh` (non-resume runs, or an identity
+  /// mismatch) truncates any existing journal; the header is (re)written
+  /// whenever the file starts empty. Throws btmf::IoError if the file
+  /// cannot be opened.
+  CheckpointJournal(std::string path, std::uint64_t identity, bool fresh);
+
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  /// Appends one entry and flushes. Thread-safe.
+  void append(const Entry& entry);
+
+  /// Entries appended through *this object* (not pre-existing ones).
+  [[nodiscard]] std::uint64_t appended() const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::uint64_t appended_ = 0;
+  std::ofstream out_;
+};
+
+}  // namespace btmf::robust

@@ -1,0 +1,33 @@
+// Retry policy: how many attempts, how long to wait between them.
+//
+// Backoff is exponential with deterministic jitter: the jitter fraction is
+// derived from a splitmix64 hash of (task key, attempt), so two runs of the
+// same sweep sleep the same amounts — timing is reproducible, and (more
+// importantly) *results* never depend on it. Delays only spread load when
+// many workers hammer a shared resource (the disk cache, a future service
+// daemon); they never change what gets computed.
+#pragma once
+
+#include <cstdint>
+
+namespace btmf::robust {
+
+struct RetryPolicy {
+  /// Attempts after the first (0 = never retry). Total tries = retries + 1.
+  unsigned retries = 0;
+  double base_delay_s = 0.1;    ///< delay before the first retry
+  double growth = 2.0;          ///< exponential factor per further retry
+  double max_delay_s = 5.0;     ///< cap on any single delay
+  double jitter = 0.25;         ///< +/- fraction of the delay, deterministic
+};
+
+/// splitmix64: the standard 64-bit finalizing mixer. Used for jitter only,
+/// never for simulation randomness.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x);
+
+/// Delay in seconds before retry attempt `attempt` (1-based: attempt 1 is
+/// the first retry). `key` identifies the task so concurrent tasks desync.
+[[nodiscard]] double backoff_delay_s(const RetryPolicy& policy,
+                                     std::uint64_t key, unsigned attempt);
+
+}  // namespace btmf::robust

@@ -1,0 +1,139 @@
+#include "btmf/robust/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "btmf/util/error.h"
+#include "btmf/util/strings.h"
+
+namespace btmf::robust {
+namespace {
+
+constexpr std::string_view kMagic = "btmf-sweep-journal";
+constexpr int kVersion = 1;
+
+std::string header_line(std::uint64_t identity) {
+  std::ostringstream out;
+  out << kMagic << " v" << kVersion << " " << std::hex << identity;
+  return out.str();
+}
+
+std::string entry_line(const CheckpointJournal::Entry& entry) {
+  std::string line = "point ";
+  line += std::to_string(entry.index);
+  line += ' ';
+  line += to_string(entry.kind);
+  line += ' ';
+  line += std::to_string(entry.attempts);
+  if (entry.kind != FailureKind::kNone) {
+    line += ' ';
+    line += escape_line(entry.message);
+  }
+  line += '\n';
+  return line;
+}
+
+/// Parses "point <index> <kind> <attempts> [<message>]"; false on any
+/// malformation (the caller drops the line).
+bool parse_entry(std::string_view line, CheckpointJournal::Entry* entry) {
+  if (!util::starts_with(line, "point ")) return false;
+  std::string_view rest = line.substr(6);
+  const auto take_field = [&rest]() -> std::string_view {
+    const std::size_t space = rest.find(' ');
+    std::string_view field =
+        space == std::string_view::npos ? rest : rest.substr(0, space);
+    rest = space == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(space + 1);
+    return field;
+  };
+  try {
+    entry->index =
+        static_cast<std::size_t>(util::parse_int(take_field(), "journal"));
+    entry->kind = failure_kind_from_string(take_field());
+    entry->attempts =
+        static_cast<unsigned>(util::parse_int(take_field(), "journal"));
+  } catch (const ConfigError&) {
+    return false;
+  }
+  entry->message = unescape_line(rest);
+  if (entry->kind == FailureKind::kNone && !entry->message.empty()) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<CheckpointJournal::Entry> CheckpointJournal::load(
+    const std::string& path, std::uint64_t identity) {
+  std::vector<Entry> entries;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return entries;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // Only '\n'-terminated lines are durable: a SIGKILL mid-append can tear
+  // the final line, so anything after the last newline is discarded.
+  const std::size_t last_newline = text.rfind('\n');
+  if (last_newline == std::string::npos) return entries;
+  text.resize(last_newline);
+
+  const std::vector<std::string> lines = util::split(text, '\n');
+  if (lines.empty() || lines.front() != header_line(identity)) {
+    return entries;  // foreign or corrupt journal: ignore entirely
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    Entry entry;
+    if (parse_entry(lines[i], &entry)) entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+CheckpointJournal::CheckpointJournal(std::string path, std::uint64_t identity,
+                                     bool fresh)
+    : path_(std::move(path)) {
+  namespace fs = std::filesystem;
+  // An existing journal with a foreign identity is stale regardless of the
+  // resume flag — never append entries of one sweep to another's journal.
+  bool truncate = fresh;
+  if (!truncate) {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      std::string first;
+      std::getline(in, first);
+      if (first != header_line(identity)) truncate = true;
+    }
+  }
+  std::error_code ec;
+  const bool exists = fs::exists(path_, ec) && !ec;
+  const bool empty = !exists || truncate ||
+                     (fs::file_size(path_, ec) == 0 && !ec);
+  auto mode = std::ios::binary | std::ios::out;
+  mode |= truncate ? std::ios::trunc : std::ios::app;
+  out_.open(path_, mode);
+  if (!out_) {
+    throw IoError("cannot open checkpoint journal '" + path_ + "'");
+  }
+  if (empty) {
+    out_ << header_line(identity) << "\n";
+    out_.flush();
+  }
+}
+
+void CheckpointJournal::append(const Entry& entry) {
+  const std::string line = entry_line(entry);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line;
+  out_.flush();
+  if (!out_) {
+    throw IoError("write to checkpoint journal '" + path_ + "' failed");
+  }
+  ++appended_;
+}
+
+std::uint64_t CheckpointJournal::appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+}  // namespace btmf::robust

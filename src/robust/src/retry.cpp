@@ -1,0 +1,30 @@
+#include "btmf/robust/retry.h"
+
+#include <algorithm>
+
+namespace btmf::robust {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double backoff_delay_s(const RetryPolicy& policy, std::uint64_t key,
+                       unsigned attempt) {
+  if (attempt == 0) return 0.0;
+  double delay = policy.base_delay_s;
+  for (unsigned i = 1; i < attempt; ++i) delay *= policy.growth;
+  delay = std::min(delay, policy.max_delay_s);
+  if (policy.jitter > 0.0) {
+    const std::uint64_t h = splitmix64(key ^ (0x5bf0'3635ULL + attempt));
+    // Uniform in [-jitter, +jitter] from the top 53 bits of the hash.
+    const double unit =
+        static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    delay *= 1.0 + policy.jitter * (2.0 * unit - 1.0);
+  }
+  return std::max(delay, 0.0);
+}
+
+}  // namespace btmf::robust

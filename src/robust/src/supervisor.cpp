@@ -1,0 +1,89 @@
+#include "btmf/robust/supervisor.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "btmf/obs/metrics.h"
+#include "btmf/robust/isolate.h"
+#include "btmf/robust/watchdog.h"
+
+namespace btmf::robust {
+namespace {
+
+[[nodiscard]] bool all_finite(const Values& values) {
+  for (const auto& [name, value] : values) {
+    if (!std::isfinite(value)) return false;
+  }
+  return true;
+}
+
+/// One attempt: inline, watchdogged, or isolated, per the options.
+IsolatedOutcome run_attempt(const Task& task, const TaskContext& context,
+                            const SupervisorOptions& options) {
+  const auto compute = [&task, context] { return task(context); };
+  IsolatedOutcome outcome;
+  if (options.isolate && isolation_supported()) {
+    outcome = run_isolated(compute, options.timeout_s);
+  } else {
+    const WatchdogResult watched =
+        run_with_deadline(compute, options.timeout_s, options.grace_s);
+    outcome.failure = watched.failure;
+    outcome.values = watched.values;
+  }
+  if (outcome.failure.ok() && options.reject_non_finite &&
+      !all_finite(outcome.values)) {
+    outcome.values.clear();
+    outcome.failure = {FailureKind::kNonFinite,
+                       "result contains non-finite values"};
+  }
+  return outcome;
+}
+
+}  // namespace
+
+SuperviseOutcome supervise(const Task& task, const SupervisorOptions& options,
+                           std::uint64_t key) {
+  SuperviseOutcome result;
+  result.attempts = 0;
+
+  obs::MetricId retries_id{}, timeouts_id{}, crashes_id{};
+  if (options.metrics != nullptr) {
+    retries_id = options.metrics->counter("robust.retries");
+    timeouts_id = options.metrics->counter("robust.timeouts");
+    crashes_id = options.metrics->counter("robust.crashes");
+  }
+
+  const unsigned max_attempts = options.retry.retries + 1;
+  for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      if (options.metrics != nullptr) options.metrics->add(retries_id);
+      const double delay =
+          backoff_delay_s(options.retry, key, attempt) *
+          options.backoff_scale;
+      if (delay > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      }
+    }
+    ++result.attempts;
+    const TaskContext context{key, attempt};
+    const IsolatedOutcome outcome = run_attempt(task, context, options);
+    if (outcome.failure.kind == FailureKind::kTimeout) {
+      ++result.timeouts;
+      if (options.metrics != nullptr) options.metrics->add(timeouts_id);
+    } else if (outcome.failure.kind == FailureKind::kCrash) {
+      ++result.crashes;
+      if (options.metrics != nullptr) options.metrics->add(crashes_id);
+    }
+    if (outcome.failure.ok()) {
+      result.failure = {};
+      result.values = outcome.values;
+      return result;
+    }
+    result.failure = outcome.failure;
+    if (!retryable(outcome.failure.kind)) return result;
+  }
+  return result;
+}
+
+}  // namespace btmf::robust

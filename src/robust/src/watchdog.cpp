@@ -1,0 +1,118 @@
+#include "btmf/robust/watchdog.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "btmf/util/strings.h"
+
+namespace btmf::robust {
+namespace {
+
+thread_local CancelToken* t_active_token = nullptr;
+
+/// State shared between the caller and the worker thread. Heap-allocated
+/// and shared_ptr-owned so an abandoned (detached) worker can still write
+/// its result and destroy the state safely after the caller has given up.
+struct SharedRun {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  CancelToken token;
+  Failure failure;
+  Values values;
+};
+
+}  // namespace
+
+void CancelToken::checkpoint(const char* where) const {
+  if (cancelled()) {
+    throw CancelledError(std::string("cancelled at ") + where);
+  }
+}
+
+CancelToken* active_cancel_token() { return t_active_token; }
+
+ScopedCancelToken::ScopedCancelToken(CancelToken* token)
+    : previous_(t_active_token) {
+  t_active_token = token;
+}
+
+ScopedCancelToken::~ScopedCancelToken() { t_active_token = previous_; }
+
+WatchdogResult run_with_deadline(const std::function<Values()>& fn,
+                                 double timeout_s, double grace_s) {
+  WatchdogResult result;
+  if (timeout_s <= 0.0) {
+    // No deadline: run inline, bit-for-bit the unsupervised path.
+    try {
+      result.values = fn();
+    } catch (...) {
+      result.failure = classify_active_exception();
+    }
+    return result;
+  }
+
+  auto state = std::make_shared<SharedRun>();
+  // `fn` is captured by value: an abandoned worker outlives the caller's
+  // stack frame, so it must not reference the caller's std::function.
+  std::thread worker([state, fn] {
+    Failure failure;
+    Values values;
+    try {
+      ScopedCancelToken scope(&state->token);
+      values = fn();
+    } catch (...) {
+      failure = classify_active_exception();
+    }
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->failure = std::move(failure);
+    state->values = std::move(values);
+    state->done = true;
+    state->done_cv.notify_all();
+  });
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  if (!state->done_cv.wait_until(lock, deadline,
+                                 [&] { return state->done; })) {
+    // Deadline passed: trip the token and give the worker a grace period
+    // to reach a cancellation checkpoint and unwind.
+    state->token.cancel();
+    const auto grace_end = std::chrono::steady_clock::now() +
+                           std::chrono::duration<double>(grace_s);
+    if (!state->done_cv.wait_until(lock, grace_end,
+                                   [&] { return state->done; })) {
+      // The worker ignored cancellation. Abandon it: the detached thread
+      // owns a shared_ptr to `state` (captured by value) so its eventual
+      // writes land on live memory, but its result is discarded.
+      lock.unlock();
+      worker.detach();
+      result.failure = {FailureKind::kTimeout,
+                        "evaluation exceeded " +
+                            util::format_double(timeout_s) +
+                            "s deadline and ignored cancellation "
+                            "(abandoned)"};
+      result.abandoned = true;
+      return result;
+    }
+  }
+  lock.unlock();
+  worker.join();
+
+  if (state->failure.ok()) {
+    result.values = std::move(state->values);
+  } else if (state->failure.kind == FailureKind::kTimeout) {
+    result.failure = {FailureKind::kTimeout,
+                      "evaluation exceeded " +
+                          util::format_double(timeout_s) + "s deadline (" +
+                          state->failure.message + ")"};
+  } else {
+    result.failure = std::move(state->failure);
+  }
+  return result;
+}
+
+}  // namespace btmf::robust

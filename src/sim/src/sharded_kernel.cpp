@@ -30,13 +30,12 @@ SimResult ShardedKernel::run() {
     return kernel.run();
   }
 
-  // The fault layer is global (churn picks victims across all torrents,
-  // outages gate the shared arrival path), so a non-empty plan runs on a
-  // single shard — through the same decomposed code path.
+  // A faulted config can only reach here with shards == 1: the fault
+  // layer is global (churn picks victims across all torrents, outages
+  // gate the shared arrival path) and validate() rejects shards > 1 with
+  // a non-empty plan as a typed configuration error.
   const unsigned num_shards =
-      cfg_.faults.empty()
-          ? std::min(std::max(1U, cfg_.shards), cfg_.num_files)
-          : 1U;
+      std::min(std::max(1U, cfg_.shards), cfg_.num_files);
 
   // Shard kernels observe nothing themselves: their sample series and
   // counters surface through ShardOutput and are exported once, merged,

@@ -40,6 +40,16 @@ void SimConfig::validate() const {
                  "warmup must lie in [0, horizon)");
   BTMF_CHECK_MSG(max_active_peers > 0, "max_active_peers must be positive");
   BTMF_CHECK_MSG(shards >= 1, "shards must be >= 1");
+  // The fault layer is globally coupled — churn bursts pick victims across
+  // every torrent and outages gate the shared arrival path — so a faulted
+  // run cannot be decomposed per torrent. Requesting shards > 1 with a
+  // fault plan used to be silently forced back to one shard; it is now a
+  // typed configuration error (surfaced as kUnsupported through the model
+  // layer) so callers learn the limitation instead of silently losing
+  // their parallelism. ROADMAP open item: shardable fault plans.
+  BTMF_CHECK_MSG(faults.empty() || shards == 1,
+                 "fault plans are globally coupled (cross-torrent churn and "
+                 "outages) and require shards == 1");
   if (adapt.enabled) {
     BTMF_CHECK_MSG(adapt.period > 0.0, "adapt.period must be positive");
     BTMF_CHECK_MSG(adapt.phi_lo <= adapt.phi_hi,

@@ -54,6 +54,14 @@ struct CacheKey {
 /// the key material, so old caches simply miss instead of misparsing.
 inline constexpr int kCacheFormatVersion = 1;
 
+/// What lookup() found. The distinction drives self-healing: a kMiss is
+/// normal (absent entry, or a hash-collision file whose stored material
+/// belongs to another key — recompute and move on), while kCorrupt means
+/// an entry that *claims* to be this key's but fails verification (bad
+/// magic, truncated, unparseable values, tampered bytes) and should be
+/// quarantined so the recompute can publish a clean replacement.
+enum class CacheLookup { kHit, kMiss, kCorrupt };
+
 class DiskCache {
  public:
   /// Opens (creating if needed) the cache rooted at `root`. Throws
@@ -64,7 +72,21 @@ class DiskCache {
 
   /// Returns the stored result, or nullopt on absence, key-material
   /// mismatch, or a malformed/truncated file (all treated as misses).
+  /// Equivalent to lookup() with the hit/miss/corrupt detail collapsed.
   [[nodiscard]] std::optional<PointResult> load(const CacheKey& key) const;
+
+  /// As load(), but reports *why* there was no hit. On kHit the result is
+  /// written to `*result` (which must be non-null); otherwise `*result`
+  /// is left untouched.
+  [[nodiscard]] CacheLookup lookup(const CacheKey& key,
+                                   PointResult* result) const;
+
+  /// Moves a corrupt entry aside to "<entry>.quarantined" (overwriting any
+  /// previous quarantine of the same entry) so the bad bytes stay
+  /// available for inspection while the slot becomes a clean miss. Absent
+  /// entries are a no-op. Never throws: quarantine runs on the failure
+  /// path, where the recompute matters more than the rename.
+  void quarantine(const CacheKey& key) const;
 
   /// Atomically persists `result` under `key` (temp file + rename).
   /// Throws btmf::IoError on filesystem failure.

@@ -39,6 +39,11 @@ struct Claim {
   double measured = 0.0;
   double tolerance = 0.0;
   bool pass = false;
+  /// The claim could not be *evaluated* because its sweep had failed
+  /// points (the figure degrades gracefully instead of dying). Renders as
+  /// SKIP; counts as not-passed, so the figure and the overall report
+  /// still read FAIL.
+  bool skipped = false;
 };
 
 Claim claim_within(std::string id, std::string description, double measured,
@@ -47,6 +52,8 @@ Claim claim_at_most(std::string id, std::string description, double measured,
                     double bound, double slack = 0.0);
 Claim claim_at_least(std::string id, std::string description, double measured,
                      double bound, double slack = 0.0);
+/// A claim that was not evaluated (see Claim::skipped).
+Claim claim_skipped(std::string id);
 
 /// Cache/effort accounting for one figure (summed over its sweeps).
 struct FigureStats {
@@ -83,6 +90,14 @@ struct ReproduceOptions {
   /// the generated report (and the sweep cache) must not change with this
   /// knob — CI diffs a --shards 2 run against the committed report.
   unsigned shards = 1;
+  // --- execution supervision (forwarded to SweepOptions::robust) --------
+  // None of these may change the *numbers*: deadlines/retries/isolation
+  // decide whether a point computes, never what it computes, and a
+  // resumed run is bit-identical to an uninterrupted one.
+  double timeout_s = 0.0;  ///< per-point deadline; 0 = none
+  unsigned retries = 0;    ///< supervisor retries per point
+  bool isolate = false;    ///< forked crash-isolated workers
+  bool resume = false;     ///< replay journaled failures after a crash
 };
 
 struct FigureSpec {

@@ -14,6 +14,17 @@
 // callers decide whether a partial sweep is usable. Progress streams
 // through an optional obs::MetricsRegistry (`sweep.*` counters — see
 // docs/OBSERVABILITY.md and docs/SWEEP.md).
+//
+// Every computed point runs under the execution supervisor (btmf::robust):
+// SweepOptions::robust adds per-point deadlines, retry-with-backoff, and
+// forked crash isolation; failures carry a typed FailureKind. A
+// write-ahead journal next to the cache records each computed point, so
+// an interrupted sweep rerun with SweepOptions::resume replays journaled
+// failures verbatim and serves successes from the cache — the resumed
+// SweepResult is bit-identical to an uninterrupted run's. Corrupt cache
+// entries are quarantined and recomputed, never fatal. All of it is
+// inert by default: a default-constructed SweepOptions behaves exactly
+// as before the supervisor existed. See docs/ROBUSTNESS.md.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +33,8 @@
 #include <vector>
 
 #include "btmf/obs/metrics.h"
+#include "btmf/robust/failure.h"
+#include "btmf/robust/supervisor.h"
 #include "btmf/sweep/cache.h"
 #include "btmf/sweep/grid.h"
 
@@ -34,6 +47,13 @@ namespace btmf::sweep {
 /// workers. Must not submit work to the pool the sweep itself runs on.
 using PointFn = std::function<PointResult(const GridPoint&)>;
 
+/// Escalated recompute for supervisor retries: called instead of
+/// `compute` on attempts >= 1 so each retry can try *harder* (tighter
+/// solver tolerances, robust::escalate_spec). Must obey the same purity
+/// contract as PointFn per (point, attempt).
+using PointRetryFn =
+    std::function<PointResult(const GridPoint&, unsigned attempt)>;
+
 struct SweepSpec {
   std::string name;         ///< cache namespace; one subdirectory per sweep
   Grid grid;
@@ -42,6 +62,9 @@ struct SweepSpec {
   /// Folded into every point's cache key.
   std::string fingerprint;
   PointFn compute;
+  /// Optional; when absent, retries rerun `compute` unchanged (useful
+  /// only against transient failures — crashes, machine-load timeouts).
+  PointRetryFn compute_retry;
 };
 
 struct SweepOptions {
@@ -56,8 +79,18 @@ struct SweepOptions {
   std::size_t shards = 0;
   /// Optional progress/metrics sink (non-owning): sweep.points_total,
   /// sweep.points_done, sweep.cache_hits, sweep.cache_misses,
-  /// sweep.failures, and the sweep.point_seconds histogram.
+  /// sweep.failures, the sweep.point_seconds histogram, and — when the
+  /// supervisor is active — robust.retries / robust.timeouts /
+  /// robust.crashes / robust.quarantined.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Execution supervision for computed points: per-point deadline,
+  /// retry policy, crash isolation. Inert by default.
+  robust::SupervisorOptions robust{};
+  /// Replay journaled failures from an interrupted earlier run instead
+  /// of recomputing them (successes always resume via the cache). Only
+  /// meaningful with a cache_dir; the result is bit-identical to an
+  /// uninterrupted run's.
+  bool resume = false;
 };
 
 enum class PointStatus { kOk, kFailed };
@@ -69,6 +102,14 @@ struct PointOutcome {
   PointStatus status = PointStatus::kOk;
   bool from_cache = false;
   std::string error;          ///< exception message when failed
+  /// Typed reason when status == kFailed (kError for a plain exception;
+  /// kTimeout / kCrash / ... once the supervisor is configured).
+  robust::FailureKind failure = robust::FailureKind::kNone;
+  /// Compute attempts made for this point (0 when served from cache or
+  /// replayed from the journal).
+  unsigned attempts = 0;
+  /// True when a resumed run replayed this failure from the journal.
+  bool from_journal = false;
 };
 
 struct SweepResult {
@@ -76,6 +117,11 @@ struct SweepResult {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;      ///< points actually computed
   std::size_t failures = 0;
+  std::size_t retries = 0;           ///< supervisor retry attempts
+  std::size_t timeouts = 0;          ///< attempts lost to the deadline
+  std::size_t crashes = 0;           ///< attempts lost to a worker crash
+  std::size_t quarantined = 0;       ///< corrupt cache entries healed
+  std::size_t resumed_failures = 0;  ///< failures replayed from journal
   double wall_seconds = 0.0;         ///< not deterministic
 
   [[nodiscard]] std::size_t num_points() const { return points.size(); }
@@ -90,5 +136,11 @@ struct SweepResult {
 /// directory cannot be used; per-point compute failures are *recorded*,
 /// never thrown.
 SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
+
+/// Path of the write-ahead checkpoint journal run_sweep keeps for `spec`
+/// under `cache_dir` (next to the sweep's cache entries). Exposed for
+/// tests and tooling; empty when `cache_dir` is empty.
+[[nodiscard]] std::string sweep_journal_path(const SweepSpec& spec,
+                                             const std::string& cache_dir);
 
 }  // namespace btmf::sweep

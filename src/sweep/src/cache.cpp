@@ -1,11 +1,15 @@
 #include "btmf/sweep/cache.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "btmf/core/version.h"
 #include "btmf/util/error.h"
@@ -18,6 +22,15 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr std::string_view kMagic = "btmf-sweep-cache";
+
+/// The writing process's id, for cross-process-unique temp names.
+long process_id() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<long>(::getpid());
+#else
+  return 0;
+#endif
+}
 
 std::string hash_hex(std::uint64_t h) {
   char buf[17];
@@ -97,11 +110,24 @@ std::string DiskCache::entry_path(const CacheKey& key) const {
 }
 
 std::optional<PointResult> DiskCache::load(const CacheKey& key) const {
-  std::ifstream file(entry_path(key));
-  if (!file) return std::nullopt;
+  PointResult result;
+  if (lookup(key, &result) != CacheLookup::kHit) return std::nullopt;
+  return result;
+}
 
+CacheLookup DiskCache::lookup(const CacheKey& key,
+                              PointResult* result) const {
+  std::ifstream file(entry_path(key));
+  if (!file) return CacheLookup::kMiss;
+
+  // From here on the file exists: any verification failure is corruption
+  // (torn write, bit rot, tampering), with one exception — stored key
+  // material that parses but belongs to a *different* key, which is a
+  // benign hash collision and therefore a plain miss.
   std::string line;
-  if (!std::getline(file, line) || line != kMagic) return std::nullopt;
+  if (!std::getline(file, line) || line != kMagic) {
+    return CacheLookup::kCorrupt;
+  }
 
   // The stored key material spans several lines; re-read it verbatim and
   // compare against the expected material (guards hash collisions and
@@ -112,13 +138,13 @@ std::optional<PointResult> DiskCache::load(const CacheKey& key) const {
       1 + static_cast<std::size_t>(
               std::count(expected.begin(), expected.end(), '\n'));
   for (std::size_t i = 0; i < material_lines; ++i) {
-    if (!std::getline(file, line)) return std::nullopt;
+    if (!std::getline(file, line)) return CacheLookup::kCorrupt;
     if (i != 0) stored += '\n';
     stored += line;
   }
-  if (stored != expected) return std::nullopt;
+  if (stored != expected) return CacheLookup::kMiss;
 
-  PointResult result;
+  PointResult parsed;
   bool complete = false;
   while (std::getline(file, line)) {
     if (line == "end") {
@@ -126,21 +152,33 @@ std::optional<PointResult> DiskCache::load(const CacheKey& key) const {
       break;
     }
     // "value <name> <exact double>"; name cannot contain spaces.
-    if (!util::starts_with(line, "value ")) return std::nullopt;
+    if (!util::starts_with(line, "value ")) return CacheLookup::kCorrupt;
     const std::string_view rest = std::string_view(line).substr(6);
     const std::size_t sep = rest.rfind(' ');
-    if (sep == std::string_view::npos || sep == 0) return std::nullopt;
+    if (sep == std::string_view::npos || sep == 0) {
+      return CacheLookup::kCorrupt;
+    }
     const std::string name(rest.substr(0, sep));
     double value = 0.0;
     try {
       value = util::parse_double(rest.substr(sep + 1), "cache value");
     } catch (const ConfigError&) {
-      return std::nullopt;
+      return CacheLookup::kCorrupt;
     }
-    if (!result.values.emplace(name, value).second) return std::nullopt;
+    if (!parsed.values.emplace(name, value).second) {
+      return CacheLookup::kCorrupt;
+    }
   }
-  if (!complete) return std::nullopt;  // truncated write — recompute
-  return result;
+  if (!complete) return CacheLookup::kCorrupt;  // truncated — recompute
+  *result = std::move(parsed);
+  return CacheLookup::kHit;
+}
+
+void DiskCache::quarantine(const CacheKey& key) const {
+  const std::string path = entry_path(key);
+  std::error_code ec;
+  fs::rename(path, path + ".quarantined", ec);
+  if (ec) fs::remove(path, ec);  // fallback: at least clear the slot
 }
 
 void DiskCache::store(const CacheKey& key, const PointResult& result) const {
@@ -162,12 +200,18 @@ void DiskCache::store(const CacheKey& key, const PointResult& result) const {
                   "': " + ec.message());
   }
 
-  // Unique temp name per writer thread; rename() then publishes the entry
-  // atomically, so concurrent writers of the same key are benign (last
-  // rename wins with identical content) and an interrupt never leaves a
-  // half-written entry under the final name.
+  // Unique temp name per (process, write): the pid separates concurrent
+  // *processes* sharing one cache directory (thread ids are only unique
+  // within a process, so two processes could previously interleave partial
+  // writes into the same temp file) and the counter separates concurrent
+  // threads and successive writes within this process. rename() then
+  // publishes the entry atomically, so concurrent writers of the same key
+  // are benign (last rename wins with identical content) and an interrupt
+  // never leaves a half-written entry under the final name.
+  static std::atomic<std::uint64_t> write_counter{0};
   std::ostringstream tmp_name;
-  tmp_name << path << ".tmp." << std::this_thread::get_id();
+  tmp_name << path << ".tmp." << process_id() << "."
+           << write_counter.fetch_add(1, std::memory_order_relaxed);
   const std::string tmp = tmp_name.str();
   {
     std::ofstream file(tmp, std::ios::trunc);

@@ -1,0 +1,127 @@
+#include "btmf/robust/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "btmf/robust/failure.h"
+
+namespace btmf::robust {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_journal(const std::string& name) {
+  const fs::path path = fs::path(::testing::TempDir()) / (name + ".wal");
+  fs::remove(path);
+  return path.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(RobustCheckpointTest, EntriesRoundTripIncludingHostileMessages) {
+  const std::string path = fresh_journal("roundtrip");
+  const std::uint64_t identity = 0xabcdef12;
+  {
+    CheckpointJournal journal(path, identity, /*fresh=*/true);
+    journal.append({0, FailureKind::kNone, 1, ""});
+    journal.append({3, FailureKind::kTimeout, 2,
+                    "deadline\nexceeded \\ twice"});
+    journal.append({5, FailureKind::kCrash, 3, "SIGSEGV"});
+    EXPECT_EQ(journal.appended(), 3u);
+  }
+  const std::vector<CheckpointJournal::Entry> entries =
+      CheckpointJournal::load(path, identity);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].index, 0u);
+  EXPECT_EQ(entries[0].kind, FailureKind::kNone);
+  EXPECT_EQ(entries[1].index, 3u);
+  EXPECT_EQ(entries[1].kind, FailureKind::kTimeout);
+  EXPECT_EQ(entries[1].attempts, 2u);
+  EXPECT_EQ(entries[1].message, "deadline\nexceeded \\ twice");
+  EXPECT_EQ(entries[2].kind, FailureKind::kCrash);
+}
+
+TEST(RobustCheckpointTest, MissingJournalLoadsEmpty) {
+  EXPECT_TRUE(CheckpointJournal::load(fresh_journal("absent"), 1).empty());
+}
+
+TEST(RobustCheckpointTest, ForeignIdentityIsIgnoredOnLoad) {
+  const std::string path = fresh_journal("foreign");
+  {
+    CheckpointJournal journal(path, /*identity=*/111, /*fresh=*/true);
+    journal.append({0, FailureKind::kError, 1, "boom"});
+  }
+  EXPECT_TRUE(CheckpointJournal::load(path, /*identity=*/222).empty());
+  EXPECT_EQ(CheckpointJournal::load(path, /*identity=*/111).size(), 1u);
+}
+
+TEST(RobustCheckpointTest, TornTailIsDiscardedNotFatal) {
+  const std::string path = fresh_journal("torn");
+  const std::uint64_t identity = 77;
+  {
+    CheckpointJournal journal(path, identity, /*fresh=*/true);
+    journal.append({0, FailureKind::kNone, 1, ""});
+    journal.append({1, FailureKind::kError, 1, "kept"});
+  }
+  // Simulate a SIGKILL mid-write: a final line with no terminating '\n'.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "point 2 error 1 torn-m";
+  }
+  const std::vector<CheckpointJournal::Entry> entries =
+      CheckpointJournal::load(path, identity);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[1].message, "kept");
+}
+
+TEST(RobustCheckpointTest, GarbageLinesAreSkipped) {
+  const std::string path = fresh_journal("garbage");
+  const std::uint64_t identity = 99;
+  {
+    CheckpointJournal journal(path, identity, /*fresh=*/true);
+    journal.append({0, FailureKind::kTimeout, 1, "kept"});
+  }
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "not a journal line\n";
+    out << "point NaN bogus\n";
+  }
+  const std::vector<CheckpointJournal::Entry> entries =
+      CheckpointJournal::load(path, identity);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].message, "kept");
+}
+
+TEST(RobustCheckpointTest, FreshOpenTruncatesResumeOpenAppends) {
+  const std::string path = fresh_journal("truncate");
+  const std::uint64_t identity = 5;
+  {
+    CheckpointJournal journal(path, identity, /*fresh=*/true);
+    journal.append({0, FailureKind::kError, 1, "old"});
+  }
+  {
+    // Resume open keeps existing entries and appends after them.
+    CheckpointJournal journal(path, identity, /*fresh=*/false);
+    journal.append({1, FailureKind::kError, 1, "new"});
+    EXPECT_EQ(journal.appended(), 1u);  // counts only this object's appends
+  }
+  EXPECT_EQ(CheckpointJournal::load(path, identity).size(), 2u);
+  {
+    // Fresh open wipes the journal and starts over.
+    CheckpointJournal journal(path, identity, /*fresh=*/true);
+  }
+  EXPECT_TRUE(CheckpointJournal::load(path, identity).empty());
+  const std::string bytes = slurp(path);
+  EXPECT_NE(bytes.find("btmf-sweep-journal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace btmf::robust

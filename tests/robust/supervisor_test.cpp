@@ -1,0 +1,183 @@
+#include "btmf/robust/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#endif
+
+#include "btmf/obs/metrics.h"
+#include "btmf/robust/failure.h"
+#include "btmf/robust/watchdog.h"
+#include "btmf/util/error.h"
+
+namespace btmf::robust {
+namespace {
+
+/// Instant-retry options: deterministic tests never sleep real backoff.
+SupervisorOptions instant(unsigned retries) {
+  SupervisorOptions options;
+  options.retry.retries = retries;
+  options.backoff_scale = 0.0;
+  return options;
+}
+
+TEST(RobustSupervisorTest, InactiveOptionsRunInline) {
+  const SupervisorOptions options;  // default: fully inert
+  ASSERT_FALSE(options.active());
+  const auto caller = std::this_thread::get_id();
+  const SuperviseOutcome outcome = supervise(
+      [&](const TaskContext& context) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_EQ(context.attempt, 0u);
+        return Values{{"v", 7.0}};
+      },
+      options, /*key=*/1);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_DOUBLE_EQ(outcome.values.at("v"), 7.0);
+}
+
+TEST(RobustSupervisorTest, InactiveOptionsStillClassifyExceptions) {
+  const SuperviseOutcome outcome = supervise(
+      [](const TaskContext&) -> Values { throw SolverError("diverged"); },
+      SupervisorOptions{}, 1);
+  EXPECT_EQ(outcome.failure.kind, FailureKind::kError);
+  EXPECT_EQ(outcome.failure.message, "diverged");
+  EXPECT_EQ(outcome.attempts, 1u);
+}
+
+TEST(RobustSupervisorTest, RetriesUntilSuccessAndCountsAttempts) {
+  obs::MetricsRegistry metrics;
+  SupervisorOptions options = instant(5);
+  options.metrics = &metrics;
+  const SuperviseOutcome outcome = supervise(
+      [](const TaskContext& context) -> Values {
+        if (context.attempt < 2) throw SolverError("transient");
+        return Values{{"v", static_cast<double>(context.attempt)}};
+      },
+      options, 1);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_DOUBLE_EQ(outcome.values.at("v"), 2.0);
+  const obs::MetricsSnapshot snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.counters.at("robust.retries"), 2u);
+}
+
+TEST(RobustSupervisorTest, ExhaustedRetriesReportTheLastFailure) {
+  const SuperviseOutcome outcome = supervise(
+      [](const TaskContext&) -> Values { throw SolverError("always"); },
+      instant(2), 1);
+  EXPECT_EQ(outcome.failure.kind, FailureKind::kError);
+  EXPECT_EQ(outcome.attempts, 3u);  // 1 try + 2 retries
+}
+
+TEST(RobustSupervisorTest, UnsupportedIsPermanentNoRetry) {
+  std::atomic<int> calls{0};
+  const SuperviseOutcome outcome = supervise(
+      [&](const TaskContext&) -> Values {
+        calls.fetch_add(1);
+        throw ConfigError("shards must be 1");
+      },
+      instant(5), 1);
+  EXPECT_EQ(outcome.failure.kind, FailureKind::kUnsupported);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(RobustSupervisorTest, NonFiniteRejectionIsOptIn) {
+  const Task task = [](const TaskContext& context) {
+    return Values{
+        {"v", context.attempt == 0
+                  ? std::numeric_limits<double>::quiet_NaN()
+                  : 1.25}};
+  };
+  // Default: NaN flows through untouched (bit-compat with old sweeps).
+  const SuperviseOutcome lenient = supervise(task, SupervisorOptions{}, 1);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_TRUE(std::isnan(lenient.values.at("v")));
+  // Opted in: first attempt rejected as kNonFinite, retry recovers.
+  SupervisorOptions strict = instant(1);
+  strict.reject_non_finite = true;
+  const SuperviseOutcome healed = supervise(task, strict, 1);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed.attempts, 2u);
+  EXPECT_DOUBLE_EQ(healed.values.at("v"), 1.25);
+  // And with no retries left it surfaces as the typed failure.
+  SupervisorOptions no_retry;
+  no_retry.reject_non_finite = true;
+  const SuperviseOutcome rejected = supervise(task, no_retry, 1);
+  EXPECT_EQ(rejected.failure.kind, FailureKind::kNonFinite);
+}
+
+TEST(RobustSupervisorTest, TimeoutsCountAndCooperativeRetryRecovers) {
+  obs::MetricsRegistry metrics;
+  SupervisorOptions options = instant(1);
+  options.timeout_s = 0.05;
+  options.grace_s = 5.0;
+  options.metrics = &metrics;
+  const SuperviseOutcome outcome = supervise(
+      [](const TaskContext& context) -> Values {
+        if (context.attempt == 0) {
+          // First attempt: a well-behaved but too-slow loop.
+          CancelToken* token = active_cancel_token();
+          for (int i = 0; i < 10'000; ++i) {
+            if (token != nullptr) token->checkpoint("test.slow");
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          }
+        }
+        return Values{{"v", 3.5}};
+      },
+      options, 1);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.attempts, 2u);
+  EXPECT_EQ(outcome.timeouts, 1u);
+  const obs::MetricsSnapshot snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.counters.at("robust.timeouts"), 1u);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(RobustSupervisorTest, IsolatedCrashIsRetriedInAFreshWorker) {
+  obs::MetricsRegistry metrics;
+  SupervisorOptions options = instant(1);
+  options.isolate = true;
+  options.metrics = &metrics;
+  const SuperviseOutcome outcome = supervise(
+      [](const TaskContext& context) -> Values {
+        // Each attempt forks anew, so branching on the attempt number is
+        // how a "crashes once, then works" worker looks to the parent.
+        if (context.attempt == 0) ::raise(SIGSEGV);
+        return Values{{"v", 9.75}};
+      },
+      options, 1);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.attempts, 2u);
+  EXPECT_EQ(outcome.crashes, 1u);
+  EXPECT_DOUBLE_EQ(outcome.values.at("v"), 9.75);
+  const obs::MetricsSnapshot snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.counters.at("robust.crashes"), 1u);
+}
+#endif
+
+TEST(RobustSupervisorTest, BackoffScaleZeroMakesRetriesInstant) {
+  const auto start = std::chrono::steady_clock::now();
+  SupervisorOptions options = instant(3);
+  options.retry.base_delay_s = 10.0;  // would sleep ~70 s unscaled
+  const SuperviseOutcome outcome = supervise(
+      [](const TaskContext&) -> Values { throw SolverError("always"); },
+      options, 1);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_LT(elapsed, 5.0);
+}
+
+}  // namespace
+}  // namespace btmf::robust

@@ -1,0 +1,106 @@
+#include "btmf/robust/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "btmf/robust/failure.h"
+#include "btmf/util/error.h"
+
+namespace btmf::robust {
+namespace {
+
+TEST(RobustWatchdogTest, NoDeadlineRunsInlineWithoutAToken) {
+  // timeout_s <= 0 must be the zero-overhead path: same thread, no token
+  // installed — indistinguishable from unsupervised code.
+  const auto caller = std::this_thread::get_id();
+  const WatchdogResult result = run_with_deadline(
+      [&] {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_EQ(active_cancel_token(), nullptr);
+        return Values{{"x", 1.5}};
+      },
+      0.0);
+  ASSERT_TRUE(result.failure.ok());
+  EXPECT_FALSE(result.abandoned);
+  EXPECT_DOUBLE_EQ(result.values.at("x"), 1.5);
+}
+
+TEST(RobustWatchdogTest, FastFunctionBeatsTheDeadline) {
+  const WatchdogResult result = run_with_deadline(
+      [] {
+        EXPECT_NE(active_cancel_token(), nullptr);
+        return Values{{"x", 2.0}, {"y", 0.1}};
+      },
+      30.0);
+  ASSERT_TRUE(result.failure.ok());
+  EXPECT_FALSE(result.abandoned);
+  EXPECT_DOUBLE_EQ(result.values.at("y"), 0.1);
+}
+
+TEST(RobustWatchdogTest, CooperativeWorkerUnwindsAsTimeout) {
+  const WatchdogResult result = run_with_deadline(
+      [] {
+        CancelToken* token = active_cancel_token();
+        EXPECT_NE(token, nullptr);
+        // A well-behaved solver loop: polls its cancellation point.
+        for (int i = 0; i < 10'000; ++i) {
+          token->checkpoint("test.loop");
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        return Values{{"never", 0.0}};
+      },
+      0.05, /*grace_s=*/5.0);
+  EXPECT_EQ(result.failure.kind, FailureKind::kTimeout);
+  EXPECT_FALSE(result.abandoned);
+  EXPECT_TRUE(result.values.empty());
+}
+
+TEST(RobustWatchdogTest, UncooperativeWorkerIsAbandoned) {
+  const WatchdogResult result = run_with_deadline(
+      [] {
+        // Never looks at the token: cannot be stopped, only abandoned.
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        return Values{{"late", 1.0}};
+      },
+      0.05, /*grace_s=*/0.05);
+  EXPECT_EQ(result.failure.kind, FailureKind::kTimeout);
+  EXPECT_TRUE(result.abandoned);
+  // Let the runaway worker finish before the test binary exits so leak
+  // checkers see a quiescent process.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+}
+
+TEST(RobustWatchdogTest, ExceptionsClassifyThroughTheWatchdog) {
+  const WatchdogResult unsupported = run_with_deadline(
+      []() -> Values { throw ConfigError("k must be >= 1"); }, 10.0);
+  EXPECT_EQ(unsupported.failure.kind, FailureKind::kUnsupported);
+  EXPECT_EQ(unsupported.failure.message, "k must be >= 1");
+
+  const WatchdogResult solver = run_with_deadline(
+      []() -> Values { throw SolverError("diverged"); }, 10.0);
+  EXPECT_EQ(solver.failure.kind, FailureKind::kError);
+}
+
+TEST(RobustWatchdogTest, ScopedTokenInstallsAndRestores) {
+  EXPECT_EQ(active_cancel_token(), nullptr);
+  CancelToken outer;
+  {
+    ScopedCancelToken outer_guard(&outer);
+    EXPECT_EQ(active_cancel_token(), &outer);
+    CancelToken inner;
+    {
+      ScopedCancelToken inner_guard(&inner);
+      EXPECT_EQ(active_cancel_token(), &inner);
+      inner.cancel();
+      EXPECT_THROW(inner.checkpoint("nested"), CancelledError);
+    }
+    EXPECT_EQ(active_cancel_token(), &outer);
+    EXPECT_NO_THROW(outer.checkpoint("outer"));
+  }
+  EXPECT_EQ(active_cancel_token(), nullptr);
+}
+
+}  // namespace
+}  // namespace btmf::robust

@@ -13,6 +13,7 @@
 
 #include "btmf/sim/faults.h"
 #include "btmf/sim/simulator.h"
+#include "btmf/util/error.h"
 
 namespace btmf::sim {
 namespace {
@@ -103,7 +104,14 @@ TEST_P(ScaleDeterminismTest, BitIdenticalAcrossShardsAndThreads) {
   reference_cfg.kernel_threads = 1;
   const SimResult reference = run_simulation(reference_cfg);
 
-  for (const unsigned shards : {2U, 7U}) {
+  // Faulted runs cannot shard (the fault layer is globally coupled):
+  // shards > 1 with a plan is a typed ConfigError, never a silent
+  // fallback — and the single-shard faulted run must still be
+  // bit-identical across thread counts.
+  const std::vector<unsigned> shard_counts =
+      param.with_faults ? std::vector<unsigned>{1U}
+                        : std::vector<unsigned>{2U, 7U};
+  for (const unsigned shards : shard_counts) {
     for (const unsigned threads : {1U, 4U}) {
       SimConfig c = scale_config(param.scheme, param.with_faults);
       c.shards = shards;
@@ -112,6 +120,11 @@ TEST_P(ScaleDeterminismTest, BitIdenticalAcrossShardsAndThreads) {
                            "shards=" + std::to_string(shards) +
                                " threads=" + std::to_string(threads));
     }
+  }
+  if (param.with_faults) {
+    SimConfig c = scale_config(param.scheme, true);
+    c.shards = 2;
+    EXPECT_THROW(run_simulation(c), ConfigError);
   }
 }
 
@@ -140,14 +153,24 @@ INSTANTIATE_TEST_SUITE_P(
 // The paranoid auditor must hold across the epoch barriers too: every
 // invariant walk (per-shard heaps, live lists, population pools, and the
 // cross-shard epoch clock) runs at each barrier without tripping.
+// (Faulted plans cannot shard, so the sharded paranoid walk runs clean
+// and the faulted one runs on the single-shard decomposed path.)
 TEST(ScaleDeterminismTest, ParanoidAuditCleanUnderSharding) {
-  SimConfig c = scale_config(fluid::SchemeKind::kMtcd, true);
+  SimConfig c = scale_config(fluid::SchemeKind::kMtcd, false);
   c.paranoid = true;
   c.shards = 3;
   c.kernel_threads = 2;
-  SimConfig serial = scale_config(fluid::SchemeKind::kMtcd, true);
+  SimConfig serial = scale_config(fluid::SchemeKind::kMtcd, false);
   expect_bit_identical(run_simulation(serial), run_simulation(c),
                        "paranoid shards=3 threads=2");
+}
+
+TEST(ScaleDeterminismTest, ParanoidAuditCleanFaultedSingleShard) {
+  SimConfig c = scale_config(fluid::SchemeKind::kMtcd, true);
+  c.paranoid = true;
+  SimConfig serial = scale_config(fluid::SchemeKind::kMtcd, true);
+  expect_bit_identical(run_simulation(serial), run_simulation(c),
+                       "paranoid faulted single shard");
 }
 
 }  // namespace
