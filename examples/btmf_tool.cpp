@@ -20,6 +20,7 @@
 #include "btmf/obs/sink.h"
 #include "btmf/robust/escalate.h"
 #include "btmf/robust/failure.h"
+#include "btmf/robust/isolate.h"
 #include "btmf/robust/supervisor.h"
 #include "btmf/sim/faults.h"
 #include "btmf/sim/simulator.h"
@@ -322,6 +323,10 @@ void robust_options_from_cli(const util::ArgParser& parser,
   robust->timeout_s = timeout_s;
   robust->retry.retries = static_cast<unsigned>(retries);
   robust->isolate = parser.get_flag("isolate");
+  // Fail at parse time, not per point: containment was explicitly asked
+  // for, so a platform that cannot provide it must refuse, not degrade.
+  require(!robust->isolate || robust::isolation_supported(),
+          "--isolate requires fork(), which this platform lacks");
   *resume = parser.get_flag("resume");
 }
 

@@ -14,7 +14,19 @@
 // from a cold start (no result memory is shared back except the pipe
 // payload). That is why isolation is opt-in (--isolate) rather than the
 // default. Fork is unavailable on non-POSIX hosts; isolation_supported()
-// gates it and callers fall back to the in-process watchdog.
+// reports that, and run_isolated there returns a typed kUnsupported
+// failure — it never degrades silently to the in-process watchdog.
+//
+// POSIX caveat: sweeps fork from thread-pool workers while sibling threads
+// run arbitrary compute, and after a multithreaded fork() the child may
+// formally only call async-signal-safe functions — yet the child runs a
+// full evaluation (malloc, locks, iostreams). glibc, the supported
+// toolchain, registers atfork handlers that make its allocator usable in
+// the child, and run_isolated serializes its pipe/fork window so
+// concurrent workers cannot leak pipe fds into each other's children. On
+// libcs without such handlers (musl, macOS system libraries) a child can
+// deadlock if a sibling thread held the heap or locale lock at fork time:
+// there, combine --isolate with --jobs 1. See docs/ROBUSTNESS.md.
 #pragma once
 
 #include <functional>

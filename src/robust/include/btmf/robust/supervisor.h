@@ -32,6 +32,8 @@ struct SupervisorOptions {
   double grace_s = 1.0;
   /// Run every attempt in a forked worker subprocess (--isolate): crashes
   /// are contained and reported as kCrash instead of killing the sweep.
+  /// On platforms without fork() an isolate request fails typed as
+  /// kUnsupported — never a silent fallback to the in-process watchdog.
   bool isolate = false;
   RetryPolicy retry{};
   /// Scale factor on backoff sleeps; tests set 0 to make retries instant.
@@ -60,8 +62,12 @@ struct TaskContext {
   unsigned attempt = 0;    ///< 0 = first try, 1 = first retry, ...
 };
 
-/// The supervised computation: must be self-contained (an isolated attempt
-/// runs it in a forked child) and deterministic per (task, attempt).
+/// The supervised computation: must be deterministic per (task, attempt)
+/// and self-contained — capture by value, or reference only
+/// process-lifetime objects. An isolated attempt runs it in a forked
+/// child, and a watchdogged attempt runs a *copy* on a worker thread that,
+/// if abandoned, outlives every caller frame; references to caller locals
+/// become use-after-free the moment a deadline is ignored.
 using Task = std::function<Values(const TaskContext&)>;
 
 struct SuperviseOutcome {

@@ -72,6 +72,14 @@ struct WatchdogResult {
 /// installed; on expiry the token is cancelled and the worker given
 /// `grace_s` to unwind before being abandoned. Exceptions from `fn` are
 /// classified via classify_active_exception().
+///
+/// OWNERSHIP: with a deadline, `fn` must be self-contained — capture by
+/// value, or reference only process-lifetime objects. The worker runs a
+/// *copy* of `fn`, and an abandoned worker keeps executing that copy
+/// after run_with_deadline (and the caller's whole frame, transitively)
+/// has returned; a closure holding references to caller locals is a
+/// use-after-free in exactly the uncooperative-timeout scenario the
+/// watchdog exists for.
 [[nodiscard]] WatchdogResult run_with_deadline(
     const std::function<Values()>& fn, double timeout_s,
     double grace_s = 1.0);

@@ -1,5 +1,6 @@
 #include "btmf/robust/checkpoint.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
@@ -106,6 +107,29 @@ CheckpointJournal::CheckpointJournal(std::string path, std::uint64_t identity,
   }
   std::error_code ec;
   const bool exists = fs::exists(path_, ec) && !ec;
+  if (exists && !truncate) {
+    // A SIGKILL mid-append can leave a torn final line with no trailing
+    // '\n'. load() already discards it, but appending after it would merge
+    // the torn tail and the first new entry into one unparseable line —
+    // which a later load() would then drop, silently recomputing a
+    // journaled failure. Trim back to the last newline before appending.
+    std::ifstream in(path_, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    if (!text.empty() && text.back() != '\n') {
+      const std::size_t last_newline = text.rfind('\n');
+      const std::uintmax_t keep =
+          last_newline == std::string::npos
+              ? 0
+              : static_cast<std::uintmax_t>(last_newline) + 1;
+      fs::resize_file(path_, keep, ec);
+      if (ec) {
+        throw IoError("cannot trim torn tail of checkpoint journal '" +
+                      path_ + "': " + ec.message());
+      }
+    }
+  }
   const bool empty = !exists || truncate ||
                      (fs::file_size(path_, ec) == 0 && !ec);
   auto mode = std::ios::binary | std::ios::out;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -172,23 +173,35 @@ bool isolation_supported() { return true; }
 
 IsolatedOutcome run_isolated(const std::function<Values()>& fn,
                              double timeout_s) {
+  // pipe() -> fork() -> close(write end) is one critical section: if two
+  // pool threads interleave here, thread A's child inherits — and holds
+  // open for its whole evaluation — thread B's pipe write end, so B's
+  // parent never sees EOF and reports a spurious timeout. Serializing the
+  // window guarantees the only stray write end at fork time is the
+  // child's own, and keeps the multithreaded-fork surface minimal (see
+  // the header note on POSIX fork semantics).
+  static std::mutex fork_mutex;
   int fds[2];
-  if (::pipe(fds) != 0) {
-    throw IoError(std::string("pipe for isolation worker failed: ") +
-                  std::strerror(errno));
-  }
-  const pid_t pid = ::fork();
-  if (pid < 0) {
-    ::close(fds[0]);
+  pid_t pid;
+  {
+    const std::lock_guard<std::mutex> lock(fork_mutex);
+    if (::pipe(fds) != 0) {
+      throw IoError(std::string("pipe for isolation worker failed: ") +
+                    std::strerror(errno));
+    }
+    pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      throw IoError(std::string("fork for isolation worker failed: ") +
+                    std::strerror(errno));
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      child_main(fds[1], fn);  // never returns
+    }
     ::close(fds[1]);
-    throw IoError(std::string("fork for isolation worker failed: ") +
-                  std::strerror(errno));
   }
-  if (pid == 0) {
-    ::close(fds[0]);
-    child_main(fds[1], fn);  // never returns
-  }
-  ::close(fds[1]);
 
   IsolatedOutcome outcome;
   std::string report;

@@ -21,13 +21,23 @@ namespace {
 /// One attempt: inline, watchdogged, or isolated, per the options.
 IsolatedOutcome run_attempt(const Task& task, const TaskContext& context,
                             const SupervisorOptions& options) {
-  const auto compute = [&task, context] { return task(context); };
   IsolatedOutcome outcome;
-  if (options.isolate && isolation_supported()) {
-    outcome = run_isolated(compute, options.timeout_s);
+  if (options.isolate) {
+    // Always route an isolate request through run_isolated: on a platform
+    // without fork() it returns a typed kUnsupported failure instead of
+    // silently degrading to the in-process watchdog the user explicitly
+    // asked to avoid. The child shares this address space, so capturing
+    // the task by reference is safe here.
+    outcome = run_isolated([&task, context] { return task(context); },
+                           options.timeout_s);
   } else {
+    // The watchdog worker can be abandoned (detached) and outlive every
+    // caller frame, so the closure it runs must own the Task by value —
+    // a runaway thread then executes a private copy of the whole task
+    // chain, never freed caller memory.
     const WatchdogResult watched =
-        run_with_deadline(compute, options.timeout_s, options.grace_s);
+        run_with_deadline([task, context] { return task(context); },
+                          options.timeout_s, options.grace_s);
     outcome.failure = watched.failure;
     outcome.values = watched.values;
   }

@@ -55,8 +55,9 @@ WatchdogResult run_with_deadline(const std::function<Values()>& fn,
   }
 
   auto state = std::make_shared<SharedRun>();
-  // `fn` is captured by value: an abandoned worker outlives the caller's
-  // stack frame, so it must not reference the caller's std::function.
+  // The worker owns a copy of `fn`. Together with the header's ownership
+  // contract (self-contained closures all the way down the task chain),
+  // this means an abandoned worker only ever touches memory it owns.
   std::thread worker([state, fn] {
     Failure failure;
     Values values;

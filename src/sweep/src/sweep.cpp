@@ -219,12 +219,17 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       }
     } else {
       util::Stopwatch point_timer;
+      // The task owns everything it touches (point and compute functions
+      // by value): a watchdog worker that ignores cancellation is detached
+      // and can outlive this frame — and run_sweep itself — so it must
+      // never hold references into `spec` or `outcome`.
       const robust::Task task =
-          [&spec, &outcome](const robust::TaskContext& context) {
-            PointResult result =
-                context.attempt > 0 && spec.compute_retry
-                    ? spec.compute_retry(outcome.point, context.attempt)
-                    : spec.compute(outcome.point);
+          [point = outcome.point, compute = spec.compute,
+           compute_retry =
+               spec.compute_retry](const robust::TaskContext& context) {
+            PointResult result = context.attempt > 0 && compute_retry
+                                     ? compute_retry(point, context.attempt)
+                                     : compute(point);
             return std::move(result.values);
           };
       const std::uint64_t task_key =

@@ -82,6 +82,36 @@ TEST(RobustCheckpointTest, TornTailIsDiscardedNotFatal) {
   EXPECT_EQ(entries[1].message, "kept");
 }
 
+TEST(RobustCheckpointTest, ResumeTrimsTornTailBeforeAppending) {
+  const std::string path = fresh_journal("torn-append");
+  const std::uint64_t identity = 42;
+  {
+    CheckpointJournal journal(path, identity, /*fresh=*/true);
+    journal.append({0, FailureKind::kError, 1, "kept"});
+  }
+  // SIGKILL mid-append: a final line with no terminating '\n'.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "point 1 error 1 torn-tail";
+  }
+  // A resumed run must not let its first append merge with the torn tail
+  // into one unparseable line (which a later resume would then drop,
+  // recomputing the journaled failure).
+  {
+    CheckpointJournal journal(path, identity, /*fresh=*/false);
+    journal.append({2, FailureKind::kTimeout, 1, "after-resume"});
+  }
+  const std::vector<CheckpointJournal::Entry> entries =
+      CheckpointJournal::load(path, identity);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].message, "kept");
+  EXPECT_EQ(entries[1].index, 2u);
+  EXPECT_EQ(entries[1].kind, FailureKind::kTimeout);
+  EXPECT_EQ(entries[1].message, "after-resume");
+  // The torn bytes are gone from the file, not just skipped by load().
+  EXPECT_EQ(slurp(path).find("torn-tail"), std::string::npos);
+}
+
 TEST(RobustCheckpointTest, GarbageLinesAreSkipped) {
   const std::string path = fresh_journal("garbage");
   const std::uint64_t identity = 99;

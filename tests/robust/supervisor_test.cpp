@@ -142,6 +142,35 @@ TEST(RobustSupervisorTest, TimeoutsCountAndCooperativeRetryRecovers) {
   EXPECT_EQ(snapshot.counters.at("robust.timeouts"), 1u);
 }
 
+TEST(RobustSupervisorTest, AbandonedAttemptSurvivesTaskTeardown) {
+  // Regression: supervise() must hand the watchdog an owning copy of the
+  // Task — after abandonment the caller destroys the Task (and whatever
+  // it captured) while the runaway worker is still executing it. ASan
+  // flags a reference-capture regression here as a use-after-free.
+  static std::atomic<bool> worker_done{false};
+  worker_done = false;
+  SupervisorOptions options;
+  options.timeout_s = 0.05;
+  options.grace_s = 0.05;
+  SuperviseOutcome outcome;
+  {
+    const std::string payload(1024, 'y');
+    const Task task = [payload](const TaskContext&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      Values values{{"len", static_cast<double>(payload.size())}};
+      worker_done = true;
+      return values;
+    };
+    outcome = supervise(task, options, /*key=*/1);
+  }  // the Task and its captures die while the abandoned worker runs
+  EXPECT_EQ(outcome.failure.kind, FailureKind::kTimeout);
+  EXPECT_EQ(outcome.timeouts, 1u);
+  for (int i = 0; i < 200 && !worker_done; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(worker_done);
+}
+
 #if defined(__unix__) || defined(__APPLE__)
 TEST(RobustSupervisorTest, IsolatedCrashIsRetriedInAFreshWorker) {
   obs::MetricsRegistry metrics;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <functional>
+#include <string>
 #include <thread>
 
 #include "btmf/robust/failure.h"
@@ -70,6 +73,36 @@ TEST(RobustWatchdogTest, UncooperativeWorkerIsAbandoned) {
   // Let the runaway worker finish before the test binary exits so leak
   // checkers see a quiescent process.
   std::this_thread::sleep_for(std::chrono::milliseconds(500));
+}
+
+TEST(RobustWatchdogTest, AbandonedWorkerOwnsItsTaskChain) {
+  // Regression: an abandoned worker runs a *copy* of `fn` after the
+  // caller's frame — including the original std::function and everything
+  // it captured — is gone. Under ASan a capture-by-reference regression
+  // anywhere in the chain turns this test into a hard use-after-free.
+  static std::atomic<bool> worker_done{false};
+  worker_done = false;
+  WatchdogResult result;
+  {
+    const std::string payload(1024, 'x');  // heap-backed caller local
+    const std::function<Values()> fn = [payload] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      // Touched after the caller's scope below has been destroyed.
+      Values values{{"len", static_cast<double>(payload.size())}};
+      worker_done = true;
+      return values;
+    };
+    result = run_with_deadline(fn, 0.05, /*grace_s=*/0.05);
+  }  // `payload` and `fn` die here while the abandoned worker still runs
+  EXPECT_EQ(result.failure.kind, FailureKind::kTimeout);
+  EXPECT_TRUE(result.abandoned);
+  // Let the runaway worker finish its copy of the chain before the test
+  // ends, so the access above actually happens (and quiesces for leak
+  // checkers).
+  for (int i = 0; i < 200 && !worker_done; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(worker_done);
 }
 
 TEST(RobustWatchdogTest, ExceptionsClassifyThroughTheWatchdog) {

@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <string>
+#include <thread>
 
 #include "btmf/obs/metrics.h"
+#include "btmf/robust/failure.h"
 #include "btmf/util/error.h"
 
 namespace btmf::sweep {
@@ -220,6 +224,43 @@ TEST(SweepEngine, MalformedSpecThrows) {
 TEST(SweepEngine, ResultAtOutOfRangeThrows) {
   const SweepResult sweep = run_sweep(arithmetic_spec());
   EXPECT_THROW((void)sweep.result_at(sweep.num_points()), ConfigError);
+}
+
+TEST(SweepEngine, AbandonedPointOutlivesSpecAndResultSafely) {
+  // Regression for the abandoned-worker use-after-free: a point that
+  // ignores its deadline is abandoned, run_sweep returns, and the spec
+  // and result go out of scope while the runaway thread still executes
+  // the task chain. The chain is copied by value end to end, so under
+  // ASan this passes; a reference capture of `spec`/`outcome` anywhere
+  // in sweep/supervisor/watchdog would fault here.
+  static std::atomic<bool> worker_done{false};
+  worker_done = false;
+  {
+    SweepSpec spec;
+    spec.name = "abandon";
+    spec.grid.axis("x", {2.0});
+    spec.fingerprint = "abandon-v1";
+    spec.compute = [](const GridPoint& point) {
+      // Never polls the cancel token: can only be abandoned.
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      PointResult result;
+      result.values["v"] = point.at("x");
+      worker_done = true;
+      return result;
+    };
+    SweepOptions options;
+    options.robust.timeout_s = 0.05;
+    options.robust.grace_s = 0.05;
+    const SweepResult sweep = run_sweep(spec, options);
+    ASSERT_EQ(sweep.num_points(), 1u);
+    EXPECT_EQ(sweep.points[0].status, PointStatus::kFailed);
+    EXPECT_EQ(sweep.points[0].failure, robust::FailureKind::kTimeout);
+    EXPECT_EQ(sweep.timeouts, 1u);
+  }  // spec (compute fn) and the result the task referenced die here
+  for (int i = 0; i < 200 && !worker_done; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(worker_done);
 }
 
 }  // namespace
