@@ -10,11 +10,16 @@
 // layer: one ScenarioSpec built from the shared CLI options, dispatched
 // to any registered backend via --backend (see --list-backends and
 // docs/BACKENDS.md). Every subcommand accepts --help.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "btmf/core/version.h"
 #include "btmf/fluid/adapt_fluid.h"
 #include "btmf/model/backend.h"
 #include "btmf/obs/sink.h"
@@ -22,8 +27,12 @@
 #include "btmf/robust/failure.h"
 #include "btmf/robust/isolate.h"
 #include "btmf/robust/supervisor.h"
+#include "btmf/serve/client.h"
+#include "btmf/serve/daemon.h"
+#include "btmf/serve/protocol.h"
 #include "btmf/sim/faults.h"
 #include "btmf/sim/simulator.h"
+#include "btmf/sweep/cache.h"
 #include "btmf/sweep/reproduce.h"
 #include "btmf/sweep/sweep.h"
 #include "btmf/util/cli.h"
@@ -598,10 +607,182 @@ int cmd_reproduce(int argc, const char* const* argv) {
   return passed == total ? 0 : 1;
 }
 
+// --- serve / query / version ----------------------------------------------
+
+/// Set by SIGTERM/SIGINT; the serve loop polls it and drains.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop_requested = 1; }
+
+int cmd_serve(int argc, const char* const* argv) {
+  util::ArgParser parser(
+      "btmf_tool serve",
+      "run the evaluation daemon: evaluate/sweep requests over a socket, "
+      "warm hits from the disk cache, duplicates coalesced "
+      "(see docs/SERVE.md)");
+  parser.add_option("listen", ".btmf-serve.sock",
+                    "endpoint: unix:<path> or tcp:<host>:<port> "
+                    "(tcp port 0 = ephemeral, printed on startup)");
+  parser.add_option("cache-dir", ".btmf-sweep-cache",
+                    "content-addressed result cache ('' = uncached)");
+  parser.add_option("workers", "4",
+                    "evaluation worker threads (0 = one per core)");
+  parser.add_option("queue-depth", "128",
+                    "bounded evaluation queue; a full queue answers a "
+                    "typed 'overloaded' error instead of queueing");
+  parser.add_option("max-connections", "64",
+                    "concurrent client connections admitted");
+  parser.add_option("timeout-s", "0",
+                    "per-evaluation wall-clock deadline (0 = none)");
+  parser.add_option("retries", "0",
+                    "supervisor retries per evaluation (escalating solver "
+                    "tolerances where the backend allows)");
+  parser.add_flag("isolate",
+                  "run each evaluation in a forked worker subprocess "
+                  "(a crashing request is contained, not fatal)");
+  if (!parser.parse(argc, argv)) return 0;
+
+  serve::DaemonOptions options;
+  options.endpoint = serve::Endpoint::parse(parser.get("listen"));
+  options.cache_dir = parser.get("cache-dir");
+  const long long workers = parser.get_int("workers");
+  require(workers >= 0, "--workers must be non-negative");
+  options.workers = static_cast<std::size_t>(workers);
+  options.queue_depth = positive_count(parser, "queue-depth");
+  options.max_connections = positive_count(parser, "max-connections");
+  const double timeout_s = parser.get_double("timeout-s");
+  require(timeout_s >= 0.0, "--timeout-s must be non-negative");
+  options.robust.timeout_s = timeout_s;
+  const long long retries = parser.get_int("retries");
+  require(retries >= 0, "--retries must be non-negative");
+  options.robust.retry.retries = static_cast<unsigned>(retries);
+  options.robust.isolate = parser.get_flag("isolate");
+  require(!options.robust.isolate || robust::isolation_supported(),
+          "--isolate requires fork(), which this platform lacks");
+
+  serve::Daemon daemon(std::move(options));
+  daemon.start();
+  std::cout << "serving on " << daemon.endpoint().describe() << " (salt "
+            << serve::handshake_salt() << "); SIGTERM drains\n"
+            << std::flush;
+
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "draining...\n" << std::flush;
+  daemon.drain();
+  const obs::MetricsSnapshot snapshot = daemon.stats();
+  const auto counter = [&snapshot](const char* name) -> std::uint64_t {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0 : it->second;
+  };
+  std::cout << "served " << counter("serve.requests") << " requests — "
+            << counter("serve.cache_hit") << " cache hits, "
+            << counter("serve.coalesced") << " coalesced, "
+            << counter("serve.evaluations") << " evaluations, "
+            << counter("serve.overload") << " overloads\n";
+  return 0;
+}
+
+int cmd_query(int argc, const char* const* argv) {
+  util::ArgParser parser(
+      "btmf_tool query",
+      "query a running serve daemon: one evaluation, an axis sweep, "
+      "--stats, or --ping");
+  parser.add_option("connect", ".btmf-serve.sock",
+                    "daemon endpoint: unix:<path> or tcp:<host>:<port>");
+  add_spec_options(parser, "fluid-equilibrium");
+  parser.add_option("horizon", "6000",
+                    "time horizon (fluid-transient and the simulators)");
+  parser.add_option("seed", "42", "RNG seed (stochastic backends)");
+  parser.add_option("axis", "",
+                    "sweep this axis instead of one evaluation "
+                    "(p|rho|lambda0|mu|eta|gamma|cheaters|theta|horizon|"
+                    "seed)");
+  parser.add_option("values", "",
+                    "comma-separated axis values for --axis");
+  parser.add_flag("stats", "print the daemon's metrics JSON and exit");
+  parser.add_flag("ping", "liveness probe and exit");
+  if (!parser.parse(argc, argv)) return 0;
+  if (parser.get_flag("list-backends")) return list_backends();
+
+  serve::Client client =
+      serve::Client::connect(serve::Endpoint::parse(parser.get("connect")));
+  if (parser.get_flag("ping")) {
+    client.ping();
+    std::cout << "pong\n";
+    return 0;
+  }
+  if (parser.get_flag("stats")) {
+    std::cout << client.stats_json() << '\n';
+    return 0;
+  }
+
+  model::ScenarioSpec spec = spec_from_cli(parser);
+  spec.horizon = parser.get_double("horizon");
+  spec.warmup = spec.horizon * 0.25;
+  const long long seed = parser.get_int("seed");
+  require(seed >= 0, "--seed must be non-negative");
+  spec.seed = static_cast<std::uint64_t>(seed);
+  spec.validate();
+  const std::string backend = parser.get("backend");
+
+  const auto print_reply = [](const serve::EvalReply& reply) {
+    if (!reply.ok) {
+      std::cout << "error [" << serve::to_string(reply.code) << "] "
+                << reply.message << '\n';
+      return false;
+    }
+    for (const auto& [name, value] : reply.values) {
+      std::cout << name << " = " << util::format_double_exact(value) << '\n';
+    }
+    return true;
+  };
+
+  const std::string axis = parser.get("axis");
+  if (axis.empty()) {
+    require(parser.get("values").empty(), "--values requires --axis");
+    const serve::EvalReply reply = client.evaluate(backend, spec);
+    if (reply.ok) {
+      std::cout << (reply.cached ? "[cache hit]"
+                                 : reply.coalesced ? "[coalesced]"
+                                                   : "[computed]")
+                << '\n';
+    }
+    return print_reply(reply) ? 0 : 1;
+  }
+
+  std::vector<double> values;
+  for (const std::string& token :
+       util::split(parser.get("values"), ',')) {
+    values.push_back(util::parse_double(util::trim(token), "--values"));
+  }
+  require(!values.empty(), "--axis requires a non-empty --values list");
+  const std::vector<serve::EvalReply> replies =
+      client.sweep(backend, axis, values, spec);
+  bool all_ok = true;
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    std::cout << axis << " = " << util::format_double(values[i], 6) << ":\n";
+    if (!print_reply(replies[i])) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}
+
+int cmd_version() {
+  std::cout << "btmf " << kVersionString << '\n'
+            << "cache format: v" << sweep::kCacheFormatVersion << " (salt "
+            << sweep::cache_format_salt() << ")\n"
+            << "serve protocol: " << serve::kProtocolVersion << '\n';
+  return 0;
+}
+
 void print_usage() {
   std::cout << "btmf_tool — multiple-file BitTorrent downloading analysis\n"
                "usage: btmf_tool "
-               "<evaluate|simulate|sweep|adapt|reproduce> [options]\n"
+               "<evaluate|simulate|sweep|adapt|reproduce|serve|query|version>"
+               " [options]\n"
                "       btmf_tool <subcommand> --help for details\n";
 }
 
@@ -633,6 +814,15 @@ int main(int argc, char** argv) {
     }
     if (subcommand == "reproduce") {
       return cmd_reproduce(static_cast<int>(args.size()), args.data());
+    }
+    if (subcommand == "serve") {
+      return cmd_serve(static_cast<int>(args.size()), args.data());
+    }
+    if (subcommand == "query") {
+      return cmd_query(static_cast<int>(args.size()), args.data());
+    }
+    if (subcommand == "version" || subcommand == "--version") {
+      return cmd_version();
     }
     if (subcommand == "--help" || subcommand == "-h") {
       print_usage();

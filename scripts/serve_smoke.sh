@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the serve daemon through the btmf_tool CLI:
+#
+#   1. start `btmf_tool serve` on a unix socket with a fresh cache
+#   2. fire concurrent duplicate queries (coalescing window) + a warm
+#      repeat, and assert the serve.* metrics prove what happened:
+#      exactly one backend evaluation for the duplicates, at least one
+#      cache hit for the repeat
+#   3. fire queries, then SIGTERM the daemon mid-load and assert it
+#      drains: every in-flight query still gets its answer, the daemon
+#      exits 0, and the socket file is gone
+#
+# Usage: scripts/serve_smoke.sh <path-to-btmf_tool> <scratch-dir>
+set -euo pipefail
+
+TOOL=${1:?usage: serve_smoke.sh <btmf_tool> <scratch-dir>}
+SCRATCH=${2:?usage: serve_smoke.sh <btmf_tool> <scratch-dir>}
+
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+SOCK="$SCRATCH/daemon.sock"
+CACHE="$SCRATCH/cache"
+
+"$TOOL" serve --listen "unix:$SOCK" --cache-dir "$CACHE" \
+  > "$SCRATCH/serve.log" 2>&1 &
+DAEMON=$!
+trap 'kill -9 $DAEMON 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "FAIL: daemon never bound $SOCK"; cat "$SCRATCH/serve.log"; exit 1; }
+
+"$TOOL" query --connect "unix:$SOCK" --ping
+
+# --- concurrent duplicates: one computation, N answers ----------------------
+PIDS=()
+for i in $(seq 1 8); do
+  "$TOOL" query --connect "unix:$SOCK" --backend kernel-sim \
+    --scheme cmfsd --p 0.9 --rho 0.1 --lambda0 20 --horizon 15000 --seed 7 \
+    > "$SCRATCH/dup.$i.out" 2>&1 &
+  PIDS+=($!)
+done
+for pid in "${PIDS[@]}"; do
+  wait "$pid" || { echo "FAIL: a duplicate query failed"; cat "$SCRATCH"/dup.*.out; exit 1; }
+done
+# All eight answers must be identical (the coalescing contract), modulo
+# the [computed]/[coalesced]/[cache hit] provenance tag on line 1.
+for i in $(seq 2 8); do
+  diff <(tail -n +2 "$SCRATCH/dup.1.out") <(tail -n +2 "$SCRATCH/dup.$i.out") \
+    || { echo "FAIL: duplicate query $i answered differently"; exit 1; }
+done
+
+# Warm repeat: must be served from the cache.
+"$TOOL" query --connect "unix:$SOCK" --backend kernel-sim \
+  --scheme cmfsd --p 0.9 --rho 0.1 --lambda0 20 --horizon 15000 --seed 7 \
+  | grep -q "cache hit" || { echo "FAIL: warm repeat was not a cache hit"; exit 1; }
+
+"$TOOL" query --connect "unix:$SOCK" --stats > "$SCRATCH/stats.json"
+python3 - "$SCRATCH/stats.json" <<'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+evals = counters["serve.evaluations"]
+hits = counters["serve.cache_hit"]
+coalesced = counters["serve.coalesced"]
+assert evals == 1, f"8 duplicate queries cost {evals} evaluations, want 1"
+assert hits >= 1, f"warm repeat did not hit the cache (hits={hits})"
+assert coalesced + hits >= 7, (
+    f"duplicates neither coalesced nor cache-served "
+    f"(coalesced={coalesced}, hits={hits})")
+print(f"metrics ok: evaluations={evals} coalesced={coalesced} hits={hits}")
+EOF
+
+# --- SIGTERM drain: in-flight queries keep their answers --------------------
+PIDS=()
+for i in $(seq 1 4); do
+  "$TOOL" query --connect "unix:$SOCK" --backend kernel-sim \
+    --scheme cmfsd --p 0.5 --rho 0.2 --lambda0 20 --horizon 8000 --seed "$((100 + i))" \
+    > "$SCRATCH/drain.$i.out" 2>&1 &
+  PIDS+=($!)
+done
+sleep 0.2  # let the queries reach the daemon before the TERM
+kill -TERM "$DAEMON"
+for pid in "${PIDS[@]}"; do
+  wait "$pid" || { echo "FAIL: an in-flight query lost its response to the drain"; cat "$SCRATCH"/drain.*.out; exit 1; }
+done
+wait "$DAEMON" || { echo "FAIL: daemon did not exit cleanly after SIGTERM"; cat "$SCRATCH/serve.log"; exit 1; }
+trap - EXIT
+[ ! -e "$SOCK" ] || { echo "FAIL: drain left the socket file behind"; exit 1; }
+
+echo "PASS: serve smoke (coalescing, cache hits, SIGTERM drain)"

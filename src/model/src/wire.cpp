@@ -1,0 +1,204 @@
+#include "btmf/model/wire.h"
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "btmf/util/error.h"
+#include "btmf/util/strings.h"
+
+namespace btmf::model {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& why) {
+  throw ConfigError("spec wire decode: " + why);
+}
+
+double to_double(std::string_view s, std::string_view what) {
+  return util::parse_double(s, what);
+}
+
+bool to_bool(std::string_view s, std::string_view what) {
+  if (s == "0") return false;
+  if (s == "1") return true;
+  malformed(std::string(what) + " must be 0 or 1, got '" + std::string(s) +
+            "'");
+}
+
+long long to_count(std::string_view s, std::string_view what,
+                   long long min_value) {
+  const long long v = util::parse_int(s, what);
+  if (v < min_value) {
+    malformed(std::string(what) + " must be >= " + std::to_string(min_value));
+  }
+  return v;
+}
+
+std::vector<std::string> fields_of(std::string_view value,
+                                   std::string_view what, std::size_t n) {
+  const std::vector<std::string> fields = util::split(value, ',');
+  if (fields.size() != n) {
+    malformed(std::string(what) + " expects " + std::to_string(n) +
+              " comma-separated fields, got " +
+              std::to_string(fields.size()));
+  }
+  return fields;
+}
+
+std::vector<double> double_list(std::string_view value,
+                                std::string_view what) {
+  std::vector<double> out;
+  if (value.empty()) return out;
+  for (const std::string& field : util::split(value, ',')) {
+    out.push_back(to_double(field, what));
+  }
+  return out;
+}
+
+/// Parses the fault fingerprint: a concatenation of "name(a,b,...)"
+/// segments, in declaration order — exactly what fault_fingerprint in
+/// spec.cpp emits.
+sim::FaultPlan parse_faults(std::string_view value) {
+  sim::FaultPlan plan;
+  std::string_view rest = value;
+  while (!rest.empty()) {
+    const std::size_t open = rest.find('(');
+    const std::size_t close = rest.find(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      malformed("faults segment '" + std::string(rest) +
+                "' is not name(args)");
+    }
+    const std::string_view name = rest.substr(0, open);
+    const std::string_view args = rest.substr(open + 1, close - open - 1);
+    if (name == "tracker") {
+      const auto f = fields_of(args, "faults tracker", 4);
+      sim::TrackerOutageFault fault;
+      fault.start = to_double(f[0], "tracker start");
+      fault.duration = to_double(f[1], "tracker duration");
+      fault.drop = to_bool(f[2], "tracker drop");
+      fault.readmit_rate = to_double(f[3], "tracker readmit_rate");
+      plan.tracker_outages.push_back(fault);
+    } else if (name == "seed") {
+      const auto f = fields_of(args, "faults seed", 2);
+      sim::SeedFailureFault fault;
+      fault.start = to_double(f[0], "seed start");
+      fault.duration = to_double(f[1], "seed duration");
+      plan.seed_failures.push_back(fault);
+    } else if (name == "churn") {
+      const auto f = fields_of(args, "faults churn", 4);
+      sim::ChurnBurstFault fault;
+      fault.time = to_double(f[0], "churn time");
+      fault.kill_fraction = to_double(f[1], "churn kill_fraction");
+      fault.progress_loss = to_double(f[2], "churn progress_loss");
+      fault.backoff_rate = to_double(f[3], "churn backoff_rate");
+      plan.churn_bursts.push_back(fault);
+    } else if (name == "bw") {
+      const auto f = fields_of(args, "faults bw", 3);
+      sim::BandwidthFault fault;
+      fault.start = to_double(f[0], "bw start");
+      fault.duration = to_double(f[1], "bw duration");
+      fault.scale = to_double(f[2], "bw scale");
+      plan.bandwidth_faults.push_back(fault);
+    } else {
+      malformed("unknown fault kind '" + std::string(name) + "'");
+    }
+    rest.remove_prefix(close + 1);
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::string encode_spec(const ScenarioSpec& spec) {
+  return spec.fingerprint();
+}
+
+ScenarioSpec decode_spec(std::string_view wire) {
+  // Gather key=value tokens; duplicates and unknowns are structural errors.
+  std::map<std::string, std::string> fields;
+  for (const std::string& token : util::split(wire, ';')) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      malformed("token '" + token + "' is not key=value");
+    }
+    if (!fields.emplace(token.substr(0, eq), token.substr(eq + 1)).second) {
+      malformed("duplicate key '" + token.substr(0, eq) + "'");
+    }
+  }
+  const auto take = [&fields](const char* key) {
+    const auto it = fields.find(key);
+    if (it == fields.end()) {
+      malformed("missing key '" + std::string(key) + "'");
+    }
+    std::string value = it->second;
+    fields.erase(it);
+    return value;
+  };
+
+  ScenarioSpec spec;
+  spec.num_files =
+      static_cast<unsigned>(to_count(take("k"), "k", 1));
+  spec.correlation = to_double(take("p"), "p");
+  spec.visit_rate = to_double(take("lambda0"), "lambda0");
+  spec.fluid.mu = to_double(take("mu"), "mu");
+  spec.fluid.eta = to_double(take("eta"), "eta");
+  spec.fluid.gamma = to_double(take("gamma"), "gamma");
+  spec.scheme = fluid::scheme_from_string(take("scheme"));
+  spec.rho = to_double(take("rho"), "rho");
+  spec.rho_per_class = double_list(take("rho_per_class"), "rho_per_class");
+
+  {
+    const auto f = fields_of(take("solver"), "solver", 6);
+    spec.solver.residual_tol = to_double(f[0], "solver residual_tol");
+    spec.solver.chunk_time = to_double(f[1], "solver chunk_time");
+    spec.solver.chunk_growth = to_double(f[2], "solver chunk_growth");
+    spec.solver.max_chunks =
+        static_cast<std::size_t>(to_count(f[3], "solver max_chunks", 1));
+    spec.solver.polish_with_newton = to_bool(f[4], "solver polish");
+    spec.solver.clamp_nonnegative = to_bool(f[5], "solver clamp");
+  }
+  {
+    const auto f = fields_of(take("ode"), "ode", 6);
+    spec.solver.ode.rtol = to_double(f[0], "ode rtol");
+    spec.solver.ode.atol = to_double(f[1], "ode atol");
+    spec.solver.ode.initial_dt = to_double(f[2], "ode initial_dt");
+    spec.solver.ode.max_dt = to_double(f[3], "ode max_dt");
+    spec.solver.ode.max_steps =
+        static_cast<std::size_t>(to_count(f[4], "ode max_steps", 1));
+    spec.solver.ode.clamp_nonnegative = to_bool(f[5], "ode clamp");
+  }
+  spec.transient_samples =
+      static_cast<std::size_t>(to_count(take("samples"), "samples", 2));
+  spec.horizon = to_double(take("horizon"), "horizon");
+  spec.warmup = to_double(take("warmup"), "warmup");
+  spec.seed =
+      static_cast<std::uint64_t>(to_count(take("seed"), "seed", 0));
+  spec.cheater_fraction = to_double(take("cheaters"), "cheaters");
+  spec.abort_rate = to_double(take("theta"), "theta");
+  {
+    const auto f = fields_of(take("adapt"), "adapt", 8);
+    spec.adapt.enabled = to_bool(f[0], "adapt enabled");
+    spec.adapt.initial_rho = to_double(f[1], "adapt initial_rho");
+    spec.adapt.period = to_double(f[2], "adapt period");
+    spec.adapt.phi_lo = to_double(f[3], "adapt phi_lo");
+    spec.adapt.phi_hi = to_double(f[4], "adapt phi_hi");
+    spec.adapt.step_up = to_double(f[5], "adapt step_up");
+    spec.adapt.step_down = to_double(f[6], "adapt step_down");
+    spec.adapt.consecutive =
+        static_cast<unsigned>(to_count(f[7], "adapt consecutive", 0));
+  }
+  spec.faults = parse_faults(take("faults"));
+  spec.num_chunks =
+      static_cast<unsigned>(to_count(take("chunks"), "chunks", 1));
+
+  if (!fields.empty()) {
+    malformed("unknown key '" + fields.begin()->first +
+              "' (client/daemon generation mismatch?)");
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace btmf::model

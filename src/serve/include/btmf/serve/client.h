@@ -1,0 +1,73 @@
+// Client for the serve protocol: connect, handshake, query.
+//
+// One Client wraps one connection and performs the hello/welcome version
+// handshake (protocol version + DiskCache format salt) in connect().
+// Requests are synchronous — evaluate()/sweep()/stats_json()/ping() each
+// send one frame and block for the response frame. Typed daemon refusals
+// (overloaded, draining, unsupported, failed) come back as data in
+// EvalReply, NOT as exceptions, so callers can branch on the code; only
+// transport/grammar trouble throws (btmf::IoError, serve::ProtocolError)
+// and only an incompatible daemon throws btmf::ConfigError from connect().
+// Clients wanting parallelism open several Clients; the daemon coalesces
+// identical in-flight work across all of them.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "btmf/model/spec.h"
+#include "btmf/serve/protocol.h"
+#include "btmf/serve/socket.h"
+
+namespace btmf::serve {
+
+/// One evaluation's reply: values on success, a typed code otherwise.
+struct EvalReply {
+  bool ok = false;
+  bool cached = false;     ///< daemon answered straight from its DiskCache
+  bool coalesced = false;  ///< joined an identical in-flight computation
+  std::map<std::string, double> values;
+  ErrorCode code = ErrorCode::kFailed;  ///< meaningful when !ok
+  std::string message;
+
+  [[nodiscard]] double at(const std::string& name) const;
+};
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Connects and handshakes. Throws btmf::IoError when the endpoint is
+  /// unreachable and btmf::ConfigError when the daemon's protocol version
+  /// or cache salt differs from ours.
+  static Client connect(const Endpoint& endpoint);
+
+  /// Evaluates `spec` on the named backend. Typed daemon-side failures
+  /// (overloaded, draining, failed, unsupported) land in the reply.
+  [[nodiscard]] EvalReply evaluate(const std::string& backend,
+                                   const model::ScenarioSpec& spec);
+
+  /// Evaluates `spec` once per axis value (one request frame, one
+  /// response frame; per-point errors are independent).
+  [[nodiscard]] std::vector<EvalReply> sweep(
+      const std::string& backend, const std::string& axis,
+      const std::vector<double>& values, const model::ScenarioSpec& spec);
+
+  /// The daemon's metrics snapshot as JSON (serve.qps etc. refreshed).
+  [[nodiscard]] std::string stats_json();
+
+  /// Round-trip liveness probe; throws on any non-pong answer.
+  void ping();
+
+  void close() { socket_.close(); }
+
+ private:
+  /// One request frame out, one response frame back. A clean daemon-side
+  /// close mid-request is an IoError (the response was lost).
+  Response roundtrip(const std::string& payload);
+
+  Socket socket_;
+};
+
+}  // namespace btmf::serve

@@ -1,0 +1,111 @@
+// The evaluation daemon: a long-running server for evaluate/sweep traffic.
+//
+// Request path (docs/SERVE.md):
+//
+//   handshake -> parse -> cache probe -> coalesce -> worker pool -> respond
+//
+//  * Warm hits are answered straight from the content-addressed DiskCache
+//    on the connection handler thread — no queueing, no worker dispatch.
+//    The cache key is the same "backend=<name>|<fingerprint>" material the
+//    sweep engine uses, so a daemon and a batch run share one memoization
+//    layer (and the handshake salt guarantees the client agrees on it).
+//  * A miss is keyed by that material into the in-flight table: duplicate
+//    concurrent requests — across all connections — coalesce onto one
+//    computation and each receives the one result. N identical requests
+//    cost exactly one backend evaluation.
+//  * Misses dispatch to a fixed worker pool behind a bounded queue.
+//    Admission control is typed, not implicit: a full queue answers
+//    `error overloaded` immediately (backpressure, never unbounded memory)
+//    and a draining daemon answers `error draining`.
+//  * Every computation runs under the btmf::robust supervisor — watchdog
+//    deadline, retry-with-escalation, optional fork isolation — so one
+//    poisoned request (crash, hang, solver blowup) is contained, reported
+//    as a typed per-request failure, and cannot take the daemon down.
+//  * drain() (SIGTERM in btmf_tool serve) stops accepting work, finishes
+//    every in-flight evaluation, delivers every pending response, then
+//    closes connections and joins all threads. No accepted request loses
+//    its response.
+//
+// Observability: serve.* metrics (requests, cache_hit, cache_miss,
+// coalesced, evaluations, overload, errors, connections, the
+// serve.latency_seconds histogram, and serve.qps / serve.p99 gauges
+// refreshed by stats()) through a MetricsRegistry owned by the daemon and
+// exported over the wire via the `stats` request.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "btmf/model/spec.h"
+#include "btmf/obs/metrics.h"
+#include "btmf/robust/failure.h"
+#include "btmf/robust/supervisor.h"
+#include "btmf/serve/socket.h"
+
+namespace btmf::serve {
+
+/// The computation behind a cache miss. Must be pure per (backend, spec)
+/// and self-contained (it may run on an abandoned watchdog thread or in a
+/// forked child — capture by value or reference process-lifetime state
+/// only; see robust/supervisor.h). The default evaluates through the
+/// model backend registry. Tests and benches inject their own to count
+/// evaluations, add latency, or crash on purpose.
+using EvalFn = std::function<robust::Values(const std::string& backend,
+                                            const model::ScenarioSpec& spec)>;
+
+/// The registry-backed default: require_backend(backend)
+/// .evaluate_or_throw(spec), reduced to the headline values
+/// {avg_online_per_file, avg_download_per_file, avg_online_per_user}.
+[[nodiscard]] robust::Values default_eval(const std::string& backend,
+                                          const model::ScenarioSpec& spec);
+
+struct DaemonOptions {
+  Endpoint endpoint;               ///< where to listen
+  std::string cache_dir;           ///< "" disables the disk cache
+  std::size_t workers = 4;         ///< evaluation threads (0 = one per core)
+  std::size_t queue_depth = 128;   ///< bounded; full => typed overload
+  std::size_t max_connections = 64;
+  /// Per-evaluation supervision (deadline, retries, fork isolation).
+  /// Retries escalate solver tolerances via robust::escalate_spec.
+  robust::SupervisorOptions robust{};
+  EvalFn eval;                     ///< null = default_eval
+};
+
+class Daemon {
+ public:
+  /// Validates options; does not touch the network yet.
+  explicit Daemon(DaemonOptions options);
+  /// Drains first if still running.
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds, listens, and spawns the accept loop + worker pool. Throws
+  /// btmf::IoError when the endpoint cannot be bound and btmf::ConfigError
+  /// on unsupported platforms or option misuse.
+  void start();
+
+  /// Graceful shutdown: stop accepting, finish every in-flight
+  /// evaluation, deliver every pending response, close connections, join
+  /// all threads. Idempotent; returns once fully stopped.
+  void drain();
+
+  [[nodiscard]] bool draining() const;
+
+  /// The bound endpoint (tcp port 0 resolved to the real port).
+  [[nodiscard]] const Endpoint& endpoint() const;
+
+  /// The daemon's metrics registry (valid for the daemon's lifetime).
+  [[nodiscard]] obs::MetricsRegistry& metrics();
+
+  /// Snapshot with serve.qps / serve.p99 gauges refreshed — what the
+  /// `stats` request returns as JSON.
+  [[nodiscard]] obs::MetricsSnapshot stats();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace btmf::serve

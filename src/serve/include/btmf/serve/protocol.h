@@ -1,0 +1,157 @@
+// The serve wire protocol: length-prefixed frames of line-oriented text.
+//
+// Every message is one frame: a 4-byte big-endian payload length followed
+// by that many bytes of UTF-8 text. The first payload line names the verb;
+// subsequent lines carry fields. Doubles travel in exact round-trip form
+// (util::format_double_exact) and scenario specs in their canonical wire
+// encoding (model/wire.h — the spec fingerprint itself), so a value that
+// crosses the socket is bit-identical on both sides.
+//
+// A connection begins with a version handshake: the client sends
+// `hello <protocol-version> <salt>` where the salt is the DiskCache format
+// salt (sweep::cache_format_salt()). The daemon replies `welcome` only
+// when both match its own; otherwise it answers a typed
+// `error version-mismatch` and closes. The salt — cache format version +
+// library version — is exactly the key material prefix of every cache
+// entry, so a successful handshake guarantees client and daemon agree on
+// every content-addressed key (and on every model output, since the
+// library version is folded in).
+//
+// After the handshake the connection is a synchronous request/response
+// stream: one request frame, one response frame, repeat. Clients wanting
+// concurrency open multiple connections (the daemon coalesces duplicate
+// in-flight work across all of them). Frame-level garbage — a torn
+// header, an oversized length, an unparseable payload — is a
+// ProtocolError; the daemon answers `error bad-request` where it still
+// can and closes the connection. See docs/SERVE.md for the full grammar.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "btmf/model/spec.h"
+#include "btmf/util/error.h"
+
+namespace btmf::serve {
+
+/// Bumped on any framing or grammar change. Checked (alongside the cache
+/// salt) in the handshake.
+inline constexpr int kProtocolVersion = 1;
+
+/// Upper bound on one frame's payload. A length header above this is
+/// treated as garbage (ProtocolError), not an allocation request — the
+/// framing layer can never be talked into OOM by four bad bytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Upper bound on one sweep request's axis values (bounds response size
+/// and per-request queue pressure; larger sweeps batch client-side).
+inline constexpr std::size_t kMaxSweepValues = 1024;
+
+/// Malformed bytes on the wire: bad frame header, oversized length,
+/// truncated payload, unparseable message grammar.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// The handshake token: the DiskCache format salt (cache.h), i.e.
+/// "v<cache-format>/<library-version>".
+[[nodiscard]] std::string handshake_salt();
+
+// --- requests (client -> daemon) ------------------------------------------
+
+enum class RequestKind { kHello, kEvaluate, kSweep, kStats, kPing };
+
+struct Request {
+  RequestKind kind = RequestKind::kPing;
+  // hello
+  int protocol_version = 0;
+  std::string salt;
+  // evaluate / sweep
+  std::string backend;
+  model::ScenarioSpec spec;
+  // sweep: evaluate `spec` once per value of the named axis
+  std::string axis;
+  std::vector<double> values;
+};
+
+[[nodiscard]] std::string encode_hello();
+[[nodiscard]] std::string encode_evaluate(const std::string& backend,
+                                          const model::ScenarioSpec& spec);
+[[nodiscard]] std::string encode_sweep(const std::string& backend,
+                                       const std::string& axis,
+                                       const std::vector<double>& values,
+                                       const model::ScenarioSpec& spec);
+[[nodiscard]] std::string encode_stats();
+[[nodiscard]] std::string encode_ping();
+
+/// Parses a request payload; throws ProtocolError on malformed grammar
+/// and btmf::ConfigError when an embedded spec fails to decode/validate.
+[[nodiscard]] Request parse_request(std::string_view payload);
+
+// --- responses (daemon -> client) -----------------------------------------
+
+/// Typed rejection codes. kOverloaded and kDraining are the admission-
+/// control outcomes: the daemon sheds load with a one-frame answer instead
+/// of queueing unboundedly (docs/SERVE.md, "Overload semantics").
+enum class ErrorCode {
+  kBadRequest,       ///< unparseable or ill-formed request
+  kVersionMismatch,  ///< handshake protocol version or cache salt differs
+  kUnsupported,      ///< typed capability refusal (backend/spec mismatch)
+  kFailed,           ///< evaluation failed (solver error, crash, timeout)
+  kOverloaded,       ///< admission control: queue or connection limit hit
+  kDraining,         ///< daemon is shutting down; no new work accepted
+};
+
+/// Stable kebab-case tokens ("bad-request", ...); round-trip through
+/// error_code_from_string (which throws ProtocolError on unknown input).
+[[nodiscard]] const char* to_string(ErrorCode code);
+[[nodiscard]] ErrorCode error_code_from_string(std::string_view token);
+
+enum class ResponseKind { kWelcome, kOk, kSweepOk, kStatsOk, kPong, kError };
+
+/// One sweep point's reply: either values or a typed per-point error
+/// (a single slow/broken point must not poison its siblings).
+struct PointReply {
+  bool ok = false;
+  std::map<std::string, double> values;
+  ErrorCode code = ErrorCode::kFailed;
+  std::string message;
+};
+
+struct Response {
+  ResponseKind kind = ResponseKind::kError;
+  // welcome
+  int protocol_version = 0;
+  std::string salt;
+  // ok (evaluate)
+  bool cached = false;     ///< served straight from the disk cache
+  bool coalesced = false;  ///< attached to an identical in-flight request
+  std::map<std::string, double> values;
+  // sweep-ok
+  std::vector<PointReply> points;
+  // stats-ok
+  std::string stats_json;
+  // error
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string message;
+};
+
+[[nodiscard]] std::string encode_welcome();
+[[nodiscard]] std::string encode_ok(
+    const std::map<std::string, double>& values, bool cached,
+    bool coalesced);
+[[nodiscard]] std::string encode_sweep_ok(
+    const std::vector<PointReply>& points);
+[[nodiscard]] std::string encode_stats_ok(const std::string& json);
+[[nodiscard]] std::string encode_pong();
+[[nodiscard]] std::string encode_error(ErrorCode code,
+                                       const std::string& message);
+
+/// Parses a response payload; throws ProtocolError on malformed grammar.
+[[nodiscard]] Response parse_response(std::string_view payload);
+
+}  // namespace btmf::serve

@@ -1,0 +1,121 @@
+// Minimal RAII sockets + length-prefixed framing for the serve protocol.
+//
+// Endpoints are Unix-domain sockets ("unix:/path" or a bare path — the
+// deployment default: filesystem permissions are the access control) or
+// loopback-friendly TCP ("tcp:host:port"). Frames are a 4-byte big-endian
+// payload length followed by the payload; read_frame() distinguishes a
+// clean peer close (nullopt, EOF on a frame boundary) from a torn frame
+// (EOF mid-header or mid-payload) and from a garbage length header (zero
+// or beyond kMaxFrameBytes) — both of the latter throw ProtocolError, so
+// the framing layer can never be driven into a huge allocation or a
+// half-read message. All blocking I/O retries EINTR and writes with
+// SIGPIPE suppressed; OS-level failures throw btmf::IoError.
+//
+// POSIX-only (like robust's fork isolation): serve_supported() reports
+// availability, and every entry point on an unsupported platform throws a
+// typed btmf::ConfigError instead of degrading silently.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "btmf/serve/protocol.h"
+
+namespace btmf::serve {
+
+/// Whether this platform has the sockets the serve subsystem needs.
+[[nodiscard]] bool serve_supported();
+
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< unix
+  std::string host;  ///< tcp
+  int port = 0;      ///< tcp; 0 = ephemeral (Listener reports the real one)
+
+  /// "unix:<path>", "tcp:<host>:<port>", or a bare filesystem path
+  /// (treated as unix). Throws btmf::ConfigError on malformed input.
+  static Endpoint parse(std::string_view text);
+
+  /// Canonical "unix:..." / "tcp:host:port" rendering.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// One connected stream socket (move-only; closes on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Writes one length-prefixed frame. Throws ProtocolError when the
+  /// payload exceeds kMaxFrameBytes, btmf::IoError on socket failure.
+  void write_frame(std::string_view payload);
+
+  /// Reads one frame. nullopt = clean close on a frame boundary;
+  /// ProtocolError = torn frame or garbage length; IoError = OS failure.
+  [[nodiscard]] std::optional<std::string> read_frame();
+
+  /// Half-closes both directions, waking a peer (or our own thread)
+  /// blocked in read_frame. Safe on an already-closed socket.
+  void shutdown_both();
+
+  /// Half-closes the read side only: a thread blocked in read_frame sees
+  /// a clean EOF while already-composed responses can still be written —
+  /// what a graceful drain needs (no accepted request loses its reply).
+  void shutdown_read();
+
+  void close();
+
+  /// Connects to `endpoint`; throws btmf::IoError on failure.
+  static Socket connect_to(const Endpoint& endpoint);
+
+  /// A connected AF_UNIX socket pair (for protocol tests).
+  static std::pair<Socket, Socket> pair();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket bound to an Endpoint.
+class Listener {
+ public:
+  Listener() = default;
+  Listener(Listener&&) noexcept;
+  Listener& operator=(Listener&&) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  /// Binds and listens. A unix endpoint unlinks a stale socket file left
+  /// by a crashed daemon before binding; a tcp endpoint with port 0 binds
+  /// an ephemeral port (readable from endpoint().port afterwards).
+  static Listener listen_on(const Endpoint& endpoint);
+
+  /// Accepts one connection, waiting at most `timeout_s` (poll-based so a
+  /// draining daemon can re-check its stop flag). nullopt on timeout.
+  [[nodiscard]] std::optional<Socket> accept_once(double timeout_s);
+
+  /// The bound endpoint (tcp port resolved to the real one).
+  [[nodiscard]] const Endpoint& endpoint() const { return endpoint_; }
+
+  /// Closes the listening socket; a unix endpoint's socket file is
+  /// unlinked. Safe to call twice.
+  void close();
+
+ private:
+  int fd_ = -1;
+  Endpoint endpoint_;
+};
+
+}  // namespace btmf::serve

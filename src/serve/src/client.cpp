@@ -1,0 +1,110 @@
+#include "btmf/serve/client.h"
+
+#include <utility>
+
+#include "btmf/util/error.h"
+
+namespace btmf::serve {
+namespace {
+
+EvalReply reply_from(const Response& response) {
+  EvalReply reply;
+  if (response.kind == ResponseKind::kOk) {
+    reply.ok = true;
+    reply.cached = response.cached;
+    reply.coalesced = response.coalesced;
+    reply.values = response.values;
+  } else if (response.kind == ResponseKind::kError) {
+    reply.code = response.code;
+    reply.message = response.message;
+  } else {
+    throw ProtocolError("unexpected response kind to evaluate");
+  }
+  return reply;
+}
+
+}  // namespace
+
+double EvalReply::at(const std::string& name) const {
+  const auto it = values.find(name);
+  if (it == values.end())
+    throw ConfigError("reply has no value named '" + name + "'");
+  return it->second;
+}
+
+Client Client::connect(const Endpoint& endpoint) {
+  Client client;
+  client.socket_ = Socket::connect_to(endpoint);
+  const Response response = client.roundtrip(encode_hello());
+  if (response.kind == ResponseKind::kError) {
+    throw ConfigError("daemon refused handshake (" +
+                      std::string(to_string(response.code)) +
+                      "): " + response.message);
+  }
+  if (response.kind != ResponseKind::kWelcome)
+    throw ProtocolError("expected welcome to hello");
+  return client;
+}
+
+EvalReply Client::evaluate(const std::string& backend,
+                           const model::ScenarioSpec& spec) {
+  return reply_from(roundtrip(encode_evaluate(backend, spec)));
+}
+
+std::vector<EvalReply> Client::sweep(const std::string& backend,
+                                     const std::string& axis,
+                                     const std::vector<double>& values,
+                                     const model::ScenarioSpec& spec) {
+  const Response response =
+      roundtrip(encode_sweep(backend, axis, values, spec));
+  if (response.kind == ResponseKind::kError) {
+    // A whole-request refusal (overloaded, draining, bad axis) applies to
+    // every point equally.
+    std::vector<EvalReply> replies(values.size());
+    for (auto& reply : replies) {
+      reply.code = response.code;
+      reply.message = response.message;
+    }
+    return replies;
+  }
+  if (response.kind != ResponseKind::kSweepOk)
+    throw ProtocolError("unexpected response kind to sweep");
+  if (response.points.size() != values.size())
+    throw ProtocolError("sweep response point count mismatch");
+  std::vector<EvalReply> replies(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const PointReply& point = response.points[i];
+    replies[i].ok = point.ok;
+    replies[i].values = point.values;
+    replies[i].code = point.code;
+    replies[i].message = point.message;
+  }
+  return replies;
+}
+
+std::string Client::stats_json() {
+  const Response response = roundtrip(encode_stats());
+  if (response.kind == ResponseKind::kError)
+    throw ConfigError("stats refused (" +
+                      std::string(to_string(response.code)) +
+                      "): " + response.message);
+  if (response.kind != ResponseKind::kStatsOk)
+    throw ProtocolError("unexpected response kind to stats");
+  return response.stats_json;
+}
+
+void Client::ping() {
+  const Response response = roundtrip(encode_ping());
+  if (response.kind != ResponseKind::kPong)
+    throw ProtocolError("unexpected response kind to ping");
+}
+
+Response Client::roundtrip(const std::string& payload) {
+  socket_.write_frame(payload);
+  std::optional<std::string> frame = socket_.read_frame();
+  if (!frame)
+    throw IoError("daemon closed the connection before responding");
+  return parse_response(*frame);
+}
+
+}  // namespace btmf::serve

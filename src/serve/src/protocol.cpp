@@ -1,0 +1,390 @@
+#include "btmf/serve/protocol.h"
+
+#include <cstddef>
+
+#include "btmf/model/wire.h"
+#include "btmf/robust/failure.h"
+#include "btmf/sweep/cache.h"
+#include "btmf/util/strings.h"
+
+namespace btmf::serve {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& why) {
+  throw ProtocolError("serve protocol: " + why);
+}
+
+/// Tokens embedded mid-line (backend names, value names) must not carry
+/// the characters the line grammar uses as separators.
+void check_token(std::string_view token, std::string_view what) {
+  if (token.empty()) {
+    malformed(std::string(what) + " must be non-empty");
+  }
+  if (token.find_first_of(" \n=,") != std::string_view::npos) {
+    malformed(std::string(what) + " '" + std::string(token) +
+              "' must not contain spaces, newlines, '=' or ','");
+  }
+}
+
+/// Splits a payload into lines, tolerating one trailing newline.
+std::vector<std::string> payload_lines(std::string_view payload) {
+  std::vector<std::string> lines = util::split(payload, '\n');
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.empty()) malformed("empty payload");
+  return lines;
+}
+
+/// Splits `line` on single spaces into exactly `n` words.
+std::vector<std::string> words_of(const std::string& line, std::size_t n,
+                                  std::string_view what) {
+  const std::vector<std::string> words = util::split(line, ' ');
+  if (words.size() != n) {
+    malformed(std::string(what) + " expects " + std::to_string(n) +
+              " words, got '" + line + "'");
+  }
+  return words;
+}
+
+/// First word of `line`; `rest` receives everything after it ("" when the
+/// line is a single word).
+std::string head_word(const std::string& line, std::string* rest) {
+  const std::size_t space = line.find(' ');
+  if (space == std::string::npos) {
+    *rest = "";
+    return line;
+  }
+  *rest = line.substr(space + 1);
+  return line.substr(0, space);
+}
+
+double wire_double(std::string_view text, std::string_view what) {
+  try {
+    return util::parse_double(text, what);
+  } catch (const ConfigError& error) {
+    malformed(error.what());
+  }
+}
+
+int wire_version(std::string_view text) {
+  try {
+    const long long v = util::parse_int(text, "protocol version");
+    if (v < 0 || v > 1'000'000) malformed("protocol version out of range");
+    return static_cast<int>(v);
+  } catch (const ConfigError& error) {
+    malformed(error.what());
+  }
+}
+
+bool wire_bool(const std::string& assignment, std::string_view key) {
+  const std::string prefix = std::string(key) + "=";
+  if (!util::starts_with(assignment, prefix)) {
+    malformed("expected '" + prefix + "0|1', got '" + assignment + "'");
+  }
+  const std::string_view value =
+      std::string_view(assignment).substr(prefix.size());
+  if (value == "0") return false;
+  if (value == "1") return true;
+  malformed("expected '" + prefix + "0|1', got '" + assignment + "'");
+}
+
+std::map<std::string, double> parse_value_csv(std::string_view csv) {
+  std::map<std::string, double> values;
+  if (csv.empty()) return values;
+  for (const std::string& field : util::split(csv, ',')) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      malformed("point value '" + field + "' is not name=value");
+    }
+    if (!values
+             .emplace(field.substr(0, eq),
+                      wire_double(std::string_view(field).substr(eq + 1),
+                                  "point value"))
+             .second) {
+      malformed("duplicate point value name in '" + field + "'");
+    }
+  }
+  return values;
+}
+
+std::string value_csv(const std::map<std::string, double>& values) {
+  std::string out;
+  for (const auto& [name, value] : values) {
+    check_token(name, "value name");
+    if (!out.empty()) out += ',';
+    out += name;
+    out += '=';
+    out += util::format_double_exact(value);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string handshake_salt() { return sweep::cache_format_salt(); }
+
+// --- requests --------------------------------------------------------------
+
+std::string encode_hello() {
+  return "hello " + std::to_string(kProtocolVersion) + ' ' +
+         handshake_salt() + '\n';
+}
+
+std::string encode_evaluate(const std::string& backend,
+                            const model::ScenarioSpec& spec) {
+  check_token(backend, "backend name");
+  return "evaluate " + backend + "\nspec " + model::encode_spec(spec) + '\n';
+}
+
+std::string encode_sweep(const std::string& backend, const std::string& axis,
+                         const std::vector<double>& values,
+                         const model::ScenarioSpec& spec) {
+  check_token(backend, "backend name");
+  check_token(axis, "axis name");
+  if (values.empty()) malformed("sweep needs at least one axis value");
+  if (values.size() > kMaxSweepValues) {
+    malformed("sweep axis exceeds " + std::to_string(kMaxSweepValues) +
+              " values (batch client-side)");
+  }
+  std::string out = "sweep " + backend + ' ' + axis + "\nvalues ";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    out += util::format_double_exact(values[i]);
+  }
+  out += "\nspec " + model::encode_spec(spec) + '\n';
+  return out;
+}
+
+std::string encode_stats() { return "stats\n"; }
+
+std::string encode_ping() { return "ping\n"; }
+
+Request parse_request(std::string_view payload) {
+  const std::vector<std::string> lines = payload_lines(payload);
+  std::string rest;
+  const std::string verb = head_word(lines[0], &rest);
+
+  Request request;
+  if (verb == "hello") {
+    const auto words = words_of(lines[0], 3, "hello");
+    request.kind = RequestKind::kHello;
+    request.protocol_version = wire_version(words[1]);
+    request.salt = words[2];
+    return request;
+  }
+  if (verb == "ping") {
+    request.kind = RequestKind::kPing;
+    return request;
+  }
+  if (verb == "stats") {
+    request.kind = RequestKind::kStats;
+    return request;
+  }
+
+  const auto spec_line = [&lines](std::size_t index) {
+    if (lines.size() <= index ||
+        !util::starts_with(lines[index], "spec ")) {
+      malformed("missing 'spec <wire>' line");
+    }
+    return model::decode_spec(
+        std::string_view(lines[index]).substr(5));
+  };
+
+  if (verb == "evaluate") {
+    const auto words = words_of(lines[0], 2, "evaluate");
+    request.kind = RequestKind::kEvaluate;
+    request.backend = words[1];
+    request.spec = spec_line(1);
+    if (lines.size() != 2) malformed("evaluate expects 2 lines");
+    return request;
+  }
+  if (verb == "sweep") {
+    const auto words = words_of(lines[0], 3, "sweep");
+    request.kind = RequestKind::kSweep;
+    request.backend = words[1];
+    request.axis = words[2];
+    if (lines.size() != 3 || !util::starts_with(lines[1], "values ")) {
+      malformed("sweep expects 'values <csv>' then 'spec <wire>'");
+    }
+    for (const std::string& field :
+         util::split(std::string_view(lines[1]).substr(7), ',')) {
+      request.values.push_back(wire_double(field, "sweep axis value"));
+    }
+    if (request.values.empty() || request.values.size() > kMaxSweepValues) {
+      malformed("sweep axis must carry 1.." +
+                std::to_string(kMaxSweepValues) + " values");
+    }
+    request.spec = spec_line(2);
+    return request;
+  }
+  malformed("unknown request verb '" + verb + "'");
+}
+
+// --- responses -------------------------------------------------------------
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kVersionMismatch: return "version-mismatch";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kFailed: return "failed";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDraining: return "draining";
+  }
+  return "bad-request";
+}
+
+ErrorCode error_code_from_string(std::string_view token) {
+  for (const ErrorCode code :
+       {ErrorCode::kBadRequest, ErrorCode::kVersionMismatch,
+        ErrorCode::kUnsupported, ErrorCode::kFailed, ErrorCode::kOverloaded,
+        ErrorCode::kDraining}) {
+    if (token == to_string(code)) return code;
+  }
+  malformed("unknown error code '" + std::string(token) + "'");
+}
+
+std::string encode_welcome() {
+  return "welcome " + std::to_string(kProtocolVersion) + ' ' +
+         handshake_salt() + '\n';
+}
+
+std::string encode_ok(const std::map<std::string, double>& values,
+                      bool cached, bool coalesced) {
+  std::string out = "ok cached=";
+  out += cached ? '1' : '0';
+  out += " coalesced=";
+  out += coalesced ? '1' : '0';
+  out += '\n';
+  for (const auto& [name, value] : values) {
+    check_token(name, "value name");
+    out += "value " + name + ' ' + util::format_double_exact(value) + '\n';
+  }
+  return out;
+}
+
+std::string encode_sweep_ok(const std::vector<PointReply>& points) {
+  std::string out = "sweep-ok " + std::to_string(points.size()) + '\n';
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointReply& point = points[i];
+    out += "point " + std::to_string(i) + ' ';
+    if (point.ok) {
+      out += "ok " + value_csv(point.values);
+    } else {
+      out += "error " + std::string(to_string(point.code)) + ' ' +
+             robust::escape_line(point.message);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string encode_stats_ok(const std::string& json) {
+  return "stats-ok\njson " + robust::escape_line(json) + '\n';
+}
+
+std::string encode_pong() { return "pong\n"; }
+
+std::string encode_error(ErrorCode code, const std::string& message) {
+  return "error " + std::string(to_string(code)) + ' ' +
+         robust::escape_line(message) + '\n';
+}
+
+Response parse_response(std::string_view payload) {
+  const std::vector<std::string> lines = payload_lines(payload);
+  std::string rest;
+  const std::string verb = head_word(lines[0], &rest);
+
+  Response response;
+  if (verb == "welcome") {
+    const auto words = words_of(lines[0], 3, "welcome");
+    response.kind = ResponseKind::kWelcome;
+    response.protocol_version = wire_version(words[1]);
+    response.salt = words[2];
+    return response;
+  }
+  if (verb == "pong") {
+    response.kind = ResponseKind::kPong;
+    return response;
+  }
+  if (verb == "ok") {
+    const auto words = words_of(lines[0], 3, "ok");
+    response.kind = ResponseKind::kOk;
+    response.cached = wire_bool(words[1], "cached");
+    response.coalesced = wire_bool(words[2], "coalesced");
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      const auto value_words = words_of(lines[i], 3, "value");
+      if (value_words[0] != "value") {
+        malformed("expected 'value <name> <double>', got '" + lines[i] +
+                  "'");
+      }
+      if (!response.values
+               .emplace(value_words[1],
+                        wire_double(value_words[2], "value"))
+               .second) {
+        malformed("duplicate value name '" + value_words[1] + "'");
+      }
+    }
+    return response;
+  }
+  if (verb == "sweep-ok") {
+    const auto words = words_of(lines[0], 2, "sweep-ok");
+    response.kind = ResponseKind::kSweepOk;
+    std::size_t count = 0;
+    try {
+      count = static_cast<std::size_t>(
+          util::parse_int(words[1], "sweep-ok count"));
+    } catch (const ConfigError& error) {
+      malformed(error.what());
+    }
+    if (count != lines.size() - 1 || count > kMaxSweepValues) {
+      malformed("sweep-ok count mismatches its point lines");
+    }
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      std::string after_point;
+      if (head_word(lines[i], &after_point) != "point") {
+        malformed("expected 'point ...', got '" + lines[i] + "'");
+      }
+      std::string after_index;
+      const std::string index = head_word(after_point, &after_index);
+      if (index != std::to_string(i - 1)) {
+        malformed("point lines must be in order; got index '" + index +
+                  "'");
+      }
+      std::string detail;
+      const std::string status = head_word(after_index, &detail);
+      PointReply point;
+      if (status == "ok") {
+        point.ok = true;
+        point.values = parse_value_csv(detail);
+      } else if (status == "error") {
+        std::string message;
+        point.code = error_code_from_string(head_word(detail, &message));
+        point.message = robust::unescape_line(message);
+      } else {
+        malformed("point status must be ok|error, got '" + status + "'");
+      }
+      response.points.push_back(std::move(point));
+    }
+    return response;
+  }
+  if (verb == "stats-ok") {
+    if (lines.size() != 2 || !util::starts_with(lines[1], "json ")) {
+      malformed("stats-ok expects a 'json <escaped>' line");
+    }
+    response.kind = ResponseKind::kStatsOk;
+    response.stats_json =
+        robust::unescape_line(std::string_view(lines[1]).substr(5));
+    return response;
+  }
+  if (verb == "error") {
+    std::string message;
+    response.kind = ResponseKind::kError;
+    response.code = error_code_from_string(head_word(rest, &message));
+    response.message = robust::unescape_line(message);
+    return response;
+  }
+  malformed("unknown response verb '" + verb + "'");
+}
+
+}  // namespace btmf::serve

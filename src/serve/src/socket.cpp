@@ -1,0 +1,363 @@
+#include "btmf/serve/socket.h"
+
+#include <cstring>
+
+#include "btmf/util/error.h"
+#include "btmf/util/strings.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BTMF_SERVE_POSIX 1
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define BTMF_SERVE_POSIX 0
+#endif
+
+namespace btmf::serve {
+
+bool serve_supported() { return BTMF_SERVE_POSIX != 0; }
+
+Endpoint Endpoint::parse(std::string_view text) {
+  Endpoint endpoint;
+  if (util::starts_with(text, "unix:")) {
+    endpoint.kind = Kind::kUnix;
+    endpoint.path = std::string(text.substr(5));
+  } else if (util::starts_with(text, "tcp:")) {
+    const std::string_view rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      throw ConfigError("tcp endpoint must be tcp:<host>:<port>, got '" +
+                        std::string(text) + "'");
+    }
+    endpoint.kind = Kind::kTcp;
+    endpoint.host = std::string(rest.substr(0, colon));
+    const long long port =
+        util::parse_int(rest.substr(colon + 1), "tcp port");
+    if (port < 0 || port > 65535) {
+      throw ConfigError("tcp port must lie in [0, 65535]");
+    }
+    endpoint.port = static_cast<int>(port);
+  } else {
+    endpoint.kind = Kind::kUnix;
+    endpoint.path = std::string(text);
+  }
+  if (endpoint.kind == Kind::kUnix && endpoint.path.empty()) {
+    throw ConfigError("unix endpoint path must be non-empty");
+  }
+  return endpoint;
+}
+
+std::string Endpoint::describe() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ':' + std::to_string(port);
+}
+
+#if BTMF_SERVE_POSIX
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw IoError("serve socket: " + what + ": " +
+                std::string(std::strerror(errno)));
+}
+
+/// Blocking read of exactly `len` bytes. Returns bytes read before EOF
+/// (== len when complete); throws IoError on an OS error.
+std::size_t read_exact(int fd, char* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, buf + done, len - done);
+    if (n == 0) return done;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("read failed");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+void write_all(int fd, const char* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+#if defined(MSG_NOSIGNAL)
+    const ssize_t n = ::send(fd, buf + done, len - done, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::write(fd, buf + done, len - done);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("write failed");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw ConfigError("unix socket path '" + path + "' exceeds " +
+                      std::to_string(sizeof(addr.sun_path) - 1) + " bytes");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::write_frame(std::string_view payload) {
+  if (!valid()) io_fail("write on closed socket (errno stale)");
+  if (payload.size() > kMaxFrameBytes) {
+    throw ProtocolError("serve protocol: outgoing frame of " +
+                        std::to_string(payload.size()) +
+                        " bytes exceeds the frame limit");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char header[4] = {static_cast<char>((len >> 24) & 0xff),
+                    static_cast<char>((len >> 16) & 0xff),
+                    static_cast<char>((len >> 8) & 0xff),
+                    static_cast<char>(len & 0xff)};
+  write_all(fd_, header, sizeof(header));
+  write_all(fd_, payload.data(), payload.size());
+}
+
+std::optional<std::string> Socket::read_frame() {
+  char header[4];
+  const std::size_t got = read_exact(fd_, header, sizeof(header));
+  if (got == 0) return std::nullopt;  // clean close between frames
+  if (got < sizeof(header)) {
+    throw ProtocolError("serve protocol: torn frame header (" +
+                        std::to_string(got) + " of 4 bytes)");
+  }
+  const std::uint32_t len =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]));
+  if (len == 0 || len > kMaxFrameBytes) {
+    throw ProtocolError(
+        "serve protocol: frame length " + std::to_string(len) +
+        " outside (0, " + std::to_string(kMaxFrameBytes) + "]");
+  }
+  std::string payload(len, '\0');
+  const std::size_t body = read_exact(fd_, payload.data(), len);
+  if (body < len) {
+    throw ProtocolError("serve protocol: truncated frame (" +
+                        std::to_string(body) + " of " + std::to_string(len) +
+                        " payload bytes)");
+  }
+  return payload;
+}
+
+void Socket::shutdown_both() {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::shutdown_read() {
+  if (valid()) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect_to(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) io_fail("socket(AF_UNIX) failed");
+    Socket sock(fd);
+    const sockaddr_un addr = unix_address(endpoint.path);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      io_fail("connect to '" + endpoint.describe() + "' failed");
+    }
+    return sock;
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const std::string port = std::to_string(endpoint.port);
+  const int rc =
+      ::getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &found);
+  if (rc != 0) {
+    throw IoError("serve socket: cannot resolve '" + endpoint.describe() +
+                  "': " + ::gai_strerror(rc));
+  }
+  Socket sock;
+  std::string last_error = "no addresses";
+  for (const addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      sock = Socket(fd);
+      break;
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(found);
+  if (!sock.valid()) {
+    throw IoError("serve socket: connect to '" + endpoint.describe() +
+                  "' failed: " + last_error);
+  }
+  return sock;
+}
+
+std::pair<Socket, Socket> Socket::pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    io_fail("socketpair failed");
+  }
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), endpoint_(std::move(other.endpoint_)) {
+  other.fd_ = -1;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    endpoint_ = std::move(other.endpoint_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Listener::~Listener() { close(); }
+
+Listener Listener::listen_on(const Endpoint& endpoint) {
+  Listener listener;
+  listener.endpoint_ = endpoint;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    const sockaddr_un addr = unix_address(endpoint.path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) io_fail("socket(AF_UNIX) failed");
+    listener.fd_ = fd;
+    // A previous daemon that crashed leaves its socket file behind; a
+    // *live* daemon would hold the bind, so unlink-then-bind is safe for
+    // the single-daemon-per-path deployment this serves.
+    ::unlink(endpoint.path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      io_fail("bind '" + endpoint.describe() + "' failed");
+    }
+  } else {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) io_fail("socket(AF_INET) failed");
+    listener.fd_ = fd;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(endpoint.port));
+    if (listener.endpoint_.host.empty()) {
+      listener.endpoint_.host = "127.0.0.1";
+    }
+    const std::string& host = listener.endpoint_.host;
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      throw ConfigError("serve socket: listen host must be an IPv4 "
+                        "address, got '" + host + "'");
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      io_fail("bind '" + endpoint.describe() + "' failed");
+    }
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) ==
+        0) {
+      listener.endpoint_.port = ntohs(addr.sin_port);
+    }
+  }
+  if (::listen(listener.fd_, 64) != 0) {
+    io_fail("listen on '" + endpoint.describe() + "' failed");
+  }
+  return listener;
+}
+
+std::optional<Socket> Listener::accept_once(double timeout_s) {
+  if (fd_ < 0) return std::nullopt;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int timeout_ms =
+      timeout_s < 0.0 ? -1 : static_cast<int>(timeout_s * 1000.0);
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return std::nullopt;
+    io_fail("poll failed");
+  }
+  if (ready == 0) return std::nullopt;
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN) {
+      return std::nullopt;
+    }
+    io_fail("accept failed");
+  }
+  return Socket(fd);
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (endpoint_.kind == Endpoint::Kind::kUnix) {
+      ::unlink(endpoint_.path.c_str());
+    }
+  }
+}
+
+#else  // !BTMF_SERVE_POSIX
+
+namespace {
+[[noreturn]] void unsupported() {
+  throw ConfigError(
+      "the serve subsystem requires POSIX sockets, which this platform "
+      "lacks");
+}
+}  // namespace
+
+Socket& Socket::operator=(Socket&&) noexcept { return *this; }
+void Socket::write_frame(std::string_view) { unsupported(); }
+std::optional<std::string> Socket::read_frame() { unsupported(); }
+void Socket::shutdown_both() {}
+void Socket::shutdown_read() {}
+void Socket::close() { fd_ = -1; }
+Socket Socket::connect_to(const Endpoint&) { unsupported(); }
+std::pair<Socket, Socket> Socket::pair() { unsupported(); }
+
+Listener::Listener(Listener&&) noexcept {}
+Listener& Listener::operator=(Listener&&) noexcept { return *this; }
+Listener::~Listener() {}
+Listener Listener::listen_on(const Endpoint&) { unsupported(); }
+std::optional<Socket> Listener::accept_once(double) { return std::nullopt; }
+void Listener::close() {}
+
+#endif  // BTMF_SERVE_POSIX
+
+}  // namespace btmf::serve

@@ -54,6 +54,29 @@ struct CacheKey {
 /// the key material, so old caches simply miss instead of misparsing.
 inline constexpr int kCacheFormatVersion = 1;
 
+/// The cache's code salt "v<format>/<library-version>" — the first line of
+/// every entry's key material. Two processes with equal salts derive equal
+/// keys for equal specs, which is exactly what the serve protocol's
+/// version handshake needs to check (docs/SERVE.md): a salt mismatch means
+/// daemon and client would disagree on every cache key, so the connection
+/// is refused up front instead of silently recomputing everything.
+[[nodiscard]] std::string cache_format_salt();
+
+/// Writers publish entries via "<entry>.tmp.<pid>.<counter>" + rename; a
+/// writer that dies between create and rename leaves the temp file behind
+/// forever. This sweeps such orphans out of `root` (recursively): any
+/// "*.tmp.*" file whose mtime is older than `max_age_seconds` is removed.
+/// The age threshold keeps live writers safe — a concurrent process's
+/// in-flight temp file is at most seconds old. Best-effort and never
+/// throws (runs on every cache open); returns the number removed.
+std::size_t sweep_stale_temporaries(const std::string& root,
+                                    double max_age_seconds);
+
+/// Age threshold DiskCache's constructor passes to
+/// sweep_stale_temporaries: generous enough that no live writer — even one
+/// stalled behind a watchdog deadline — can lose its temp file.
+inline constexpr double kStaleTempMaxAgeSeconds = 3600.0;
+
 /// What lookup() found. The distinction drives self-healing: a kMiss is
 /// normal (absent entry, or a hash-collision file whose stored material
 /// belongs to another key — recompute and move on), while kCorrupt means
@@ -64,7 +87,8 @@ enum class CacheLookup { kHit, kMiss, kCorrupt };
 
 class DiskCache {
  public:
-  /// Opens (creating if needed) the cache rooted at `root`. Throws
+  /// Opens (creating if needed) the cache rooted at `root`, sweeping
+  /// orphaned temp files older than kStaleTempMaxAgeSeconds. Throws
   /// btmf::IoError when the directory cannot be created.
   explicit DiskCache(std::string root);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -72,13 +73,45 @@ std::uint64_t fnv1a64(std::string_view s) {
   return h;
 }
 
+std::string cache_format_salt() {
+  std::string salt = "v";
+  salt += std::to_string(kCacheFormatVersion);
+  salt += '/';
+  salt += kVersionString;
+  return salt;
+}
+
+std::size_t sweep_stale_temporaries(const std::string& root,
+                                    double max_age_seconds) {
+  std::size_t removed = 0;
+  std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
+  fs::recursive_directory_iterator it(
+      root, fs::directory_options::skip_permission_denied, ec);
+  if (ec) return removed;
+  while (it != fs::recursive_directory_iterator()) {
+    const fs::directory_entry entry = *it;
+    it.increment(ec);
+    if (ec) break;  // unreadable directory mid-walk: stop, stay silent
+    if (!entry.is_regular_file(ec) || ec) continue;
+    if (entry.path().filename().string().find(".tmp.") ==
+        std::string::npos) {
+      continue;
+    }
+    const fs::file_time_type mtime = entry.last_write_time(ec);
+    if (ec) continue;
+    const double age =
+        std::chrono::duration<double>(now - mtime).count();
+    if (age < max_age_seconds) continue;  // a live writer may own it
+    if (fs::remove(entry.path(), ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
 std::string CacheKey::material() const {
   // Library version + format version are the "code salt": a release that
   // changes any model output invalidates every entry wholesale.
-  std::string out = "v";
-  out += std::to_string(kCacheFormatVersion);
-  out += '/';
-  out += kVersionString;
+  std::string out = cache_format_salt();
   out += "\nsweep ";
   out += sweep;
   out += "\nspec ";
@@ -96,6 +129,10 @@ DiskCache::DiskCache(std::string root) : root_(std::move(root)) {
     throw IoError("cannot create sweep cache directory '" + root_ +
                   "': " + ec.message());
   }
+  // Writers that crashed between temp-file create and rename leave
+  // orphans; reclaim them here so a long-lived cache directory cannot
+  // accumulate garbage. The age threshold protects concurrent writers.
+  (void)sweep_stale_temporaries(root_, kStaleTempMaxAgeSeconds);
 }
 
 std::string DiskCache::entry_path(const CacheKey& key) const {

@@ -1,0 +1,107 @@
+#include "btmf/model/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "btmf/fluid/schemes.h"
+#include "btmf/util/error.h"
+#include "btmf/util/strings.h"
+
+namespace btmf::model {
+namespace {
+
+/// A spec exercising every fingerprint section: per-class rho, Adapt,
+/// cheaters/aborts, a fault of each kind, non-default solver tolerances.
+ScenarioSpec loaded_spec() {
+  ScenarioSpec spec;
+  spec.num_files = 7;
+  spec.correlation = 0.35;
+  spec.visit_rate = 1.25;
+  spec.fluid.mu = 0.031;
+  spec.fluid.eta = 0.77;
+  spec.fluid.gamma = 0.043;
+  spec.scheme = fluid::SchemeKind::kCmfsd;
+  spec.rho = 0.5;
+  spec.rho_per_class = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
+  spec.solver.ode.rtol = 1e-9;
+  spec.solver.ode.atol = 1e-11;
+  spec.transient_samples = 333;
+  spec.horizon = 4321.5;
+  spec.warmup = 1000.25;
+  spec.seed = 987654321;
+  spec.cheater_fraction = 0.125;
+  spec.abort_rate = 0.0625;
+  spec.adapt.enabled = true;
+  spec.adapt.initial_rho = 0.05;
+  spec.adapt.consecutive = 3;
+  spec.faults.tracker_outages.push_back({500.0, 200.0, true, 2.5});
+  spec.faults.seed_failures.push_back({100.0, 50.0});
+  spec.faults.churn_bursts.push_back({1200.0, 0.5, 0.75, 1.5});
+  spec.faults.bandwidth_faults.push_back({300.0, 100.0, 0.5});
+  spec.num_chunks = 48;
+  return spec;
+}
+
+TEST(ModelWireTest, EncodeIsTheFingerprint) {
+  const ScenarioSpec spec = loaded_spec();
+  EXPECT_EQ(encode_spec(spec), spec.fingerprint());
+}
+
+TEST(ModelWireTest, DecodeInvertsEncodeOnALoadedSpec) {
+  const ScenarioSpec spec = loaded_spec();
+  const ScenarioSpec decoded = decode_spec(encode_spec(spec));
+  // Fingerprint equality IS the contract: every result-affecting field
+  // round-tripped bit-exactly.
+  EXPECT_EQ(decoded.fingerprint(), spec.fingerprint());
+  EXPECT_EQ(decoded.seed, spec.seed);
+  EXPECT_EQ(decoded.rho_per_class, spec.rho_per_class);
+  EXPECT_TRUE(decoded.adapt.enabled);
+  ASSERT_EQ(decoded.faults.tracker_outages.size(), 1u);
+  EXPECT_EQ(decoded.faults.tracker_outages[0].readmit_rate, 2.5);
+  ASSERT_EQ(decoded.faults.churn_bursts.size(), 1u);
+  EXPECT_EQ(decoded.faults.churn_bursts[0].progress_loss, 0.75);
+}
+
+TEST(ModelWireTest, DecodeInvertsEncodeOnTheDefaultSpec) {
+  const ScenarioSpec spec;
+  EXPECT_EQ(decode_spec(encode_spec(spec)).fingerprint(),
+            spec.fingerprint());
+}
+
+TEST(ModelWireTest, ExecutionKnobsAreExcludedBothWays) {
+  ScenarioSpec spec;
+  spec.shards = 8;
+  spec.kernel_threads = 4;
+  const ScenarioSpec decoded = decode_spec(encode_spec(spec));
+  // The serving process decides its own execution configuration.
+  EXPECT_EQ(decoded.shards, 1u);
+  EXPECT_EQ(decoded.kernel_threads, 1u);
+  EXPECT_EQ(decoded.fingerprint(), spec.fingerprint());
+}
+
+TEST(ModelWireTest, RejectsGarbage) {
+  EXPECT_THROW(decode_spec(""), ConfigError);
+  EXPECT_THROW(decode_spec("not a spec"), ConfigError);
+  EXPECT_THROW(decode_spec("k=10"), ConfigError);  // missing keys
+}
+
+TEST(ModelWireTest, RejectsUnknownAndDuplicateKeys) {
+  const std::string wire = encode_spec(ScenarioSpec{});
+  EXPECT_THROW(decode_spec(wire + ";mystery=1"), ConfigError);
+  EXPECT_THROW(decode_spec(wire + ";k=10"), ConfigError);
+}
+
+TEST(ModelWireTest, RejectsOutOfRangeValues) {
+  ScenarioSpec spec;
+  std::string wire = encode_spec(spec);
+  const std::string from = "p=" + util::format_double_exact(
+                                      spec.correlation);
+  const std::size_t at = wire.find(from);
+  ASSERT_NE(at, std::string::npos);
+  wire.replace(at, from.size(), "p=2.5");  // validate() must refuse
+  EXPECT_THROW(decode_spec(wire), ConfigError);
+}
+
+}  // namespace
+}  // namespace btmf::model

@@ -1,0 +1,239 @@
+#include "btmf/serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "btmf/model/wire.h"
+#include "btmf/serve/socket.h"
+#include "btmf/util/error.h"
+
+namespace btmf::serve {
+namespace {
+
+// --- grammar round trips ---------------------------------------------------
+
+TEST(ServeProtocolTest, HelloRoundTrips) {
+  const Request request = parse_request(encode_hello());
+  EXPECT_EQ(request.kind, RequestKind::kHello);
+  EXPECT_EQ(request.protocol_version, kProtocolVersion);
+  EXPECT_EQ(request.salt, handshake_salt());
+}
+
+TEST(ServeProtocolTest, EvaluateRoundTrips) {
+  model::ScenarioSpec spec;
+  spec.correlation = 0.25;
+  spec.seed = 1234;
+  const Request request =
+      parse_request(encode_evaluate("kernel-sim", spec));
+  EXPECT_EQ(request.kind, RequestKind::kEvaluate);
+  EXPECT_EQ(request.backend, "kernel-sim");
+  // The embedded spec travels as its fingerprint; decoding it yields a
+  // spec with the identical fingerprint (the cache-key agreement).
+  EXPECT_EQ(request.spec.fingerprint(), spec.fingerprint());
+}
+
+TEST(ServeProtocolTest, SweepRoundTrips) {
+  const model::ScenarioSpec spec;
+  const std::vector<double> values{0.1, 0.5, 1.0 / 3.0};
+  const Request request =
+      parse_request(encode_sweep("fluid-equilibrium", "p", values, spec));
+  EXPECT_EQ(request.kind, RequestKind::kSweep);
+  EXPECT_EQ(request.axis, "p");
+  EXPECT_EQ(request.values, values);  // bit-exact doubles on the wire
+  EXPECT_EQ(request.spec.fingerprint(), spec.fingerprint());
+}
+
+TEST(ServeProtocolTest, StatsAndPingRoundTrip) {
+  EXPECT_EQ(parse_request(encode_stats()).kind, RequestKind::kStats);
+  EXPECT_EQ(parse_request(encode_ping()).kind, RequestKind::kPing);
+  EXPECT_EQ(parse_response(encode_pong()).kind, ResponseKind::kPong);
+  EXPECT_EQ(parse_response(encode_welcome()).kind, ResponseKind::kWelcome);
+}
+
+TEST(ServeProtocolTest, OkResponseRoundTrips) {
+  const std::map<std::string, double> values{{"a", 1.0 / 3.0},
+                                             {"b", -2.5e-300}};
+  const Response response =
+      parse_response(encode_ok(values, /*cached=*/true, /*coalesced=*/false));
+  EXPECT_EQ(response.kind, ResponseKind::kOk);
+  EXPECT_TRUE(response.cached);
+  EXPECT_FALSE(response.coalesced);
+  EXPECT_EQ(response.values, values);
+}
+
+TEST(ServeProtocolTest, SweepOkRoundTripsMixedPoints) {
+  std::vector<PointReply> points(3);
+  points[0].ok = true;
+  points[0].values = {{"online", 42.5}};
+  points[1].code = ErrorCode::kFailed;
+  points[1].message = "solver diverged\nwith a newline";
+  points[2].ok = true;
+  points[2].values = {{"online", 1e-17}};
+  const Response response = parse_response(encode_sweep_ok(points));
+  ASSERT_EQ(response.kind, ResponseKind::kSweepOk);
+  ASSERT_EQ(response.points.size(), 3u);
+  EXPECT_TRUE(response.points[0].ok);
+  EXPECT_EQ(response.points[0].values.at("online"), 42.5);
+  EXPECT_FALSE(response.points[1].ok);
+  EXPECT_EQ(response.points[1].code, ErrorCode::kFailed);
+  EXPECT_EQ(response.points[1].message, points[1].message);
+  EXPECT_EQ(response.points[2].values.at("online"), 1e-17);
+}
+
+TEST(ServeProtocolTest, StatsOkPreservesJsonVerbatim) {
+  const std::string json = "{\n  \"a\": 1,\n  \"b\\\\\": 2\n}";
+  const Response response = parse_response(encode_stats_ok(json));
+  ASSERT_EQ(response.kind, ResponseKind::kStatsOk);
+  EXPECT_EQ(response.stats_json, json);
+}
+
+TEST(ServeProtocolTest, ErrorResponseRoundTripsEveryCode) {
+  for (const ErrorCode code :
+       {ErrorCode::kBadRequest, ErrorCode::kVersionMismatch,
+        ErrorCode::kUnsupported, ErrorCode::kFailed, ErrorCode::kOverloaded,
+        ErrorCode::kDraining}) {
+    const Response response =
+        parse_response(encode_error(code, "why\nmulti-line"));
+    EXPECT_EQ(response.kind, ResponseKind::kError);
+    EXPECT_EQ(response.code, code);
+    EXPECT_EQ(response.message, "why\nmulti-line");
+    EXPECT_EQ(error_code_from_string(to_string(code)), code);
+  }
+  EXPECT_THROW((void)error_code_from_string("nonsense"), ProtocolError);
+}
+
+TEST(ServeProtocolTest, RejectsGrammarGarbage) {
+  EXPECT_THROW(parse_request(""), ProtocolError);
+  EXPECT_THROW(parse_request("frobnicate now"), ProtocolError);
+  EXPECT_THROW(parse_request("evaluate"), ProtocolError);
+  EXPECT_THROW(parse_request("hello one two three four"), ProtocolError);
+  EXPECT_THROW(parse_response(""), ProtocolError);
+  EXPECT_THROW(parse_response("yes"), ProtocolError);
+  EXPECT_THROW(parse_response("ok cached=2 coalesced=0\n"), ProtocolError);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedSpecWithConfigError) {
+  // Well-formed frame grammar, bad embedded spec: typed as ConfigError so
+  // the daemon can keep the connection and answer bad-request.
+  EXPECT_THROW(parse_request("evaluate kernel-sim\nspec k=10\n"),
+               ConfigError);
+}
+
+TEST(ServeProtocolTest, BoundsSweepValues) {
+  const model::ScenarioSpec spec;
+  const std::vector<double> too_many(kMaxSweepValues + 1, 0.5);
+  EXPECT_THROW(encode_sweep("kernel-sim", "p", too_many, spec),
+               ProtocolError);
+  EXPECT_THROW(encode_sweep("kernel-sim", "p", {}, spec), ProtocolError);
+}
+
+// --- framing over a real socket pair ---------------------------------------
+
+class ServeFramingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!serve_supported()) GTEST_SKIP() << "POSIX sockets unavailable";
+  }
+
+  /// Writes raw bytes (bypassing write_frame) to inject torn/garbage data.
+  static void write_raw(Socket& socket, const std::string& bytes) {
+    ASSERT_EQ(::write(socket.fd(), bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  static std::string header_for(std::uint32_t length) {
+    std::string header(4, '\0');
+    header[0] = static_cast<char>(length >> 24);
+    header[1] = static_cast<char>(length >> 16);
+    header[2] = static_cast<char>(length >> 8);
+    header[3] = static_cast<char>(length);
+    return header;
+  }
+};
+
+TEST_F(ServeFramingTest, FramesRoundTripThroughASocketPair) {
+  auto [a, b] = Socket::pair();
+  a.write_frame("ping\n");
+  a.write_frame(std::string(1000, 'x'));
+  EXPECT_EQ(b.read_frame(), "ping\n");
+  EXPECT_EQ(b.read_frame(), std::string(1000, 'x'));
+}
+
+TEST_F(ServeFramingTest, CleanCloseOnAFrameBoundaryIsEof) {
+  auto [a, b] = Socket::pair();
+  a.write_frame("stats\n");
+  a.close();
+  EXPECT_EQ(b.read_frame(), "stats\n");
+  EXPECT_EQ(b.read_frame(), std::nullopt);
+}
+
+TEST_F(ServeFramingTest, TornHeaderIsAProtocolError) {
+  auto [a, b] = Socket::pair();
+  write_raw(a, header_for(10).substr(0, 2));  // half a length header
+  a.close();
+  EXPECT_THROW((void)b.read_frame(), ProtocolError);
+}
+
+TEST_F(ServeFramingTest, TruncatedPayloadIsAProtocolError) {
+  auto [a, b] = Socket::pair();
+  write_raw(a, header_for(10) + "abc");  // promises 10 bytes, sends 3
+  a.close();
+  EXPECT_THROW((void)b.read_frame(), ProtocolError);
+}
+
+TEST_F(ServeFramingTest, OversizedLengthHeaderIsRejectedNotAllocated) {
+  auto [a, b] = Socket::pair();
+  // 0xFFFFFFFF as a length must be treated as garbage, not a 4 GiB
+  // allocation request.
+  write_raw(a, header_for(0xFFFFFFFFu));
+  EXPECT_THROW((void)b.read_frame(), ProtocolError);
+  auto [c, d] = Socket::pair();
+  write_raw(c, header_for(kMaxFrameBytes + 1));
+  EXPECT_THROW((void)d.read_frame(), ProtocolError);
+}
+
+TEST_F(ServeFramingTest, ZeroLengthFrameIsAProtocolError) {
+  auto [a, b] = Socket::pair();
+  write_raw(a, header_for(0));
+  EXPECT_THROW((void)b.read_frame(), ProtocolError);
+}
+
+TEST_F(ServeFramingTest, GarbageBytesAreAProtocolErrorSomewhere) {
+  // Random text bytes: the first 4 land in the length header and decode
+  // to a huge length ("GARB" = 0x47415242 > 1 MiB) — rejected.
+  auto [a, b] = Socket::pair();
+  write_raw(a, "GARBAGE GARBAGE GARBAGE");
+  a.close();
+  EXPECT_THROW((void)b.read_frame(), ProtocolError);
+}
+
+TEST_F(ServeFramingTest, WriteFrameRefusesOversizedPayloads) {
+  auto [a, b] = Socket::pair();
+  const std::string huge(kMaxFrameBytes + 1, 'x');
+  EXPECT_THROW(a.write_frame(huge), ProtocolError);
+}
+
+TEST_F(ServeFramingTest, EndpointParsingRoundTrips) {
+  const Endpoint unix_ep = Endpoint::parse("unix:/tmp/x.sock");
+  EXPECT_EQ(unix_ep.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(unix_ep.path, "/tmp/x.sock");
+  EXPECT_EQ(unix_ep.describe(), "unix:/tmp/x.sock");
+  const Endpoint bare = Endpoint::parse("relative/path.sock");
+  EXPECT_EQ(bare.kind, Endpoint::Kind::kUnix);
+  const Endpoint tcp = Endpoint::parse("tcp:127.0.0.1:8080");
+  EXPECT_EQ(tcp.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 8080);
+  EXPECT_EQ(tcp.describe(), "tcp:127.0.0.1:8080");
+  EXPECT_THROW(Endpoint::parse(""), ConfigError);
+  EXPECT_THROW(Endpoint::parse("tcp:nohost"), ConfigError);
+  EXPECT_THROW(Endpoint::parse("tcp:h:notaport"), ConfigError);
+}
+
+}  // namespace
+}  // namespace btmf::serve

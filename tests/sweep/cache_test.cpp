@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -166,6 +167,55 @@ TEST(SweepCache, PointResultAtThrowsOnUnknownName) {
   result.values["v"] = 1.0;
   EXPECT_DOUBLE_EQ(result.at("v"), 1.0);
   EXPECT_THROW((void)result.at("missing"), ConfigError);
+}
+
+TEST(SweepCache, SaltIsTheMaterialPrefix) {
+  // The handshake salt and every cache key's material must share bytes:
+  // the serve protocol relies on salt agreement implying key agreement.
+  const std::string material = test_key().material();
+  EXPECT_EQ(material.rfind(cache_format_salt(), 0), 0u);
+}
+
+TEST(SweepCache, OpeningSweepsStaleTemporaries) {
+  const std::string root = fresh_dir("sweep_cache_stale_tmp");
+  {
+    const DiskCache warmup(root);  // create the directory tree
+    PointResult result;
+    result.values["v"] = 1.0;
+    warmup.store(test_key(), result);
+  }
+  // Plant a crashed writer's leftover: a *.tmp.* file old enough to be
+  // stale, plus a fresh one that a live writer could still own.
+  const fs::path dir = fs::path(root) / "unit";
+  const fs::path stale = dir / "deadbeef.point.tmp.1234.1";
+  const fs::path fresh = dir / "cafef00d.point.tmp.5678.2";
+  spit(stale.string(), "half-written");
+  spit(fresh.string(), "half-written");
+  fs::last_write_time(
+      stale, fs::file_time_type::clock::now() - std::chrono::hours(24));
+
+  const DiskCache reopened(root);
+  EXPECT_FALSE(fs::exists(stale)) << "stale temporary not swept";
+  EXPECT_TRUE(fs::exists(fresh)) << "fresh temporary must be left alone";
+  // The committed entry survives the sweep.
+  EXPECT_TRUE(reopened.load(test_key()).has_value());
+}
+
+TEST(SweepCache, StaleTemporarySweepIsDirectAndCounted) {
+  const std::string root = fresh_dir("sweep_cache_stale_tmp_direct");
+  fs::create_directories(fs::path(root) / "nested");
+  const fs::path one = fs::path(root) / "a.point.tmp.1.1";
+  const fs::path two = fs::path(root) / "nested" / "b.point.tmp.2.2";
+  spit(one.string(), "x");
+  spit(two.string(), "y");
+  const auto old_time =
+      fs::file_time_type::clock::now() - std::chrono::hours(48);
+  fs::last_write_time(one, old_time);
+  fs::last_write_time(two, old_time);
+  EXPECT_EQ(sweep_stale_temporaries(root, kStaleTempMaxAgeSeconds), 2u);
+  EXPECT_EQ(sweep_stale_temporaries(root, kStaleTempMaxAgeSeconds), 0u);
+  // A missing root is a no-op, never an error.
+  EXPECT_EQ(sweep_stale_temporaries(root + "-nonexistent", 1.0), 0u);
 }
 
 }  // namespace
