@@ -116,8 +116,8 @@ std::string scheme_list(const model::BackendCapabilities& caps) {
 int list_backends() {
   const auto yn = [](bool v) { return std::string(v ? "yes" : "-"); };
   util::Table table({"backend", "schemes", "max K", "kind", "p=0",
-                     "rho/class", "adapt", "cheaters", "aborts", "faults",
-                     "extras"});
+                     "rho/class", "pieces", "adapt", "cheaters", "aborts",
+                     "faults", "extras"});
   for (const model::Backend* backend : model::backend_registry()) {
     const model::BackendCapabilities caps = backend->capabilities();
     std::string extras;
@@ -130,14 +130,40 @@ int list_backends() {
                    std::string(caps.monte_carlo ? "monte-carlo"
                                                 : "deterministic"),
                    yn(caps.zero_correlation), yn(caps.rho_per_class),
-                   yn(caps.adapt), yn(caps.cheaters), yn(caps.aborts),
-                   yn(caps.faults), extras.empty() ? "-" : extras});
+                   yn(caps.piece_policies), yn(caps.adapt), yn(caps.cheaters),
+                   yn(caps.aborts), yn(caps.faults),
+                   extras.empty() ? "-" : extras});
   }
   table.write_pretty(std::cout);
   std::cout << "\nspecs outside a backend's declared capabilities return a "
                "typed 'unsupported'\noutcome, never a crash; see "
                "docs/BACKENDS.md.\n";
   return 0;
+}
+
+/// The chunk-level substrate's own measurements: the emergent sharing
+/// efficiency, and at K > 1 the per-torrent (per-file) breakdown.
+void print_chunk_details(const sim::ChunkSimResult& chunk) {
+  std::cout << "\nemergent eta: " << chunk.emergent_eta
+            << "  (downloader share " << chunk.downloader_upload_share
+            << ", idle " << chunk.idle_fraction << ")\n";
+  if (chunk.fluid_prediction > 0.0) {
+    std::cout << "single-torrent fluid T at measured eta: "
+              << chunk.fluid_prediction << '\n';
+  }
+  if (chunk.files.size() > 1) {
+    util::Table table({"file", "eta_f", "downloaders", "seeds",
+                       "completions", "dl time"});
+    table.set_precision(5);
+    for (std::size_t f = 0; f < chunk.files.size(); ++f) {
+      const sim::ChunkFileResult& fr = chunk.files[f];
+      table.add_row({static_cast<double>(f + 1), fr.emergent_eta,
+                     fr.avg_downloaders, fr.avg_seeds,
+                     static_cast<double>(fr.completions),
+                     fr.mean_download_time});
+    }
+    table.write_pretty(std::cout);
+  }
 }
 
 void print_outcome(const model::Outcome& outcome) {
@@ -158,6 +184,7 @@ void print_outcome(const model::Outcome& outcome) {
                    outcome.per_class.download_per_file[i]});
   }
   table.write_pretty(std::cout);
+  if (outcome.chunk.has_value()) print_chunk_details(*outcome.chunk);
 }
 
 int cmd_evaluate(int argc, const char* const* argv) {
@@ -192,6 +219,12 @@ int cmd_simulate(int argc, const char* const* argv) {
   parser.add_option("horizon", "5000", "simulated time");
   parser.add_option("seed", "42", "RNG seed");
   parser.add_option("chunks", "32", "chunks per file (chunk-sim backend)");
+  parser.add_option("piece-policy", "rarest-first",
+                    "chunk-sim piece selection: rarest-first|random|"
+                    "mode-suppression");
+  parser.add_option("suppression", "0.9",
+                    "mode-suppression probability (piece-policy "
+                    "mode-suppression)");
   parser.add_option("faults", "",
                     "fault plan, e.g. \"tracker:500:200;churn:1200:0.5\" "
                     "(see docs/FAULTS.md)");
@@ -217,6 +250,8 @@ int cmd_simulate(int argc, const char* const* argv) {
   require(seed >= 0, "--seed must be non-negative");
   spec.seed = static_cast<std::uint64_t>(seed);
   spec.num_chunks = positive_count(parser, "chunks");
+  spec.chunk_policy = sim::piece_policy_from_string(parser.get("piece-policy"));
+  spec.chunk_suppression = parser.get_double("suppression");
   if (!parser.get("faults").empty()) {
     spec.faults = sim::parse_fault_plan(parser.get("faults"));
   }

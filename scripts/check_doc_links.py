@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
-"""Check relative links in the repo's markdown docs.
+"""Check relative links, anchors and the docs map in the markdown docs.
 
 Scans the top-level markdown files and everything under docs/ for
-markdown-style links `[text](target)` and fails (exit 1) if a relative
-target does not exist on disk. External links (http/https/mailto) and
-pure in-page anchors (#...) are skipped; a `path#anchor` target is
-checked for the path part only.
+markdown-style links `[text](target)` and fails (exit 1) if:
 
-Run from anywhere: paths resolve against the repo root (the parent of
-this script's directory).
+* a relative target does not exist on disk;
+* a `#fragment` (in-page or `path#fragment`) does not match any heading
+  in the target file, using GitHub's slug rules (lowercase, punctuation
+  stripped, spaces to hyphens, `-N` suffixes for duplicates);
+* a file under docs/*.md is not linked from README.md's documentation
+  index — the map must stay complete.
+
+External links (http/https/mailto) are skipped. Run from anywhere:
+paths resolve against the repo root (the parent of this script's
+directory).
 
 Usage: python3 scripts/check_doc_links.py [extra files...]
 """
@@ -33,12 +38,23 @@ DEFAULT_DOCS = [
 
 # [text](target) — target must not contain spaces or nested parens.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 # Fenced code blocks: links inside them are illustrative, not navigational.
 FENCE_RE = re.compile(r"^(```|~~~)")
 
 
-def iter_links(path: Path):
-    """Yield (line_number, target) for every markdown link outside code fences."""
+def github_slug(heading: str) -> str:
+    """GitHub's anchor for a heading: strip markup/punctuation, lowercase,
+    spaces to hyphens."""
+    # Drop inline code/emphasis markers and links, keep the text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def iter_lines_outside_fences(path: Path):
     in_fence = False
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         if FENCE_RE.match(line.strip()):
@@ -46,22 +62,65 @@ def iter_links(path: Path):
             continue
         if in_fence:
             continue
+        yield lineno, line
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """All valid fragment targets in a file (with GitHub's -N dedup)."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    for _, line in iter_lines_outside_fences(path):
+        match = HEADING_RE.match(line)
+        if match is None:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every markdown link outside code fences."""
+    for lineno, line in iter_lines_outside_fences(path):
         for match in LINK_RE.finditer(line):
             yield lineno, match.group(1)
 
 
-def check_file(path: Path) -> list[str]:
+def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
     errors = []
     for lineno, target in iter_links(path):
         if target.startswith(("http://", "https://", "mailto:")):
             continue
-        file_part = target.split("#", 1)[0]
-        if not file_part:  # pure in-page anchor
-            continue
-        resolved = (path.parent / file_part).resolve()
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve() if file_part else path
+        rel = path.relative_to(REPO_ROOT)
         if not resolved.exists():
-            rel = path.relative_to(REPO_ROOT)
             errors.append(f"{rel}:{lineno}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = heading_anchors(resolved)
+            if fragment.lower() not in anchor_cache[resolved]:
+                errors.append(
+                    f"{rel}:{lineno}: broken anchor -> {target} "
+                    f"(no such heading in {resolved.name})")
+    return errors
+
+
+def check_readme_docs_map(readme: Path) -> list[str]:
+    """Every docs/*.md must be linked from README.md."""
+    linked = set()
+    for _, target in iter_links(readme):
+        file_part = target.partition("#")[0]
+        if file_part:
+            linked.add((readme.parent / file_part).resolve())
+    errors = []
+    for doc in sorted((REPO_ROOT / "docs").glob("*.md")):
+        if doc.resolve() not in linked:
+            errors.append(
+                f"README.md: docs map is incomplete — docs/{doc.name} "
+                f"is not linked (add it to the documentation index)")
     return errors
 
 
@@ -72,17 +131,19 @@ def main(argv: list[str]) -> int:
 
     errors = []
     checked = 0
+    anchor_cache: dict[Path, set[str]] = {}
     for doc in docs:
         if not doc.exists():
             errors.append(f"{doc}: file listed for checking does not exist")
             continue
         checked += 1
-        errors.extend(check_file(doc))
+        errors.extend(check_file(doc, anchor_cache))
+    errors.extend(check_readme_docs_map(REPO_ROOT / "README.md"))
 
     for error in errors:
         print(error, file=sys.stderr)
     print(f"checked {checked} files: "
-          f"{'FAIL' if errors else 'OK'} ({len(errors)} broken links)")
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} problems)")
     return 1 if errors else 0
 
 

@@ -47,9 +47,14 @@ struct BackendCapabilities {
 
   /// Schemes the backend evaluates, indexed by fluid::SchemeKind.
   std::array<bool, 4> schemes{true, true, true, true};
-  /// 0 = unlimited; chunk-sim models a single torrent (max_files = 1,
-  /// where all four schemes coincide).
+  /// 0 = unlimited; chunk-sim sizes its piece bitmaps by file index so it
+  /// declares the bitmask width (32) here.
   unsigned max_files = 0;
+  /// Non-default ScenarioSpec::chunk_policy honoured (only the chunk-level
+  /// substrate models pieces; every other backend refuses a spec that
+  /// asks for a specific piece-selection policy rather than silently
+  /// ignoring it).
+  bool piece_policies = false;
   /// p = 0 acceptable (only the closed-form backend can take the limit
   /// analytically; Little's-law and sampling readouts need arrivals).
   bool zero_correlation = false;

@@ -26,6 +26,7 @@
 #include "btmf/fluid/params.h"
 #include "btmf/fluid/schemes.h"
 #include "btmf/math/equilibrium.h"
+#include "btmf/sim/chunk_sim.h"
 #include "btmf/sim/config.h"
 #include "btmf/sim/faults.h"
 
@@ -63,6 +64,13 @@ struct ScenarioSpec {
 
   // --- chunk-sim ---------------------------------------------------------
   unsigned num_chunks = 32;           ///< chunks per file
+  /// Piece-selection policy of the chunk-level substrate (ignored by the
+  /// fluid and kernel backends, which do not model pieces — but only the
+  /// default passes their capability gate; see docs/PROTOCOL.md).
+  sim::PiecePolicy chunk_policy = sim::PiecePolicy::kRarestFirst;
+  /// Mode-suppression probability (used when chunk_policy is
+  /// kModeSuppression; fingerprinted regardless).
+  double chunk_suppression = 0.9;
 
   // --- kernel-sim execution (NOT part of the fingerprint) ----------------
   /// Torrent shards and worker threads for the sharded kernel. Results

@@ -41,6 +41,11 @@ std::optional<std::string> Backend::unsupported_reason(
   if (!spec.rho_per_class.empty() && !caps.rho_per_class) {
     return who + " does not honour rho_per_class";
   }
+  if (spec.chunk_policy != sim::PiecePolicy::kRarestFirst &&
+      !caps.piece_policies) {
+    return who + " does not model piece selection (chunk_policy = " +
+           std::string(sim::to_string(spec.chunk_policy)) + ")";
+  }
   if (spec.adapt.enabled && !caps.adapt) {
     return who + " does not model the Adapt controller";
   }

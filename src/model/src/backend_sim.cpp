@@ -4,10 +4,14 @@
 //    kernel (the only backend that honours Adapt, cheaters, abort clocks
 //    and fault plans). Per-class metrics are the post-warm-up sample
 //    means; system averages are the run's own arrival-weighted averages.
-//  * chunk-sim — the chunk-level protocol substrate. It models a single
-//    torrent (max_files = 1, where all four schemes coincide) fed at the
-//    scenario's torrent arrival rate lambda0 * p, and measures the
+//  * chunk-sim — the chunk-level protocol substrate (docs/PROTOCOL.md).
+//    At K = 1 it is a single torrent fed at the scenario's torrent
+//    arrival rate lambda0 * p; at K > 1 it runs the spec's scheme on
+//    true multi-file torrents (per-file piece bitmaps, the configured
+//    piece-selection policy, per-arrival wanted sets) fed at the user
+//    entry rate lambda0 * (1 - (1-p)^K). Either way it measures the
 //    sharing efficiency eta as it emerges instead of assuming it.
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -100,7 +104,8 @@ class ChunkSimBackend final : public Backend {
   [[nodiscard]] BackendCapabilities capabilities() const override {
     BackendCapabilities caps;
     caps.monte_carlo = true;
-    caps.max_files = 1;
+    caps.max_files = 32;  // piece-bitmap width (file masks are uint32)
+    caps.piece_policies = true;
     return caps;
   }
 
@@ -110,23 +115,58 @@ class ChunkSimBackend final : public Backend {
 
     sim::ChunkSimConfig config;
     config.num_chunks = spec.num_chunks;
-    // A K = 1 scenario is a single torrent visited at rate lambda0 * p
-    // under every scheme.
-    config.entry_rate = spec.visit_rate * spec.correlation;
     config.fluid = spec.fluid;
     config.horizon = spec.horizon;
     config.warmup = spec.warmup;
     config.seed = spec.seed;
+    config.policy = spec.chunk_policy;
+    config.suppression_prob = spec.chunk_suppression;
+
+    if (spec.num_files == 1) {
+      // A K = 1 scenario is a single torrent visited at rate lambda0 * p
+      // under every scheme. This arm reproduces the pre-multi-file
+      // backend bit for bit (docs/REPRODUCTION.md gates on it).
+      config.entry_rate = spec.visit_rate * spec.correlation;
+      const sim::ChunkSimResult result = sim::run_chunk_sim(config);
+
+      // Seeds linger Exp(gamma) after completing, exactly as in the
+      // fluid setup, so online time is the measured download + 1/gamma.
+      const double download = result.mean_download_time;
+      const double online = download + 1.0 / spec.fluid.gamma;
+      outcome.per_class = fluid::make_per_class_metrics({online}, {download});
+      outcome.avg_online_per_file = online;
+      outcome.avg_download_per_file = download;
+      outcome.avg_online_per_user = online;
+      outcome.chunk = result;
+      return outcome;
+    }
+
+    // K > 1: run the spec's scheme on the multi-file substrate. The
+    // engine draws each arrival's wanted set from the correlation model
+    // conditioned on wanting at least one file, so it is fed the rate of
+    // users who enter at all.
+    config.num_files = spec.num_files;
+    config.correlation = spec.correlation;
+    config.entry_rate =
+        spec.visit_rate *
+        (1.0 - std::pow(1.0 - spec.correlation, spec.num_files));
+    config.scheme = spec.scheme;
+    config.rho = spec.scheme == fluid::SchemeKind::kCmfsd ? spec.rho : 0.0;
     const sim::ChunkSimResult result = sim::run_chunk_sim(config);
 
-    // Seeds linger Exp(gamma) after completing, exactly as in the fluid
-    // setup, so the online time is the measured download plus 1/gamma.
-    const double download = result.mean_download_time;
-    const double online = download + 1.0 / spec.fluid.gamma;
-    outcome.per_class = fluid::make_per_class_metrics({online}, {download});
-    outcome.avg_online_per_file = online;
-    outcome.avg_download_per_file = download;
-    outcome.avg_online_per_user = online;
+    const unsigned k = spec.num_files;
+    std::vector<double> online(k, kNaN), download(k, kNaN);
+    for (unsigned i = 1; i <= k && i <= result.classes.size(); ++i) {
+      const sim::ChunkClassResult& cls = result.classes[i - 1];
+      if (cls.completed_users == 0) continue;  // class never sampled
+      online[i - 1] = cls.mean_online_time;
+      download[i - 1] = cls.mean_download_time;
+    }
+    outcome.per_class =
+        fluid::make_per_class_metrics(std::move(online), std::move(download));
+    outcome.avg_online_per_file = result.avg_online_per_file;
+    outcome.avg_download_per_file = result.avg_download_per_file;
+    outcome.avg_online_per_user = result.mean_online_time;
     outcome.chunk = result;
     return outcome;
   }

@@ -28,6 +28,8 @@ void ScenarioSpec::validate() const {
                  "cheater_fraction must lie in [0, 1]");
   BTMF_CHECK_MSG(abort_rate >= 0.0, "abort_rate theta must be >= 0");
   BTMF_CHECK_MSG(num_chunks >= 1, "num_chunks must be >= 1");
+  BTMF_CHECK_MSG(chunk_suppression >= 0.0 && chunk_suppression <= 1.0,
+                 "chunk_suppression must lie in [0, 1]");
   BTMF_CHECK_MSG(shards >= 1, "shards must be >= 1");
   faults.validate();
 }
@@ -96,7 +98,9 @@ std::string ScenarioSpec::fingerprint() const {
          exact(adapt.step_up) + ',' + exact(adapt.step_down) + ',' +
          std::to_string(adapt.consecutive);
   out += ";faults=" + fault_fingerprint(faults);
-  out += ";chunks=" + std::to_string(num_chunks);
+  out += ";chunks=" + std::to_string(num_chunks) +
+         ";piece=" + std::string(sim::to_string(chunk_policy)) +
+         ";suppress=" + exact(chunk_suppression);
   // `shards` and `kernel_threads` are intentionally absent: the sharded
   // kernel is bit-identical across every execution configuration, so a
   // cached result keyed without them serves all of them.

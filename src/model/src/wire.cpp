@@ -192,6 +192,8 @@ ScenarioSpec decode_spec(std::string_view wire) {
   spec.faults = parse_faults(take("faults"));
   spec.num_chunks =
       static_cast<unsigned>(to_count(take("chunks"), "chunks", 1));
+  spec.chunk_policy = sim::piece_policy_from_string(take("piece"));
+  spec.chunk_suppression = to_double(take("suppress"), "suppress");
 
   if (!fields.empty()) {
     malformed("unknown key '" + fields.begin()->first +

@@ -1,6 +1,17 @@
+// The chunk-level protocol engine.
+//
+// One slot = one potential chunk upload per peer (per upload session for
+// the separate-torrent schemes, where a multi-torrent seed gives each of
+// its torrents a full mu like the fluid's per-torrent seed populations).
+// The K = 1 path is draw-for-draw identical to the original single-
+// torrent substrate: every multi-file branch (wanted-set sampling, visit
+// -order shuffles, torrent choice, CMFSD donation coins) is gated so it
+// consumes randomness only when a genuine multi-file choice exists. The
+// bit-identity test in tests/sim/chunk_sim_test.cpp pins this contract.
 #include "btmf/sim/chunk_sim.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -19,7 +30,7 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Chunk bitfield over up to a few hundred chunks, in 64-bit words.
+/// Chunk bitfield over up to a few thousand chunks, in 64-bit words.
 class Bitfield {
  public:
   explicit Bitfield(unsigned bits)
@@ -49,11 +60,11 @@ class Bitfield {
     return false;
   }
 
-  /// Chunks in `this` and not in `other`, as indices.
-  void missing_from(const Bitfield& other, std::vector<unsigned>& out) const {
-    out.clear();
+  /// Appends `base` + index for every chunk in `this` and not in `other`.
+  void append_missing_from(const Bitfield& other, unsigned base,
+                           std::vector<unsigned>& out) const {
     for (unsigned b = 0; b < bits_; ++b) {
-      if (test(b) && !other.test(b)) out.push_back(b);
+      if (test(b) && !other.test(b)) out.push_back(base + b);
     }
   }
 
@@ -64,24 +75,70 @@ class Bitfield {
 };
 
 struct Peer {
-  explicit Peer(unsigned chunks) : have(chunks) {}
-  Bitfield have;
-  bool is_seed = false;
-  bool permanent = false;  ///< publisher seed, never departs
-  double arrival = 0.0;
-  double seed_depart = kInf;
+  Peer(unsigned files, unsigned chunks_per_file, std::uint32_t wanted_mask)
+      : wanted(wanted_mask), counted(wanted_mask) {
+    have.reserve(files);
+    for (unsigned f = 0; f < files; ++f) {
+      have.emplace_back((wanted_mask >> f) & 1u ? chunks_per_file : 0u);
+    }
+  }
+
+  std::vector<Bitfield> have;  ///< per-file piece bitmap (empty if unwanted)
+  std::uint32_t wanted = 0;    ///< files this user downloads
+  std::uint32_t done = 0;      ///< completed files
+  /// Files whose held chunks are reflected in `avail` (i.e. still offered
+  /// to the swarm); cleared per file on withdrawal, wholesale on removal.
+  std::uint32_t counted = 0;
+  bool is_seed = false;        ///< every wanted file complete
+  bool permanent = false;      ///< publisher seed, never departs
   bool sampled = false;
+  bool seeding_phase = false;  ///< MTSD: seeding between sequential files
+  unsigned stage = 0;          ///< sequential schemes: index into `order`
+  double arrival = 0.0;
+  double stage_start = 0.0;    ///< current file's download start
+  double download_accum = 0.0; ///< MTSD: summed downloading-phase time
+  double seed_until = kInf;    ///< MTSD: inter-file seeding deadline
+  double depart = kInf;        ///< final removal time, once known
+  std::vector<std::uint8_t> order;       ///< sequential visit order
+  std::vector<double> file_seed_depart;  ///< MTCD per-torrent deadlines
   /// Decayed TFT credit: chunks recently received, by sender id.
   std::unordered_map<std::size_t, double> credit;
 };
 
 }  // namespace
 
+const char* to_string(PiecePolicy policy) {
+  switch (policy) {
+    case PiecePolicy::kRarestFirst:
+      return "rarest-first";
+    case PiecePolicy::kRandom:
+      return "random";
+    case PiecePolicy::kModeSuppression:
+      return "mode-suppression";
+  }
+  return "?";
+}
+
+PiecePolicy piece_policy_from_string(std::string_view name) {
+  if (name == "rarest-first") return PiecePolicy::kRarestFirst;
+  if (name == "random") return PiecePolicy::kRandom;
+  if (name == "mode-suppression") return PiecePolicy::kModeSuppression;
+  throw ConfigError("unknown piece policy '" + std::string(name) +
+                    "' (expected rarest-first|random|mode-suppression)");
+}
+
 void ChunkSimConfig::validate() const {
+  BTMF_CHECK_MSG(num_files >= 1 && num_files <= 32,
+                 "num_files must lie in [1, 32]");
   BTMF_CHECK_MSG(num_chunks >= 1 && num_chunks <= 4096,
                  "num_chunks must lie in [1, 4096]");
   BTMF_CHECK_MSG(entry_rate > 0.0, "entry_rate must be positive");
+  BTMF_CHECK_MSG(correlation > 0.0 && correlation <= 1.0,
+                 "correlation must lie in (0, 1]");
   fluid.validate();
+  BTMF_CHECK_MSG(rho >= 0.0 && rho <= 1.0, "rho must lie in [0, 1]");
+  BTMF_CHECK_MSG(suppression_prob >= 0.0 && suppression_prob <= 1.0,
+                 "suppression_prob must lie in [0, 1]");
   BTMF_CHECK_MSG(optimistic_prob >= 0.0 && optimistic_prob <= 1.0,
                  "optimistic_prob must lie in [0, 1]");
   BTMF_CHECK_MSG(credit_decay >= 0.0 && credit_decay < 1.0,
@@ -95,7 +152,13 @@ void ChunkSimConfig::validate() const {
 
 ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
   config.validate();
+  const unsigned files = config.num_files;
   const unsigned chunks = config.num_chunks;
+  const fluid::SchemeKind scheme = config.scheme;
+  const bool sequential = scheme == fluid::SchemeKind::kMtsd ||
+                          scheme == fluid::SchemeKind::kCmfsd;
+  const std::uint32_t full_mask =
+      files == 32 ? ~std::uint32_t{0} : (std::uint32_t{1} << files) - 1;
   // One chunk per peer per slot: slot length so that a full file takes
   // 1/mu time units of dedicated upload.
   const double slot_dt = 1.0 / (config.fluid.mu * chunks);
@@ -103,30 +166,123 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
   RandomStream rng(config.seed);
   std::vector<Peer> peers;
   std::vector<std::size_t> live;
-  std::vector<unsigned> avail(chunks, 0);  // live copies per chunk
+  // Live copies per chunk, all files flattened: chunk c of file f is
+  // avail[f * chunks + c]. Rarest-first reads these counts.
+  std::vector<unsigned> avail(static_cast<std::size_t>(files) * chunks, 0);
 
-  const auto add_live = [&](std::size_t id) { live.push_back(id); };
+  const auto file_bit = [](unsigned f) { return std::uint32_t{1} << f; };
+
+  /// Which files `p` is actively downloading right now (0 for seeds, for
+  /// MTSD peers in an inter-file seeding residence, and for nobody else).
+  const auto accepts = [&](const Peer& p) -> std::uint32_t {
+    if (p.is_seed) return 0;
+    switch (scheme) {
+      case fluid::SchemeKind::kMtcd:
+      case fluid::SchemeKind::kMfcd:
+        return p.wanted & ~p.done;
+      case fluid::SchemeKind::kMtsd:
+        return p.seeding_phase ? 0u : file_bit(p.order[p.stage]);
+      case fluid::SchemeKind::kCmfsd:
+        return file_bit(p.order[p.stage]);
+    }
+    return 0;
+  };
+
+  /// Stops offering file `f`: its copies leave the availability census.
+  const auto withdraw = [&](Peer& p, unsigned f) {
+    if (!((p.counted >> f) & 1u)) return;
+    const Bitfield& bf = p.have[f];
+    for (unsigned c = 0; c < chunks; ++c) {
+      if (bf.test(c)) --avail[static_cast<std::size_t>(f) * chunks + c];
+    }
+    p.counted &= ~file_bit(f);
+  };
+
+  const auto spawn_peer = [&](std::uint32_t wanted_mask, double at,
+                              bool sampled_flag) {
+    peers.emplace_back(files, chunks, wanted_mask);
+    Peer& p = peers.back();
+    p.arrival = at;
+    p.stage_start = at;
+    p.sampled = sampled_flag;
+    for (unsigned f = 0; f < files; ++f) {
+      if ((wanted_mask >> f) & 1u) {
+        p.order.push_back(static_cast<std::uint8_t>(f));
+      }
+    }
+    // Sequential schemes visit the wanted files in a random per-user
+    // order so no file is systematically first. Single-file users (and
+    // every user at K = 1) draw nothing.
+    if (sequential && p.order.size() > 1) rng.shuffle(p.order);
+    if (scheme == fluid::SchemeKind::kMtcd) {
+      p.file_seed_depart.assign(files, kInf);
+    }
+    live.push_back(peers.size() - 1);
+  };
 
   // Publisher seeds.
   for (unsigned s = 0; s < config.initial_seeds; ++s) {
-    peers.emplace_back(chunks);
-    peers.back().have.set_all();
-    peers.back().is_seed = true;
-    peers.back().permanent = true;
-    add_live(peers.size() - 1);
-    for (unsigned c = 0; c < chunks; ++c) ++avail[c];
+    peers.emplace_back(files, chunks, full_mask);
+    Peer& p = peers.back();
+    for (unsigned f = 0; f < files; ++f) p.have[f].set_all();
+    p.done = full_mask;
+    p.is_seed = true;
+    p.permanent = true;
+    live.push_back(peers.size() - 1);
+    for (unsigned& a : avail) ++a;
   }
 
-  math::RunningStats download_time;
+  // Flash crowd: class-K users (wanting every file) injected at t = 0 on
+  // top of the Poisson process. Default 0 — the knob exists to probe the
+  // RFwPMS instability claim (bench/perf_chunk).
+  for (unsigned n = 0; n < config.flash_crowd; ++n) {
+    spawn_peer(full_mask, 0.0, config.warmup <= 0.0);
+  }
+
+  math::RunningStats download_time, online_time;
   math::TimeAverage downloaders_avg, seeds_avg;
   double downloader_uploads = 0.0;
   double seed_uploads = 0.0;
+  double donated_uploads = 0.0;
   double idle_uploader_slots = 0.0;
   double uploader_slots = 0.0;
+  double peak_downloaders = 0.0;
 
+  // Per-file accumulators (eta_f = tft_uploads_f / bandwidth_share_f).
+  std::vector<double> file_tft_uploads(files, 0.0);
+  std::vector<double> file_share(files, 0.0);       // sum of 1/l per slot
+  std::vector<double> file_downloaders(files, 0.0); // sum of x_f per slot
+  std::vector<double> file_seeders(files, 0.0);     // sum of s_f per slot
+  std::vector<math::RunningStats> file_download(files);
+  std::vector<math::RunningStats> class_download(files), class_online(files);
+  double sampled_download_sum = 0.0;
+  double sampled_online_sum = 0.0;
+  double sampled_files_sum = 0.0;
+  double measured_slot_count = 0.0;
+
+  const auto finalize_user = [&](Peer& v, double total_download) {
+    if (!v.sampled) return;
+    download_time.add(total_download);
+    const double online = v.depart - v.arrival;
+    online_time.add(online);
+    const unsigned cls = static_cast<unsigned>(std::popcount(v.wanted));
+    class_download[cls - 1].add(total_download);
+    class_online[cls - 1].add(online);
+    sampled_download_sum += total_download;
+    sampled_online_sum += online;
+    sampled_files_sum += static_cast<double>(cls);
+  };
+
+  // Scratch vectors reused across slots.
   std::vector<std::size_t> order;
   std::vector<std::size_t> interested;
   std::vector<unsigned> candidates;
+  std::vector<unsigned> filtered;
+  std::vector<std::size_t> down_all;                    // active downloaders
+  std::vector<std::vector<std::size_t>> down_by_file(files);
+  std::vector<unsigned> cand_files;
+  std::vector<std::size_t> viable;
+  std::vector<std::vector<std::size_t>> file_interest(files);
 
   // Telemetry: cadence-sampled population series and batched slot spans.
   // Observation draws no randomness, so the result is identical with or
@@ -136,14 +292,68 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
       sink.sample_dt > 0.0 ? sink.sample_dt : config.horizon / 512.0;
   double next_sample = sink.recorder != nullptr ? 0.0 : kInf;
   obs::SeriesId dl_series = 0, seed_series = 0, avail_series = 0;
+  std::vector<obs::SeriesId> file_dl_series, file_seed_series,
+      file_avail_series;
   if (sink.recorder != nullptr) {
     dl_series = sink.recorder->series("chunk.downloaders");
     seed_series = sink.recorder->series("chunk.seeds");
     avail_series = sink.recorder->series("chunk.availability");
+    if (files > 1) {
+      for (unsigned f = 0; f < files; ++f) {
+        const std::string tag = "chunk.file_" + std::to_string(f + 1);
+        file_dl_series.push_back(sink.recorder->series(tag + ".downloaders"));
+        file_seed_series.push_back(sink.recorder->series(tag + ".seeds"));
+        file_avail_series.push_back(
+            sink.recorder->series(tag + ".availability"));
+      }
+    }
   }
   std::optional<obs::TraceWriter::Span> slot_span;
   std::size_t span_slots = 0;
   double slots_total = 0.0;
+
+  /// Local rarest-first: minimise live availability over `cand`, scanning
+  /// from a random rotation so ties break uniformly.
+  const auto rarest_pick = [&](const std::vector<unsigned>& cand) {
+    unsigned chosen = cand[0];
+    unsigned best_avail = std::numeric_limits<unsigned>::max();
+    const std::size_t start = rng.index(cand.size());
+    for (std::size_t k = 0; k < cand.size(); ++k) {
+      const unsigned c = cand[(start + k) % cand.size()];
+      if (avail[c] < best_avail) {
+        best_avail = avail[c];
+        chosen = c;
+      }
+    }
+    return chosen;
+  };
+
+  const auto pick_chunk = [&]() -> unsigned {
+    switch (config.policy) {
+      case PiecePolicy::kRarestFirst:
+        return rarest_pick(candidates);
+      case PiecePolicy::kRandom:
+        return candidates[rng.index(candidates.size())];
+      case PiecePolicy::kModeSuppression: {
+        // RFwPMS adapted to the slotted substrate: with probability s the
+        // modal tier — the minimum-availability pieces every rarest-first
+        // uploader would herd onto this slot — is suppressed, provided a
+        // strictly less rare alternative exists.
+        if (config.suppression_prob > 0.0 &&
+            rng.uniform() < config.suppression_prob) {
+          unsigned lo = std::numeric_limits<unsigned>::max();
+          for (const unsigned c : candidates) lo = std::min(lo, avail[c]);
+          filtered.clear();
+          for (const unsigned c : candidates) {
+            if (avail[c] > lo) filtered.push_back(c);
+          }
+          if (!filtered.empty()) return rarest_pick(filtered);
+        }
+        return rarest_pick(candidates);
+      }
+    }
+    return candidates[0];
+  };
 
   double t = 0.0;
   while (t < config.horizon) {
@@ -164,14 +374,41 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
     if (next_sample <= t) {
       double x = 0.0, y = 0.0;
       for (const std::size_t id : live) {
-        (peers[id].is_seed ? y : x) += 1.0;
+        (accepts(peers[id]) == 0 ? y : x) += 1.0;
       }
       double copies = 0.0;
       for (const unsigned n : avail) copies += static_cast<double>(n);
       sink.recorder->append(dl_series, t, x);
       sink.recorder->append(seed_series, t, y);
       sink.recorder->append(avail_series, t,
-                            copies / static_cast<double>(chunks));
+                            copies / static_cast<double>(avail.size()));
+      if (!file_dl_series.empty()) {
+        std::vector<double> fx(files, 0.0), fs(files, 0.0);
+        for (const std::size_t id : live) {
+          const Peer& p = peers[id];
+          std::uint32_t m = accepts(p);
+          while (m != 0) {
+            fx[static_cast<unsigned>(std::countr_zero(m))] += 1.0;
+            m &= m - 1;
+          }
+          m = p.done & p.counted;
+          while (m != 0) {
+            fs[static_cast<unsigned>(std::countr_zero(m))] += 1.0;
+            m &= m - 1;
+          }
+        }
+        for (unsigned f = 0; f < files; ++f) {
+          double fcopies = 0.0;
+          for (unsigned c = 0; c < chunks; ++c) {
+            fcopies += static_cast<double>(
+                avail[static_cast<std::size_t>(f) * chunks + c]);
+          }
+          sink.recorder->append(file_dl_series[f], t, fx[f]);
+          sink.recorder->append(file_seed_series[f], t, fs[f]);
+          sink.recorder->append(file_avail_series[f], t,
+                                fcopies / static_cast<double>(chunks));
+        }
+      }
       next_sample += sample_dt;
     }
 
@@ -183,66 +420,225 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
       const double gap = rng.exponential(1.0);
       if (gap > budget) break;
       budget -= gap;
-      peers.emplace_back(chunks);
-      peers.back().arrival = t;
-      peers.back().sampled = measured;
-      add_live(peers.size() - 1);
+      std::uint32_t wanted_mask = 1u;
+      if (files > 1) {
+        // Binomial wanted set conditioned on wanting at least one file
+        // (the correlation model's L_i truncated at i = 0).
+        do {
+          wanted_mask = 0;
+          for (unsigned f = 0; f < files; ++f) {
+            if (rng.bernoulli(config.correlation)) wanted_mask |= file_bit(f);
+          }
+        } while (wanted_mask == 0);
+      }
+      spawn_peer(wanted_mask, t, measured);
     }
     if (live.size() > config.max_peers) {
       throw SolverError("chunk simulation exceeded max_peers");
     }
 
-    // --- seed departures -------------------------------------------------
+    // --- departures, per-torrent seeding expiries, MTSD stage advance ----
     for (std::size_t li = 0; li < live.size();) {
       Peer& p = peers[live[li]];
-      if (p.is_seed && !p.permanent && p.seed_depart <= t) {
-        for (unsigned c = 0; c < chunks; ++c) {
-          if (p.have.test(c)) --avail[c];
+      if (!p.permanent) {
+        if (scheme == fluid::SchemeKind::kMtcd) {
+          std::uint32_t pending = p.done & p.counted;
+          while (pending != 0) {
+            const unsigned f = static_cast<unsigned>(std::countr_zero(pending));
+            pending &= pending - 1;
+            if (p.file_seed_depart[f] <= t) withdraw(p, f);
+          }
+        } else if (scheme == fluid::SchemeKind::kMtsd && p.seeding_phase &&
+                   p.seed_until <= t) {
+          withdraw(p, p.order[p.stage]);
+          ++p.stage;
+          p.seeding_phase = false;
+          p.stage_start = t;
         }
-        live[li] = live.back();
-        live.pop_back();
-      } else {
-        ++li;
+        if (p.is_seed && p.depart <= t) {
+          std::uint32_t rest = p.counted;
+          while (rest != 0) {
+            const unsigned f = static_cast<unsigned>(std::countr_zero(rest));
+            rest &= rest - 1;
+            withdraw(p, f);
+          }
+          p.have.clear();
+          p.have.shrink_to_fit();
+          live[li] = live.back();
+          live.pop_back();
+          continue;
+        }
+      }
+      ++li;
+    }
+
+    // --- active-downloader index (live order, superset for this slot) ----
+    // MTCD peers downloading several torrents focus their receive side on
+    // ONE of them per slot (uniform): the paper's 1/l download-bandwidth
+    // split as a protocol mechanic — a class-i peer draws each torrent's
+    // service a 1/i fraction of the time, so its per-file time scales
+    // like the fluid's iA. Single-torrent peers (and every peer at K = 1)
+    // draw nothing.
+    down_all.clear();
+    for (auto& list : down_by_file) list.clear();
+    for (const std::size_t vid : live) {
+      std::uint32_t m = accepts(peers[vid]);
+      if (m == 0) continue;
+      down_all.push_back(vid);
+      if (scheme == fluid::SchemeKind::kMtcd && (m & (m - 1)) != 0) {
+        std::size_t skip = rng.index(static_cast<std::size_t>(std::popcount(m)));
+        while (skip-- > 0) m &= m - 1;
+        down_by_file[static_cast<unsigned>(std::countr_zero(m))].push_back(vid);
+        continue;
+      }
+      while (m != 0) {
+        down_by_file[static_cast<unsigned>(std::countr_zero(m))].push_back(vid);
+        m &= m - 1;
       }
     }
+    peak_downloaders =
+        std::max(peak_downloaders, static_cast<double>(down_all.size()));
 
     // --- population accounting -------------------------------------------
     if (measured) {
-      double x = 0.0;
-      double y = 0.0;
-      for (const std::size_t id : live) {
-        (peers[id].is_seed ? y : x) += 1.0;
+      downloaders_avg.add(static_cast<double>(down_all.size()), slot_dt);
+      seeds_avg.add(static_cast<double>(live.size() - down_all.size()),
+                    slot_dt);
+      measured_slot_count += 1.0;
+      for (const std::size_t vid : down_all) {
+        std::uint32_t m = accepts(peers[vid]);
+        // Per-file TFT bandwidth share this downloader points at file f
+        // (the eta denominator — docs/PROTOCOL.md). MTCD splits over the
+        // *class* (all wanted torrents, the fluid's 1/i; completed ones
+        // get theirs as altruistic sessions). CMFSD allocates only rho
+        // of a donate-eligible peer's slot to tit-for-tat (the rest is
+        // donation, which the fluid's pool serves without eta). The
+        // merged/sequential schemes split over what is active.
+        double share;
+        if (scheme == fluid::SchemeKind::kMtcd) {
+          share = 1.0 / static_cast<double>(std::popcount(peers[vid].wanted));
+        } else if (scheme == fluid::SchemeKind::kCmfsd &&
+                   (peers[vid].done & peers[vid].counted) != 0 &&
+                   config.rho < 1.0) {
+          share = config.rho;
+        } else {
+          share = 1.0 / static_cast<double>(std::popcount(m));
+        }
+        while (m != 0) {
+          const unsigned f = static_cast<unsigned>(std::countr_zero(m));
+          m &= m - 1;
+          file_share[f] += share;
+          file_downloaders[f] += 1.0;
+        }
       }
-      downloaders_avg.add(x, slot_dt);
-      seeds_avg.add(y, slot_dt);
+      for (const std::size_t vid : live) {
+        std::uint32_t m = peers[vid].done & peers[vid].counted;
+        while (m != 0) {
+          file_seeders[static_cast<unsigned>(std::countr_zero(m))] += 1.0;
+          m &= m - 1;
+        }
+      }
     }
 
-    // --- uploads: every peer with data ships one chunk --------------------
-    order = live;
-    rng.shuffle(order);
-    for (const std::size_t uid : order) {
-      Peer& u = peers[uid];
-      if (u.have.count() == 0) continue;  // nothing to offer yet
+    // --- file completion (shared tail of every delivery) ------------------
+    const auto on_file_complete = [&](Peer& v, unsigned f) {
+      v.done |= file_bit(f);
+      const bool concurrent_start = scheme == fluid::SchemeKind::kMtcd ||
+                                    scheme == fluid::SchemeKind::kMfcd;
+      if (v.sampled) {
+        file_download[f].add(t + slot_dt -
+                             (concurrent_start ? v.arrival : v.stage_start));
+      }
+      const bool last = (v.done & v.wanted) == v.wanted;
+      switch (scheme) {
+        case fluid::SchemeKind::kMtcd: {
+          // Each completed torrent is seeded for its own Exp(gamma).
+          v.file_seed_depart[f] = t + rng.exponential(config.fluid.gamma);
+          if (last) {
+            v.is_seed = true;
+            double depart = 0.0;
+            std::uint32_t m = v.wanted;
+            while (m != 0) {
+              const unsigned g = static_cast<unsigned>(std::countr_zero(m));
+              m &= m - 1;
+              depart = std::max(depart, v.file_seed_depart[g]);
+            }
+            v.depart = depart;
+            v.credit.clear();
+            finalize_user(v, t + slot_dt - v.arrival);
+          }
+          break;
+        }
+        case fluid::SchemeKind::kMtsd: {
+          v.download_accum += t + slot_dt - v.stage_start;
+          if (last) {
+            v.is_seed = true;
+            v.depart = t + rng.exponential(config.fluid.gamma);
+            v.credit.clear();
+            finalize_user(v, v.download_accum);
+          } else {
+            v.seeding_phase = true;
+            v.seed_until = t + rng.exponential(config.fluid.gamma);
+            v.credit.clear();
+          }
+          break;
+        }
+        case fluid::SchemeKind::kMfcd: {
+          if (last) {
+            v.is_seed = true;
+            v.depart = t + rng.exponential(config.fluid.gamma);
+            v.credit.clear();
+            finalize_user(v, t + slot_dt - v.arrival);
+          }
+          break;
+        }
+        case fluid::SchemeKind::kCmfsd: {
+          if (last) {
+            v.is_seed = true;
+            v.depart = t + rng.exponential(config.fluid.gamma);
+            v.credit.clear();
+            finalize_user(v, t + slot_dt - v.arrival);
+          } else {
+            ++v.stage;
+            v.stage_start = t + slot_dt;
+          }
+          break;
+        }
+      }
+    };
 
-      // Interested receivers: downloaders lacking something u has.
+    // --- one upload session: pick a receiver among `scan`, then a chunk --
+    // `allowed` limits which of the uploader's files are on offer;
+    // `altruistic` sessions (seeds, MTSD inter-file seeding, CMFSD
+    // donations) serve a random interested peer, TFT sessions reciprocate
+    // the best recent uploader except on optimistic unchokes.
+    const auto run_session = [&](Peer& u, std::size_t uid,
+                                 const std::vector<std::size_t>& scan,
+                                 std::uint32_t allowed, bool altruistic,
+                                 bool donation) {
       interested.clear();
-      for (const std::size_t vid : live) {
+      for (const std::size_t vid : scan) {
         if (vid == uid) continue;
         Peer& v = peers[vid];
-        if (v.is_seed) continue;
-        if (u.have.has_something_for(v.have)) interested.push_back(vid);
+        std::uint32_t fs = accepts(v) & allowed;
+        while (fs != 0) {
+          const unsigned f = static_cast<unsigned>(std::countr_zero(fs));
+          fs &= fs - 1;
+          if (u.have[f].has_something_for(v.have[f])) {
+            interested.push_back(vid);
+            break;
+          }
+        }
       }
       if (measured) uploader_slots += 1.0;
       if (interested.empty()) {
         if (measured) idle_uploader_slots += 1.0;
-        continue;
+        return;
       }
 
-      // Receiver: seeds are altruistic; downloaders reciprocate their
-      // best recent uploader except on optimistic unchokes.
       std::size_t receiver = interested[rng.index(interested.size())];
-      if (!u.is_seed && !(config.optimistic_prob > 0.0 &&
-                          rng.uniform() < config.optimistic_prob)) {
+      if (!altruistic && !(config.optimistic_prob > 0.0 &&
+                           rng.uniform() < config.optimistic_prob)) {
         double best_credit = 0.0;
         for (const std::size_t vid : interested) {
           const auto it = u.credit.find(vid);
@@ -255,33 +651,188 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
         // best_credit == 0 keeps the random (optimistic) choice.
       }
 
-      // Chunk: local rarest first among what u can give the receiver.
       Peer& v = peers[receiver];
-      u.have.missing_from(v.have, candidates);
-      BTMF_ASSERT(!candidates.empty());
-      unsigned chosen = candidates[0];
-      unsigned best_avail = std::numeric_limits<unsigned>::max();
-      const std::size_t start = rng.index(candidates.size());
-      for (std::size_t k = 0; k < candidates.size(); ++k) {
-        const unsigned c = candidates[(start + k) % candidates.size()];
-        if (avail[c] < best_avail) {
-          best_avail = avail[c];
-          chosen = c;
-        }
+      candidates.clear();
+      std::uint32_t fs = accepts(v) & allowed;
+      while (fs != 0) {
+        const unsigned f = static_cast<unsigned>(std::countr_zero(fs));
+        fs &= fs - 1;
+        u.have[f].append_missing_from(v.have[f], f * chunks, candidates);
       }
+      BTMF_ASSERT(!candidates.empty());
+      const unsigned chosen = pick_chunk();
+      const unsigned cf = chosen / chunks;
 
-      v.have.set(chosen);
+      v.have[cf].set(chosen % chunks);
       ++avail[chosen];
       v.credit[uid] += 1.0;
       if (measured) {
-        (u.is_seed ? seed_uploads : downloader_uploads) += 1.0;
+        (altruistic ? seed_uploads : downloader_uploads) += 1.0;
+        if (!altruistic) file_tft_uploads[cf] += 1.0;
+        if (donation) donated_uploads += 1.0;
+      }
+      if (v.have[cf].full()) on_file_complete(v, cf);
+    };
+
+    // --- the TFT download-side session for the separate-torrent schemes:
+    // one mu split uniformly across the uploader's active torrents that
+    // have an interested peer (no draw when only one qualifies).
+    const auto run_download_session = [&](Peer& u, std::size_t uid,
+                                          std::uint32_t active) {
+      cand_files.clear();
+      std::uint32_t m = active;
+      while (m != 0) {
+        const unsigned f = static_cast<unsigned>(std::countr_zero(m));
+        m &= m - 1;
+        if (u.have[f].count() > 0) cand_files.push_back(f);
+      }
+      if (cand_files.empty()) return;  // nothing to offer yet: no session
+      viable.clear();
+      for (std::size_t ci = 0; ci < cand_files.size(); ++ci) {
+        const unsigned f = cand_files[ci];
+        std::vector<std::size_t>& list = file_interest[ci];
+        list.clear();
+        for (const std::size_t vid : down_by_file[f]) {
+          if (vid == uid) continue;
+          Peer& v = peers[vid];
+          if (((accepts(v) >> f) & 1u) == 0) continue;
+          if (u.have[f].has_something_for(v.have[f])) list.push_back(vid);
+        }
+        if (!list.empty()) viable.push_back(ci);
+      }
+      if (measured) uploader_slots += 1.0;
+      if (viable.empty()) {
+        if (measured) idle_uploader_slots += 1.0;
+        return;
+      }
+      const std::size_t ci =
+          viable.size() == 1 ? viable[0] : viable[rng.index(viable.size())];
+      const unsigned f = cand_files[ci];
+      const std::vector<std::size_t>& list = file_interest[ci];
+
+      std::size_t receiver = list[rng.index(list.size())];
+      if (!(config.optimistic_prob > 0.0 &&
+            rng.uniform() < config.optimistic_prob)) {
+        double best_credit = 0.0;
+        for (const std::size_t vid : list) {
+          const auto it = u.credit.find(vid);
+          const double credit = it != u.credit.end() ? it->second : 0.0;
+          if (credit > best_credit) {
+            best_credit = credit;
+            receiver = vid;
+          }
+        }
       }
 
-      if (v.have.full()) {
-        v.is_seed = true;
-        v.seed_depart = t + rng.exponential(config.fluid.gamma);
-        v.credit.clear();
-        if (v.sampled) download_time.add(t + slot_dt - v.arrival);
+      Peer& v = peers[receiver];
+      candidates.clear();
+      u.have[f].append_missing_from(v.have[f], f * chunks, candidates);
+      BTMF_ASSERT(!candidates.empty());
+      const unsigned chosen = pick_chunk();
+
+      v.have[f].set(chosen % chunks);
+      ++avail[chosen];
+      v.credit[uid] += 1.0;
+      if (measured) {
+        downloader_uploads += 1.0;
+        file_tft_uploads[f] += 1.0;
+      }
+      if (v.have[f].full()) on_file_complete(v, f);
+    };
+
+    // --- uploads: every peer with data ships one chunk per session --------
+    order = live;
+    rng.shuffle(order);
+    for (const std::size_t uid : order) {
+      Peer& u = peers[uid];
+      switch (scheme) {
+        case fluid::SchemeKind::kMtcd: {
+          // The paper's class split: a class-i user dedicates mu/i of
+          // its upload to each wanted torrent for its whole stay —
+          // downloading and seeding alike (the fluid's seed term is
+          // mu_bar * y, not mu * y; that is where the A formula's
+          // gamma - mu_bar numerator comes from). One upload session
+          // per slot, on a uniformly drawn wanted torrent: altruistic
+          // if that file is done and still seeded, tit-for-tat if it is
+          // still downloading, idle if its seeding residence expired.
+          std::uint32_t m = u.wanted;
+          if ((m & (m - 1)) != 0) {
+            std::size_t skip =
+                rng.index(static_cast<std::size_t>(std::popcount(m)));
+            while (skip-- > 0) m &= m - 1;
+          }
+          const unsigned f = static_cast<unsigned>(std::countr_zero(m));
+          const std::uint32_t fb = file_bit(f);
+          if ((u.done & u.counted & fb) != 0) {
+            run_session(u, uid, down_by_file[f], fb,
+                        /*altruistic=*/true, /*donation=*/false);
+          } else if ((accepts(u) & fb) != 0) {
+            run_download_session(u, uid, fb);
+          }
+          break;
+        }
+        case fluid::SchemeKind::kMtsd: {
+          // Sequential: each subtorrent is an independent single
+          // torrent — full-rate altruistic seeding of the current file
+          // between downloads, full-rate tit-for-tat while downloading.
+          std::uint32_t seeding = u.done & u.counted;
+          while (seeding != 0) {
+            const unsigned f = static_cast<unsigned>(std::countr_zero(seeding));
+            seeding &= seeding - 1;
+            run_session(u, uid, down_by_file[f], file_bit(f),
+                        /*altruistic=*/true, /*donation=*/false);
+          }
+          const std::uint32_t active = accepts(u);
+          if (active != 0) run_download_session(u, uid, active);
+          break;
+        }
+        case fluid::SchemeKind::kMfcd: {
+          // One merged swarm: a single session offers every held chunk.
+          if (u.is_seed) {
+            if ((u.wanted & u.counted) != 0) {
+              run_session(u, uid, down_all, u.wanted & u.counted,
+                          /*altruistic=*/true, /*donation=*/false);
+            }
+            break;
+          }
+          std::uint32_t offer = 0;
+          std::uint32_t m = u.wanted & u.counted;
+          while (m != 0) {
+            const unsigned f = static_cast<unsigned>(std::countr_zero(m));
+            m &= m - 1;
+            if (u.have[f].count() > 0) offer |= file_bit(f);
+          }
+          if (offer != 0) {
+            run_session(u, uid, down_all, offer, /*altruistic=*/false,
+                        /*donation=*/false);
+          }
+          break;
+        }
+        case fluid::SchemeKind::kCmfsd: {
+          if (u.is_seed) {
+            if ((u.wanted & u.counted) != 0) {
+              run_session(u, uid, down_all, u.wanted & u.counted,
+                          /*altruistic=*/true, /*donation=*/false);
+            }
+            break;
+          }
+          // The paper's P(i, j) bandwidth split: with probability
+          // 1 - rho the slot is donated to the peer's completed
+          // subtorrents; otherwise it trades on the current one.
+          const std::uint32_t donate_mask = u.done & u.counted;
+          if (donate_mask != 0 && config.rho < 1.0 &&
+              rng.uniform() < 1.0 - config.rho) {
+            run_session(u, uid, down_all, donate_mask, /*altruistic=*/true,
+                        /*donation=*/true);
+            break;
+          }
+          const unsigned cur = u.order[u.stage];
+          if (u.have[cur].count() > 0) {
+            run_session(u, uid, down_by_file[cur], file_bit(cur),
+                        /*altruistic=*/false, /*donation=*/false);
+          }
+          break;
+        }
       }
     }
 
@@ -311,20 +862,40 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
           static_cast<std::uint64_t>(downloader_uploads));
     m.add(m.counter("chunk.seed_uploads"),
           static_cast<std::uint64_t>(seed_uploads));
+    if (scheme == fluid::SchemeKind::kCmfsd) {
+      m.add(m.counter("chunk.donated_uploads"),
+            static_cast<std::uint64_t>(donated_uploads));
+    }
   }
 
   ChunkSimResult result;
   result.completed_peers = download_time.count();
   result.mean_download_time = download_time.mean();
   result.ci_download_time = download_time.ci_halfwidth();
+  result.mean_online_time = online_time.mean();
   result.avg_downloaders = downloaders_avg.average();
   result.avg_seeds = seeds_avg.average();
+  result.peak_downloaders = peak_downloaders;
   const double measured_slots =
       (config.horizon - config.warmup) / slot_dt;
   const double dl_per_slot = downloader_uploads / measured_slots;
-  result.emergent_eta = result.avg_downloaders > 0.0
-                            ? dl_per_slot / result.avg_downloaders
-                            : 0.0;
+  if (files == 1) {
+    result.emergent_eta = result.avg_downloaders > 0.0
+                              ? dl_per_slot / result.avg_downloaders
+                              : 0.0;
+  } else {
+    // K > 1: eta_hat = TFT chunks delivered per unit of allocated TFT
+    // bandwidth share (the per-file shares summed). At K = 1 the two
+    // definitions coincide; the branch keeps the single-torrent
+    // expression bit-identical to the pre-refactor substrate.
+    double tft_total = 0.0;
+    double share_total = 0.0;
+    for (unsigned f = 0; f < files; ++f) {
+      tft_total += file_tft_uploads[f];
+      share_total += file_share[f];
+    }
+    result.emergent_eta = share_total > 0.0 ? tft_total / share_total : 0.0;
+  }
   const double total_uploads = downloader_uploads + seed_uploads;
   if (total_uploads > 0.0) {
     result.downloader_upload_share = downloader_uploads / total_uploads;
@@ -337,6 +908,29 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
     result.fluid_prediction =
         (config.fluid.gamma - config.fluid.mu) /
         (config.fluid.gamma * config.fluid.mu * result.emergent_eta);
+  }
+  if (sampled_files_sum > 0.0) {
+    result.avg_download_per_file = sampled_download_sum / sampled_files_sum;
+    result.avg_online_per_file = sampled_online_sum / sampled_files_sum;
+  }
+  result.files.resize(files);
+  for (unsigned f = 0; f < files; ++f) {
+    ChunkFileResult& fr = result.files[f];
+    fr.emergent_eta =
+        file_share[f] > 0.0 ? file_tft_uploads[f] / file_share[f] : 0.0;
+    if (measured_slot_count > 0.0) {
+      fr.avg_downloaders = file_downloaders[f] / measured_slot_count;
+      fr.avg_seeds = file_seeders[f] / measured_slot_count;
+    }
+    fr.completions = file_download[f].count();
+    fr.mean_download_time = file_download[f].mean();
+  }
+  result.classes.resize(files);
+  for (unsigned i = 0; i < files; ++i) {
+    ChunkClassResult& cr = result.classes[i];
+    cr.completed_users = class_download[i].count();
+    cr.mean_download_time = class_download[i].mean();
+    cr.mean_online_time = class_online[i].mean();
   }
   return result;
 }

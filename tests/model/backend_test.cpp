@@ -129,12 +129,30 @@ TEST(ModelBackendTest, CapabilityGatesRefuseWhatABackendCannotModel) {
                      .unsupported_reason(spec)
                      .has_value());
   }
-  // chunk-sim models a single torrent.
+  // chunk-sim runs true multi-file torrents now, up to its piece-bitmap
+  // width of 32 files.
   {
-    const ScenarioSpec spec = small_spec(fluid::SchemeKind::kMtcd, 1.0);
+    ScenarioSpec spec = small_spec(fluid::SchemeKind::kMtcd, 1.0);
+    EXPECT_FALSE(
+        require_backend("chunk-sim").unsupported_reason(spec).has_value());
+    spec.num_files = 33;
     const Outcome outcome = require_backend("chunk-sim").evaluate(spec);
     EXPECT_EQ(outcome.status, OutcomeStatus::kUnsupported);
-    EXPECT_NE(outcome.error.find("at most 1"), std::string::npos);
+    EXPECT_NE(outcome.error.find("at most 32"), std::string::npos);
+  }
+  // Piece-selection policies exist only at the chunk level; every other
+  // backend refuses rather than silently ignoring the knob.
+  {
+    ScenarioSpec spec = small_spec(fluid::SchemeKind::kMtcd, 0.5);
+    spec.chunk_policy = sim::PiecePolicy::kModeSuppression;
+    for (const char* name : {"fluid-equilibrium", "fluid-transient",
+                             "kernel-sim"}) {
+      const Outcome outcome = require_backend(name).evaluate(spec);
+      EXPECT_EQ(outcome.status, OutcomeStatus::kUnsupported) << name;
+      EXPECT_NE(outcome.error.find("piece"), std::string::npos) << name;
+    }
+    EXPECT_FALSE(
+        require_backend("chunk-sim").unsupported_reason(spec).has_value());
   }
 }
 

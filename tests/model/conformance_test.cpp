@@ -161,5 +161,65 @@ TEST(ModelConformanceTest, ChunkSimMatchesFluidAtEmergentEta) {
       << "eta_hat=" << chunk.chunk->emergent_eta;
 }
 
+// The multi-file conformance matrix: all four schemes run on the chunk
+// substrate at K = 3 and are compared eta-matched against the paper's
+// fluid models — zero declared-unsupported cells. Per-class times are
+// checked where the fluid's class structure is the protocol's (MTCD,
+// MTSD, CMFSD); MFCD's merged swarm genuinely mixes classes (one bundle
+// swarm serves everyone, so small classes ride the large ones) while the
+// fluid simply equates MFCD to MTCD, so only the arrival-weighted
+// headline is comparable there — a protocol-level finding documented in
+// docs/PROTOCOL.md.
+TEST(ModelConformanceTest, MultiFileChunkSimMatchesFluidAtEmergentEta) {
+  const Backend& chunk_backend = require_backend("chunk-sim");
+  const Backend& equilibrium = require_backend("fluid-equilibrium");
+  for (const fluid::SchemeKind scheme : kAllSchemes) {
+    ScenarioSpec spec = paper_spec(scheme, 0.5, /*k=*/3);
+    spec.visit_rate = 2.0;
+    spec.rho = 0.5;
+    spec.horizon = 3000.0;
+    spec.warmup = 800.0;
+    spec.seed = 11;
+    ASSERT_FALSE(chunk_backend.unsupported_reason(spec).has_value())
+        << fluid::to_string(scheme) << " must be a supported K > 1 cell";
+    const Outcome chunk = chunk_backend.evaluate_or_throw(spec);
+    ASSERT_TRUE(chunk.chunk.has_value());
+    ASSERT_GT(chunk.chunk->emergent_eta, 0.0);
+
+    ScenarioSpec matched = spec;
+    matched.fluid.eta = chunk.chunk->emergent_eta;
+    const Outcome fluid_outcome = equilibrium.evaluate_or_throw(matched);
+    EXPECT_LT(rel_diff(chunk.avg_download_per_file,
+                       fluid_outcome.avg_download_per_file),
+              0.15)
+        << fluid::to_string(scheme)
+        << " eta_hat=" << chunk.chunk->emergent_eta
+        << " sim=" << chunk.avg_download_per_file
+        << " fluid=" << fluid_outcome.avg_download_per_file;
+    if (scheme == fluid::SchemeKind::kMfcd) continue;
+    ASSERT_EQ(chunk.per_class.num_classes(),
+              fluid_outcome.per_class.num_classes());
+    for (std::size_t i = 0; i < chunk.per_class.num_classes(); ++i) {
+      EXPECT_LT(rel_diff(chunk.per_class.download_time[i],
+                         fluid_outcome.per_class.download_time[i]),
+                0.15)
+          << fluid::to_string(scheme) << " class " << i + 1;
+    }
+  }
+}
+
+// The piece-selection policy seam reaches through the model layer: a
+// non-default policy changes the chunk backend's outcome and nothing
+// else accepts it.
+TEST(ModelConformanceTest, PiecePolicyFlowsThroughTheBackendSeam) {
+  ScenarioSpec spec = paper_spec(fluid::SchemeKind::kMtcd, 1.0, /*k=*/1);
+  spec.horizon = 1500.0;
+  spec.warmup = 400.0;
+  const Outcome rarest = require_backend("chunk-sim").evaluate_or_throw(spec);
+  spec.chunk_policy = sim::PiecePolicy::kRandom;
+  const Outcome random = require_backend("chunk-sim").evaluate_or_throw(spec);
+  EXPECT_NE(rarest.avg_download_per_file, random.avg_download_per_file);
+}
+
 }  // namespace
 }  // namespace btmf::model

@@ -85,6 +85,10 @@ std::vector<Mutation> field_mutations() {
     s.faults.bandwidth_faults.push_back({/*start=*/100.0, /*duration=*/50.0});
   });
   add("num_chunks", [](ScenarioSpec& s) { s.num_chunks = 64; });
+  add("chunk_policy",
+      [](ScenarioSpec& s) { s.chunk_policy = sim::PiecePolicy::kRandom; });
+  add("chunk_suppression",
+      [](ScenarioSpec& s) { s.chunk_suppression = 0.25; });
   return m;
 }
 

@@ -40,6 +40,8 @@ ScenarioSpec loaded_spec() {
   spec.faults.churn_bursts.push_back({1200.0, 0.5, 0.75, 1.5});
   spec.faults.bandwidth_faults.push_back({300.0, 100.0, 0.5});
   spec.num_chunks = 48;
+  spec.chunk_policy = sim::PiecePolicy::kModeSuppression;
+  spec.chunk_suppression = 0.85;
   return spec;
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "btmf/obs/metrics.h"
 #include "btmf/util/error.h"
 
 namespace btmf::sim {
@@ -110,6 +111,232 @@ TEST(ChunkSimTest, SeedShareGrowsWithSeedResidence) {
   const ChunkSimResult b = run_chunk_sim(patient);
   EXPECT_GT(b.seed_upload_share, a.seed_upload_share + 0.1);
   EXPECT_GT(b.emergent_eta, 0.7);  // efficiency unaffected
+}
+
+// ---------------------------------------------------------------------------
+// K = 1 bit-identity: the multi-file engine must draw exactly the variates
+// the pre-refactor single-torrent substrate drew (docs/PROTOCOL.md). The
+// literals below were captured from the pre-refactor simulator; 17
+// significant digits round-trip doubles exactly, so EXPECT_EQ is
+// bit-identity.
+// ---------------------------------------------------------------------------
+
+TEST(ChunkSimTest, K1PathIsBitIdenticalToThePreRefactorSubstrate) {
+  {
+    const ChunkSimResult r = run_chunk_sim(small_config());
+    EXPECT_EQ(r.completed_peers, 1131u);
+    EXPECT_EQ(r.mean_download_time, 31.744584438549946);
+    EXPECT_EQ(r.emergent_eta, 0.86897945436173785);
+    EXPECT_EQ(r.avg_downloaders, 33.738636363636367);
+    EXPECT_EQ(r.avg_seeds, 22.09090909090909);
+    EXPECT_EQ(r.downloader_upload_share, 0.5534402316726551);
+    EXPECT_EQ(r.ci_download_time, 0.55094711404061059);
+    EXPECT_EQ(r.fluid_prediction, 34.523255813953497);
+  }
+  {
+    ChunkSimConfig c;
+    c.num_chunks = 32;
+    c.entry_rate = 0.7;
+    c.horizon = 2000.0;
+    c.warmup = 500.0;
+    c.seed = 7;
+    c.optimistic_prob = 0.1;
+    c.credit_decay = 0.8;
+    c.initial_seeds = 3;
+    const ChunkSimResult r = run_chunk_sim(c);
+    EXPECT_EQ(r.completed_peers, 1008u);
+    EXPECT_EQ(r.mean_download_time, 28.645833333333307);
+    EXPECT_EQ(r.emergent_eta, 0.92207999150156672);
+    EXPECT_EQ(r.avg_downloaders, 19.611458333333335);
+    EXPECT_EQ(r.avg_seeds, 15.651041666666666);
+  }
+  {
+    ChunkSimConfig c;
+    c.num_chunks = 8;
+    c.entry_rate = 1.5;
+    c.horizon = 1200.0;
+    c.warmup = 300.0;
+    c.seed = 99;
+    c.optimistic_prob = 0.0;
+    const ChunkSimResult r = run_chunk_sim(c);
+    EXPECT_EQ(r.completed_peers, 1294u);
+    EXPECT_EQ(r.mean_download_time, 37.765649149922687);
+    EXPECT_EQ(r.emergent_eta, 0.76988010765842918);
+    EXPECT_EQ(r.avg_downloaders, 56.763888888888886);
+    EXPECT_EQ(r.avg_seeds, 26.631944444444443);
+  }
+}
+
+TEST(ChunkSimTest, AllSchemesCoincideBitForBitAtK1) {
+  // With one file there is nothing to schedule, so every multi-file
+  // scheme must reduce to the same single-torrent protocol.
+  const ChunkSimResult base = run_chunk_sim(small_config());
+  for (const fluid::SchemeKind scheme :
+       {fluid::SchemeKind::kMtsd, fluid::SchemeKind::kMfcd,
+        fluid::SchemeKind::kCmfsd}) {
+    ChunkSimConfig c = small_config();
+    c.scheme = scheme;
+    const ChunkSimResult r = run_chunk_sim(c);
+    EXPECT_EQ(r.completed_peers, base.completed_peers)
+        << fluid::to_string(scheme);
+    EXPECT_EQ(r.mean_download_time, base.mean_download_time)
+        << fluid::to_string(scheme);
+    EXPECT_EQ(r.emergent_eta, base.emergent_eta) << fluid::to_string(scheme);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Piece-selection policy zoo.
+// ---------------------------------------------------------------------------
+
+TEST(ChunkSimTest, PiecePolicyStringsRoundTrip) {
+  for (const PiecePolicy policy :
+       {PiecePolicy::kRarestFirst, PiecePolicy::kRandom,
+        PiecePolicy::kModeSuppression}) {
+    EXPECT_EQ(piece_policy_from_string(to_string(policy)), policy);
+  }
+  EXPECT_THROW((void)piece_policy_from_string("rarest"), ConfigError);
+  EXPECT_THROW((void)piece_policy_from_string(""), ConfigError);
+}
+
+// Availability-scarce flash crowd: one publisher, fast-departing organic
+// seeds. Here piece choice matters, and local rarest-first must (weakly)
+// beat blind random selection on every seed — the Qiu-Srikant argument
+// that rarest-first keeps neighbours mutually interesting.
+ChunkSimConfig scarcity_config(std::uint64_t seed) {
+  ChunkSimConfig c;
+  c.num_chunks = 64;
+  c.entry_rate = 0.25;
+  c.fluid.gamma = 0.25;  // seeds leave almost immediately
+  c.initial_seeds = 1;
+  c.flash_crowd = 60;
+  c.horizon = 1500.0;
+  c.warmup = 0.0;  // measure the drain itself
+  c.seed = seed;
+  return c;
+}
+
+TEST(ChunkSimTest, RarestFirstWeaklyDominatesRandomUnderScarcity) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    ChunkSimConfig c = scarcity_config(seed);
+    c.policy = PiecePolicy::kRarestFirst;
+    const ChunkSimResult rarest = run_chunk_sim(c);
+    c.policy = PiecePolicy::kRandom;
+    const ChunkSimResult random = run_chunk_sim(c);
+    EXPECT_LE(rarest.avg_download_per_file, random.avg_download_per_file)
+        << "seed " << seed;
+  }
+}
+
+TEST(ChunkSimTest, ModeSuppressionTradesLatencyForTierSpread) {
+  // RFwPMS suppresses the modal availability tier, deliberately paying
+  // download time to avoid rarest-first herding; under the same scarce
+  // flash crowd it must still drain the swarm, slower than pure
+  // rarest-first.
+  ChunkSimConfig c = scarcity_config(2);
+  c.policy = PiecePolicy::kRarestFirst;
+  const ChunkSimResult rarest = run_chunk_sim(c);
+  c.policy = PiecePolicy::kModeSuppression;
+  const ChunkSimResult suppressed = run_chunk_sim(c);
+  EXPECT_GT(suppressed.completed_peers, 300u);
+  EXPECT_GT(suppressed.avg_download_per_file, rarest.avg_download_per_file);
+}
+
+TEST(ChunkSimTest, FlashCrowdRaisesPeakPopulation) {
+  ChunkSimConfig c = small_config();
+  const ChunkSimResult calm = run_chunk_sim(c);
+  c.flash_crowd = 80;
+  const ChunkSimResult crowd = run_chunk_sim(c);
+  EXPECT_GE(crowd.peak_downloaders, 80.0);
+  EXPECT_GT(crowd.peak_downloaders, calm.peak_downloaders);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-file torrents (K > 1).
+// ---------------------------------------------------------------------------
+
+ChunkSimConfig multi_config(fluid::SchemeKind scheme) {
+  ChunkSimConfig c;
+  c.num_files = 3;
+  c.num_chunks = 16;
+  c.correlation = 0.5;
+  c.entry_rate = 2.0 * (1.0 - 0.125);  // lambda0 = 2, users wanting >= 1
+  c.scheme = scheme;
+  c.horizon = 2200.0;
+  c.warmup = 600.0;
+  c.seed = 11;
+  return c;
+}
+
+TEST(ChunkSimTest, MultiFileRunsExposePerFileAndPerClassBreakdowns) {
+  const ChunkSimResult r = run_chunk_sim(multi_config(fluid::SchemeKind::kMtcd));
+  ASSERT_EQ(r.files.size(), 3u);
+  ASSERT_EQ(r.classes.size(), 3u);
+  for (const ChunkFileResult& f : r.files) {
+    EXPECT_GT(f.completions, 100u);
+    EXPECT_GT(f.emergent_eta, 0.5);
+    EXPECT_LE(f.emergent_eta, 1.0 + 1e-9);
+    EXPECT_GT(f.avg_downloaders, 0.0);
+    EXPECT_GT(f.avg_seeds, 0.0);
+  }
+  for (const ChunkClassResult& cls : r.classes) {
+    EXPECT_GT(cls.completed_users, 50u);
+    EXPECT_GT(cls.mean_online_time, cls.mean_download_time);
+  }
+  // Concurrent download of i files at 1/i rate each: class times are
+  // close to linear in i (the paper's T_i = i * A).
+  const double t1 = r.classes[0].mean_download_time;
+  EXPECT_NEAR(r.classes[1].mean_download_time, 2.0 * t1, 0.35 * t1);
+  EXPECT_NEAR(r.classes[2].mean_download_time, 3.0 * t1, 0.55 * t1);
+}
+
+TEST(ChunkSimTest, SequentialSchemeSeedsBetweenFiles) {
+  // MTSD seeds each completed file for Exp(gamma) before starting the
+  // next, so a class-i user's online time carries ~i seeding residences
+  // on top of the download time.
+  const ChunkSimResult r = run_chunk_sim(multi_config(fluid::SchemeKind::kMtsd));
+  const double residence = 1.0 / multi_config(fluid::SchemeKind::kMtsd).fluid.gamma;
+  for (unsigned i = 1; i <= 3; ++i) {
+    const ChunkClassResult& cls = r.classes[i - 1];
+    ASSERT_GT(cls.completed_users, 50u);
+    const double seeding = cls.mean_online_time - cls.mean_download_time;
+    EXPECT_NEAR(seeding, i * residence, 0.4 * i * residence) << "class " << i;
+  }
+}
+
+TEST(ChunkSimTest, CmfsdDonatesCompletedSubtorrentBandwidth) {
+  obs::MetricsRegistry metrics;
+  ChunkSimConfig c = multi_config(fluid::SchemeKind::kCmfsd);
+  c.rho = 0.5;
+  c.obs.metrics = &metrics;
+  (void)run_chunk_sim(c);
+  const obs::MetricsSnapshot with_pool = metrics.snapshot();
+  EXPECT_GT(with_pool.counters.at("chunk.donated_uploads"), 0u);
+
+  obs::MetricsRegistry metrics_rho1;
+  c.rho = 1.0;  // no donation: pure sequential tit-for-tat
+  c.obs.metrics = &metrics_rho1;
+  (void)run_chunk_sim(c);
+  const obs::MetricsSnapshot no_pool = metrics_rho1.snapshot();
+  EXPECT_EQ(no_pool.counters.at("chunk.donated_uploads"), 0u);
+}
+
+TEST(ChunkSimTest, MultiFileConfigValidation) {
+  ChunkSimConfig c = multi_config(fluid::SchemeKind::kMtcd);
+  c.num_files = 0;
+  EXPECT_THROW((void)run_chunk_sim(c), ConfigError);
+  c = multi_config(fluid::SchemeKind::kMtcd);
+  c.num_files = 33;  // piece bitmaps are 32-bit file masks
+  EXPECT_THROW((void)run_chunk_sim(c), ConfigError);
+  c = multi_config(fluid::SchemeKind::kMtcd);
+  c.correlation = 0.0;  // nobody would want any file
+  EXPECT_THROW((void)run_chunk_sim(c), ConfigError);
+  c = multi_config(fluid::SchemeKind::kCmfsd);
+  c.rho = 1.5;
+  EXPECT_THROW((void)run_chunk_sim(c), ConfigError);
+  c = multi_config(fluid::SchemeKind::kMtcd);
+  c.suppression_prob = -0.1;
+  EXPECT_THROW((void)run_chunk_sim(c), ConfigError);
 }
 
 }  // namespace
