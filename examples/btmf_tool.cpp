@@ -71,9 +71,16 @@ void add_spec_options(util::ArgParser& parser,
   parser.add_option("gamma", "0.05", "seed departure rate");
   parser.add_option("scheme", "cmfsd", "mtcd|mtsd|mfcd|cmfsd");
   parser.add_option("rho", "0.0", "CMFSD bandwidth split");
+  parser.add_option("arrival", "poisson",
+                    "arrival process: poisson | "
+                    "diurnal,<amp>,<period>,<phase> | "
+                    "flash,<t0>,<width>,<boost>,<interval>,<pulses>");
+  parser.add_option("classes", "",
+                    "bandwidth classes as weight,up_scale,down_cap|... "
+                    "(empty = homogeneous)");
   parser.add_option("backend", backend_default,
                     "evaluator: fluid-equilibrium|fluid-transient|"
-                    "kernel-sim|chunk-sim");
+                    "kernel-sim|chunk-sim|stochastic-epidemic");
   parser.add_option("shards", "1",
                     "torrent shards for the sharded kernel (kernel-sim, "
                     "decomposable schemes; bit-identical for any value)");
@@ -94,6 +101,10 @@ model::ScenarioSpec spec_from_cli(const util::ArgParser& parser) {
   spec.fluid.gamma = parser.get_double("gamma");
   spec.scheme = fluid::scheme_from_string(parser.get("scheme"));
   spec.rho = parser.get_double("rho");
+  spec.arrival = fluid::parse_arrival(parser.get("arrival"));
+  if (!parser.get("classes").empty()) {
+    spec.bandwidth_classes = fluid::parse_classes(parser.get("classes"));
+  }
   spec.shards = static_cast<unsigned>(positive_count(parser, "shards"));
   const long long threads = parser.get_int("kernel-threads");
   require(threads >= 0, "--kernel-threads must be non-negative");
@@ -116,20 +127,25 @@ std::string scheme_list(const model::BackendCapabilities& caps) {
 int list_backends() {
   const auto yn = [](bool v) { return std::string(v ? "yes" : "-"); };
   util::Table table({"backend", "schemes", "max K", "kind", "p=0",
-                     "rho/class", "pieces", "adapt", "cheaters", "aborts",
-                     "faults", "extras"});
+                     "rho/class", "demand", "pieces", "adapt", "cheaters",
+                     "aborts", "faults", "extras"});
   for (const model::Backend* backend : model::backend_registry()) {
     const model::BackendCapabilities caps = backend->capabilities();
     std::string extras;
     if (caps.trajectory) extras += "trajectory ";
     if (caps.sim_counters) extras += "sim-counters ";
     if (!extras.empty()) extras.pop_back();
+    std::string demand;
+    if (caps.arrivals_time_varying) demand += "lambda(t) ";
+    if (caps.bandwidth_classes) demand += "classes ";
+    if (!demand.empty()) demand.pop_back();
     table.add_row({std::string(backend->name()), scheme_list(caps),
                    caps.max_files == 0 ? std::string("-")
                                        : std::to_string(caps.max_files),
                    std::string(caps.monte_carlo ? "monte-carlo"
                                                 : "deterministic"),
                    yn(caps.zero_correlation), yn(caps.rho_per_class),
+                   demand.empty() ? "-" : demand,
                    yn(caps.piece_policies), yn(caps.adapt), yn(caps.cheaters),
                    yn(caps.aborts), yn(caps.faults),
                    extras.empty() ? "-" : extras});

@@ -45,6 +45,7 @@
 #include <span>
 #include <vector>
 
+#include "btmf/fluid/demand.h"
 #include "btmf/fluid/metrics.h"
 #include "btmf/fluid/params.h"
 #include "btmf/math/equilibrium.h"
@@ -86,6 +87,11 @@ class CmfsdModel {
 
   /// The autonomous ODE right-hand side over the packed state.
   [[nodiscard]] math::OdeRhs rhs() const;
+
+  /// As rhs(), but with every class entry rate modulated in time by an
+  /// ArrivalProcess: lambda_i(t) = arrival.rate_at(lambda_i, t). With a
+  /// homogeneous process this returns exactly the autonomous RHS.
+  [[nodiscard]] math::OdeRhs rhs(const ArrivalProcess& arrival) const;
 
   /// Solves for the steady state from an empty torrent. Throws
   /// btmf::SolverError if no equilibrium is reached (infeasible rates).

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "btmf/fluid/demand.h"
 #include "btmf/fluid/metrics.h"
 #include "btmf/fluid/params.h"
 #include "btmf/math/ode.h"
@@ -46,6 +47,13 @@ MtcdEquilibrium mtcd_equilibrium(const FluidParams& params,
 /// downloaders are present (the 0/0 limit of the share expression).
 math::OdeRhs mtcd_rhs(const FluidParams& params,
                       std::vector<double> class_entry_rates);
+
+/// As above, but with the class entry rates modulated in time by an
+/// ArrivalProcess: lambda_i(t) = arrival.rate_at(lambda_i, t). With a
+/// homogeneous process this returns exactly the autonomous RHS.
+math::OdeRhs mtcd_rhs(const FluidParams& params,
+                      std::vector<double> class_entry_rates,
+                      const ArrivalProcess& arrival);
 
 /// Just the per-file factor A of eq. (2).
 double mtcd_per_file_factor(const FluidParams& params,

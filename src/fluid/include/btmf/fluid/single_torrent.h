@@ -9,6 +9,7 @@
 // degenerate case every multi-file model must reduce to (Sec. 3.3).
 #pragma once
 
+#include "btmf/fluid/demand.h"
 #include "btmf/fluid/params.h"
 #include "btmf/math/ode.h"
 
@@ -29,6 +30,12 @@ SingleTorrentEquilibrium single_torrent_equilibrium(const FluidParams& params,
 /// The 2-state ODE right-hand side, state = {x, y}. Used by tests to show
 /// the transient converges to the closed form.
 math::OdeRhs single_torrent_rhs(const FluidParams& params, double entry_rate);
+
+/// As above, but with the entry rate modulated in time by an
+/// ArrivalProcess: lambda(t) = arrival.rate_at(entry_rate, t). With a
+/// homogeneous process this returns exactly the autonomous RHS.
+math::OdeRhs single_torrent_rhs(const FluidParams& params, double entry_rate,
+                                const ArrivalProcess& arrival);
 
 /// Download time T = (gamma - mu)/(gamma mu eta); the rate-independent core
 /// of the MTSD analysis. Throws btmf::ConfigError when gamma <= mu.

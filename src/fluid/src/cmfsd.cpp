@@ -123,6 +123,24 @@ math::OdeRhs CmfsdModel::rhs() const {
   };
 }
 
+math::OdeRhs CmfsdModel::rhs(const ArrivalProcess& arrival) const {
+  arrival.validate();
+  math::OdeRhs base = rhs();
+  if (arrival.homogeneous()) return base;
+  // Entry rates only feed the first download stage x^{i,1}, linearly, so
+  // the time-varying RHS is the autonomous one plus (m(t) - 1) lambda_i
+  // on those rows.
+  return [base = std::move(base), model = *this, arrival](
+             double t, std::span<const double> state,
+             std::span<double> dstate) {
+    base(t, state, dstate);
+    const double extra = arrival.rate_at(1.0, t) - 1.0;
+    for (unsigned i = 1; i <= model.num_classes(); ++i) {
+      dstate[model.x_index(i, 1)] += extra * model.rates_[i - 1];
+    }
+  };
+}
+
 math::EquilibriumOptions CmfsdModel::default_solve_options() {
   math::EquilibriumOptions options;
   options.residual_tol = 1e-9;

@@ -105,4 +105,24 @@ math::OdeRhs mtcd_rhs(const FluidParams& params,
   };
 }
 
+math::OdeRhs mtcd_rhs(const FluidParams& params,
+                      std::vector<double> class_entry_rates,
+                      const ArrivalProcess& arrival) {
+  arrival.validate();
+  math::OdeRhs base = mtcd_rhs(params, class_entry_rates);
+  if (arrival.homogeneous()) return base;
+  // The entry rates enter dx_i linearly, so the time-varying RHS is the
+  // autonomous one plus (m(t) - 1) lambda_i on the downloader rows.
+  const std::size_t num_classes = class_entry_rates.size();
+  return [base = std::move(base), rates = std::move(class_entry_rates),
+          arrival, num_classes](double t, std::span<const double> state,
+                                std::span<double> dstate) {
+    base(t, state, dstate);
+    const double extra = arrival.rate_at(1.0, t) - 1.0;
+    for (std::size_t k = 0; k < num_classes; ++k) {
+      dstate[k] += extra * rates[k];
+    }
+  };
+}
+
 }  // namespace btmf::fluid

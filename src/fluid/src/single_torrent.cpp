@@ -39,4 +39,16 @@ math::OdeRhs single_torrent_rhs(const FluidParams& params, double entry_rate) {
   };
 }
 
+math::OdeRhs single_torrent_rhs(const FluidParams& params, double entry_rate,
+                                const ArrivalProcess& arrival) {
+  arrival.validate();
+  math::OdeRhs base = single_torrent_rhs(params, entry_rate);
+  if (arrival.homogeneous()) return base;
+  return [base = std::move(base), entry_rate, arrival](
+             double t, std::span<const double> y, std::span<double> dydt) {
+    base(t, y, dydt);
+    dydt[0] += (arrival.rate_at(1.0, t) - 1.0) * entry_rate;
+  };
+}
+
 }  // namespace btmf::fluid

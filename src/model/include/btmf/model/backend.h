@@ -65,6 +65,14 @@ struct BackendCapabilities {
   bool aborts = false;             ///< abort_rate honoured
   bool faults = false;             ///< FaultPlan honoured
 
+  /// Non-homogeneous ArrivalProcess (diurnal, flash crowd) honoured: the
+  /// backend integrates or samples lambda(t) rather than assuming a
+  /// stationary rate. A homogeneous spec always passes this gate.
+  bool arrivals_time_varying = false;
+  /// Heterogeneous ScenarioSpec::bandwidth_classes honoured (per-class
+  /// upload scales and download caps). An empty class list always passes.
+  bool bandwidth_classes = false;
+
   [[nodiscard]] bool supports_scheme(fluid::SchemeKind scheme) const {
     return schemes[static_cast<std::size_t>(scheme)];
   }
@@ -80,8 +88,11 @@ class Backend {
   /// Why this backend cannot evaluate `spec` (derived from the capability
   /// declaration plus the universal rules, e.g. CMFSD needs p > 0), or
   /// nullopt when it can. Does not validate field ranges — that is
-  /// ScenarioSpec::validate()'s job.
-  [[nodiscard]] std::optional<std::string> unsupported_reason(
+  /// ScenarioSpec::validate()'s job. Virtual so a backend can refuse
+  /// *combinations* its scalar capability bits cannot express (kernel-sim
+  /// supports bandwidth classes and CMFSD, but not together); overrides
+  /// must call the base implementation and only ever add reasons.
+  [[nodiscard]] virtual std::optional<std::string> unsupported_reason(
       const ScenarioSpec& spec) const;
 
   /// Evaluates `spec`, never throwing for model-level problems: a

@@ -23,6 +23,7 @@
 
 #include "btmf/fluid/cmfsd.h"
 #include "btmf/fluid/correlation.h"
+#include "btmf/fluid/demand.h"
 #include "btmf/fluid/params.h"
 #include "btmf/fluid/schemes.h"
 #include "btmf/math/equilibrium.h"
@@ -38,6 +39,21 @@ struct ScenarioSpec {
   double correlation = 0.5;           ///< p
   double visit_rate = 1.0;            ///< lambda0
   fluid::FluidParams fluid{};         ///< mu, eta, gamma
+
+  // --- demand model ------------------------------------------------------
+  /// Time shape of the visit rate: homogeneous Poisson by default, or a
+  /// diurnal sinusoid / flash-crowd pulse train modulating visit_rate
+  /// (see btmf/fluid/demand.h). Fingerprinted only when non-homogeneous,
+  /// so every pre-existing spec keeps its exact cache key.
+  fluid::ArrivalProcess arrival{};
+  /// Heterogeneous bandwidth classes (weight, upload scale, download cap).
+  /// Empty = one homogeneous class at the fluid parameters; fingerprinted
+  /// only when non-empty.
+  std::vector<fluid::BandwidthClass> bandwidth_classes;
+  /// Replications averaged by the stochastic-epidemic backend (its
+  /// CTMC sample paths are noisy at small populations). Fingerprinted
+  /// only when not the default so existing keys are untouched.
+  unsigned epidemic_replications = 8;
 
   // --- scheme ------------------------------------------------------------
   fluid::SchemeKind scheme = fluid::SchemeKind::kCmfsd;

@@ -58,6 +58,13 @@ std::optional<std::string> Backend::unsupported_reason(
   if (!spec.faults.empty() && !caps.faults) {
     return who + " does not replay fault plans";
   }
+  if (!spec.arrival.homogeneous() && !caps.arrivals_time_varying) {
+    return who + " assumes a stationary arrival rate (arrival = " +
+           std::string(fluid::to_string(spec.arrival.kind)) + ")";
+  }
+  if (!spec.bandwidth_classes.empty() && !caps.bandwidth_classes) {
+    return who + " does not model heterogeneous bandwidth classes";
+  }
   // Typed, not silent: the fault layer cannot be decomposed per torrent
   // (churn bursts pick victims across every torrent; outages gate the
   // shared arrival path), so a faulted spec only runs on one shard. The
@@ -109,6 +116,7 @@ const std::vector<const Backend*>& backend_registry() {
       &detail::fluid_transient_backend(),
       &detail::kernel_sim_backend(),
       &detail::chunk_sim_backend(),
+      &detail::stochastic_epidemic_backend(),
   };
   return registry;
 }

@@ -85,6 +85,36 @@ fluid::CmfsdModel cmfsd_model(const ScenarioSpec& spec,
                                  spec.rho_per_class);
 }
 
+/// The state the Little's-law readout is evaluated at. An autonomous
+/// system is read at the trajectory endpoint (it has converged to the
+/// steady state); under a time-varying arrival process there is no steady
+/// state, so the readout averages the uniformly sampled states across the
+/// post-warmup window instead — paired with the window-mean arrival rate
+/// below, that is Little's law over the observation window.
+std::vector<double> readout_state(const fluid::TransientSeries& series,
+                                  const ScenarioSpec& spec) {
+  if (spec.arrival.homogeneous()) return series.states.back();
+  std::vector<double> mean(series.states.back().size(), 0.0);
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < series.times.size(); ++s) {
+    if (series.times[s] < spec.warmup) continue;
+    for (std::size_t c = 0; c < mean.size(); ++c) {
+      mean[c] += series.states[s][c];
+    }
+    ++count;
+  }
+  for (double& v : mean) v /= static_cast<double>(count);
+  return mean;
+}
+
+/// Mean arrival-rate modulation over the readout window (exactly 1 for a
+/// homogeneous process, keeping that path's arithmetic bit-identical).
+double readout_modulation(const ScenarioSpec& spec) {
+  return spec.arrival.homogeneous()
+             ? 1.0
+             : spec.arrival.mean_rate(1.0, spec.warmup, spec.horizon);
+}
+
 // ---------------------------------------------------------------------------
 
 class FluidEquilibriumBackend final : public Backend {
@@ -151,6 +181,7 @@ class FluidTransientBackend final : public Backend {
     BackendCapabilities caps;
     caps.trajectory = true;
     caps.rho_per_class = true;
+    caps.arrivals_time_varying = true;  // the ODEs integrate lambda(t)
     return caps;
   }
 
@@ -173,15 +204,16 @@ class FluidTransientBackend final : public Backend {
         const std::vector<double> rates = corr.per_torrent_entry_rates();
         const unsigned k = spec.num_files;
         const fluid::TransientSeries series = fluid::sample_trajectory(
-            fluid::mtcd_rhs(spec.fluid, rates),
+            fluid::mtcd_rhs(spec.fluid, rates, spec.arrival),
             std::vector<double>(2 * k, 0.0), options);
-        const std::vector<double>& end = series.states.back();
+        const std::vector<double> end = readout_state(series, spec);
+        const double mod = readout_modulation(spec);
         std::vector<double> online(k), download(k);
         for (unsigned i = 1; i <= k; ++i) {
           if (rates[i - 1] > 0.0) {
             // Little's law per torrent: a class-i downloader's sojourn
             // x_i / lambda_i is its whole concurrent phase i * A.
-            download[i - 1] = end[i - 1] / rates[i - 1];
+            download[i - 1] = end[i - 1] / (rates[i - 1] * mod);
             online[i - 1] = download[i - 1] + 1.0 / spec.fluid.gamma;
           } else {
             download[i - 1] = kNaN;
@@ -198,9 +230,10 @@ class FluidTransientBackend final : public Backend {
         // sequential visits of all classes: arrival rate lambda0 * p.
         const double rate = corr.per_torrent_total_rate();
         const fluid::TransientSeries series = fluid::sample_trajectory(
-            fluid::single_torrent_rhs(spec.fluid, rate), {0.0, 0.0},
-            options);
-        const double t_file = series.states.back()[0] / rate;
+            fluid::single_torrent_rhs(spec.fluid, rate, spec.arrival),
+            {0.0, 0.0}, options);
+        const double t_file =
+            readout_state(series, spec)[0] / (rate * readout_modulation(spec));
         const unsigned k = spec.num_files;
         std::vector<double> online(k), download(k);
         for (unsigned i = 1; i <= k; ++i) {
@@ -216,9 +249,21 @@ class FluidTransientBackend final : public Backend {
         const fluid::CmfsdModel model =
             cmfsd_model(spec, outcome.class_entry_rates);
         const fluid::TransientSeries series = fluid::sample_trajectory(
-            model.rhs(), std::vector<double>(model.state_size(), 0.0),
-            options);
-        outcome.per_class = model.metrics_from_state(series.states.back());
+            model.rhs(spec.arrival),
+            std::vector<double>(model.state_size(), 0.0), options);
+        outcome.per_class =
+            model.metrics_from_state(readout_state(series, spec));
+        if (const double mod = readout_modulation(spec); mod != 1.0) {
+          // metrics_from_state divided by the base rates; rescale its
+          // Little's-law quotients to the window-mean arrival rate.
+          std::vector<double> online(spec.num_files), download(spec.num_files);
+          for (unsigned i = 0; i < spec.num_files; ++i) {
+            download[i] = outcome.per_class.download_time[i] / mod;
+            online[i] = download[i] + 1.0 / spec.fluid.gamma;
+          }
+          outcome.per_class = fluid::make_per_class_metrics(
+              std::move(online), std::move(download));
+        }
         Trajectory trajectory;
         trajectory.time = series.times;
         trajectory.downloaders = series.map([&](std::span<const double> y) {

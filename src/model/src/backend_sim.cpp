@@ -49,7 +49,21 @@ class KernelSimBackend final : public Backend {
     caps.cheaters = true;
     caps.aborts = true;
     caps.faults = true;
+    caps.arrivals_time_varying = true;  // thinned non-homogeneous arrivals
+    caps.bandwidth_classes = true;      // per-(torrent, class) service lanes
     return caps;
+  }
+
+  [[nodiscard]] std::optional<std::string> unsupported_reason(
+      const ScenarioSpec& spec) const override {
+    if (auto reason = Backend::unsupported_reason(spec)) return reason;
+    // The CMFSD kernel policy schedules its collaborative stages on a
+    // homogeneous rate pool; it has no per-class service lanes yet.
+    if (spec.scheme == fluid::SchemeKind::kCmfsd &&
+        !spec.bandwidth_classes.empty()) {
+      return "kernel-sim does not model bandwidth classes under CMFSD";
+    }
+    return std::nullopt;
   }
 
  protected:
@@ -106,6 +120,8 @@ class ChunkSimBackend final : public Backend {
     caps.monte_carlo = true;
     caps.max_files = 32;  // piece-bitmap width (file masks are uint32)
     caps.piece_policies = true;
+    caps.arrivals_time_varying = true;  // per-slot lambda(t) thinning
+    caps.bandwidth_classes = true;      // upload turns / receive tokens
     return caps;
   }
 
@@ -121,6 +137,8 @@ class ChunkSimBackend final : public Backend {
     config.seed = spec.seed;
     config.policy = spec.chunk_policy;
     config.suppression_prob = spec.chunk_suppression;
+    config.arrival = spec.arrival;
+    config.bandwidth_classes = spec.bandwidth_classes;
 
     if (spec.num_files == 1) {
       // A K = 1 scenario is a single torrent visited at rate lambda0 * p

@@ -10,5 +10,6 @@ const Backend& fluid_equilibrium_backend();
 const Backend& fluid_transient_backend();
 const Backend& kernel_sim_backend();
 const Backend& chunk_sim_backend();
+const Backend& stochastic_epidemic_backend();
 
 }  // namespace btmf::model::detail

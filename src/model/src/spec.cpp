@@ -11,6 +11,12 @@ void ScenarioSpec::validate() const {
                  "correlation p must lie in [0, 1]");
   BTMF_CHECK_MSG(visit_rate > 0.0, "visit_rate lambda0 must be positive");
   fluid.validate();
+  arrival.validate();
+  fluid::validate_classes(bandwidth_classes);
+  BTMF_CHECK_MSG(bandwidth_classes.size() <= 16,
+                 "at most 16 bandwidth classes are supported");
+  BTMF_CHECK_MSG(epidemic_replications >= 1,
+                 "epidemic_replications must be >= 1");
   BTMF_CHECK_MSG(rho >= 0.0 && rho <= 1.0, "rho must lie in [0, 1]");
   BTMF_CHECK_MSG(
       rho_per_class.empty() || rho_per_class.size() == num_files,
@@ -101,6 +107,16 @@ std::string ScenarioSpec::fingerprint() const {
   out += ";chunks=" + std::to_string(num_chunks) +
          ";piece=" + std::string(sim::to_string(chunk_policy)) +
          ";suppress=" + exact(chunk_suppression);
+  // Demand-model keys are emitted only away from their homogeneous
+  // defaults so every spec that predates the demand model keeps its
+  // exact cache key (pinned by spec_test and the reproduce byte-diff).
+  if (!arrival.homogeneous()) out += ";arrival=" + fluid::format_arrival(arrival);
+  if (!bandwidth_classes.empty()) {
+    out += ";classes=" + fluid::format_classes(bandwidth_classes);
+  }
+  if (epidemic_replications != 8) {
+    out += ";ereps=" + std::to_string(epidemic_replications);
+  }
   // `shards` and `kernel_threads` are intentionally absent: the sharded
   // kernel is bit-identical across every execution configuration, so a
   // cached result keyed without them serves all of them.
@@ -112,6 +128,8 @@ sim::SimConfig sim_config_from_spec(const ScenarioSpec& spec) {
   config.num_files = spec.num_files;
   config.correlation = spec.correlation;
   config.visit_rate = spec.visit_rate;
+  config.arrival = spec.arrival;
+  config.bandwidth_classes = spec.bandwidth_classes;
   config.fluid = spec.fluid;
   config.scheme = spec.scheme;
   config.rho = spec.rho;

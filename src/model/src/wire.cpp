@@ -195,6 +195,38 @@ ScenarioSpec decode_spec(std::string_view wire) {
   spec.chunk_policy = sim::piece_policy_from_string(take("piece"));
   spec.chunk_suppression = to_double(take("suppress"), "suppress");
 
+  // Demand-model keys are optional on the wire — the encoder omits them
+  // at their homogeneous defaults so pre-demand-model fingerprints stay
+  // byte-identical — but when present they are parsed strictly (unknown
+  // arrival kinds, non-numeric or out-of-domain fields all throw).
+  const auto take_optional = [&fields](const char* key, std::string* value) {
+    const auto it = fields.find(key);
+    if (it == fields.end()) return false;
+    *value = it->second;
+    fields.erase(it);
+    return true;
+  };
+  std::string demand;
+  if (take_optional("arrival", &demand)) {
+    spec.arrival = fluid::parse_arrival(demand);
+    if (spec.arrival.homogeneous()) {
+      malformed("arrival key present but homogeneous (non-canonical wire)");
+    }
+  }
+  if (take_optional("classes", &demand)) {
+    spec.bandwidth_classes = fluid::parse_classes(demand);
+    if (spec.bandwidth_classes.empty()) {
+      malformed("classes key present but empty (non-canonical wire)");
+    }
+  }
+  if (take_optional("ereps", &demand)) {
+    spec.epidemic_replications =
+        static_cast<unsigned>(to_count(demand, "ereps", 1));
+    if (spec.epidemic_replications == 8) {
+      malformed("ereps key present at its default (non-canonical wire)");
+    }
+  }
+
   if (!fields.empty()) {
     malformed("unknown key '" + fields.begin()->first +
               "' (client/daemon generation mismatch?)");

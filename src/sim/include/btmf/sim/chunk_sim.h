@@ -53,6 +53,7 @@
 #include <string_view>
 #include <vector>
 
+#include "btmf/fluid/demand.h"
 #include "btmf/fluid/params.h"
 #include "btmf/fluid/schemes.h"
 #include "btmf/obs/sink.h"
@@ -78,6 +79,17 @@ struct ChunkSimConfig {
   /// the torrent arrival rate; at K > 1 each arrival draws its wanted
   /// set from the correlation model conditioned on being non-empty.
   double entry_rate = 1.0;
+  /// Time-varying arrival modulation of entry_rate: the per-slot Poisson
+  /// expectation is arrival.rate_at(entry_rate, t) * slot_dt (exactly
+  /// entry_rate for the homogeneous default — same variates, bit-identical
+  /// runs).
+  fluid::ArrivalProcess arrival{};
+  /// Heterogeneous peer bandwidth (empty = homogeneous). Each arrival
+  /// draws a class by weight; a class-b peer earns upload_scale_b upload
+  /// turns per slot (token bucket, whole turns spent) and receives at
+  /// most download_cap_b (0 = uncapped) worth of chunks per slot.
+  /// Publisher seeds stay at the base rate.
+  std::vector<fluid::BandwidthClass> bandwidth_classes{};
   double correlation = 1.0;     ///< p, per-file want probability (K > 1)
   fluid::FluidParams fluid{};   ///< mu (upload), gamma (seed departure)
   fluid::SchemeKind scheme = fluid::SchemeKind::kMtcd;

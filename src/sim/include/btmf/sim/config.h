@@ -14,6 +14,7 @@
 #include <limits>
 #include <vector>
 
+#include "btmf/fluid/demand.h"
 #include "btmf/fluid/params.h"
 #include "btmf/fluid/schemes.h"
 #include "btmf/obs/sink.h"
@@ -80,6 +81,16 @@ struct SimConfig {
   /// uses `correlation`; otherwise must have exactly num_files entries.
   std::vector<double> file_probs{};
   double visit_rate = 2.0;           ///< lambda0 (indexing-server visits)
+  /// Time shape of the visit rate (homogeneous Poisson by default). A
+  /// non-homogeneous process is sampled by thinning against its peak
+  /// rate; the homogeneous case draws exactly the same exponentials as
+  /// before the demand model existed (bit-identity pinned by tests).
+  fluid::ArrivalProcess arrival{};
+  /// Heterogeneous bandwidth classes: each arriving user draws a class
+  /// with probability proportional to weight; its upload runs at
+  /// upload_scale * mu and its download is capped at download_cap
+  /// (0 = unlimited, on top of download_bw). Empty = homogeneous.
+  std::vector<fluid::BandwidthClass> bandwidth_classes{};
   fluid::FluidParams fluid{};        ///< mu, eta, gamma
   fluid::SchemeKind scheme = fluid::SchemeKind::kCmfsd;
 

@@ -275,6 +275,14 @@ class EventKernel {
   [[nodiscard]] const std::vector<std::size_t>& live() const { return live_; }
   std::vector<double>& down_pop() { return down_pop_; }
   std::vector<double>& seed_pop() { return seed_pop_; }
+  /// The bandwidth class user `ui` drew at admission (index into
+  /// cfg().bandwidth_classes; always 0 when the class list is empty, i.e.
+  /// the homogeneous single class). Drawn from the shared arrival stream
+  /// before the decomposed ownership filter, so every shard assigns the
+  /// same class to the same admission sequence.
+  [[nodiscard]] unsigned bandwidth_class(std::size_t ui) const {
+    return bclass_.empty() ? 0 : bclass_[ui];
+  }
 
   // ---- sharding services ------------------------------------------------
   [[nodiscard]] bool decomposed() const { return shard_.decomposed; }
@@ -474,6 +482,11 @@ class EventKernel {
   /// re-keys it in the cross-group queue.
   void update_candidate(std::size_t gid);
 
+  /// Next visit time strictly after `t`. Homogeneous arrivals draw one
+  /// Exp(visit_rate) gap — exactly the pre-demand-model stream, bit for
+  /// bit. Time-varying processes sample by thinning against the peak
+  /// rate; every extra draw lives on this gated path only.
+  double next_arrival_after(double t);
   void process_arrival(double t);
   /// Creates a user requesting `files` at time t and hands it to the
   /// policy; shared by organic arrivals and fault re-admissions. A
@@ -572,8 +585,15 @@ class EventKernel {
   bool started_ = false;
   double cur_t_ = 0.0;
   double next_arrival_ = 0.0;
+  /// Peak of the (possibly time-varying) arrival rate — the thinning
+  /// envelope. Equals cfg_.visit_rate for a homogeneous process.
+  double arrival_peak_ = 0.0;
   std::vector<unsigned> scratch_files_;  ///< arrival draw, no per-event alloc
   std::vector<unsigned> scratch_owned_;  ///< decomposed ownership filter
+  /// Per-user bandwidth class (parallel to the user pool); empty when
+  /// cfg_.bandwidth_classes is empty so the homogeneous path allocates
+  /// and draws nothing.
+  std::vector<std::uint8_t> bclass_;
 
   // ---- decomposed-mode state --------------------------------------------
   std::uint64_t slot_root_ = 0;  ///< master key of the slot counter streams
@@ -596,6 +616,10 @@ class EventKernel {
   obs::SeriesId live_series_ = 0;
   obs::SeriesId queue_series_ = 0;
   obs::SeriesId recovering_series_ = 0;
+  /// The configured lambda(t) sampled on the population cadence — makes
+  /// time-varying demand visible next to the populations it drives.
+  /// Pure configuration readout: no RNG, no event-time changes.
+  obs::SeriesId arrival_series_ = 0;
   double sample_dt_ = 0.0;
   double next_sample_ = 0.0;
   /// Histogram ids, resolved up front when obs_.metrics is attached.

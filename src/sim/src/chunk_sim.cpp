@@ -103,6 +103,10 @@ struct Peer {
   std::vector<double> file_seed_depart;  ///< MTCD per-torrent deadlines
   /// Decayed TFT credit: chunks recently received, by sender id.
   std::unordered_map<std::size_t, double> credit;
+  // Bandwidth-class state (inert under the homogeneous default).
+  std::uint8_t bclass = 0;     ///< index into config.bandwidth_classes
+  double up_credit = 0.0;      ///< fractional upload turns banked
+  double down_credit = kInf;   ///< receive tokens (1 token = 1 chunk)
 };
 
 }  // namespace
@@ -133,6 +137,8 @@ void ChunkSimConfig::validate() const {
   BTMF_CHECK_MSG(num_chunks >= 1 && num_chunks <= 4096,
                  "num_chunks must lie in [1, 4096]");
   BTMF_CHECK_MSG(entry_rate > 0.0, "entry_rate must be positive");
+  arrival.validate();
+  fluid::validate_classes(bandwidth_classes);
   BTMF_CHECK_MSG(correlation > 0.0 && correlation <= 1.0,
                  "correlation must lie in (0, 1]");
   fluid.validate();
@@ -162,6 +168,24 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
   // One chunk per peer per slot: slot length so that a full file takes
   // 1/mu time units of dedicated upload.
   const double slot_dt = 1.0 / (config.fluid.mu * chunks);
+
+  // Bandwidth classes, mapped to slot units: one upload turn per slot is
+  // rate mu, so a class earns upload_scale turns per slot (token bucket,
+  // whole turns spent); a download cap c is c/mu receive tokens per slot,
+  // with the bucket sized max(1, rate) so sub-chunk-per-slot rates bank
+  // fractional credit instead of starving. Everything is inert under the
+  // homogeneous default (no class draw, gates never bind).
+  const bool have_classes = !config.bandwidth_classes.empty();
+  std::vector<double> class_turns, class_tokens, class_bucket;
+  double class_weight_total = 0.0;
+  for (const fluid::BandwidthClass& cls : config.bandwidth_classes) {
+    class_turns.push_back(cls.upload_scale);
+    const double tokens =
+        cls.download_cap > 0.0 ? cls.download_cap / config.fluid.mu : kInf;
+    class_tokens.push_back(tokens);
+    class_bucket.push_back(std::max(1.0, tokens));
+    class_weight_total += cls.weight;
+  }
 
   RandomStream rng(config.seed);
   std::vector<Peer> peers;
@@ -214,6 +238,18 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
     // order so no file is systematically first. Single-file users (and
     // every user at K = 1) draw nothing.
     if (sequential && p.order.size() > 1) rng.shuffle(p.order);
+    if (have_classes) {
+      // Weighted class draw, same walk as the event kernel's.
+      double pick = rng.uniform() * class_weight_total;
+      std::size_t b = 0;
+      while (b + 1 < class_turns.size()) {
+        pick -= config.bandwidth_classes[b].weight;
+        if (pick < 0.0) break;
+        ++b;
+      }
+      p.bclass = static_cast<std::uint8_t>(b);
+      p.down_credit = class_bucket[b];
+    }
     if (scheme == fluid::SchemeKind::kMtcd) {
       p.file_seed_depart.assign(files, kInf);
     }
@@ -413,7 +449,19 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
     }
 
     // --- arrivals (Poisson thinned to this slot) ------------------------
-    const double expect = config.entry_rate * slot_dt;
+    // The per-slot expectation follows lambda(t); rate_at returns
+    // entry_rate exactly for the homogeneous default.
+    const double expect =
+        config.arrival.rate_at(config.entry_rate, t) * slot_dt;
+    // Replenish the receive buckets at the top of the slot.
+    if (have_classes) {
+      for (const std::size_t vid : live) {
+        Peer& v = peers[vid];
+        if (v.is_seed) continue;
+        v.down_credit = std::min(v.down_credit + class_tokens[v.bclass],
+                                 class_bucket[v.bclass]);
+      }
+    }
     // Draw the Poisson count via inter-arrival exponentials.
     double budget = expect;
     while (true) {
@@ -620,6 +668,7 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
       for (const std::size_t vid : scan) {
         if (vid == uid) continue;
         Peer& v = peers[vid];
+        if (v.down_credit < 1.0) continue;  // receive bucket empty
         std::uint32_t fs = accepts(v) & allowed;
         while (fs != 0) {
           const unsigned f = static_cast<unsigned>(std::countr_zero(fs));
@@ -666,6 +715,7 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
       v.have[cf].set(chosen % chunks);
       ++avail[chosen];
       v.credit[uid] += 1.0;
+      v.down_credit -= 1.0;  // inf stays inf under the homogeneous default
       if (measured) {
         (altruistic ? seed_uploads : downloader_uploads) += 1.0;
         if (!altruistic) file_tft_uploads[cf] += 1.0;
@@ -695,6 +745,7 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
         for (const std::size_t vid : down_by_file[f]) {
           if (vid == uid) continue;
           Peer& v = peers[vid];
+          if (v.down_credit < 1.0) continue;  // receive bucket empty
           if (((accepts(v) >> f) & 1u) == 0) continue;
           if (u.have[f].has_something_for(v.have[f])) list.push_back(vid);
         }
@@ -733,6 +784,7 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
       v.have[f].set(chosen % chunks);
       ++avail[chosen];
       v.credit[uid] += 1.0;
+      v.down_credit -= 1.0;
       if (measured) {
         downloader_uploads += 1.0;
         file_tft_uploads[f] += 1.0;
@@ -745,6 +797,16 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
     rng.shuffle(order);
     for (const std::size_t uid : order) {
       Peer& u = peers[uid];
+      // A class-b peer banks upload_scale_b turns per slot and spends the
+      // whole ones; publisher seeds (and every peer under the homogeneous
+      // default) take exactly one turn — no extra draws, bit-identical.
+      unsigned turns = 1;
+      if (have_classes && !u.permanent) {
+        u.up_credit += class_turns[u.bclass];
+        turns = static_cast<unsigned>(u.up_credit);
+        u.up_credit -= static_cast<double>(turns);
+      }
+      for (unsigned turn = 0; turn < turns; ++turn) {
       switch (scheme) {
         case fluid::SchemeKind::kMtcd: {
           // The paper's class split: a class-i user dedicates mu/i of
@@ -833,6 +895,7 @@ ChunkSimResult run_chunk_sim(const ChunkSimConfig& config) {
           }
           break;
         }
+      }
       }
     }
 

@@ -61,6 +61,8 @@ EventKernel::EventKernel(const SimConfig& config, SchemePolicy& policy,
   live_series_ = sampler_->series("sim.live_peers");
   queue_series_ = sampler_->series("sim.readmission_queue");
   recovering_series_ = sampler_->series("sim.recovering");
+  arrival_series_ = sampler_->series("kernel.arrival_rate");
+  arrival_peak_ = cfg_.arrival.peak_rate(cfg_.visit_rate);
   if (obs_.metrics != nullptr) {
     hist_online_ = obs_.metrics->histogram("sim.user_online_per_file");
     hist_download_ = obs_.metrics->histogram("sim.user_download_per_file");
@@ -319,6 +321,25 @@ void EventKernel::admit_user(std::span<const unsigned> files, double t) {
   // shard — shards replay the identical arrival stream, so seq is a
   // global, shard-invariant user identity.
   const std::uint64_t seq = next_seq_++;
+  // The bandwidth-class draw shares the arrival stream and happens before
+  // the decomposed ownership filter for the same reason seq does: every
+  // shard must consume the identical draws to assign the same class to
+  // the same admission. Gated so homogeneous runs draw nothing new.
+  std::uint8_t bclass = 0;
+  if (!cfg_.bandwidth_classes.empty()) {
+    double pick =
+        rng_.uniform() * fluid::total_weight(cfg_.bandwidth_classes);
+    for (std::size_t b = 0; b + 1 < cfg_.bandwidth_classes.size(); ++b) {
+      pick -= cfg_.bandwidth_classes[b].weight;
+      if (pick < 0.0) break;
+      ++bclass;
+    }
+  }
+  const auto stamp_class = [this, bclass](std::size_t ui) {
+    if (cfg_.bandwidth_classes.empty()) return;
+    if (bclass_.size() <= ui) bclass_.resize(ui + 1, 0);
+    bclass_[ui] = bclass;
+  };
   if (shard_.decomposed) {
     if (sampled) ++arrivals_cls_[cls - 1];
     if (owns_torrent(files[0])) ++prim_events_;  // admission, home-counted
@@ -328,11 +349,13 @@ void EventKernel::admit_user(std::span<const unsigned> files, double t) {
     }
     if (scratch_owned_.empty()) return;  // no slot of ours; other shards'
     const std::size_t ui = pool_.create(scratch_owned_, cls, t, sampled, seq);
+    stamp_class(ui);
     add_live(ui);
     policy_.on_arrival(ui, t);
     return;
   }
   const std::size_t ui = pool_.create(files, cls, t, sampled, seq);
+  stamp_class(ui);
   if (sampled) stats_.record_arrival(cls);
   add_live(ui);
   policy_.on_arrival(ui, t);
@@ -693,6 +716,8 @@ void EventKernel::record_sample(double when) {
   sampler_->append(queue_series_, when,
                    static_cast<double>(tracker_queue_ + readmissions_.size()));
   sampler_->append(recovering_series_, when, recovering_ ? 1.0 : 0.0);
+  sampler_->append(arrival_series_, when,
+                   cfg_.arrival.rate_at(cfg_.visit_rate, when));
 }
 
 void EventKernel::flush_dispatch_span() {
@@ -761,7 +786,26 @@ void EventKernel::start() {
   BTMF_CHECK_MSG(!started_, "EventKernel::start called twice");
   started_ = true;
   cur_t_ = 0.0;
-  next_arrival_ = rng_.exponential(cfg_.visit_rate);
+  next_arrival_ = next_arrival_after(0.0);
+}
+
+double EventKernel::next_arrival_after(double t) {
+  if (cfg_.arrival.homogeneous()) {
+    return t + rng_.exponential(cfg_.visit_rate);
+  }
+  // Lewis-Shedler thinning: candidate gaps at the peak rate, each kept
+  // with probability lambda(s)/peak. Exact for any bounded lambda, and
+  // every draw here is gated behind the non-homogeneous branch so
+  // homogeneous runs replay the historical stream bit for bit.
+  double s = t;
+  for (;;) {
+    s += rng_.exponential(arrival_peak_);
+    if (s >= cfg_.horizon) return s;  // never dispatched; stop thinning
+    if (rng_.uniform() * arrival_peak_ <=
+        cfg_.arrival.rate_at(cfg_.visit_rate, s)) {
+      return s;
+    }
+  }
 }
 
 void EventKernel::run_until(double t_end) {
@@ -832,7 +876,7 @@ void EventKernel::run_until(double t_end) {
     process_fault_edges(t);
     if (t + kTimeEps >= next_arrival_) {
       process_arrival(t);
-      next_arrival_ = t + rng_.exponential(cfg_.visit_rate);
+      next_arrival_ = next_arrival_after(t);
     }
     drain_readmissions(t);
     while (!seed_queue_.empty() && seed_queue_.front().time <= t + kTimeEps) {

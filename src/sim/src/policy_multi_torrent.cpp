@@ -46,6 +46,25 @@ class TorrentPoolPolicy : public SchemePolicy {
     gamma_ = cfg.fluid.gamma;
     download_bw_ = cfg.download_bw;
     file_size_ = cfg.file_size;
+    // Bandwidth classes: class b uploads at upload_scale_[b] * mu and
+    // downloads at most cap_[b]. The homogeneous default (one class at
+    // scale 1, cap download_bw) makes every expression below bit-exact
+    // with the pre-demand-model arithmetic (x * 1.0 == x).
+    if (cfg.bandwidth_classes.empty()) {
+      num_bclasses_ = 1;
+      upload_scale_.assign(1, 1.0);
+      cap_.assign(1, download_bw_);
+    } else {
+      num_bclasses_ = static_cast<unsigned>(cfg.bandwidth_classes.size());
+      upload_scale_.clear();
+      cap_.clear();
+      for (const fluid::BandwidthClass& cls : cfg.bandwidth_classes) {
+        upload_scale_.push_back(cls.upload_scale);
+        cap_.push_back(cls.download_cap > 0.0
+                           ? std::min(download_bw_, cls.download_cap)
+                           : download_bw_);
+      }
+    }
     weight_sum_.assign(num_files_, 0.0);
     seed_bw_.assign(num_files_, 0.0);
     downloader_count_.assign(num_files_, 0);
@@ -72,16 +91,30 @@ class TorrentPoolPolicy : public SchemePolicy {
     }
   }
 
-  /// The epoch's common download rate of `torrent` (0 when idle). During a
+  /// The epoch's download rate of `torrent` for a class-`b` peer (0 when
+  /// idle). The tit-for-tat term scales with the peer's own upload while
+  /// the seed pool is shared per unit weight across all classes. During a
   /// bandwidth-degradation window every peer's mu and c scale together, so
   /// scale * min(...) is exact and the pool accumulators stay unscaled.
-  [[nodiscard]] double torrent_rate(unsigned torrent) const {
+  [[nodiscard]] double torrent_rate(unsigned torrent, unsigned b) const {
     if (downloader_count_[torrent] == 0 || weight_sum_[torrent] <= 0.0) {
       return 0.0;
     }
     return bw_scale_ *
-           std::min(eta_ * mu_ + seed_bw_[torrent] / weight_sum_[torrent],
-                    download_bw_);
+           std::min(eta_ * mu_ * upload_scale_[b] +
+                        seed_bw_[torrent] / weight_sum_[torrent],
+                    cap_[b]);
+  }
+
+  /// Service lane of (torrent, bandwidth class): group ids are laid out
+  /// torrent-major so the homogeneous case collapses to lane == torrent.
+  [[nodiscard]] unsigned lane(unsigned torrent, unsigned b) const {
+    return torrent * num_bclasses_ + b;
+  }
+
+  /// The seeding bandwidth a class-`b` user contributes per unit share.
+  [[nodiscard]] double seed_rate(unsigned b) const {
+    return mu_ * upload_scale_[b];
   }
 
   void add_downloader(unsigned torrent, double weight) {
@@ -116,13 +149,14 @@ class TorrentPoolPolicy : public SchemePolicy {
     for (const std::size_t ui : kernel_->live()) {
       const SimUser u = kernel_->user(ui);
       const double share = split ? 1.0 / static_cast<double>(u.cls) : 1.0;
+      const double seed = seed_rate(kernel_->bandwidth_class(ui));
       for (unsigned f = 0; f < u.slots(); ++f) {
         if (u.state[f] == SlotState::kDownloading) {
           weight[u.files[f]] += share;
           ++count[u.files[f]];
           down[u.cls - 1] += 1.0;
         } else if (u.state[f] == SlotState::kSeeding) {
-          seed_bw[u.files[f]] += mu_ * share;
+          seed_bw[u.files[f]] += seed * share;
           seeds[u.cls - 1] += 1.0;
         }
       }
@@ -152,6 +186,9 @@ class TorrentPoolPolicy : public SchemePolicy {
   }
 
   unsigned num_files_ = 0;
+  unsigned num_bclasses_ = 1;          ///< B >= 1; 1 when homogeneous
+  std::vector<double> upload_scale_;   ///< per bandwidth class
+  std::vector<double> cap_;            ///< effective download cap per class
   double mu_ = 0.0, eta_ = 0.0, gamma_ = 0.0;
   double download_bw_ = 0.0, file_size_ = 0.0;
   double bw_scale_ = 1.0;  ///< bandwidth-degradation multiplier on mu and c
@@ -178,7 +215,11 @@ class MtcdPolicy final : public TorrentPoolPolicy {
  public:
   void attach(EventKernel& kernel) override {
     TorrentPoolPolicy::attach(kernel);
-    for (unsigned f = 0; f < num_files_; ++f) kernel.new_group(0.0);
+    // One service lane per (torrent, bandwidth class); homogeneous runs
+    // create exactly the historical one-group-per-torrent layout.
+    for (unsigned g = 0; g < num_files_ * num_bclasses_; ++g) {
+      kernel.new_group(0.0);
+    }
   }
 
   /// Virtual peers are torrent-independent; ShardedKernel may decompose.
@@ -196,7 +237,10 @@ class MtcdPolicy final : public TorrentPoolPolicy {
   void refresh_rates(double t) override {
     count_refreshes();
     for (const unsigned torrent : dirty_list_) {
-      kernel_->set_group_rate(torrent, torrent_rate(torrent), t);
+      for (unsigned b = 0; b < num_bclasses_; ++b) {
+        kernel_->set_group_rate(lane(torrent, b), torrent_rate(torrent, b),
+                                t);
+      }
       dirty_[torrent] = false;
     }
     dirty_list_.clear();
@@ -210,7 +254,8 @@ class MtcdPolicy final : public TorrentPoolPolicy {
     // independent Exp(gamma) residence (paper Sec. 3.2 semantics).
     u.state[slot] = SlotState::kSeeding;
     u.done[slot] = 1;
-    seed_bw_[torrent] += mu_ / static_cast<double>(u.cls);
+    seed_bw_[torrent] += seed_rate(kernel_->bandwidth_class(ui)) /
+                         static_cast<double>(u.cls);
     u.last_completion = t;
     kernel_->note_download(torrent, u.cls, -1, t);
     kernel_->note_seed(torrent, u.cls, +1, t);
@@ -223,7 +268,8 @@ class MtcdPolicy final : public TorrentPoolPolicy {
     SimUser u = kernel_->user(ui);
     const unsigned torrent = u.files[file_idx];
     u.state[file_idx] = SlotState::kIdle;
-    seed_bw_[torrent] -= mu_ / static_cast<double>(u.cls);
+    seed_bw_[torrent] -= seed_rate(kernel_->bandwidth_class(ui)) /
+                         static_cast<double>(u.cls);
     mark_dirty(torrent);
     kernel_->note_seed(torrent, u.cls, -1, t);
     kernel_->remove_active_peers(1);
@@ -249,6 +295,7 @@ class MtcdPolicy final : public TorrentPoolPolicy {
   void on_fault_crash(std::size_t ui, double t) override {
     SimUser u = kernel_->user(ui);
     const double cls = static_cast<double>(u.cls);
+    const double seed = seed_rate(kernel_->bandwidth_class(ui));
     for (unsigned f = 0; f < u.slots(); ++f) {
       if (u.state[f] == SlotState::kDownloading) {
         kernel_->end_service(ui, f);
@@ -258,7 +305,7 @@ class MtcdPolicy final : public TorrentPoolPolicy {
       } else if (u.state[f] == SlotState::kSeeding) {
         // Queued seed departures of this slot go stale; the kernel skips
         // them because the slot is no longer kSeeding.
-        seed_bw_[u.files[f]] -= mu_ / cls;
+        seed_bw_[u.files[f]] -= seed / cls;
         mark_dirty(u.files[f]);
         kernel_->note_seed(u.files[f], u.cls, -1, t);
         kernel_->remove_active_peers(1);
@@ -284,13 +331,14 @@ class MtcdPolicy final : public TorrentPoolPolicy {
     for (const std::size_t ui : kernel_->live()) {
       const SimUser u = kernel_->user(ui);
       const double share = 1.0 / static_cast<double>(u.cls);
+      const double seed = seed_rate(kernel_->bandwidth_class(ui));
       for (unsigned f = 0; f < u.slots(); ++f) {
         if (u.state[f] == SlotState::kDownloading) {
           weight[u.files[f]] += share;
           ++count[u.files[f]];
           ++down[u.cls - 1];
         } else if (u.state[f] == SlotState::kSeeding) {
-          seed_bw[u.files[f]] += mu_ * share;
+          seed_bw[u.files[f]] += seed * share;
           ++seeds[u.cls - 1];
         }
       }
@@ -329,8 +377,9 @@ class MtcdPolicy final : public TorrentPoolPolicy {
     const unsigned torrent = u.files[slot];
     add_downloader(torrent, 1.0 / static_cast<double>(u.cls));
     kernel_->note_download(torrent, u.cls, +1, t);
-    // Group rate is the unsplit R_T; the 1/i split becomes an i-fold work.
-    kernel_->begin_service(ui, slot, torrent,
+    // Group rate is the unsplit R_{T,b}; the 1/i split is an i-fold work.
+    kernel_->begin_service(ui, slot,
+                           lane(torrent, kernel_->bandwidth_class(ui)),
                            file_size_ * static_cast<double>(u.cls), t);
     kernel_->arm_abort(ui, slot, t);
   }
@@ -343,7 +392,9 @@ class MtsdPolicy final : public TorrentPoolPolicy {
  public:
   void attach(EventKernel& kernel) override {
     TorrentPoolPolicy::attach(kernel);
-    for (unsigned f = 0; f < num_files_; ++f) kernel.new_group(0.0);
+    for (unsigned g = 0; g < num_files_ * num_bclasses_; ++g) {
+      kernel.new_group(0.0);
+    }
   }
 
   void on_arrival(std::size_t ui, double t) override {
@@ -358,7 +409,10 @@ class MtsdPolicy final : public TorrentPoolPolicy {
   void refresh_rates(double t) override {
     count_refreshes();
     for (const unsigned torrent : dirty_list_) {
-      kernel_->set_group_rate(torrent, torrent_rate(torrent), t);
+      for (unsigned b = 0; b < num_bclasses_; ++b) {
+        kernel_->set_group_rate(lane(torrent, b), torrent_rate(torrent, b),
+                                t);
+      }
       dirty_[torrent] = false;
     }
     dirty_list_.clear();
@@ -371,7 +425,8 @@ class MtsdPolicy final : public TorrentPoolPolicy {
     u.state[slot] = SlotState::kSeeding;
     u.done[slot] = 1;
     u.download_accum += t - u.stage_start;
-    seed_bw_[torrent] += mu_;  // full bandwidth while seeding
+    // Full (class-scaled) bandwidth while seeding.
+    seed_bw_[torrent] += seed_rate(kernel_->bandwidth_class(ui));
     u.last_completion = t;
     kernel_->down_pop()[u.cls - 1] -= 1.0;
     kernel_->seed_pop()[u.cls - 1] += 1.0;
@@ -383,7 +438,7 @@ class MtsdPolicy final : public TorrentPoolPolicy {
                          double t) override {
     SimUser u = kernel_->user(ui);
     u.state[file_idx] = SlotState::kIdle;
-    seed_bw_[u.files[file_idx]] -= mu_;
+    seed_bw_[u.files[file_idx]] -= seed_rate(kernel_->bandwidth_class(ui));
     mark_dirty(u.files[file_idx]);
     kernel_->seed_pop()[u.cls - 1] -= 1.0;
     // Move on to the next file or leave.
@@ -412,6 +467,7 @@ class MtsdPolicy final : public TorrentPoolPolicy {
   void on_fault_crash(std::size_t ui, double t) override {
     (void)t;
     SimUser u = kernel_->user(ui);
+    const double seed = seed_rate(kernel_->bandwidth_class(ui));
     // Exactly one slot is active at a time in the sequential scheme, but
     // the teardown sweeps them all for robustness.
     for (unsigned f = 0; f < u.cls; ++f) {
@@ -421,7 +477,7 @@ class MtsdPolicy final : public TorrentPoolPolicy {
         kernel_->down_pop()[u.cls - 1] -= 1.0;
         kernel_->remove_active_peers(1);
       } else if (u.state[f] == SlotState::kSeeding) {
-        seed_bw_[u.files[f]] -= mu_;
+        seed_bw_[u.files[f]] -= seed;
         mark_dirty(u.files[f]);
         kernel_->seed_pop()[u.cls - 1] -= 1.0;
         kernel_->remove_active_peers(1);
@@ -441,7 +497,9 @@ class MtsdPolicy final : public TorrentPoolPolicy {
     SimUser u = kernel_->user(ui);
     add_downloader(u.files[slot], 1.0);
     u.stage_start = t;
-    kernel_->begin_service(ui, slot, u.files[slot], file_size_, t);
+    kernel_->begin_service(ui, slot,
+                           lane(u.files[slot], kernel_->bandwidth_class(ui)),
+                           file_size_, t);
     kernel_->arm_abort(ui, slot, t);
   }
 };
@@ -473,10 +531,13 @@ class MfcdPolicy final : public TorrentPoolPolicy {
  public:
   void attach(EventKernel& kernel) override {
     TorrentPoolPolicy::attach(kernel);
-    rate_.assign(num_files_, 0.0);
-    integ_.assign(num_files_, 0.0);
-    integ_mark_.assign(num_files_, 0.0);
-    bound_.assign(num_files_, 0.0);
+    // Rates, integrals, and bounds live per (torrent, bandwidth class)
+    // lane; member lists stay per torrent (a breakthrough re-keys every
+    // member of the torrent, which is safe for all lanes).
+    rate_.assign(num_files_ * num_bclasses_, 0.0);
+    integ_.assign(num_files_ * num_bclasses_, 0.0);
+    integ_mark_.assign(num_files_ * num_bclasses_, 0.0);
+    bound_.assign(num_files_ * num_bclasses_, 0.0);
     members_.assign(num_files_, {});
   }
 
@@ -491,7 +552,8 @@ class MfcdPolicy final : public TorrentPoolPolicy {
       u.gid[f] = members_[torrent].size();
       members_[torrent].push_back({ui, f});
     }
-    u.target[0] = set_integral(u, t) + file_size_ * cls * cls;
+    u.target[0] = set_integral(u, kernel_->bandwidth_class(ui), t) +
+                  file_size_ * cls * cls;
     if (ui >= wakes_.id_capacity()) wakes_.resize(ui + 1);
     rekey(ui, t);
     for (unsigned f = 0; f < u.cls; ++f) kernel_->arm_abort(ui, f, t);
@@ -502,23 +564,34 @@ class MfcdPolicy final : public TorrentPoolPolicy {
   void refresh_rates(double t) override {
     count_refreshes();
     for (const unsigned torrent : dirty_list_) {
-      // The old slope applied on [mark, t]; bank it before swapping.
-      integ_[torrent] += rate_[torrent] * (t - integ_mark_[torrent]);
-      integ_mark_[torrent] = t;
-      const double r = torrent_rate(torrent);
-      if (r != rate_[torrent]) {
-        rate_[torrent] = r;
-        kernel_->add_rate_epochs(1);
+      bool changed = false;
+      bool broke = false;
+      for (unsigned b = 0; b < num_bclasses_; ++b) {
+        const unsigned ln = lane(torrent, b);
+        // The old slope applied on [mark, t]; bank it before swapping.
+        integ_[ln] += rate_[ln] * (t - integ_mark_[ln]);
+        integ_mark_[ln] = t;
+        const double r = torrent_rate(torrent, b);
+        if (r != rate_[ln]) {
+          rate_[ln] = r;
+          changed = true;
+        }
+        if (r > bound_[ln]) {
+          // The rate broke through the guarded bound: wakes computed
+          // against the old bound may now be too late.
+          bound_[ln] = r * (1.0 + kHeadroom);
+          broke = true;
+        } else if (r * (1.0 + kHeadroom) * (1.0 + kHeadroom) < bound_[ln]) {
+          // Tighten once a spike decays, or wakes stay needlessly early.
+          // Outstanding wakes used the larger bound and remain safe.
+          bound_[ln] = r * (1.0 + kHeadroom);
+        }
       }
-      if (r > bound_[torrent]) {
-        // The rate broke through the guarded bound: wakes computed against
-        // the old bound may now be too late. Re-key every member.
-        bound_[torrent] = r * (1.0 + kHeadroom);
+      if (changed) kernel_->add_rate_epochs(1);
+      if (broke) {
+        // Re-key every member of the torrent (cheap superset of the
+        // members in the breaking lanes).
         for (const auto& member : members_[torrent]) rekey(member.first, t);
-      } else if (r * (1.0 + kHeadroom) * (1.0 + kHeadroom) < bound_[torrent]) {
-        // Tighten once a spike decays, or wakes stay needlessly early.
-        // Outstanding wakes used the larger bound and remain safe.
-        bound_[torrent] = r * (1.0 + kHeadroom);
       }
       dirty_[torrent] = false;
     }
@@ -539,7 +612,8 @@ class MfcdPolicy final : public TorrentPoolPolicy {
     while (!wakes_.empty() && wakes_.top_key() <= t + kTimeEps) {
       const std::size_t ui = wakes_.top_id();
       const SimUser u = kernel_->user(ui);
-      if (due(u.target[0], set_integral(u, t))) {
+      if (due(u.target[0],
+              set_integral(u, kernel_->bandwidth_class(ui), t))) {
         finish_user(ui, t);
       } else {
         rekey(ui, t);
@@ -551,8 +625,9 @@ class MfcdPolicy final : public TorrentPoolPolicy {
                          double t) override {
     SimUser u = kernel_->user(ui);
     const double cls = static_cast<double>(u.cls);
+    const double seed = seed_rate(kernel_->bandwidth_class(ui));
     for (unsigned f = 0; f < u.cls; ++f) {
-      seed_bw_[u.files[f]] -= mu_ / cls;
+      seed_bw_[u.files[f]] -= seed / cls;
       mark_dirty(u.files[f]);
       u.state[f] = SlotState::kIdle;
     }
@@ -583,6 +658,7 @@ class MfcdPolicy final : public TorrentPoolPolicy {
     SimUser u = kernel_->user(ui);
     wakes_.erase(ui);
     const double cls = static_cast<double>(u.cls);
+    const double seed = seed_rate(kernel_->bandwidth_class(ui));
     for (unsigned f = 0; f < u.cls; ++f) {
       if (u.state[f] == SlotState::kDownloading) {
         drop_member(u, f);
@@ -590,7 +666,7 @@ class MfcdPolicy final : public TorrentPoolPolicy {
         kernel_->down_pop()[u.cls - 1] -= 1.0;
         kernel_->remove_active_peers(1);
       } else if (u.state[f] == SlotState::kSeeding) {
-        seed_bw_[u.files[f]] -= mu_ / cls;
+        seed_bw_[u.files[f]] -= seed / cls;
         mark_dirty(u.files[f]);
         kernel_->seed_pop()[u.cls - 1] -= 1.0;
         kernel_->remove_active_peers(1);
@@ -612,9 +688,11 @@ class MfcdPolicy final : public TorrentPoolPolicy {
     if (!wakes_.validate(&reason)) fail("wake heap: " + reason);
     std::size_t member_entries = 0;
     for (unsigned torrent = 0; torrent < num_files_; ++torrent) {
-      if (bound_[torrent] + 1e-12 < rate_[torrent]) {
-        fail("bound of torrent " + std::to_string(torrent) +
-             " fell below its rate");
+      for (unsigned b = 0; b < num_bclasses_; ++b) {
+        if (bound_[lane(torrent, b)] + 1e-12 < rate_[lane(torrent, b)]) {
+          fail("bound of torrent " + std::to_string(torrent) + " lane " +
+               std::to_string(b) + " fell below its rate");
+        }
       }
       member_entries += members_[torrent].size();
       for (std::size_t at = 0; at < members_[torrent].size(); ++at) {
@@ -651,14 +729,16 @@ class MfcdPolicy final : public TorrentPoolPolicy {
   static constexpr double kHeadroom = 0.1;
   static constexpr double kTimeEps = 1e-12;  // kernel simultaneity window
 
-  [[nodiscard]] double torrent_integral(unsigned torrent, double t) const {
-    return integ_[torrent] + rate_[torrent] * (t - integ_mark_[torrent]);
+  /// Lazy integral of one (torrent, bandwidth class) service lane.
+  [[nodiscard]] double lane_integral(unsigned ln, double t) const {
+    return integ_[ln] + rate_[ln] * (t - integ_mark_[ln]);
   }
 
-  [[nodiscard]] double set_integral(const SimUser& u, double t) const {
+  [[nodiscard]] double set_integral(const SimUser& u, unsigned b,
+                                    double t) const {
     double acc = 0.0;
     for (unsigned f = 0; f < u.cls; ++f) {
-      acc += torrent_integral(u.files[f], t);
+      acc += lane_integral(lane(u.files[f], b), t);
     }
     return acc;
   }
@@ -672,13 +752,14 @@ class MfcdPolicy final : public TorrentPoolPolicy {
   /// integrals and bounds.
   void rekey(std::size_t ui, double t) {
     const SimUser u = kernel_->user(ui);
-    const double acc = set_integral(u, t);
+    const unsigned b = kernel_->bandwidth_class(ui);
+    const double acc = set_integral(u, b, t);
     if (due(u.target[0], acc)) {
       wakes_.set(ui, t);
       return;
     }
     double ub = 0.0;
-    for (unsigned f = 0; f < u.cls; ++f) ub += bound_[u.files[f]];
+    for (unsigned f = 0; f < u.cls; ++f) ub += bound_[lane(u.files[f], b)];
     if (ub <= 0.0) {
       // Every subtorrent idle; a rate rising from zero breaks through its
       // bound and re-keys the members, so erasing here is safe.
@@ -704,13 +785,14 @@ class MfcdPolicy final : public TorrentPoolPolicy {
     wakes_.erase(ui);
     SimUser u = kernel_->user(ui);
     const double cls = static_cast<double>(u.cls);
+    const double seed = seed_rate(kernel_->bandwidth_class(ui));
     for (unsigned f = 0; f < u.cls; ++f) {
       const unsigned torrent = u.files[f];
       drop_member(u, f);
       remove_downloader(torrent, 1.0 / cls);
       u.state[f] = SlotState::kSeeding;
       u.done[f] = 1;
-      seed_bw_[torrent] += mu_ / cls;
+      seed_bw_[torrent] += seed / cls;
     }
     u.last_completion = t;
     kernel_->down_pop()[u.cls - 1] -= cls;
@@ -719,10 +801,10 @@ class MfcdPolicy final : public TorrentPoolPolicy {
                                      t + kernel_->rng().exponential(gamma_));
   }
 
-  std::vector<double> rate_;        ///< current R_T
-  std::vector<double> integ_;       ///< S_T banked at integ_mark_
+  std::vector<double> rate_;        ///< current R_{T,b} per lane
+  std::vector<double> integ_;       ///< S_{T,b} banked at integ_mark_
   std::vector<double> integ_mark_;
-  std::vector<double> bound_;       ///< ratcheted bound_T >= R_T
+  std::vector<double> bound_;       ///< ratcheted bound_{T,b} >= R_{T,b}
   /// T -> (ui, slot) of its current downloaders; positions live in gid.
   std::vector<std::vector<std::pair<std::size_t, unsigned>>> members_;
   IndexedMinHeap wakes_;            ///< ui -> guaranteed-early wake time

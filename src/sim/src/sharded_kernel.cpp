@@ -292,6 +292,14 @@ SimResult ShardedKernel::merge(std::vector<ShardOutput> outs,
     rec.import_series("sim.live_peers", axis, live);
     rec.import_series("sim.readmission_queue", axis, queue);
     rec.import_series("sim.recovering", axis, recovering);
+    // The arrival-rate series is a pure function of the demand spec, so
+    // the driver reconstructs it on the merged grid instead of summing
+    // shard copies (every shard replays the identical arrival stream).
+    std::vector<double> arrival_rate(axis.size());
+    for (std::size_t i = 0; i < axis.size(); ++i) {
+      arrival_rate[i] = cfg_.arrival.rate_at(cfg_.visit_rate, axis[i]);
+    }
+    rec.import_series("kernel.arrival_rate", axis, arrival_rate);
   }
   if (metrics != nullptr) {
     obs::MetricsRegistry& m = *metrics;

@@ -28,6 +28,8 @@ void SimConfig::validate() const {
     }
   }
   BTMF_CHECK_MSG(visit_rate > 0.0, "visit_rate lambda0 must be positive");
+  arrival.validate();
+  fluid::validate_classes(bandwidth_classes);
   fluid.validate();
   BTMF_CHECK_MSG(rho >= 0.0 && rho <= 1.0, "rho must lie in [0, 1]");
   BTMF_CHECK_MSG(cheater_fraction >= 0.0 && cheater_fraction <= 1.0,

@@ -16,7 +16,8 @@ namespace btmf::model {
 namespace {
 
 constexpr const char* kAllBackends[] = {"fluid-equilibrium", "fluid-transient",
-                                        "kernel-sim", "chunk-sim"};
+                                        "kernel-sim", "chunk-sim",
+                                        "stochastic-epidemic"};
 
 // Small, fast spec the stochastic backends can run in milliseconds.
 ScenarioSpec small_spec(fluid::SchemeKind scheme, double p) {
@@ -29,9 +30,9 @@ ScenarioSpec small_spec(fluid::SchemeKind scheme, double p) {
   return spec;
 }
 
-TEST(ModelBackendTest, RegistryListsTheFourBackendsInOrder) {
+TEST(ModelBackendTest, RegistryListsTheFiveBackendsInOrder) {
   const auto& registry = backend_registry();
-  ASSERT_EQ(registry.size(), 4u);
+  ASSERT_EQ(registry.size(), 5u);
   for (std::size_t i = 0; i < registry.size(); ++i) {
     EXPECT_EQ(registry[i]->name(), kAllBackends[i]);
   }
@@ -59,16 +60,26 @@ TEST(ModelBackendTest, RequireBackendThrowsNamingTheKnownBackends) {
 }
 
 // The universal rule: CMFSD at p = 0 is a typed kUnsupported from EVERY
-// backend — same message everywhere, never a crash, never a throw from
-// evaluate().
+// backend that evaluates CMFSD at all — same message everywhere, never a
+// crash, never a throw from evaluate(). Backends whose scheme bits
+// exclude CMFSD outright (stochastic-epidemic) refuse with their own
+// typed reason instead.
 TEST(ModelBackendTest, CmfsdAtZeroCorrelationIsUnsupportedEverywhere) {
   ScenarioSpec spec = small_spec(fluid::SchemeKind::kCmfsd, 0.0);
   spec.num_files = 1;  // keep chunk-sim's K = 1 gate out of the way
   for (const Backend* backend : backend_registry()) {
     const Outcome outcome = backend->evaluate(spec);
     EXPECT_EQ(outcome.status, OutcomeStatus::kUnsupported) << backend->name();
-    EXPECT_EQ(outcome.error, "CMFSD needs p > 0 (no peer requests any file at p=0)")
-        << backend->name();
+    const std::size_t scheme_bit =
+        static_cast<std::size_t>(fluid::SchemeKind::kCmfsd);
+    if (backend->capabilities().schemes[scheme_bit]) {
+      EXPECT_EQ(outcome.error,
+                "CMFSD needs p > 0 (no peer requests any file at p=0)")
+          << backend->name();
+    } else {
+      EXPECT_NE(outcome.error.find("CMFSD"), std::string::npos)
+          << backend->name();
+    }
     EXPECT_THROW((void)backend->evaluate_or_throw(spec), ConfigError)
         << backend->name();
   }

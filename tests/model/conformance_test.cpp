@@ -9,7 +9,9 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "btmf/model/backend.h"
 
@@ -204,6 +206,147 @@ TEST(ModelConformanceTest, MultiFileChunkSimMatchesFluidAtEmergentEta) {
                          fluid_outcome.per_class.download_time[i]),
                 0.15)
           << fluid::to_string(scheme) << " class " << i + 1;
+    }
+  }
+}
+
+// The stochastic-epidemic CTMC has the fluid ODE as its mean-field limit:
+// on homogeneous scenarios its replication mean must land on the
+// equilibrium numbers within Monte-Carlo tolerance, for every scheme its
+// capability bits admit (CMFSD is a declared refusal, asserted below).
+TEST(ModelConformanceTest, EpidemicMeanTracksEquilibrium) {
+  const Backend& equilibrium = require_backend("fluid-equilibrium");
+  const Backend& epidemic = require_backend("stochastic-epidemic");
+  for (const fluid::SchemeKind scheme :
+       {fluid::SchemeKind::kMtcd, fluid::SchemeKind::kMtsd,
+        fluid::SchemeKind::kMfcd}) {
+    const ScenarioSpec spec = paper_spec(scheme, 0.7);
+    const Outcome expected = equilibrium.evaluate_or_throw(spec);
+    const Outcome got = epidemic.evaluate_or_throw(spec);
+    EXPECT_LT(rel_diff(got.avg_online_per_file, expected.avg_online_per_file),
+              0.15)
+        << fluid::to_string(scheme);
+    EXPECT_LT(
+        rel_diff(got.avg_download_per_file, expected.avg_download_per_file),
+        0.15)
+        << fluid::to_string(scheme);
+  }
+  EXPECT_EQ(epidemic.evaluate(paper_spec(fluid::SchemeKind::kCmfsd, 0.7))
+                .status,
+            OutcomeStatus::kUnsupported);
+}
+
+// Time-varying arrivals: no equilibrium exists, so the three backends
+// that integrate/sample lambda(t) — fluid-transient (ODE), kernel-sim
+// (thinned event stream), stochastic-epidemic (thinned CTMC) — must
+// agree with each other on the window-mean Little's-law readout.
+TEST(ModelConformanceTest, TimeVaryingArrivalBackendsAgree) {
+  ScenarioSpec spec = paper_spec(fluid::SchemeKind::kMtcd, 0.7);
+  spec.arrival.kind = fluid::ArrivalKind::kDiurnal;
+  spec.arrival.amplitude = 0.6;
+  spec.arrival.period = 400.0;
+  const Outcome transient =
+      require_backend("fluid-transient").evaluate_or_throw(spec);
+  const Outcome kernel = require_backend("kernel-sim").evaluate_or_throw(spec);
+  const Outcome epidemic =
+      require_backend("stochastic-epidemic").evaluate_or_throw(spec);
+  EXPECT_LT(rel_diff(kernel.avg_download_per_file,
+                     transient.avg_download_per_file),
+            0.20)
+      << "kernel=" << kernel.avg_download_per_file
+      << " transient=" << transient.avg_download_per_file;
+  EXPECT_LT(rel_diff(epidemic.avg_download_per_file,
+                     transient.avg_download_per_file),
+            0.20)
+      << "epidemic=" << epidemic.avg_download_per_file
+      << " transient=" << transient.avg_download_per_file;
+  // The stationary backend must refuse the same spec, typed.
+  EXPECT_EQ(require_backend("fluid-equilibrium").evaluate(spec).status,
+            OutcomeStatus::kUnsupported);
+}
+
+// Bandwidth classes on the stochastic backends: more upload capacity must
+// mean faster downloads (a directional check — no fluid reference models
+// heterogeneous classes). Both simulators support the knob; the fluid
+// and epidemic backends refuse it with a typed reason.
+TEST(ModelConformanceTest, BandwidthClassesShiftSimBackendsDirectionally) {
+  for (const char* name : {"kernel-sim", "chunk-sim"}) {
+    const Backend& backend = require_backend(name);
+    ScenarioSpec slow = paper_spec(fluid::SchemeKind::kMtcd, 0.7, /*k=*/3);
+    slow.horizon = 2000.0;
+    slow.warmup = 500.0;
+    slow.bandwidth_classes = {{/*weight=*/1.0, /*upload_scale=*/0.5,
+                               /*download_cap=*/0.0}};
+    ScenarioSpec fast = slow;
+    fast.bandwidth_classes[0].upload_scale = 1.5;
+    const Outcome slow_outcome = backend.evaluate_or_throw(slow);
+    const Outcome fast_outcome = backend.evaluate_or_throw(fast);
+    EXPECT_LT(fast_outcome.avg_download_per_file,
+              slow_outcome.avg_download_per_file)
+        << name;
+  }
+  ScenarioSpec spec = paper_spec(fluid::SchemeKind::kMtcd, 0.7);
+  spec.bandwidth_classes = {{1.0, 0.5, 0.0}, {1.0, 1.5, 0.0}};
+  for (const char* name :
+       {"fluid-equilibrium", "fluid-transient", "stochastic-epidemic"}) {
+    const Outcome outcome = require_backend(name).evaluate(spec);
+    EXPECT_EQ(outcome.status, OutcomeStatus::kUnsupported) << name;
+    EXPECT_NE(outcome.error.find("bandwidth"), std::string::npos) << name;
+  }
+  // The one combination kernel-sim cannot express: CMFSD x classes.
+  spec.scheme = fluid::SchemeKind::kCmfsd;
+  const Outcome refused = require_backend("kernel-sim").evaluate(spec);
+  EXPECT_EQ(refused.status, OutcomeStatus::kUnsupported);
+  EXPECT_NE(refused.error.find("CMFSD"), std::string::npos);
+}
+
+// The demand matrix has zero silently-wrong cells: every backend crossed
+// with every demand shape either evaluates to finite numbers or refuses
+// with a typed, non-empty reason — never a crash, never a NaN headline.
+TEST(ModelConformanceTest, DemandMatrixCellsEvaluateOrDeclare) {
+  fluid::ArrivalProcess diurnal;
+  diurnal.kind = fluid::ArrivalKind::kDiurnal;
+  diurnal.amplitude = 0.5;
+  diurnal.period = 500.0;
+  fluid::ArrivalProcess flash;
+  flash.kind = fluid::ArrivalKind::kFlashCrowd;
+  flash.t0 = 1200.0;
+  flash.width = 200.0;
+  flash.boost = 3.0;
+  const std::vector<fluid::BandwidthClass> classes = {{2.0, 0.7, 0.0},
+                                                      {1.0, 1.6, 4.0}};
+  struct DemandCell {
+    fluid::ArrivalProcess arrival;
+    std::vector<fluid::BandwidthClass> bandwidth;
+  };
+  const DemandCell cells[] = {{{}, {}},
+                              {diurnal, {}},
+                              {flash, {}},
+                              {{}, classes},
+                              {diurnal, classes}};
+  for (const Backend* backend : backend_registry()) {
+    for (std::size_t c = 0; c < std::size(cells); ++c) {
+      for (const fluid::SchemeKind scheme :
+           {fluid::SchemeKind::kMtcd, fluid::SchemeKind::kCmfsd}) {
+        ScenarioSpec spec = paper_spec(scheme, 0.7, /*k=*/2);
+        spec.horizon = 1600.0;
+        spec.warmup = 400.0;
+        spec.rho = 0.5;
+        spec.arrival = cells[c].arrival;
+        spec.bandwidth_classes = cells[c].bandwidth;
+        const Outcome outcome = backend->evaluate(spec);
+        const std::string where = std::string(backend->name()) + " cell " +
+                                  std::to_string(c) + " " +
+                                  std::string(fluid::to_string(scheme));
+        ASSERT_NE(outcome.status, OutcomeStatus::kFailed)
+            << where << ": " << outcome.error;
+        if (outcome.status == OutcomeStatus::kUnsupported) {
+          EXPECT_FALSE(outcome.error.empty()) << where;
+        } else {
+          EXPECT_TRUE(std::isfinite(outcome.avg_download_per_file)) << where;
+          EXPECT_GT(outcome.avg_download_per_file, 0.0) << where;
+        }
+      }
     }
   }
 }

@@ -1,0 +1,97 @@
+// Unit tests of the stochastic-epidemic backend in isolation: seed
+// determinism, the structural MTSD readout, typed refusals, and the
+// time-varying acceptance path. Agreement with the other backends lives
+// in conformance_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "btmf/fluid/demand.h"
+#include "btmf/fluid/schemes.h"
+#include "btmf/model/backend.h"
+
+namespace btmf::model {
+namespace {
+
+const Backend& epidemic() { return require_backend("stochastic-epidemic"); }
+
+/// A CI-sized scenario: small K and a short horizon keep a Gillespie
+/// path to a few thousand events per replication.
+ScenarioSpec small_spec(fluid::SchemeKind scheme) {
+  ScenarioSpec spec;
+  spec.num_files = 3;
+  spec.correlation = 0.7;
+  spec.scheme = scheme;
+  spec.horizon = 2000.0;
+  spec.warmup = 500.0;
+  spec.epidemic_replications = 4;
+  spec.seed = 1234;
+  return spec;
+}
+
+TEST(EpidemicBackendTest, IsRegisteredAsMonteCarlo) {
+  EXPECT_EQ(epidemic().name(), "stochastic-epidemic");
+  EXPECT_TRUE(epidemic().capabilities().monte_carlo);
+  EXPECT_TRUE(epidemic().capabilities().arrivals_time_varying);
+  EXPECT_FALSE(epidemic().capabilities().bandwidth_classes);
+}
+
+TEST(EpidemicBackendTest, DeterministicPerSeed) {
+  const ScenarioSpec spec = small_spec(fluid::SchemeKind::kMtcd);
+  const Outcome first = epidemic().evaluate(spec);
+  const Outcome second = epidemic().evaluate(spec);
+  ASSERT_TRUE(first.ok()) << first.error;
+  // Bitwise: replication seeds derive from spec.seed, nothing else.
+  EXPECT_EQ(first.avg_download_per_file, second.avg_download_per_file);
+  EXPECT_EQ(first.avg_online_per_file, second.avg_online_per_file);
+  EXPECT_EQ(first.per_class.download_time, second.per_class.download_time);
+  EXPECT_EQ(first.per_class.online_time, second.per_class.online_time);
+}
+
+TEST(EpidemicBackendTest, SeedChangesThePath) {
+  ScenarioSpec spec = small_spec(fluid::SchemeKind::kMtcd);
+  const Outcome first = epidemic().evaluate(spec);
+  spec.seed += 1;
+  const Outcome second = epidemic().evaluate(spec);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_NE(first.avg_download_per_file, second.avg_download_per_file);
+}
+
+TEST(EpidemicBackendTest, MtsdReadoutScalesPerClass) {
+  // MTSD simulates one representative torrent; class i downloads i files
+  // sequentially, so its times are exact multiples of class 1's.
+  const Outcome outcome =
+      epidemic().evaluate(small_spec(fluid::SchemeKind::kMtsd));
+  ASSERT_TRUE(outcome.ok()) << outcome.error;
+  ASSERT_EQ(outcome.per_class.num_classes(), 3u);
+  const double t1 = outcome.per_class.download_time[0];
+  EXPECT_GT(t1, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.per_class.download_time[1], 2.0 * t1);
+  EXPECT_DOUBLE_EQ(outcome.per_class.download_time[2], 3.0 * t1);
+}
+
+TEST(EpidemicBackendTest, RefusesCmfsdAndBandwidthClasses) {
+  const Outcome cmfsd =
+      epidemic().evaluate(small_spec(fluid::SchemeKind::kCmfsd));
+  EXPECT_EQ(cmfsd.status, OutcomeStatus::kUnsupported);
+  EXPECT_NE(cmfsd.error.find("CMFSD"), std::string::npos);
+
+  ScenarioSpec classy = small_spec(fluid::SchemeKind::kMtcd);
+  classy.bandwidth_classes = fluid::parse_classes("1,0.5,0|1,1.5,0");
+  const Outcome refused = epidemic().evaluate(classy);
+  EXPECT_EQ(refused.status, OutcomeStatus::kUnsupported);
+  EXPECT_NE(refused.error.find("bandwidth"), std::string::npos);
+}
+
+TEST(EpidemicBackendTest, AcceptsTimeVaryingArrivals) {
+  ScenarioSpec spec = small_spec(fluid::SchemeKind::kMtcd);
+  spec.arrival = fluid::parse_arrival("diurnal,0.5,400,0");
+  const Outcome outcome = epidemic().evaluate(spec);
+  ASSERT_TRUE(outcome.ok()) << outcome.error;
+  EXPECT_GT(outcome.avg_download_per_file, 0.0);
+  EXPECT_TRUE(std::isfinite(outcome.avg_download_per_file));
+}
+
+}  // namespace
+}  // namespace btmf::model

@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "btmf/fluid/demand.h"
 #include "btmf/fluid/schemes.h"
 #include "btmf/util/error.h"
 #include "btmf/util/strings.h"
@@ -92,6 +93,67 @@ TEST(ModelWireTest, RejectsUnknownAndDuplicateKeys) {
   const std::string wire = encode_spec(ScenarioSpec{});
   EXPECT_THROW(decode_spec(wire + ";mystery=1"), ConfigError);
   EXPECT_THROW(decode_spec(wire + ";k=10"), ConfigError);
+}
+
+TEST(ModelWireTest, DemandKeysRoundTripOnTheWire) {
+  ScenarioSpec spec = loaded_spec();
+  spec.arrival = fluid::parse_arrival("diurnal,0.6,400,25");
+  spec.bandwidth_classes = fluid::parse_classes("2,0.5,0|1,1.5,12.5");
+  spec.epidemic_replications = 16;
+  const std::string wire = encode_spec(spec);
+  EXPECT_NE(wire.find(";arrival=diurnal,"), std::string::npos);
+  EXPECT_NE(wire.find(";classes="), std::string::npos);
+  EXPECT_NE(wire.find(";ereps=16"), std::string::npos);
+  const ScenarioSpec decoded = decode_spec(wire);
+  EXPECT_EQ(decoded.fingerprint(), spec.fingerprint());
+  EXPECT_EQ(decoded.arrival.kind, fluid::ArrivalKind::kDiurnal);
+  EXPECT_EQ(decoded.arrival.amplitude, 0.6);
+  ASSERT_EQ(decoded.bandwidth_classes.size(), 2u);
+  EXPECT_EQ(decoded.bandwidth_classes[1].download_cap, 12.5);
+  EXPECT_EQ(decoded.epidemic_replications, 16u);
+}
+
+TEST(ModelWireTest, HomogeneousSpecsOmitDemandKeysFromTheWire) {
+  // Pre-demand-model fingerprints must stay byte-identical, so the
+  // homogeneous defaults never appear on the wire.
+  const std::string wire = encode_spec(ScenarioSpec{});
+  EXPECT_EQ(wire.find("arrival="), std::string::npos);
+  EXPECT_EQ(wire.find("classes="), std::string::npos);
+  EXPECT_EQ(wire.find("ereps="), std::string::npos);
+}
+
+TEST(ModelWireTest, RejectsNonCanonicalDemandKeys) {
+  // A wire that spells out a homogeneous default is not one our encoder
+  // produced; accepting it would let two wires name the same spec.
+  const std::string wire = encode_spec(ScenarioSpec{});
+  EXPECT_THROW(decode_spec(wire + ";arrival=poisson"), ConfigError);
+  EXPECT_THROW(decode_spec(wire + ";classes="), ConfigError);
+  EXPECT_THROW(decode_spec(wire + ";ereps=8"), ConfigError);
+}
+
+TEST(ModelWireTest, RejectsMalformedArrivalOnTheWire) {
+  const std::string wire = encode_spec(ScenarioSpec{});
+  // Unknown kind, wrong arity, NaN / out-of-domain parameters.
+  EXPECT_THROW(decode_spec(wire + ";arrival=bursty,1,2"), ConfigError);
+  EXPECT_THROW(decode_spec(wire + ";arrival=diurnal,0.5"), ConfigError);
+  EXPECT_THROW(decode_spec(wire + ";arrival=diurnal,nan,400,0"), ConfigError);
+  EXPECT_THROW(decode_spec(wire + ";arrival=diurnal,-0.5,400,0"), ConfigError);
+  EXPECT_THROW(decode_spec(wire + ";arrival=diurnal,0.5,400,0junk"),
+               ConfigError);
+  EXPECT_THROW(decode_spec(wire + ";arrival=flash,0,50,0.5,0,1"),
+               ConfigError);  // boost < 1
+  EXPECT_THROW(decode_spec(wire + ";arrival=flash,0,50,2,0,0"),
+               ConfigError);  // zero pulses
+}
+
+TEST(ModelWireTest, RejectsMalformedClassesOnTheWire) {
+  const std::string wire = encode_spec(ScenarioSpec{});
+  EXPECT_THROW(decode_spec(wire + ";classes=1,1"), ConfigError);  // arity
+  EXPECT_THROW(decode_spec(wire + ";classes=nan,1,0"), ConfigError);
+  EXPECT_THROW(decode_spec(wire + ";classes=1,-2,0"), ConfigError);
+  EXPECT_THROW(decode_spec(wire + ";classes=1,1,0|"), ConfigError);
+  EXPECT_THROW(decode_spec(wire + ";classes=1,1,0junk"), ConfigError);
+  EXPECT_THROW(decode_spec(wire + ";ereps=0"), ConfigError);
 }
 
 TEST(ModelWireTest, RejectsOutOfRangeValues) {
